@@ -1,0 +1,124 @@
+//! Exact small-scale combinatorics.
+
+/// Binomial coefficient `C(n, k)` as an exact `u128`.
+///
+/// # Panics
+/// Panics on intermediate overflow, which cannot happen for the node
+/// counts this workspace deals in (n ≤ a few hundred, k ≤ 5).
+pub fn binomial(n: usize, k: usize) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc
+            .checked_mul((n - i) as u128)
+            .expect("binomial overflow") / (i as u128 + 1);
+    }
+    acc
+}
+
+/// Iterator over all `k`-subsets of `0..n` in lexicographic order.
+pub fn combinations(n: usize, k: usize) -> Combinations {
+    Combinations {
+        n,
+        k,
+        next: if k <= n { Some((0..k).collect()) } else { None },
+    }
+}
+
+/// See [`combinations`].
+pub struct Combinations {
+    n: usize,
+    k: usize,
+    next: Option<Vec<usize>>,
+}
+
+impl Iterator for Combinations {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        let current = self.next.clone()?;
+        // Advance to the lexicographic successor.
+        let mut combo = current.clone();
+        let (n, k) = (self.n, self.k);
+        if k == 0 {
+            self.next = None;
+            return Some(current);
+        }
+        let mut i = k;
+        loop {
+            if i == 0 {
+                self.next = None;
+                return Some(current);
+            }
+            i -= 1;
+            if combo[i] != i + n - k {
+                break;
+            }
+            if i == 0 {
+                self.next = None;
+                return Some(current);
+            }
+        }
+        combo[i] += 1;
+        for j in i + 1..k {
+            combo[j] = combo[j - 1] + 1;
+        }
+        self.next = Some(combo);
+        Some(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_basics() {
+        assert_eq!(binomial(0, 0), 1);
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(5, 5), 1);
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(14, 2), 91);
+        assert_eq!(binomial(14, 4), 1001);
+        assert_eq!(binomial(4, 7), 0);
+        assert_eq!(binomial(52, 5), 2_598_960);
+    }
+
+    #[test]
+    fn binomial_symmetry_and_pascal() {
+        for n in 0..20 {
+            for k in 0..=n {
+                assert_eq!(binomial(n, k), binomial(n, n - k));
+                if n > 0 && k > 0 {
+                    assert_eq!(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn combinations_count_and_order() {
+        let all: Vec<Vec<usize>> = combinations(5, 3).collect();
+        assert_eq!(all.len() as u128, binomial(5, 3));
+        assert_eq!(all.first().unwrap(), &vec![0, 1, 2]);
+        assert_eq!(all.last().unwrap(), &vec![2, 3, 4]);
+        // Strictly increasing within each combo and lexicographic across.
+        for combo in &all {
+            assert!(combo.windows(2).all(|w| w[0] < w[1]));
+        }
+        for pair in all.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    fn degenerate_combinations() {
+        assert_eq!(combinations(3, 0).count(), 1);
+        assert_eq!(combinations(0, 0).count(), 1);
+        assert_eq!(combinations(2, 3).count(), 0);
+        assert_eq!(combinations(4, 4).count(), 1);
+    }
+}

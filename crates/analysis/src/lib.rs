@@ -1,0 +1,21 @@
+//! Analytical models for the Approximate Code evaluation.
+//!
+//! Three kinds of model, each paired with a ground-truth check elsewhere in
+//! the workspace:
+//!
+//! * [`reliability`] — the paper's §3.4 expectations `P_U` (unimportant
+//!   data surviving `f = r + 1` failures) and `P_I` (important data
+//!   surviving `f = r + g + 1` failures), both as closed forms and as
+//!   exhaustive/Monte-Carlo measurements against the real decoder;
+//! * [`overhead`] — storage-overhead and parity-count formulas behind
+//!   Fig. 8 and Table 4;
+//! * [`writecost`] — the single-write I/O cost formulas of Table 3 and
+//!   Fig. 9.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod combinatorics;
+pub mod overhead;
+pub mod reliability;
+pub mod writecost;

@@ -1,0 +1,149 @@
+//! Criterion micro-benchmarks for the hot kernels and codecs.
+//!
+//! These complement the `experiments` harness (which reproduces the
+//! paper's tables/figures): Criterion gives statistically robust numbers
+//! for the building blocks — GF kernels, encode/decode per code family,
+//! parallel pipeline — so regressions in the substrate are caught
+//! independently of the paper-level metrics.
+
+use apec_ec::parallel::encode_segmented;
+use apec_ec::ErasureCode;
+use apec_gf::{mul_slice_xor, xor_slice};
+use apec_rs::ReedSolomon;
+use apec_xor::{star, tip_like};
+use approx_code::{ApproxCode, BaseFamily, Structure};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+const BLOCK: usize = 1 << 20;
+
+fn random_block(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v = vec![0u8; len];
+    rng.fill(v.as_mut_slice());
+    v
+}
+
+fn bench_gf_kernels(c: &mut Criterion) {
+    let src = random_block(BLOCK, 1);
+    let mut dst = random_block(BLOCK, 2);
+    let mut g = c.benchmark_group("gf-kernels");
+    g.throughput(Throughput::Bytes(BLOCK as u64));
+    g.bench_function("xor_slice/1MiB", |b| {
+        b.iter(|| xor_slice(&src, &mut dst).unwrap());
+    });
+    g.bench_function("mul_slice_xor/1MiB", |b| {
+        b.iter(|| mul_slice_xor(0xA7, &src, &mut dst).unwrap());
+    });
+    g.finish();
+}
+
+fn data_for(code: &dyn ErasureCode, total: usize) -> Vec<Vec<u8>> {
+    let k = code.data_nodes();
+    let align = code.shard_alignment();
+    let per = (total / k).div_ceil(align).max(1) * align;
+    (0..k).map(|i| random_block(per, i as u64)).collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encode-4MiB");
+    let codes: Vec<Box<dyn ErasureCode>> = vec![
+        Box::new(ReedSolomon::vandermonde(5, 3).unwrap()),
+        Box::new(star(5, 5).unwrap()),
+        Box::new(tip_like(7, 5).unwrap()),
+        Box::new(ApproxCode::build_named(BaseFamily::Rs, 5, 1, 2, 4, Structure::Uneven).unwrap()),
+        Box::new(
+            ApproxCode::build_named(BaseFamily::Star, 5, 1, 2, 4, Structure::Uneven).unwrap(),
+        ),
+    ];
+    for code in &codes {
+        let data = data_for(code.as_ref(), 4 << 20);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let total: usize = data.iter().map(Vec::len).sum();
+        g.throughput(Throughput::Bytes(total as u64));
+        g.bench_function(BenchmarkId::from_parameter(code.name()), |b| {
+            b.iter(|| std::hint::black_box(code.encode(&refs).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_decode_double_failure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decode-f2-4MiB");
+    let codes: Vec<Box<dyn ErasureCode>> = vec![
+        Box::new(ReedSolomon::vandermonde(5, 3).unwrap()),
+        Box::new(star(5, 5).unwrap()),
+    ];
+    for code in &codes {
+        let data = data_for(code.as_ref(), 4 << 20);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = code.encode(&refs).unwrap();
+        let full: Vec<Option<Vec<u8>>> =
+            data.iter().cloned().chain(parity).map(Some).collect();
+        // Warm plan caches.
+        {
+            let mut s = full.clone();
+            s[0] = None;
+            s[3] = None;
+            code.reconstruct(&mut s).unwrap();
+        }
+        let mut stripe = full.clone();
+        g.bench_function(BenchmarkId::from_parameter(code.name()), |b| {
+            b.iter(|| {
+                stripe[0] = None;
+                stripe[3] = None;
+                code.reconstruct(std::hint::black_box(&mut stripe)).unwrap();
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_parallel_encode(c: &mut Criterion) {
+    let code = ReedSolomon::vandermonde(9, 3).unwrap();
+    let data = data_for(&code, 16 << 20);
+    let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+    let seg = data[0].len() / 8;
+    let mut g = c.benchmark_group("parallel-encode-RS(9,3)-16MiB");
+    for threads in [1usize, 2, 4] {
+        g.bench_function(BenchmarkId::from_parameter(threads), |b| {
+            b.iter(|| std::hint::black_box(encode_segmented(&code, &refs, seg, threads).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_tiered_reconstruct(c: &mut Criterion) {
+    let code = ApproxCode::build_named(BaseFamily::Rs, 5, 1, 2, 4, Structure::Uneven).unwrap();
+    let data = data_for(&code, 4 << 20);
+    let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+    let parity = code.encode(&refs).unwrap();
+    let full: Vec<Option<Vec<u8>>> = data.iter().cloned().chain(parity).map(Some).collect();
+    let p = *code.params();
+    let victims = [p.data_node(1, 0), p.data_node(2, 1)];
+    {
+        let mut s = full.clone();
+        for &v in &victims {
+            s[v] = None;
+        }
+        code.reconstruct_tiered(&mut s).unwrap();
+    }
+    let mut stripe = full.clone();
+    c.bench_function("tiered-reconstruct/APPR.RS(5,1,2,4)/f2-cross-stripe", |b| {
+        b.iter(|| {
+            for &v in &victims {
+                stripe[v] = None;
+            }
+            std::hint::black_box(code.reconstruct_tiered(&mut stripe).unwrap());
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_gf_kernels, bench_encode, bench_decode_double_failure,
+              bench_parallel_encode, bench_tiered_reconstruct
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! The evaluation driver.
+//!
+//! ```text
+//! experiments all                # every table/figure, markdown to stdout
+//! experiments fig-encoding      # one experiment
+//! experiments all --json out.json
+//! ```
+
+use apec_bench::experiments::{run, ALL_EXPERIMENTS};
+use apec_bench::Table;
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        eprintln!("usage: experiments <id>|all [--json FILE]");
+        eprintln!("experiments:");
+        for id in ALL_EXPERIMENTS {
+            eprintln!("  {id}");
+        }
+        eprintln!("\nenvironment: APEC_BENCH_MB (stripe MiB, default 8), APEC_BENCH_REPS (default 3), APEC_BENCH_NODE_MB (recovery node MiB, default 1024)");
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let ids: Vec<&str> = if args[0] == "all" {
+        ALL_EXPERIMENTS.to_vec()
+    } else {
+        vec![args[0].as_str()]
+    };
+
+    let mut all_tables: Vec<Table> = Vec::new();
+    for id in ids {
+        eprintln!("[experiments] running {id} ...");
+        let start = std::time::Instant::now();
+        match run(id) {
+            Some(tables) => {
+                for table in tables {
+                    println!("{}", table.to_markdown());
+                    all_tables.push(table);
+                }
+                eprintln!("[experiments] {id} done in {:.1}s", start.elapsed().as_secs_f64());
+            }
+            None => {
+                eprintln!("unknown experiment '{id}'; run with --help for the list");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&all_tables).expect("tables serialise");
+        let mut f = std::fs::File::create(&path).expect("create json output");
+        f.write_all(json.as_bytes()).expect("write json output");
+        eprintln!("[experiments] wrote {path}");
+    }
+}

@@ -1,0 +1,252 @@
+//! Analytic experiments: Table 3 (properties), Fig. 8 (storage), Table 4
+//! (storage improvement), Fig. 9 (single-write), §3.4 (reliability).
+
+use crate::codes::{appr_at, K_SWEEP};
+use crate::table::{Cell, Table};
+use apec_analysis::{overhead, reliability, writecost};
+use apec_ec::ErasureCode;
+use approx_code::{ApproxCode, BaseFamily, Structure};
+
+/// Paper Table 3: storage overhead, fault tolerance and single-write
+/// overhead — formulas alongside the values measured from the generated
+/// codes.
+pub fn tab_properties() -> Table {
+    let mut t = Table::new(
+        "tab-properties",
+        "Storage overhead / fault tolerance / avg. single-write (paper Table 3), k=5, h=4",
+        &[
+            "code",
+            "overhead (formula)",
+            "overhead (measured)",
+            "tolerance",
+            "single-write (formula)",
+            "single-write (measured)",
+        ],
+    );
+    let k = 5;
+    let h = 4;
+
+    let rs = crate::codes::rs_at(k);
+    t.row(vec![
+        rs.name().into(),
+        overhead::rs_overhead(k, 3).into(),
+        rs.storage_overhead().into(),
+        format!("{}", rs.fault_tolerance()).into(),
+        writecost::rs_single_write(3).into(),
+        rs.update_pattern().node_writes.into(),
+    ]);
+
+    if let Some(lrc) = crate::codes::lrc_at(k, 4) {
+        t.row(vec![
+            lrc.name().into(),
+            overhead::lrc_overhead(k, 4, 2).into(),
+            lrc.storage_overhead().into(),
+            format!("{}", lrc.fault_tolerance()).into(),
+            writecost::lrc_single_write(2).into(),
+            lrc.update_pattern().node_writes.into(),
+        ]);
+    }
+    if let Some(star) = crate::codes::star_at(k) {
+        t.row(vec![
+            star.name().into(),
+            overhead::star_overhead(k).into(),
+            star.storage_overhead().into(),
+            format!("{}", star.fault_tolerance()).into(),
+            writecost::star_single_write(k).into(),
+            star.update_pattern().node_writes.into(),
+        ]);
+    }
+    if let Some(tip) = crate::codes::tip_at(k) {
+        t.row(vec![
+            tip.name().into(),
+            overhead::tip_overhead(k + 2).into(),
+            tip.storage_overhead().into(),
+            format!("{}", tip.fault_tolerance()).into(),
+            writecost::tip_single_write().into(),
+            tip.update_pattern().node_writes.into(),
+        ]);
+    }
+
+    let appr_rows: Vec<(BaseFamily, usize, usize, f64)> = vec![
+        (BaseFamily::Rs, 1, 2, writecost::appr_rs_single_write(1, 2, h)),
+        (BaseFamily::Lrc, 1, 2, writecost::appr_lrc_single_write(2, h)),
+        (BaseFamily::Star, 2, 1, writecost::appr_star_single_write(k, h)),
+        (BaseFamily::Tip, 1, 2, writecost::appr_tip_single_write(h)),
+    ];
+    for (family, r, g, sw_formula) in appr_rows {
+        if let Some(code) = appr_at(family, k, r, g, h, Structure::Even) {
+            t.row(vec![
+                code.name().into(),
+                overhead::appr_overhead(k, r, g, h).into(),
+                code.storage_overhead().into(),
+                format!("{} / {} (important)", code.fault_tolerance(), code.important_fault_tolerance())
+                    .into(),
+                sw_formula.into(),
+                code.update_pattern().node_writes.into(),
+            ]);
+        }
+    }
+    t.note("Measured values come from the instantiated codes (update_pattern counts element writes per data update). TIP single-write uses the original paper's constant 4; our TIP-like stand-in carries EVENODD-style adjusters (see DESIGN.md).");
+    t
+}
+
+/// Paper Fig. 8: storage overhead of RS(k,3) vs APPR.RS variants, one
+/// panel per `h`.
+pub fn fig_storage() -> Vec<Table> {
+    [4usize, 6]
+        .into_iter()
+        .map(|h| {
+            let mut t = Table::new(
+                format!("fig-storage-h{h}"),
+                format!("Storage overhead, RS(k,3) vs APPR.RS (h={h}) — paper Fig. 8"),
+                &["k", "RS(k,3)", "APPR.RS(k,1,2,h)", "APPR.RS(k,2,1,h)"],
+            );
+            for k in 4..=9 {
+                t.row(vec![
+                    format!("{k}").into(),
+                    overhead::rs_overhead(k, 3).into(),
+                    overhead::appr_overhead(k, 1, 2, h).into(),
+                    overhead::appr_overhead(k, 2, 1, h).into(),
+                ]);
+            }
+            t.note("Lower is better. The APPR rows also apply to LRC/STAR/TIP bases (same node geometry).");
+            t
+        })
+        .collect()
+}
+
+/// Paper Table 4: storage-overhead improvement of APPR.RS over RS(k,3).
+pub fn tab_so() -> Table {
+    let mut t = Table::new(
+        "tab-so",
+        "Improvement of APPR.RS over RS(k,3) on storage overhead (paper Table 4), %",
+        &["method", "4", "5", "6", "7", "8", "9"],
+    );
+    for (r, g, h) in [(1usize, 2usize, 4usize), (2, 1, 4), (1, 2, 6), (2, 1, 6)] {
+        let mut row: Vec<Cell> = vec![format!("APPR.RS(k,{r},{g},{h})").into()];
+        for k in 4..=9 {
+            row.push((overhead::appr_rs_improvement(k, r, g, h) * 100.0).into());
+        }
+        t.row(row);
+    }
+    t.note("Paper values: 21.4/18.8/16.7/15.0/13.6/12.5 for (1,2,4); 23.8/20.8/18.5/16.7/15.2/13.9 for (1,2,6).");
+    t
+}
+
+/// Paper Fig. 9: single-write cost for RS, STAR, APPR.RS, APPR.STAR.
+pub fn fig_single_write() -> Vec<Table> {
+    [4usize, 6]
+        .into_iter()
+        .map(|h| {
+            let mut t = Table::new(
+                format!("fig-single-write-h{h}"),
+                format!("Average single-write I/Os (h={h}) — paper Fig. 9"),
+                &[
+                    "k",
+                    "RS(k,3)",
+                    "STAR(k,3)",
+                    "APPR.RS(k,1,2,h)",
+                    "APPR.STAR(k,2,1,h) measured",
+                ],
+            );
+            for k in K_SWEEP {
+                let appr_star: Option<f64> = appr_at(BaseFamily::Star, k, 2, 1, h, Structure::Even)
+                    .map(|c| c.update_pattern().node_writes);
+                let star: Option<f64> = crate::codes::star_at(k)
+                    .map(|c| c.update_pattern().node_writes);
+                t.row(vec![
+                    format!("{k}").into(),
+                    writecost::rs_single_write(3).into(),
+                    star.into(),
+                    writecost::appr_rs_single_write(1, 2, h).into(),
+                    appr_star.into(),
+                ]);
+            }
+            t.note("Measured = element-level writes counted on the instantiated codes; matches the Table 3 formulas (6−4/p for STAR, 1+r+g/h for APPR.RS).");
+            t
+        })
+        .collect()
+}
+
+/// §3.4: P_U / P_I — analytic, exhaustively enumerated against the real
+/// decoder at small scale, and Monte-Carlo at evaluation scale.
+pub fn reliability_table() -> Table {
+    let mut t = Table::new(
+        "reliability",
+        "P_U (f=r+1) and P_I (f=r+g+1) — paper §3.4",
+        &[
+            "code",
+            "P_U analytic %",
+            "P_U measured %",
+            "P_I analytic %",
+            "P_I measured %",
+            "method",
+        ],
+    );
+    // Exact enumeration at the paper's (3,1,2,3) example.
+    for structure in [Structure::Even, Structure::Uneven] {
+        let code = ApproxCode::build_named(BaseFamily::Rs, 3, 1, 2, 3, structure).unwrap();
+        let m2 = reliability::enumerate_reliability(&code, 2);
+        let m4 = reliability::enumerate_reliability(&code, 4);
+        t.row(vec![
+            code.name().into(),
+            (reliability::analytic_p_u(3, 1, 2, 3, structure) * 100.0).into(),
+            (m2.p_u * 100.0).into(),
+            (reliability::analytic_p_i(3, 1, 2, 3, structure) * 100.0).into(),
+            (m4.p_i * 100.0).into(),
+            "exhaustive".into(),
+        ]);
+    }
+    // Monte-Carlo at evaluation scale (k=5, h=4).
+    for family in [BaseFamily::Rs, BaseFamily::Star] {
+        for structure in [Structure::Even, Structure::Uneven] {
+            let code = ApproxCode::build_named(family, 5, 1, 2, 4, structure).unwrap();
+            let m2 = reliability::sample_reliability(&code, 2, 1500, 7);
+            let m4 = reliability::sample_reliability(&code, 4, 1500, 11);
+            t.row(vec![
+                code.name().into(),
+                (reliability::analytic_p_u(5, 1, 2, 4, structure) * 100.0).into(),
+                (m2.p_u * 100.0).into(),
+                (reliability::analytic_p_i(5, 1, 2, 4, structure) * 100.0).into(),
+                (m4.p_i * 100.0).into(),
+                "monte-carlo (1500)".into(),
+            ]);
+        }
+    }
+    t.note("Paper §3.4 headline: APPR.RS(3,1,2,3): P_U 80.21% (Even) / 86.81% (Uneven); P_I 95.50% / 98.50%.");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytic_experiments_produce_populated_tables() {
+        // The measured experiments are exercised by the release-mode
+        // harness; the closed-form ones are cheap enough for the unit
+        // suite and pin the table shapes.
+        let t = tab_properties();
+        assert!(t.rows.len() >= 7, "tab-properties rows");
+        for t in fig_storage() {
+            assert_eq!(t.rows.len(), 6, "{}", t.id);
+            assert_eq!(t.columns.len(), 4);
+        }
+        let t = tab_so();
+        assert_eq!(t.rows.len(), 4);
+        for t in fig_single_write() {
+            assert_eq!(t.rows.len(), crate::codes::K_SWEEP.len());
+        }
+        let t = reliability_table();
+        assert!(t.rows.len() >= 6);
+    }
+
+    #[test]
+    fn reliability_table_matches_paper_numbers() {
+        let t = reliability_table();
+        // First row is APPR.RS(3,1,2,3,Even): P_U analytic column ≈ 80.22.
+        let cell = t.rows[0][1].to_string();
+        let v: f64 = cell.parse().unwrap();
+        assert!((v - 80.22).abs() < 0.01, "{cell}");
+    }
+}

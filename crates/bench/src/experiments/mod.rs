@@ -1,0 +1,62 @@
+//! The experiment registry: one entry per table/figure of the paper.
+
+mod ablations;
+mod analytic;
+mod recovery;
+mod timing;
+mod video;
+
+use crate::Table;
+
+pub use ablations::*;
+pub use analytic::*;
+pub use recovery::*;
+pub use timing::*;
+pub use video::*;
+
+/// All experiment ids, in the order `all` runs them.
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "tab-properties",
+    "fig-storage",
+    "tab-so",
+    "fig-single-write",
+    "reliability",
+    "fig-encoding",
+    "tab-summary",
+    "fig-decoding-2",
+    "fig-decoding-3",
+    "fig-bar",
+    "fig-recovery",
+    "psnr",
+    "ablation-structure",
+    "ablation-h-sweep",
+    "ablation-split",
+    "ablation-cauchy",
+    "ablation-parallel",
+    "ablation-schedule",
+];
+
+/// Runs one experiment by id.
+pub fn run(id: &str) -> Option<Vec<Table>> {
+    Some(match id {
+        "tab-properties" => vec![tab_properties()],
+        "fig-storage" => fig_storage(),
+        "tab-so" => vec![tab_so()],
+        "fig-single-write" => fig_single_write(),
+        "reliability" => vec![reliability_table()],
+        "fig-encoding" => fig_encoding(),
+        "tab-summary" => vec![tab_summary()],
+        "fig-decoding-2" => fig_decoding(2),
+        "fig-decoding-3" => fig_decoding(3),
+        "fig-bar" => vec![fig_bar()],
+        "fig-recovery" => fig_recovery(),
+        "psnr" => vec![psnr_experiment()],
+        "ablation-structure" => vec![ablation_structure()],
+        "ablation-h-sweep" => vec![ablation_h_sweep()],
+        "ablation-split" => vec![ablation_split()],
+        "ablation-cauchy" => vec![ablation_cauchy()],
+        "ablation-parallel" => vec![ablation_parallel()],
+        "ablation-schedule" => vec![ablation_schedule()],
+        _ => return None,
+    })
+}

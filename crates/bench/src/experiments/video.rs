@@ -1,0 +1,88 @@
+//! §5.1's video-quality experiment: interpolated recovery of lost
+//! unimportant frames at various loss rates.
+
+use crate::table::Table;
+use apec_recovery::{recover_lost_frames, Interpolator};
+use apec_video::{decode_stream, encode_stream, psnr_db, FrameType, GopConfig, SyntheticVideo};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Runs one loss-rate trial; returns (mean PSNR, min PSNR, frames lost,
+/// frames interpolated).
+fn trial(loss_pct: f64, method: Interpolator, seed: u64) -> (f64, f64, usize, usize) {
+    let (w, h) = (96, 64);
+    let video = SyntheticVideo::new(w, h, 60.0, seed, 4);
+    let frames = video.frames(240);
+    let gop = GopConfig::default();
+    let encoded = encode_stream(&frames, &gop);
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
+    let mut boxed: Vec<Option<_>> = encoded.into_iter().map(Some).collect();
+    let unimportant: Vec<usize> = boxed
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.as_ref().is_some_and(|f| f.frame_type != FrameType::I))
+        .map(|(i, _)| i)
+        .collect();
+    let losses = ((unimportant.len() as f64 * loss_pct / 100.0).round() as usize).max(1);
+    for &i in unimportant.choose_multiple(&mut rng, losses) {
+        boxed[i] = None;
+    }
+
+    let mut decoded = decode_stream(&boxed, w, h, &gop);
+    let undecodable = decoded.lost_indices().len();
+    let report = recover_lost_frames(&mut decoded, method);
+    let recovered: Vec<usize> = report
+        .interpolated
+        .iter()
+        .chain(&report.extrapolated)
+        .copied()
+        .collect();
+    let mut mean = 0.0;
+    let mut min = f64::INFINITY;
+    for &i in &recovered {
+        let p = psnr_db(&frames[i], decoded.frames[i].as_ref().unwrap());
+        mean += p;
+        min = min.min(p);
+    }
+    if !recovered.is_empty() {
+        mean /= recovered.len() as f64;
+    }
+    (mean, min, undecodable, recovered.len())
+}
+
+/// §5.1: recovered-frame quality at 1% unimportant-frame loss (plus a
+/// stress sweep) for the three interpolators.
+pub fn psnr_experiment() -> Table {
+    let mut t = Table::new(
+        "psnr",
+        "Recovered-frame PSNR after unimportant-frame loss (paper §5.1)",
+        &[
+            "loss % (P/B frames)",
+            "interpolator",
+            "mean dB",
+            "min dB",
+            "frames undecodable",
+            "frames recovered",
+        ],
+    );
+    for loss in [1.0f64, 5.0, 10.0] {
+        for (name, method) in [
+            ("hold", Interpolator::Hold),
+            ("linear", Interpolator::Linear),
+            ("motion-comp", Interpolator::MotionCompensated { search_radius: 3 }),
+        ] {
+            let (mean, min, lost, rec) = trial(loss, method, 31);
+            t.row(vec![
+                format!("{loss}").into(),
+                name.into(),
+                mean.into(),
+                min.into(),
+                format!("{lost}").into(),
+                format!("{rec}").into(),
+            ]);
+        }
+    }
+    t.note("Paper claim: ≥ 35 dB average at 1% loss on 60 fps content. Record losses cascade through P-frame dependency chains first (undecodable ≥ records lost); the interpolator then fills every undecodable index from the nearest surviving anchors.");
+    t
+}

@@ -1,0 +1,20 @@
+//! The evaluation harness: reproduces every table and figure of the
+//! paper's §4 on top of the workspace's real codecs, the analytical
+//! models and the cluster timing simulator.
+//!
+//! Run `cargo run --release -p apec-bench --bin experiments -- all` to
+//! regenerate the complete evaluation, or pass an experiment id
+//! (`fig-storage`, `tab-so`, `fig-single-write`, `fig-encoding`,
+//! `tab-summary`, `fig-decoding-2`, `fig-decoding-3`, `fig-bar`,
+//! `fig-recovery`, `reliability`, `psnr`, `tab-properties`, ablations) —
+//! see `experiments --help`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codes;
+pub mod experiments;
+pub mod table;
+pub mod workload;
+
+pub use table::Table;

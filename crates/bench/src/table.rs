@@ -1,0 +1,181 @@
+//! Result tables: the harness's uniform output format (markdown +
+//! machine-readable JSON).
+
+use serde::Serialize;
+use std::fmt;
+
+/// A cell value: either text or a number formatted on output.
+#[derive(Debug, Clone, Serialize)]
+#[serde(untagged)]
+pub enum Cell {
+    /// Free-form text.
+    Text(String),
+    /// A numeric value, rendered with three significant decimals.
+    Num(f64),
+    /// A missing measurement (the paper's "/" entries, e.g. STAR at
+    /// non-prime k).
+    Missing,
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cell::Text(s) => write!(f, "{s}"),
+            Cell::Num(v) => {
+                if v.abs() >= 1000.0 {
+                    write!(f, "{v:.0}")
+                } else if v.abs() >= 10.0 {
+                    write!(f, "{v:.2}")
+                } else {
+                    write!(f, "{v:.3}")
+                }
+            }
+            Cell::Missing => write!(f, "/"),
+        }
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::Text(s.to_string())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::Text(s)
+    }
+}
+
+impl From<f64> for Cell {
+    fn from(v: f64) -> Self {
+        Cell::Num(v)
+    }
+}
+
+impl From<Option<f64>> for Cell {
+    fn from(v: Option<f64>) -> Self {
+        v.map(Cell::Num).unwrap_or(Cell::Missing)
+    }
+}
+
+/// One experiment's result table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Experiment id (e.g. `fig-encoding`).
+    pub id: String,
+    /// Human title, mirrors the paper's caption.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row data.
+    pub rows: Vec<Vec<Cell>>,
+    /// Free-form notes (workload parameters, expected shape vs paper).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<Cell>) -> &mut Self {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, s: impl Into<String>) -> &mut Self {
+        self.notes.push(s.into());
+        self
+    }
+
+    /// Renders as a markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|c| c.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("### {} — {}\n\n", self.id, self.title));
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        out.push_str(&format!("| {} |\n", header.join(" | ")));
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("| {} |\n", sep.join(" | ")));
+        for row in &rendered {
+            let cells: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            out.push_str(&format!("| {} |\n", cells.join(" | ")));
+        }
+        for note in &self.notes {
+            out.push_str(&format!("\n> {note}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_renders_and_aligns() {
+        let mut t = Table::new("t1", "demo", &["k", "value"]);
+        t.row(vec!["5".into(), 1.5.into()]);
+        t.row(vec!["17".into(), Cell::Missing]);
+        t.note("a note");
+        let md = t.to_markdown();
+        assert!(md.contains("### t1 — demo"));
+        assert!(md.contains("| 5 "));
+        assert!(md.contains("| /"));
+        assert!(md.contains("> a note"));
+    }
+
+    #[test]
+    fn cell_formatting() {
+        assert_eq!(Cell::Num(1234.5).to_string(), "1234");
+        assert_eq!(Cell::Num(45.678).to_string(), "45.68");
+        assert_eq!(Cell::Num(1.23456).to_string(), "1.235");
+        assert_eq!(Cell::from(None::<f64>).to_string(), "/");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_panics() {
+        let mut t = Table::new("t", "t", &["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn json_serialises() {
+        let mut t = Table::new("t2", "json", &["a"]);
+        t.row(vec![2.0.into()]);
+        let s = serde_json::to_string(&t).unwrap();
+        assert!(s.contains("\"id\":\"t2\""));
+        assert!(s.contains("2.0"));
+    }
+}

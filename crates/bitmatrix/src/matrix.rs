@@ -1,0 +1,324 @@
+//! A dense bit matrix over GF(2) with word-packed rows.
+
+/// A dense matrix over GF(2).
+///
+/// Rows are packed into `u64` words, so row XOR — the only operation
+/// Gaussian elimination needs — runs 64 columns at a time. Matrices here are
+/// small (a few hundred columns at most: one column per stripe *element*),
+/// so no further blocking is needed.
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    data: Vec<u64>,
+}
+
+impl std::fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "BitMatrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  ")?;
+            for c in 0..self.cols {
+                write!(f, "{}", u8::from(self.get(r, c)))?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl BitMatrix {
+    /// Creates an all-zero matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        let words_per_row = cols.div_ceil(64).max(1);
+        BitMatrix {
+            rows,
+            cols,
+            words_per_row,
+            data: vec![0; rows * words_per_row],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads the bit at (r, c).
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        debug_assert!(r < self.rows && c < self.cols);
+        let w = self.data[r * self.words_per_row + c / 64];
+        (w >> (c % 64)) & 1 == 1
+    }
+
+    /// Sets the bit at (r, c).
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: bool) {
+        debug_assert!(r < self.rows && c < self.cols);
+        let w = &mut self.data[r * self.words_per_row + c / 64];
+        if v {
+            *w |= 1 << (c % 64);
+        } else {
+            *w &= !(1 << (c % 64));
+        }
+    }
+
+    /// Flips the bit at (r, c).
+    #[inline]
+    pub fn flip(&mut self, r: usize, c: usize) {
+        let w = &mut self.data[r * self.words_per_row + c / 64];
+        *w ^= 1 << (c % 64);
+    }
+
+    /// `row[dst] ^= row[src]`.
+    pub fn xor_rows(&mut self, src: usize, dst: usize) {
+        assert_ne!(src, dst, "cannot xor a row into itself");
+        let wpr = self.words_per_row;
+        let (lo, hi) = (src.min(dst), src.max(dst));
+        let (head, tail) = self.data.split_at_mut(hi * wpr);
+        let lo_row = &head[lo * wpr..lo * wpr + wpr];
+        let hi_row = &mut tail[..wpr];
+        if src < dst {
+            for (d, s) in hi_row.iter_mut().zip(lo_row) {
+                *d ^= *s;
+            }
+        } else {
+            // dst < src: we need the high row as source; re-split immutably.
+            let src_copy: Vec<u64> = hi_row.to_vec();
+            let dst_row = &mut head[lo * wpr..lo * wpr + wpr];
+            for (d, s) in dst_row.iter_mut().zip(&src_copy) {
+                *d ^= *s;
+            }
+        }
+    }
+
+    /// Swaps two rows.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let wpr = self.words_per_row;
+        let (lo, hi) = (a.min(b), a.max(b));
+        let (head, tail) = self.data.split_at_mut(hi * wpr);
+        head[lo * wpr..lo * wpr + wpr].swap_with_slice(&mut tail[..wpr]);
+    }
+
+    /// Returns `true` if row `r` is entirely zero.
+    pub fn row_is_zero(&self, r: usize) -> bool {
+        self.data[r * self.words_per_row..(r + 1) * self.words_per_row]
+            .iter()
+            .all(|&w| w == 0)
+    }
+
+    /// Column indices of the set bits in row `r`, ascending.
+    pub fn row_ones(&self, r: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (wi, &w) in self.data[r * self.words_per_row..(r + 1) * self.words_per_row]
+            .iter()
+            .enumerate()
+        {
+            let mut w = w;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                let c = wi * 64 + bit;
+                if c < self.cols {
+                    out.push(c);
+                }
+                w &= w - 1;
+            }
+        }
+        out
+    }
+
+    /// Rank of the matrix (destructive elimination on a copy).
+    pub fn rank(&self) -> usize {
+        let mut work = self.clone();
+        let mut rank = 0;
+        for col in 0..work.cols {
+            if rank == work.rows {
+                break;
+            }
+            let Some(pivot) = (rank..work.rows).find(|&r| work.get(r, col)) else {
+                continue;
+            };
+            work.swap_rows(pivot, rank);
+            for r in 0..work.rows {
+                if r != rank && work.get(r, col) {
+                    work.xor_rows(rank, r);
+                }
+            }
+            rank += 1;
+        }
+        rank
+    }
+
+    /// Reduced row echelon form, in place. Returns the pivot column of each
+    /// pivot row (so `pivots.len()` is the rank).
+    pub fn rref(&mut self) -> Vec<usize> {
+        let mut pivots = Vec::new();
+        let mut rank = 0;
+        for col in 0..self.cols {
+            if rank == self.rows {
+                break;
+            }
+            let Some(pivot) = (rank..self.rows).find(|&r| self.get(r, col)) else {
+                continue;
+            };
+            self.swap_rows(pivot, rank);
+            for r in 0..self.rows {
+                if r != rank && self.get(r, col) {
+                    self.xor_rows(rank, r);
+                }
+            }
+            pivots.push(col);
+            rank += 1;
+        }
+        pivots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn set_get_flip() {
+        let mut m = BitMatrix::new(3, 130);
+        assert!(!m.get(2, 129));
+        m.set(2, 129, true);
+        assert!(m.get(2, 129));
+        m.flip(2, 129);
+        assert!(!m.get(2, 129));
+        m.flip(0, 0);
+        assert!(m.get(0, 0));
+    }
+
+    #[test]
+    fn xor_rows_both_directions() {
+        let mut m = BitMatrix::new(2, 70);
+        m.set(0, 3, true);
+        m.set(0, 69, true);
+        m.set(1, 3, true);
+        m.xor_rows(0, 1); // forward: src < dst
+        assert!(!m.get(1, 3));
+        assert!(m.get(1, 69));
+        m.xor_rows(1, 0); // backward: src > dst
+        assert!(m.get(0, 3));
+        assert!(!m.get(0, 69));
+    }
+
+    #[test]
+    fn row_ones_reports_sorted_columns() {
+        let mut m = BitMatrix::new(1, 200);
+        for c in [0, 63, 64, 127, 128, 199] {
+            m.set(0, c, true);
+        }
+        assert_eq!(m.row_ones(0), vec![0, 63, 64, 127, 128, 199]);
+    }
+
+    #[test]
+    fn identity_has_full_rank() {
+        let mut m = BitMatrix::new(10, 10);
+        for i in 0..10 {
+            m.set(i, i, true);
+        }
+        assert_eq!(m.rank(), 10);
+    }
+
+    #[test]
+    fn dependent_rows_reduce_rank() {
+        let mut m = BitMatrix::new(3, 4);
+        // r0 = 1100, r1 = 0110, r2 = r0 ^ r1 = 1010
+        m.set(0, 0, true);
+        m.set(0, 1, true);
+        m.set(1, 1, true);
+        m.set(1, 2, true);
+        m.set(2, 0, true);
+        m.set(2, 2, true);
+        assert_eq!(m.rank(), 2);
+    }
+
+    #[test]
+    fn rref_produces_unit_pivot_columns() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut m = BitMatrix::new(6, 9);
+        for r in 0..6 {
+            for c in 0..9 {
+                m.set(r, c, rng.random());
+            }
+        }
+        let pivots = m.rref();
+        for (prow, &pcol) in pivots.iter().enumerate() {
+            for r in 0..m.rows() {
+                assert_eq!(m.get(r, pcol), r == prow, "pivot col {pcol} not unit");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rows_detected() {
+        let mut m = BitMatrix::new(2, 65);
+        assert!(m.row_is_zero(0));
+        m.set(0, 64, true);
+        assert!(!m.row_is_zero(0));
+        assert!(m.row_is_zero(1));
+    }
+
+    proptest! {
+        #[test]
+        fn rank_invariant_under_row_shuffles(seed in 0u64..500, rows in 1usize..8, cols in 1usize..100) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut m = BitMatrix::new(rows, cols);
+            for r in 0..rows {
+                for c in 0..cols {
+                    m.set(r, c, rng.random());
+                }
+            }
+            let base = m.rank();
+            let mut shuffled = m.clone();
+            for _ in 0..8 {
+                let a = rng.random_range(0..rows);
+                let b = rng.random_range(0..rows);
+                shuffled.swap_rows(a, b);
+            }
+            prop_assert_eq!(shuffled.rank(), base);
+
+            // xoring one row into another is also rank-preserving
+            if rows >= 2 {
+                let mut xored = m.clone();
+                xored.xor_rows(0, rows - 1);
+                if rows - 1 != 0 {
+                    prop_assert_eq!(xored.rank(), base);
+                }
+            }
+        }
+
+        #[test]
+        fn rref_rank_matches_rank(seed in 0u64..500) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let rows = rng.random_range(1..10usize);
+            let cols = rng.random_range(1..80usize);
+            let mut m = BitMatrix::new(rows, cols);
+            for r in 0..rows {
+                for c in 0..cols {
+                    m.set(r, c, rng.random_bool(0.3));
+                }
+            }
+            let rank = m.rank();
+            let mut rrefed = m.clone();
+            let pivots = rrefed.rref();
+            prop_assert_eq!(pivots.len(), rank);
+        }
+    }
+}

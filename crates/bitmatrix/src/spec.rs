@@ -1,0 +1,685 @@
+//! Declarative XOR-code specifications and compiled recovery plans.
+
+use crate::matrix::BitMatrix;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Index of one *element* of a stripe.
+///
+/// An XOR array code lays a stripe out as `n_cols` columns (storage nodes)
+/// of `rows_per_col` equal-size blocks each; an element is one such block.
+/// Element `e` lives at column `e / rows_per_col`, row `e % rows_per_col`.
+pub type ElementIndex = usize;
+
+/// Errors from the symbolic solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// The erasure pattern exceeds what the parity equations can repair.
+    Unrecoverable {
+        /// Elements that could not be expressed in terms of known elements.
+        unsolved: Vec<ElementIndex>,
+    },
+    /// An element index was out of range for this spec.
+    ElementOutOfRange {
+        /// The offending index.
+        index: ElementIndex,
+        /// Total number of elements in the spec.
+        total: usize,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Unrecoverable { unsolved } => {
+                write!(f, "erasure pattern unrecoverable; unsolved elements: {unsolved:?}")
+            }
+            SolveError::ElementOutOfRange { index, total } => {
+                write!(f, "element index {index} out of range (total {total})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// A single recovery step: `target = sources[0] ^ sources[1] ^ ...`.
+///
+/// All sources are guaranteed to be non-erased elements, so steps are
+/// independent and may be applied in any order (or in parallel).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryStep {
+    /// The erased element this step reconstructs.
+    pub target: ElementIndex,
+    /// The surviving elements whose XOR equals the target.
+    pub sources: Vec<ElementIndex>,
+}
+
+/// A compiled plan reconstructing a set of erased elements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryPlan {
+    /// One step per recovered element.
+    pub steps: Vec<RecoveryStep>,
+}
+
+impl RecoveryPlan {
+    /// Total number of source-element XORs the plan performs — the paper's
+    /// "length of parity chains" cost in element units.
+    pub fn xor_cost(&self) -> usize {
+        self.steps.iter().map(|s| s.sources.len()).sum()
+    }
+
+    /// Replays the plan over real data: `elements[i]` is the block of
+    /// element `i`; erased targets are overwritten with recovered bytes.
+    ///
+    /// # Panics
+    /// Panics if blocks have inconsistent lengths or indices are out of
+    /// range — both indicate misuse, not data-dependent failure.
+    pub fn apply(&self, elements: &mut [Vec<u8>]) {
+        for step in &self.steps {
+            let (first, rest) = step
+                .sources
+                .split_first()
+                .expect("recovery step always has at least one source");
+            let mut acc = elements[*first].clone();
+            for &s in rest {
+                let src = &elements[s];
+                assert_eq!(src.len(), acc.len(), "inconsistent element block sizes");
+                for (d, b) in acc.iter_mut().zip(src) {
+                    *d ^= *b;
+                }
+            }
+            elements[step.target] = acc;
+        }
+    }
+}
+
+/// A declarative description of an XOR array code.
+///
+/// The spec says nothing about *how* parities were derived (diagonals,
+/// anti-diagonals, adjusters...) — only which elements XOR to zero. That is
+/// all encoding and decoding need.
+#[derive(Debug, Clone)]
+pub struct XorCodeSpec {
+    /// Number of columns (storage nodes) in the stripe.
+    pub n_cols: usize,
+    /// Number of element rows per column.
+    pub rows_per_col: usize,
+    /// Elements that carry user data, ascending.
+    pub data_elements: Vec<ElementIndex>,
+    /// Elements that carry parity, in *encoding order* (a parity's support
+    /// may reference earlier parities but never later ones).
+    pub parity_elements: Vec<ElementIndex>,
+    /// `parity_support[i]` lists the elements XORed to form
+    /// `parity_elements[i]`.
+    pub parity_support: Vec<Vec<ElementIndex>>,
+}
+
+impl XorCodeSpec {
+    /// Total number of elements in the stripe.
+    pub fn total_elements(&self) -> usize {
+        self.n_cols * self.rows_per_col
+    }
+
+    /// The elements of one column, ascending.
+    pub fn column_elements(&self, col: usize) -> Vec<ElementIndex> {
+        (0..self.rows_per_col)
+            .map(|r| col * self.rows_per_col + r)
+            .collect()
+    }
+
+    /// The column an element lives in.
+    pub fn column_of(&self, e: ElementIndex) -> usize {
+        e / self.rows_per_col
+    }
+
+    /// Expands a set of failed columns into the erased element set.
+    pub fn erase_columns(&self, cols: &[usize]) -> Vec<ElementIndex> {
+        let mut out = Vec::with_capacity(cols.len() * self.rows_per_col);
+        for &c in cols {
+            out.extend(self.column_elements(c));
+        }
+        out
+    }
+
+    /// Structural validation; returns a human-readable description of the
+    /// first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        let total = self.total_elements();
+        if self.parity_elements.len() != self.parity_support.len() {
+            return Err(format!(
+                "{} parity elements but {} support sets",
+                self.parity_elements.len(),
+                self.parity_support.len()
+            ));
+        }
+        let data: HashSet<_> = self.data_elements.iter().copied().collect();
+        let parity: HashSet<_> = self.parity_elements.iter().copied().collect();
+        if data.len() != self.data_elements.len() {
+            return Err("duplicate data elements".into());
+        }
+        if parity.len() != self.parity_elements.len() {
+            return Err("duplicate parity elements".into());
+        }
+        if let Some(&e) = data.intersection(&parity).next() {
+            return Err(format!("element {e} is both data and parity"));
+        }
+        if data.len() + parity.len() != total {
+            return Err(format!(
+                "{} data + {} parity != {} total elements",
+                data.len(),
+                parity.len(),
+                total
+            ));
+        }
+        for (i, support) in self.parity_support.iter().enumerate() {
+            if support.is_empty() {
+                return Err(format!("parity {i} has empty support"));
+            }
+            let uniq: HashSet<_> = support.iter().copied().collect();
+            if uniq.len() != support.len() {
+                return Err(format!("parity {i} has duplicate support elements"));
+            }
+            for &e in support {
+                if e >= total {
+                    return Err(format!("parity {i} references out-of-range element {e}"));
+                }
+                if parity.contains(&e) {
+                    // Referencing an earlier parity is fine (RDP's diagonal
+                    // parity crosses the row-parity column); forward
+                    // references would make encoding order-ill-defined.
+                    let pos = self
+                        .parity_elements
+                        .iter()
+                        .position(|&p| p == e)
+                        .expect("checked membership");
+                    if pos >= i {
+                        return Err(format!(
+                            "parity {i} references parity element {e} that is not yet encoded"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Encodes in place: computes every parity element from the data
+    /// elements already present in `elements`.
+    ///
+    /// # Panics
+    /// Panics on inconsistent block sizes or if `elements.len()` differs
+    /// from [`XorCodeSpec::total_elements`].
+    pub fn encode(&self, elements: &mut [Vec<u8>]) {
+        assert_eq!(elements.len(), self.total_elements(), "element count mismatch");
+        for (i, &p) in self.parity_elements.iter().enumerate() {
+            let support = &self.parity_support[i];
+            let (first, rest) = support.split_first().expect("validated non-empty support");
+            let mut acc = elements[*first].clone();
+            for &s in rest {
+                let src = &elements[s];
+                assert_eq!(src.len(), acc.len(), "inconsistent element block sizes");
+                for (d, b) in acc.iter_mut().zip(src) {
+                    *d ^= *b;
+                }
+            }
+            elements[p] = acc;
+        }
+    }
+
+    /// Number of XOR source reads performed by a full encode — used by the
+    /// analytical cost models.
+    pub fn encode_xor_cost(&self) -> usize {
+        self.parity_support.iter().map(|s| s.len()).sum()
+    }
+
+    /// Solves the erasure pattern symbolically and compiles a
+    /// [`RecoveryPlan`].
+    ///
+    /// The solver builds one GF(2) equation per parity (the parity element
+    /// plus its support XOR to zero), splits each equation into erased
+    /// (unknown) and surviving (known) parts, and row-reduces the unknown
+    /// side. A pivot row whose unknown support is a single element yields a
+    /// recovery step; if any erased element ends up without such a row the
+    /// pattern is unrecoverable and the error lists the stuck elements.
+    pub fn recovery_plan(&self, erased: &[ElementIndex]) -> Result<RecoveryPlan, SolveError> {
+        let (plan, unsolved) = self.partial_recovery_plan(erased)?;
+        if unsolved.is_empty() {
+            Ok(plan)
+        } else {
+            Err(SolveError::Unrecoverable { unsolved })
+        }
+    }
+
+    /// Like [`XorCodeSpec::recovery_plan`], but never fails on
+    /// unrecoverable patterns: it returns the plan for every erased element
+    /// that *can* be expressed in surviving elements, plus the list of
+    /// elements that cannot. This drives the Approximate-Code tiered
+    /// recovery path, where losing unimportant elements is acceptable.
+    pub fn partial_recovery_plan(
+        &self,
+        erased: &[ElementIndex],
+    ) -> Result<(RecoveryPlan, Vec<ElementIndex>), SolveError> {
+        let total = self.total_elements();
+        for &e in erased {
+            if e >= total {
+                return Err(SolveError::ElementOutOfRange { index: e, total });
+            }
+        }
+        if erased.is_empty() {
+            return Ok((RecoveryPlan { steps: Vec::new() }, Vec::new()));
+        }
+
+        // Map element -> unknown column.
+        let mut unknown_col = vec![usize::MAX; total];
+        let mut unknowns: Vec<ElementIndex> = erased.to_vec();
+        unknowns.sort_unstable();
+        unknowns.dedup();
+        for (i, &e) in unknowns.iter().enumerate() {
+            unknown_col[e] = i;
+        }
+        let u = unknowns.len();
+
+        // Augmented system: [unknown part | known part], known part indexed
+        // by raw element id.
+        let n_eq = self.parity_elements.len();
+        let mut m = BitMatrix::new(n_eq, u + total);
+        for (row, (&p, support)) in self
+            .parity_elements
+            .iter()
+            .zip(&self.parity_support)
+            .enumerate()
+        {
+            for &e in support.iter().chain(std::iter::once(&p)) {
+                if unknown_col[e] != usize::MAX {
+                    m.flip(row, unknown_col[e]);
+                } else {
+                    m.flip(row, u + e);
+                }
+            }
+        }
+
+        // Eliminate on the unknown columns only.
+        let mut rank = 0;
+        for col in 0..u {
+            let Some(pivot) = (rank..n_eq).find(|&r| m.get(r, col)) else {
+                continue;
+            };
+            m.swap_rows(pivot, rank);
+            for r in 0..n_eq {
+                if r != rank && m.get(r, col) {
+                    m.xor_rows(rank, r);
+                }
+            }
+            rank += 1;
+        }
+
+        // Harvest rows that solve exactly one unknown.
+        let mut steps = Vec::with_capacity(u);
+        let mut solved = vec![false; u];
+        for r in 0..rank.min(n_eq) {
+            let ones = m.row_ones(r);
+            let unknown_ones: Vec<usize> = ones.iter().copied().filter(|&c| c < u).collect();
+            if unknown_ones.len() != 1 {
+                continue;
+            }
+            let target_col = unknown_ones[0];
+            let sources: Vec<ElementIndex> =
+                ones.iter().copied().filter(|&c| c >= u).map(|c| c - u).collect();
+            if sources.is_empty() {
+                // Equation says the element is identically zero; encode that
+                // as an empty-source step is not representable, and it can
+                // only arise from degenerate specs. Treat as unsolved.
+                continue;
+            }
+            steps.push(RecoveryStep {
+                target: unknowns[target_col],
+                sources,
+            });
+            solved[target_col] = true;
+        }
+
+        let unsolved: Vec<ElementIndex> = unknowns
+            .iter()
+            .zip(&solved)
+            .filter(|(_, &s)| !s)
+            .map(|(&e, _)| e)
+            .collect();
+        Ok((RecoveryPlan { steps }, unsolved))
+    }
+
+    /// `true` when the erasure pattern is fully recoverable.
+    pub fn can_recover(&self, erased: &[ElementIndex]) -> bool {
+        self.recovery_plan(erased).is_ok()
+    }
+
+    /// `true` when losing exactly the given columns is recoverable.
+    pub fn can_recover_columns(&self, cols: &[usize]) -> bool {
+        self.can_recover(&self.erase_columns(cols))
+    }
+
+    /// Exhaustively verifies that *every* combination of `f` failed columns
+    /// is recoverable. Returns the first failing combination, if any.
+    pub fn verify_column_fault_tolerance(&self, f: usize) -> Option<Vec<usize>> {
+        let n = self.n_cols;
+        let mut combo: Vec<usize> = (0..f).collect();
+        if f == 0 || f > n {
+            return None;
+        }
+        loop {
+            if !self.can_recover_columns(&combo) {
+                return Some(combo);
+            }
+            // Next combination in lexicographic order.
+            let mut i = f;
+            loop {
+                if i == 0 {
+                    return None;
+                }
+                i -= 1;
+                if combo[i] != i + n - f {
+                    break;
+                }
+                if i == 0 {
+                    return None;
+                }
+            }
+            combo[i] += 1;
+            for j in i + 1..f {
+                combo[j] = combo[j - 1] + 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    /// A toy RAID-4 over 3 data columns + 1 parity column, 2 rows.
+    fn raid4() -> XorCodeSpec {
+        let rows = 2;
+        XorCodeSpec {
+            n_cols: 4,
+            rows_per_col: rows,
+            data_elements: (0..6).collect(),
+            parity_elements: vec![6, 7],
+            parity_support: vec![vec![0, 2, 4], vec![1, 3, 5]],
+        }
+    }
+
+    fn random_elements(spec: &XorCodeSpec, block: usize, seed: u64) -> Vec<Vec<u8>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut elems = vec![vec![0u8; block]; spec.total_elements()];
+        for &d in &spec.data_elements {
+            rng.fill(elems[d].as_mut_slice());
+        }
+        let mut full = elems.clone();
+        spec.encode(&mut full);
+        full
+    }
+
+    #[test]
+    fn raid4_validates() {
+        raid4().validate().unwrap();
+    }
+
+    #[test]
+    fn raid4_single_column_recovery() {
+        let spec = raid4();
+        let full = random_elements(&spec, 64, 1);
+        for col in 0..4 {
+            let erased = spec.erase_columns(&[col]);
+            let plan = spec.recovery_plan(&erased).unwrap();
+            let mut damaged = full.clone();
+            for &e in &erased {
+                damaged[e] = vec![0xAA; 64];
+            }
+            plan.apply(&mut damaged);
+            assert_eq!(damaged, full, "column {col} not recovered");
+        }
+    }
+
+    #[test]
+    fn raid4_double_column_fails() {
+        let spec = raid4();
+        let erased = spec.erase_columns(&[0, 1]);
+        match spec.recovery_plan(&erased) {
+            Err(SolveError::Unrecoverable { unsolved }) => assert!(!unsolved.is_empty()),
+            other => panic!("expected Unrecoverable, got {other:?}"),
+        }
+        assert_eq!(spec.verify_column_fault_tolerance(1), None);
+        assert!(spec.verify_column_fault_tolerance(2).is_some());
+    }
+
+    #[test]
+    fn partial_element_erasure_within_one_column() {
+        let spec = raid4();
+        let full = random_elements(&spec, 16, 2);
+        // Erase one element from col 0 and one from col 1 — different rows,
+        // so both parities can still repair them.
+        let erased = vec![0usize, 3];
+        let plan = spec.recovery_plan(&erased).unwrap();
+        let mut damaged = full.clone();
+        damaged[0] = vec![0; 16];
+        damaged[3] = vec![0; 16];
+        plan.apply(&mut damaged);
+        assert_eq!(damaged, full);
+    }
+
+    #[test]
+    fn same_row_double_erasure_unrecoverable() {
+        let spec = raid4();
+        // Elements 0 and 2 share the row-0 parity; with only one equation
+        // covering both, recovery must fail.
+        assert!(!spec.can_recover(&[0, 2]));
+    }
+
+    #[test]
+    fn empty_erasure_gives_empty_plan() {
+        let spec = raid4();
+        let plan = spec.recovery_plan(&[]).unwrap();
+        assert!(plan.steps.is_empty());
+        assert_eq!(plan.xor_cost(), 0);
+    }
+
+    #[test]
+    fn out_of_range_element_rejected() {
+        let spec = raid4();
+        assert!(matches!(
+            spec.recovery_plan(&[99]),
+            Err(SolveError::ElementOutOfRange { index: 99, total: 8 })
+        ));
+    }
+
+    #[test]
+    fn parity_referencing_earlier_parity_is_valid() {
+        // Two rows, 3 cols: col2 row0 = p0 over data, col2 row1 = p1 that
+        // includes p0 (like RDP's diagonal crossing the row parity).
+        let spec = XorCodeSpec {
+            n_cols: 3,
+            rows_per_col: 2,
+            data_elements: vec![0, 1, 2, 3],
+            parity_elements: vec![4, 5],
+            parity_support: vec![vec![0, 2], vec![1, 3, 4]],
+        };
+        spec.validate().unwrap();
+        let full = random_elements(&spec, 8, 3);
+        // Losing the parity column is recoverable by re-encoding.
+        let erased = spec.erase_columns(&[2]);
+        let plan = spec.recovery_plan(&erased).unwrap();
+        let mut damaged = full.clone();
+        for &e in &erased {
+            damaged[e] = vec![0; 8];
+        }
+        plan.apply(&mut damaged);
+        assert_eq!(damaged, full);
+    }
+
+    #[test]
+    fn forward_parity_reference_rejected() {
+        let spec = XorCodeSpec {
+            n_cols: 3,
+            rows_per_col: 1,
+            data_elements: vec![0],
+            parity_elements: vec![1, 2],
+            parity_support: vec![vec![0, 2], vec![0]],
+        };
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_overlap_and_gaps() {
+        let mut spec = raid4();
+        spec.data_elements.push(6); // 6 is parity
+        assert!(spec.validate().is_err());
+
+        let mut spec = raid4();
+        spec.data_elements.pop(); // element 5 now unassigned
+        assert!(spec.validate().is_err());
+
+        let mut spec = raid4();
+        spec.parity_support[0] = vec![]; // empty support
+        assert!(spec.validate().is_err());
+
+        let mut spec = raid4();
+        spec.parity_support[0] = vec![0, 0]; // duplicate support
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn xor_cost_counts_sources() {
+        let spec = raid4();
+        assert_eq!(spec.encode_xor_cost(), 6);
+        let plan = spec.recovery_plan(&spec.erase_columns(&[0])).unwrap();
+        // Each of the two erased elements is rebuilt from 3 sources.
+        assert_eq!(plan.xor_cost(), 6);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    /// Builds a randomized "LRC-ish" spec: `cols` data columns of `rows`
+    /// elements, plus one parity column whose elements each cover a random
+    /// non-empty subset of data elements in their row, plus one extra
+    /// parity column covering random diagonal-ish subsets.
+    fn random_spec(cols: usize, rows: usize, seed: u64) -> XorCodeSpec {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_cols = cols + 2;
+        let data_elements: Vec<usize> = (0..cols * rows).collect();
+        let mut parity_elements = Vec::new();
+        let mut parity_support = Vec::new();
+        for pcol in [cols, cols + 1] {
+            for t in 0..rows {
+                parity_elements.push(pcol * rows + t);
+                let mut support: Vec<usize> = (0..cols)
+                    .filter(|_| rng.random_bool(0.7))
+                    .map(|j| j * rows + (t + j * (pcol - cols)) % rows)
+                    .collect();
+                if support.is_empty() {
+                    support.push((t * rows) % (cols * rows));
+                }
+                support.sort_unstable();
+                support.dedup();
+                parity_support.push(support);
+            }
+        }
+        XorCodeSpec {
+            n_cols,
+            rows_per_col: rows,
+            data_elements,
+            parity_elements,
+            parity_support,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Soundness: whatever the solver claims to recover must be
+        /// byte-exact, for arbitrary random codes and erasure sets —
+        /// even when parts of the pattern are unrecoverable.
+        #[test]
+        fn partial_plans_are_always_sound(
+            seed: u64,
+            cols in 2usize..6,
+            rows in 1usize..4,
+            n_erased in 1usize..8,
+        ) {
+            let spec = random_spec(cols, rows, seed);
+            prop_assume!(spec.validate().is_ok());
+
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+            let block = 16usize;
+            let mut elements = vec![vec![0u8; block]; spec.total_elements()];
+            for &d in &spec.data_elements {
+                rng.fill(elements[d].as_mut_slice());
+            }
+            spec.encode(&mut elements);
+            let truth = elements.clone();
+
+            let mut all: Vec<usize> = (0..spec.total_elements()).collect();
+            all.shuffle(&mut rng);
+            let erased: Vec<usize> = all[..n_erased.min(all.len())].to_vec();
+
+            let (plan, unsolved) = spec.partial_recovery_plan(&erased).unwrap();
+            // Solved + unsolved partitions the erased set.
+            let mut accounted: Vec<usize> =
+                plan.steps.iter().map(|s| s.target).chain(unsolved.iter().copied()).collect();
+            accounted.sort_unstable();
+            let mut want = erased.clone();
+            want.sort_unstable();
+            want.dedup();
+            prop_assert_eq!(accounted, want);
+
+            // Sources never reference erased elements.
+            for step in &plan.steps {
+                for &s in &step.sources {
+                    prop_assert!(!erased.contains(&s), "plan reads erased element {s}");
+                }
+            }
+
+            // Applying the plan restores exactly the solved elements.
+            let mut damaged = truth.clone();
+            for &e in &erased {
+                damaged[e] = vec![0xEE; block];
+            }
+            plan.apply(&mut damaged);
+            for step in &plan.steps {
+                prop_assert_eq!(
+                    &damaged[step.target], &truth[step.target],
+                    "solved element {} wrong", step.target
+                );
+            }
+        }
+
+        /// Completeness on a known-good family: EVENODD-style single-column
+        /// erasures always produce a full plan.
+        #[test]
+        fn single_column_erasure_of_random_spec_with_row_parity(seed: u64, cols in 2usize..6) {
+            // Row-parity-only spec: every data column recoverable from the
+            // parity column.
+            let rows = 3usize;
+            let data_elements: Vec<usize> = (0..cols * rows).collect();
+            let spec = XorCodeSpec {
+                n_cols: cols + 1,
+                rows_per_col: rows,
+                data_elements,
+                parity_elements: (0..rows).map(|t| cols * rows + t).collect(),
+                parity_support: (0..rows)
+                    .map(|t| (0..cols).map(|j| j * rows + t).collect())
+                    .collect(),
+            };
+            spec.validate().unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let col = rng.random_range(0..cols + 1);
+            prop_assert!(spec.can_recover_columns(&[col]));
+        }
+    }
+}

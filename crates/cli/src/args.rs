@@ -1,0 +1,198 @@
+//! A small, dependency-free flag parser.
+//!
+//! Grammar: `--name value` pairs in any order, plus bare positionals.
+//! Flags may repeat (`--node 1 --node 2`). [`Args::finish`] rejects any
+//! flag that was never consumed, so typos fail loudly instead of being
+//! ignored.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::str::FromStr;
+
+/// A CLI usage error.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parsed arguments with consumption tracking.
+pub struct Args {
+    flags: RefCell<Vec<(String, String, bool)>>, // (name, value, consumed)
+    positionals: RefCell<Vec<(String, bool)>>,
+}
+
+impl Args {
+    /// Splits raw arguments into flags and positionals.
+    pub fn parse(raw: &[String]) -> Result<Args, CliError> {
+        let mut flags = Vec::new();
+        let mut positionals = Vec::new();
+        let mut it = raw.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError(format!("--{name} needs a value")))?;
+                flags.push((name.to_string(), value.clone(), false));
+            } else {
+                positionals.push((a.clone(), false));
+            }
+        }
+        Ok(Args {
+            flags: RefCell::new(flags),
+            positionals: RefCell::new(positionals),
+        })
+    }
+
+    fn take(&self, name: &str) -> Option<String> {
+        let mut flags = self.flags.borrow_mut();
+        for (n, v, consumed) in flags.iter_mut() {
+            if n == name && !*consumed {
+                *consumed = true;
+                return Some(v.clone());
+            }
+        }
+        None
+    }
+
+    /// A required flag, parsed.
+    pub fn require<T: FromStr>(&self, name: &str) -> Result<T, CliError>
+    where
+        T::Err: fmt::Display,
+    {
+        let v = self
+            .take(name)
+            .ok_or_else(|| CliError(format!("missing required --{name}")))?;
+        v.parse()
+            .map_err(|e| CliError(format!("--{name} '{v}': {e}")))
+    }
+
+    /// An optional flag with a default.
+    pub fn get_or<T: FromStr>(&self, name: &str, default: T) -> Result<T, CliError>
+    where
+        T::Err: fmt::Display,
+    {
+        match self.take(name) {
+            Some(v) => v
+                .parse()
+                .map_err(|e| CliError(format!("--{name} '{v}': {e}"))),
+            None => Ok(default),
+        }
+    }
+
+    /// An optional string flag with a default.
+    pub fn get_or_str(&self, name: &str, default: &str) -> Result<String, CliError> {
+        Ok(self.take(name).unwrap_or_else(|| default.to_string()))
+    }
+
+    /// Every occurrence of a repeatable flag.
+    pub fn all<T: FromStr>(&self, name: &str) -> Result<Vec<T>, CliError>
+    where
+        T::Err: fmt::Display,
+    {
+        let mut out = Vec::new();
+        while let Some(v) = self.take(name) {
+            out.push(
+                v.parse()
+                    .map_err(|e| CliError(format!("--{name} '{v}': {e}")))?,
+            );
+        }
+        Ok(out)
+    }
+
+    /// The `idx`-th positional argument.
+    pub fn positional<T: FromStr>(&self, idx: usize, what: &str) -> Result<T, CliError>
+    where
+        T::Err: fmt::Display,
+    {
+        let mut pos = self.positionals.borrow_mut();
+        let (v, consumed) = pos
+            .get_mut(idx)
+            .ok_or_else(|| CliError(format!("missing argument: {what}")))?;
+        *consumed = true;
+        v.parse()
+            .map_err(|e| CliError(format!("{what} '{v}': {e}")))
+    }
+
+    /// Fails if anything was passed but never consumed.
+    pub fn finish(&self) -> Result<(), CliError> {
+        let leftover_flags: Vec<String> = self
+            .flags
+            .borrow()
+            .iter()
+            .filter(|(_, _, consumed)| !consumed)
+            .map(|(n, _, _)| format!("--{n}"))
+            .collect();
+        let leftover_pos: Vec<String> = self
+            .positionals
+            .borrow()
+            .iter()
+            .filter(|(_, consumed)| !consumed)
+            .map(|(v, _)| v.clone())
+            .collect();
+        if leftover_flags.is_empty() && leftover_pos.is_empty() {
+            Ok(())
+        } else {
+            Err(CliError(format!(
+                "unrecognised arguments: {}",
+                leftover_flags
+                    .into_iter()
+                    .chain(leftover_pos)
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn flags_and_positionals_parse() {
+        let a = Args::parse(&argv("--k 5 --dir /tmp/v file.apv")).unwrap();
+        assert_eq!(a.require::<usize>("k").unwrap(), 5);
+        assert_eq!(a.get_or_str("dir", "x").unwrap(), "/tmp/v");
+        assert_eq!(a.positional::<String>(0, "FILE").unwrap(), "file.apv");
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn repeatable_flags_collect() {
+        let a = Args::parse(&argv("--node 1 --node 7 --node 3")).unwrap();
+        assert_eq!(a.all::<usize>("node").unwrap(), vec![1, 7, 3]);
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = Args::parse(&argv("")).unwrap();
+        assert_eq!(a.get_or("frames", 120usize).unwrap(), 120);
+        assert_eq!(a.get_or_str("family", "rs").unwrap(), "rs");
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn errors_are_loud() {
+        assert!(Args::parse(&argv("--k")).is_err(), "flag without value");
+        let a = Args::parse(&argv("--k five")).unwrap();
+        assert!(a.require::<usize>("k").is_err(), "unparseable value");
+        let a = Args::parse(&argv("--mystery 1")).unwrap();
+        assert!(a.finish().is_err(), "unconsumed flag");
+        let a = Args::parse(&argv("stray")).unwrap();
+        assert!(a.finish().is_err(), "unconsumed positional");
+        let a = Args::parse(&argv("")).unwrap();
+        assert!(a.require::<usize>("k").is_err(), "missing required");
+        assert!(a.positional::<String>(0, "FILE").is_err());
+    }
+}

@@ -1,0 +1,227 @@
+//! `.apv` clip files and quality checking.
+//!
+//! An `.apv` file is simply the two tiers of a serialised
+//! [`apec_video::VideoContainer`] glued together:
+//!
+//! ```text
+//! "APV1" | important_len u64 LE | unimportant_len u64 LE | important | unimportant
+//! ```
+
+use apec_recovery::{recover_lost_frames, Interpolator};
+use apec_video::{
+    decode_stream, encode_stream, parse_container, psnr_db, serialize_container, GopConfig,
+    SyntheticVideo, VideoContainer,
+};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"APV1";
+
+/// Summary of a generated clip.
+pub struct ClipStats {
+    /// Bytes in the important tier.
+    pub important_len: usize,
+    /// Bytes in the unimportant tier.
+    pub unimportant_len: usize,
+    /// Total frames (for `check` reporting).
+    pub frames_total: usize,
+    /// Frames synthesised by interpolation/extrapolation.
+    pub frames_recovered: usize,
+    /// Frames with nothing to recover from.
+    pub frames_unrecoverable: usize,
+    /// Mean PSNR over recovered frames (None if none needed recovery).
+    pub mean_recovered_psnr: Option<f64>,
+    /// Worst PSNR over recovered frames.
+    pub min_recovered_psnr: Option<f64>,
+}
+
+/// Writes an `.apv` file from the two tiers.
+pub fn write_apv(path: &Path, important: &[u8], unimportant: &[u8]) -> io::Result<()> {
+    let mut out = Vec::with_capacity(20 + important.len() + unimportant.len());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(important.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(unimportant.len() as u64).to_le_bytes());
+    out.extend_from_slice(important);
+    out.extend_from_slice(unimportant);
+    fs::write(path, out)
+}
+
+/// Reads an `.apv` file back into its two tiers.
+pub fn read_apv(path: &Path) -> io::Result<(Vec<u8>, Vec<u8>)> {
+    let raw = fs::read(path)?;
+    let fail = |m: &str| io::Error::new(io::ErrorKind::InvalidData, format!("{}: {m}", path.display()));
+    if raw.len() < 20 || &raw[..4] != MAGIC {
+        return Err(fail("not an .apv file"));
+    }
+    let ilen = u64::from_le_bytes(raw[4..12].try_into().unwrap()) as usize;
+    let ulen = u64::from_le_bytes(raw[12..20].try_into().unwrap()) as usize;
+    if raw.len() != 20 + ilen + ulen {
+        return Err(fail("truncated .apv payload"));
+    }
+    Ok((raw[20..20 + ilen].to_vec(), raw[20 + ilen..].to_vec()))
+}
+
+/// Renders a synthetic clip, encodes it and writes an `.apv` file.
+pub fn generate(
+    out: &Path,
+    width: usize,
+    height: usize,
+    frames: usize,
+    seed: u64,
+    gop_len: usize,
+    fps: u16,
+) -> io::Result<ClipStats> {
+    let video = SyntheticVideo::new(width, height, f64::from(fps), seed, 4);
+    let rendered = video.frames(frames);
+    let gop = GopConfig {
+        gop_len,
+        use_b_frames: true,
+        quant: 2,
+    };
+    let container = VideoContainer {
+        width,
+        height,
+        fps,
+        gop,
+        frames: encode_stream(&rendered, &gop),
+    };
+    let tiers = serialize_container(&container);
+    write_apv(out, &tiers.important, &tiers.unimportant)?;
+    Ok(ClipStats {
+        important_len: tiers.important.len(),
+        unimportant_len: tiers.unimportant.len(),
+        frames_total: frames,
+        frames_recovered: 0,
+        frames_unrecoverable: 0,
+        mean_recovered_psnr: None,
+        min_recovered_psnr: None,
+    })
+}
+
+/// Decodes both clips, interpolates whatever the candidate lost, and
+/// scores the synthesised frames against the reference.
+pub fn compare(reference: &Path, candidate: &Path) -> io::Result<ClipStats> {
+    let fail = |m: String| io::Error::new(io::ErrorKind::InvalidData, m);
+    let (ri, ru) = read_apv(reference)?;
+    let (ci, cu) = read_apv(candidate)?;
+
+    let rparsed =
+        parse_container(&ri, &ru).map_err(|e| fail(format!("reference: {e}")))?;
+    let rdecoded = decode_stream(&rparsed.frames, rparsed.width, rparsed.height, &rparsed.gop);
+    if !rdecoded.lost_indices().is_empty() {
+        return Err(fail("reference clip itself has undecodable frames".into()));
+    }
+
+    let cparsed =
+        parse_container(&ci, &cu).map_err(|e| fail(format!("candidate: {e}")))?;
+    if (cparsed.width, cparsed.height) != (rparsed.width, rparsed.height)
+        || cparsed.frames.len() != rparsed.frames.len()
+    {
+        return Err(fail("clips have different geometry".into()));
+    }
+    let mut cdecoded = decode_stream(&cparsed.frames, cparsed.width, cparsed.height, &cparsed.gop);
+    let report = recover_lost_frames(
+        &mut cdecoded,
+        Interpolator::MotionCompensated { search_radius: 3 },
+    );
+
+    let recovered: Vec<usize> = report
+        .interpolated
+        .iter()
+        .chain(&report.extrapolated)
+        .copied()
+        .collect();
+    let mut mean = None;
+    let mut min = None;
+    if !recovered.is_empty() {
+        let mut sum = 0.0;
+        let mut worst = f64::INFINITY;
+        for &i in &recovered {
+            let p = psnr_db(
+                rdecoded.frames[i].as_ref().expect("reference complete"),
+                cdecoded.frames[i].as_ref().expect("filled by recovery"),
+            );
+            sum += p;
+            worst = worst.min(p);
+        }
+        mean = Some(sum / recovered.len() as f64);
+        min = Some(worst);
+    }
+    Ok(ClipStats {
+        important_len: ci.len(),
+        unimportant_len: cu.len(),
+        frames_total: cparsed.frames.len(),
+        frames_recovered: recovered.len(),
+        frames_unrecoverable: report.unrecoverable.len(),
+        mean_recovered_psnr: mean,
+        min_recovered_psnr: min,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_file(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "apec-clip-{}-{}-{}.apv",
+            tag,
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    #[test]
+    fn apv_round_trip() {
+        let p = temp_file("rt");
+        write_apv(&p, &[1, 2, 3], &[4, 5]).unwrap();
+        let (i, u) = read_apv(&p).unwrap();
+        assert_eq!(i, vec![1, 2, 3]);
+        assert_eq!(u, vec![4, 5]);
+        fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn bad_apv_rejected() {
+        let p = temp_file("bad");
+        fs::write(&p, b"nope").unwrap();
+        assert!(read_apv(&p).is_err());
+        fs::write(&p, b"APV1\x05\0\0\0\0\0\0\0\x00\0\0\0\0\0\0\0xx").unwrap();
+        assert!(read_apv(&p).is_err(), "length mismatch");
+        fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn generate_and_self_compare() {
+        let p = temp_file("gen");
+        let stats = generate(&p, 48, 32, 24, 5, 12, 60).unwrap();
+        assert!(stats.important_len > 0 && stats.unimportant_len > 0);
+        let cmp = compare(&p, &p).unwrap();
+        assert_eq!(cmp.frames_total, 24);
+        assert_eq!(cmp.frames_recovered, 0);
+        assert!(cmp.mean_recovered_psnr.is_none());
+        fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn damaged_candidate_reports_recovery_quality() {
+        let a = temp_file("ref");
+        generate(&a, 48, 32, 36, 9, 12, 60).unwrap();
+        let (i, mut u) = read_apv(&a).unwrap();
+        // Zero a window of the unimportant tier.
+        let start = u.len() / 3;
+        let end = start + u.len() / 5;
+        u[start..end].fill(0);
+        let b = temp_file("cand");
+        write_apv(&b, &i, &u).unwrap();
+        let cmp = compare(&a, &b).unwrap();
+        assert!(cmp.frames_recovered > 0, "damage should force interpolation");
+        assert!(cmp.mean_recovered_psnr.unwrap() > 30.0);
+        fs::remove_file(&a).unwrap();
+        fs::remove_file(&b).unwrap();
+    }
+}

@@ -1,0 +1,351 @@
+//! Repair profiles: what a node repair must read, compute and write.
+//!
+//! The timing model is codec-agnostic; this module extracts, for each
+//! codec family, the *shape* of a repair from the codec's own decode
+//! machinery. A profile is a set of [`RepairGroup`]s — one per failed
+//! node, each rebuilt by its own worker (HDFS-style distributed
+//! reconstruction) — so the simulator naturally captures both the
+//! parallelism of independent local repairs (Approximate Code's whole
+//! point) and the source-disk contention when several workers pull from
+//! the same survivors (plain RS's curse).
+
+use apec_ec::{EcError, ErasureCode};
+use apec_lrc::Lrc;
+use apec_rs::ReedSolomon;
+use apec_xor::ArrayCode;
+use approx_code::ApproxCode;
+
+/// The rebuild of one failed node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairGroup {
+    /// The failed node this group rebuilds.
+    pub target: usize,
+    /// `(source node, fraction of its shard read)` pairs.
+    pub reads: Vec<(usize, f64)>,
+    /// Fraction of a shard written to the replacement (below one when a
+    /// tiered repair skips unrecoverable unimportant data; zero groups are
+    /// omitted from profiles entirely).
+    pub write_fraction: f64,
+    /// Decode volume in shard units for this group.
+    pub compute_shards: f64,
+}
+
+/// The I/O shape of one stripe's repair.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RepairProfile {
+    /// Total nodes in the stripe.
+    pub n_nodes: usize,
+    /// One rebuild group per failed node with anything to rebuild.
+    pub groups: Vec<RepairGroup>,
+}
+
+impl RepairProfile {
+    /// Total shard-fractions read across all groups.
+    pub fn total_read(&self) -> f64 {
+        self.groups
+            .iter()
+            .flat_map(|g| g.reads.iter().map(|&(_, f)| f))
+            .sum()
+    }
+
+    /// Total shard-fractions written.
+    pub fn total_write(&self) -> f64 {
+        self.groups.iter().map(|g| g.write_fraction).sum()
+    }
+
+    /// Total decode volume in shard units.
+    pub fn total_compute(&self) -> f64 {
+        self.groups.iter().map(|g| g.compute_shards).sum()
+    }
+}
+
+/// Codecs that can describe their repair I/O shape.
+pub trait RepairPlanner {
+    /// Profiles the repair of the given failed nodes.
+    ///
+    /// Fails when the pattern is beyond what the code can repair at all
+    /// (for tiered codes, partial repairs are legal profiles).
+    fn repair_profile(&self, failed: &[usize]) -> Result<RepairProfile, EcError>;
+}
+
+impl RepairPlanner for ReedSolomon {
+    fn repair_profile(&self, failed: &[usize]) -> Result<RepairProfile, EcError> {
+        let n = self.total_nodes();
+        let k = self.data_nodes();
+        if failed.len() > self.fault_tolerance() {
+            return Err(EcError::TooManyErasures {
+                missing: failed.to_vec(),
+                tolerance: self.fault_tolerance(),
+            });
+        }
+        // Matrix decode: every rebuild worker fetches the same k
+        // survivors in full and pays k multiply-accumulate passes.
+        let sources: Vec<(usize, f64)> = (0..n)
+            .filter(|node| !failed.contains(node))
+            .take(k)
+            .map(|node| (node, 1.0))
+            .collect();
+        Ok(RepairProfile {
+            n_nodes: n,
+            groups: failed
+                .iter()
+                .map(|&f| RepairGroup {
+                    target: f,
+                    reads: sources.clone(),
+                    write_fraction: 1.0,
+                    compute_shards: k as f64,
+                })
+                .collect(),
+        })
+    }
+}
+
+impl RepairPlanner for Lrc {
+    fn repair_profile(&self, failed: &[usize]) -> Result<RepairProfile, EcError> {
+        let n = self.total_nodes();
+        let k = self.data_nodes();
+        let group_members = |g: usize| -> Vec<usize> {
+            let mut m = self.groups()[g].clone();
+            m.push(self.local_parity_index(g));
+            m
+        };
+        let mut groups = Vec::new();
+        for &f in failed {
+            let group = if f < k {
+                Some(self.group_of(f))
+            } else if f < k + self.local_groups() {
+                Some(f - k)
+            } else {
+                None
+            };
+            let local_ok = group.is_some_and(|g| {
+                group_members(g)
+                    .iter()
+                    .filter(|&&m| failed.contains(&m))
+                    .count()
+                    == 1
+            });
+            if let (true, Some(g)) = (local_ok, group) {
+                // Cheap local path: read the surviving group members only.
+                let reads: Vec<(usize, f64)> = group_members(g)
+                    .into_iter()
+                    .filter(|&m| m != f)
+                    .map(|m| (m, 1.0))
+                    .collect();
+                let cost = reads.len() as f64;
+                groups.push(RepairGroup {
+                    target: f,
+                    reads,
+                    write_fraction: 1.0,
+                    compute_shards: cost,
+                });
+            } else {
+                // Global decode: k independent survivors.
+                let sources: Vec<(usize, f64)> = (0..n)
+                    .filter(|node| !failed.contains(node))
+                    .take(k)
+                    .map(|node| (node, 1.0))
+                    .collect();
+                if sources.len() < k {
+                    return Err(EcError::TooManyErasures {
+                        missing: failed.to_vec(),
+                        tolerance: self.fault_tolerance(),
+                    });
+                }
+                groups.push(RepairGroup {
+                    target: f,
+                    reads: sources,
+                    write_fraction: 1.0,
+                    compute_shards: k as f64,
+                });
+            }
+        }
+        Ok(RepairProfile { n_nodes: n, groups })
+    }
+}
+
+/// Builds per-target groups from element-level plan steps.
+fn groups_from_steps(
+    epn: usize,
+    failed: &[usize],
+    steps: impl Iterator<Item = (usize, Vec<usize>)>,
+    unsolved_per_node: &[usize],
+) -> Vec<RepairGroup> {
+    use std::collections::HashMap;
+    // target node -> (source node -> distinct elements read), compute.
+    let mut by_target: HashMap<usize, (HashMap<usize, std::collections::HashSet<usize>>, usize)> =
+        HashMap::new();
+    for (target_elem, sources) in steps {
+        let tnode = target_elem / epn;
+        let entry = by_target.entry(tnode).or_default();
+        entry.1 += sources.len();
+        for s in sources {
+            entry.0.entry(s / epn).or_default().insert(s);
+        }
+    }
+    failed
+        .iter()
+        .filter_map(|&f| {
+            let write_fraction = 1.0 - unsolved_per_node[f] as f64 / epn as f64;
+            let (reads, compute) = match by_target.remove(&f) {
+                Some((srcs, cost)) => {
+                    let mut reads: Vec<(usize, f64)> = srcs
+                        .into_iter()
+                        .map(|(node, elems)| (node, elems.len() as f64 / epn as f64))
+                        .collect();
+                    reads.sort_by_key(|&(node, _)| node);
+                    (reads, cost as f64 / epn as f64)
+                }
+                None => (Vec::new(), 0.0),
+            };
+            if write_fraction <= 0.0 && reads.is_empty() {
+                // Nothing recoverable on this node: the loss is delegated
+                // to the approximate-recovery layer, no repair I/O at all.
+                return None;
+            }
+            Some(RepairGroup {
+                target: f,
+                reads,
+                write_fraction,
+                compute_shards: compute,
+            })
+        })
+        .collect()
+}
+
+impl RepairPlanner for ArrayCode {
+    fn repair_profile(&self, failed: &[usize]) -> Result<RepairProfile, EcError> {
+        let spec = self.spec();
+        let epn = spec.rows_per_col;
+        let erased = spec.erase_columns(failed);
+        let plan = spec
+            .recovery_plan(&erased)
+            .map_err(|e| EcError::UnrecoverablePattern {
+                missing: failed.to_vec(),
+                detail: e.to_string(),
+            })?;
+        let unsolved = vec![0usize; spec.n_cols];
+        let groups = groups_from_steps(
+            epn,
+            failed,
+            plan.steps.iter().map(|s| (s.target, s.sources.clone())),
+            &unsolved,
+        );
+        Ok(RepairProfile {
+            n_nodes: spec.n_cols,
+            groups,
+        })
+    }
+}
+
+impl RepairPlanner for ApproxCode {
+    fn repair_profile(&self, failed: &[usize]) -> Result<RepairProfile, EcError> {
+        let bundle = self.plan_for(failed)?;
+        let epn = self.layout().elements_per_node();
+        let n = self.params().total_nodes();
+        let mut unsolved_per_node = vec![0usize; n];
+        for &e in &bundle.unsolved {
+            unsolved_per_node[e / epn] += 1;
+        }
+        let groups = groups_from_steps(
+            epn,
+            failed,
+            bundle.step_io().into_iter(),
+            &unsolved_per_node,
+        );
+        Ok(RepairProfile { n_nodes: n, groups })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approx_code::{BaseFamily, Structure};
+
+    #[test]
+    fn rs_reads_k_survivors_per_worker() {
+        let code = ReedSolomon::vandermonde(5, 3).unwrap();
+        let p = code.repair_profile(&[0, 6]).unwrap();
+        assert_eq!(p.groups.len(), 2);
+        for g in &p.groups {
+            assert_eq!(g.reads.len(), 5);
+            assert_eq!(g.write_fraction, 1.0);
+            assert_eq!(g.compute_shards, 5.0);
+            assert!(g.reads.iter().all(|&(n, _)| n != 0 && n != 6));
+        }
+        assert_eq!(p.total_read(), 10.0);
+        assert_eq!(p.total_write(), 2.0);
+        assert!(code.repair_profile(&[0, 1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn lrc_single_failure_is_local() {
+        let code = Lrc::new(8, 4, 2).unwrap();
+        let p = code.repair_profile(&[0]).unwrap();
+        assert_eq!(p.total_read(), 2.0);
+        assert_eq!(p.total_compute(), 2.0);
+        // Two failures in one group force the global path for both.
+        let p2 = code.repair_profile(&[0, 1]).unwrap();
+        assert_eq!(p2.total_read(), 16.0);
+        assert!(p2.total_compute() > p.total_compute());
+    }
+
+    #[test]
+    fn lrc_failures_in_distinct_groups_stay_local() {
+        let code = Lrc::new(8, 4, 2).unwrap();
+        let p = code.repair_profile(&[0, 2, 4]).unwrap();
+        assert_eq!(p.groups.len(), 3);
+        assert_eq!(p.total_read(), 6.0);
+        assert_eq!(p.total_compute(), 6.0);
+        // The groups read disjoint sources — fully parallel repairs.
+        let mut all: Vec<usize> = p
+            .groups
+            .iter()
+            .flat_map(|g| g.reads.iter().map(|&(n, _)| n))
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 6);
+    }
+
+    #[test]
+    fn star_triple_failure_costs_more_than_single() {
+        let code = apec_xor::star(5, 5).unwrap();
+        let single = code.repair_profile(&[0]).unwrap();
+        let triple = code.repair_profile(&[0, 1, 2]).unwrap();
+        assert!(single.total_read() <= triple.total_read());
+        assert!(single.total_compute() < triple.total_compute());
+        assert!(single.total_write() < triple.total_write());
+        assert!(code.repair_profile(&[0, 1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn approx_partial_repair_writes_less() {
+        // Two failures in an unimportant stripe of APPR.RS(4,1,2,3,Uneven):
+        // nothing there is recoverable, so no repair traffic at all.
+        let code =
+            ApproxCode::build_named(BaseFamily::Rs, 4, 1, 2, 3, Structure::Uneven).unwrap();
+        let d0 = code.params().data_node(1, 0);
+        let d1 = code.params().data_node(1, 1);
+        let p = code.repair_profile(&[d0, d1]).unwrap();
+        assert!(p.total_write() < 2.0, "partial write {}", p.total_write());
+        // A single failure repairs fully.
+        let p1 = code.repair_profile(&[d0]).unwrap();
+        assert_eq!(p1.total_write(), 1.0);
+    }
+
+    #[test]
+    fn approx_cross_stripe_failures_read_disjoint_sources() {
+        let code =
+            ApproxCode::build_named(BaseFamily::Rs, 5, 1, 2, 4, Structure::Uneven).unwrap();
+        let pr = code.params();
+        let p = code
+            .repair_profile(&[pr.data_node(1, 0), pr.data_node(2, 1)])
+            .unwrap();
+        assert_eq!(p.groups.len(), 2);
+        let (a, b) = (&p.groups[0], &p.groups[1]);
+        for (na, _) in &a.reads {
+            assert!(!b.reads.iter().any(|(nb, _)| nb == na), "sources overlap");
+        }
+    }
+}

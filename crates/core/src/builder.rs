@@ -1,0 +1,582 @@
+//! Code generation: turns `(family, k, r, g, h, structure)` into a
+//! solvable code specification.
+//!
+//! This module implements the paper's *code segmentation* and *code
+//! generation* steps. The base code's parities are split into `r` local
+//! parities — instantiated once per local stripe, protecting all of that
+//! stripe's data — and `g` global parities, computed only from the
+//! important data:
+//!
+//! * **RS**: rows of one systematic `RS(k, r+g)` generator; the first `r`
+//!   parity rows become the local code, the next `g` the global code. For
+//!   the Uneven structure the important stripe plus the global nodes form
+//!   a genuine `RS(k, r+g)` codeword, giving `r+g` fault tolerance.
+//! * **LRC**: `r` local XOR group parities per stripe, `g` Cauchy global
+//!   rows on important data.
+//! * **STAR** (slopes `{0, 1, −1}`) and **TIP** (slopes `{0, 1, 2}`): the
+//!   first `r` slopes are local, the remaining `g` global — exactly the
+//!   paper's segmentation of STAR into horizontal/diagonal (local) and
+//!   anti-diagonal (global) parities.
+//!
+//! The output is a single element-level specification spanning the whole
+//! global stripe (all `h` local stripes plus global nodes), so one generic
+//! solver handles every failure pattern — including the beyond-tolerance
+//! partial recoveries that tiered storage exploits.
+
+use crate::gfspec::GfSpec;
+use crate::params::{ApprParams, BaseFamily, Structure};
+use apec_bitmatrix::XorCodeSpec;
+use apec_ec::EcError;
+use apec_gf::{cauchy, systematic_vandermonde, GfMatrix};
+use apec_xor::{next_prime_at_least, slope_class_cells};
+
+/// The engine a generated code runs on: pure-XOR equations or
+/// GF(2^8)-linear equations.
+#[derive(Debug, Clone)]
+pub enum Engine {
+    /// XOR array-code equations (STAR/TIP families).
+    Xor(XorCodeSpec),
+    /// GF(2^8) equations (RS/LRC families).
+    Gf(GfSpec),
+}
+
+/// One bulk operation of the encode program:
+/// `dst_node[dst_elem ..][..count·elen] ^= coeff · src_node[src_elem ..]`.
+///
+/// The solver-facing specs work one sub-element at a time so importance
+/// stays addressable; encoding does not need that granularity, so the
+/// builder also emits this merged program, whose local-parity ops span
+/// whole shards (`count = elements_per_node`) — h× fewer kernel calls on
+/// h× larger blocks than the naive per-element walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodeOp {
+    /// GF(2^8) coefficient (1 for plain XOR).
+    pub coeff: u8,
+    /// Source node.
+    pub src_node: usize,
+    /// First element index within the source node.
+    pub src_elem: usize,
+    /// Destination (parity) node.
+    pub dst_node: usize,
+    /// First element index within the destination node.
+    pub dst_elem: usize,
+    /// Number of consecutive elements covered.
+    pub count: usize,
+}
+
+/// A fully generated Approximate Code layout.
+#[derive(Debug, Clone)]
+pub struct ApproxLayout {
+    /// The framework parameters.
+    pub params: ApprParams,
+    /// The base code family.
+    pub family: BaseFamily,
+    /// Element rows per node from the base code's geometry (1 for GF
+    /// families, `p − 1` for XOR families).
+    pub rows: usize,
+    /// Importance sub-slots per element row (`h` under Even, 1 under
+    /// Uneven). Elements per node = `rows · sub`.
+    pub sub: usize,
+    /// The array-code prime (`0` for GF families).
+    pub p: usize,
+    /// The generated equations.
+    pub engine: Engine,
+    /// Data elements holding important data, ascending.
+    pub important_data_elements: Vec<usize>,
+    /// Data elements holding unimportant data, ascending.
+    pub unimportant_data_elements: Vec<usize>,
+    /// The merged encode program (see [`EncodeOp`]). Ops are ordered so
+    /// that every parity is fully accumulated before any later op reads
+    /// it (none do today — all sources are data nodes).
+    pub encode_ops: Vec<EncodeOp>,
+}
+
+impl ApproxLayout {
+    /// Elements per node.
+    pub fn elements_per_node(&self) -> usize {
+        self.rows * self.sub
+    }
+
+    /// Global element index of `(node, row, slot)`.
+    pub fn element(&self, node: usize, row: usize, slot: usize) -> usize {
+        debug_assert!(row < self.rows && slot < self.sub);
+        node * self.elements_per_node() + row * self.sub + slot
+    }
+
+    /// Inverse of [`ApproxLayout::element`].
+    pub fn locate(&self, element: usize) -> (usize, usize, usize) {
+        let epn = self.elements_per_node();
+        let node = element / epn;
+        let within = element % epn;
+        (node, within / self.sub, within % self.sub)
+    }
+
+    /// `true` if the element carries important data.
+    pub fn is_important_element(&self, element: usize) -> bool {
+        // Both vectors are sorted; binary search keeps hot paths cheap.
+        self.important_data_elements.binary_search(&element).is_ok()
+    }
+}
+
+/// Builds the complete layout for the given parameters and family.
+pub fn build(params: ApprParams, family: BaseFamily) -> Result<ApproxLayout, EcError> {
+    match family {
+        BaseFamily::Rs | BaseFamily::Lrc => build_gf(params, family),
+        BaseFamily::Star | BaseFamily::Tip => build_xor(params, family),
+    }
+}
+
+/// Local and global coefficient rows for the GF families.
+fn gf_coefficients(
+    params: &ApprParams,
+    family: BaseFamily,
+) -> Result<(GfMatrix, GfMatrix), EcError> {
+    let (k, r, g) = (params.k, params.r, params.g);
+    match family {
+        BaseFamily::Rs => {
+            let gen = systematic_vandermonde(k, r + g)
+                .map_err(|e| EcError::InvalidParameters(e.to_string()))?;
+            let local = gen.select_rows(&(k..k + r).collect::<Vec<_>>());
+            let global = gen.select_rows(&(k + r..k + r + g).collect::<Vec<_>>());
+            Ok((local, global))
+        }
+        BaseFamily::Lrc => {
+            // r balanced XOR groups.
+            let mut local = GfMatrix::zero(r, k);
+            let base = k / r;
+            let extra = k % r;
+            let mut next = 0;
+            for gi in 0..r {
+                let size = base + usize::from(gi < extra);
+                for j in next..next + size {
+                    local.set(gi, j, apec_gf::Gf8::ONE);
+                }
+                next += size;
+            }
+            let global = cauchy(g, k).map_err(|e| EcError::InvalidParameters(e.to_string()))?;
+            Ok((local, global))
+        }
+        _ => unreachable!("gf_coefficients called for XOR family"),
+    }
+}
+
+fn build_gf(params: ApprParams, family: BaseFamily) -> Result<ApproxLayout, EcError> {
+    let (k, r, g, h) = (params.k, params.r, params.g, params.h);
+    let (local, global) = gf_coefficients(&params, family)?;
+    let rows = 1usize;
+    let sub = params.sub_slots();
+    let n = params.total_nodes();
+    let epn = rows * sub;
+    let elem = |node: usize, slot: usize| node * epn + slot;
+
+    let mut parity_elements = Vec::new();
+    let mut parity_support: Vec<Vec<(u8, usize)>> = Vec::new();
+
+    // Local parities: stripe s, parity i, every sub-slot.
+    for s in 0..h {
+        for i in 0..r {
+            let pnode = params.local_parity_node(s, i);
+            for slot in 0..sub {
+                parity_elements.push(elem(pnode, slot));
+                let support: Vec<(u8, usize)> = (0..k)
+                    .filter_map(|j| {
+                        let c = local.get(i, j).value();
+                        (c != 0).then(|| (c, elem(params.data_node(s, j), slot)))
+                    })
+                    .collect();
+                parity_support.push(support);
+            }
+        }
+    }
+
+    // Global parities over important data.
+    for t in 0..g {
+        let gnode = params.global_node(t);
+        for slot in 0..sub {
+            parity_elements.push(elem(gnode, slot));
+            let source_stripe = match params.structure {
+                Structure::Even => slot, // sub == h: slot σ holds stripe σ's share
+                Structure::Uneven => 0,
+            };
+            let important_slot = 0; // important data lives in slot 0
+            let support: Vec<(u8, usize)> = (0..k)
+                .filter_map(|j| {
+                    let c = global.get(t, j).value();
+                    (c != 0)
+                        .then(|| (c, elem(params.data_node(source_stripe, j), important_slot)))
+                })
+                .collect();
+            parity_support.push(support);
+        }
+    }
+
+    let data_elements: Vec<usize> = (0..params.data_nodes())
+        .flat_map(|node| (0..epn).map(move |e| node * epn + e))
+        .collect();
+
+    let spec = GfSpec {
+        n_cols: n,
+        rows_per_col: epn,
+        data_elements,
+        parity_elements,
+        parity_support,
+    };
+    spec.validate().map_err(EcError::InvalidParameters)?;
+
+    // Merged encode program: local parities as whole-shard MACs, globals
+    // as per-slot MACs over the important slot.
+    let mut encode_ops = Vec::new();
+    for s in 0..h {
+        for i in 0..r {
+            let pnode = params.local_parity_node(s, i);
+            for j in 0..k {
+                let c = local.get(i, j).value();
+                if c != 0 {
+                    encode_ops.push(EncodeOp {
+                        coeff: c,
+                        src_node: params.data_node(s, j),
+                        src_elem: 0,
+                        dst_node: pnode,
+                        dst_elem: 0,
+                        count: epn,
+                    });
+                }
+            }
+        }
+    }
+    for t in 0..g {
+        let gnode = params.global_node(t);
+        for slot in 0..sub {
+            let source_stripe = match params.structure {
+                Structure::Even => slot,
+                Structure::Uneven => 0,
+            };
+            for j in 0..k {
+                let c = global.get(t, j).value();
+                if c != 0 {
+                    encode_ops.push(EncodeOp {
+                        coeff: c,
+                        src_node: params.data_node(source_stripe, j),
+                        src_elem: 0,
+                        dst_node: gnode,
+                        dst_elem: slot,
+                        count: 1,
+                    });
+                }
+            }
+        }
+    }
+
+    let layout = ApproxLayout {
+        params,
+        family,
+        rows,
+        sub,
+        p: 0,
+        important_data_elements: important_elements(&params, rows, sub),
+        unimportant_data_elements: unimportant_elements(&params, rows, sub),
+        engine: Engine::Gf(spec),
+        encode_ops,
+    };
+    Ok(layout)
+}
+
+fn build_xor(params: ApprParams, family: BaseFamily) -> Result<ApproxLayout, EcError> {
+    let (k, r, g, h) = (params.k, params.r, params.g, params.h);
+    let p = next_prime_at_least(k.max(3));
+    let slopes: Vec<usize> = match family {
+        BaseFamily::Star => vec![0, 1, p - 1],
+        BaseFamily::Tip => vec![0, 1, 2],
+        _ => unreachable!("build_xor called for GF family"),
+    };
+    let local_slopes = &slopes[..r];
+    let global_slopes = &slopes[r..r + g];
+
+    let rows = p - 1;
+    let sub = params.sub_slots();
+    let n = params.total_nodes();
+    let epn = rows * sub;
+    let elem = |node: usize, row: usize, slot: usize| node * epn + row * sub + slot;
+
+    let mut parity_elements = Vec::new();
+    let mut parity_support: Vec<Vec<usize>> = Vec::new();
+
+    // Local parities.
+    for s in 0..h {
+        for (i, &sl) in local_slopes.iter().enumerate() {
+            let pnode = params.local_parity_node(s, i);
+            for t in 0..rows {
+                for slot in 0..sub {
+                    parity_elements.push(elem(pnode, t, slot));
+                    let support: Vec<usize> = slope_class_cells(p, k, sl, t, sl != 0)
+                        .into_iter()
+                        .map(|(row, j)| elem(params.data_node(s, j), row, slot))
+                        .collect();
+                    parity_support.push(support);
+                }
+            }
+        }
+    }
+
+    // Global parities over important data only.
+    for (gi, &gs) in global_slopes.iter().enumerate() {
+        let gnode = params.global_node(gi);
+        for t in 0..rows {
+            for slot in 0..sub {
+                parity_elements.push(elem(gnode, t, slot));
+                let source_stripe = match params.structure {
+                    Structure::Even => slot,
+                    Structure::Uneven => 0,
+                };
+                let support: Vec<usize> = slope_class_cells(p, k, gs, t, gs != 0)
+                    .into_iter()
+                    .map(|(row, j)| elem(params.data_node(source_stripe, j), row, 0))
+                    .collect();
+                parity_support.push(support);
+            }
+        }
+    }
+
+    let data_elements: Vec<usize> = (0..params.data_nodes())
+        .flat_map(|node| (0..epn).map(move |e| node * epn + e))
+        .collect();
+
+    let spec = XorCodeSpec {
+        n_cols: n,
+        rows_per_col: epn,
+        data_elements,
+        parity_elements,
+        parity_support,
+    };
+    spec.validate().map_err(EcError::InvalidParameters)?;
+
+    // Merged encode program: local parity cells span all importance slots
+    // at once (the local equations are slot-uniform), globals stay at
+    // single-slot granularity.
+    let mut encode_ops = Vec::new();
+    for s in 0..h {
+        for (i, &sl) in local_slopes.iter().enumerate() {
+            let pnode = params.local_parity_node(s, i);
+            for t in 0..rows {
+                for (row, j) in slope_class_cells(p, k, sl, t, sl != 0) {
+                    encode_ops.push(EncodeOp {
+                        coeff: 1,
+                        src_node: params.data_node(s, j),
+                        src_elem: row * sub,
+                        dst_node: pnode,
+                        dst_elem: t * sub,
+                        count: sub,
+                    });
+                }
+            }
+        }
+    }
+    for (gi, &gs) in global_slopes.iter().enumerate() {
+        let gnode = params.global_node(gi);
+        for t in 0..rows {
+            for slot in 0..sub {
+                let source_stripe = match params.structure {
+                    Structure::Even => slot,
+                    Structure::Uneven => 0,
+                };
+                for (row, j) in slope_class_cells(p, k, gs, t, gs != 0) {
+                    encode_ops.push(EncodeOp {
+                        coeff: 1,
+                        src_node: params.data_node(source_stripe, j),
+                        src_elem: row * sub,
+                        dst_node: gnode,
+                        dst_elem: t * sub + slot,
+                        count: 1,
+                    });
+                }
+            }
+        }
+    }
+
+    let layout = ApproxLayout {
+        params,
+        family,
+        rows,
+        sub,
+        p,
+        important_data_elements: important_elements(&params, rows, sub),
+        unimportant_data_elements: unimportant_elements(&params, rows, sub),
+        engine: Engine::Xor(spec),
+        encode_ops,
+    };
+    Ok(layout)
+}
+
+fn important_elements(params: &ApprParams, rows: usize, sub: usize) -> Vec<usize> {
+    let epn = rows * sub;
+    let mut out = Vec::new();
+    for node in 0..params.data_nodes() {
+        match params.structure {
+            Structure::Even => {
+                // Slot 0 of every element row.
+                for row in 0..rows {
+                    out.push(node * epn + row * sub);
+                }
+            }
+            Structure::Uneven => {
+                if params.stripe_of(node) == Some(0) {
+                    out.extend(node * epn..(node + 1) * epn);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn unimportant_elements(params: &ApprParams, rows: usize, sub: usize) -> Vec<usize> {
+    let epn = rows * sub;
+    let important = important_elements(params, rows, sub);
+    let mut out = Vec::new();
+    for node in 0..params.data_nodes() {
+        for e in node * epn..(node + 1) * epn {
+            if important.binary_search(&e).is_err() {
+                out.push(e);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout(family: BaseFamily, structure: Structure, k: usize, r: usize, g: usize, h: usize) -> ApproxLayout {
+        let params = ApprParams::new(k, r, g, h, structure, family).unwrap();
+        build(params, family).unwrap()
+    }
+
+    #[test]
+    fn all_families_and_structures_build() {
+        for family in [BaseFamily::Rs, BaseFamily::Lrc, BaseFamily::Star, BaseFamily::Tip] {
+            for structure in [Structure::Even, Structure::Uneven] {
+                for (r, g) in [(1, 2), (2, 1)] {
+                    let l = layout(family, structure, 5, r, g, 4);
+                    match &l.engine {
+                        Engine::Xor(s) => s.validate().unwrap(),
+                        Engine::Gf(s) => s.validate().unwrap(),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn element_indexing_round_trips() {
+        let l = layout(BaseFamily::Star, Structure::Even, 5, 2, 1, 4);
+        assert_eq!(l.p, 5);
+        assert_eq!(l.rows, 4);
+        assert_eq!(l.sub, 4);
+        for node in [0, 7, 20] {
+            for row in 0..l.rows {
+                for slot in 0..l.sub {
+                    let e = l.element(node, row, slot);
+                    assert_eq!(l.locate(e), (node, row, slot));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn importance_partition_is_exact() {
+        for structure in [Structure::Even, Structure::Uneven] {
+            let l = layout(BaseFamily::Rs, structure, 4, 1, 2, 3);
+            let total_data = l.params.data_nodes() * l.elements_per_node();
+            assert_eq!(
+                l.important_data_elements.len() + l.unimportant_data_elements.len(),
+                total_data
+            );
+            // The important ratio is exactly 1/h.
+            assert_eq!(
+                l.important_data_elements.len() * l.params.h,
+                total_data,
+                "important fraction must be 1/h under {structure}"
+            );
+            for &e in &l.important_data_elements {
+                assert!(l.is_important_element(e));
+            }
+            for &e in &l.unimportant_data_elements {
+                assert!(!l.is_important_element(e));
+            }
+        }
+    }
+
+    #[test]
+    fn uneven_importance_sits_in_stripe_zero() {
+        let l = layout(BaseFamily::Tip, Structure::Uneven, 5, 1, 2, 4);
+        for &e in &l.important_data_elements {
+            let (node, _, _) = l.locate(e);
+            assert_eq!(l.params.stripe_of(node), Some(0));
+        }
+    }
+
+    #[test]
+    fn rs_uneven_important_stripe_is_full_rs_codeword() {
+        // The important stripe + globals must form RS(k, r+g): any r+g
+        // column erasures among those nodes are recoverable.
+        let l = layout(BaseFamily::Rs, Structure::Uneven, 4, 1, 2, 3);
+        let Engine::Gf(spec) = &l.engine else { panic!() };
+        let p = &l.params;
+        let members: Vec<usize> = (0..4)
+            .map(|j| p.data_node(0, j))
+            .chain([p.local_parity_node(0, 0), p.global_node(0), p.global_node(1)])
+            .collect();
+        // all C(7,3) subsets of the codeword must be recoverable
+        for a in 0..7 {
+            for b in a + 1..7 {
+                for c in b + 1..7 {
+                    let cols = [members[a], members[b], members[c]];
+                    let erased = spec.erase_columns(&cols);
+                    assert!(
+                        spec.can_recover(&erased),
+                        "pattern {cols:?} should be recoverable"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn any_r_node_failures_recover_everything() {
+        // The unimportant-data guarantee: any r failures are fully
+        // recoverable. LRC's XOR group parities only guarantee one
+        // arbitrary failure (the paper's footnote on APPR.LRC), so it is
+        // exercised at r = 1 by the next test instead.
+        for family in [BaseFamily::Rs, BaseFamily::Star, BaseFamily::Tip] {
+            for structure in [Structure::Even, Structure::Uneven] {
+                let l = layout(family, structure, 4, 2, 1, 3);
+                let n = l.params.total_nodes();
+                for a in 0..n {
+                    for b in a + 1..n {
+                        let ok = match &l.engine {
+                            Engine::Xor(s) => s.can_recover(&s.erase_columns(&[a, b])),
+                            Engine::Gf(s) => {
+                                let erased = s.erase_columns(&[a, b]);
+                                s.can_recover(&erased)
+                            }
+                        };
+                        assert!(ok, "{family:?}/{structure:?} failed pattern [{a},{b}]");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lrc_single_failure_always_recovers() {
+        for structure in [Structure::Even, Structure::Uneven] {
+            let l = layout(BaseFamily::Lrc, structure, 4, 1, 2, 3);
+            let Engine::Gf(spec) = &l.engine else { panic!() };
+            let n = l.params.total_nodes();
+            for a in 0..n {
+                let erased = spec.erase_columns(&[a]);
+                assert!(spec.can_recover(&erased), "{structure:?} failed [{a}]");
+            }
+        }
+    }
+}

@@ -1,0 +1,543 @@
+//! Declarative GF(2^8)-linear code specifications.
+//!
+//! The GF analog of [`apec_bitmatrix::XorCodeSpec`]: a code is a list of
+//! parity elements, each defined as a GF(2^8)-linear combination of other
+//! elements. Encoding follows the definitions; decoding builds the linear
+//! system for an erasure pattern, eliminates it symbolically once, and
+//! compiles a [`GfRecoveryPlan`] replayed over data blocks with the fused
+//! multiply-accumulate kernels. The Approximate-Code framework uses this
+//! engine for its RS- and LRC-based instantiations.
+
+use apec_gf::{mul_slice_xor, GfMatrix, Gf8};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Errors from the symbolic GF solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GfSolveError {
+    /// An element index exceeded the spec size.
+    ElementOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Total number of elements.
+        total: usize,
+    },
+}
+
+impl fmt::Display for GfSolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GfSolveError::ElementOutOfRange { index, total } => {
+                write!(f, "element index {index} out of range (total {total})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GfSolveError {}
+
+/// One recovery step: `target = Σ coeff · source` over GF(2^8).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GfRecoveryStep {
+    /// The erased element to rebuild.
+    pub target: usize,
+    /// `(coefficient, surviving element)` terms.
+    pub sources: Vec<(u8, usize)>,
+}
+
+/// A compiled plan rebuilding erased elements from surviving ones.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GfRecoveryPlan {
+    /// Independent steps (each target depends only on surviving elements).
+    pub steps: Vec<GfRecoveryStep>,
+}
+
+impl GfRecoveryPlan {
+    /// Total number of multiply-accumulate source terms — the plan's
+    /// computational cost in element units.
+    pub fn term_cost(&self) -> usize {
+        self.steps.iter().map(|s| s.sources.len()).sum()
+    }
+
+    /// Replays the plan over real blocks (`elements[i]` = block of element
+    /// `i`); targets are overwritten.
+    ///
+    /// # Panics
+    /// Panics on inconsistent block lengths — a caller bug.
+    pub fn apply(&self, elements: &mut [Vec<u8>]) {
+        for step in &self.steps {
+            let len = elements
+                .get(step.sources.first().map(|&(_, e)| e).unwrap_or(step.target))
+                .map(Vec::len)
+                .unwrap_or(0);
+            let mut acc = vec![0u8; len];
+            for &(c, src) in &step.sources {
+                mul_slice_xor(c, &elements[src], &mut acc)
+                    .expect("inconsistent element block sizes");
+            }
+            elements[step.target] = acc;
+        }
+    }
+}
+
+/// A GF(2^8)-linear systematic code over abstract elements.
+///
+/// Mirrors [`apec_bitmatrix::XorCodeSpec`]: `n_cols` node columns of
+/// `rows_per_col` elements each; `parity_support[i]` lists the
+/// `(coefficient, element)` terms summing to `parity_elements[i]`.
+#[derive(Debug, Clone)]
+pub struct GfSpec {
+    /// Number of node columns.
+    pub n_cols: usize,
+    /// Elements per column.
+    pub rows_per_col: usize,
+    /// Elements carrying user data.
+    pub data_elements: Vec<usize>,
+    /// Parity elements in encoding order.
+    pub parity_elements: Vec<usize>,
+    /// Definition of each parity element.
+    pub parity_support: Vec<Vec<(u8, usize)>>,
+}
+
+impl GfSpec {
+    /// Total number of elements.
+    pub fn total_elements(&self) -> usize {
+        self.n_cols * self.rows_per_col
+    }
+
+    /// The elements of a column.
+    pub fn column_elements(&self, col: usize) -> Vec<usize> {
+        (0..self.rows_per_col)
+            .map(|r| col * self.rows_per_col + r)
+            .collect()
+    }
+
+    /// Expands failed columns to erased elements.
+    pub fn erase_columns(&self, cols: &[usize]) -> Vec<usize> {
+        cols.iter()
+            .flat_map(|&c| self.column_elements(c))
+            .collect()
+    }
+
+    /// Structural validation (same rules as the XOR spec, plus non-zero
+    /// coefficients).
+    pub fn validate(&self) -> Result<(), String> {
+        let total = self.total_elements();
+        if self.parity_elements.len() != self.parity_support.len() {
+            return Err("parity/support length mismatch".into());
+        }
+        let data: HashSet<_> = self.data_elements.iter().copied().collect();
+        let parity: HashSet<_> = self.parity_elements.iter().copied().collect();
+        if data.len() != self.data_elements.len() || parity.len() != self.parity_elements.len() {
+            return Err("duplicate elements".into());
+        }
+        if data.intersection(&parity).next().is_some() {
+            return Err("element is both data and parity".into());
+        }
+        if data.len() + parity.len() != total {
+            return Err(format!(
+                "{} data + {} parity != {total} total",
+                data.len(),
+                parity.len()
+            ));
+        }
+        for (i, support) in self.parity_support.iter().enumerate() {
+            if support.is_empty() {
+                return Err(format!("parity {i} has empty support"));
+            }
+            let mut seen = HashSet::new();
+            for &(c, e) in support {
+                if c == 0 {
+                    return Err(format!("parity {i} has zero coefficient on {e}"));
+                }
+                if e >= total {
+                    return Err(format!("parity {i} references out-of-range element {e}"));
+                }
+                if !seen.insert(e) {
+                    return Err(format!("parity {i} references element {e} twice"));
+                }
+                if parity.contains(&e) {
+                    let pos = self.parity_elements.iter().position(|&p| p == e).unwrap();
+                    if pos >= i {
+                        return Err(format!("parity {i} references later parity {e}"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Encodes in place: computes every parity element from the data
+    /// already present.
+    ///
+    /// # Panics
+    /// Panics on inconsistent block sizes or wrong element count.
+    pub fn encode(&self, elements: &mut [Vec<u8>]) {
+        assert_eq!(elements.len(), self.total_elements(), "element count mismatch");
+        for (i, &p) in self.parity_elements.iter().enumerate() {
+            let support = &self.parity_support[i];
+            let len = elements[support[0].1].len();
+            let mut acc = vec![0u8; len];
+            for &(c, src) in support {
+                mul_slice_xor(c, &elements[src], &mut acc)
+                    .expect("inconsistent element block sizes");
+            }
+            elements[p] = acc;
+        }
+    }
+
+    /// Number of multiply-accumulate terms in a full encode.
+    pub fn encode_term_cost(&self) -> usize {
+        self.parity_support.iter().map(|s| s.len()).sum()
+    }
+
+    /// Symbolically solves an erasure pattern, returning the plan for every
+    /// solvable erased element and the list of unsolvable ones.
+    pub fn partial_recovery_plan(
+        &self,
+        erased: &[usize],
+    ) -> Result<(GfRecoveryPlan, Vec<usize>), GfSolveError> {
+        let total = self.total_elements();
+        for &e in erased {
+            if e >= total {
+                return Err(GfSolveError::ElementOutOfRange { index: e, total });
+            }
+        }
+        if erased.is_empty() {
+            return Ok((GfRecoveryPlan::default(), Vec::new()));
+        }
+
+        let mut unknown_col = vec![usize::MAX; total];
+        let mut unknowns: Vec<usize> = erased.to_vec();
+        unknowns.sort_unstable();
+        unknowns.dedup();
+        for (i, &e) in unknowns.iter().enumerate() {
+            unknown_col[e] = i;
+        }
+        let u = unknowns.len();
+        let n_eq = self.parity_elements.len();
+
+        // Augmented system [unknown | known], known side indexed by raw id.
+        let mut m = GfMatrix::zero(n_eq, u + total);
+        for (row, (&p, support)) in self
+            .parity_elements
+            .iter()
+            .zip(&self.parity_support)
+            .enumerate()
+        {
+            for &(c, e) in support.iter().chain(std::iter::once(&(1u8, p))) {
+                let col = if unknown_col[e] != usize::MAX {
+                    unknown_col[e]
+                } else {
+                    u + e
+                };
+                let cur = m.get(row, col);
+                m.set(row, col, cur + Gf8(c));
+            }
+        }
+
+        // Gauss-Jordan on the unknown columns.
+        let mut rank = 0;
+        for col in 0..u {
+            let Some(pivot) = (rank..n_eq).find(|&r| !m.get(r, col).is_zero()) else {
+                continue;
+            };
+            m.swap_rows(pivot, rank);
+            let inv = m.get(rank, col).inverse().expect("pivot nonzero");
+            m.scale_row(rank, inv);
+            for r in 0..n_eq {
+                if r != rank && !m.get(r, col).is_zero() {
+                    let f = m.get(r, col);
+                    m.add_scaled_row(rank, r, f);
+                }
+            }
+            rank += 1;
+        }
+
+        let mut steps = Vec::new();
+        let mut solved = vec![false; u];
+        for r in 0..rank.min(n_eq) {
+            // Identify the unknown support of this row.
+            let mut pivot_col = None;
+            let mut multiple = false;
+            for c in 0..u {
+                if !m.get(r, c).is_zero() {
+                    if pivot_col.is_some() {
+                        multiple = true;
+                        break;
+                    }
+                    pivot_col = Some(c);
+                }
+            }
+            let Some(pc) = pivot_col else { continue };
+            if multiple {
+                continue;
+            }
+            // Row reads: unknown + Σ coeff·known = 0 → unknown = Σ coeff·known
+            // (characteristic 2 absorbs the sign).
+            let mut sources = Vec::new();
+            for c in u..u + total {
+                let coeff = m.get(r, c);
+                if !coeff.is_zero() {
+                    sources.push((coeff.value(), c - u));
+                }
+            }
+            if sources.is_empty() {
+                continue;
+            }
+            steps.push(GfRecoveryStep {
+                target: unknowns[pc],
+                sources,
+            });
+            solved[pc] = true;
+        }
+
+        let unsolved = unknowns
+            .iter()
+            .zip(&solved)
+            .filter(|(_, &s)| !s)
+            .map(|(&e, _)| e)
+            .collect();
+        Ok((GfRecoveryPlan { steps }, unsolved))
+    }
+
+    /// `true` when every element of the erasure pattern is recoverable.
+    pub fn can_recover(&self, erased: &[usize]) -> bool {
+        self.partial_recovery_plan(erased)
+            .map(|(_, unsolved)| unsolved.is_empty())
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apec_gf::systematic_vandermonde;
+    use rand::prelude::*;
+
+    /// RS(3,2) expressed as a GfSpec with one element per column.
+    fn rs32_spec() -> GfSpec {
+        let g = systematic_vandermonde(3, 2).unwrap();
+        let parity_support = (0..2)
+            .map(|pr| {
+                (0..3)
+                    .map(|c| (g.get(3 + pr, c).value(), c))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        GfSpec {
+            n_cols: 5,
+            rows_per_col: 1,
+            data_elements: vec![0, 1, 2],
+            parity_elements: vec![3, 4],
+            parity_support,
+        }
+    }
+
+    fn encode_random(spec: &GfSpec, len: usize, seed: u64) -> Vec<Vec<u8>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut elems = vec![vec![0u8; len]; spec.total_elements()];
+        for &d in &spec.data_elements {
+            rng.fill(elems[d].as_mut_slice());
+        }
+        spec.encode(&mut elems);
+        elems
+    }
+
+    #[test]
+    fn spec_validates() {
+        rs32_spec().validate().unwrap();
+        let mut bad = rs32_spec();
+        bad.parity_support[0][0].0 = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = rs32_spec();
+        bad.parity_support[0].push((1, 0));
+        assert!(bad.validate().is_err(), "duplicate term");
+    }
+
+    #[test]
+    fn all_double_erasures_recover() {
+        let spec = rs32_spec();
+        let full = encode_random(&spec, 32, 1);
+        for a in 0..5 {
+            for b in a + 1..5 {
+                let (plan, unsolved) = spec.partial_recovery_plan(&[a, b]).unwrap();
+                assert!(unsolved.is_empty(), "({a},{b}) unsolved {unsolved:?}");
+                let mut damaged = full.clone();
+                damaged[a] = vec![0; 32];
+                damaged[b] = vec![0; 32];
+                plan.apply(&mut damaged);
+                assert_eq!(damaged, full, "pattern ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn triple_erasure_reports_unsolved() {
+        let spec = rs32_spec();
+        let (_plan, unsolved) = spec.partial_recovery_plan(&[0, 1, 2]).unwrap();
+        assert_eq!(unsolved.len(), 3);
+        assert!(!spec.can_recover(&[0, 1, 2]));
+        assert!(spec.can_recover(&[0, 1]));
+    }
+
+    #[test]
+    fn partial_recovery_solves_the_solvable_subset() {
+        // Two independent RS(3,2) groups glued in one spec; kill one group
+        // beyond tolerance and one group within tolerance.
+        let g = systematic_vandermonde(3, 2).unwrap();
+        let mk_support = |pr: usize, offset: usize| -> Vec<(u8, usize)> {
+            (0..3).map(|c| (g.get(3 + pr, c).value(), offset + c)).collect()
+        };
+        let spec = GfSpec {
+            n_cols: 10,
+            rows_per_col: 1,
+            data_elements: vec![0, 1, 2, 5, 6, 7],
+            parity_elements: vec![3, 4, 8, 9],
+            parity_support: vec![
+                mk_support(0, 0),
+                mk_support(1, 0),
+                mk_support(0, 5),
+                mk_support(1, 5),
+            ],
+        };
+        spec.validate().unwrap();
+        let full = encode_random(&spec, 16, 2);
+        // Group A loses 3 (unrecoverable), group B loses 2 (recoverable).
+        let erased = vec![0, 1, 2, 5, 6];
+        let (plan, unsolved) = spec.partial_recovery_plan(&erased).unwrap();
+        assert_eq!(unsolved, vec![0, 1, 2]);
+        let mut damaged = full.clone();
+        for &e in &erased {
+            damaged[e] = vec![0; 16];
+        }
+        plan.apply(&mut damaged);
+        assert_eq!(damaged[5], full[5]);
+        assert_eq!(damaged[6], full[6]);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let spec = rs32_spec();
+        assert!(matches!(
+            spec.partial_recovery_plan(&[77]),
+            Err(GfSolveError::ElementOutOfRange { index: 77, total: 5 })
+        ));
+    }
+
+    #[test]
+    fn empty_erasure_is_trivial() {
+        let spec = rs32_spec();
+        let (plan, unsolved) = spec.partial_recovery_plan(&[]).unwrap();
+        assert!(plan.steps.is_empty() && unsolved.is_empty());
+        assert_eq!(plan.term_cost(), 0);
+    }
+
+    #[test]
+    fn encode_term_cost_counts_terms() {
+        assert_eq!(rs32_spec().encode_term_cost(), 6);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    /// Random GF spec: `cols` data columns (1 element each) + 2 parity
+    /// columns with random nonzero coefficients over random subsets.
+    fn random_spec(cols: usize, seed: u64) -> GfSpec {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut parity_support = Vec::new();
+        for _ in 0..2 {
+            let mut support: Vec<(u8, usize)> = Vec::new();
+            for j in 0..cols {
+                if rng.random_bool(0.8) {
+                    support.push((rng.random_range(1..=255u8), j));
+                }
+            }
+            if support.is_empty() {
+                support.push((1, 0));
+            }
+            parity_support.push(support);
+        }
+        GfSpec {
+            n_cols: cols + 2,
+            rows_per_col: 1,
+            data_elements: (0..cols).collect(),
+            parity_elements: vec![cols, cols + 1],
+            parity_support,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Soundness of the GF solver mirrors the XOR solver's guarantee:
+        /// every claimed recovery is byte-exact and never reads erased
+        /// elements.
+        #[test]
+        fn gf_partial_plans_are_always_sound(
+            seed: u64,
+            cols in 2usize..8,
+            n_erased in 1usize..5,
+        ) {
+            let spec = random_spec(cols, seed);
+            prop_assume!(spec.validate().is_ok());
+
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+            let block = 12usize;
+            let mut elements = vec![vec![0u8; block]; spec.total_elements()];
+            for &d in &spec.data_elements {
+                rng.fill(elements[d].as_mut_slice());
+            }
+            spec.encode(&mut elements);
+            let truth = elements.clone();
+
+            let mut all: Vec<usize> = (0..spec.total_elements()).collect();
+            all.shuffle(&mut rng);
+            let erased: Vec<usize> = all[..n_erased.min(all.len())].to_vec();
+
+            let (plan, unsolved) = spec.partial_recovery_plan(&erased).unwrap();
+            let mut accounted: Vec<usize> = plan
+                .steps
+                .iter()
+                .map(|s| s.target)
+                .chain(unsolved.iter().copied())
+                .collect();
+            accounted.sort_unstable();
+            let mut want = erased.clone();
+            want.sort_unstable();
+            prop_assert_eq!(accounted, want);
+
+            for step in &plan.steps {
+                for &(_, s) in &step.sources {
+                    prop_assert!(!erased.contains(&s));
+                }
+            }
+
+            let mut damaged = truth.clone();
+            for &e in &erased {
+                damaged[e] = vec![0xEE; block];
+            }
+            plan.apply(&mut damaged);
+            for step in &plan.steps {
+                prop_assert_eq!(&damaged[step.target], &truth[step.target]);
+            }
+        }
+
+        /// With two independent random parities, any single erasure whose
+        /// element appears (with nonzero coefficient) in a surviving parity
+        /// of full support is recoverable; in particular erasing a parity
+        /// itself always is.
+        #[test]
+        fn gf_parity_self_recovery(seed: u64, cols in 2usize..8) {
+            let spec = random_spec(cols, seed);
+            prop_assume!(spec.validate().is_ok());
+            prop_assert!(spec.can_recover(&[cols]));
+            prop_assert!(spec.can_recover(&[cols + 1]));
+        }
+    }
+}

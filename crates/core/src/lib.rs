@@ -1,0 +1,58 @@
+//! Approximate Code — a cost-effective erasure-coding framework for tiered
+//! video storage (ICPP 2019).
+//!
+//! The framework distinguishes *important* data (e.g. H.264 I-frames) from
+//! *unimportant* data (P/B-frames) and protects them differently:
+//!
+//! * every local stripe of `k` data nodes gets `r` local parities covering
+//!   **all** its data,
+//! * `g` extra global parities cover only the **important** data (a `1/h`
+//!   fraction of the total),
+//!
+//! so important data tolerates `r + g` arbitrary node failures (3 in the
+//! paper's 3DFT setting) while the overall parity count drops from
+//! `3·h` nodes to `r·h + g`.
+//!
+//! # Pipeline
+//!
+//! 1. [`ApprParams`]/[`BaseFamily`] describe the code: `APPR.RS`,
+//!    `APPR.LRC`, `APPR.STAR` or `APPR.TIP`, with the paper's
+//!    `(k, r, g, h, structure)` notation.
+//! 2. [`builder::build`] performs *code segmentation* and *code
+//!    generation*, emitting element-level equations (XOR for the
+//!    STAR/TIP families, GF(2^8) for RS/LRC).
+//! 3. [`ApproxCode`] encodes stripes, reconstructs failures — fully via
+//!    the standard [`apec_ec::ErasureCode`] trait, or as far as the
+//!    pattern allows via [`ApproxCode::reconstruct_tiered`], which reports
+//!    exactly which byte ranges were lost for approximate (video
+//!    interpolation) recovery.
+//! 4. [`tiered`] packs important/unimportant byte streams into stripes and
+//!    maps damage reports back to stream coordinates.
+//!
+//! ```
+//! use approx_code::{ApproxCode, BaseFamily, Structure};
+//! use apec_ec::ErasureCode;
+//!
+//! // APPR.RS(4,1,2,3,Uneven): 3 stripes of 4 data + 1 local parity,
+//! // plus 2 global parities guarding stripe 0 (the important data).
+//! let code = ApproxCode::build_named(BaseFamily::Rs, 4, 1, 2, 3, Structure::Uneven).unwrap();
+//! assert_eq!(code.total_nodes(), 17);
+//!
+//! let shard = vec![0u8; code.shard_alignment() * 16];
+//! let data: Vec<Vec<u8>> = (0..code.data_nodes()).map(|_| shard.clone()).collect();
+//! let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+//! let parity = code.encode(&refs).unwrap();
+//! assert_eq!(parity.len(), 5); // 3 local + 2 global parities
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+mod code;
+pub mod gfspec;
+mod params;
+pub mod tiered;
+
+pub use code::{ApproxCode, PlanBundle, TieredReport};
+pub use params::{ApprParams, BaseFamily, Structure};

@@ -1,0 +1,291 @@
+//! Parameters, node layout and importance geometry of an Approximate Code.
+//!
+//! The paper's construction (§3.1): `APPR.Code(k, r, g, h, Structure)`
+//! arranges `N = h·(k + r) + g` nodes as `h` local stripes of `k` data +
+//! `r` local-parity nodes, plus `g` global-parity nodes. A fraction `1/h`
+//! of the data is *important*:
+//!
+//! * [`Structure::Even`] — every data node stores `1/h` important data
+//!   (its first sub-slot), balancing load;
+//! * [`Structure::Uneven`] — stripe 0's data nodes are entirely important,
+//!   maximising reliability (§3.4).
+
+use apec_ec::EcError;
+use std::fmt;
+
+/// How important data is distributed across data nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Structure {
+    /// Important data spread uniformly: `1/h` of every data node.
+    Even,
+    /// Important data concentrated in the first local stripe.
+    Uneven,
+}
+
+impl fmt::Display for Structure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Structure::Even => write!(f, "Even"),
+            Structure::Uneven => write!(f, "Uneven"),
+        }
+    }
+}
+
+/// The erasure-code family an Approximate Code is built from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaseFamily {
+    /// Reed-Solomon: local/global parities are rows of one systematic
+    /// `RS(k, r+g)` generator, so important data is protected by a true
+    /// MDS code.
+    Rs,
+    /// LRC-style: `r` XOR local group parities per stripe plus `g` Cauchy
+    /// global parities (important-data tolerance `1 + g`, like the paper's
+    /// footnote on APPR.LRC).
+    Lrc,
+    /// STAR family (slopes `{0, 1, −1}` over a prime `p ≥ k`).
+    Star,
+    /// TIP-like family (slopes `{0, 1, 2}` over a prime `p ≥ k`).
+    Tip,
+}
+
+impl fmt::Display for BaseFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaseFamily::Rs => write!(f, "RS"),
+            BaseFamily::Lrc => write!(f, "LRC"),
+            BaseFamily::Star => write!(f, "STAR"),
+            BaseFamily::Tip => write!(f, "TIP"),
+        }
+    }
+}
+
+/// Parameters of an `APPR.Code(k, r, g, h, structure)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ApprParams {
+    /// Data nodes per local stripe.
+    pub k: usize,
+    /// Local parity nodes per stripe.
+    pub r: usize,
+    /// Global parity nodes.
+    pub g: usize,
+    /// Number of local stripes; the important-data ratio is `1/h`.
+    pub h: usize,
+    /// Distribution of important data.
+    pub structure: Structure,
+}
+
+impl ApprParams {
+    /// Creates and validates the parameters against a base family.
+    pub fn new(
+        k: usize,
+        r: usize,
+        g: usize,
+        h: usize,
+        structure: Structure,
+        family: BaseFamily,
+    ) -> Result<Self, EcError> {
+        if k == 0 || r == 0 || g == 0 || h == 0 {
+            return Err(EcError::InvalidParameters(format!(
+                "APPR needs k, r, g, h >= 1, got ({k},{r},{g},{h})"
+            )));
+        }
+        match family {
+            BaseFamily::Rs => {
+                if k + r + g > 255 {
+                    return Err(EcError::InvalidParameters(format!(
+                        "RS base: k + r + g = {} exceeds 255",
+                        k + r + g
+                    )));
+                }
+            }
+            BaseFamily::Lrc => {
+                if r > k {
+                    return Err(EcError::InvalidParameters(format!(
+                        "LRC base: r = {r} local groups exceed k = {k} data nodes"
+                    )));
+                }
+                if k + g > 256 {
+                    return Err(EcError::InvalidParameters(format!(
+                        "LRC base: k + g = {} exceeds 256",
+                        k + g
+                    )));
+                }
+            }
+            BaseFamily::Star | BaseFamily::Tip => {
+                if r + g > 3 {
+                    return Err(EcError::InvalidParameters(format!(
+                        "{family:?} base supports r + g <= 3, got {}",
+                        r + g
+                    )));
+                }
+            }
+        }
+        Ok(ApprParams {
+            k,
+            r,
+            g,
+            h,
+            structure,
+        })
+    }
+
+    /// Total nodes: `N = h·(k + r) + g`.
+    pub fn total_nodes(&self) -> usize {
+        self.h * (self.k + self.r) + self.g
+    }
+
+    /// Total data nodes: `h·k`.
+    pub fn data_nodes(&self) -> usize {
+        self.h * self.k
+    }
+
+    /// Total parity nodes: `h·r + g`.
+    pub fn parity_nodes(&self) -> usize {
+        self.h * self.r + self.g
+    }
+
+    /// Node index of data node `j` of stripe `s` (stripe-major layout:
+    /// all data nodes first, then all local parities, then globals).
+    pub fn data_node(&self, stripe: usize, j: usize) -> usize {
+        debug_assert!(stripe < self.h && j < self.k);
+        stripe * self.k + j
+    }
+
+    /// Node index of local parity `i` of stripe `s`.
+    pub fn local_parity_node(&self, stripe: usize, i: usize) -> usize {
+        debug_assert!(stripe < self.h && i < self.r);
+        self.data_nodes() + stripe * self.r + i
+    }
+
+    /// Node index of global parity `t`.
+    pub fn global_node(&self, t: usize) -> usize {
+        debug_assert!(t < self.g);
+        self.data_nodes() + self.h * self.r + t
+    }
+
+    /// Which stripe a node belongs to (`None` for global parities).
+    pub fn stripe_of(&self, node: usize) -> Option<usize> {
+        let dn = self.data_nodes();
+        if node < dn {
+            Some(node / self.k)
+        } else if node < dn + self.h * self.r {
+            Some((node - dn) / self.r)
+        } else {
+            None
+        }
+    }
+
+    /// `true` when `node` is a data node.
+    pub fn is_data_node(&self, node: usize) -> bool {
+        node < self.data_nodes()
+    }
+
+    /// `true` when `node` is a global parity node.
+    pub fn is_global_node(&self, node: usize) -> bool {
+        node >= self.data_nodes() + self.h * self.r && node < self.total_nodes()
+    }
+
+    /// The number of importance sub-slots per element row: `h` under Even
+    /// (slot 0 is important), 1 under Uneven.
+    pub fn sub_slots(&self) -> usize {
+        match self.structure {
+            Structure::Even => self.h,
+            Structure::Uneven => 1,
+        }
+    }
+
+    /// Whether the given data node carries any important data.
+    pub fn node_has_important_data(&self, node: usize) -> bool {
+        if !self.is_data_node(node) {
+            return false;
+        }
+        match self.structure {
+            Structure::Even => true,
+            Structure::Uneven => self.stripe_of(node) == Some(0),
+        }
+    }
+
+    /// Storage overhead `((k+r)h + g)/(kh)` (paper Table 3).
+    pub fn storage_overhead(&self) -> f64 {
+        self.total_nodes() as f64 / self.data_nodes() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(structure: Structure) -> ApprParams {
+        ApprParams::new(4, 1, 2, 3, structure, BaseFamily::Rs).unwrap()
+    }
+
+    #[test]
+    fn validation_rules() {
+        assert!(ApprParams::new(0, 1, 2, 3, Structure::Even, BaseFamily::Rs).is_err());
+        assert!(ApprParams::new(4, 0, 2, 3, Structure::Even, BaseFamily::Rs).is_err());
+        assert!(ApprParams::new(4, 1, 0, 3, Structure::Even, BaseFamily::Rs).is_err());
+        assert!(ApprParams::new(4, 1, 2, 0, Structure::Even, BaseFamily::Rs).is_err());
+        assert!(ApprParams::new(250, 3, 3, 2, Structure::Even, BaseFamily::Rs).is_err());
+        assert!(ApprParams::new(4, 5, 1, 2, Structure::Even, BaseFamily::Lrc).is_err());
+        assert!(ApprParams::new(4, 2, 2, 2, Structure::Even, BaseFamily::Star).is_err());
+        assert!(ApprParams::new(4, 2, 1, 2, Structure::Even, BaseFamily::Star).is_ok());
+        assert!(ApprParams::new(4, 1, 2, 2, Structure::Even, BaseFamily::Tip).is_ok());
+    }
+
+    #[test]
+    fn node_counts_match_paper_formula() {
+        let p = params(Structure::Even);
+        assert_eq!(p.total_nodes(), 3 * 5 + 2);
+        assert_eq!(p.data_nodes(), 12);
+        assert_eq!(p.parity_nodes(), 5);
+        // APPR.RS(4,1,2,3): overhead ((4+1)*3+2)/(4*3) = 17/12.
+        assert!((p.storage_overhead() - 17.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_indexing_is_a_partition() {
+        let p = params(Structure::Uneven);
+        let mut seen = vec![false; p.total_nodes()];
+        for s in 0..3 {
+            for j in 0..4 {
+                let n = p.data_node(s, j);
+                assert!(!seen[n]);
+                seen[n] = true;
+                assert!(p.is_data_node(n));
+                assert_eq!(p.stripe_of(n), Some(s));
+            }
+            let n = p.local_parity_node(s, 0);
+            assert!(!seen[n]);
+            seen[n] = true;
+            assert!(!p.is_data_node(n));
+            assert!(!p.is_global_node(n));
+            assert_eq!(p.stripe_of(n), Some(s));
+        }
+        for t in 0..2 {
+            let n = p.global_node(t);
+            assert!(!seen[n]);
+            seen[n] = true;
+            assert!(p.is_global_node(n));
+            assert_eq!(p.stripe_of(n), None);
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn importance_geometry() {
+        let even = params(Structure::Even);
+        assert_eq!(even.sub_slots(), 3);
+        for node in 0..even.data_nodes() {
+            assert!(even.node_has_important_data(node));
+        }
+        assert!(!even.node_has_important_data(even.global_node(0)));
+
+        let uneven = params(Structure::Uneven);
+        assert_eq!(uneven.sub_slots(), 1);
+        for j in 0..4 {
+            assert!(uneven.node_has_important_data(uneven.data_node(0, j)));
+            assert!(!uneven.node_has_important_data(uneven.data_node(1, j)));
+            assert!(!uneven.node_has_important_data(uneven.data_node(2, j)));
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Packing important/unimportant byte streams into Approximate-Code
+//! stripes — the paper's "data identification and distribution" module
+//! (§3.6.1), minus the video-specific identification which lives in
+//! `apec-video`.
+//!
+//! The packer takes two streams — important bytes (I-frames) and
+//! unimportant bytes (P/B-frames) — and lays them into the data shards of
+//! as many stripes as needed, so that important bytes land exactly in the
+//! elements the global parities protect. The unpacker inverts the layout,
+//! and [`stream_location`] translates a damaged shard byte range (from
+//! [`crate::TieredReport`]) back into stream coordinates so the video
+//! layer knows which frames to interpolate.
+
+use crate::code::ApproxCode;
+use apec_ec::EcError;
+use std::ops::Range;
+
+/// Which logical stream a byte range belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stream {
+    /// The important stream (I-frames).
+    Important,
+    /// The unimportant stream (P/B-frames).
+    Unimportant,
+}
+
+/// An object packed into Approximate-Code stripes.
+#[derive(Debug, Clone)]
+pub struct PackedObject {
+    /// Per-stripe data shards (`h·k` shards of `shard_len` bytes each).
+    pub stripes: Vec<Vec<Vec<u8>>>,
+    /// Shard length used for packing.
+    pub shard_len: usize,
+    /// Original length of the important stream.
+    pub important_len: usize,
+    /// Original length of the unimportant stream.
+    pub unimportant_len: usize,
+}
+
+/// Bytes of important data one stripe can hold.
+pub fn important_capacity(code: &ApproxCode, shard_len: usize) -> usize {
+    let elen = shard_len / code.layout().elements_per_node();
+    code.layout().important_data_elements.len() * elen
+}
+
+/// Bytes of unimportant data one stripe can hold.
+pub fn unimportant_capacity(code: &ApproxCode, shard_len: usize) -> usize {
+    let elen = shard_len / code.layout().elements_per_node();
+    code.layout().unimportant_data_elements.len() * elen
+}
+
+/// Packs the two streams into as many stripes as necessary.
+///
+/// `shard_len` must be a positive multiple of the code's shard alignment.
+/// Slack space is zero-filled; [`unpack`] needs the original lengths from
+/// the returned [`PackedObject`].
+pub fn pack(
+    code: &ApproxCode,
+    important: &[u8],
+    unimportant: &[u8],
+    shard_len: usize,
+) -> Result<PackedObject, EcError> {
+    let align = code.layout().elements_per_node();
+    if shard_len == 0 || !shard_len.is_multiple_of(align) {
+        return Err(EcError::MisalignedShard {
+            alignment: align,
+            got: shard_len,
+        });
+    }
+    let icap = important_capacity(code, shard_len);
+    let ucap = unimportant_capacity(code, shard_len);
+    let stripes_needed = std::cmp::max(
+        important.len().div_ceil(icap),
+        unimportant.len().div_ceil(ucap),
+    )
+    .max(1);
+
+    let elen = shard_len / align;
+    let data_nodes = code.params().data_nodes();
+    let mut stripes = Vec::with_capacity(stripes_needed);
+    for s in 0..stripes_needed {
+        let mut shards = vec![vec![0u8; shard_len]; data_nodes];
+        // Lay the important stream into important elements, in element
+        // order; likewise for unimportant.
+        for (stream, elements) in [
+            (important, &code.layout().important_data_elements),
+            (unimportant, &code.layout().unimportant_data_elements),
+        ] {
+            let per_stripe = elements.len() * elen;
+            for (pos, &e) in elements.iter().enumerate() {
+                let src_start = s * per_stripe + pos * elen;
+                if src_start >= stream.len() {
+                    break;
+                }
+                let take = elen.min(stream.len() - src_start);
+                let (node, row, slot) = code.layout().locate(e);
+                let off = (row * code.layout().sub + slot) * elen;
+                shards[node][off..off + take]
+                    .copy_from_slice(&stream[src_start..src_start + take]);
+            }
+        }
+        stripes.push(shards);
+    }
+    Ok(PackedObject {
+        stripes,
+        shard_len,
+        important_len: important.len(),
+        unimportant_len: unimportant.len(),
+    })
+}
+
+/// Reassembles the two streams from (possibly repaired) data shards.
+pub fn unpack(
+    code: &ApproxCode,
+    stripes: &[Vec<Vec<u8>>],
+    important_len: usize,
+    unimportant_len: usize,
+) -> (Vec<u8>, Vec<u8>) {
+    let layout = code.layout();
+    let align = layout.elements_per_node();
+    let mut important = Vec::with_capacity(important_len);
+    let mut unimportant = Vec::with_capacity(unimportant_len);
+    for shards in stripes {
+        let shard_len = shards.first().map(|s| s.len()).unwrap_or(0);
+        let elen = shard_len / align;
+        for (stream, elements, cap) in [
+            (&mut important, &layout.important_data_elements, important_len),
+            (
+                &mut unimportant,
+                &layout.unimportant_data_elements,
+                unimportant_len,
+            ),
+        ] {
+            for &e in elements.iter() {
+                if stream.len() >= cap {
+                    break;
+                }
+                let (node, row, slot) = layout.locate(e);
+                let off = (row * layout.sub + slot) * elen;
+                let take = elen.min(cap - stream.len());
+                stream.extend_from_slice(&shards[node][off..off + take]);
+            }
+        }
+    }
+    important.truncate(important_len);
+    unimportant.truncate(unimportant_len);
+    (important, unimportant)
+}
+
+/// Translates a damaged byte range of a node's shard (stripe `stripe_idx`)
+/// into stream coordinates.
+///
+/// Returns `None` for parity nodes or slack space beyond the packed
+/// streams. Ranges are assumed element-aligned, as produced by
+/// [`crate::TieredReport::lost_ranges`].
+pub fn stream_location(
+    code: &ApproxCode,
+    stripe_idx: usize,
+    node: usize,
+    range: &Range<usize>,
+    shard_len: usize,
+) -> Option<(Stream, Range<usize>)> {
+    let layout = code.layout();
+    let align = layout.elements_per_node();
+    let elen = shard_len / align;
+    if elen == 0 || !layout.params.is_data_node(node) {
+        return None;
+    }
+    let idx = range.start / elen; // element index within the node
+    let e = node * align + idx;
+    for (stream, elements) in [
+        (Stream::Important, &layout.important_data_elements),
+        (Stream::Unimportant, &layout.unimportant_data_elements),
+    ] {
+        if let Ok(pos) = elements.binary_search(&e) {
+            let per_stripe = elements.len() * elen;
+            let start = stripe_idx * per_stripe + pos * elen + (range.start - idx * elen);
+            return Some((stream, start..start + (range.end - range.start)));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{BaseFamily, Structure};
+    use apec_ec::ErasureCode;
+    use rand::prelude::*;
+
+    fn code() -> ApproxCode {
+        ApproxCode::build_named(BaseFamily::Rs, 4, 1, 2, 3, Structure::Even).unwrap()
+    }
+
+    #[test]
+    fn capacities_follow_the_1_over_h_split() {
+        let code = code();
+        let shard_len = code.shard_alignment() * 10;
+        let icap = important_capacity(&code, shard_len);
+        let ucap = unimportant_capacity(&code, shard_len);
+        // 12 data nodes × shard_len bytes split 1/h : (h-1)/h.
+        assert_eq!(icap + ucap, 12 * shard_len);
+        assert_eq!(icap * 3, icap + ucap);
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let code = code();
+        let shard_len = code.shard_alignment() * 4;
+        for (ilen, ulen) in [(0usize, 0usize), (10, 17), (500, 1200), (1000, 100)] {
+            let mut important = vec![0u8; ilen];
+            let mut unimportant = vec![0u8; ulen];
+            rng.fill(important.as_mut_slice());
+            rng.fill(unimportant.as_mut_slice());
+            let packed = pack(&code, &important, &unimportant, shard_len).unwrap();
+            let (i2, u2) = unpack(&code, &packed.stripes, ilen, ulen);
+            assert_eq!(i2, important, "important stream ilen={ilen} ulen={ulen}");
+            assert_eq!(u2, unimportant, "unimportant stream ilen={ilen} ulen={ulen}");
+        }
+    }
+
+    #[test]
+    fn misaligned_shard_len_rejected() {
+        let code = code();
+        assert!(matches!(
+            pack(&code, &[], &[], code.shard_alignment() + 1),
+            Err(EcError::MisalignedShard { .. })
+        ));
+        assert!(pack(&code, &[], &[], 0).is_err());
+    }
+
+    #[test]
+    fn stripe_count_scales_with_the_larger_stream() {
+        let code = code();
+        let shard_len = code.shard_alignment();
+        let icap = important_capacity(&code, shard_len);
+        let packed = pack(&code, &vec![1u8; icap * 3], &[], shard_len).unwrap();
+        assert_eq!(packed.stripes.len(), 3);
+        let ucap = unimportant_capacity(&code, shard_len);
+        let packed = pack(&code, &[], &vec![1u8; ucap + 1], shard_len).unwrap();
+        assert_eq!(packed.stripes.len(), 2);
+    }
+
+    #[test]
+    fn important_bytes_land_in_important_ranges() {
+        let code = code();
+        let shard_len = code.shard_alignment() * 2;
+        let icap = important_capacity(&code, shard_len);
+        let packed = pack(&code, &vec![0xAB; icap], &[], shard_len).unwrap();
+        for (node, shard) in packed.stripes[0].iter().enumerate() {
+            for range in code.important_ranges(node, shard_len) {
+                assert!(
+                    shard[range].iter().all(|&b| b == 0xAB),
+                    "node {node} important range not filled"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stream_location_round_trips() {
+        let code = code();
+        let shard_len = code.shard_alignment() * 2;
+        let layout = code.layout();
+        let elen = shard_len / layout.elements_per_node();
+        // Important element 0 of stripe 1:
+        let &e = layout.important_data_elements.first().unwrap();
+        let (node, row, slot) = layout.locate(e);
+        let off = (row * layout.sub + slot) * elen;
+        let loc = stream_location(&code, 1, node, &(off..off + elen), shard_len).unwrap();
+        let icap = important_capacity(&code, shard_len);
+        assert_eq!(loc, (Stream::Important, icap..icap + elen));
+        // Parity node ranges map nowhere.
+        let pnode = code.params().local_parity_node(0, 0);
+        assert_eq!(stream_location(&code, 0, pnode, &(0..elen), shard_len), None);
+    }
+}

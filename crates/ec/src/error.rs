@@ -1,0 +1,84 @@
+//! The shared error type for all erasure codecs.
+
+use std::fmt;
+
+/// Errors surfaced by encoding/reconstruction across all codecs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EcError {
+    /// The caller passed a different number of shards than the code's
+    /// geometry requires.
+    WrongShardCount {
+        /// Shards expected by the code.
+        expected: usize,
+        /// Shards actually provided.
+        got: usize,
+    },
+    /// Shards must all have the same length.
+    ShardSizeMismatch {
+        /// Length of the first shard.
+        first: usize,
+        /// Index of the offending shard.
+        index: usize,
+        /// Its length.
+        got: usize,
+    },
+    /// Array codes require the shard length to be a multiple of the number
+    /// of element rows per column.
+    MisalignedShard {
+        /// The required alignment in bytes.
+        alignment: usize,
+        /// The shard length provided.
+        got: usize,
+    },
+    /// More shards are missing than the code can tolerate, or the specific
+    /// pattern is outside the code's repair capability.
+    TooManyErasures {
+        /// Indices of the missing shards.
+        missing: Vec<usize>,
+        /// The code's declared fault tolerance.
+        tolerance: usize,
+    },
+    /// The erasure pattern is within the nominal count but structurally
+    /// unrecoverable for this (non-MDS) code.
+    UnrecoverablePattern {
+        /// Indices of the missing shards.
+        missing: Vec<usize>,
+        /// Explanation of what could not be rebuilt.
+        detail: String,
+    },
+    /// A parameter combination the code does not support.
+    InvalidParameters(String),
+    /// An internal linear-algebra failure that indicates a bug or a
+    /// non-MDS pattern slipping through.
+    Internal(String),
+}
+
+impl fmt::Display for EcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EcError::WrongShardCount { expected, got } => {
+                write!(f, "expected {expected} shards, got {got}")
+            }
+            EcError::ShardSizeMismatch { first, index, got } => write!(
+                f,
+                "shard {index} has {got} bytes but shard 0 has {first}"
+            ),
+            EcError::MisalignedShard { alignment, got } => write!(
+                f,
+                "shard length {got} is not a multiple of the required alignment {alignment}"
+            ),
+            EcError::TooManyErasures { missing, tolerance } => write!(
+                f,
+                "{} shards missing ({missing:?}) exceeds fault tolerance {tolerance}",
+                missing.len()
+            ),
+            EcError::UnrecoverablePattern { missing, detail } => {
+                write!(f, "pattern {missing:?} unrecoverable: {detail}")
+            }
+            EcError::InvalidParameters(msg) => write!(f, "invalid parameters: {msg}"),
+            EcError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EcError {}

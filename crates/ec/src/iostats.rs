@@ -1,0 +1,147 @@
+//! Per-node I/O accounting.
+//!
+//! The paper's single-write (Fig. 9) and recovery (Fig. 14) experiments are
+//! about *how many* I/Os a code induces, independent of wall time. This
+//! module counts them. Counters are thread-safe so the parallel pipeline
+//! and the cluster simulator can share one instance.
+
+use parking_lot::Mutex;
+
+/// I/O totals for one storage node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeIo {
+    /// Number of read operations.
+    pub read_ops: u64,
+    /// Bytes read.
+    pub read_bytes: u64,
+    /// Number of write operations.
+    pub write_ops: u64,
+    /// Bytes written.
+    pub write_bytes: u64,
+}
+
+/// Thread-safe I/O counters for a set of nodes.
+#[derive(Debug)]
+pub struct IoStats {
+    nodes: Mutex<Vec<NodeIo>>,
+}
+
+impl IoStats {
+    /// Creates counters for `n` nodes, all zero.
+    pub fn new(n: usize) -> Self {
+        IoStats {
+            nodes: Mutex::new(vec![NodeIo::default(); n]),
+        }
+    }
+
+    /// Number of tracked nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.lock().len()
+    }
+
+    /// Records a read of `bytes` from `node`.
+    pub fn record_read(&self, node: usize, bytes: u64) {
+        let mut nodes = self.nodes.lock();
+        let io = &mut nodes[node];
+        io.read_ops += 1;
+        io.read_bytes += bytes;
+    }
+
+    /// Records a write of `bytes` to `node`.
+    pub fn record_write(&self, node: usize, bytes: u64) {
+        let mut nodes = self.nodes.lock();
+        let io = &mut nodes[node];
+        io.write_ops += 1;
+        io.write_bytes += bytes;
+    }
+
+    /// Snapshot of one node's counters.
+    pub fn node(&self, node: usize) -> NodeIo {
+        self.nodes.lock()[node]
+    }
+
+    /// Snapshot of all counters.
+    pub fn snapshot(&self) -> Vec<NodeIo> {
+        self.nodes.lock().clone()
+    }
+
+    /// Sum across nodes.
+    pub fn totals(&self) -> NodeIo {
+        let nodes = self.nodes.lock();
+        let mut t = NodeIo::default();
+        for n in nodes.iter() {
+            t.read_ops += n.read_ops;
+            t.read_bytes += n.read_bytes;
+            t.write_ops += n.write_ops;
+            t.write_bytes += n.write_bytes;
+        }
+        t
+    }
+
+    /// Total operations (reads + writes) — the paper's "number of I/Os".
+    pub fn total_ops(&self) -> u64 {
+        let t = self.totals();
+        t.read_ops + t.write_ops
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        let mut nodes = self.nodes.lock();
+        for n in nodes.iter_mut() {
+            *n = NodeIo::default();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn record_and_total() {
+        let stats = IoStats::new(3);
+        stats.record_read(0, 100);
+        stats.record_read(0, 50);
+        stats.record_write(2, 10);
+        assert_eq!(stats.node(0).read_ops, 2);
+        assert_eq!(stats.node(0).read_bytes, 150);
+        assert_eq!(stats.node(1), NodeIo::default());
+        assert_eq!(stats.node(2).write_bytes, 10);
+        let t = stats.totals();
+        assert_eq!(t.read_ops, 2);
+        assert_eq!(t.write_ops, 1);
+        assert_eq!(stats.total_ops(), 3);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let stats = IoStats::new(2);
+        stats.record_write(1, 5);
+        stats.reset();
+        assert_eq!(stats.totals(), NodeIo::default());
+    }
+
+    #[test]
+    fn concurrent_recording_is_consistent() {
+        let stats = Arc::new(IoStats::new(4));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let s = Arc::clone(&stats);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    s.record_read(t, 1);
+                    s.record_write((t + 1) % 4, 2);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let t = stats.totals();
+        assert_eq!(t.read_ops, 4000);
+        assert_eq!(t.read_bytes, 4000);
+        assert_eq!(t.write_ops, 4000);
+        assert_eq!(t.write_bytes, 8000);
+    }
+}

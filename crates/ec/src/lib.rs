@@ -1,0 +1,31 @@
+//! Core erasure-coding abstractions shared by every codec in the workspace.
+//!
+//! * [`ErasureCode`] — the object-safe trait all codes implement (RS,
+//!   Cauchy-RS, LRC, EVENODD, RDP, STAR, TIP and the Approximate codes).
+//! * [`stripe`] — splitting byte objects into aligned per-node shards and
+//!   back.
+//! * [`parallel`] — a crossbeam-based segmented pipeline that encodes or
+//!   repairs large stripes on multiple threads; every code here operates
+//!   element-wise, so a stripe can be cut into independent segments.
+//! * [`iostats`] — I/O accounting used to reproduce the paper's single-write
+//!   and recovery-cost experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod iostats;
+pub mod parallel;
+pub mod stripe;
+mod traits;
+
+pub use error::EcError;
+pub use traits::{BoxedCode, ErasureCode, UpdatePattern};
+
+/// Other crates' placeholder modules get filled in as the build proceeds.
+#[doc(hidden)]
+pub mod prelude {
+    pub use crate::iostats::IoStats;
+    pub use crate::stripe::{join_shards, split_into_shards};
+    pub use crate::{EcError, ErasureCode};
+}

@@ -1,0 +1,377 @@
+//! Segmented multi-threaded encode/reconstruct.
+//!
+//! Every code in this workspace is *offset-local*: byte `o` of every
+//! element row interacts only with byte `o` of other element rows (XOR
+//! chains and GF multiply-accumulate both work bytewise). A stripe can
+//! therefore be cut along the byte-offset axis into independent segments
+//! and processed by a pool of crossbeam scoped threads.
+//!
+//! The subtlety is array codes (`shard_alignment() > 1`): a shard is
+//! `rows` concatenated element blocks, and parity equations couple
+//! *different rows* at the *same offset*. Slicing a shard into contiguous
+//! byte ranges would remap bytes into different rows and silently encode
+//! a different stripe (the cross-code integration suite caught exactly
+//! that). Instead, a segment takes byte columns `[a, b)` of *every* row —
+//! a gather before and a scatter after — which restricts every equation
+//! to those offsets and is exactly equivalent to the serial computation.
+//!
+//! Workers pull segment indices from a shared atomic counter, so long
+//! stripes load-balance even when segment costs vary.
+
+use crate::{EcError, ErasureCode};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Byte-offset ranges `[a, b)` within an element row.
+fn offset_ranges(row_len: usize, segment_bytes: usize, rows: usize) -> Vec<(usize, usize)> {
+    if row_len == 0 {
+        return vec![];
+    }
+    // `segment_bytes` is the caller's budget for a whole-shard segment;
+    // divide by the row count to get the per-row slice width.
+    let per_row = (segment_bytes / rows.max(1)).max(1);
+    let mut out = Vec::with_capacity(row_len.div_ceil(per_row));
+    let mut start = 0;
+    while start < row_len {
+        let end = (start + per_row).min(row_len);
+        out.push((start, end));
+        start = end;
+    }
+    out
+}
+
+/// Gathers byte columns `[a, b)` of every element row of `shard`.
+fn gather(shard: &[u8], rows: usize, row_len: usize, a: usize, b: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(rows * (b - a));
+    for r in 0..rows {
+        out.extend_from_slice(&shard[r * row_len + a..r * row_len + b]);
+    }
+    out
+}
+
+/// Inverse of [`gather`]: writes a segment back into `shard`.
+fn scatter(segment: &[u8], shard: &mut [u8], rows: usize, row_len: usize, a: usize, b: usize) {
+    let w = b - a;
+    for r in 0..rows {
+        shard[r * row_len + a..r * row_len + b].copy_from_slice(&segment[r * w..(r + 1) * w]);
+    }
+}
+
+/// Encodes a stripe on up to `threads` worker threads by splitting it into
+/// segments of roughly `segment_bytes`.
+///
+/// Produces exactly the same parity bytes as [`ErasureCode::encode`]; the
+/// equivalence is part of the test suite and an ablation benchmark.
+pub fn encode_segmented(
+    code: &dyn ErasureCode,
+    data: &[&[u8]],
+    segment_bytes: usize,
+    threads: usize,
+) -> Result<Vec<Vec<u8>>, EcError> {
+    let shard_len = code.check_data_shards(data)?;
+    let rows = code.shard_alignment().max(1);
+    let row_len = shard_len / rows;
+    let ranges = offset_ranges(row_len, segment_bytes, rows);
+    if ranges.len() <= 1 || threads <= 1 {
+        return code.encode(data);
+    }
+
+    let next = AtomicUsize::new(0);
+    let n_workers = threads.min(ranges.len());
+    type SegCell = parking_lot::Mutex<Option<Result<Vec<Vec<u8>>, EcError>>>;
+    let results: Vec<SegCell> =
+        (0..ranges.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+
+    crossbeam::thread::scope(|s| {
+        for _ in 0..n_workers {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= ranges.len() {
+                    break;
+                }
+                let (a, b) = ranges[i];
+                let seg_data: Vec<Vec<u8>> =
+                    data.iter().map(|d| gather(d, rows, row_len, a, b)).collect();
+                let refs: Vec<&[u8]> = seg_data.iter().map(|d| d.as_slice()).collect();
+                *results[i].lock() = Some(code.encode(&refs));
+            });
+        }
+    })
+    .expect("worker thread panicked during segmented encode");
+
+    let mut parity = vec![vec![0u8; shard_len]; code.parity_nodes()];
+    for (cell, &(a, b)) in results.iter().zip(&ranges) {
+        let seg = cell
+            .lock()
+            .take()
+            .expect("every segment is claimed by exactly one worker")?;
+        debug_assert_eq!(seg.len(), parity.len());
+        for (p, s) in parity.iter_mut().zip(seg) {
+            scatter(&s, p, rows, row_len, a, b);
+        }
+    }
+    Ok(parity)
+}
+
+/// Reconstructs a stripe on up to `threads` worker threads.
+///
+/// Byte-identical to [`ErasureCode::reconstruct`] on success; errors are
+/// the same as the serial path reports for the first failing segment.
+pub fn reconstruct_segmented(
+    code: &dyn ErasureCode,
+    shards: &mut [Option<Vec<u8>>],
+    segment_bytes: usize,
+    threads: usize,
+) -> Result<(), EcError> {
+    let (shard_len, missing) = code.check_stripe(shards)?;
+    if missing.is_empty() {
+        return Ok(());
+    }
+    let rows = code.shard_alignment().max(1);
+    let row_len = shard_len / rows;
+    let ranges = offset_ranges(row_len, segment_bytes, rows);
+    if ranges.len() <= 1 || threads <= 1 {
+        return code.reconstruct(shards);
+    }
+
+    let next = AtomicUsize::new(0);
+    let n_workers = threads.min(ranges.len());
+    type SegResult = Result<Vec<(usize, Vec<u8>)>, EcError>;
+    let results: Vec<parking_lot::Mutex<Option<SegResult>>> =
+        (0..ranges.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+    let shards_ref: &[Option<Vec<u8>>] = shards;
+
+    crossbeam::thread::scope(|s| {
+        for _ in 0..n_workers {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= ranges.len() {
+                    break;
+                }
+                let (a, b) = ranges[i];
+                let mut seg: Vec<Option<Vec<u8>>> = shards_ref
+                    .iter()
+                    .map(|sh| sh.as_ref().map(|v| gather(v, rows, row_len, a, b)))
+                    .collect();
+                let res = code.reconstruct(&mut seg).map(|()| {
+                    missing
+                        .iter()
+                        .map(|&m| (m, seg[m].take().expect("reconstruct fills all shards")))
+                        .collect::<Vec<_>>()
+                });
+                *results[i].lock() = Some(res);
+            });
+        }
+    })
+    .expect("worker thread panicked during segmented reconstruct");
+
+    // Pre-size the recovered shards, then scatter each segment into place.
+    for &m in &missing {
+        shards[m] = Some(vec![0u8; shard_len]);
+    }
+    for (cell, &(a, b)) in results.iter().zip(&ranges) {
+        let seg = cell
+            .lock()
+            .take()
+            .expect("every segment is claimed by exactly one worker");
+        match seg {
+            Ok(parts) => {
+                for (m, bytes) in parts {
+                    let dst = shards[m].as_mut().expect("pre-sized above");
+                    scatter(&bytes, dst, rows, row_len, a, b);
+                }
+            }
+            Err(e) => {
+                // Restore the erased state before reporting: the serial
+                // contract is "unmodified on failure".
+                for &m in &missing {
+                    shards[m] = None;
+                }
+                return Err(e);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    /// 2-data + 1-parity code whose parity couples *different rows* (like
+    /// a diagonal): p[row 0] = d0[row 0] ^ d1[row 1], p[row 1] =
+    /// d0[row 1] ^ d1[row 0]. Catches any segmentation that remaps rows.
+    struct CrossRowParity;
+
+    impl CrossRowParity {
+        const ROWS: usize = 2;
+    }
+
+    impl ErasureCode for CrossRowParity {
+        fn name(&self) -> String {
+            "CROSS-ROW(2,1)".into()
+        }
+        fn data_nodes(&self) -> usize {
+            2
+        }
+        fn parity_nodes(&self) -> usize {
+            1
+        }
+        fn fault_tolerance(&self) -> usize {
+            1
+        }
+        fn shard_alignment(&self) -> usize {
+            Self::ROWS
+        }
+        fn encode(&self, data: &[&[u8]]) -> Result<Vec<Vec<u8>>, EcError> {
+            let len = self.check_data_shards(data)?;
+            let e = len / 2;
+            let mut p = vec![0u8; len];
+            for o in 0..e {
+                p[o] = data[0][o] ^ data[1][e + o];
+                p[e + o] = data[0][e + o] ^ data[1][o];
+            }
+            Ok(vec![p])
+        }
+        fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), EcError> {
+            let (len, missing) = self.check_stripe(shards)?;
+            if missing.len() > 1 {
+                return Err(EcError::TooManyErasures {
+                    missing,
+                    tolerance: 1,
+                });
+            }
+            let Some(&m) = missing.first() else {
+                return Ok(());
+            };
+            let e = len / 2;
+            let get = |i: usize| shards[i].as_ref().unwrap();
+            let mut out = vec![0u8; len];
+            match m {
+                0 => {
+                    for o in 0..e {
+                        out[o] = get(2)[o] ^ get(1)[e + o];
+                        out[e + o] = get(2)[e + o] ^ get(1)[o];
+                    }
+                }
+                1 => {
+                    for o in 0..e {
+                        out[e + o] = get(2)[o] ^ get(0)[o];
+                        out[o] = get(2)[e + o] ^ get(0)[e + o];
+                    }
+                }
+                2 => {
+                    for o in 0..e {
+                        out[o] = get(0)[o] ^ get(1)[e + o];
+                        out[e + o] = get(0)[e + o] ^ get(1)[o];
+                    }
+                }
+                _ => unreachable!(),
+            }
+            shards[m] = Some(out);
+            Ok(())
+        }
+    }
+
+    fn random_shards(n: usize, len: usize, seed: u64) -> Vec<Vec<u8>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let mut v = vec![0u8; len];
+                rng.fill(v.as_mut_slice());
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn offset_ranges_cover_exactly() {
+        let r = offset_ranges(100, 24, 2);
+        assert_eq!(r.first().unwrap().0, 0);
+        assert_eq!(r.last().unwrap().1, 100);
+        for w in r.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+        assert!(offset_ranges(0, 8, 2).is_empty());
+    }
+
+    #[test]
+    fn gather_scatter_round_trip() {
+        let shard: Vec<u8> = (0..24).collect();
+        let g = gather(&shard, 3, 8, 2, 5);
+        assert_eq!(g, vec![2, 3, 4, 10, 11, 12, 18, 19, 20]);
+        let mut back = vec![0u8; 24];
+        scatter(&g, &mut back, 3, 8, 2, 5);
+        for r in 0..3 {
+            assert_eq!(&back[r * 8 + 2..r * 8 + 5], &shard[r * 8 + 2..r * 8 + 5]);
+        }
+    }
+
+    #[test]
+    fn cross_row_parallel_encode_matches_serial() {
+        let code = CrossRowParity;
+        let data = random_shards(2, 4096, 9);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let serial = code.encode(&refs).unwrap();
+        for threads in [2, 4, 8] {
+            for seg in [16, 100, 1000] {
+                let par = encode_segmented(&code, &refs, seg, threads).unwrap();
+                assert_eq!(par, serial, "threads={threads} seg={seg}");
+            }
+        }
+    }
+
+    #[test]
+    fn cross_row_parallel_reconstruct_matches_serial() {
+        let code = CrossRowParity;
+        let data = random_shards(2, 2048, 10);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = code.encode(&refs).unwrap();
+        let full: Vec<Option<Vec<u8>>> = data.iter().cloned().chain(parity).map(Some).collect();
+        for victim in 0..3 {
+            let mut stripe = full.clone();
+            stripe[victim] = None;
+            reconstruct_segmented(&code, &mut stripe, 128, 4).unwrap();
+            assert_eq!(
+                stripe,
+                full,
+                "victim {victim}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_reconstruct_propagates_errors_and_restores() {
+        let code = CrossRowParity;
+        let data = random_shards(2, 1024, 11);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = code.encode(&refs).unwrap();
+        let mut stripe: Vec<Option<Vec<u8>>> = vec![None, None, Some(parity[0].clone())];
+        let err = reconstruct_segmented(&code, &mut stripe, 64, 4).unwrap_err();
+        assert!(matches!(err, EcError::TooManyErasures { .. }));
+        assert!(stripe[0].is_none() && stripe[1].is_none());
+    }
+
+    #[test]
+    fn no_missing_is_a_noop() {
+        let code = CrossRowParity;
+        let data = random_shards(2, 256, 12);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = code.encode(&refs).unwrap();
+        let mut stripe: Vec<Option<Vec<u8>>> =
+            data.iter().cloned().chain(parity).map(Some).collect();
+        let before = stripe.clone();
+        reconstruct_segmented(&code, &mut stripe, 64, 4).unwrap();
+        assert_eq!(stripe, before);
+    }
+
+    #[test]
+    fn single_thread_or_tiny_stripe_falls_back_to_serial() {
+        let code = CrossRowParity;
+        let data = random_shards(2, 64, 13);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let serial = code.encode(&refs).unwrap();
+        assert_eq!(encode_segmented(&code, &refs, 1 << 20, 8).unwrap(), serial);
+        assert_eq!(encode_segmented(&code, &refs, 16, 1).unwrap(), serial);
+    }
+}

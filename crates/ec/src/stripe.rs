@@ -1,0 +1,121 @@
+//! Splitting byte objects into per-node shards and back.
+//!
+//! Objects rarely divide evenly into `k × alignment`, so the splitter pads
+//! with zeros and the joiner needs the original length back. These helpers
+//! are used by the framework codes, the cluster simulator and the examples.
+
+/// Splits `data` into `k` equal-length shards, each a multiple of
+/// `alignment` bytes, zero-padding the tail.
+///
+/// Returns the shards; the caller must remember `data.len()` to invert the
+/// operation with [`join_shards`].
+///
+/// # Panics
+/// Panics if `k == 0` or `alignment == 0`.
+pub fn split_into_shards(data: &[u8], k: usize, alignment: usize) -> Vec<Vec<u8>> {
+    assert!(k > 0, "cannot split into zero shards");
+    assert!(alignment > 0, "alignment must be positive");
+    let per_shard = data.len().div_ceil(k).div_ceil(alignment).max(1) * alignment;
+    let mut shards = Vec::with_capacity(k);
+    for i in 0..k {
+        let start = (i * per_shard).min(data.len());
+        let end = ((i + 1) * per_shard).min(data.len());
+        let mut shard = Vec::with_capacity(per_shard);
+        shard.extend_from_slice(&data[start..end]);
+        shard.resize(per_shard, 0);
+        shards.push(shard);
+    }
+    shards
+}
+
+/// Reassembles the original object from data shards produced by
+/// [`split_into_shards`].
+///
+/// # Panics
+/// Panics if the shards cannot possibly contain `original_len` bytes.
+pub fn join_shards(shards: &[Vec<u8>], original_len: usize) -> Vec<u8> {
+    let capacity: usize = shards.iter().map(|s| s.len()).sum();
+    assert!(
+        capacity >= original_len,
+        "shards hold {capacity} bytes but {original_len} were requested"
+    );
+    let mut out = Vec::with_capacity(original_len);
+    for shard in shards {
+        if out.len() >= original_len {
+            break;
+        }
+        let take = (original_len - out.len()).min(shard.len());
+        out.extend_from_slice(&shard[..take]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_exact_fit() {
+        let data: Vec<u8> = (0..24).collect();
+        let shards = split_into_shards(&data, 4, 2);
+        assert!(shards.iter().all(|s| s.len() == 6));
+        assert_eq!(join_shards(&shards, data.len()), data);
+    }
+
+    #[test]
+    fn round_trip_with_padding() {
+        let data: Vec<u8> = (0..10).collect();
+        let shards = split_into_shards(&data, 3, 4);
+        // ceil(10/3)=4, ceil(4/4)*4=4 per shard.
+        assert!(shards.iter().all(|s| s.len() == 4));
+        assert_eq!(join_shards(&shards, data.len()), data);
+    }
+
+    #[test]
+    fn empty_object_still_produces_aligned_shards() {
+        let shards = split_into_shards(&[], 3, 8);
+        assert_eq!(shards.len(), 3);
+        assert!(shards.iter().all(|s| s.len() == 8 && s.iter().all(|&b| b == 0)));
+        assert_eq!(join_shards(&shards, 0), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn single_shard() {
+        let data = vec![7u8; 5];
+        let shards = split_into_shards(&data, 1, 1);
+        assert_eq!(shards.len(), 1);
+        assert_eq!(join_shards(&shards, 5), data);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split into zero shards")]
+    fn zero_k_panics() {
+        split_into_shards(&[1], 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "shards hold")]
+    fn join_too_short_panics() {
+        join_shards(&[vec![0u8; 2]], 10);
+    }
+
+    proptest! {
+        #[test]
+        fn split_join_round_trips(
+            data in proptest::collection::vec(any::<u8>(), 0..500),
+            k in 1usize..12,
+            alignment in 1usize..17,
+        ) {
+            let shards = split_into_shards(&data, k, alignment);
+            prop_assert_eq!(shards.len(), k);
+            let len0 = shards[0].len();
+            for s in &shards {
+                prop_assert_eq!(s.len(), len0);
+                prop_assert_eq!(s.len() % alignment, 0);
+            }
+            prop_assert!(len0 * k >= data.len());
+            prop_assert_eq!(join_shards(&shards, data.len()), data);
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! The [`ErasureCode`] trait.
+
+use crate::EcError;
+
+/// How a single-block update to one data node ripples through the code —
+/// the quantity behind the paper's "Avg. Single Write Overhead" metric
+/// (Table 3 and Figure 9).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdatePattern {
+    /// Number of node writes for updating one data block: the data node
+    /// itself plus every parity node whose content depends on it
+    /// (element-averaged for array codes, hence fractional).
+    pub node_writes: f64,
+    /// Number of parity-element writes per data-element update, before
+    /// adding the data write itself.
+    pub parity_writes: f64,
+}
+
+/// A systematic erasure code over equal-size per-node shards.
+///
+/// Geometry: `data_nodes()` data shards are encoded into `parity_nodes()`
+/// parity shards; all `total_nodes()` shards have equal length, which must
+/// be a multiple of `shard_alignment()` bytes (array codes slice each shard
+/// into `rows_per_col` elements).
+///
+/// Implementations are required to be *systematic*: `encode` never modifies
+/// data shards, it only derives parities.
+pub trait ErasureCode: Send + Sync {
+    /// Human-readable name including parameters, e.g. `RS(5,3)` or
+    /// `APPR.STAR(5,2,1,4,Uneven)`.
+    fn name(&self) -> String;
+
+    /// Number of data nodes (the paper's `k`, possibly aggregated for
+    /// framework codes).
+    fn data_nodes(&self) -> usize;
+
+    /// Number of parity nodes.
+    fn parity_nodes(&self) -> usize;
+
+    /// Total number of nodes in a stripe.
+    fn total_nodes(&self) -> usize {
+        self.data_nodes() + self.parity_nodes()
+    }
+
+    /// Number of *arbitrary* node failures the code guarantees to repair.
+    fn fault_tolerance(&self) -> usize;
+
+    /// Required shard-length alignment in bytes (array codes: rows per
+    /// column; GF codes: 1).
+    fn shard_alignment(&self) -> usize {
+        1
+    }
+
+    /// Computes the parity shards for the given data shards.
+    ///
+    /// `data` must contain exactly `data_nodes()` equal-length shards whose
+    /// length is a multiple of `shard_alignment()`.
+    fn encode(&self, data: &[&[u8]]) -> Result<Vec<Vec<u8>>, EcError>;
+
+    /// Rebuilds the missing shards in place.
+    ///
+    /// `shards` has `total_nodes()` entries; `None` marks an erased shard.
+    /// On success every entry is `Some` and byte-identical to the original
+    /// stripe. Patterns beyond the code's capability return
+    /// [`EcError::TooManyErasures`] or [`EcError::UnrecoverablePattern`]
+    /// and leave `shards` unmodified except possibly for already-recovered
+    /// entries of partially repairable framework codes (documented there).
+    fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), EcError>;
+
+    /// The storage overhead ratio `total bytes / data bytes` = n/k.
+    fn storage_overhead(&self) -> f64 {
+        self.total_nodes() as f64 / self.data_nodes() as f64
+    }
+
+    /// Cost of updating a single data block. The default models a plain
+    /// MDS code where every parity depends on every data node.
+    fn update_pattern(&self) -> UpdatePattern {
+        UpdatePattern {
+            node_writes: 1.0 + self.parity_nodes() as f64,
+            parity_writes: self.parity_nodes() as f64,
+        }
+    }
+
+    /// Validates a borrowed set of data shards against the code geometry.
+    /// Helper for implementations; returns the shard length.
+    fn check_data_shards(&self, data: &[&[u8]]) -> Result<usize, EcError> {
+        if data.len() != self.data_nodes() {
+            return Err(EcError::WrongShardCount {
+                expected: self.data_nodes(),
+                got: data.len(),
+            });
+        }
+        let len = data.first().map_or(0, |s| s.len());
+        for (i, s) in data.iter().enumerate() {
+            if s.len() != len {
+                return Err(EcError::ShardSizeMismatch {
+                    first: len,
+                    index: i,
+                    got: s.len(),
+                });
+            }
+        }
+        let align = self.shard_alignment();
+        if align > 1 && !len.is_multiple_of(align) {
+            return Err(EcError::MisalignedShard {
+                alignment: align,
+                got: len,
+            });
+        }
+        Ok(len)
+    }
+
+    /// Validates a reconstruction input: shape, equal sizes, alignment.
+    /// Returns `(shard_len, missing_indices)`.
+    fn check_stripe(&self, shards: &[Option<Vec<u8>>]) -> Result<(usize, Vec<usize>), EcError> {
+        if shards.len() != self.total_nodes() {
+            return Err(EcError::WrongShardCount {
+                expected: self.total_nodes(),
+                got: shards.len(),
+            });
+        }
+        let mut len: Option<usize> = None;
+        let mut missing = Vec::new();
+        for (i, s) in shards.iter().enumerate() {
+            match s {
+                None => missing.push(i),
+                Some(b) => match len {
+                    None => len = Some(b.len()),
+                    Some(l) if l != b.len() => {
+                        return Err(EcError::ShardSizeMismatch {
+                            first: l,
+                            index: i,
+                            got: b.len(),
+                        })
+                    }
+                    _ => {}
+                },
+            }
+        }
+        let len = len.ok_or_else(|| {
+            EcError::TooManyErasures {
+                missing: missing.clone(),
+                tolerance: self.fault_tolerance(),
+            }
+        })?;
+        let align = self.shard_alignment();
+        if align > 1 && !len.is_multiple_of(align) {
+            return Err(EcError::MisalignedShard {
+                alignment: align,
+                got: len,
+            });
+        }
+        Ok((len, missing))
+    }
+}
+
+/// A heap-allocated, dynamically-typed code — how the bench harness and the
+/// cluster simulator hold heterogeneous codecs.
+pub type BoxedCode = Box<dyn ErasureCode>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal single-parity XOR code used to exercise the default methods.
+    struct ParityCode {
+        k: usize,
+    }
+
+    impl ErasureCode for ParityCode {
+        fn name(&self) -> String {
+            format!("PARITY({},1)", self.k)
+        }
+        fn data_nodes(&self) -> usize {
+            self.k
+        }
+        fn parity_nodes(&self) -> usize {
+            1
+        }
+        fn fault_tolerance(&self) -> usize {
+            1
+        }
+        fn encode(&self, data: &[&[u8]]) -> Result<Vec<Vec<u8>>, EcError> {
+            let len = self.check_data_shards(data)?;
+            let mut p = vec![0u8; len];
+            for s in data {
+                for (d, b) in p.iter_mut().zip(*s) {
+                    *d ^= *b;
+                }
+            }
+            Ok(vec![p])
+        }
+        fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), EcError> {
+            let (len, missing) = self.check_stripe(shards)?;
+            if missing.is_empty() {
+                return Ok(());
+            }
+            if missing.len() > 1 {
+                return Err(EcError::TooManyErasures {
+                    missing,
+                    tolerance: 1,
+                });
+            }
+            let mut acc = vec![0u8; len];
+            for s in shards.iter().flatten() {
+                for (d, b) in acc.iter_mut().zip(s) {
+                    *d ^= *b;
+                }
+            }
+            shards[missing[0]] = Some(acc);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn defaults_are_consistent() {
+        let c = ParityCode { k: 4 };
+        assert_eq!(c.total_nodes(), 5);
+        assert!((c.storage_overhead() - 1.25).abs() < 1e-12);
+        let up = c.update_pattern();
+        assert_eq!(up.node_writes, 2.0);
+        assert_eq!(up.parity_writes, 1.0);
+    }
+
+    #[test]
+    fn check_data_shards_validates() {
+        let c = ParityCode { k: 2 };
+        assert!(matches!(
+            c.check_data_shards(&[&[0u8; 4][..]]),
+            Err(EcError::WrongShardCount { expected: 2, got: 1 })
+        ));
+        assert!(matches!(
+            c.check_data_shards(&[&[0u8; 4][..], &[0u8; 5][..]]),
+            Err(EcError::ShardSizeMismatch { .. })
+        ));
+        assert_eq!(c.check_data_shards(&[&[0u8; 4][..], &[1u8; 4][..]]), Ok(4));
+    }
+
+    #[test]
+    fn parity_round_trip_and_errors() {
+        let c = ParityCode { k: 3 };
+        let data: Vec<Vec<u8>> = vec![vec![1, 2], vec![3, 4], vec![5, 6]];
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = c.encode(&refs).unwrap();
+
+        let mut stripe: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .cloned()
+            .map(Some)
+            .chain(parity.iter().cloned().map(Some))
+            .collect();
+        stripe[1] = None;
+        c.reconstruct(&mut stripe).unwrap();
+        assert_eq!(stripe[1].as_deref(), Some(&data[1][..]));
+
+        let mut stripe2: Vec<Option<Vec<u8>>> = vec![None, None, Some(vec![0, 0]), Some(vec![0, 0])];
+        assert!(matches!(
+            c.reconstruct(&mut stripe2),
+            Err(EcError::TooManyErasures { .. })
+        ));
+    }
+
+    #[test]
+    fn check_stripe_rejects_all_missing() {
+        let c = ParityCode { k: 1 };
+        let mut stripe: Vec<Option<Vec<u8>>> = vec![None, None];
+        assert!(matches!(
+            c.reconstruct(&mut stripe),
+            Err(EcError::TooManyErasures { .. })
+        ));
+    }
+}

@@ -1,0 +1,29 @@
+//! GF(2^8) arithmetic for erasure coding.
+//!
+//! This crate is the arithmetic substrate for every Reed-Solomon-style code
+//! in the workspace. It provides:
+//!
+//! * [`Gf8`] — a scalar element of GF(2^8) with the usual field operations,
+//! * bulk slice kernels ([`mul_slice`], [`mul_slice_xor`], [`xor_slice`])
+//!   written so the compiler can auto-vectorise them,
+//! * [`GfMatrix`] — dense matrices over GF(2^8) with Gauss-Jordan inversion,
+//!   plus the [`vandermonde`]/[`cauchy`]/[`systematic_vandermonde`]
+//!   generator-matrix constructors used by the RS and LRC crates.
+//!
+//! The field is the conventional one used by storage systems: polynomial
+//! basis with the primitive polynomial `x^8 + x^4 + x^3 + x^2 + 1` (0x11d)
+//! and generator element 2. All tables are computed at compile time by
+//! `const fn`, so there is no runtime initialisation and no `lazy_static`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod matrix;
+mod scalar;
+mod slice;
+mod tables;
+
+pub use matrix::{cauchy, identity, systematic_vandermonde, vandermonde, GfMatrix, MatrixError};
+pub use scalar::Gf8;
+pub use slice::{mul_slice, mul_slice_xor, xor_slice, SliceLenMismatch};
+pub use tables::{EXP_TABLE, FIELD_ORDER, GENERATOR, LOG_TABLE, PRIMITIVE_POLY};

@@ -1,0 +1,559 @@
+//! Dense matrices over GF(2^8) and the generator-matrix constructors used
+//! by the Reed-Solomon and LRC codes.
+
+use crate::scalar::Gf8;
+use crate::slice::mul_slice_xor;
+use std::fmt;
+
+/// Errors from matrix operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    /// Operand shapes are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Shape of the left operand (rows, cols).
+        left: (usize, usize),
+        /// Shape of the right operand (rows, cols).
+        right: (usize, usize),
+    },
+    /// The matrix is singular and cannot be inverted.
+    Singular,
+    /// Inversion requires a square matrix.
+    NotSquare {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// A constructor was given parameters outside the field's capacity.
+    TooLarge {
+        /// What was requested.
+        requested: usize,
+        /// The maximum the field supports.
+        max: usize,
+    },
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::DimensionMismatch { left, right } => write!(
+                f,
+                "matrix dimension mismatch: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            MatrixError::Singular => write!(f, "matrix is singular"),
+            MatrixError::NotSquare { rows, cols } => {
+                write!(f, "matrix is not square: {rows}x{cols}")
+            }
+            MatrixError::TooLarge { requested, max } => {
+                write!(f, "requested size {requested} exceeds field capacity {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+/// A dense row-major matrix over GF(2^8).
+///
+/// Elements are stored as raw bytes; [`Gf8`] semantics apply to all
+/// arithmetic. Matrices in erasure coding are tiny (tens of rows), so the
+/// implementation favours clarity over blocking: the expensive work is the
+/// block-level [`GfMatrix::apply`] which delegates to the slice kernels.
+#[derive(Clone, PartialEq, Eq)]
+pub struct GfMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u8>,
+}
+
+impl fmt::Debug for GfMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "GfMatrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  ")?;
+            for c in 0..self.cols {
+                write!(f, "{:02x} ", self.get(r, c).value())?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl GfMatrix {
+    /// Creates a zero matrix of the given shape.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        GfMatrix {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from a row-major byte vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<u8>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "row-major data length must equal rows*cols"
+        );
+        GfMatrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> Gf8 {
+        Gf8(self.data[r * self.cols + c])
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: Gf8) {
+        self.data[r * self.cols + c] = v.value();
+    }
+
+    /// Borrow one row as a byte slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[u8] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The raw row-major bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Matrix product `self * rhs`.
+    pub fn mul(&self, rhs: &GfMatrix) -> Result<GfMatrix, MatrixError> {
+        if self.cols != rhs.rows {
+            return Err(MatrixError::DimensionMismatch {
+                left: (self.rows, self.cols),
+                right: (rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = GfMatrix::zero(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a.is_zero() {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    let cur = out.get(r, c);
+                    out.set(r, c, cur + a * rhs.get(k, c));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Multiplies this matrix by a set of equal-length data blocks:
+    /// `out[r] = Σ_c self[r][c] * blocks[c]`.
+    ///
+    /// This is the block-level workhorse of systematic encoding and of
+    /// matrix-based decoding. `out` must contain `rows()` buffers of the
+    /// same length as the inputs.
+    pub fn apply(&self, blocks: &[&[u8]], out: &mut [Vec<u8>]) -> Result<(), MatrixError> {
+        if blocks.len() != self.cols || out.len() != self.rows {
+            return Err(MatrixError::DimensionMismatch {
+                left: (self.rows, self.cols),
+                right: (out.len(), blocks.len()),
+            });
+        }
+        for (r, dst) in out.iter_mut().enumerate() {
+            dst.fill(0);
+            for (c, src) in blocks.iter().enumerate() {
+                let coeff = self.get(r, c).value();
+                mul_slice_xor(coeff, src, dst).map_err(|_| MatrixError::DimensionMismatch {
+                    left: (self.rows, self.cols),
+                    right: (src.len(), dst.len()),
+                })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns a new matrix made of the selected rows, in order.
+    pub fn select_rows(&self, indices: &[usize]) -> GfMatrix {
+        let mut out = GfMatrix::zero(indices.len(), self.cols);
+        for (i, &r) in indices.iter().enumerate() {
+            out.data[i * self.cols..(i + 1) * self.cols].copy_from_slice(self.row(r));
+        }
+        out
+    }
+
+    /// Gauss-Jordan inversion.
+    pub fn invert(&self) -> Result<GfMatrix, MatrixError> {
+        if self.rows != self.cols {
+            return Err(MatrixError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        let n = self.rows;
+        let mut work = self.clone();
+        let mut inv = identity(n);
+
+        for col in 0..n {
+            // Find a pivot at or below the diagonal.
+            let pivot = (col..n)
+                .find(|&r| !work.get(r, col).is_zero())
+                .ok_or(MatrixError::Singular)?;
+            if pivot != col {
+                work.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            // Normalise the pivot row.
+            let p = work.get(col, col);
+            let pinv = p.inverse().expect("pivot is nonzero by construction");
+            work.scale_row(col, pinv);
+            inv.scale_row(col, pinv);
+            // Eliminate the column everywhere else.
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let f = work.get(r, col);
+                if f.is_zero() {
+                    continue;
+                }
+                work.add_scaled_row(col, r, f);
+                inv.add_scaled_row(col, r, f);
+            }
+        }
+        Ok(inv)
+    }
+
+    /// Rank via Gaussian elimination (does not modify `self`).
+    pub fn rank(&self) -> usize {
+        let mut work = self.clone();
+        let mut rank = 0;
+        for col in 0..work.cols {
+            if rank == work.rows {
+                break;
+            }
+            let Some(pivot) = (rank..work.rows).find(|&r| !work.get(r, col).is_zero()) else {
+                continue;
+            };
+            work.swap_rows(pivot, rank);
+            let pinv = work.get(rank, col).inverse().unwrap();
+            work.scale_row(rank, pinv);
+            for r in 0..work.rows {
+                if r != rank {
+                    let f = work.get(r, col);
+                    if !f.is_zero() {
+                        work.add_scaled_row(rank, r, f);
+                    }
+                }
+            }
+            rank += 1;
+        }
+        rank
+    }
+
+    /// Swaps two rows in place.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let (a, b) = (a.min(b), a.max(b));
+        let (top, bottom) = self.data.split_at_mut(b * self.cols);
+        top[a * self.cols..(a + 1) * self.cols].swap_with_slice(&mut bottom[..self.cols]);
+    }
+
+    /// Multiplies every entry of row `r` by `f`.
+    pub fn scale_row(&mut self, r: usize, f: Gf8) {
+        for c in 0..self.cols {
+            let v = self.get(r, c);
+            self.set(r, c, v * f);
+        }
+    }
+
+    /// `row[dst] += f * row[src]`.
+    pub fn add_scaled_row(&mut self, src: usize, dst: usize, f: Gf8) {
+        for c in 0..self.cols {
+            let v = self.get(dst, c) + f * self.get(src, c);
+            self.set(dst, c, v);
+        }
+    }
+}
+
+/// The n×n identity matrix.
+pub fn identity(n: usize) -> GfMatrix {
+    let mut m = GfMatrix::zero(n, n);
+    for i in 0..n {
+        m.set(i, i, Gf8::ONE);
+    }
+    m
+}
+
+/// The `rows`×`cols` Vandermonde matrix `V[r][c] = (r+1)^c` evaluated at
+/// distinct nonzero points (so every square submatrix of the first `cols`
+/// rows is invertible only for the *extended* construction — use
+/// [`systematic_vandermonde`] for codes).
+pub fn vandermonde(rows: usize, cols: usize) -> Result<GfMatrix, MatrixError> {
+    if rows > 255 {
+        return Err(MatrixError::TooLarge {
+            requested: rows,
+            max: 255,
+        });
+    }
+    let mut m = GfMatrix::zero(rows, cols);
+    for r in 0..rows {
+        let x = Gf8((r + 1) as u8);
+        for c in 0..cols {
+            m.set(r, c, x.pow(c as u32));
+        }
+    }
+    Ok(m)
+}
+
+/// Systematic generator matrix for an (k+r, k) MDS code, derived from an
+/// extended Vandermonde matrix: the top k×k block is the identity and any
+/// k of the k+r rows are linearly independent.
+pub fn systematic_vandermonde(k: usize, r: usize) -> Result<GfMatrix, MatrixError> {
+    if k + r > 255 {
+        return Err(MatrixError::TooLarge {
+            requested: k + r,
+            max: 255,
+        });
+    }
+    let v = vandermonde(k + r, k)?;
+    let top = v.select_rows(&(0..k).collect::<Vec<_>>());
+    let top_inv = top.invert()?;
+    // v * top_inv has identity on top and keeps the any-k-rows-invertible
+    // property (right-multiplication by an invertible matrix preserves the
+    // rank of every row subset).
+    v.mul(&top_inv)
+}
+
+/// Cauchy parity matrix: `rows`×`cols` with `M[i][j] = 1 / (x_i + y_j)`
+/// where `x_i = i + cols` and `y_j = j` are disjoint sets of field elements.
+/// Every square submatrix of a Cauchy matrix is invertible, which makes the
+/// stacked `[I; cauchy]` generator MDS by construction.
+pub fn cauchy(rows: usize, cols: usize) -> Result<GfMatrix, MatrixError> {
+    if rows + cols > 256 {
+        return Err(MatrixError::TooLarge {
+            requested: rows + cols,
+            max: 256,
+        });
+    }
+    let mut m = GfMatrix::zero(rows, cols);
+    for i in 0..rows {
+        let x = Gf8((i + cols) as u8);
+        for j in 0..cols {
+            let y = Gf8(j as u8);
+            let denom = (x + y).inverse().expect("x_i and y_j sets are disjoint");
+            m.set(i, j, denom);
+        }
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+
+    fn random_invertible(n: usize, rng: &mut StdRng) -> GfMatrix {
+        loop {
+            let data: Vec<u8> = (0..n * n).map(|_| rng.random()).collect();
+            let m = GfMatrix::from_rows(n, n, data);
+            if m.rank() == n {
+                return m;
+            }
+        }
+    }
+
+    #[test]
+    fn identity_is_multiplicative_identity() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = random_invertible(5, &mut rng);
+        let i = identity(5);
+        assert_eq!(m.mul(&i).unwrap(), m);
+        assert_eq!(i.mul(&m).unwrap(), m);
+    }
+
+    #[test]
+    fn invert_round_trip() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in 1..=12 {
+            let m = random_invertible(n, &mut rng);
+            let inv = m.invert().unwrap();
+            assert_eq!(m.mul(&inv).unwrap(), identity(n), "m * m^-1 != I at n={n}");
+            assert_eq!(inv.mul(&m).unwrap(), identity(n), "m^-1 * m != I at n={n}");
+        }
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        // Two identical rows.
+        let m = GfMatrix::from_rows(2, 2, vec![1, 2, 1, 2]);
+        assert_eq!(m.invert().unwrap_err(), MatrixError::Singular);
+        assert_eq!(m.rank(), 1);
+    }
+
+    #[test]
+    fn non_square_inversion_is_rejected() {
+        let m = GfMatrix::zero(2, 3);
+        assert!(matches!(
+            m.invert(),
+            Err(MatrixError::NotSquare { rows: 2, cols: 3 })
+        ));
+    }
+
+    #[test]
+    fn zero_matrix_rank_is_zero() {
+        assert_eq!(GfMatrix::zero(4, 4).rank(), 0);
+    }
+
+    #[test]
+    fn systematic_vandermonde_has_identity_top() {
+        for (k, r) in [(1, 1), (4, 3), (10, 4), (17, 3)] {
+            let g = systematic_vandermonde(k, r).unwrap();
+            assert_eq!(g.rows(), k + r);
+            assert_eq!(g.cols(), k);
+            for i in 0..k {
+                for j in 0..k {
+                    let expect = if i == j { Gf8::ONE } else { Gf8::ZERO };
+                    assert_eq!(g.get(i, j), expect, "not systematic at ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn systematic_vandermonde_is_mds() {
+        // Every k-subset of rows must be invertible. Exhaustive for small
+        // parameters.
+        let (k, r) = (4, 3);
+        let g = systematic_vandermonde(k, r).unwrap();
+        let n = k + r;
+        // Enumerate all C(7,4) = 35 row subsets.
+        let mut subset = vec![0usize; k];
+        fn rec(
+            g: &GfMatrix,
+            n: usize,
+            k: usize,
+            start: usize,
+            depth: usize,
+            subset: &mut Vec<usize>,
+        ) {
+            if depth == k {
+                let sub = g.select_rows(subset);
+                assert_eq!(sub.rank(), k, "row subset {subset:?} is singular");
+                return;
+            }
+            for i in start..n {
+                subset[depth] = i;
+                rec(g, n, k, i + 1, depth + 1, subset);
+            }
+        }
+        rec(&g, n, k, 0, 0, &mut subset);
+    }
+
+    #[test]
+    fn cauchy_every_square_submatrix_invertible() {
+        let m = cauchy(3, 5).unwrap();
+        // All 1x1, plus a sample of 2x2 and the 3x3s.
+        for i in 0..3 {
+            for j in 0..5 {
+                assert!(!m.get(i, j).is_zero());
+            }
+        }
+        for c0 in 0..5 {
+            for c1 in (c0 + 1)..5 {
+                for c2 in (c1 + 1)..5 {
+                    let mut sub = GfMatrix::zero(3, 3);
+                    for r in 0..3 {
+                        for (ci, &c) in [c0, c1, c2].iter().enumerate() {
+                            sub.set(r, ci, m.get(r, c));
+                        }
+                    }
+                    assert_eq!(sub.rank(), 3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vandermonde_too_large_is_rejected() {
+        assert!(matches!(
+            vandermonde(300, 4),
+            Err(MatrixError::TooLarge { .. })
+        ));
+        assert!(matches!(
+            systematic_vandermonde(250, 20),
+            Err(MatrixError::TooLarge { .. })
+        ));
+        assert!(matches!(cauchy(200, 100), Err(MatrixError::TooLarge { .. })));
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // indexing three parallel structures
+    fn apply_matches_scalar_mul() {
+        let g = systematic_vandermonde(3, 2).unwrap();
+        let blocks: Vec<Vec<u8>> = vec![vec![1, 2, 3, 4], vec![5, 6, 7, 8], vec![9, 10, 11, 12]];
+        let refs: Vec<&[u8]> = blocks.iter().map(|b| b.as_slice()).collect();
+        let mut out = vec![vec![0u8; 4]; 5];
+        g.apply(&refs, &mut out).unwrap();
+        for r in 0..5 {
+            for byte in 0..4 {
+                let mut expect = Gf8::ZERO;
+                for c in 0..3 {
+                    expect += g.get(r, c) * Gf8(blocks[c][byte]);
+                }
+                assert_eq!(Gf8(out[r][byte]), expect, "row {r} byte {byte}");
+            }
+        }
+    }
+
+    #[test]
+    fn apply_shape_mismatch_is_rejected() {
+        let g = identity(3);
+        let blocks: Vec<Vec<u8>> = vec![vec![0u8; 4]; 2];
+        let refs: Vec<&[u8]> = blocks.iter().map(|b| b.as_slice()).collect();
+        let mut out = vec![vec![0u8; 4]; 3];
+        assert!(g.apply(&refs, &mut out).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn matrix_multiplication_is_associative(seed in 0u64..1000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 4;
+            let a = GfMatrix::from_rows(n, n, (0..n*n).map(|_| rng.random()).collect());
+            let b = GfMatrix::from_rows(n, n, (0..n*n).map(|_| rng.random()).collect());
+            let c = GfMatrix::from_rows(n, n, (0..n*n).map(|_| rng.random()).collect());
+            let ab_c = a.mul(&b).unwrap().mul(&c).unwrap();
+            let a_bc = a.mul(&b.mul(&c).unwrap()).unwrap();
+            prop_assert_eq!(ab_c, a_bc);
+        }
+
+        #[test]
+        fn rank_of_product_bounded(seed in 0u64..200) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = GfMatrix::from_rows(3, 5, (0..15).map(|_| rng.random()).collect());
+            let b = GfMatrix::from_rows(5, 4, (0..20).map(|_| rng.random()).collect());
+            let p = a.mul(&b).unwrap();
+            prop_assert!(p.rank() <= a.rank().min(b.rank()));
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Scalar GF(2^8) element type.
+
+use crate::tables::{EXP_TABLE, LOG_TABLE, MUL_TABLE};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// An element of GF(2^8).
+///
+/// Addition and subtraction are both XOR (the field has characteristic 2),
+/// multiplication and division go through the compile-time log/exp tables.
+/// The type is a transparent wrapper over `u8`, so slices of `Gf8` can be
+/// reinterpreted as byte buffers by the caller when convenient.
+///
+/// ```
+/// use apec_gf::Gf8;
+/// let a = Gf8::new(0x53);
+/// let b = Gf8::new(0xca);
+/// assert_eq!(a + a, Gf8::ZERO);          // characteristic 2
+/// assert_eq!((a * b) / b, a);            // division inverts multiplication
+/// assert_eq!(a * a.inverse().unwrap(), Gf8::ONE);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+#[repr(transparent)]
+pub struct Gf8(pub u8);
+
+impl Gf8 {
+    /// The additive identity.
+    pub const ZERO: Gf8 = Gf8(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf8 = Gf8(1);
+
+    /// Wraps a raw byte as a field element.
+    #[inline]
+    pub const fn new(v: u8) -> Self {
+        Gf8(v)
+    }
+
+    /// Returns the raw byte value.
+    #[inline]
+    pub const fn value(self) -> u8 {
+        self.0
+    }
+
+    /// `true` when this is the additive identity.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The multiplicative inverse.
+    ///
+    /// Returns `None` for zero, which has no inverse.
+    #[inline]
+    pub fn inverse(self) -> Option<Gf8> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(Gf8(EXP_TABLE[255 - LOG_TABLE[self.0 as usize] as usize]))
+        }
+    }
+
+    /// Raises the element to an integer power (`0^0 == 1` by convention).
+    pub fn pow(self, mut e: u32) -> Gf8 {
+        if e == 0 {
+            return Gf8::ONE;
+        }
+        if self.0 == 0 {
+            return Gf8::ZERO;
+        }
+        e %= 255;
+        if e == 0 {
+            return Gf8::ONE;
+        }
+        let l = LOG_TABLE[self.0 as usize] as u32;
+        Gf8(EXP_TABLE[((l * e) % 255) as usize])
+    }
+
+    /// `GENERATOR^i`, the canonical enumeration of nonzero field elements.
+    #[inline]
+    pub fn exp(i: usize) -> Gf8 {
+        Gf8(EXP_TABLE[i % 255])
+    }
+
+    /// Discrete logarithm base `GENERATOR`. `None` for zero.
+    #[inline]
+    pub fn log(self) -> Option<u8> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(LOG_TABLE[self.0 as usize])
+        }
+    }
+}
+
+impl fmt::Debug for Gf8 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf8(0x{:02x})", self.0)
+    }
+}
+
+impl fmt::Display for Gf8 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:02x}", self.0)
+    }
+}
+
+impl From<u8> for Gf8 {
+    #[inline]
+    fn from(v: u8) -> Self {
+        Gf8(v)
+    }
+}
+
+impl From<Gf8> for u8 {
+    #[inline]
+    fn from(v: Gf8) -> Self {
+        v.0
+    }
+}
+
+#[allow(clippy::suspicious_arithmetic_impl)] // characteristic-2 field: +/- are XOR, / is inverse-multiply
+impl Add for Gf8 {
+    type Output = Gf8;
+    #[inline]
+    fn add(self, rhs: Gf8) -> Gf8 {
+        Gf8(self.0 ^ rhs.0)
+    }
+}
+
+#[allow(clippy::suspicious_op_assign_impl)] // characteristic-2 field: += is XOR
+impl AddAssign for Gf8 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Gf8) {
+        self.0 ^= rhs.0;
+    }
+}
+
+#[allow(clippy::suspicious_arithmetic_impl)] // characteristic-2 field: +/- are XOR, / is inverse-multiply
+impl Sub for Gf8 {
+    type Output = Gf8;
+    #[inline]
+    fn sub(self, rhs: Gf8) -> Gf8 {
+        // Characteristic 2: subtraction is addition.
+        Gf8(self.0 ^ rhs.0)
+    }
+}
+
+#[allow(clippy::suspicious_op_assign_impl)] // characteristic-2 field: -= is XOR
+impl SubAssign for Gf8 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Gf8) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl Neg for Gf8 {
+    type Output = Gf8;
+    #[inline]
+    fn neg(self) -> Gf8 {
+        self
+    }
+}
+
+impl Mul for Gf8 {
+    type Output = Gf8;
+    #[inline]
+    fn mul(self, rhs: Gf8) -> Gf8 {
+        Gf8(MUL_TABLE[self.0 as usize][rhs.0 as usize])
+    }
+}
+
+impl MulAssign for Gf8 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Gf8) {
+        *self = *self * rhs;
+    }
+}
+
+#[allow(clippy::suspicious_arithmetic_impl)] // characteristic-2 field: +/- are XOR, / is inverse-multiply
+impl Div for Gf8 {
+    type Output = Gf8;
+
+    /// Field division.
+    ///
+    /// # Panics
+    /// Panics on division by zero, mirroring integer division semantics.
+    #[inline]
+    fn div(self, rhs: Gf8) -> Gf8 {
+        let inv = rhs.inverse().expect("division by zero in GF(2^8)");
+        self * inv
+    }
+}
+
+impl DivAssign for Gf8 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Gf8) {
+        *self = *self / rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identities() {
+        for v in 0..=255u8 {
+            let x = Gf8(v);
+            assert_eq!(x + Gf8::ZERO, x);
+            assert_eq!(x * Gf8::ONE, x);
+            assert_eq!(x * Gf8::ZERO, Gf8::ZERO);
+            assert_eq!(x - x, Gf8::ZERO);
+        }
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        for v in 1..=255u8 {
+            let x = Gf8(v);
+            let inv = x.inverse().unwrap();
+            assert_eq!(x * inv, Gf8::ONE, "inverse failed for {v}");
+        }
+        assert_eq!(Gf8::ZERO.inverse(), None);
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        for v in [0u8, 1, 2, 3, 5, 87, 255] {
+            let x = Gf8(v);
+            let mut acc = Gf8::ONE;
+            for e in 0..520u32 {
+                assert_eq!(x.pow(e), acc, "pow mismatch at base {v} exp {e}");
+                acc *= x;
+            }
+        }
+    }
+
+    #[test]
+    fn pow_zero_conventions() {
+        assert_eq!(Gf8::ZERO.pow(0), Gf8::ONE);
+        assert_eq!(Gf8::ZERO.pow(7), Gf8::ZERO);
+        // exponent that is a multiple of the group order
+        assert_eq!(Gf8(2).pow(255), Gf8::ONE);
+        assert_eq!(Gf8(2).pow(510), Gf8::ONE);
+    }
+
+    #[test]
+    fn division_by_zero_panics() {
+        let r = std::panic::catch_unwind(|| Gf8(5) / Gf8::ZERO);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn exp_log_round_trip() {
+        for i in 0..255usize {
+            let x = Gf8::exp(i);
+            assert_eq!(x.log(), Some(i as u8));
+        }
+        assert_eq!(Gf8::ZERO.log(), None);
+    }
+
+    proptest! {
+        #[test]
+        fn addition_is_commutative_associative(a: u8, b: u8, c: u8) {
+            let (a, b, c) = (Gf8(a), Gf8(b), Gf8(c));
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_eq!((a + b) + c, a + (b + c));
+        }
+
+        #[test]
+        fn multiplication_is_commutative_associative(a: u8, b: u8, c: u8) {
+            let (a, b, c) = (Gf8(a), Gf8(b), Gf8(c));
+            prop_assert_eq!(a * b, b * a);
+            prop_assert_eq!((a * b) * c, a * (b * c));
+        }
+
+        #[test]
+        fn distributive_law(a: u8, b: u8, c: u8) {
+            let (a, b, c) = (Gf8(a), Gf8(b), Gf8(c));
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+        }
+
+        #[test]
+        fn division_inverts_multiplication(a: u8, b in 1u8..) {
+            let (a, b) = (Gf8(a), Gf8(b));
+            prop_assert_eq!((a * b) / b, a);
+            prop_assert_eq!((a / b) * b, a);
+        }
+
+        #[test]
+        fn product_zero_iff_factor_zero(a: u8, b: u8) {
+            let prod = Gf8(a) * Gf8(b);
+            prop_assert_eq!(prod.is_zero(), a == 0 || b == 0);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Bulk kernels over byte slices.
+//!
+//! These three routines are the inner loops of every GF-based encoder and
+//! decoder in the workspace, so they are written to auto-vectorise:
+//! `xor_slice` works on plain bytes (LLVM turns it into wide XORs), and the
+//! multiply kernels stream a single 256-byte table row, which stays resident
+//! in L1 for the whole pass.
+
+use crate::tables::MUL_TABLE;
+use std::fmt;
+
+/// Error returned when kernel operands have different lengths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceLenMismatch {
+    /// Length of the source operand.
+    pub src: usize,
+    /// Length of the destination operand.
+    pub dst: usize,
+}
+
+impl fmt::Display for SliceLenMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "slice length mismatch: src has {} bytes, dst has {}",
+            self.src, self.dst
+        )
+    }
+}
+
+impl std::error::Error for SliceLenMismatch {}
+
+/// `dst ^= src`, element-wise.
+///
+/// This is both GF(2^8) addition of whole blocks and the inner loop of all
+/// XOR-based codes (EVENODD, RDP, STAR, TIP).
+#[inline]
+pub fn xor_slice(src: &[u8], dst: &mut [u8]) -> Result<(), SliceLenMismatch> {
+    if src.len() != dst.len() {
+        return Err(SliceLenMismatch {
+            src: src.len(),
+            dst: dst.len(),
+        });
+    }
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= *s;
+    }
+    Ok(())
+}
+
+/// `dst = c * src`, element-wise in GF(2^8).
+#[inline]
+pub fn mul_slice(c: u8, src: &[u8], dst: &mut [u8]) -> Result<(), SliceLenMismatch> {
+    if src.len() != dst.len() {
+        return Err(SliceLenMismatch {
+            src: src.len(),
+            dst: dst.len(),
+        });
+    }
+    match c {
+        0 => dst.fill(0),
+        1 => dst.copy_from_slice(src),
+        _ => {
+            let row = &MUL_TABLE[c as usize];
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d = row[*s as usize];
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `dst ^= c * src`, element-wise in GF(2^8).
+///
+/// This fused multiply-accumulate is the dominant operation of RS/LRC
+/// encoding: one call per (coefficient, data block) pair.
+#[inline]
+pub fn mul_slice_xor(c: u8, src: &[u8], dst: &mut [u8]) -> Result<(), SliceLenMismatch> {
+    if src.len() != dst.len() {
+        return Err(SliceLenMismatch {
+            src: src.len(),
+            dst: dst.len(),
+        });
+    }
+    match c {
+        0 => {}
+        1 => {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d ^= *s;
+            }
+        }
+        _ => {
+            let row = &MUL_TABLE[c as usize];
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d ^= row[*s as usize];
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Gf8;
+    use proptest::prelude::*;
+
+    #[test]
+    fn xor_slice_basic() {
+        let src = [1u8, 2, 3, 4];
+        let mut dst = [4u8, 3, 2, 1];
+        xor_slice(&src, &mut dst).unwrap();
+        assert_eq!(dst, [5, 1, 1, 5]);
+        xor_slice(&src, &mut dst).unwrap();
+        assert_eq!(dst, [4, 3, 2, 1], "xor is an involution");
+    }
+
+    #[test]
+    fn length_mismatch_is_reported() {
+        let src = [0u8; 3];
+        let mut dst = [0u8; 4];
+        let err = xor_slice(&src, &mut dst).unwrap_err();
+        assert_eq!(err, SliceLenMismatch { src: 3, dst: 4 });
+        assert!(mul_slice(7, &src, &mut dst).is_err());
+        assert!(mul_slice_xor(7, &src, &mut dst).is_err());
+    }
+
+    #[test]
+    fn mul_slice_special_coefficients() {
+        let src = [9u8, 8, 7];
+        let mut dst = [1u8, 1, 1];
+        mul_slice(0, &src, &mut dst).unwrap();
+        assert_eq!(dst, [0, 0, 0]);
+        mul_slice(1, &src, &mut dst).unwrap();
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn empty_slices_are_fine() {
+        let src: [u8; 0] = [];
+        let mut dst: [u8; 0] = [];
+        xor_slice(&src, &mut dst).unwrap();
+        mul_slice(3, &src, &mut dst).unwrap();
+        mul_slice_xor(3, &src, &mut dst).unwrap();
+    }
+
+    proptest! {
+        #[test]
+        fn mul_slice_matches_scalar(c: u8, data in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let mut out = vec![0u8; data.len()];
+            mul_slice(c, &data, &mut out).unwrap();
+            for (i, &b) in data.iter().enumerate() {
+                prop_assert_eq!(Gf8(out[i]), Gf8(c) * Gf8(b));
+            }
+        }
+
+        #[test]
+        fn mul_slice_xor_is_fused(c: u8, data in proptest::collection::vec(any::<u8>(), 0..64), acc in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let n = data.len().min(acc.len());
+            let data = &data[..n];
+            let mut fused = acc[..n].to_vec();
+            mul_slice_xor(c, data, &mut fused).unwrap();
+
+            let mut staged = vec![0u8; n];
+            mul_slice(c, data, &mut staged).unwrap();
+            let mut expect = acc[..n].to_vec();
+            xor_slice(&staged, &mut expect).unwrap();
+            prop_assert_eq!(fused, expect);
+        }
+
+        #[test]
+        fn mul_by_inverse_round_trips(c in 1u8.., data in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let inv = Gf8(c).inverse().unwrap().value();
+            let mut tmp = vec![0u8; data.len()];
+            mul_slice(c, &data, &mut tmp).unwrap();
+            let mut back = vec![0u8; data.len()];
+            mul_slice(inv, &tmp, &mut back).unwrap();
+            prop_assert_eq!(back, data);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Compile-time generated log/exp/multiplication tables for GF(2^8).
+
+/// The primitive polynomial defining the field: `x^8 + x^4 + x^3 + x^2 + 1`.
+///
+/// This is the same polynomial used by Jerasure, ISA-L and most storage
+/// stacks, so generator matrices are bit-compatible with those systems.
+pub const PRIMITIVE_POLY: u16 = 0x11d;
+
+/// The multiplicative generator of the field (the element `x`, i.e. 2).
+pub const GENERATOR: u8 = 2;
+
+/// Number of elements in the field.
+pub const FIELD_ORDER: usize = 256;
+
+const fn build_exp() -> [u8; 512] {
+    let mut exp = [0u8; 512];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < 255 {
+        exp[i] = x as u8;
+        // Multiply x by the generator (2) modulo the primitive polynomial.
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= PRIMITIVE_POLY;
+        }
+        i += 1;
+    }
+    // Duplicate the cycle so `exp[a + b]` works without a modulo for
+    // a, b < 255, and keep `exp[510] == exp[0]` for the degenerate cases.
+    let mut j = 255;
+    while j < 512 {
+        exp[j] = exp[j - 255];
+        j += 1;
+    }
+    exp
+}
+
+const fn build_log(exp: &[u8; 512]) -> [u8; 256] {
+    let mut log = [0u8; 256];
+    let mut i = 0;
+    while i < 255 {
+        log[exp[i] as usize] = i as u8;
+        i += 1;
+    }
+    // log[0] is undefined mathematically; it stays 0 and callers must
+    // special-case zero before indexing (all of them do).
+    log
+}
+
+const fn build_mul(exp: &[u8; 512], log: &[u8; 256]) -> [[u8; 256]; 256] {
+    let mut mul = [[0u8; 256]; 256];
+    let mut a = 1;
+    while a < 256 {
+        let mut b = 1;
+        let la = log[a] as usize;
+        while b < 256 {
+            mul[a][b] = exp[la + log[b] as usize];
+            b += 1;
+        }
+        a += 1;
+    }
+    mul
+}
+
+/// `EXP_TABLE[i] == GENERATOR^i` with the 255-cycle repeated twice so that
+/// `EXP_TABLE[log(a) + log(b)]` never needs a modulo reduction.
+pub static EXP_TABLE: [u8; 512] = build_exp();
+
+/// `LOG_TABLE[a] == log2(a)` for `a != 0`. `LOG_TABLE[0]` is a sentinel 0.
+pub static LOG_TABLE: [u8; 256] = build_log(&EXP_TABLE);
+
+/// Full 64 KiB product table: `MUL_TABLE[a][b] == a * b` in GF(2^8).
+///
+/// The bulk slice kernels take one row of this table (`&MUL_TABLE[c]`) and
+/// stream over the data, which is both branch-free and cache-friendly: a
+/// single row is 256 bytes, i.e. four cache lines.
+pub static MUL_TABLE: [[u8; 256]; 256] = build_mul(&EXP_TABLE, &LOG_TABLE);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Slow bit-by-bit ("Russian peasant") multiplication used as the oracle.
+    fn mul_slow(mut a: u8, mut b: u8) -> u8 {
+        let mut acc = 0u8;
+        while b != 0 {
+            if b & 1 != 0 {
+                acc ^= a;
+            }
+            let carry = a & 0x80 != 0;
+            a <<= 1;
+            if carry {
+                a ^= (PRIMITIVE_POLY & 0xff) as u8;
+            }
+            b >>= 1;
+        }
+        acc
+    }
+
+    #[test]
+    fn exp_table_cycle_length_is_255() {
+        // The generator must have full multiplicative order, otherwise the
+        // polynomial would not be primitive.
+        assert_eq!(EXP_TABLE[0], 1);
+        for (i, &v) in EXP_TABLE.iter().enumerate().take(255).skip(1) {
+            assert_ne!(v, 1, "generator order divides {i}");
+        }
+        assert_eq!(EXP_TABLE[255], 1, "generator order is not 255");
+    }
+
+    #[test]
+    fn exp_table_second_half_repeats_first() {
+        for i in 0..255 {
+            assert_eq!(EXP_TABLE[i], EXP_TABLE[i + 255]);
+        }
+    }
+
+    #[test]
+    fn log_is_inverse_of_exp() {
+        for i in 0..255u16 {
+            assert_eq!(LOG_TABLE[EXP_TABLE[i as usize] as usize], i as u8);
+        }
+    }
+
+    #[test]
+    fn exp_covers_all_nonzero_elements() {
+        let mut seen = [false; 256];
+        for i in 0..255 {
+            seen[EXP_TABLE[i] as usize] = true;
+        }
+        assert!(!seen[0]);
+        for (v, &hit) in seen.iter().enumerate().skip(1) {
+            assert!(hit, "element {v} never generated");
+        }
+    }
+
+    #[test]
+    fn mul_table_matches_bitwise_oracle() {
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(
+                    MUL_TABLE[a as usize][b as usize],
+                    mul_slow(a, b),
+                    "mismatch at {a} * {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mul_table_zero_row_and_column() {
+        for v in 0..=255u8 {
+            assert_eq!(MUL_TABLE[0][v as usize], 0);
+            assert_eq!(MUL_TABLE[v as usize][0], 0);
+        }
+    }
+}

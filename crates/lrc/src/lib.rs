@@ -1,0 +1,521 @@
+//! Azure-style Local Reconstruction Codes (LRC).
+//!
+//! `LRC(k, l, r)` splits `k` data nodes into `l` local groups, each guarded
+//! by one XOR local parity, and adds `r` global parities computed from all
+//! data nodes with Cauchy coefficients. Single failures repair inside a
+//! group (reading only `k/l` shards — LRC's reason to exist); multi-failure
+//! patterns fall back to solving the full generator system.
+//!
+//! The paper evaluates `LRC(k, 4, 2)` and `LRC(k, 6, 2)` as 3DFT baselines
+//! (fault tolerance `r + 1 = 3`) and uses LRC as a base code for
+//! `APPR.LRC`. Like the original Azure code, this LRC is non-MDS: it
+//! guarantees any `r + 1` failures, and recovers many-but-not-all larger
+//! patterns; [`Lrc::reconstruct`] reports a structurally unrecoverable
+//! pattern with [`EcError::UnrecoverablePattern`].
+//!
+//! ```
+//! use apec_ec::ErasureCode;
+//! use apec_lrc::Lrc;
+//!
+//! let code = Lrc::new(6, 2, 2).unwrap(); // 6 data, 2 local groups, 2 globals
+//! assert_eq!(code.total_nodes(), 10);
+//! assert_eq!(code.fault_tolerance(), 3);
+//!
+//! let data: Vec<Vec<u8>> = (0..6).map(|i| vec![i as u8; 64]).collect();
+//! let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+//! let parity = code.encode(&refs).unwrap();
+//! let mut stripe: Vec<Option<Vec<u8>>> =
+//!     data.into_iter().chain(parity).map(Some).collect();
+//! stripe[1] = None; // one failure: repaired from its group alone
+//! code.reconstruct(&mut stripe).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use apec_ec::{EcError, ErasureCode, UpdatePattern};
+use apec_gf::{cauchy, GfMatrix};
+
+/// A Local Reconstruction Code with `k` data nodes, `l` local-parity groups
+/// and `r` global parities.
+///
+/// Shard layout: `[d_0 .. d_{k-1} | lp_0 .. lp_{l-1} | gp_0 .. gp_{r-1}]`.
+pub struct Lrc {
+    k: usize,
+    l: usize,
+    r: usize,
+    /// `groups[g]` = data-node indices of local group `g`.
+    groups: Vec<Vec<usize>>,
+    /// r×k Cauchy coefficient matrix for the global parities.
+    global_rows: GfMatrix,
+}
+
+impl Lrc {
+    /// Creates an LRC(k, l, r).
+    ///
+    /// `k` must be at least `l` so every group is non-empty; groups are
+    /// balanced to within one node when `l` does not divide `k`.
+    pub fn new(k: usize, l: usize, r: usize) -> Result<Self, EcError> {
+        if k == 0 || l == 0 || r == 0 {
+            return Err(EcError::InvalidParameters(format!(
+                "LRC needs k, l, r >= 1, got k={k} l={l} r={r}"
+            )));
+        }
+        if l > k {
+            return Err(EcError::InvalidParameters(format!(
+                "LRC cannot have more groups than data nodes: l={l} > k={k}"
+            )));
+        }
+        if r + k > 256 {
+            return Err(EcError::InvalidParameters(format!(
+                "k + r = {} exceeds GF(2^8) capacity",
+                r + k
+            )));
+        }
+        // Balanced contiguous grouping: the first (k % l) groups get one
+        // extra node.
+        let base = k / l;
+        let extra = k % l;
+        let mut groups = Vec::with_capacity(l);
+        let mut next = 0;
+        for g in 0..l {
+            let size = base + usize::from(g < extra);
+            groups.push((next..next + size).collect());
+            next += size;
+        }
+        let global_rows = cauchy(r, k).map_err(|e| EcError::InvalidParameters(e.to_string()))?;
+        Ok(Lrc {
+            k,
+            l,
+            r,
+            groups,
+            global_rows,
+        })
+    }
+
+    /// The local groups (data-node indices per group).
+    pub fn groups(&self) -> &[Vec<usize>] {
+        &self.groups
+    }
+
+    /// Number of local groups.
+    pub fn local_groups(&self) -> usize {
+        self.l
+    }
+
+    /// Number of global parities.
+    pub fn global_parities(&self) -> usize {
+        self.r
+    }
+
+    /// Index of the local-parity shard of group `g`.
+    pub fn local_parity_index(&self, g: usize) -> usize {
+        self.k + g
+    }
+
+    /// Index of global-parity shard `t`.
+    pub fn global_parity_index(&self, t: usize) -> usize {
+        self.k + self.l + t
+    }
+
+    /// The group a data node belongs to.
+    pub fn group_of(&self, data_node: usize) -> usize {
+        self.groups
+            .iter()
+            .position(|g| g.contains(&data_node))
+            .expect("every data node is grouped")
+    }
+
+    /// Full generator matrix: (k + l + r) rows × k columns. Row order
+    /// matches the shard layout.
+    fn generator(&self) -> GfMatrix {
+        let rows = self.k + self.l + self.r;
+        let mut g = GfMatrix::zero(rows, self.k);
+        for i in 0..self.k {
+            g.set(i, i, apec_gf::Gf8::ONE);
+        }
+        for (gi, group) in self.groups.iter().enumerate() {
+            for &d in group {
+                g.set(self.k + gi, d, apec_gf::Gf8::ONE);
+            }
+        }
+        for t in 0..self.r {
+            for c in 0..self.k {
+                g.set(self.k + self.l + t, c, self.global_rows.get(t, c));
+            }
+        }
+        g
+    }
+
+    /// Attempts all possible single-missing local repairs, in place.
+    /// Returns `true` if any shard was repaired.
+    fn local_repair_pass(&self, shards: &mut [Option<Vec<u8>>], len: usize) -> bool {
+        let mut progress = false;
+        for (gi, group) in self.groups.iter().enumerate() {
+            let lp = self.local_parity_index(gi);
+            let members: Vec<usize> = group.iter().copied().chain(std::iter::once(lp)).collect();
+            let missing: Vec<usize> = members
+                .iter()
+                .copied()
+                .filter(|&i| shards[i].is_none())
+                .collect();
+            if missing.len() != 1 {
+                continue;
+            }
+            let mut acc = vec![0u8; len];
+            for &m in &members {
+                if m == missing[0] {
+                    continue;
+                }
+                let s = shards[m].as_ref().expect("checked present");
+                for (d, b) in acc.iter_mut().zip(s) {
+                    *d ^= *b;
+                }
+            }
+            shards[missing[0]] = Some(acc);
+            progress = true;
+        }
+        progress
+    }
+}
+
+impl ErasureCode for Lrc {
+    fn name(&self) -> String {
+        format!("LRC({},{},{})", self.k, self.l, self.r)
+    }
+
+    fn data_nodes(&self) -> usize {
+        self.k
+    }
+
+    fn parity_nodes(&self) -> usize {
+        self.l + self.r
+    }
+
+    fn fault_tolerance(&self) -> usize {
+        // Azure LRC guarantees any r+1 arbitrary failures.
+        self.r + 1
+    }
+
+    fn encode(&self, data: &[&[u8]]) -> Result<Vec<Vec<u8>>, EcError> {
+        let len = self.check_data_shards(data)?;
+        let mut out = Vec::with_capacity(self.l + self.r);
+        for group in &self.groups {
+            let mut p = vec![0u8; len];
+            for &d in group {
+                for (dst, b) in p.iter_mut().zip(data[d]) {
+                    *dst ^= *b;
+                }
+            }
+            out.push(p);
+        }
+        let mut globals = vec![vec![0u8; len]; self.r];
+        self.global_rows
+            .apply(data, &mut globals)
+            .map_err(|e| EcError::Internal(e.to_string()))?;
+        out.extend(globals);
+        Ok(out)
+    }
+
+    fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), EcError> {
+        let (len, missing) = self.check_stripe(shards)?;
+        if missing.is_empty() {
+            return Ok(());
+        }
+
+        // Phase 1: cheap local repairs, repeated to a fixed point (one
+        // repair can unlock another group's repair only via global shards,
+        // but repeating is harmless and keeps the logic obvious).
+        while self.local_repair_pass(shards, len) {}
+
+        let still_missing: Vec<usize> = (0..self.total_nodes())
+            .filter(|&i| shards[i].is_none())
+            .collect();
+        if still_missing.is_empty() {
+            return Ok(());
+        }
+
+        // Phase 2: global solve. Greedily pick k linearly-independent rows
+        // of the generator among surviving shards.
+        let gen = self.generator();
+        let survivors: Vec<usize> = (0..self.total_nodes())
+            .filter(|&i| shards[i].is_some())
+            .collect();
+        let mut chosen: Vec<usize> = Vec::with_capacity(self.k);
+        for &s in &survivors {
+            if chosen.len() == self.k {
+                break;
+            }
+            chosen.push(s);
+            if gen.select_rows(&chosen).rank() != chosen.len() {
+                chosen.pop();
+            }
+        }
+        if chosen.len() < self.k {
+            return Err(EcError::UnrecoverablePattern {
+                missing: still_missing,
+                detail: format!(
+                    "only {} independent surviving equations for {} data nodes",
+                    chosen.len(),
+                    self.k
+                ),
+            });
+        }
+
+        let inv = gen
+            .select_rows(&chosen)
+            .invert()
+            .map_err(|e| EcError::Internal(format!("independent rows must invert: {e}")))?;
+        let chosen_blocks: Vec<&[u8]> = chosen
+            .iter()
+            .map(|&i| shards[i].as_deref().expect("chosen rows survive"))
+            .collect();
+
+        // Recover missing data nodes.
+        let missing_data: Vec<usize> = still_missing
+            .iter()
+            .copied()
+            .filter(|&i| i < self.k)
+            .collect();
+        if !missing_data.is_empty() {
+            let rows = inv.select_rows(&missing_data);
+            let mut out = vec![vec![0u8; len]; missing_data.len()];
+            rows.apply(&chosen_blocks, &mut out)
+                .map_err(|e| EcError::Internal(e.to_string()))?;
+            for (&idx, block) in missing_data.iter().zip(out) {
+                shards[idx] = Some(block);
+            }
+        }
+
+        // Re-derive any missing parities from complete data.
+        let missing_parity: Vec<usize> = still_missing
+            .iter()
+            .copied()
+            .filter(|&i| i >= self.k)
+            .collect();
+        if !missing_parity.is_empty() {
+            let data_blocks: Vec<&[u8]> = (0..self.k)
+                .map(|i| shards[i].as_deref().expect("data complete"))
+                .collect();
+            let rows = gen.select_rows(&missing_parity);
+            let mut out = vec![vec![0u8; len]; missing_parity.len()];
+            rows.apply(&data_blocks, &mut out)
+                .map_err(|e| EcError::Internal(e.to_string()))?;
+            for (&idx, block) in missing_parity.iter().zip(out) {
+                shards[idx] = Some(block);
+            }
+        }
+        Ok(())
+    }
+
+    fn update_pattern(&self) -> UpdatePattern {
+        // Paper Table 3: LRC single-write overhead is r + 2 (data node, the
+        // group's local parity, and all r globals).
+        UpdatePattern {
+            node_writes: 2.0 + self.r as f64,
+            parity_writes: 1.0 + self.r as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+
+    fn random_data(k: usize, len: usize, seed: u64) -> Vec<Vec<u8>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..k)
+            .map(|_| {
+                let mut v = vec![0u8; len];
+                rng.fill(v.as_mut_slice());
+                v
+            })
+            .collect()
+    }
+
+    fn full_stripe(code: &Lrc, data: &[Vec<u8>]) -> Vec<Option<Vec<u8>>> {
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = code.encode(&refs).unwrap();
+        data.iter().cloned().chain(parity).map(Some).collect()
+    }
+
+    fn combinations(n: usize, f: usize) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        fn rec(n: usize, f: usize, start: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+            if cur.len() == f {
+                out.push(cur.clone());
+                return;
+            }
+            for i in start..n {
+                cur.push(i);
+                rec(n, f, i + 1, cur, out);
+                cur.pop();
+            }
+        }
+        rec(n, f, 0, &mut Vec::new(), &mut out);
+        out
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(Lrc::new(0, 1, 2).is_err());
+        assert!(Lrc::new(4, 0, 2).is_err());
+        assert!(Lrc::new(4, 2, 0).is_err());
+        assert!(Lrc::new(3, 4, 2).is_err());
+        assert!(Lrc::new(255, 2, 2).is_err());
+        assert!(Lrc::new(6, 2, 2).is_ok());
+    }
+
+    #[test]
+    fn groups_are_balanced_partition() {
+        let code = Lrc::new(10, 4, 2).unwrap();
+        let sizes: Vec<usize> = code.groups().iter().map(|g| g.len()).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+        let mut all: Vec<usize> = code.groups().iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn geometry_and_overhead() {
+        let code = Lrc::new(12, 4, 2).unwrap();
+        assert_eq!(code.name(), "LRC(12,4,2)");
+        assert_eq!(code.total_nodes(), 18);
+        assert_eq!(code.fault_tolerance(), 3);
+        // Table 3: 1 + (l + r) / k
+        assert!((code.storage_overhead() - (1.0 + 6.0 / 12.0)).abs() < 1e-12);
+        let up = code.update_pattern();
+        assert_eq!(up.node_writes, 4.0);
+    }
+
+    #[test]
+    fn single_failure_repairs_locally() {
+        let code = Lrc::new(8, 4, 2).unwrap();
+        let data = random_data(8, 64, 1);
+        let full = full_stripe(&code, &data);
+        for victim in 0..code.total_nodes() {
+            let mut stripe = full.clone();
+            stripe[victim] = None;
+            code.reconstruct(&mut stripe).unwrap();
+            assert_eq!(stripe, full, "victim {victim}");
+        }
+    }
+
+    #[test]
+    fn guaranteed_tolerance_patterns_all_recover() {
+        // Any r+1 = 3 failures must decode, for both paper group counts.
+        for l in [4usize, 6] {
+            let code = Lrc::new(12, l, 2).unwrap();
+            let data = random_data(12, 32, 2);
+            let full = full_stripe(&code, &data);
+            let n = code.total_nodes();
+            for f in 1..=3 {
+                for pattern in combinations(n, f) {
+                    let mut stripe = full.clone();
+                    for &i in &pattern {
+                        stripe[i] = None;
+                    }
+                    code.reconstruct(&mut stripe).unwrap_or_else(|e| {
+                        panic!("LRC(12,{l},2) failed pattern {pattern:?}: {e}")
+                    });
+                    assert_eq!(stripe, full, "wrong bytes for {pattern:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn some_quad_failures_recover_and_unrecoverable_is_typed() {
+        let code = Lrc::new(8, 4, 2).unwrap();
+        let data = random_data(8, 16, 3);
+        let full = full_stripe(&code, &data);
+
+        // 4 failures spread one per group: all local repairs.
+        let mut stripe = full.clone();
+        for g in 0..4 {
+            stripe[code.groups()[g][0]] = None;
+        }
+        code.reconstruct(&mut stripe).unwrap();
+        assert_eq!(stripe, full);
+
+        // 2 data in one group plus both globals leave only one equation
+        // (the group's local parity) for two unknowns.
+        let mut stripe = full.clone();
+        stripe[0] = None;
+        stripe[1] = None;
+        stripe[code.global_parity_index(0)] = None;
+        stripe[code.global_parity_index(1)] = None;
+        match code.reconstruct(&mut stripe) {
+            Ok(()) => panic!("expected unrecoverable"),
+            Err(EcError::UnrecoverablePattern { .. }) => {}
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn local_repair_reads_only_group_members() {
+        // Structural check: single data failure in group 0 must be fixed
+        // without consulting global parities — we verify by corrupting the
+        // global parities and observing the repair still yields original
+        // data (the local path never touches them).
+        let code = Lrc::new(8, 4, 2).unwrap();
+        let data = random_data(8, 16, 4);
+        let full = full_stripe(&code, &data);
+        let mut stripe = full.clone();
+        stripe[0] = None;
+        for t in 0..2 {
+            stripe[code.global_parity_index(t)] = Some(vec![0xFF; 16]);
+        }
+        code.reconstruct(&mut stripe).unwrap();
+        assert_eq!(stripe[0].as_deref(), Some(data[0].as_slice()));
+    }
+
+    #[test]
+    fn paper_scale_parameters() {
+        for k in [5usize, 7, 9, 11, 13, 15, 17] {
+            for l in [4usize, 6] {
+                if l > k {
+                    continue;
+                }
+                let code = Lrc::new(k, l, 2).unwrap();
+                let data = random_data(k, 64, k as u64);
+                let full = full_stripe(&code, &data);
+                let mut stripe = full.clone();
+                stripe[0] = None;
+                stripe[k - 1] = None;
+                stripe[code.global_parity_index(0)] = None;
+                code.reconstruct(&mut stripe).unwrap();
+                assert_eq!(stripe, full, "k={k} l={l}");
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn random_triple_failures_round_trip(
+            k in 4usize..14,
+            seed: u64,
+            len in 1usize..100,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let l = rng.random_range(2..=k.min(6));
+            let code = Lrc::new(k, l, 2).unwrap();
+            let data = random_data(k, len, seed);
+            let full = full_stripe(&code, &data);
+            let n = code.total_nodes();
+            let mut victims: Vec<usize> = (0..n).collect();
+            victims.shuffle(&mut rng);
+            victims.truncate(3);
+            let mut stripe = full.clone();
+            for &v in &victims {
+                stripe[v] = None;
+            }
+            code.reconstruct(&mut stripe).unwrap();
+            prop_assert_eq!(&stripe, &full);
+        }
+    }
+}

@@ -1,0 +1,478 @@
+//! Approximate recovery of lost video frames.
+//!
+//! When an Approximate-Code repair cannot rebuild unimportant data (more
+//! than `r` failures in a stripe), the affected P/B-frames are gone from
+//! the byte store. This crate reproduces the paper's video-recovery module
+//! (§3.6.3): each lost frame is synthesised from its nearest decodable
+//! neighbours by frame interpolation, and the result is scored with PSNR —
+//! the paper reports ≥ 35 dB on average at 1 % unimportant-frame loss,
+//! which the `psnr` experiment in `apec-bench` reproduces.
+//!
+//! The paper uses deep-learning interpolators; this crate substitutes a
+//! classical pipeline of increasing quality (documented in DESIGN.md):
+//!
+//! * [`Interpolator::Hold`] — repeat the nearest neighbour,
+//! * [`Interpolator::Linear`] — temporally weighted blend,
+//! * [`Interpolator::MotionCompensated`] — global motion estimation by
+//!   block search, then motion-corrected blend; on smooth 60 fps content
+//!   this comfortably clears the paper's 35 dB bar.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use apec_video::{DecodedStream, Frame};
+
+/// The interpolation strategy for a lost frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interpolator {
+    /// Repeat the nearest surviving frame.
+    Hold,
+    /// Per-pixel temporally-weighted average of the two neighbours.
+    Linear,
+    /// Estimate one global displacement between the neighbours (full
+    /// search within `search_radius` pixels, sampled on a coarse grid)
+    /// and blend along the motion trajectory.
+    MotionCompensated {
+        /// Maximum displacement, in pixels, the search considers.
+        search_radius: usize,
+    },
+    /// Per-block motion estimation: the frame is tiled into
+    /// `block × block` tiles, each with its own displacement search —
+    /// handles scenes whose objects move in different directions, at a
+    /// quadratic-in-radius cost per tile.
+    BlockMotion {
+        /// Tile edge length in pixels.
+        block: usize,
+        /// Maximum displacement per tile.
+        search_radius: usize,
+    },
+}
+
+/// What happened to each lost frame.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Frames synthesised from two neighbours.
+    pub interpolated: Vec<usize>,
+    /// Frames synthesised from a single neighbour (stream edge).
+    pub extrapolated: Vec<usize>,
+    /// Frames with no surviving neighbour at all (left black).
+    pub unrecoverable: Vec<usize>,
+}
+
+/// Clamped pixel fetch used by the motion-compensated sampler.
+#[inline]
+fn sample(frame: &Frame, x: isize, y: isize) -> u8 {
+    let xc = x.clamp(0, frame.width as isize - 1) as usize;
+    let yc = y.clamp(0, frame.height as isize - 1) as usize;
+    frame.get(xc, yc)
+}
+
+/// SAD between `a` shifted by `(dx, dy)` and `b`, restricted to the tile
+/// `[x0, x1) × [y0, y1)` and sampled every `step` pixels.
+fn tile_sad(
+    a: &Frame,
+    b: &Frame,
+    dx: isize,
+    dy: isize,
+    (x0, x1): (usize, usize),
+    (y0, y1): (usize, usize),
+    step: usize,
+) -> u64 {
+    let mut sad = 0u64;
+    let mut y = y0;
+    while y < y1 {
+        let mut x = x0;
+        while x < x1 {
+            let va = sample(a, x as isize + dx, y as isize + dy);
+            sad += u64::from(va.abs_diff(b.get(x, y)));
+            x += step;
+        }
+        y += step;
+    }
+    sad
+}
+
+/// Best displacement carrying `prev` onto `next` within one tile.
+fn tile_motion(
+    prev: &Frame,
+    next: &Frame,
+    xs: (usize, usize),
+    ys: (usize, usize),
+    radius: usize,
+) -> (isize, isize) {
+    let r = radius as isize;
+    let mut best = (0isize, 0isize);
+    let mut best_key = (u64::MAX, u64::MAX);
+    for dy in -r..=r {
+        for dx in -r..=r {
+            let sad = tile_sad(prev, next, dx, dy, xs, ys, 1);
+            let key = (sad, (dx.abs() + dy.abs()) as u64);
+            if key < best_key {
+                best_key = key;
+                best = (dx, dy);
+            }
+        }
+    }
+    best
+}
+
+/// Sum of absolute differences between `a` shifted by `(dx, dy)` and `b`,
+/// sampled every `step` pixels.
+fn shifted_sad(a: &Frame, b: &Frame, dx: isize, dy: isize, step: usize) -> u64 {
+    let mut sad = 0u64;
+    let mut y = 0usize;
+    while y < a.height {
+        let mut x = 0usize;
+        while x < a.width {
+            let va = sample(a, x as isize + dx, y as isize + dy);
+            let vb = b.get(x, y);
+            sad += u64::from(va.abs_diff(vb));
+            x += step;
+        }
+        y += step;
+    }
+    sad
+}
+
+/// Estimates the single dominant displacement carrying `prev` onto `next`.
+///
+/// Exhaustive integer search in `[-radius, radius]²` on a coarse grid —
+/// cheap, deterministic, and adequate for the global drift of the
+/// synthetic workload (a real system would plug a learned interpolator in
+/// here, as the paper does).
+pub fn estimate_global_motion(prev: &Frame, next: &Frame, radius: usize) -> (isize, isize) {
+    let step = (prev.width.min(prev.height) / 32).max(1);
+    let mut best = (0isize, 0isize);
+    let mut best_key = (u64::MAX, u64::MAX);
+    let r = radius as isize;
+    for dy in -r..=r {
+        for dx in -r..=r {
+            let sad = shifted_sad(prev, next, dx, dy, step);
+            // Prefer smaller displacements on ties for stability.
+            let key = (sad, (dx.abs() + dy.abs()) as u64);
+            if key < best_key {
+                best_key = key;
+                best = (dx, dy);
+            }
+        }
+    }
+    best
+}
+
+/// Synthesises the frame at fractional position `alpha ∈ [0, 1]` between
+/// `prev` (alpha = 0) and `next` (alpha = 1).
+pub fn interpolate(prev: &Frame, next: &Frame, alpha: f64, method: Interpolator) -> Frame {
+    assert_eq!(prev.width, next.width, "frame size mismatch");
+    assert_eq!(prev.height, next.height, "frame size mismatch");
+    let (w, h) = (prev.width, prev.height);
+    match method {
+        Interpolator::Hold => {
+            if alpha <= 0.5 {
+                prev.clone()
+            } else {
+                next.clone()
+            }
+        }
+        Interpolator::Linear => {
+            let pixels = prev
+                .pixels
+                .iter()
+                .zip(&next.pixels)
+                .map(|(&a, &b)| {
+                    (f64::from(a) * (1.0 - alpha) + f64::from(b) * alpha).round() as u8
+                })
+                .collect();
+            Frame::from_pixels(w, h, pixels)
+        }
+        Interpolator::MotionCompensated { search_radius } => {
+            let (dx, dy) = estimate_global_motion(prev, next, search_radius);
+            motion_blend(prev, next, alpha, |_, _| (dx, dy))
+        }
+        Interpolator::BlockMotion {
+            block,
+            search_radius,
+        } => {
+            let block = block.max(4);
+            let bw = w.div_ceil(block);
+            let bh = h.div_ceil(block);
+            let mut motion = vec![(0isize, 0isize); bw * bh];
+            for by in 0..bh {
+                for bx in 0..bw {
+                    let xs = (bx * block, ((bx + 1) * block).min(w));
+                    let ys = (by * block, ((by + 1) * block).min(h));
+                    motion[by * bw + bx] = tile_motion(prev, next, xs, ys, search_radius);
+                }
+            }
+            motion_blend(prev, next, alpha, |x, y| {
+                motion[(y / block) * bw + (x / block)]
+            })
+        }
+    }
+}
+
+/// Blends `prev` and `next` at position `alpha` along a per-pixel motion
+/// field: a feature at (x, y) in the intermediate frame sat at
+/// (x, y) − α·d in prev and moves to (x, y) + (1−α)·d in next.
+fn motion_blend(
+    prev: &Frame,
+    next: &Frame,
+    alpha: f64,
+    motion_at: impl Fn(usize, usize) -> (isize, isize),
+) -> Frame {
+    let (w, h) = (prev.width, prev.height);
+    let mut pixels = Vec::with_capacity(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let (dx, dy) = motion_at(x, y);
+            let px = (x as f64 - alpha * dx as f64).round() as isize;
+            let py = (y as f64 - alpha * dy as f64).round() as isize;
+            let nx = (x as f64 + (1.0 - alpha) * dx as f64).round() as isize;
+            let ny = (y as f64 + (1.0 - alpha) * dy as f64).round() as isize;
+            let vp = f64::from(sample(prev, px, py));
+            let vn = f64::from(sample(next, nx, ny));
+            pixels.push((vp * (1.0 - alpha) + vn * alpha).round() as u8);
+        }
+    }
+    Frame::from_pixels(w, h, pixels)
+}
+
+/// Fills every `None` frame of a decoded stream by interpolating from its
+/// nearest surviving (original, never previously interpolated) neighbours.
+///
+/// Interpolating only from genuinely decoded frames keeps errors from
+/// compounding across a run of consecutive losses; a run is filled by
+/// interpolating each member against the run's two outer anchors.
+pub fn recover_lost_frames(stream: &mut DecodedStream, method: Interpolator) -> RecoveryReport {
+    let n = stream.frames.len();
+    let original: Vec<bool> = stream.frames.iter().map(Option::is_some).collect();
+    let mut report = RecoveryReport::default();
+
+    for i in 0..n {
+        if original[i] {
+            continue;
+        }
+        let prev = (0..i).rev().find(|&j| original[j]);
+        let next = (i + 1..n).find(|&j| original[j]);
+        match (prev, next) {
+            (Some(a), Some(b)) => {
+                let alpha = (i - a) as f64 / (b - a) as f64;
+                let frame = interpolate(
+                    stream.frames[a].as_ref().expect("original frame present"),
+                    stream.frames[b].as_ref().expect("original frame present"),
+                    alpha,
+                    method,
+                );
+                stream.frames[i] = Some(frame);
+                report.interpolated.push(i);
+            }
+            (Some(a), None) => {
+                stream.frames[i] = stream.frames[a].clone();
+                report.extrapolated.push(i);
+            }
+            (None, Some(b)) => {
+                stream.frames[i] = stream.frames[b].clone();
+                report.extrapolated.push(i);
+            }
+            (None, None) => {
+                report.unrecoverable.push(i);
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apec_video::{psnr_db, SyntheticVideo};
+
+    fn video() -> SyntheticVideo {
+        SyntheticVideo::new(64, 48, 60.0, 23, 4)
+    }
+
+    #[test]
+    fn linear_interpolation_of_static_scene_is_exact() {
+        let f = video().frame(0);
+        let out = interpolate(&f, &f, 0.5, Interpolator::Linear);
+        assert_eq!(out, f);
+        let out = interpolate(&f, &f, 0.25, Interpolator::MotionCompensated { search_radius: 2 });
+        assert_eq!(out, f);
+    }
+
+    #[test]
+    fn hold_picks_nearest_side() {
+        let a = video().frame(0);
+        let b = video().frame(30);
+        assert_eq!(interpolate(&a, &b, 0.3, Interpolator::Hold), a);
+        assert_eq!(interpolate(&a, &b, 0.7, Interpolator::Hold), b);
+    }
+
+    #[test]
+    fn interpolation_beats_hold_on_moving_content() {
+        let v = video();
+        let (a, truth, b) = (v.frame(10), v.frame(11), v.frame(12));
+        let hold = interpolate(&a, &b, 0.5, Interpolator::Hold);
+        let lin = interpolate(&a, &b, 0.5, Interpolator::Linear);
+        assert!(psnr_db(&truth, &lin) >= psnr_db(&truth, &hold));
+    }
+
+    #[test]
+    fn single_frame_loss_clears_35db_at_60fps() {
+        let v = video();
+        let (a, truth, b) = (v.frame(20), v.frame(21), v.frame(22));
+        for method in [
+            Interpolator::Linear,
+            Interpolator::MotionCompensated { search_radius: 3 },
+        ] {
+            let rec = interpolate(&a, &b, 0.5, method);
+            let p = psnr_db(&truth, &rec);
+            assert!(p > 35.0, "{method:?}: {p} dB");
+        }
+    }
+
+    #[test]
+    fn global_motion_estimate_finds_synthetic_shift() {
+        // Shift a frame by a known amount and check the estimator.
+        let f = video().frame(0);
+        let (w, h) = (f.width, f.height);
+        let mut shifted = Vec::with_capacity(w * h);
+        for y in 0..h {
+            for x in 0..w {
+                shifted.push(sample(&f, x as isize - 3, y as isize + 2));
+            }
+        }
+        let next = Frame::from_pixels(w, h, shifted);
+        // prev shifted by (dx,dy) should match next: the content moved by
+        // (+3, -2)^-1 — verify SAD minimum at the true displacement.
+        let (dx, dy) = estimate_global_motion(&f, &next, 4);
+        assert_eq!((dx, dy), (-3, 2));
+    }
+
+    #[test]
+    fn recover_lost_frames_fills_everything_with_two_anchors() {
+        let v = video();
+        let frames: Vec<Frame> = v.frames(12);
+        let mut stream = DecodedStream {
+            frames: frames.iter().cloned().map(Some).collect(),
+        };
+        stream.frames[4] = None;
+        stream.frames[5] = None;
+        stream.frames[9] = None;
+        let report = recover_lost_frames(&mut stream, Interpolator::Linear);
+        assert_eq!(report.interpolated, vec![4, 5, 9]);
+        assert!(report.extrapolated.is_empty());
+        assert!(report.unrecoverable.is_empty());
+        for (i, f) in stream.frames.iter().enumerate() {
+            let f = f.as_ref().unwrap();
+            let p = psnr_db(&frames[i], f);
+            assert!(p > 35.0, "frame {i}: {p} dB");
+        }
+    }
+
+    #[test]
+    fn edge_losses_extrapolate() {
+        let v = video();
+        let mut stream = DecodedStream {
+            frames: v.frames(6).into_iter().map(Some).collect(),
+        };
+        stream.frames[0] = None;
+        stream.frames[5] = None;
+        let report = recover_lost_frames(&mut stream, Interpolator::Linear);
+        assert_eq!(report.extrapolated, vec![0, 5]);
+        assert_eq!(stream.frames[0], stream.frames[1]);
+        assert_eq!(stream.frames[5], stream.frames[4]);
+    }
+
+    #[test]
+    fn totally_lost_stream_is_reported() {
+        let mut stream = DecodedStream {
+            frames: vec![None, None],
+        };
+        let report = recover_lost_frames(&mut stream, Interpolator::Linear);
+        assert_eq!(report.unrecoverable, vec![0, 1]);
+        assert!(stream.frames.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn consecutive_run_uses_outer_anchors_only() {
+        // Frames 3..6 lost: each must be interpolated between 2 and 6, not
+        // from each other.
+        let v = video();
+        let frames = v.frames(8);
+        let mut stream = DecodedStream {
+            frames: frames.iter().cloned().map(Some).collect(),
+        };
+        for i in 3..6 {
+            stream.frames[i] = None;
+        }
+        let report = recover_lost_frames(&mut stream, Interpolator::Linear);
+        assert_eq!(report.interpolated, vec![3, 4, 5]);
+        for i in 3..6 {
+            let alpha = (i - 2) as f64 / 4.0;
+            let expect = interpolate(&frames[2], &frames[6], alpha, Interpolator::Linear);
+            assert_eq!(stream.frames[i].as_ref().unwrap(), &expect);
+        }
+    }
+}
+
+#[cfg(test)]
+mod block_motion_tests {
+    use super::*;
+    use apec_video::{psnr_db, SyntheticVideo};
+
+    #[test]
+    fn block_motion_interpolation_is_exact_on_static_scenes() {
+        let f = SyntheticVideo::new(64, 48, 60.0, 31, 3).frame(0);
+        let out = interpolate(
+            &f,
+            &f,
+            0.5,
+            Interpolator::BlockMotion {
+                block: 16,
+                search_radius: 2,
+            },
+        );
+        assert_eq!(out, f);
+    }
+
+    #[test]
+    fn block_motion_clears_35db_and_rivals_global() {
+        // A wider frame gap (4 frames) stresses motion handling; the
+        // per-tile estimator must stay above the paper's quality bar and
+        // not regress against the global-motion variant.
+        let v = SyntheticVideo::new(64, 48, 60.0, 33, 4);
+        let (a, truth, b) = (v.frame(10), v.frame(12), v.frame(14));
+        let global = interpolate(&a, &b, 0.5, Interpolator::MotionCompensated { search_radius: 3 });
+        let block = interpolate(
+            &a,
+            &b,
+            0.5,
+            Interpolator::BlockMotion {
+                block: 16,
+                search_radius: 3,
+            },
+        );
+        let pg = psnr_db(&truth, &global);
+        let pb = psnr_db(&truth, &block);
+        assert!(pb > 35.0, "block-motion PSNR {pb}");
+        assert!(pb > pg - 3.0, "block {pb} vs global {pg}");
+    }
+
+    #[test]
+    fn tiny_blocks_are_clamped() {
+        let v = SyntheticVideo::new(32, 24, 60.0, 35, 2);
+        let (a, b) = (v.frame(0), v.frame(2));
+        // block=1 would be degenerate; the implementation clamps to >= 4.
+        let out = interpolate(
+            &a,
+            &b,
+            0.5,
+            Interpolator::BlockMotion {
+                block: 1,
+                search_radius: 1,
+            },
+        );
+        assert_eq!(out.width, 32);
+        assert_eq!(out.height, 24);
+    }
+}

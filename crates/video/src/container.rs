@@ -1,0 +1,567 @@
+//! The tiered byte container.
+//!
+//! Serialises an encoded stream into **two byte tiers** matching the
+//! Approximate-Code storage split:
+//!
+//! * **important tier** — a header (dimensions, fps, GOP config), a frame
+//!   table with per-record offsets and CRCs, and every I-frame payload;
+//! * **unimportant tier** — the P/B-frame payloads, addressed positionally
+//!   from the frame table.
+//!
+//! Because the frame table lives in the important tier, damage to the
+//! unimportant tier (zero-filled ranges after a beyond-tolerance repair)
+//! degrades gracefully: each record's CRC is checked and corrupt frames
+//! surface as `None`, which the codec's dependency tracking and the
+//! interpolation recovery then handle. Damage to the important tier is a
+//! parse error — by construction the storage layer protects it with
+//! `r + g` fault tolerance.
+
+use crate::codec::{EncodedFrame, FrameType, GopConfig};
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"APVC";
+const VERSION: u8 = 1;
+
+/// Errors from container parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContainerError {
+    /// Magic bytes or version did not match.
+    BadHeader(String),
+    /// The important tier ended prematurely.
+    Truncated {
+        /// What was being read.
+        context: &'static str,
+    },
+    /// The frame table is internally inconsistent.
+    BadFrameTable(String),
+}
+
+impl fmt::Display for ContainerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContainerError::BadHeader(m) => write!(f, "bad container header: {m}"),
+            ContainerError::Truncated { context } => {
+                write!(f, "container truncated while reading {context}")
+            }
+            ContainerError::BadFrameTable(m) => write!(f, "bad frame table: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ContainerError {}
+
+/// An encoded video plus its metadata, ready for tiered storage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VideoContainer {
+    /// Frame width in pixels.
+    pub width: usize,
+    /// Frame height in pixels.
+    pub height: usize,
+    /// Frames per second (integral, like the paper's 60 fps dataset).
+    pub fps: u16,
+    /// GOP configuration the stream was encoded with.
+    pub gop: GopConfig,
+    /// The encoded frames in display order.
+    pub frames: Vec<EncodedFrame>,
+}
+
+/// The two byte tiers of a serialised container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TieredBytes {
+    /// Header + frame table + I-frame payloads.
+    pub important: Vec<u8>,
+    /// P/B-frame payloads.
+    pub unimportant: Vec<u8>,
+}
+
+/// A parsed container; frames whose payload failed its CRC (unimportant
+/// tier damage) are `None`.
+#[derive(Debug, Clone)]
+pub struct ParsedVideo {
+    /// Frame width in pixels.
+    pub width: usize,
+    /// Frame height in pixels.
+    pub height: usize,
+    /// Frames per second.
+    pub fps: u16,
+    /// GOP configuration.
+    pub gop: GopConfig,
+    /// Recovered frame records (`None` = record damaged).
+    pub frames: Vec<Option<EncodedFrame>>,
+}
+
+// --- CRC32 (IEEE) ------------------------------------------------------------
+
+fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut j = 0;
+        while j < 8 {
+            c = if c & 1 != 0 { 0xEDB88320 ^ (c >> 1) } else { c >> 1 };
+            j += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE 802.3) of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(crc32_table);
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = table[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// --- Serialisation -----------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn type_code(t: FrameType) -> u8 {
+    match t {
+        FrameType::I => 0,
+        FrameType::P => 1,
+        FrameType::B => 2,
+    }
+}
+
+fn type_from_code(c: u8) -> Option<FrameType> {
+    match c {
+        0 => Some(FrameType::I),
+        1 => Some(FrameType::P),
+        2 => Some(FrameType::B),
+        _ => None,
+    }
+}
+
+/// Serialises a container into its two tiers.
+pub fn serialize_container(video: &VideoContainer) -> TieredBytes {
+    // Lay out payload sections first so the table can record offsets.
+    let mut important_payloads = Vec::new();
+    let mut unimportant = Vec::new();
+    struct Row {
+        index: u32,
+        ftype: u8,
+        tier: u8, // 0 = important, 1 = unimportant
+        offset: u64,
+        len: u32,
+        crc: u32,
+    }
+    let mut rows = Vec::with_capacity(video.frames.len());
+    for f in &video.frames {
+        let (tier, buf) = match f.frame_type {
+            FrameType::I => (0u8, &mut important_payloads),
+            _ => (1u8, &mut unimportant),
+        };
+        let offset = buf.len() as u64;
+        buf.extend_from_slice(&f.payload);
+        rows.push(Row {
+            index: f.index as u32,
+            ftype: type_code(f.frame_type),
+            tier,
+            offset,
+            len: f.payload.len() as u32,
+            crc: crc32(&f.payload),
+        });
+    }
+
+    let mut important = Vec::new();
+    important.extend_from_slice(MAGIC);
+    important.push(VERSION);
+    put_u32(&mut important, video.width as u32);
+    put_u32(&mut important, video.height as u32);
+    important.extend_from_slice(&video.fps.to_le_bytes());
+    put_u32(&mut important, video.gop.gop_len as u32);
+    important.push(u8::from(video.gop.use_b_frames));
+    important.push(video.gop.quant);
+    put_u32(&mut important, video.frames.len() as u32);
+    for row in &rows {
+        put_u32(&mut important, row.index);
+        important.push(row.ftype);
+        important.push(row.tier);
+        put_u64(&mut important, row.offset);
+        put_u32(&mut important, row.len);
+        put_u32(&mut important, row.crc);
+    }
+    important.extend_from_slice(&important_payloads);
+
+    TieredBytes {
+        important,
+        unimportant,
+    }
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], ContainerError> {
+        if self.pos + n > self.data.len() {
+            return Err(ContainerError::Truncated { context });
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self, c: &'static str) -> Result<u8, ContainerError> {
+        Ok(self.take(1, c)?[0])
+    }
+    fn u16(&mut self, c: &'static str) -> Result<u16, ContainerError> {
+        Ok(u16::from_le_bytes(self.take(2, c)?.try_into().unwrap()))
+    }
+    fn u32(&mut self, c: &'static str) -> Result<u32, ContainerError> {
+        Ok(u32::from_le_bytes(self.take(4, c)?.try_into().unwrap()))
+    }
+    fn u64(&mut self, c: &'static str) -> Result<u64, ContainerError> {
+        Ok(u64::from_le_bytes(self.take(8, c)?.try_into().unwrap()))
+    }
+}
+
+/// Parses the two tiers back into frame records.
+///
+/// The important tier must be intact (it is stored at `r + g` fault
+/// tolerance); unimportant-tier damage surfaces as `None` frames.
+pub fn parse_container(
+    important: &[u8],
+    unimportant: &[u8],
+) -> Result<ParsedVideo, ContainerError> {
+    let mut r = Reader {
+        data: important,
+        pos: 0,
+    };
+    let magic = r.take(4, "magic")?;
+    if magic != MAGIC {
+        return Err(ContainerError::BadHeader(format!("magic {magic:02x?}")));
+    }
+    let version = r.u8("version")?;
+    if version != VERSION {
+        return Err(ContainerError::BadHeader(format!("version {version}")));
+    }
+    let width = r.u32("width")? as usize;
+    let height = r.u32("height")? as usize;
+    let fps = r.u16("fps")?;
+    let gop_len = r.u32("gop_len")? as usize;
+    if gop_len == 0 {
+        return Err(ContainerError::BadHeader("gop_len 0".into()));
+    }
+    let use_b_frames = r.u8("use_b")? != 0;
+    let quant = r.u8("quant")?;
+    let count = r.u32("frame count")? as usize;
+
+    struct Row {
+        index: usize,
+        ftype: FrameType,
+        tier: u8,
+        offset: usize,
+        len: usize,
+        crc: u32,
+    }
+    let mut rows = Vec::with_capacity(count);
+    for i in 0..count {
+        let index = r.u32("frame index")? as usize;
+        let ftype = type_from_code(r.u8("frame type")?)
+            .ok_or_else(|| ContainerError::BadFrameTable(format!("frame {i}: bad type")))?;
+        let tier = r.u8("tier")?;
+        if tier > 1 {
+            return Err(ContainerError::BadFrameTable(format!("frame {i}: bad tier {tier}")));
+        }
+        let offset = r.u64("offset")? as usize;
+        let len = r.u32("len")? as usize;
+        let crc = r.u32("crc")?;
+        if index != i {
+            return Err(ContainerError::BadFrameTable(format!(
+                "frame {i}: display index {index} out of order"
+            )));
+        }
+        rows.push(Row {
+            index,
+            ftype,
+            tier,
+            offset,
+            len,
+            crc,
+        });
+    }
+    let important_payloads = &important[r.pos..];
+
+    let mut frames = Vec::with_capacity(count);
+    for row in rows {
+        let src = if row.tier == 0 {
+            important_payloads
+        } else {
+            unimportant
+        };
+        let payload = src.get(row.offset..row.offset + row.len);
+        match payload {
+            Some(p) if crc32(p) == row.crc => frames.push(Some(EncodedFrame {
+                index: row.index,
+                frame_type: row.ftype,
+                payload: p.to_vec(),
+            })),
+            // Out-of-bounds I-frame payloads mean a corrupt important
+            // tier, which we must not paper over.
+            None if row.tier == 0 => {
+                return Err(ContainerError::Truncated {
+                    context: "important payload",
+                })
+            }
+            _ => frames.push(None),
+        }
+    }
+
+    Ok(ParsedVideo {
+        width,
+        height,
+        fps,
+        gop: GopConfig {
+            gop_len,
+            use_b_frames,
+            quant,
+        },
+        frames,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{encode_stream, GopConfig};
+    use crate::synth::SyntheticVideo;
+
+    fn sample_container() -> VideoContainer {
+        let frames = SyntheticVideo::new(32, 24, 60.0, 42, 2).frames(24);
+        let gop = GopConfig {
+            gop_len: 12,
+            use_b_frames: true,
+            quant: 2,
+        };
+        VideoContainer {
+            width: 32,
+            height: 24,
+            fps: 60,
+            gop,
+            frames: encode_stream(&frames, &gop),
+        }
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic test vector: CRC32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn round_trip_intact() {
+        let video = sample_container();
+        let tiers = serialize_container(&video);
+        let parsed = parse_container(&tiers.important, &tiers.unimportant).unwrap();
+        assert_eq!(parsed.width, 32);
+        assert_eq!(parsed.height, 24);
+        assert_eq!(parsed.fps, 60);
+        assert_eq!(parsed.gop.gop_len, 12);
+        assert!(parsed.gop.use_b_frames);
+        assert_eq!(parsed.frames.len(), video.frames.len());
+        for (got, want) in parsed.frames.iter().zip(&video.frames) {
+            assert_eq!(got.as_ref(), Some(want));
+        }
+    }
+
+    #[test]
+    fn i_frames_live_in_the_important_tier() {
+        let video = sample_container();
+        let tiers = serialize_container(&video);
+        // The unimportant tier holds only P/B payloads: its size equals
+        // their sum.
+        let pb_bytes: usize = video
+            .frames
+            .iter()
+            .filter(|f| f.frame_type != FrameType::I)
+            .map(|f| f.payload.len())
+            .sum();
+        assert_eq!(tiers.unimportant.len(), pb_bytes);
+        // And the important tier carries the I-frames + metadata.
+        let i_bytes: usize = video
+            .frames
+            .iter()
+            .filter(|f| f.frame_type == FrameType::I)
+            .map(|f| f.payload.len())
+            .sum();
+        assert!(tiers.important.len() > i_bytes);
+    }
+
+    #[test]
+    fn unimportant_damage_degrades_to_lost_frames() {
+        let video = sample_container();
+        let tiers = serialize_container(&video);
+        let mut damaged = tiers.unimportant.clone();
+        // Zero a window in the middle, as a tiered repair would.
+        let mid = damaged.len() / 2;
+        let end = (mid + damaged.len() / 4).min(damaged.len());
+        damaged[mid..end].fill(0);
+        let parsed = parse_container(&tiers.important, &damaged).unwrap();
+        let lost: Vec<usize> = parsed
+            .frames
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!lost.is_empty(), "zeroing a quarter of the tier must hit frames");
+        // I-frames never live there:
+        for &i in &lost {
+            assert_ne!(video.frames[i].frame_type, FrameType::I);
+        }
+        // Undamaged frames parse exactly.
+        for (i, f) in parsed.frames.iter().enumerate() {
+            if let Some(f) = f {
+                assert_eq!(f, &video.frames[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn important_damage_is_a_hard_error() {
+        let video = sample_container();
+        let tiers = serialize_container(&video);
+        // Truncating the important tier must error, not silently lose.
+        let truncated = &tiers.important[..tiers.important.len() - 5];
+        assert!(parse_container(truncated, &tiers.unimportant).is_err());
+        // Bad magic:
+        let mut bad = tiers.important.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            parse_container(&bad, &tiers.unimportant),
+            Err(ContainerError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn empty_video_round_trips() {
+        let video = VideoContainer {
+            width: 16,
+            height: 16,
+            fps: 30,
+            gop: GopConfig { gop_len: 4, use_b_frames: false, quant: 0 },
+            frames: Vec::new(),
+        };
+        let tiers = serialize_container(&video);
+        let parsed = parse_container(&tiers.important, &tiers.unimportant).unwrap();
+        assert!(parsed.frames.is_empty());
+        assert!(tiers.unimportant.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::codec::{EncodedFrame, FrameType, GopConfig};
+    use proptest::prelude::*;
+
+    fn arb_frames() -> impl Strategy<Value = Vec<EncodedFrame>> {
+        proptest::collection::vec(
+            (0usize..3, proptest::collection::vec(any::<u8>(), 0..200)),
+            0..24,
+        )
+        .prop_map(|raw| {
+            raw.into_iter()
+                .enumerate()
+                .map(|(index, (t, payload))| EncodedFrame {
+                    index,
+                    frame_type: match t {
+                        0 => FrameType::I,
+                        1 => FrameType::P,
+                        _ => FrameType::B,
+                    },
+                    payload,
+                })
+                .collect()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Any frame list round-trips through the tiered container.
+        #[test]
+        fn container_round_trips_arbitrary_frames(
+            frames in arb_frames(),
+            width in 1usize..4096,
+            height in 1usize..4096,
+            fps in 1u16..240,
+            gop_len in 1usize..30,
+            use_b: bool,
+            quant: u8,
+        ) {
+            let video = VideoContainer {
+                width,
+                height,
+                fps,
+                gop: GopConfig { gop_len, use_b_frames: use_b, quant },
+                frames,
+            };
+            let tiers = serialize_container(&video);
+            let parsed = parse_container(&tiers.important, &tiers.unimportant).unwrap();
+            prop_assert_eq!(parsed.width, video.width);
+            prop_assert_eq!(parsed.height, video.height);
+            prop_assert_eq!(parsed.fps, video.fps);
+            prop_assert_eq!(parsed.gop, video.gop);
+            prop_assert_eq!(parsed.frames.len(), video.frames.len());
+            for (got, want) in parsed.frames.iter().zip(&video.frames) {
+                prop_assert_eq!(got.as_ref(), Some(want));
+            }
+        }
+
+        /// Parsing never panics on arbitrary corrupt important tiers — it
+        /// fails with a typed error or succeeds.
+        #[test]
+        fn parser_is_total_on_garbage(junk in proptest::collection::vec(any::<u8>(), 0..300)) {
+            let _ = parse_container(&junk, &[]);
+        }
+
+        /// Unimportant-tier corruption is contained: parsing still
+        /// succeeds and intact frames come back byte-exact.
+        #[test]
+        fn unimportant_corruption_is_contained(
+            frames in arb_frames(),
+            flips in proptest::collection::vec((any::<proptest::sample::Index>(), any::<u8>()), 1..8),
+        ) {
+            let video = VideoContainer {
+                width: 8,
+                height: 8,
+                fps: 30,
+                gop: GopConfig { gop_len: 6, use_b_frames: true, quant: 0 },
+                frames,
+            };
+            let tiers = serialize_container(&video);
+            let mut damaged = tiers.unimportant.clone();
+            if damaged.is_empty() {
+                return Ok(());
+            }
+            for (idx, val) in flips {
+                let i = idx.index(damaged.len());
+                damaged[i] ^= val;
+            }
+            let parsed = parse_container(&tiers.important, &damaged).unwrap();
+            for (got, want) in parsed.frames.iter().zip(&video.frames) {
+                if let Some(f) = got {
+                    prop_assert_eq!(f, want, "CRC accepted a corrupt frame");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Grayscale frames and quality measurement.
+
+/// A single grayscale (luma-only) video frame.
+///
+/// Real pipelines carry YUV; every measurement the paper reports (PSNR of
+/// recovered frames) is computed on luma, so a single plane suffices and
+/// keeps the synthetic workload cheap enough to sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Row-major luma samples, `width × height` bytes.
+    pub pixels: Vec<u8>,
+}
+
+impl Frame {
+    /// A black frame.
+    pub fn black(width: usize, height: usize) -> Self {
+        Frame {
+            width,
+            height,
+            pixels: vec![0; width * height],
+        }
+    }
+
+    /// Builds a frame from raw samples.
+    ///
+    /// # Panics
+    /// Panics if `pixels.len() != width * height`.
+    pub fn from_pixels(width: usize, height: usize, pixels: Vec<u8>) -> Self {
+        assert_eq!(pixels.len(), width * height, "pixel count mismatch");
+        Frame {
+            width,
+            height,
+            pixels,
+        }
+    }
+
+    /// Sample accessor (row-major).
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> u8 {
+        self.pixels[y * self.width + x]
+    }
+
+    /// Mean absolute difference against another frame of the same size.
+    pub fn mad(&self, other: &Frame) -> f64 {
+        assert_eq!(self.pixels.len(), other.pixels.len(), "frame size mismatch");
+        if self.pixels.is_empty() {
+            return 0.0;
+        }
+        let sum: u64 = self
+            .pixels
+            .iter()
+            .zip(&other.pixels)
+            .map(|(&a, &b)| u64::from(a.abs_diff(b)))
+            .sum();
+        sum as f64 / self.pixels.len() as f64
+    }
+}
+
+/// Peak signal-to-noise ratio between a reference and a reconstruction,
+/// in decibels. Identical frames return `f64::INFINITY`.
+///
+/// This is the metric behind the paper's "average quality of recovered
+/// pictures is commonly above 35 dB" claim (§5.1).
+pub fn psnr_db(reference: &Frame, reconstruction: &Frame) -> f64 {
+    assert_eq!(
+        reference.pixels.len(),
+        reconstruction.pixels.len(),
+        "frame size mismatch"
+    );
+    if reference.pixels.is_empty() {
+        return f64::INFINITY;
+    }
+    let mse: f64 = reference
+        .pixels
+        .iter()
+        .zip(&reconstruction.pixels)
+        .map(|(&a, &b)| {
+            let d = f64::from(a) - f64::from(b);
+            d * d
+        })
+        .sum::<f64>()
+        / reference.pixels.len() as f64;
+    if mse == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * ((255.0 * 255.0) / mse).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_frames_have_infinite_psnr() {
+        let f = Frame::from_pixels(4, 2, vec![10; 8]);
+        assert_eq!(psnr_db(&f, &f), f64::INFINITY);
+        assert_eq!(f.mad(&f), 0.0);
+    }
+
+    #[test]
+    fn psnr_of_known_error() {
+        // Every pixel off by 1: MSE = 1 → PSNR = 20·log10(255) ≈ 48.13 dB.
+        let a = Frame::from_pixels(10, 10, vec![100; 100]);
+        let b = Frame::from_pixels(10, 10, vec![101; 100]);
+        let p = psnr_db(&a, &b);
+        assert!((p - 48.1308).abs() < 1e-3, "got {p}");
+    }
+
+    #[test]
+    fn psnr_decreases_with_error() {
+        let a = Frame::from_pixels(8, 8, vec![128; 64]);
+        let b = Frame::from_pixels(8, 8, vec![130; 64]);
+        let c = Frame::from_pixels(8, 8, vec![160; 64]);
+        assert!(psnr_db(&a, &b) > psnr_db(&a, &c));
+    }
+
+    #[test]
+    fn mad_counts_mean_abs_difference() {
+        let a = Frame::from_pixels(2, 1, vec![0, 10]);
+        let b = Frame::from_pixels(2, 1, vec![4, 4]);
+        assert_eq!(a.mad(&b), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pixel count mismatch")]
+    fn wrong_pixel_count_panics() {
+        Frame::from_pixels(3, 3, vec![0; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "frame size mismatch")]
+    fn psnr_size_mismatch_panics() {
+        let a = Frame::black(2, 2);
+        let b = Frame::black(2, 3);
+        psnr_db(&a, &b);
+    }
+}

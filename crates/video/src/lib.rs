@@ -1,0 +1,33 @@
+//! A synthetic H.264-like video substrate.
+//!
+//! The paper's workload is YouTube-8m video re-encoded with H.264; what its
+//! experiments actually rely on is (a) the GOP structure — an I-frame
+//! followed by dependent P/B-frames — for importance classification, and
+//! (b) temporal smoothness at 60 fps so that lost frames interpolate to
+//! ≥ 35 dB PSNR. This crate reproduces both with no external data:
+//!
+//! * [`synth::SyntheticVideo`] renders procedural grayscale frames — a
+//!   drifting smooth background with moving blobs — with configurable
+//!   resolution, fps and motion speed;
+//! * [`codec`] compresses a frame sequence GOP-by-GOP: I-frames store the
+//!   full picture, P/B-frames store the residual against their reference,
+//!   run-length encoded (smooth motion ⇒ sparse residuals ⇒ genuinely
+//!   smaller P/B payloads, like a real encoder's ratio);
+//! * [`container`] wraps the encoded frames in a NAL-like byte container
+//!   that parses defensively and **splits into tiers**: important bytes
+//!   (headers + I-frame payloads) and unimportant bytes (P/B payloads) —
+//!   exactly the interface `approx-code`'s tiered packer expects;
+//! * [`frame`] holds the pixel type and PSNR measurement.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod container;
+pub mod frame;
+pub mod synth;
+
+pub use codec::{decode_stream, encode_stream, DecodedStream, EncodedFrame, FrameType, GopConfig};
+pub use container::{crc32, parse_container, serialize_container, ContainerError, ParsedVideo, TieredBytes, VideoContainer};
+pub use frame::{psnr_db, Frame};
+pub use synth::SyntheticVideo;

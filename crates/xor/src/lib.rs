@@ -1,0 +1,65 @@
+//! XOR-based array codes: EVENODD, RDP, STAR and a TIP-like code.
+//!
+//! All four are *array codes*: a stripe is a `(p-1) × n` array of elements,
+//! each column living on one storage node, and every parity element is an
+//! XOR of other elements. They are expressed as
+//! [`apec_bitmatrix::XorCodeSpec`]s and wrapped by [`ArrayCode`], which
+//! implements the workspace-wide [`apec_ec::ErasureCode`] trait with a
+//! cached symbolic solver for reconstruction.
+//!
+//! # Constructions
+//!
+//! EVENODD, STAR and the TIP-like code are all members of one family of
+//! *slope codes* over a prime `p` (see [`SlopeCode`]): the parity of slope
+//! `s` at row `t` XORs every data element on the diagonal
+//! `(row + s·col) ≡ t (mod p)`, plus — for non-zero slopes — the
+//! "adjuster" diagonal `(row + s·col) ≡ p−1 (mod p)`, exactly as EVENODD's
+//! `S` term. In this light:
+//!
+//! * `EVENODD(p)` = slopes `{0, 1}` (RAID-6),
+//! * `STAR(p)` = slopes `{0, 1, −1}` (EVENODD plus anti-diagonals),
+//! * `TIP-like(p)` = slopes `{0, 1, 2}` — a Blaum-Roth-style triple-parity
+//!   code in which, unlike STAR, all three parities are *independently*
+//!   computable from data. The original TIP-Code's exact element placement
+//!   is defined in its own paper; this stand-in preserves the properties
+//!   the Approximate-Code paper relies on (XOR-based 3DFT, independent
+//!   parity generation, prime-`p` geometry) and its triple-fault tolerance
+//!   is verified exhaustively in the test suite for every `p` used in the
+//!   evaluation.
+//!
+//! `RDP(p)` is separate: it has no adjuster; instead its diagonal parity
+//! chains cross the row-parity column.
+//!
+//! All codes support *shortening*: `k` may be less than the natural number
+//! of data columns, with the omitted columns treated as all-zero virtual
+//! columns (the standard way to run `STAR(k, 3)` at arbitrary `k`).
+//!
+//! ```
+//! use apec_ec::ErasureCode;
+//!
+//! let code = apec_xor::star(5, 5).unwrap(); // STAR(5,3): 5 data + 3 parity
+//! let shard = vec![7u8; code.shard_alignment() * 16];
+//! let data: Vec<Vec<u8>> = (0..5).map(|_| shard.clone()).collect();
+//! let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+//! let parity = code.encode(&refs).unwrap();
+//!
+//! // Any three columns may fail.
+//! let mut stripe: Vec<Option<Vec<u8>>> =
+//!     data.into_iter().chain(parity).map(Some).collect();
+//! stripe[0] = None;
+//! stripe[4] = None;
+//! stripe[6] = None;
+//! code.reconstruct(&mut stripe).unwrap();
+//! assert!(stripe.iter().all(|s| s.is_some()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod array;
+mod rdp;
+mod slopes;
+
+pub use array::ArrayCode;
+pub use rdp::rdp;
+pub use slopes::{evenodd, is_prime, next_prime_at_least, slope_class_cells, star, tip_like, SlopeCode};

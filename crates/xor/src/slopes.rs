@@ -1,0 +1,384 @@
+//! The slope-code family: EVENODD, STAR and the TIP-like code.
+//!
+//! See the crate docs for the construction. Everything here reduces to
+//! [`slope_class_cells`], which enumerates the data cells participating in
+//! one parity element; the Approximate-Code framework reuses it to build
+//! composite global stripes.
+
+use crate::array::ArrayCode;
+use apec_bitmatrix::XorCodeSpec;
+use apec_ec::EcError;
+
+/// Simple deterministic primality test (trial division — parameters are
+/// tiny array-code primes).
+pub fn is_prime(n: usize) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n.is_multiple_of(2) {
+        return n == 2;
+    }
+    let mut d = 3;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+/// Smallest prime `>= n`.
+pub fn next_prime_at_least(n: usize) -> usize {
+    let mut p = n.max(2);
+    while !is_prime(p) {
+        p += 1;
+    }
+    p
+}
+
+/// The data cells `(row, col)` covered by the parity element of slope `s`
+/// at parity row `t`, over `k` data columns of a prime-`p` array with
+/// `p − 1` element rows.
+///
+/// Cells on the diagonal class `(row + s·col) ≡ t (mod p)` are always
+/// included; when `include_adjuster` is set (every non-zero slope), the
+/// adjuster class `(row + s·col) ≡ p − 1 (mod p)` is XORed in as well —
+/// the expanded form of EVENODD's `S` term.
+pub fn slope_class_cells(
+    p: usize,
+    k: usize,
+    s: usize,
+    t: usize,
+    include_adjuster: bool,
+) -> Vec<(usize, usize)> {
+    debug_assert!(t < p - 1, "parity rows run 0..p-1");
+    let mut cells = Vec::new();
+    for j in 0..k {
+        for i in 0..p - 1 {
+            let class = (i + s * j) % p;
+            let in_main = class == t;
+            let in_adjuster = include_adjuster && class == p - 1;
+            // A cell in both classes would cancel, but main class t < p-1
+            // and adjuster class p-1 are distinct by construction.
+            if in_main || in_adjuster {
+                cells.push((i, j));
+            }
+        }
+    }
+    cells
+}
+
+/// A slope-code builder: `k` data columns shortened from a prime `p`, one
+/// parity column per slope.
+#[derive(Debug, Clone)]
+pub struct SlopeCode {
+    /// The prime geometry parameter.
+    pub p: usize,
+    /// Number of (real) data columns, `1 ..= p`.
+    pub k: usize,
+    /// Parity slopes, reduced mod `p`, all distinct.
+    pub slopes: Vec<usize>,
+}
+
+impl SlopeCode {
+    /// Validates the geometry.
+    pub fn new(p: usize, k: usize, slopes: Vec<usize>) -> Result<Self, EcError> {
+        if !is_prime(p) {
+            return Err(EcError::InvalidParameters(format!("p = {p} is not prime")));
+        }
+        if k == 0 || k > p {
+            return Err(EcError::InvalidParameters(format!(
+                "k = {k} must be in 1..={p}"
+            )));
+        }
+        if slopes.is_empty() {
+            return Err(EcError::InvalidParameters("no slopes given".into()));
+        }
+        let mut reduced: Vec<usize> = slopes.iter().map(|&s| s % p).collect();
+        reduced.sort_unstable();
+        reduced.dedup();
+        if reduced.len() != slopes.len() {
+            return Err(EcError::InvalidParameters(format!(
+                "slopes {slopes:?} are not distinct mod {p}"
+            )));
+        }
+        Ok(SlopeCode {
+            p,
+            k,
+            slopes: slopes.iter().map(|&s| s % p).collect(),
+        })
+    }
+
+    /// Builds the [`XorCodeSpec`]: columns `0..k` data, then one parity
+    /// column per slope, `p − 1` element rows each.
+    pub fn spec(&self) -> XorCodeSpec {
+        let (p, k) = (self.p, self.k);
+        let rpc = p - 1;
+        let m = self.slopes.len();
+        let n_cols = k + m;
+        let data_elements: Vec<usize> = (0..k * rpc).collect();
+        let mut parity_elements = Vec::with_capacity(m * rpc);
+        let mut parity_support = Vec::with_capacity(m * rpc);
+        for (si, &s) in self.slopes.iter().enumerate() {
+            let pcol = k + si;
+            for t in 0..rpc {
+                parity_elements.push(pcol * rpc + t);
+                let cells = slope_class_cells(p, k, s, t, s != 0);
+                parity_support.push(cells.into_iter().map(|(i, j)| j * rpc + i).collect());
+            }
+        }
+        XorCodeSpec {
+            n_cols,
+            rows_per_col: rpc,
+            data_elements,
+            parity_elements,
+            parity_support,
+        }
+    }
+
+    /// Wraps the spec in an [`ArrayCode`] with the given display name and
+    /// declared column fault tolerance.
+    pub fn build(&self, name: impl Into<String>, tolerance: usize) -> Result<ArrayCode, EcError> {
+        ArrayCode::new(name, self.spec(), self.k, tolerance)
+    }
+}
+
+/// `EVENODD(p)` shortened to `k` data columns: slopes `{0, 1}`, tolerance 2.
+pub fn evenodd(p: usize, k: usize) -> Result<ArrayCode, EcError> {
+    SlopeCode::new(p, k, vec![0, 1])?.build(format!("EVENODD({k},2)"), 2)
+}
+
+/// `STAR(p)` shortened to `k` data columns: slopes `{0, 1, −1}`,
+/// tolerance 3.
+pub fn star(p: usize, k: usize) -> Result<ArrayCode, EcError> {
+    SlopeCode::new(p, k, vec![0, 1, p - 1])?.build(format!("STAR({k},3)"), 3)
+}
+
+/// The TIP-like code shortened to `k` data columns: slopes `{0, 1, 2}`,
+/// tolerance 3. See the crate docs for the relationship to the original
+/// TIP-Code.
+pub fn tip_like(p: usize, k: usize) -> Result<ArrayCode, EcError> {
+    SlopeCode::new(p, k, vec![0, 1, 2])?.build(format!("TIP({k},3)"), 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apec_ec::ErasureCode;
+    use rand::prelude::*;
+
+    #[test]
+    fn primality_helpers() {
+        let primes: Vec<usize> = (0..30).filter(|&n| is_prime(n)).collect();
+        assert_eq!(primes, vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29]);
+        assert_eq!(next_prime_at_least(6), 7);
+        assert_eq!(next_prime_at_least(7), 7);
+        assert_eq!(next_prime_at_least(0), 2);
+        assert_eq!(next_prime_at_least(14), 17);
+    }
+
+    #[test]
+    fn slope_code_validation() {
+        assert!(SlopeCode::new(4, 2, vec![0, 1]).is_err()); // p not prime
+        assert!(SlopeCode::new(5, 0, vec![0]).is_err()); // k too small
+        assert!(SlopeCode::new(5, 6, vec![0]).is_err()); // k > p
+        assert!(SlopeCode::new(5, 3, vec![]).is_err()); // no slopes
+        assert!(SlopeCode::new(5, 3, vec![1, 6]).is_err()); // 6 ≡ 1 mod 5
+        assert!(SlopeCode::new(5, 5, vec![0, 1, 4]).is_ok());
+    }
+
+    #[test]
+    fn specs_validate_structurally() {
+        for p in [3usize, 5, 7] {
+            for k in 1..=p {
+                for slopes in [vec![0], vec![0, 1], vec![0, 1, p - 1], vec![0, 1, 2 % p]] {
+                    let mut s = slopes.clone();
+                    s.sort_unstable();
+                    s.dedup();
+                    if s.len() != slopes.len() {
+                        continue;
+                    }
+                    let code = SlopeCode::new(p, k, slopes.clone()).unwrap();
+                    code.spec()
+                        .validate()
+                        .unwrap_or_else(|e| panic!("p={p} k={k} slopes={slopes:?}: {e}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn evenodd_matches_hand_computed_small_case() {
+        // EVENODD(3): 2 rows, 3 data cols (+2 parity). Hand-check parities
+        // on a known pattern.
+        let code = evenodd(3, 3).unwrap();
+        // Data columns as (row0, row1) bytes:
+        let d0 = vec![1u8, 2];
+        let d1 = vec![4u8, 8];
+        let d2 = vec![16u8, 32];
+        let parity = code.encode(&[&d0, &d1, &d2]).unwrap();
+        // Horizontal: row0 = 1^4^16 = 21, row1 = 2^8^32 = 42.
+        assert_eq!(parity[0], vec![21, 42]);
+        // Diagonal classes mod 3 (cell (i,j) class (i+j) mod 3):
+        //   class 0: (0,0),(1,2)   class 1: (1,0),(0,1)
+        //   class 2 (adjuster S): (1,1),(0,2) => S = 8 ^ 16 = 24.
+        // Q[0] = 1 ^ 32 ^ S = 57; Q[1] = 2 ^ 4 ^ S = 30.
+        assert_eq!(parity[1], vec![57, 30]);
+    }
+
+    #[test]
+    fn evenodd_exhaustive_double_fault_tolerance() {
+        for p in [3usize, 5, 7] {
+            for k in [p, p - 1, 2.min(p)] {
+                let code = evenodd(p, k).unwrap();
+                assert_eq!(
+                    code.verify_tolerance(),
+                    None,
+                    "EVENODD(p={p},k={k}) failed exhaustive check"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn star_exhaustive_triple_fault_tolerance() {
+        for p in [3usize, 5, 7] {
+            for k in [p, p - 2] {
+                if k == 0 {
+                    continue;
+                }
+                let code = star(p, k).unwrap();
+                assert_eq!(
+                    code.verify_tolerance(),
+                    None,
+                    "STAR(p={p},k={k}) failed exhaustive check"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tip_like_exhaustive_triple_fault_tolerance() {
+        for p in [5usize, 7] {
+            for k in [p, p - 2] {
+                let code = tip_like(p, k).unwrap();
+                assert_eq!(
+                    code.verify_tolerance(),
+                    None,
+                    "TIP(p={p},k={k}) failed exhaustive check"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_evaluation_primes_spot_checks() {
+        // The evaluation uses k up to 17. Exhaustive triple enumeration at
+        // p=17 is ~1.5k patterns; keep it to the two largest primes and
+        // sample double faults for speed in debug builds.
+        let mut rng = StdRng::seed_from_u64(99);
+        for p in [11usize, 13] {
+            let code = star(p, p).unwrap();
+            let n = code.total_nodes();
+            for _ in 0..40 {
+                let mut cols: Vec<usize> = (0..n).collect();
+                cols.shuffle(&mut rng);
+                let f = rng.random_range(1..=3);
+                let pattern: Vec<usize> = {
+                    let mut v = cols[..f].to_vec();
+                    v.sort_unstable();
+                    v
+                };
+                assert!(
+                    code.spec().can_recover_columns(&pattern),
+                    "STAR(p={p}) failed {pattern:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_with_real_data() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for (builder, tolerance) in [
+            (star as fn(usize, usize) -> Result<ArrayCode, EcError>, 3),
+            (tip_like, 3),
+            (evenodd, 2),
+        ] {
+            let p = 5;
+            let code = builder(p, p).unwrap();
+            let shard_len = (p - 1) * 16;
+            let data: Vec<Vec<u8>> = (0..p)
+                .map(|_| {
+                    let mut v = vec![0u8; shard_len];
+                    rng.fill(v.as_mut_slice());
+                    v
+                })
+                .collect();
+            let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+            let parity = code.encode(&refs).unwrap();
+            let full: Vec<Option<Vec<u8>>> =
+                data.iter().cloned().chain(parity).map(Some).collect();
+
+            let n = code.total_nodes();
+            let mut victims: Vec<usize> = (0..n).collect();
+            victims.shuffle(&mut rng);
+            victims.truncate(tolerance);
+            let mut stripe = full.clone();
+            for &v in &victims {
+                stripe[v] = None;
+            }
+            code.reconstruct(&mut stripe).unwrap();
+            assert_eq!(stripe, full, "{} victims {victims:?}", code.name());
+        }
+    }
+
+    #[test]
+    fn shortened_codes_round_trip() {
+        // k < p exercises virtual zero columns.
+        let code = star(7, 4).unwrap();
+        assert_eq!(code.data_nodes(), 4);
+        assert_eq!(code.total_nodes(), 7);
+        let shard_len = 6 * 4;
+        let data: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8 + 1; shard_len]).collect();
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = code.encode(&refs).unwrap();
+        let full: Vec<Option<Vec<u8>>> = data.iter().cloned().chain(parity).map(Some).collect();
+        let mut stripe = full.clone();
+        stripe[0] = None;
+        stripe[4] = None;
+        stripe[6] = None;
+        code.reconstruct(&mut stripe).unwrap();
+        assert_eq!(stripe, full);
+    }
+
+    #[test]
+    fn star_update_cost_matches_table3_formula() {
+        // Table 3: STAR single-write overhead is 6 − 4/p (for k = p).
+        for p in [5usize, 7, 11, 13] {
+            let code = star(p, p).unwrap();
+            let expect = 6.0 - 4.0 / p as f64;
+            let got = code.update_pattern().node_writes;
+            assert!(
+                (got - expect).abs() < 1e-9,
+                "STAR(p={p}): got {got}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn evenodd_update_cost_formula() {
+        // EVENODD: 1 data write + 1 horizontal + slope-1 average
+        // 2(p-1)/p  =>  total 2 + 2(p-1)/p = 4 - 2/p.
+        for p in [5usize, 7, 11] {
+            let code = evenodd(p, p).unwrap();
+            let expect = 4.0 - 2.0 / p as f64;
+            let got = code.update_pattern().node_writes;
+            assert!(
+                (got - expect).abs() < 1e-9,
+                "EVENODD(p={p}): got {got}, expected {expect}"
+            );
+        }
+    }
+}

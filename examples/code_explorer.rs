@@ -1,0 +1,103 @@
+//! Code explorer: prints the paper's Table 3-style properties plus the
+//! §3.4 reliability expectations for a sweep of Approximate Codes, with
+//! the analytic values cross-checked against the real decoder.
+//!
+//! ```text
+//! cargo run --release --example code_explorer
+//! ```
+
+use approximate_code::analysis::{overhead, reliability, writecost};
+use approximate_code::prelude::*;
+
+fn main() {
+    println!("== Base codes (paper Table 3) ==");
+    println!(
+        "{:<16} {:>9} {:>11} {:>13}",
+        "code", "overhead", "tolerance", "single-write"
+    );
+    let k = 5;
+    let rows: Vec<(String, f64, usize, f64)> = vec![
+        (
+            format!("RS({k},3)"),
+            overhead::rs_overhead(k, 3),
+            3,
+            writecost::rs_single_write(3),
+        ),
+        (
+            format!("LRC({k},4,2)"),
+            overhead::lrc_overhead(k, 4, 2),
+            3,
+            writecost::lrc_single_write(2),
+        ),
+        (
+            format!("STAR({k},3)"),
+            overhead::star_overhead(k),
+            3,
+            writecost::star_single_write(k),
+        ),
+        (
+            format!("TIP({k},3)"),
+            overhead::tip_overhead(7),
+            3,
+            writecost::tip_single_write(),
+        ),
+    ];
+    for (name, ovh, tol, sw) in rows {
+        println!("{name:<16} {ovh:>8.3}x {tol:>11} {sw:>13.2}");
+    }
+
+    println!("\n== Approximate Codes, measured from the generated layouts ==");
+    println!(
+        "{:<28} {:>9} {:>6} {:>7} {:>13} {:>8} {:>8}",
+        "code", "overhead", "tol", "tol(ID)", "single-write", "P_U", "P_I"
+    );
+    for family in [BaseFamily::Rs, BaseFamily::Star, BaseFamily::Tip] {
+        for structure in [Structure::Even, Structure::Uneven] {
+            for (r, g) in [(1usize, 2usize), (2, 1)] {
+                let code = ApproxCode::build_named(family, 5, r, g, 4, structure)
+                    .expect("valid parameters");
+                let pu = reliability::analytic_p_u(5, r, g, 4, structure);
+                let pi = reliability::analytic_p_i(5, r, g, 4, structure);
+                println!(
+                    "{:<28} {:>8.3}x {:>6} {:>7} {:>13.2} {:>7.2}% {:>7.2}%",
+                    code.name(),
+                    code.storage_overhead(),
+                    code.fault_tolerance(),
+                    code.important_fault_tolerance(),
+                    code.update_pattern().node_writes,
+                    pu * 100.0,
+                    pi * 100.0
+                );
+            }
+        }
+    }
+
+    println!("\n== Cross-check: analytic vs real decoder (APPR.RS(3,1,2,3)) ==");
+    for structure in [Structure::Even, Structure::Uneven] {
+        let code = ApproxCode::build_named(BaseFamily::Rs, 3, 1, 2, 3, structure)
+            .expect("valid parameters");
+        let measured2 = reliability::enumerate_reliability(&code, 2);
+        let measured4 = reliability::enumerate_reliability(&code, 4);
+        println!(
+            "{structure:<7}: P_U analytic {:.2}% / enumerated {:.2}%   P_I analytic {:.2}% / enumerated {:.2}%",
+            reliability::analytic_p_u(3, 1, 2, 3, structure) * 100.0,
+            measured2.p_u * 100.0,
+            reliability::analytic_p_i(3, 1, 2, 3, structure) * 100.0,
+            measured4.p_i * 100.0
+        );
+    }
+
+    println!("\n== Storage savings over RS(k,3) (paper Table 4) ==");
+    print!("{:<22}", "k =");
+    for k in 4..=9 {
+        print!("{k:>8}");
+    }
+    println!();
+    for (r, g, h) in [(1, 2, 4), (2, 1, 4), (1, 2, 6), (2, 1, 6)] {
+        print!("{:<22}", format!("APPR.RS(k,{r},{g},{h})"));
+        for k in 4..=9 {
+            print!("{:>7.1}%", overhead::appr_rs_improvement(k, r, g, h) * 100.0);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,69 @@
+//! Approximate Code — umbrella crate.
+//!
+//! This is the façade for the whole workspace: a from-scratch Rust
+//! reproduction of *"Approximate Code: A Cost-Effective Erasure Coding
+//! Framework for Tiered Video Storage in Cloud Systems"* (ICPP 2019).
+//! Each subsystem lives in its own crate and is re-exported here as a
+//! module:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`gf`] | `apec-gf` | GF(2^8) arithmetic, matrices, bulk kernels |
+//! | [`bitmatrix`] | `apec-bitmatrix` | GF(2) solver + XOR recovery plans |
+//! | [`ec`] | `apec-ec` | the `ErasureCode` trait, stripes, parallel pipeline |
+//! | [`rs`] | `apec-rs` | Reed-Solomon / Cauchy-RS |
+//! | [`lrc`] | `apec-lrc` | Azure-style LRC |
+//! | [`xor`] | `apec-xor` | EVENODD, RDP, STAR, TIP-like array codes |
+//! | [`approx`] | `approx-code` | **the paper's framework**: APPR.RS/LRC/STAR/TIP |
+//! | [`video`] | `apec-video` | synthetic H.264-like streams, tiered container |
+//! | [`recovery`] | `apec-recovery` | frame interpolation + PSNR |
+//! | [`cluster`] | `apec-cluster` | functional cluster + repair timing model |
+//! | [`analysis`] | `apec-analysis` | reliability/overhead/write-cost models |
+//!
+//! Start with `examples/quickstart.rs`, then `examples/video_vault.rs`
+//! for the full video→tiers→cluster→failure→interpolation pipeline.
+//!
+//! ```
+//! use approximate_code::prelude::*;
+//!
+//! let code = ApproxCode::build_named(BaseFamily::Rs, 4, 1, 2, 3, Structure::Uneven)?;
+//! let shard = vec![0u8; code.shard_alignment() * 64];
+//! let data: Vec<Vec<u8>> = (0..code.data_nodes()).map(|_| shard.clone()).collect();
+//! let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+//! let parity = code.encode(&refs)?;
+//!
+//! let mut stripe: Vec<Option<Vec<u8>>> =
+//!     data.into_iter().chain(parity).map(Some).collect();
+//! stripe[0] = None;
+//! stripe[1] = None; // two failures in the important stripe
+//! let report = code.reconstruct_tiered(&mut stripe)?;
+//! assert!(report.important_recovered);
+//! # Ok::<(), apec_ec::EcError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use apec_analysis as analysis;
+pub use apec_bitmatrix as bitmatrix;
+pub use apec_cluster as cluster;
+pub use apec_ec as ec;
+pub use apec_gf as gf;
+pub use apec_lrc as lrc;
+pub use apec_recovery as recovery;
+pub use apec_rs as rs;
+pub use apec_video as video;
+pub use apec_xor as xor;
+pub use approx_code as approx;
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use crate::approx::{ApproxCode, BaseFamily, Structure, TieredReport};
+    pub use crate::cluster::{Cluster, ClusterConfig, RepairPlanner};
+    pub use crate::ec::ErasureCode;
+    pub use crate::lrc::Lrc;
+    pub use crate::recovery::{recover_lost_frames, Interpolator};
+    pub use crate::rs::ReedSolomon;
+    pub use crate::video::{GopConfig, SyntheticVideo};
+    pub use crate::xor::{evenodd, rdp, star, tip_like};
+}

@@ -1,0 +1,158 @@
+//! Cross-crate consistency: every codec behaves identically through the
+//! shared trait, the parallel pipeline, and the cluster store.
+
+use approximate_code::cluster::Cluster;
+use approximate_code::ec::parallel::{encode_segmented, reconstruct_segmented};
+use approximate_code::prelude::*;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::collections::HashMap;
+
+/// Builds one instance of every code family at comparable geometry.
+fn all_codes() -> Vec<Box<dyn ErasureCode>> {
+    vec![
+        Box::new(ReedSolomon::vandermonde(5, 3).unwrap()),
+        Box::new(ReedSolomon::cauchy(5, 3).unwrap()),
+        Box::new(Lrc::new(6, 3, 2).unwrap()),
+        Box::new(evenodd(5, 5).unwrap()),
+        Box::new(rdp(7, 6).unwrap()),
+        Box::new(star(5, 5).unwrap()),
+        Box::new(tip_like(7, 5).unwrap()),
+        Box::new(
+            ApproxCode::build_named(BaseFamily::Rs, 4, 1, 2, 3, Structure::Even).unwrap(),
+        ),
+        Box::new(
+            ApproxCode::build_named(BaseFamily::Star, 4, 2, 1, 3, Structure::Uneven).unwrap(),
+        ),
+    ]
+}
+
+fn random_data(code: &dyn ErasureCode, per_align: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let len = code.shard_alignment() * per_align;
+    (0..code.data_nodes())
+        .map(|_| {
+            let mut v = vec![0u8; len];
+            rng.fill(v.as_mut_slice());
+            v
+        })
+        .collect()
+}
+
+#[test]
+fn every_code_round_trips_random_tolerated_failures() {
+    let mut rng = StdRng::seed_from_u64(42);
+    for code in all_codes() {
+        let data = random_data(code.as_ref(), 24, 1);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = code.encode(&refs).unwrap();
+        let full: Vec<Option<Vec<u8>>> =
+            data.iter().cloned().chain(parity).map(Some).collect();
+        for _ in 0..10 {
+            let f = rng.random_range(1..=code.fault_tolerance());
+            let mut nodes: Vec<usize> = (0..code.total_nodes()).collect();
+            nodes.shuffle(&mut rng);
+            let mut stripe = full.clone();
+            for &v in &nodes[..f] {
+                stripe[v] = None;
+            }
+            code.reconstruct(&mut stripe)
+                .unwrap_or_else(|e| panic!("{} failed {:?}: {e}", code.name(), &nodes[..f]));
+            assert_eq!(stripe, full, "{} corrupted bytes", code.name());
+        }
+    }
+}
+
+#[test]
+fn segmented_parallel_paths_match_serial_for_every_code() {
+    for code in all_codes() {
+        let data = random_data(code.as_ref(), 64, 2);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let serial = code.encode(&refs).unwrap();
+        let parallel =
+            encode_segmented(code.as_ref(), &refs, code.shard_alignment() * 8, 4).unwrap();
+        assert_eq!(serial, parallel, "{} parallel encode differs", code.name());
+
+        let full: Vec<Option<Vec<u8>>> =
+            data.iter().cloned().chain(serial).map(Some).collect();
+        let mut stripe = full.clone();
+        stripe[0] = None;
+        reconstruct_segmented(code.as_ref(), &mut stripe, code.shard_alignment() * 8, 4)
+            .unwrap();
+        assert_eq!(stripe, full, "{} parallel reconstruct differs", code.name());
+    }
+}
+
+#[test]
+fn cluster_store_read_repair_for_every_code() {
+    for code in all_codes() {
+        let mut cluster = Cluster::new(code.total_nodes() + 3);
+        let object: Vec<u8> = (0..40_000).map(|i| (i * 7 % 253) as u8).collect();
+        let shard_len = code.shard_alignment() * 32;
+        let mut meta = cluster
+            .store_object(code.as_ref(), 9, &object, shard_len)
+            .unwrap();
+
+        // Kill as many nodes as the code tolerates.
+        let f = code.fault_tolerance();
+        let victims: Vec<usize> = meta.placement[..f].to_vec();
+        for &v in &victims {
+            cluster.kill_node(v).unwrap();
+        }
+        assert_eq!(
+            cluster.read_object(code.as_ref(), &meta).unwrap(),
+            object,
+            "{} degraded read failed",
+            code.name()
+        );
+
+        // Repair onto spares and verify.
+        let spares: Vec<usize> = (0..cluster.node_count())
+            .filter(|n| !meta.placement.contains(n) && cluster.is_alive(*n))
+            .take(f)
+            .collect();
+        let mapping: HashMap<usize, usize> =
+            victims.into_iter().zip(spares).collect();
+        cluster
+            .repair_object(code.as_ref(), &mut meta, &mapping)
+            .unwrap_or_else(|e| panic!("{} repair failed: {e}", code.name()));
+        assert_eq!(
+            cluster.read_object(code.as_ref(), &meta).unwrap(),
+            object,
+            "{} post-repair read failed",
+            code.name()
+        );
+    }
+}
+
+#[test]
+fn declared_tolerance_is_exhaustively_true_for_3dft_codes() {
+    // Every 3DFT code must decode *all* C(n,3) patterns at small scale.
+    let codes: Vec<Box<dyn ErasureCode>> = vec![
+        Box::new(ReedSolomon::vandermonde(4, 3).unwrap()),
+        Box::new(star(5, 4).unwrap()),
+        Box::new(tip_like(5, 4).unwrap()),
+        Box::new(Lrc::new(6, 2, 2).unwrap()),
+    ];
+    for code in codes {
+        let data = random_data(code.as_ref(), 4, 3);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = code.encode(&refs).unwrap();
+        let full: Vec<Option<Vec<u8>>> =
+            data.iter().cloned().chain(parity).map(Some).collect();
+        let n = code.total_nodes();
+        for a in 0..n {
+            for b in a + 1..n {
+                for c in b + 1..n {
+                    let mut stripe = full.clone();
+                    stripe[a] = None;
+                    stripe[b] = None;
+                    stripe[c] = None;
+                    code.reconstruct(&mut stripe)
+                        .unwrap_or_else(|e| panic!("{} failed ({a},{b},{c}): {e}", code.name()));
+                    assert_eq!(stripe, full, "{} pattern ({a},{b},{c})", code.name());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! End-to-end pipeline tests: video → tiers → Approximate-Code stripes →
+//! failures → tiered repair → container parse → decode → interpolation.
+
+use approximate_code::approx::tiered;
+use approximate_code::prelude::*;
+use approximate_code::video::{
+    decode_stream, encode_stream, parse_container, psnr_db, serialize_container, VideoContainer,
+};
+
+struct PipelineResult {
+    damaged_frames: usize,
+    interpolated: usize,
+    mean_psnr: f64,
+    min_psnr: f64,
+}
+
+/// Runs the full pipeline for one code and failure pattern.
+fn run_pipeline(
+    code: &ApproxCode,
+    victims: &[usize],
+    frames_count: usize,
+    seed: u64,
+) -> PipelineResult {
+    let (w, h) = (64, 48);
+    let video = SyntheticVideo::new(w, h, 60.0, seed, 3);
+    let frames = video.frames(frames_count);
+    let gop = GopConfig::default();
+    let container = VideoContainer {
+        width: w,
+        height: h,
+        fps: 60,
+        gop,
+        frames: encode_stream(&frames, &gop),
+    };
+    let tiers = serialize_container(&container);
+
+    let shard_len = code.shard_alignment() * 128;
+    let packed = tiered::pack(code, &tiers.important, &tiers.unimportant, shard_len).unwrap();
+
+    let mut repaired_stripes = Vec::new();
+    for shards in &packed.stripes {
+        let refs: Vec<&[u8]> = shards.iter().map(|s| s.as_slice()).collect();
+        let parity = code.encode(&refs).unwrap();
+        let mut stripe: Vec<Option<Vec<u8>>> =
+            shards.iter().cloned().chain(parity).map(Some).collect();
+        for &v in victims {
+            stripe[v] = None;
+        }
+        let report = code.reconstruct_tiered(&mut stripe).unwrap();
+        assert!(
+            report.important_recovered,
+            "{}: important data must survive {victims:?}",
+            code.name()
+        );
+        repaired_stripes.push(
+            stripe
+                .into_iter()
+                .take(code.data_nodes())
+                .map(Option::unwrap)
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    let (imp, unimp) = tiered::unpack(
+        code,
+        &repaired_stripes,
+        packed.important_len,
+        packed.unimportant_len,
+    );
+    assert_eq!(imp, tiers.important, "important tier must be byte-exact");
+
+    let parsed = parse_container(&imp, &unimp).expect("important tier intact");
+    let damaged_frames = parsed.frames.iter().filter(|f| f.is_none()).count();
+    let mut decoded = decode_stream(&parsed.frames, parsed.width, parsed.height, &parsed.gop);
+    let report = recover_lost_frames(&mut decoded, Interpolator::Linear);
+
+    let recovered: Vec<usize> = report
+        .interpolated
+        .iter()
+        .chain(&report.extrapolated)
+        .copied()
+        .collect();
+    let mut mean = 0.0;
+    let mut min = f64::INFINITY;
+    for &i in &recovered {
+        let p = psnr_db(&frames[i], decoded.frames[i].as_ref().unwrap());
+        mean += p;
+        min = min.min(p);
+    }
+    if !recovered.is_empty() {
+        mean /= recovered.len() as f64;
+    }
+    PipelineResult {
+        damaged_frames,
+        interpolated: recovered.len(),
+        mean_psnr: mean,
+        min_psnr: min,
+    }
+}
+
+#[test]
+fn within_tolerance_failures_are_lossless_for_every_family() {
+    for family in [BaseFamily::Rs, BaseFamily::Lrc, BaseFamily::Star, BaseFamily::Tip] {
+        for structure in [Structure::Even, Structure::Uneven] {
+            let code = ApproxCode::build_named(family, 4, 1, 2, 3, structure).unwrap();
+            // One failure anywhere: fully lossless pipeline.
+            let result = run_pipeline(&code, &[2], 36, 7);
+            assert_eq!(
+                result.damaged_frames, 0,
+                "{}: no frame should be damaged",
+                code.name()
+            );
+            assert_eq!(result.interpolated, 0);
+        }
+    }
+}
+
+#[test]
+fn beyond_tolerance_keeps_video_above_35db() {
+    // Double failure in one unimportant stripe: P/B frames there are
+    // lost, I-frames survive, interpolation clears the paper's 35 dB bar.
+    for family in [BaseFamily::Rs, BaseFamily::Star] {
+        let code = ApproxCode::build_named(family, 4, 1, 2, 3, Structure::Uneven).unwrap();
+        let p = *code.params();
+        let victims = [p.data_node(1, 0), p.data_node(1, 2)];
+        let result = run_pipeline(&code, &victims, 48, 11);
+        assert!(
+            result.damaged_frames > 0,
+            "{}: scenario should damage frames",
+            code.name()
+        );
+        assert!(result.interpolated > 0);
+        assert!(
+            result.mean_psnr > 35.0,
+            "{}: mean PSNR {:.1} below the paper's bar",
+            code.name(),
+            result.mean_psnr
+        );
+        assert!(
+            result.min_psnr > 30.0,
+            "{}: worst frame {:.1} dB",
+            code.name(),
+            result.min_psnr
+        );
+    }
+}
+
+#[test]
+fn triple_failure_on_important_stripe_is_lossless() {
+    // r+g = 3 failures hitting the important stripe and globals: the
+    // important tier *and* all unimportant stripes are untouched.
+    let code = ApproxCode::build_named(BaseFamily::Tip, 4, 1, 2, 4, Structure::Uneven).unwrap();
+    let p = *code.params();
+    let victims = [p.data_node(0, 0), p.data_node(0, 1), p.global_node(0)];
+    let result = run_pipeline(&code, &victims, 36, 13);
+    assert_eq!(result.damaged_frames, 0);
+}
+
+#[test]
+fn one_percent_frame_loss_experiment() {
+    // The paper's §5.1 setup: 1% loss on unimportant frames, PSNR ≥ 35 dB.
+    use approximate_code::video::FrameType;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    let (w, h) = (64, 48);
+    let video = SyntheticVideo::new(w, h, 60.0, 21, 4);
+    let frames = video.frames(300);
+    let gop = GopConfig::default();
+    let encoded = encode_stream(&frames, &gop);
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut boxed: Vec<Option<_>> = encoded.into_iter().map(Some).collect();
+    let unimportant: Vec<usize> = boxed
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.as_ref().is_some_and(|f| f.frame_type != FrameType::I))
+        .map(|(i, _)| i)
+        .collect();
+    let losses = (unimportant.len() / 100).max(1);
+    for &i in unimportant.choose_multiple(&mut rng, losses) {
+        boxed[i] = None;
+    }
+
+    let mut decoded = decode_stream(&boxed, w, h, &gop);
+    let report = recover_lost_frames(
+        &mut decoded,
+        Interpolator::MotionCompensated { search_radius: 2 },
+    );
+    let recovered: Vec<usize> = report
+        .interpolated
+        .iter()
+        .chain(&report.extrapolated)
+        .copied()
+        .collect();
+    assert!(!recovered.is_empty());
+    let mean: f64 = recovered
+        .iter()
+        .map(|&i| psnr_db(&frames[i], decoded.frames[i].as_ref().unwrap()))
+        .sum::<f64>()
+        / recovered.len() as f64;
+    assert!(mean > 35.0, "mean recovered PSNR {mean:.1} dB");
+}

@@ -1,0 +1,145 @@
+//! Beyond-the-paper extensions the framework supports "for free":
+//! 4DFT-protected important data (r + g = 4 with an RS base), non-prime
+//! k for the XOR families (automatic shortening), and large-h tiering.
+//! The paper fixes r + g = 3 because it targets 3DFTs; the construction
+//! itself never depended on that, and these tests pin it down.
+
+use approximate_code::prelude::*;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+fn random_data(code: &ApproxCode, shard_len: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..code.data_nodes())
+        .map(|_| {
+            let mut v = vec![0u8; shard_len];
+            rng.fill(v.as_mut_slice());
+            v
+        })
+        .collect()
+}
+
+fn full_stripe(code: &ApproxCode, data: &[Vec<u8>]) -> Vec<Option<Vec<u8>>> {
+    let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+    let parity = code.encode(&refs).unwrap();
+    data.iter().cloned().chain(parity).map(Some).collect()
+}
+
+#[test]
+fn four_dft_important_data_with_rs_base() {
+    // APPR.RS(4,2,2,3): important data must survive any r+g = 4 failures
+    // of its codeword (stripe 0 + globals).
+    let code = ApproxCode::build_named(BaseFamily::Rs, 4, 2, 2, 3, Structure::Uneven).unwrap();
+    assert_eq!(code.important_fault_tolerance(), 4);
+    let data = random_data(&code, code.shard_alignment() * 64, 1);
+    let full = full_stripe(&code, &data);
+    let p = *code.params();
+
+    // All four data nodes of the important stripe at once.
+    let victims = [
+        p.data_node(0, 0),
+        p.data_node(0, 1),
+        p.data_node(0, 2),
+        p.data_node(0, 3),
+    ];
+    let mut stripe = full.clone();
+    for &v in &victims {
+        stripe[v] = None;
+    }
+    let report = code.reconstruct_tiered(&mut stripe).unwrap();
+    assert!(report.fully_recovered, "4 important-data failures must repair");
+    assert_eq!(stripe, full);
+
+    // And a mixed pattern: 2 data + 1 local parity + 1 global.
+    let victims = [
+        p.data_node(0, 0),
+        p.data_node(0, 3),
+        p.local_parity_node(0, 1),
+        p.global_node(0),
+    ];
+    let mut stripe = full.clone();
+    for &v in &victims {
+        stripe[v] = None;
+    }
+    let report = code.reconstruct_tiered(&mut stripe).unwrap();
+    assert!(report.important_recovered);
+    assert_eq!(stripe, full);
+}
+
+#[test]
+fn any_double_failure_recovers_fully_at_r2_g2() {
+    let code = ApproxCode::build_named(BaseFamily::Rs, 3, 2, 2, 3, Structure::Even).unwrap();
+    assert_eq!(code.fault_tolerance(), 2);
+    let data = random_data(&code, code.shard_alignment() * 8, 2);
+    let full = full_stripe(&code, &data);
+    let n = code.total_nodes();
+    for a in 0..n {
+        for b in a + 1..n {
+            let mut stripe = full.clone();
+            stripe[a] = None;
+            stripe[b] = None;
+            code.reconstruct(&mut stripe)
+                .unwrap_or_else(|e| panic!("pattern ({a},{b}): {e}"));
+            assert_eq!(stripe, full, "pattern ({a},{b})");
+        }
+    }
+}
+
+#[test]
+fn non_prime_k_shortens_the_xor_families() {
+    // k = 6 is not prime and 8 = 6+2 is not prime either, yet the
+    // framework shortens from the next prime transparently.
+    for family in [BaseFamily::Star, BaseFamily::Tip] {
+        let code = ApproxCode::build_named(family, 6, 1, 2, 4, Structure::Uneven).unwrap();
+        assert_eq!(code.params().k, 6);
+        let data = random_data(&code, code.shard_alignment() * 4, 3);
+        let full = full_stripe(&code, &data);
+        let p = *code.params();
+        // Triple failure on the important stripe.
+        let victims = [p.data_node(0, 0), p.data_node(0, 5), p.global_node(1)];
+        let mut stripe = full.clone();
+        for &v in &victims {
+            stripe[v] = None;
+        }
+        let report = code.reconstruct_tiered(&mut stripe).unwrap();
+        assert!(report.fully_recovered, "{family:?}");
+        assert_eq!(stripe, full, "{family:?}");
+    }
+}
+
+#[test]
+fn deep_tiering_with_large_h() {
+    // h = 12: 1/12 importance ratio — far past the paper's h ∈ {4, 6}.
+    let code = ApproxCode::build_named(BaseFamily::Rs, 3, 1, 2, 12, Structure::Even).unwrap();
+    assert_eq!(code.total_nodes(), 12 * 4 + 2);
+    let data = random_data(&code, code.shard_alignment() * 4, 4);
+    let full = full_stripe(&code, &data);
+    // Single failures across the whole width still repair.
+    for victim in [0, 17, 35, code.params().global_node(1)] {
+        let mut stripe = full.clone();
+        stripe[victim] = None;
+        code.reconstruct(&mut stripe).unwrap();
+        assert_eq!(stripe, full, "victim {victim}");
+    }
+    // Storage overhead approaches the r=1 floor as h grows.
+    assert!(code.storage_overhead() < 1.40);
+}
+
+#[test]
+fn reliability_formulas_hold_for_the_r2_g2_extension() {
+    // The paper's P_U derivation (Eq. 1–2) is parametric in r; check it
+    // against the decoder at r=2, g=2 (f = r+1 = 3). P_I's closed form is
+    // 3DFT-specific, so only P_U is compared here.
+    use approximate_code::analysis::reliability;
+    for structure in [Structure::Even, Structure::Uneven] {
+        let code =
+            ApproxCode::build_named(BaseFamily::Rs, 3, 2, 2, 3, structure).unwrap();
+        let measured = reliability::enumerate_reliability(&code, 3);
+        let want = reliability::analytic_p_u(3, 2, 2, 3, structure);
+        assert!(
+            (measured.p_u - want).abs() < 1e-12,
+            "{structure}: {} vs {want}",
+            measured.p_u
+        );
+    }
+}
