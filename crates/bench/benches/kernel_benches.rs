@@ -1,0 +1,134 @@
+//! Kernel-layer ablation benchmarks: GF(2^8) bulk kernels, backend ×
+//! block size.
+//!
+//! Two outputs per run:
+//!
+//! 1. Criterion groups (`gf-kernel-abl/*`) with statistically robust
+//!    per-backend timings, for regression tracking.
+//! 2. `BENCH_kernels.json` at the repository root — a compact
+//!    machine-readable summary (median MiB/s per backend × kernel ×
+//!    block size) used by the acceptance criteria: the best backend must
+//!    beat scalar on `xor_slice` and `mul_slice_xor` at 4 KiB+ blocks.
+//!
+//! Backends are forced per-call through the `*_slice_with` entry points,
+//! so the ablation never mutates the process-global backend that other
+//! benches rely on.
+
+use apec_gf::{mul_slice_with, mul_slice_xor_with, xor_slice_with, GfBackend};
+use criterion::{BenchmarkId, Criterion, Throughput};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::time::Instant;
+
+/// Block sizes swept by both the Criterion groups and the JSON summary.
+const SIZES: [usize; 4] = [1 << 10, 4 << 10, 64 << 10, 1 << 20];
+
+/// Non-trivial coefficient: both nibbles set, so the split-table path
+/// does real lo/hi work (0x01 and 0x02 would flatter table lookups).
+const COEFF: u8 = 0xA7;
+
+fn random_block(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v = vec![0u8; len];
+    rng.fill(v.as_mut_slice());
+    v
+}
+
+/// Backends that can actually run on this machine (Simd is absent when
+/// the CPU lacks SSSE3/NEON; `best_backend` clamps accordingly).
+fn available_backends() -> Vec<GfBackend> {
+    GfBackend::ALL
+        .iter()
+        .copied()
+        .filter(|&b| b != GfBackend::Simd || apec_gf::best_backend() == GfBackend::Simd)
+        .collect()
+}
+
+fn run_kernel(kernel: &str, backend: GfBackend, src: &[u8], dst: &mut [u8]) {
+    match kernel {
+        "xor_slice" => xor_slice_with(backend, src, dst).unwrap(),
+        "mul_slice" => mul_slice_with(backend, COEFF, src, dst).unwrap(),
+        "mul_slice_xor" => mul_slice_xor_with(backend, COEFF, src, dst).unwrap(),
+        other => unreachable!("unknown kernel {other}"),
+    }
+}
+
+const KERNELS: [&str; 3] = ["xor_slice", "mul_slice", "mul_slice_xor"];
+
+fn bench_kernel_ablation(c: &mut Criterion) {
+    for kernel in KERNELS {
+        let mut g = c.benchmark_group(format!("gf-kernel-abl/{kernel}"));
+        for &size in &SIZES {
+            let src = random_block(size, 11);
+            let mut dst = random_block(size, 22);
+            g.throughput(Throughput::Bytes(size as u64));
+            for backend in available_backends() {
+                g.bench_with_input(
+                    BenchmarkId::new(backend.to_string(), size),
+                    &size,
+                    |b, _| b.iter(|| run_kernel(kernel, backend, &src, &mut dst)),
+                );
+            }
+        }
+        g.finish();
+    }
+}
+
+/// Median wall-clock MiB/s over `reps` timed repetitions (after one
+/// warm-up), using enough inner iterations that each sample is >= ~1 ms.
+fn median_mibps(kernel: &str, backend: GfBackend, size: usize) -> f64 {
+    let src = random_block(size, 33);
+    let mut dst = random_block(size, 44);
+    let inner = (1_500_000 / size).clamp(4, 4096);
+    let reps = 9;
+    let mut samples = Vec::with_capacity(reps);
+    for rep in 0..=reps {
+        let t = Instant::now();
+        for _ in 0..inner {
+            run_kernel(kernel, backend, &src, &mut dst);
+        }
+        let secs = t.elapsed().as_secs_f64();
+        if rep > 0 {
+            samples.push((size * inner) as f64 / secs / (1024.0 * 1024.0));
+        }
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// Writes the machine-readable summary consumed by the acceptance
+/// criteria. Lives at the repo root so CI artifacts and humans find it
+/// without digging through `target/criterion`.
+fn write_bench_json() {
+    let mut entries = Vec::new();
+    for kernel in KERNELS {
+        for backend in available_backends() {
+            for &size in &SIZES {
+                let mibps = median_mibps(kernel, backend, size);
+                entries.push(format!(
+                    "    {{\"kernel\": \"{kernel}\", \"backend\": \"{backend}\", \
+                     \"block_bytes\": {size}, \"mib_per_s\": {:.1}}}",
+                    mibps
+                ));
+            }
+        }
+    }
+    let doc = format!(
+        "{{\n  \"bench\": \"gf-kernel-ablation\",\n  \"coeff\": {COEFF},\n  \
+         \"best_backend\": \"{}\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        apec_gf::best_backend(),
+        entries.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    match std::fs::write(path, doc) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    write_bench_json();
+    let mut c = Criterion::default().configure_from_args();
+    bench_kernel_ablation(&mut c);
+    c.final_summary();
+}

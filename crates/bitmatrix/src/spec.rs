@@ -1,6 +1,11 @@
 //! Declarative XOR-code specifications and compiled recovery plans.
+//!
+//! The symbolic solve runs over word-packed [`BitMatrix`] rows; the data
+//! path (encode and plan replay) streams through [`apec_gf::xor_slice`],
+//! which dispatches to the wide-word/SIMD XOR kernels.
 
 use crate::matrix::BitMatrix;
+use apec_gf::xor_slice;
 use std::collections::HashSet;
 use std::fmt;
 
@@ -81,13 +86,16 @@ impl RecoveryPlan {
                 .sources
                 .split_first()
                 .expect("recovery step always has at least one source");
-            let mut acc = elements[*first].clone();
+            // Reuse the target's existing allocation as the accumulator
+            // (taken out first so the source borrows below are clean).
+            let mut acc = std::mem::take(&mut elements[step.target]);
+            let len = elements[*first].len();
+            acc.clear();
+            acc.extend_from_slice(&elements[*first]);
             for &s in rest {
                 let src = &elements[s];
-                assert_eq!(src.len(), acc.len(), "inconsistent element block sizes");
-                for (d, b) in acc.iter_mut().zip(src) {
-                    *d ^= *b;
-                }
+                assert_eq!(src.len(), len, "inconsistent element block sizes");
+                xor_slice(src, &mut acc).expect("lengths asserted equal");
             }
             elements[step.target] = acc;
         }
@@ -215,13 +223,14 @@ impl XorCodeSpec {
         for (i, &p) in self.parity_elements.iter().enumerate() {
             let support = &self.parity_support[i];
             let (first, rest) = support.split_first().expect("validated non-empty support");
-            let mut acc = elements[*first].clone();
+            let mut acc = std::mem::take(&mut elements[p]);
+            let len = elements[*first].len();
+            acc.clear();
+            acc.extend_from_slice(&elements[*first]);
             for &s in rest {
                 let src = &elements[s];
-                assert_eq!(src.len(), acc.len(), "inconsistent element block sizes");
-                for (d, b) in acc.iter_mut().zip(src) {
-                    *d ^= *b;
-                }
+                assert_eq!(src.len(), len, "inconsistent element block sizes");
+                xor_slice(src, &mut acc).expect("lengths asserted equal");
             }
             elements[p] = acc;
         }

@@ -39,13 +39,15 @@ fn offset_ranges(row_len: usize, segment_bytes: usize, rows: usize) -> Vec<(usiz
     out
 }
 
-/// Gathers byte columns `[a, b)` of every element row of `shard`.
-fn gather(shard: &[u8], rows: usize, row_len: usize, a: usize, b: usize) -> Vec<u8> {
-    let mut out = Vec::with_capacity(rows * (b - a));
+/// Gathers byte columns `[a, b)` of every element row of `shard` into a
+/// reusable buffer, so workers pay one allocation per shard per *worker*
+/// instead of one per shard per *segment*.
+fn gather_into(shard: &[u8], rows: usize, row_len: usize, a: usize, b: usize, out: &mut Vec<u8>) {
+    out.clear();
+    out.reserve(rows * (b - a));
     for r in 0..rows {
         out.extend_from_slice(&shard[r * row_len + a..r * row_len + b]);
     }
-    out
 }
 
 /// Inverse of [`gather`]: writes a segment back into `shard`.
@@ -83,16 +85,22 @@ pub fn encode_segmented(
 
     crossbeam::thread::scope(|s| {
         for _ in 0..n_workers {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= ranges.len() {
-                    break;
+            s.spawn(|_| {
+                // One gather buffer per data shard, reused across every
+                // segment this worker claims.
+                let mut seg_data: Vec<Vec<u8>> = data.iter().map(|_| Vec::new()).collect();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= ranges.len() {
+                        break;
+                    }
+                    let (a, b) = ranges[i];
+                    for (buf, d) in seg_data.iter_mut().zip(data) {
+                        gather_into(d, rows, row_len, a, b, buf);
+                    }
+                    let refs: Vec<&[u8]> = seg_data.iter().map(|d| d.as_slice()).collect();
+                    *results[i].lock() = Some(code.encode(&refs));
                 }
-                let (a, b) = ranges[i];
-                let seg_data: Vec<Vec<u8>> =
-                    data.iter().map(|d| gather(d, rows, row_len, a, b)).collect();
-                let refs: Vec<&[u8]> = seg_data.iter().map(|d| d.as_slice()).collect();
-                *results[i].lock() = Some(code.encode(&refs));
             });
         }
     })
@@ -142,23 +150,36 @@ pub fn reconstruct_segmented(
 
     crossbeam::thread::scope(|s| {
         for _ in 0..n_workers {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= ranges.len() {
-                    break;
-                }
-                let (a, b) = ranges[i];
-                let mut seg: Vec<Option<Vec<u8>>> = shards_ref
-                    .iter()
-                    .map(|sh| sh.as_ref().map(|v| gather(v, rows, row_len, a, b)))
-                    .collect();
-                let res = code.reconstruct(&mut seg).map(|()| {
-                    missing
+            s.spawn(|_| {
+                // Buffer pool reused across this worker's segments. The
+                // recovered segments are moved out through `results`, but
+                // the (majority) survivor gather buffers come back.
+                let mut pool: Vec<Vec<u8>> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= ranges.len() {
+                        break;
+                    }
+                    let (a, b) = ranges[i];
+                    let mut seg: Vec<Option<Vec<u8>>> = shards_ref
                         .iter()
-                        .map(|&m| (m, seg[m].take().expect("reconstruct fills all shards")))
-                        .collect::<Vec<_>>()
-                });
-                *results[i].lock() = Some(res);
+                        .map(|sh| {
+                            sh.as_ref().map(|v| {
+                                let mut buf = pool.pop().unwrap_or_default();
+                                gather_into(v, rows, row_len, a, b, &mut buf);
+                                buf
+                            })
+                        })
+                        .collect();
+                    let res = code.reconstruct(&mut seg).map(|()| {
+                        missing
+                            .iter()
+                            .map(|&m| (m, seg[m].take().expect("reconstruct fills all shards")))
+                            .collect::<Vec<_>>()
+                    });
+                    pool.extend(seg.into_iter().flatten());
+                    *results[i].lock() = Some(res);
+                }
             });
         }
     })
@@ -298,7 +319,9 @@ mod tests {
     #[test]
     fn gather_scatter_round_trip() {
         let shard: Vec<u8> = (0..24).collect();
-        let g = gather(&shard, 3, 8, 2, 5);
+        // Pre-dirty the buffer: gather_into must fully overwrite it.
+        let mut g = vec![0xEEu8; 64];
+        gather_into(&shard, 3, 8, 2, 5, &mut g);
         assert_eq!(g, vec![2, 3, 4, 10, 11, 12, 18, 19, 20]);
         let mut back = vec![0u8; 24];
         scatter(&g, &mut back, 3, 8, 2, 5);

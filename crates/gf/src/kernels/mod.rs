@@ -1,0 +1,349 @@
+//! Pluggable backends for the bulk slice kernels.
+//!
+//! Every GF-based code bottoms out in [`mul_slice_xor`](crate::mul_slice_xor)
+//! and every XOR code in [`xor_slice`](crate::xor_slice), so these three
+//! operations get dedicated backends:
+//!
+//! * **Scalar** — the byte-at-a-time reference loops. Always available; the
+//!   oracle every other backend is property-tested against.
+//! * **Portable** — wide-word (`u64`) lanes with a scalar tail. Pure safe
+//!   Rust, available on every target, typically 2–4× the scalar XOR speed.
+//! * **Simd** — architecture shuffles: the lo/hi-nibble split-table trick
+//!   with `PSHUFB`/`VPSHUFB` on x86_64 (SSSE3/AVX2) and `vqtbl1q_u8` on
+//!   aarch64 (NEON). For a coefficient `c` the 256-entry product row
+//!   `MUL_TABLE[c]` is compressed into two 16-entry tables
+//!   `lo[i] = c·i` and `hi[i] = c·(i<<4)`; then `c·b = lo[b & 15] ^
+//!   hi[b >> 4]` for 16/32 bytes per shuffle pair.
+//!
+//! The active backend is resolved once (per process) from the
+//! `APEC_GF_BACKEND` environment variable (`scalar` / `portable` / `simd`)
+//! or, absent that, from runtime CPU feature detection, and cached in an
+//! atomic so the per-call overhead is a single relaxed load. Benchmarks and
+//! ablations can bypass the global with the `*_slice_with` entry points or
+//! repoint it with [`set_backend`].
+
+pub(crate) mod portable;
+pub(crate) mod scalar;
+
+#[cfg(target_arch = "aarch64")]
+pub(crate) mod neon;
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod x86;
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Selects which implementation services the bulk slice kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GfBackend {
+    /// Byte-at-a-time reference loops (the correctness oracle).
+    Scalar,
+    /// Wide-word `u64` lanes with a scalar tail; portable safe Rust.
+    Portable,
+    /// Architecture SIMD: SSSE3/AVX2 split-table shuffles on x86_64,
+    /// NEON table lookups on aarch64. Falls back to `Portable` where the
+    /// required CPU features are missing.
+    Simd,
+}
+
+impl GfBackend {
+    /// All backends, in increasing order of sophistication.
+    pub const ALL: [GfBackend; 3] = [GfBackend::Scalar, GfBackend::Portable, GfBackend::Simd];
+
+    fn from_u8(v: u8) -> Option<GfBackend> {
+        match v {
+            1 => Some(GfBackend::Scalar),
+            2 => Some(GfBackend::Portable),
+            3 => Some(GfBackend::Simd),
+            _ => None,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            GfBackend::Scalar => 1,
+            GfBackend::Portable => 2,
+            GfBackend::Simd => 3,
+        }
+    }
+}
+
+impl std::str::FromStr for GfBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "scalar" => Ok(GfBackend::Scalar),
+            "portable" | "wide" => Ok(GfBackend::Portable),
+            "simd" => Ok(GfBackend::Simd),
+            other => Err(format!(
+                "unknown GF backend {other:?} (expected scalar|portable|simd)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for GfBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            GfBackend::Scalar => "scalar",
+            GfBackend::Portable => "portable",
+            GfBackend::Simd => "simd",
+        };
+        f.write_str(s)
+    }
+}
+
+/// SIMD capability level, detected once. Distinguishes the x86_64 vector
+/// widths so dispatch picks 32-byte AVX2 loops when available and 16-byte
+/// SSSE3 loops otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SimdLevel {
+    /// No usable SIMD shuffle unit; `Simd` degrades to `Portable`.
+    None,
+    /// x86_64 with SSSE3 (`PSHUFB`, 16 bytes per step).
+    #[cfg(target_arch = "x86_64")]
+    Ssse3,
+    /// x86_64 with AVX2 (`VPSHUFB`, 32 bytes per step).
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+    /// aarch64 with NEON (`vqtbl1q_u8`, 16 bytes per step).
+    #[cfg(target_arch = "aarch64")]
+    Neon,
+}
+
+fn detect_simd_level() -> SimdLevel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return SimdLevel::Avx2;
+        }
+        if std::arch::is_x86_feature_detected!("ssse3") {
+            return SimdLevel::Ssse3;
+        }
+        SimdLevel::None
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            return SimdLevel::Neon;
+        }
+        SimdLevel::None
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        SimdLevel::None
+    }
+}
+
+// Encoded SimdLevel cache: 0 = undetected, 1 = None, 2 = Ssse3, 3 = Avx2,
+// 4 = Neon.
+static SIMD_LEVEL: AtomicU8 = AtomicU8::new(0);
+
+pub(crate) fn simd_level() -> SimdLevel {
+    let cached = SIMD_LEVEL.load(Ordering::Relaxed);
+    let decode = |v: u8| match v {
+        1 => Some(SimdLevel::None),
+        #[cfg(target_arch = "x86_64")]
+        2 => Some(SimdLevel::Ssse3),
+        #[cfg(target_arch = "x86_64")]
+        3 => Some(SimdLevel::Avx2),
+        #[cfg(target_arch = "aarch64")]
+        4 => Some(SimdLevel::Neon),
+        _ => None,
+    };
+    if let Some(level) = decode(cached) {
+        return level;
+    }
+    let level = detect_simd_level();
+    let encoded = match level {
+        SimdLevel::None => 1,
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Ssse3 => 2,
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => 3,
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => 4,
+    };
+    SIMD_LEVEL.store(encoded, Ordering::Relaxed);
+    level
+}
+
+/// The fastest backend this CPU supports.
+pub fn best_backend() -> GfBackend {
+    if simd_level() == SimdLevel::None {
+        GfBackend::Portable
+    } else {
+        GfBackend::Simd
+    }
+}
+
+// Active backend cache: 0 = unresolved, otherwise GfBackend::as_u8.
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+fn resolve_initial() -> GfBackend {
+    let requested = std::env::var("APEC_GF_BACKEND")
+        .ok()
+        .and_then(|v| v.parse::<GfBackend>().ok());
+    clamp_supported(requested.unwrap_or_else(best_backend))
+}
+
+/// Degrades `Simd` to `Portable` on CPUs without the required features so a
+/// forced backend can never execute an illegal instruction.
+fn clamp_supported(b: GfBackend) -> GfBackend {
+    match b {
+        GfBackend::Simd if simd_level() == SimdLevel::None => GfBackend::Portable,
+        other => other,
+    }
+}
+
+/// The backend currently servicing [`xor_slice`](crate::xor_slice),
+/// [`mul_slice`](crate::mul_slice) and [`mul_slice_xor`](crate::mul_slice_xor).
+pub fn active_backend() -> GfBackend {
+    if let Some(b) = GfBackend::from_u8(ACTIVE.load(Ordering::Relaxed)) {
+        return b;
+    }
+    let resolved = resolve_initial();
+    // A concurrent first call resolves to the same value, so a plain store
+    // is fine; the global only changes through set_backend.
+    ACTIVE.store(resolved.as_u8(), Ordering::Relaxed);
+    resolved
+}
+
+/// Forces the process-wide backend, returning the backend actually
+/// installed (`Simd` is clamped to `Portable` on CPUs without SSSE3/NEON).
+///
+/// Intended for ablation benchmarks and equivalence tests; production code
+/// should rely on auto-detection or the `APEC_GF_BACKEND` variable.
+pub fn set_backend(requested: GfBackend) -> GfBackend {
+    let effective = clamp_supported(requested);
+    ACTIVE.store(effective.as_u8(), Ordering::Relaxed);
+    effective
+}
+
+/// `dst ^= src` with the given backend. Lengths must already match.
+#[inline]
+pub(crate) fn xor(backend: GfBackend, src: &[u8], dst: &mut [u8]) {
+    match clamp_supported(backend) {
+        GfBackend::Scalar => scalar::xor(src, dst),
+        GfBackend::Portable => portable::xor(src, dst),
+        GfBackend::Simd => simd_xor(src, dst),
+    }
+}
+
+/// `dst = c * src` with the given backend (`c >= 2` — callers shortcut 0/1).
+#[inline]
+pub(crate) fn mul(backend: GfBackend, c: u8, src: &[u8], dst: &mut [u8]) {
+    match clamp_supported(backend) {
+        GfBackend::Scalar => scalar::mul(c, src, dst),
+        GfBackend::Portable => portable::mul(c, src, dst),
+        GfBackend::Simd => simd_mul(c, src, dst),
+    }
+}
+
+/// `dst ^= c * src` with the given backend (`c >= 2` — callers shortcut 0/1).
+#[inline]
+pub(crate) fn mul_xor(backend: GfBackend, c: u8, src: &[u8], dst: &mut [u8]) {
+    match clamp_supported(backend) {
+        GfBackend::Scalar => scalar::mul_xor(c, src, dst),
+        GfBackend::Portable => portable::mul_xor(c, src, dst),
+        GfBackend::Simd => simd_mul_xor(c, src, dst),
+    }
+}
+
+#[inline]
+fn simd_xor(src: &[u8], dst: &mut [u8]) {
+    match simd_level() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => x86::xor_avx2(src, dst),
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Ssse3 => x86::xor_sse2(src, dst),
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => neon::xor_neon(src, dst),
+        SimdLevel::None => portable::xor(src, dst),
+    }
+}
+
+#[inline]
+fn simd_mul(c: u8, src: &[u8], dst: &mut [u8]) {
+    match simd_level() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => x86::mul_avx2(c, src, dst),
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Ssse3 => x86::mul_ssse3(c, src, dst),
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => neon::mul_neon(c, src, dst),
+        SimdLevel::None => portable::mul(c, src, dst),
+    }
+}
+
+#[inline]
+fn simd_mul_xor(c: u8, src: &[u8], dst: &mut [u8]) {
+    match simd_level() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => x86::mul_xor_avx2(c, src, dst),
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Ssse3 => x86::mul_xor_ssse3(c, src, dst),
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => neon::mul_xor_neon(c, src, dst),
+        SimdLevel::None => portable::mul_xor(c, src, dst),
+    }
+}
+
+/// The two 16-entry nibble product tables for coefficient `c`:
+/// `lo[i] = c·i`, `hi[i] = c·(i << 4)`, so `c·b = lo[b & 15] ^ hi[b >> 4]`.
+///
+/// Shared by the x86 and aarch64 shuffle kernels and by tests.
+#[allow(dead_code)] // unused on targets with neither SIMD module compiled in
+pub(crate) fn split_tables(c: u8) -> ([u8; 16], [u8; 16]) {
+    let row = &crate::tables::MUL_TABLE[c as usize];
+    let mut lo = [0u8; 16];
+    let mut hi = [0u8; 16];
+    for i in 0..16 {
+        lo[i] = row[i];
+        hi[i] = row[i << 4];
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::MUL_TABLE;
+
+    #[test]
+    fn split_tables_reconstruct_full_row() {
+        for c in [0u8, 1, 2, 0x1d, 0x53, 0xA7, 0xFF] {
+            let (lo, hi) = split_tables(c);
+            for b in 0..=255u8 {
+                let via_split = lo[(b & 0x0f) as usize] ^ hi[(b >> 4) as usize];
+                assert_eq!(via_split, MUL_TABLE[c as usize][b as usize], "c={c} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn backend_parsing_round_trips() {
+        for b in GfBackend::ALL {
+            assert_eq!(b.to_string().parse::<GfBackend>().unwrap(), b);
+        }
+        assert!("haswell".parse::<GfBackend>().is_err());
+    }
+
+    #[test]
+    fn set_backend_installs_and_reports() {
+        let prev = active_backend();
+        let eff = set_backend(GfBackend::Scalar);
+        assert_eq!(eff, GfBackend::Scalar);
+        assert_eq!(active_backend(), GfBackend::Scalar);
+        // Simd either sticks or clamps to Portable, never anything else.
+        let eff = set_backend(GfBackend::Simd);
+        assert!(matches!(eff, GfBackend::Simd | GfBackend::Portable));
+        assert_eq!(active_backend(), eff);
+        set_backend(prev);
+    }
+
+    #[test]
+    fn best_backend_is_never_scalar() {
+        assert_ne!(best_backend(), GfBackend::Scalar);
+    }
+}

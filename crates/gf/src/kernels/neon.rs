@@ -1,0 +1,95 @@
+//! aarch64 NEON kernels: 16-byte XOR lanes and `vqtbl1q_u8` split-table
+//! multiply.
+//!
+//! Identical structure to the x86 module: the 256-entry product row is
+//! compressed into two 16-entry nibble tables, and `vqtbl1q_u8` performs
+//! 16 parallel lookups per instruction. NEON is mandatory on AArch64 in
+//! practice but is still confirmed via `is_aarch64_feature_detected!`
+//! before dispatch reaches this module.
+//!
+//! Safety: same containment as `x86.rs` — feature-gated inner functions,
+//! unaligned in-bounds loads/stores only.
+#![allow(unsafe_code)]
+
+use core::arch::aarch64::*;
+
+use super::split_tables;
+use crate::tables::MUL_TABLE;
+
+/// `dst ^= src` in 16-byte lanes.
+pub(crate) fn xor_neon(src: &[u8], dst: &mut [u8]) {
+    // SAFETY: only called when simd_level() == Neon.
+    unsafe { xor_neon_inner(src, dst) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn xor_neon_inner(src: &[u8], dst: &mut [u8]) {
+    let n = src.len().min(dst.len());
+    let mut i = 0;
+    while i + 16 <= n {
+        let s = vld1q_u8(src.as_ptr().add(i));
+        let d = vld1q_u8(dst.as_ptr().add(i));
+        vst1q_u8(dst.as_mut_ptr().add(i), veorq_u8(d, s));
+        i += 16;
+    }
+    for (d, s) in dst[i..n].iter_mut().zip(&src[i..n]) {
+        *d ^= *s;
+    }
+}
+
+/// `dst = c * src` via NEON table lookups.
+pub(crate) fn mul_neon(c: u8, src: &[u8], dst: &mut [u8]) {
+    // SAFETY: only called when simd_level() == Neon.
+    unsafe { mul_neon_inner(c, src, dst) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn mul_neon_inner(c: u8, src: &[u8], dst: &mut [u8]) {
+    let (lo, hi) = split_tables(c);
+    let tlo = vld1q_u8(lo.as_ptr());
+    let thi = vld1q_u8(hi.as_ptr());
+    let mask = vdupq_n_u8(0x0f);
+    let n = src.len().min(dst.len());
+    let mut i = 0;
+    while i + 16 <= n {
+        let s = vld1q_u8(src.as_ptr().add(i));
+        let lo_n = vandq_u8(s, mask);
+        let hi_n = vshrq_n_u8(s, 4);
+        let prod = veorq_u8(vqtbl1q_u8(tlo, lo_n), vqtbl1q_u8(thi, hi_n));
+        vst1q_u8(dst.as_mut_ptr().add(i), prod);
+        i += 16;
+    }
+    let row = &MUL_TABLE[c as usize];
+    for (d, s) in dst[i..n].iter_mut().zip(&src[i..n]) {
+        *d = row[*s as usize];
+    }
+}
+
+/// `dst ^= c * src` via NEON table lookups.
+pub(crate) fn mul_xor_neon(c: u8, src: &[u8], dst: &mut [u8]) {
+    // SAFETY: only called when simd_level() == Neon.
+    unsafe { mul_xor_neon_inner(c, src, dst) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn mul_xor_neon_inner(c: u8, src: &[u8], dst: &mut [u8]) {
+    let (lo, hi) = split_tables(c);
+    let tlo = vld1q_u8(lo.as_ptr());
+    let thi = vld1q_u8(hi.as_ptr());
+    let mask = vdupq_n_u8(0x0f);
+    let n = src.len().min(dst.len());
+    let mut i = 0;
+    while i + 16 <= n {
+        let s = vld1q_u8(src.as_ptr().add(i));
+        let d = vld1q_u8(dst.as_ptr().add(i));
+        let lo_n = vandq_u8(s, mask);
+        let hi_n = vshrq_n_u8(s, 4);
+        let prod = veorq_u8(vqtbl1q_u8(tlo, lo_n), vqtbl1q_u8(thi, hi_n));
+        vst1q_u8(dst.as_mut_ptr().add(i), veorq_u8(d, prod));
+        i += 16;
+    }
+    let row = &MUL_TABLE[c as usize];
+    for (d, s) in dst[i..n].iter_mut().zip(&src[i..n]) {
+        *d ^= row[*s as usize];
+    }
+}

@@ -1,0 +1,31 @@
+//! Byte-at-a-time reference kernels.
+//!
+//! These are the loops every other backend is property-tested against.
+//! They are deliberately the simplest possible formulation; callers have
+//! already validated lengths and peeled off the `c == 0` / `c == 1`
+//! shortcuts.
+
+use crate::tables::MUL_TABLE;
+
+/// `dst ^= src`, one byte at a time.
+pub(crate) fn xor(src: &[u8], dst: &mut [u8]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= *s;
+    }
+}
+
+/// `dst = c * src` via one 256-byte product row.
+pub(crate) fn mul(c: u8, src: &[u8], dst: &mut [u8]) {
+    let row = &MUL_TABLE[c as usize];
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = row[*s as usize];
+    }
+}
+
+/// `dst ^= c * src` via one 256-byte product row.
+pub(crate) fn mul_xor(c: u8, src: &[u8], dst: &mut [u8]) {
+    let row = &MUL_TABLE[c as usize];
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= row[*s as usize];
+    }
+}

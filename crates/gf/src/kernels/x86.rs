@@ -1,0 +1,233 @@
+//! x86_64 SIMD kernels: SSE2 wide XOR and SSSE3/AVX2 split-table multiply.
+//!
+//! The multiply kernels use the classic ISA-L / Jerasure-with-SSE trick:
+//! the 256-entry product row of a coefficient is compressed into two
+//! 16-entry nibble tables (see [`super::split_tables`]) that fit in one
+//! vector register each, and `PSHUFB`/`VPSHUFB` performs 16/32 parallel
+//! table lookups per instruction:
+//!
+//! ```text
+//! product = lo_table[src & 0x0f] ^ hi_table[src >> 4]
+//! ```
+//!
+//! Safety: every function in this module is a safe wrapper that dispatches
+//! to a `#[target_feature]` inner function. Callers never reach the AVX2 /
+//! SSSE3 paths unless `kernels::simd_level()` detected the feature at
+//! runtime, and all loads/stores are unaligned (`loadu`/`storeu`) within
+//! bounds established by the loop conditions, so the `unsafe` here is
+//! confined to (a) the feature-gated call and (b) in-bounds raw pointer
+//! I/O.
+#![allow(unsafe_code)]
+
+use core::arch::x86_64::*;
+
+use super::split_tables;
+use crate::tables::MUL_TABLE;
+
+/// `dst ^= src` in 16-byte lanes. SSE2 is baseline on x86_64, so this
+/// needs no feature detection.
+pub(crate) fn xor_sse2(src: &[u8], dst: &mut [u8]) {
+    let n = src.len().min(dst.len());
+    let mut i = 0;
+    // SAFETY: i + 16 <= n keeps every 16-byte unaligned access in bounds.
+    unsafe {
+        while i + 16 <= n {
+            let s = _mm_loadu_si128(src.as_ptr().add(i) as *const __m128i);
+            let d = _mm_loadu_si128(dst.as_ptr().add(i) as *const __m128i);
+            _mm_storeu_si128(dst.as_mut_ptr().add(i) as *mut __m128i, _mm_xor_si128(d, s));
+            i += 16;
+        }
+    }
+    for (d, s) in dst[i..n].iter_mut().zip(&src[i..n]) {
+        *d ^= *s;
+    }
+}
+
+/// `dst ^= src` in 32-byte lanes (AVX2).
+pub(crate) fn xor_avx2(src: &[u8], dst: &mut [u8]) {
+    // SAFETY: only called when simd_level() == Avx2.
+    unsafe { xor_avx2_inner(src, dst) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn xor_avx2_inner(src: &[u8], dst: &mut [u8]) {
+    let n = src.len().min(dst.len());
+    let mut i = 0;
+    // 4x unrolled: a single 32-byte op per iteration leaves the loop
+    // issue-bound rather than bandwidth-bound, and then plain scalar code
+    // (which LLVM auto-vectorizes *and* unrolls) wins. 128 B/iteration
+    // keeps four independent load/xor/store chains in flight.
+    while i + 128 <= n {
+        let sp = src.as_ptr().add(i);
+        let dp = dst.as_mut_ptr().add(i);
+        let s0 = _mm256_loadu_si256(sp as *const __m256i);
+        let s1 = _mm256_loadu_si256(sp.add(32) as *const __m256i);
+        let s2 = _mm256_loadu_si256(sp.add(64) as *const __m256i);
+        let s3 = _mm256_loadu_si256(sp.add(96) as *const __m256i);
+        let d0 = _mm256_loadu_si256(dp as *const __m256i);
+        let d1 = _mm256_loadu_si256(dp.add(32) as *const __m256i);
+        let d2 = _mm256_loadu_si256(dp.add(64) as *const __m256i);
+        let d3 = _mm256_loadu_si256(dp.add(96) as *const __m256i);
+        _mm256_storeu_si256(dp as *mut __m256i, _mm256_xor_si256(d0, s0));
+        _mm256_storeu_si256(dp.add(32) as *mut __m256i, _mm256_xor_si256(d1, s1));
+        _mm256_storeu_si256(dp.add(64) as *mut __m256i, _mm256_xor_si256(d2, s2));
+        _mm256_storeu_si256(dp.add(96) as *mut __m256i, _mm256_xor_si256(d3, s3));
+        i += 128;
+    }
+    while i + 32 <= n {
+        let s = _mm256_loadu_si256(src.as_ptr().add(i) as *const __m256i);
+        let d = _mm256_loadu_si256(dst.as_ptr().add(i) as *const __m256i);
+        _mm256_storeu_si256(
+            dst.as_mut_ptr().add(i) as *mut __m256i,
+            _mm256_xor_si256(d, s),
+        );
+        i += 32;
+    }
+    xor_sse2(&src[i..n], &mut dst[i..n]);
+}
+
+/// `dst = c * src` via SSSE3 `PSHUFB` split tables.
+pub(crate) fn mul_ssse3(c: u8, src: &[u8], dst: &mut [u8]) {
+    // SAFETY: only called when simd_level() >= Ssse3.
+    unsafe { mul_ssse3_inner(c, src, dst) }
+}
+
+/// `dst ^= c * src` via SSSE3 `PSHUFB` split tables.
+pub(crate) fn mul_xor_ssse3(c: u8, src: &[u8], dst: &mut [u8]) {
+    // SAFETY: only called when simd_level() >= Ssse3.
+    unsafe { mul_xor_ssse3_inner(c, src, dst) }
+}
+
+/// `dst = c * src` via AVX2 `VPSHUFB` split tables.
+pub(crate) fn mul_avx2(c: u8, src: &[u8], dst: &mut [u8]) {
+    // SAFETY: only called when simd_level() == Avx2.
+    unsafe { mul_avx2_inner(c, src, dst) }
+}
+
+/// `dst ^= c * src` via AVX2 `VPSHUFB` split tables.
+pub(crate) fn mul_xor_avx2(c: u8, src: &[u8], dst: &mut [u8]) {
+    // SAFETY: only called when simd_level() == Avx2.
+    unsafe { mul_xor_avx2_inner(c, src, dst) }
+}
+
+#[target_feature(enable = "ssse3")]
+unsafe fn mul_ssse3_inner(c: u8, src: &[u8], dst: &mut [u8]) {
+    let (lo, hi) = split_tables(c);
+    let tlo = _mm_loadu_si128(lo.as_ptr() as *const __m128i);
+    let thi = _mm_loadu_si128(hi.as_ptr() as *const __m128i);
+    let mask = _mm_set1_epi8(0x0f);
+    let n = src.len().min(dst.len());
+    let mut i = 0;
+    while i + 16 <= n {
+        let s = _mm_loadu_si128(src.as_ptr().add(i) as *const __m128i);
+        let lo_n = _mm_and_si128(s, mask);
+        let hi_n = _mm_and_si128(_mm_srli_epi64(s, 4), mask);
+        let prod = _mm_xor_si128(_mm_shuffle_epi8(tlo, lo_n), _mm_shuffle_epi8(thi, hi_n));
+        _mm_storeu_si128(dst.as_mut_ptr().add(i) as *mut __m128i, prod);
+        i += 16;
+    }
+    scalar_mul_tail(c, &src[i..n], &mut dst[i..n], false);
+}
+
+#[target_feature(enable = "ssse3")]
+unsafe fn mul_xor_ssse3_inner(c: u8, src: &[u8], dst: &mut [u8]) {
+    let (lo, hi) = split_tables(c);
+    let tlo = _mm_loadu_si128(lo.as_ptr() as *const __m128i);
+    let thi = _mm_loadu_si128(hi.as_ptr() as *const __m128i);
+    let mask = _mm_set1_epi8(0x0f);
+    let n = src.len().min(dst.len());
+    let mut i = 0;
+    while i + 16 <= n {
+        let s = _mm_loadu_si128(src.as_ptr().add(i) as *const __m128i);
+        let d = _mm_loadu_si128(dst.as_ptr().add(i) as *const __m128i);
+        let lo_n = _mm_and_si128(s, mask);
+        let hi_n = _mm_and_si128(_mm_srli_epi64(s, 4), mask);
+        let prod = _mm_xor_si128(_mm_shuffle_epi8(tlo, lo_n), _mm_shuffle_epi8(thi, hi_n));
+        _mm_storeu_si128(dst.as_mut_ptr().add(i) as *mut __m128i, _mm_xor_si128(d, prod));
+        i += 16;
+    }
+    scalar_mul_tail(c, &src[i..n], &mut dst[i..n], true);
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn mul_avx2_inner(c: u8, src: &[u8], dst: &mut [u8]) {
+    let (lo, hi) = split_tables(c);
+    let tlo = _mm256_broadcastsi128_si256(_mm_loadu_si128(lo.as_ptr() as *const __m128i));
+    let thi = _mm256_broadcastsi128_si256(_mm_loadu_si128(hi.as_ptr() as *const __m128i));
+    let mask = _mm256_set1_epi8(0x0f);
+    let n = src.len().min(dst.len());
+    let mut i = 0;
+    while i + 32 <= n {
+        let s = _mm256_loadu_si256(src.as_ptr().add(i) as *const __m256i);
+        let lo_n = _mm256_and_si256(s, mask);
+        let hi_n = _mm256_and_si256(_mm256_srli_epi64(s, 4), mask);
+        let prod = _mm256_xor_si256(
+            _mm256_shuffle_epi8(tlo, lo_n),
+            _mm256_shuffle_epi8(thi, hi_n),
+        );
+        _mm256_storeu_si256(dst.as_mut_ptr().add(i) as *mut __m256i, prod);
+        i += 32;
+    }
+    mul_ssse3_inner(c, &src[i..n], &mut dst[i..n]);
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn mul_xor_avx2_inner(c: u8, src: &[u8], dst: &mut [u8]) {
+    let (lo, hi) = split_tables(c);
+    let tlo = _mm256_broadcastsi128_si256(_mm_loadu_si128(lo.as_ptr() as *const __m128i));
+    let thi = _mm256_broadcastsi128_si256(_mm_loadu_si128(hi.as_ptr() as *const __m128i));
+    let mask = _mm256_set1_epi8(0x0f);
+    let n = src.len().min(dst.len());
+    let mut i = 0;
+    // 2x unrolled (64 B/iteration): two independent shuffle/xor chains
+    // hide the VPSHUFB latency; this kernel dominates encode time.
+    while i + 64 <= n {
+        let sp = src.as_ptr().add(i);
+        let dp = dst.as_mut_ptr().add(i);
+        let s0 = _mm256_loadu_si256(sp as *const __m256i);
+        let s1 = _mm256_loadu_si256(sp.add(32) as *const __m256i);
+        let d0 = _mm256_loadu_si256(dp as *const __m256i);
+        let d1 = _mm256_loadu_si256(dp.add(32) as *const __m256i);
+        let p0 = _mm256_xor_si256(
+            _mm256_shuffle_epi8(tlo, _mm256_and_si256(s0, mask)),
+            _mm256_shuffle_epi8(thi, _mm256_and_si256(_mm256_srli_epi64(s0, 4), mask)),
+        );
+        let p1 = _mm256_xor_si256(
+            _mm256_shuffle_epi8(tlo, _mm256_and_si256(s1, mask)),
+            _mm256_shuffle_epi8(thi, _mm256_and_si256(_mm256_srli_epi64(s1, 4), mask)),
+        );
+        _mm256_storeu_si256(dp as *mut __m256i, _mm256_xor_si256(d0, p0));
+        _mm256_storeu_si256(dp.add(32) as *mut __m256i, _mm256_xor_si256(d1, p1));
+        i += 64;
+    }
+    while i + 32 <= n {
+        let s = _mm256_loadu_si256(src.as_ptr().add(i) as *const __m256i);
+        let d = _mm256_loadu_si256(dst.as_ptr().add(i) as *const __m256i);
+        let lo_n = _mm256_and_si256(s, mask);
+        let hi_n = _mm256_and_si256(_mm256_srli_epi64(s, 4), mask);
+        let prod = _mm256_xor_si256(
+            _mm256_shuffle_epi8(tlo, lo_n),
+            _mm256_shuffle_epi8(thi, hi_n),
+        );
+        _mm256_storeu_si256(
+            dst.as_mut_ptr().add(i) as *mut __m256i,
+            _mm256_xor_si256(d, prod),
+        );
+        i += 32;
+    }
+    mul_xor_ssse3_inner(c, &src[i..n], &mut dst[i..n]);
+}
+
+/// Scalar cleanup for the final sub-vector bytes.
+fn scalar_mul_tail(c: u8, src: &[u8], dst: &mut [u8], accumulate: bool) {
+    let row = &MUL_TABLE[c as usize];
+    if accumulate {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= row[*s as usize];
+        }
+    } else {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = row[*s as usize];
+        }
+    }
+}

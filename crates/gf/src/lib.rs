@@ -14,16 +14,32 @@
 //! basis with the primitive polynomial `x^8 + x^4 + x^3 + x^2 + 1` (0x11d)
 //! and generator element 2. All tables are computed at compile time by
 //! `const fn`, so there is no runtime initialisation and no `lazy_static`.
+//!
+//! The slice kernels dispatch to one of three backends — scalar reference
+//! loops, portable wide words, or architecture SIMD (SSSE3/AVX2 on x86_64,
+//! NEON on aarch64) — chosen at startup by CPU feature detection and
+//! overridable via the `APEC_GF_BACKEND` environment variable or
+//! [`set_backend`]. See `kernels/mod.rs` for the split-table construction. `unsafe` is denied crate-wide and allowed only inside the
+//! two architecture kernel modules, where it is confined to feature-gated
+//! intrinsic calls over in-bounds pointers.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod kernels;
 mod matrix;
 mod scalar;
 mod slice;
 mod tables;
 
-pub use matrix::{cauchy, identity, systematic_vandermonde, vandermonde, GfMatrix, MatrixError};
+pub use kernels::{active_backend, best_backend, set_backend, GfBackend};
+pub use matrix::{
+    cauchy, identity, systematic_vandermonde, vandermonde, GfMatrix, MatrixError,
+    APPLY_BLOCK_BYTES,
+};
 pub use scalar::Gf8;
-pub use slice::{mul_slice, mul_slice_xor, xor_slice, SliceLenMismatch};
+pub use slice::{
+    mul_slice, mul_slice_with, mul_slice_xor, mul_slice_xor_with, xor_slice, xor_slice_with,
+    SliceLenMismatch,
+};
 pub use tables::{EXP_TABLE, FIELD_ORDER, GENERATOR, LOG_TABLE, PRIMITIVE_POLY};

@@ -1,12 +1,14 @@
 //! Bulk kernels over byte slices.
 //!
 //! These three routines are the inner loops of every GF-based encoder and
-//! decoder in the workspace, so they are written to auto-vectorise:
-//! `xor_slice` works on plain bytes (LLVM turns it into wide XORs), and the
-//! multiply kernels stream a single 256-byte table row, which stays resident
-//! in L1 for the whole pass.
+//! decoder in the workspace. They validate operand lengths, peel off the
+//! trivial coefficients (`c == 0` clears/skips, `c == 1` degenerates to
+//! copy/XOR so it always takes the fastest XOR path), and hand the bulk
+//! work to the active [`kernels`](crate::kernels) backend — scalar
+//! reference loops, portable wide words, or SSSE3/AVX2/NEON split-table
+//! shuffles, selected once per process (see [`GfBackend`]).
 
-use crate::tables::MUL_TABLE;
+use crate::kernels::{self, GfBackend};
 use std::fmt;
 
 /// Error returned when kernel operands have different lengths.
@@ -30,44 +32,30 @@ impl fmt::Display for SliceLenMismatch {
 
 impl std::error::Error for SliceLenMismatch {}
 
+#[inline]
+fn check_len(src: &[u8], dst: &[u8]) -> Result<(), SliceLenMismatch> {
+    if src.len() != dst.len() {
+        return Err(SliceLenMismatch {
+            src: src.len(),
+            dst: dst.len(),
+        });
+    }
+    Ok(())
+}
+
 /// `dst ^= src`, element-wise.
 ///
 /// This is both GF(2^8) addition of whole blocks and the inner loop of all
 /// XOR-based codes (EVENODD, RDP, STAR, TIP).
 #[inline]
 pub fn xor_slice(src: &[u8], dst: &mut [u8]) -> Result<(), SliceLenMismatch> {
-    if src.len() != dst.len() {
-        return Err(SliceLenMismatch {
-            src: src.len(),
-            dst: dst.len(),
-        });
-    }
-    for (d, s) in dst.iter_mut().zip(src) {
-        *d ^= *s;
-    }
-    Ok(())
+    xor_slice_with(kernels::active_backend(), src, dst)
 }
 
 /// `dst = c * src`, element-wise in GF(2^8).
 #[inline]
 pub fn mul_slice(c: u8, src: &[u8], dst: &mut [u8]) -> Result<(), SliceLenMismatch> {
-    if src.len() != dst.len() {
-        return Err(SliceLenMismatch {
-            src: src.len(),
-            dst: dst.len(),
-        });
-    }
-    match c {
-        0 => dst.fill(0),
-        1 => dst.copy_from_slice(src),
-        _ => {
-            let row = &MUL_TABLE[c as usize];
-            for (d, s) in dst.iter_mut().zip(src) {
-                *d = row[*s as usize];
-            }
-        }
-    }
-    Ok(())
+    mul_slice_with(kernels::active_backend(), c, src, dst)
 }
 
 /// `dst ^= c * src`, element-wise in GF(2^8).
@@ -76,25 +64,54 @@ pub fn mul_slice(c: u8, src: &[u8], dst: &mut [u8]) -> Result<(), SliceLenMismat
 /// encoding: one call per (coefficient, data block) pair.
 #[inline]
 pub fn mul_slice_xor(c: u8, src: &[u8], dst: &mut [u8]) -> Result<(), SliceLenMismatch> {
-    if src.len() != dst.len() {
-        return Err(SliceLenMismatch {
-            src: src.len(),
-            dst: dst.len(),
-        });
+    mul_slice_xor_with(kernels::active_backend(), c, src, dst)
+}
+
+/// [`xor_slice`] on an explicitly chosen backend (ablation/test entry
+/// point; unsupported backends degrade to the best supported one).
+#[inline]
+pub fn xor_slice_with(
+    backend: GfBackend,
+    src: &[u8],
+    dst: &mut [u8],
+) -> Result<(), SliceLenMismatch> {
+    check_len(src, dst)?;
+    kernels::xor(backend, src, dst);
+    Ok(())
+}
+
+/// [`mul_slice`] on an explicitly chosen backend.
+#[inline]
+pub fn mul_slice_with(
+    backend: GfBackend,
+    c: u8,
+    src: &[u8],
+    dst: &mut [u8],
+) -> Result<(), SliceLenMismatch> {
+    check_len(src, dst)?;
+    match c {
+        0 => dst.fill(0),
+        1 => dst.copy_from_slice(src),
+        _ => kernels::mul(backend, c, src, dst),
     }
+    Ok(())
+}
+
+/// [`mul_slice_xor`] on an explicitly chosen backend.
+#[inline]
+pub fn mul_slice_xor_with(
+    backend: GfBackend,
+    c: u8,
+    src: &[u8],
+    dst: &mut [u8],
+) -> Result<(), SliceLenMismatch> {
+    check_len(src, dst)?;
     match c {
         0 => {}
-        1 => {
-            for (d, s) in dst.iter_mut().zip(src) {
-                *d ^= *s;
-            }
-        }
-        _ => {
-            let row = &MUL_TABLE[c as usize];
-            for (d, s) in dst.iter_mut().zip(src) {
-                *d ^= row[*s as usize];
-            }
-        }
+        // c == 1 is plain XOR; route it through the same fast path as
+        // xor_slice instead of a private scalar loop.
+        1 => kernels::xor(backend, src, dst),
+        _ => kernels::mul_xor(backend, c, src, dst),
     }
     Ok(())
 }
@@ -123,6 +140,11 @@ mod tests {
         assert_eq!(err, SliceLenMismatch { src: 3, dst: 4 });
         assert!(mul_slice(7, &src, &mut dst).is_err());
         assert!(mul_slice_xor(7, &src, &mut dst).is_err());
+        for backend in GfBackend::ALL {
+            assert!(xor_slice_with(backend, &src, &mut dst).is_err());
+            assert!(mul_slice_with(backend, 7, &src, &mut dst).is_err());
+            assert!(mul_slice_xor_with(backend, 7, &src, &mut dst).is_err());
+        }
     }
 
     #[test]
@@ -139,9 +161,11 @@ mod tests {
     fn empty_slices_are_fine() {
         let src: [u8; 0] = [];
         let mut dst: [u8; 0] = [];
-        xor_slice(&src, &mut dst).unwrap();
-        mul_slice(3, &src, &mut dst).unwrap();
-        mul_slice_xor(3, &src, &mut dst).unwrap();
+        for backend in GfBackend::ALL {
+            xor_slice_with(backend, &src, &mut dst).unwrap();
+            mul_slice_with(backend, 3, &src, &mut dst).unwrap();
+            mul_slice_xor_with(backend, 3, &src, &mut dst).unwrap();
+        }
     }
 
     proptest! {
@@ -176,6 +200,73 @@ mod tests {
             let mut back = vec![0u8; data.len()];
             mul_slice(inv, &tmp, &mut back).unwrap();
             prop_assert_eq!(back, data);
+        }
+
+        /// Every backend must produce byte-identical results to the scalar
+        /// reference, for all three kernels, across lengths spanning several
+        /// SIMD widths (0..300) *and* misaligned slice starts (the `off`
+        /// prefix shifts the data away from any allocation alignment).
+        #[test]
+        fn backends_match_scalar_reference(
+            c: u8,
+            off in 0usize..16,
+            data in proptest::collection::vec(any::<u8>(), 0..300),
+            acc in proptest::collection::vec(any::<u8>(), 316),
+        ) {
+            let n = data.len();
+            let src = &data[..n];
+            let dst0 = &acc[off..off + n];
+
+            for backend in [GfBackend::Portable, GfBackend::Simd] {
+                // xor_slice
+                let mut want = dst0.to_vec();
+                xor_slice_with(GfBackend::Scalar, src, &mut want).unwrap();
+                let mut got = dst0.to_vec();
+                xor_slice_with(backend, src, &mut got).unwrap();
+                prop_assert_eq!(&got, &want, "xor mismatch on {:?}", backend);
+
+                // mul_slice
+                let mut want = dst0.to_vec();
+                mul_slice_with(GfBackend::Scalar, c, src, &mut want).unwrap();
+                let mut got = dst0.to_vec();
+                mul_slice_with(backend, c, src, &mut got).unwrap();
+                prop_assert_eq!(&got, &want, "mul mismatch on {:?} c={}", backend, c);
+
+                // mul_slice_xor
+                let mut want = dst0.to_vec();
+                mul_slice_xor_with(GfBackend::Scalar, c, src, &mut want).unwrap();
+                let mut got = dst0.to_vec();
+                mul_slice_xor_with(backend, c, src, &mut got).unwrap();
+                prop_assert_eq!(&got, &want, "mul_xor mismatch on {:?} c={}", backend, c);
+            }
+        }
+
+        /// Unaligned *source* starts as well: both operands offset into a
+        /// larger buffer by independent amounts.
+        #[test]
+        fn backends_match_on_doubly_unaligned_slices(
+            c in 2u8..,
+            soff in 0usize..32,
+            doff in 0usize..32,
+            len in 0usize..280,
+            seed: u64,
+        ) {
+            use rand::prelude::*;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut srcbuf = vec![0u8; soff + len];
+            let mut dstbuf = vec![0u8; doff + len];
+            rng.fill(srcbuf.as_mut_slice());
+            rng.fill(dstbuf.as_mut_slice());
+            let src = &srcbuf[soff..];
+            let base = &dstbuf[doff..];
+
+            let mut want = base.to_vec();
+            mul_slice_xor_with(GfBackend::Scalar, c, src, &mut want).unwrap();
+            for backend in [GfBackend::Portable, GfBackend::Simd] {
+                let mut got = base.to_vec();
+                mul_slice_xor_with(backend, c, src, &mut got).unwrap();
+                prop_assert_eq!(&got, &want, "backend {:?} c={} len={}", backend, c, len);
+            }
         }
     }
 }

@@ -168,9 +168,7 @@ impl Lrc {
                     continue;
                 }
                 let s = shards[m].as_ref().expect("checked present");
-                for (d, b) in acc.iter_mut().zip(s) {
-                    *d ^= *b;
-                }
+                apec_gf::xor_slice(s, &mut acc).expect("stripe shards share one length");
             }
             shards[missing[0]] = Some(acc);
             progress = true;

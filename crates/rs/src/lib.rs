@@ -38,6 +38,10 @@ pub struct ReedSolomon {
     kind: MatrixKind,
     /// Full (k+r)×k generator; top k×k block is the identity.
     generator: GfMatrix,
+    /// The r×k parity rows of the generator, extracted once at
+    /// construction so `encode` does not re-select (and re-allocate) them
+    /// on every stripe.
+    parity_rows: GfMatrix,
     /// Decode-matrix cache keyed by the sorted list of missing shards.
     decode_cache: Mutex<HashMap<Vec<usize>, GfMatrix>>,
 }
@@ -73,11 +77,13 @@ impl ReedSolomon {
                 g
             }
         };
+        let parity_rows = generator.select_rows(&(k..k + r).collect::<Vec<_>>());
         Ok(ReedSolomon {
             k,
             r,
             kind,
             generator,
+            parity_rows,
             decode_cache: Mutex::new(HashMap::new()),
         })
     }
@@ -146,11 +152,8 @@ impl ErasureCode for ReedSolomon {
 
     fn encode(&self, data: &[&[u8]]) -> Result<Vec<Vec<u8>>, EcError> {
         let len = self.check_data_shards(data)?;
-        let parity_rows = self
-            .generator
-            .select_rows(&(self.k..self.k + self.r).collect::<Vec<_>>());
         let mut out = vec![vec![0u8; len]; self.r];
-        parity_rows
+        self.parity_rows
             .apply(data, &mut out)
             .map_err(|e| EcError::Internal(e.to_string()))?;
         Ok(out)

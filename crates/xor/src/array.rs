@@ -116,9 +116,8 @@ impl ArrayCode {
                 let src = shards[scol]
                     .as_deref()
                     .expect("plan sources survive the erasure");
-                for (d, b) in dst.iter_mut().zip(&src[srange]) {
-                    *d ^= *b;
-                }
+                apec_gf::xor_slice(&src[srange], dst)
+                    .expect("element ranges are all elen bytes");
             }
         }
         rebuilt
