@@ -1,0 +1,368 @@
+//! Black-box generator extraction.
+//!
+//! Every code in the workspace is a *linear* map over GF(2^8) applied
+//! byte-wise across shards: XOR array codes use coefficients in {0, 1},
+//! RS/LRC use arbitrary field elements, and the Approximate layouts merge
+//! both. That means the whole encoder is characterised by one generator
+//! matrix, and we can extract it without looking at any implementation
+//! detail: encode each unit stripe (a single 1-byte in an otherwise
+//! all-zero stripe) and read the parity bytes it produces.
+//!
+//! The extraction is only honest if the encoder really is linear, so
+//! [`probe`] also spot-checks the two axioms the unit probes cannot see:
+//! the zero stripe must encode to zero parity (no affine offset), and
+//! random stripes must match the matrix prediction (additivity and
+//! GF-scaling at once).
+
+use crate::AuditError;
+use apec_ec::ErasureCode;
+use apec_gf::Gf8;
+
+/// A generator matrix recovered from an [`ErasureCode`] by probing.
+///
+/// Shards are probed at `shard_len = code.shard_alignment()` bytes, the
+/// smallest stripe the code accepts, so every array-code *element* is
+/// exactly one byte and element indices coincide with byte positions.
+#[derive(Debug, Clone)]
+pub struct ProbedGenerator {
+    /// Total nodes `n = k + r`.
+    pub total_nodes: usize,
+    /// Data nodes `k`; shards `0..k` are data, `k..n` parity.
+    pub data_nodes: usize,
+    /// Bytes per shard used for the probe (the code's alignment).
+    pub shard_len: usize,
+    /// `(n · shard_len)` rows of `(k · shard_len)` coefficients each.
+    /// Row `node · shard_len + offset` expresses that output byte as a
+    /// GF(2^8) combination of the data bytes; the top `k · shard_len`
+    /// rows are the identity by construction (systematic layout).
+    pub rows: Vec<Vec<Gf8>>,
+}
+
+impl ProbedGenerator {
+    /// Number of data-byte columns (`k · shard_len`).
+    pub fn cols(&self) -> usize {
+        self.data_nodes * self.shard_len
+    }
+
+    /// The row for byte `offset` of `node`'s shard.
+    pub fn row(&self, node: usize, offset: usize) -> &[Gf8] {
+        &self.rows[node * self.shard_len + offset]
+    }
+
+    /// Row space spanned by the shards that survive erasing `erased`
+    /// nodes. Decodability questions reduce to membership queries on it.
+    pub fn survivor_space(&self, erased: &[usize]) -> RowSpace {
+        let mut space = RowSpace::new(self.cols());
+        for node in 0..self.total_nodes {
+            if erased.contains(&node) {
+                continue;
+            }
+            for offset in 0..self.shard_len {
+                space.insert(self.row(node, offset));
+            }
+        }
+        space
+    }
+}
+
+/// Extracts the generator of `code` by encoding unit stripes, and
+/// verifies the encoder is actually linear while doing so.
+pub fn probe(code: &dyn ErasureCode) -> Result<ProbedGenerator, AuditError> {
+    let k = code.data_nodes();
+    let n = code.total_nodes();
+    let r = code.parity_nodes();
+    let l = code.shard_alignment();
+    if k == 0 || r == 0 || l == 0 || n != k + r {
+        return Err(AuditError::BadGeometry {
+            code: code.name(),
+            detail: format!("k={k} r={r} n={n} alignment={l}"),
+        });
+    }
+    let cols = k * l;
+
+    let encode = |data: &[Vec<u8>]| -> Result<Vec<Vec<u8>>, AuditError> {
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = code.encode(&refs).map_err(|e| AuditError::EncodeFailed {
+            code: code.name(),
+            source: e,
+        })?;
+        if parity.len() != r || parity.iter().any(|p| p.len() != l) {
+            return Err(AuditError::BadGeometry {
+                code: code.name(),
+                detail: format!(
+                    "encode returned {} shards (expected {r} of {l} bytes)",
+                    parity.len()
+                ),
+            });
+        }
+        Ok(parity)
+    };
+
+    // Axiom 1: no affine offset.
+    let zero_stripe = vec![vec![0u8; l]; k];
+    let zero_parity = encode(&zero_stripe)?;
+    if zero_parity.iter().any(|p| p.iter().any(|&b| b != 0)) {
+        return Err(AuditError::NotLinear {
+            code: code.name(),
+            detail: "zero stripe encodes to non-zero parity".into(),
+        });
+    }
+
+    // Unit probes: one row batch per input byte.
+    let mut rows = vec![vec![Gf8::ZERO; cols]; n * l];
+    for (col, row) in rows.iter_mut().enumerate().take(cols) {
+        row[col] = Gf8::ONE;
+    }
+    let mut stripe = zero_stripe;
+    for d in 0..k {
+        for o in 0..l {
+            stripe[d][o] = 1;
+            let parity = encode(&stripe)?;
+            stripe[d][o] = 0;
+            let col = d * l + o;
+            for (p, shard) in parity.iter().enumerate() {
+                for (po, &b) in shard.iter().enumerate() {
+                    rows[(k + p) * l + po][col] = Gf8::new(b);
+                }
+            }
+        }
+    }
+
+    // Axiom 2: random stripes must match the matrix prediction. This
+    // catches both additivity violations and GF-scaling violations (the
+    // unit probes only ever used the byte value 1).
+    let mut rng = SplitMix64::new(0x5eed_c0de ^ (n as u64) << 16 ^ cols as u64);
+    for _ in 0..4 {
+        let data: Vec<Vec<u8>> = (0..k)
+            .map(|_| (0..l).map(|_| rng.next_byte()).collect())
+            .collect();
+        let parity = encode(&data)?;
+        for (p, shard) in parity.iter().enumerate() {
+            for (po, &b) in shard.iter().enumerate() {
+                let row = &rows[(k + p) * l + po];
+                let mut acc = Gf8::ZERO;
+                for (col, &coeff) in row.iter().enumerate() {
+                    acc += coeff * Gf8::new(data[col / l][col % l]);
+                }
+                if acc.value() != b {
+                    return Err(AuditError::NotLinear {
+                        code: code.name(),
+                        detail: format!(
+                            "random stripe disagrees with probed matrix at \
+                             parity {p} byte {po}: predicted {:#04x}, got {b:#04x}",
+                            acc.value()
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    Ok(ProbedGenerator {
+        total_nodes: n,
+        data_nodes: k,
+        shard_len: l,
+        rows,
+    })
+}
+
+/// An incrementally built row space over GF(2^8), kept in reduced
+/// echelon form so rank and membership queries are one back-substitution
+/// pass each. GF(2) vectors (coefficients in {0, 1}) work unchanged —
+/// GF(2) is a subfield.
+#[derive(Debug, Clone)]
+pub struct RowSpace {
+    cols: usize,
+    /// Basis rows, each normalised to a leading 1 at `pivots[i]`,
+    /// ascending by pivot.
+    basis: Vec<Vec<Gf8>>,
+    pivots: Vec<usize>,
+}
+
+impl RowSpace {
+    /// An empty space of vectors with `cols` coordinates.
+    pub fn new(cols: usize) -> Self {
+        RowSpace {
+            cols,
+            basis: Vec::new(),
+            pivots: Vec::new(),
+        }
+    }
+
+    /// Current rank.
+    pub fn rank(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// `true` when the space is all of GF(2^8)^cols.
+    pub fn is_full(&self) -> bool {
+        self.rank() == self.cols
+    }
+
+    /// Reduces `row` against the basis; the remainder is zero exactly
+    /// when `row` lies in the space.
+    fn residual(&self, row: &[Gf8]) -> Vec<Gf8> {
+        debug_assert_eq!(row.len(), self.cols, "row width mismatch");
+        let mut v = row.to_vec();
+        for (b, &p) in self.basis.iter().zip(&self.pivots) {
+            let c = v[p];
+            if !c.is_zero() {
+                for (x, &y) in v.iter_mut().zip(b) {
+                    *x -= c * y;
+                }
+            }
+        }
+        v
+    }
+
+    /// Membership test.
+    pub fn contains(&self, row: &[Gf8]) -> bool {
+        self.residual(row).iter().all(|c| c.is_zero())
+    }
+
+    /// Whether the unit vector `e_col` lies in the space — i.e. whether
+    /// that data byte is recoverable from the spanning shards.
+    pub fn contains_unit(&self, col: usize) -> bool {
+        let mut unit = vec![Gf8::ZERO; self.cols];
+        unit[col] = Gf8::ONE;
+        self.contains(&unit)
+    }
+
+    /// Adds `row` to the space; returns `true` when the rank grew.
+    pub fn insert(&mut self, row: &[Gf8]) -> bool {
+        let mut v = self.residual(row);
+        let Some(pivot) = v.iter().position(|c| !c.is_zero()) else {
+            return false;
+        };
+        let inv = v[pivot]
+            .inverse()
+            .expect("pivot is nonzero by the position test above");
+        for c in &mut v {
+            *c *= inv;
+        }
+        // Back-substitute into earlier rows so the form stays reduced.
+        for (b, &p) in self.basis.iter_mut().zip(&self.pivots) {
+            debug_assert_ne!(p, pivot, "duplicate pivot would break reduction");
+            let c = b[pivot];
+            if !c.is_zero() {
+                for (x, &y) in b.iter_mut().zip(&v) {
+                    *x -= c * y;
+                }
+            }
+        }
+        let at = self.pivots.partition_point(|&p| p < pivot);
+        self.pivots.insert(at, pivot);
+        self.basis.insert(at, v);
+        true
+    }
+}
+
+/// Tiny deterministic RNG (SplitMix64) so the linearity spot-checks need
+/// no external dependency and reproduce bit-for-bit.
+pub(crate) struct SplitMix64(u64);
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    pub(crate) fn next_byte(&mut self) -> u8 {
+        (self.next_u64() >> 56) as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rowspace_rank_and_membership() {
+        let g = Gf8::new;
+        let mut s = RowSpace::new(3);
+        assert!(s.insert(&[g(1), g(2), g(3)]));
+        assert!(s.insert(&[g(0), g(1), g(7)]));
+        // A combination of the first two must not grow the rank.
+        let combo: Vec<Gf8> = [g(1) * g(5), g(2) * g(5) + g(1), g(3) * g(5) + g(7)]
+            .into_iter()
+            .collect();
+        assert!(s.contains(&combo));
+        assert!(!s.insert(&combo));
+        assert_eq!(s.rank(), 2);
+        assert!(!s.is_full());
+        assert!(s.insert(&[g(0), g(0), g(1)]));
+        assert!(s.is_full());
+        assert!(s.contains_unit(0) && s.contains_unit(1) && s.contains_unit(2));
+    }
+
+    #[test]
+    fn rowspace_unit_membership_without_full_rank() {
+        let g = Gf8::new;
+        let mut s = RowSpace::new(3);
+        s.insert(&[g(1), g(0), g(0)]);
+        s.insert(&[g(0), g(3), g(0)]);
+        assert!(s.contains_unit(0));
+        assert!(s.contains_unit(1));
+        assert!(!s.contains_unit(2));
+    }
+
+    #[test]
+    fn probe_recovers_rs_generator() {
+        let code = apec_rs::ReedSolomon::new(4, 2, apec_rs::MatrixKind::Vandermonde).unwrap();
+        let gen = probe(&code).unwrap();
+        assert_eq!(gen.total_nodes, 6);
+        assert_eq!(gen.shard_len, 1);
+        // Top block is the identity; parity rows match the real generator.
+        let real = code.generator();
+        for node in 0..6 {
+            for col in 0..4 {
+                assert_eq!(gen.row(node, 0)[col], real.get(node, col), "({node},{col})");
+            }
+        }
+    }
+
+    #[test]
+    fn probe_rejects_affine_encoder() {
+        struct Affine;
+        impl ErasureCode for Affine {
+            fn name(&self) -> String {
+                "affine-test-double".into()
+            }
+            fn data_nodes(&self) -> usize {
+                2
+            }
+            fn parity_nodes(&self) -> usize {
+                1
+            }
+            fn fault_tolerance(&self) -> usize {
+                1
+            }
+            fn encode(&self, data: &[&[u8]]) -> Result<Vec<Vec<u8>>, apec_ec::EcError> {
+                let len = self.check_data_shards(data)?;
+                // XOR parity plus a constant offset: not linear.
+                let mut p = vec![0x55u8; len];
+                for s in data {
+                    apec_gf::xor_slice(s, &mut p).expect("equal lengths checked");
+                }
+                Ok(vec![p])
+            }
+            fn reconstruct(
+                &self,
+                _shards: &mut [Option<Vec<u8>>],
+            ) -> Result<(), apec_ec::EcError> {
+                unimplemented!("probe never reconstructs")
+            }
+        }
+        match probe(&Affine) {
+            Err(AuditError::NotLinear { .. }) => {}
+            other => panic!("expected NotLinear, got {other:?}"),
+        }
+    }
+}

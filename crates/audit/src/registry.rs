@@ -1,0 +1,139 @@
+//! The roster of shipped code constructions the auditor certifies.
+//!
+//! Parameters are chosen small enough that the exhaustive pattern sweeps
+//! stay in the low hundreds per code, yet large enough to exercise every
+//! structural feature: shortened array columns, unbalanced LRC groups,
+//! both Approximate engines (GF(2^8) and XOR), and both important-data
+//! structures.
+
+use crate::AuditTarget;
+use apec_ec::{BoxedCode, EcError, ErasureCode, UpdatePattern};
+use apec_rs::{MatrixKind, ReedSolomon};
+use approx_code::{ApproxCode, BaseFamily, Structure};
+
+/// Every code family the workspace ships, in audit order.
+///
+/// # Panics
+/// Panics only if a shipped constructor rejects its own documented
+/// parameters — which is itself an audit failure worth crashing on.
+pub fn shipped_codes() -> Vec<AuditTarget> {
+    let rs = |k, r, kind: MatrixKind| -> AuditTarget {
+        let code = ReedSolomon::new(k, r, kind).expect("documented RS parameters");
+        AuditTarget::Mds {
+            r,
+            code: Box::new(code),
+        }
+    };
+    let appr = |family, k, r, g, h, structure| -> AuditTarget {
+        AuditTarget::Approx {
+            code: ApproxCode::build_named(family, k, r, g, h, structure)
+                .expect("documented Approximate-Code parameters"),
+        }
+    };
+    vec![
+        rs(4, 2, MatrixKind::Vandermonde),
+        rs(6, 3, MatrixKind::Cauchy),
+        AuditTarget::Lrc {
+            code: apec_lrc::Lrc::new(6, 2, 2).expect("documented LRC parameters"),
+        },
+        // k < l would be rejected; k % l != 0 exercises unbalanced groups.
+        AuditTarget::Lrc {
+            code: apec_lrc::Lrc::new(5, 2, 2).expect("documented LRC parameters"),
+        },
+        AuditTarget::Array {
+            code: apec_xor::evenodd(5, 5).expect("documented EVENODD parameters"),
+        },
+        // Shortened: k = 3 data columns over the p = 5 geometry.
+        AuditTarget::Array {
+            code: apec_xor::evenodd(5, 3).expect("documented EVENODD parameters"),
+        },
+        AuditTarget::Array {
+            code: apec_xor::rdp(5, 4).expect("documented RDP parameters"),
+        },
+        AuditTarget::Array {
+            code: apec_xor::star(5, 5).expect("documented STAR parameters"),
+        },
+        AuditTarget::Array {
+            code: apec_xor::tip_like(5, 5).expect("documented TIP parameters"),
+        },
+        appr(BaseFamily::Rs, 3, 1, 1, 2, Structure::Uneven),
+        appr(BaseFamily::Lrc, 4, 2, 1, 2, Structure::Even),
+        appr(BaseFamily::Star, 3, 1, 1, 2, Structure::Uneven),
+        appr(BaseFamily::Tip, 3, 1, 2, 2, Structure::Even),
+    ]
+}
+
+/// Wraps a code so its last parity shard is silently zeroed: the result
+/// is still perfectly linear (the probe's linearity axioms hold), but
+/// its generator has lost a row of rank — exactly the class of silent
+/// construction bug the rank sweeps exist to catch. Used by the
+/// negative tests to prove the auditor actually fails.
+pub struct SabotagedCode {
+    inner: BoxedCode,
+}
+
+impl SabotagedCode {
+    /// Sabotages `inner`.
+    pub fn new(inner: BoxedCode) -> Self {
+        SabotagedCode { inner }
+    }
+}
+
+impl ErasureCode for SabotagedCode {
+    fn name(&self) -> String {
+        format!("sabotaged({})", self.inner.name())
+    }
+
+    fn data_nodes(&self) -> usize {
+        self.inner.data_nodes()
+    }
+
+    fn parity_nodes(&self) -> usize {
+        self.inner.parity_nodes()
+    }
+
+    fn fault_tolerance(&self) -> usize {
+        self.inner.fault_tolerance()
+    }
+
+    fn shard_alignment(&self) -> usize {
+        self.inner.shard_alignment()
+    }
+
+    fn encode(&self, data: &[&[u8]]) -> Result<Vec<Vec<u8>>, EcError> {
+        let mut parity = self.inner.encode(data)?;
+        if let Some(last) = parity.last_mut() {
+            last.fill(0);
+        }
+        Ok(parity)
+    }
+
+    fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), EcError> {
+        self.inner.reconstruct(shards)
+    }
+
+    fn update_pattern(&self) -> UpdatePattern {
+        self.inner.update_pattern()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_covers_every_family() {
+        let codes = shipped_codes();
+        let names: Vec<String> = codes.iter().map(|t| t.as_code().name()).collect();
+        for family in ["RS(", "CRS(", "LRC(", "EVENODD", "RDP", "STAR", "TIP"] {
+            assert!(
+                names.iter().any(|n| n.contains(family)),
+                "no {family} code in the roster: {names:?}"
+            );
+        }
+        assert!(
+            names.iter().filter(|n| n.contains("APPR")).count() >= 4,
+            "expected all four Approximate families: {names:?}"
+        );
+    }
+}

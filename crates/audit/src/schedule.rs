@@ -1,0 +1,365 @@
+//! Symbolic verification of compiled recovery schedules.
+//!
+//! The array codes and the Approximate layouts do not decode with matrix
+//! inversion at run time — they compile *schedules*: lists of steps
+//! `target = Σ cᵢ · sourceᵢ` emitted by the GF(2) / GF(2^8) solvers. A
+//! schedule that merely produces plausible bytes would pass a round-trip
+//! test on random data with probability well below certainty but still
+//! hide coefficient errors; here we prove equivalence instead.
+//!
+//! Every element of a spec is assigned its *symbolic* value: the vector
+//! of coefficients expressing it in the data bytes. Data elements are
+//! unit vectors; parity elements are folded from their declared support
+//! in encoding order. Three facts are then checked exhaustively:
+//!
+//! 1. the symbolic values agree with the [probed generator](crate::probe)
+//!    — i.e. the shipped encode path implements the spec's equations;
+//! 2. every step of every compiled schedule reads only surviving or
+//!    already-rebuilt elements and its right-hand side *symbolically
+//!    equals* its target;
+//! 3. elements a schedule leaves unsolved really are unsolvable — their
+//!    symbolic value lies outside the span of the surviving elements, so
+//!    the solver is exact, not conservative.
+
+use crate::policy::for_each_pattern;
+use crate::probe::{ProbedGenerator, RowSpace};
+use crate::CodeReport;
+use apec_bitmatrix::XorCodeSpec;
+use apec_gf::Gf8;
+use approx_code::gfspec::GfSpec;
+
+/// A view over the two spec dialects the workspace compiles schedules
+/// from: GF(2) XOR specs and GF(2^8) coefficient specs.
+pub enum SpecRef<'a> {
+    /// An XOR array-code spec (EVENODD, RDP, STAR, TIP-like, APPR.STAR…).
+    Xor(&'a XorCodeSpec),
+    /// A GF(2^8) spec (APPR.RS / APPR.LRC layouts).
+    Gf(&'a GfSpec),
+}
+
+/// One normalised schedule step: `target = Σ coeff · source`.
+struct Step {
+    target: usize,
+    sources: Vec<(u8, usize)>,
+}
+
+impl SpecRef<'_> {
+    fn n_cols(&self) -> usize {
+        match self {
+            SpecRef::Xor(s) => s.n_cols,
+            SpecRef::Gf(s) => s.n_cols,
+        }
+    }
+
+    fn total_elements(&self) -> usize {
+        match self {
+            SpecRef::Xor(s) => s.total_elements(),
+            SpecRef::Gf(s) => s.total_elements(),
+        }
+    }
+
+    fn column_elements(&self, col: usize) -> Vec<usize> {
+        match self {
+            SpecRef::Xor(s) => s.column_elements(col),
+            SpecRef::Gf(s) => s.column_elements(col),
+        }
+    }
+
+    fn erase_columns(&self, cols: &[usize]) -> Vec<usize> {
+        match self {
+            SpecRef::Xor(s) => s.erase_columns(cols),
+            SpecRef::Gf(s) => s.erase_columns(cols),
+        }
+    }
+
+    fn data_elements(&self) -> &[usize] {
+        match self {
+            SpecRef::Xor(s) => &s.data_elements,
+            SpecRef::Gf(s) => &s.data_elements,
+        }
+    }
+
+    /// Parity equations as `(parity element, [(coeff, source)…])`, in
+    /// encoding order.
+    fn supports(&self) -> Vec<(usize, Vec<(u8, usize)>)> {
+        match self {
+            SpecRef::Xor(s) => s
+                .parity_elements
+                .iter()
+                .zip(&s.parity_support)
+                .map(|(&p, sup)| (p, sup.iter().map(|&e| (1u8, e)).collect()))
+                .collect(),
+            SpecRef::Gf(s) => s
+                .parity_elements
+                .iter()
+                .zip(&s.parity_support)
+                .map(|(&p, sup)| (p, sup.clone()))
+                .collect(),
+        }
+    }
+
+    fn partial_plan(&self, erased: &[usize]) -> Result<(Vec<Step>, Vec<usize>), String> {
+        match self {
+            SpecRef::Xor(s) => s
+                .partial_recovery_plan(erased)
+                .map(|(plan, unsolved)| {
+                    let steps = plan
+                        .steps
+                        .into_iter()
+                        .map(|st| Step {
+                            target: st.target,
+                            sources: st.sources.into_iter().map(|e| (1u8, e)).collect(),
+                        })
+                        .collect();
+                    (steps, unsolved)
+                })
+                .map_err(|e| e.to_string()),
+            SpecRef::Gf(s) => s
+                .partial_recovery_plan(erased)
+                .map(|(plan, unsolved)| {
+                    let steps = plan
+                        .steps
+                        .into_iter()
+                        .map(|st| Step {
+                            target: st.target,
+                            sources: st.sources,
+                        })
+                        .collect();
+                    (steps, unsolved)
+                })
+                .map_err(|e| e.to_string()),
+        }
+    }
+}
+
+/// Symbolic element values plus the element → (node, offset) map.
+struct Symbols {
+    /// Per element, its coefficient vector over the data bytes.
+    vecs: Vec<Vec<Gf8>>,
+    /// Per element, `(node, byte offset within the node's shard)`.
+    pos: Vec<(usize, usize)>,
+}
+
+/// Folds the spec's parity equations into symbolic element values and
+/// cross-checks them against the probed generator.
+fn build_symbols(spec: &SpecRef<'_>, gen: &ProbedGenerator, report: &mut CodeReport) -> Option<Symbols> {
+    let total = spec.total_elements();
+    let cols = gen.cols();
+    if spec.n_cols() != gen.total_nodes {
+        report.fail(format!(
+            "spec has {} columns but the code exposes {} nodes",
+            spec.n_cols(),
+            gen.total_nodes
+        ));
+        return None;
+    }
+
+    let mut pos = vec![(usize::MAX, usize::MAX); total];
+    for node in 0..spec.n_cols() {
+        for (offset, e) in spec.column_elements(node).into_iter().enumerate() {
+            pos[e] = (node, offset);
+        }
+    }
+
+    // Data elements must be exactly the elements of the data nodes; the
+    // probe's column space is defined by that systematic layout.
+    let mut vecs: Vec<Option<Vec<Gf8>>> = vec![None; total];
+    for &e in spec.data_elements() {
+        let (node, offset) = pos[e];
+        if node >= gen.data_nodes {
+            report.fail(format!(
+                "spec data element {e} lives on node {node}, which the code \
+                 reports as a parity node"
+            ));
+            return None;
+        }
+        let mut unit = vec![Gf8::ZERO; cols];
+        unit[node * gen.shard_len + offset] = Gf8::ONE;
+        vecs[e] = Some(unit);
+    }
+
+    for (p, support) in spec.supports() {
+        let mut acc = vec![Gf8::ZERO; cols];
+        for (c, src) in support {
+            let Some(v) = vecs[src].as_ref() else {
+                report.fail(format!(
+                    "parity element {p} references element {src} before it is \
+                     defined — encoding order is broken"
+                ));
+                return None;
+            };
+            let c = Gf8::new(c);
+            for (a, &b) in acc.iter_mut().zip(v) {
+                *a += c * b;
+            }
+        }
+        if vecs[p].is_some() {
+            report.fail(format!("element {p} is defined twice by the spec"));
+            return None;
+        }
+        vecs[p] = Some(acc);
+    }
+
+    let mut out = Vec::with_capacity(total);
+    for (e, v) in vecs.into_iter().enumerate() {
+        let Some(v) = v else {
+            report.fail(format!("element {e} is neither data nor parity"));
+            return None;
+        };
+        let (node, offset) = pos[e];
+        if gen.row(node, offset) != v.as_slice() {
+            report.fail(format!(
+                "encode path disagrees with the spec at element {e} \
+                 (node {node}, byte {offset}): the probed generator row does \
+                 not match the folded parity equations"
+            ));
+            return None;
+        }
+        out.push(v);
+    }
+    Some(Symbols { vecs: out, pos })
+}
+
+/// Verifies every compiled schedule for every column-erasure pattern of
+/// size `1..=max_erasures` against the spec's algebra.
+pub fn check_schedules(
+    spec: &SpecRef<'_>,
+    gen: &ProbedGenerator,
+    max_erasures: usize,
+    report: &mut CodeReport,
+) {
+    let Some(sym) = build_symbols(spec, gen, report) else {
+        return;
+    };
+    let total = spec.total_elements();
+    let n = spec.n_cols();
+
+    for size in 1..=max_erasures.min(n) {
+        for_each_pattern(n, size, |cols| {
+            let erased = spec.erase_columns(cols);
+            let (steps, unsolved) = match spec.partial_plan(&erased) {
+                Ok(v) => v,
+                Err(e) => {
+                    report.fail(format!("solver refused pattern {cols:?}: {e}"));
+                    return;
+                }
+            };
+            report.plans_verified += 1;
+
+            let mut known = vec![true; total];
+            for &e in &erased {
+                known[e] = false;
+            }
+
+            for step in &steps {
+                if known[step.target] {
+                    report.fail(format!(
+                        "pattern {cols:?}: step rebuilds element {} which was \
+                         never erased (or twice)",
+                        step.target
+                    ));
+                    return;
+                }
+                let mut acc = vec![Gf8::ZERO; gen.cols()];
+                for &(c, src) in &step.sources {
+                    if !known[src] {
+                        report.fail(format!(
+                            "pattern {cols:?}: step for element {} reads erased \
+                             element {src} before it is rebuilt",
+                            step.target
+                        ));
+                        return;
+                    }
+                    let c = Gf8::new(c);
+                    for (a, &b) in acc.iter_mut().zip(&sym.vecs[src]) {
+                        *a += c * b;
+                    }
+                }
+                if acc != sym.vecs[step.target] {
+                    let (node, offset) = sym.pos[step.target];
+                    report.fail(format!(
+                        "pattern {cols:?}: schedule step for element {} \
+                         (node {node}, byte {offset}) is algebraically wrong — \
+                         its sources do not sum to the element's value",
+                        step.target
+                    ));
+                    return;
+                }
+                known[step.target] = true;
+            }
+
+            // Everything erased is now either rebuilt or declared
+            // unsolved, with no overlap.
+            for &e in &erased {
+                let solved = known[e];
+                let declared_unsolved = unsolved.contains(&e);
+                if solved == declared_unsolved {
+                    report.fail(format!(
+                        "pattern {cols:?}: element {e} is {} but the plan \
+                         declares it {}",
+                        if solved { "rebuilt" } else { "not rebuilt" },
+                        if declared_unsolved { "unsolved" } else { "solved" },
+                    ));
+                    return;
+                }
+            }
+
+            // Unsolved elements must be genuinely out of reach: their
+            // symbolic value outside the span of surviving elements.
+            if !unsolved.is_empty() {
+                let mut span = RowSpace::new(gen.cols());
+                for e in 0..total {
+                    if !erased.contains(&e) {
+                        span.insert(&sym.vecs[e]);
+                    }
+                }
+                for &e in &unsolved {
+                    if span.contains(&sym.vecs[e]) {
+                        report.fail(format!(
+                            "pattern {cols:?}: element {e} is recoverable from \
+                             the survivors but the solver left it unsolved — \
+                             the schedule compiler is incomplete"
+                        ));
+                        return;
+                    }
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::probe;
+    use apec_ec::ErasureCode;
+
+    #[test]
+    fn evenodd_schedules_verify() {
+        let code = apec_xor::evenodd(5, 5).unwrap();
+        let gen = probe(&code).unwrap();
+        let mut report = CodeReport::new(code.name(), &code);
+        let spec = SpecRef::Xor(code.spec());
+        check_schedules(&spec, &gen, code.fault_tolerance() + 1, &mut report);
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        assert!(report.plans_verified > 0);
+    }
+
+    #[test]
+    fn tampered_spec_is_caught() {
+        let code = apec_xor::evenodd(5, 4).unwrap();
+        let gen = probe(&code).unwrap();
+        // Drop one element from one parity's support: the folded
+        // equations no longer match the shipped encoder.
+        let mut spec = code.spec().clone();
+        spec.parity_support[0].pop();
+        let mut report = CodeReport::new(code.name(), &code);
+        check_schedules(&SpecRef::Xor(&spec), &gen, 1, &mut report);
+        assert!(!report.passed());
+        assert!(
+            report.failures.iter().any(|f| f.contains("disagrees with the spec")),
+            "failures: {:?}",
+            report.failures
+        );
+    }
+}

@@ -6,6 +6,8 @@
 //! experiments all --json out.json
 //! ```
 
+#![forbid(unsafe_code)]
+
 use apec_bench::experiments::{run, ALL_EXPERIMENTS};
 use apec_bench::Table;
 use std::io::Write;

@@ -53,7 +53,7 @@ fn burn_in() {
         let start = Instant::now();
         while start.elapsed().as_secs_f64() < 3.0 {
             for (x, y) in a.iter_mut().zip(&b) {
-                *x ^= *y;
+                *x ^= *y; // raw-xor-ok: deliberate CPU burn-in, must not hit kernels
             }
             std::hint::black_box(&a);
         }

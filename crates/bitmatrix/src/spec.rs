@@ -567,7 +567,9 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+// Skipped under Miri: the proptest runner is far too slow there; the unit
+// tests above cover the same code paths for aliasing/UB purposes.
+#[cfg(all(test, not(miri)))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;

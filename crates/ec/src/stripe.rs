@@ -53,7 +53,6 @@ pub fn join_shards(shards: &[Vec<u8>], original_len: usize) -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn round_trip_exact_fit() {
@@ -100,7 +99,14 @@ mod tests {
         join_shards(&[vec![0u8; 2]], 10);
     }
 
-    proptest! {
+    // Skipped under Miri: the proptest runner is far too slow there and the
+    // unit tests above already exercise the same paths.
+    #[cfg(not(miri))]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
         #[test]
         fn split_join_round_trips(
             data in proptest::collection::vec(any::<u8>(), 0..500),
@@ -116,6 +122,7 @@ mod tests {
             }
             prop_assert!(len0 * k >= data.len());
             prop_assert_eq!(join_shards(&shards, data.len()), data);
+        }
         }
     }
 }

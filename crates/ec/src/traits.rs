@@ -184,9 +184,7 @@ mod tests {
             let len = self.check_data_shards(data)?;
             let mut p = vec![0u8; len];
             for s in data {
-                for (d, b) in p.iter_mut().zip(*s) {
-                    *d ^= *b;
-                }
+                apec_gf::xor_slice(s, &mut p).expect("data shards share one length");
             }
             Ok(vec![p])
         }
@@ -203,9 +201,7 @@ mod tests {
             }
             let mut acc = vec![0u8; len];
             for s in shards.iter().flatten() {
-                for (d, b) in acc.iter_mut().zip(s) {
-                    *d ^= *b;
-                }
+                apec_gf::xor_slice(s, &mut acc).expect("stripe shards share one length");
             }
             shards[missing[0]] = Some(acc);
             Ok(())

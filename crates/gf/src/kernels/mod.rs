@@ -112,7 +112,14 @@ pub(crate) enum SimdLevel {
 }
 
 fn detect_simd_level() -> SimdLevel {
-    #[cfg(target_arch = "x86_64")]
+    // Under Miri there is no real CPU to probe and the vendor intrinsics are
+    // unsupported; report no SIMD so every kernel dispatch resolves to the
+    // scalar/portable safe-Rust paths and the whole suite stays Miri-clean.
+    #[cfg(miri)]
+    {
+        return SimdLevel::None;
+    }
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     {
         if std::arch::is_x86_feature_detected!("avx2") {
             return SimdLevel::Avx2;
@@ -122,14 +129,14 @@ fn detect_simd_level() -> SimdLevel {
         }
         SimdLevel::None
     }
-    #[cfg(target_arch = "aarch64")]
+    #[cfg(all(target_arch = "aarch64", not(miri)))]
     {
         if std::arch::is_aarch64_feature_detected!("neon") {
             return SimdLevel::Neon;
         }
         SimdLevel::None
     }
-    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    #[cfg(not(any(miri, target_arch = "x86_64", target_arch = "aarch64")))]
     {
         SimdLevel::None
     }

@@ -26,11 +26,16 @@ pub(crate) fn xor_neon(src: &[u8], dst: &mut [u8]) {
 unsafe fn xor_neon_inner(src: &[u8], dst: &mut [u8]) {
     let n = src.len().min(dst.len());
     let mut i = 0;
-    while i + 16 <= n {
-        let s = vld1q_u8(src.as_ptr().add(i));
-        let d = vld1q_u8(dst.as_ptr().add(i));
-        vst1q_u8(dst.as_mut_ptr().add(i), veorq_u8(d, s));
-        i += 16;
+    // SAFETY: NEON is available per this function's contract (dispatch
+    // checked `simd_level() == Neon`); `i + 16 <= n` keeps every 16-byte
+    // unaligned access in bounds.
+    unsafe {
+        while i + 16 <= n {
+            let s = vld1q_u8(src.as_ptr().add(i));
+            let d = vld1q_u8(dst.as_ptr().add(i));
+            vst1q_u8(dst.as_mut_ptr().add(i), veorq_u8(d, s));
+            i += 16;
+        }
     }
     for (d, s) in dst[i..n].iter_mut().zip(&src[i..n]) {
         *d ^= *s;
@@ -46,18 +51,22 @@ pub(crate) fn mul_neon(c: u8, src: &[u8], dst: &mut [u8]) {
 #[target_feature(enable = "neon")]
 unsafe fn mul_neon_inner(c: u8, src: &[u8], dst: &mut [u8]) {
     let (lo, hi) = split_tables(c);
-    let tlo = vld1q_u8(lo.as_ptr());
-    let thi = vld1q_u8(hi.as_ptr());
-    let mask = vdupq_n_u8(0x0f);
     let n = src.len().min(dst.len());
     let mut i = 0;
-    while i + 16 <= n {
-        let s = vld1q_u8(src.as_ptr().add(i));
-        let lo_n = vandq_u8(s, mask);
-        let hi_n = vshrq_n_u8(s, 4);
-        let prod = veorq_u8(vqtbl1q_u8(tlo, lo_n), vqtbl1q_u8(thi, hi_n));
-        vst1q_u8(dst.as_mut_ptr().add(i), prod);
-        i += 16;
+    // SAFETY: NEON guaranteed by the caller; the nibble tables are 16 bytes
+    // by construction and `i + 16 <= n` bounds every unaligned access.
+    unsafe {
+        let tlo = vld1q_u8(lo.as_ptr());
+        let thi = vld1q_u8(hi.as_ptr());
+        let mask = vdupq_n_u8(0x0f);
+        while i + 16 <= n {
+            let s = vld1q_u8(src.as_ptr().add(i));
+            let lo_n = vandq_u8(s, mask);
+            let hi_n = vshrq_n_u8(s, 4);
+            let prod = veorq_u8(vqtbl1q_u8(tlo, lo_n), vqtbl1q_u8(thi, hi_n));
+            vst1q_u8(dst.as_mut_ptr().add(i), prod);
+            i += 16;
+        }
     }
     let row = &MUL_TABLE[c as usize];
     for (d, s) in dst[i..n].iter_mut().zip(&src[i..n]) {
@@ -74,19 +83,23 @@ pub(crate) fn mul_xor_neon(c: u8, src: &[u8], dst: &mut [u8]) {
 #[target_feature(enable = "neon")]
 unsafe fn mul_xor_neon_inner(c: u8, src: &[u8], dst: &mut [u8]) {
     let (lo, hi) = split_tables(c);
-    let tlo = vld1q_u8(lo.as_ptr());
-    let thi = vld1q_u8(hi.as_ptr());
-    let mask = vdupq_n_u8(0x0f);
     let n = src.len().min(dst.len());
     let mut i = 0;
-    while i + 16 <= n {
-        let s = vld1q_u8(src.as_ptr().add(i));
-        let d = vld1q_u8(dst.as_ptr().add(i));
-        let lo_n = vandq_u8(s, mask);
-        let hi_n = vshrq_n_u8(s, 4);
-        let prod = veorq_u8(vqtbl1q_u8(tlo, lo_n), vqtbl1q_u8(thi, hi_n));
-        vst1q_u8(dst.as_mut_ptr().add(i), veorq_u8(d, prod));
-        i += 16;
+    // SAFETY: as in `mul_neon_inner` — feature guaranteed by the caller,
+    // all accesses bounded by `i + 16 <= n`.
+    unsafe {
+        let tlo = vld1q_u8(lo.as_ptr());
+        let thi = vld1q_u8(hi.as_ptr());
+        let mask = vdupq_n_u8(0x0f);
+        while i + 16 <= n {
+            let s = vld1q_u8(src.as_ptr().add(i));
+            let d = vld1q_u8(dst.as_ptr().add(i));
+            let lo_n = vandq_u8(s, mask);
+            let hi_n = vshrq_n_u8(s, 4);
+            let prod = veorq_u8(vqtbl1q_u8(tlo, lo_n), vqtbl1q_u8(thi, hi_n));
+            vst1q_u8(dst.as_mut_ptr().add(i), veorq_u8(d, prod));
+            i += 16;
+        }
     }
     let row = &MUL_TABLE[c as usize];
     for (d, s) in dst[i..n].iter_mut().zip(&src[i..n]) {

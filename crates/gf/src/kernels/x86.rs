@@ -53,35 +53,40 @@ pub(crate) fn xor_avx2(src: &[u8], dst: &mut [u8]) {
 unsafe fn xor_avx2_inner(src: &[u8], dst: &mut [u8]) {
     let n = src.len().min(dst.len());
     let mut i = 0;
-    // 4x unrolled: a single 32-byte op per iteration leaves the loop
-    // issue-bound rather than bandwidth-bound, and then plain scalar code
-    // (which LLVM auto-vectorizes *and* unrolls) wins. 128 B/iteration
-    // keeps four independent load/xor/store chains in flight.
-    while i + 128 <= n {
-        let sp = src.as_ptr().add(i);
-        let dp = dst.as_mut_ptr().add(i);
-        let s0 = _mm256_loadu_si256(sp as *const __m256i);
-        let s1 = _mm256_loadu_si256(sp.add(32) as *const __m256i);
-        let s2 = _mm256_loadu_si256(sp.add(64) as *const __m256i);
-        let s3 = _mm256_loadu_si256(sp.add(96) as *const __m256i);
-        let d0 = _mm256_loadu_si256(dp as *const __m256i);
-        let d1 = _mm256_loadu_si256(dp.add(32) as *const __m256i);
-        let d2 = _mm256_loadu_si256(dp.add(64) as *const __m256i);
-        let d3 = _mm256_loadu_si256(dp.add(96) as *const __m256i);
-        _mm256_storeu_si256(dp as *mut __m256i, _mm256_xor_si256(d0, s0));
-        _mm256_storeu_si256(dp.add(32) as *mut __m256i, _mm256_xor_si256(d1, s1));
-        _mm256_storeu_si256(dp.add(64) as *mut __m256i, _mm256_xor_si256(d2, s2));
-        _mm256_storeu_si256(dp.add(96) as *mut __m256i, _mm256_xor_si256(d3, s3));
-        i += 128;
-    }
-    while i + 32 <= n {
-        let s = _mm256_loadu_si256(src.as_ptr().add(i) as *const __m256i);
-        let d = _mm256_loadu_si256(dst.as_ptr().add(i) as *const __m256i);
-        _mm256_storeu_si256(
-            dst.as_mut_ptr().add(i) as *mut __m256i,
-            _mm256_xor_si256(d, s),
-        );
-        i += 32;
+    // SAFETY: the loop guards keep every 32-byte unaligned access inside
+    // `src[..n]` / `dst[..n]`, and AVX2 is available per this function's
+    // contract (dispatch checked `simd_level() == Avx2`).
+    unsafe {
+        // 4x unrolled: a single 32-byte op per iteration leaves the loop
+        // issue-bound rather than bandwidth-bound, and then plain scalar code
+        // (which LLVM auto-vectorizes *and* unrolls) wins. 128 B/iteration
+        // keeps four independent load/xor/store chains in flight.
+        while i + 128 <= n {
+            let sp = src.as_ptr().add(i);
+            let dp = dst.as_mut_ptr().add(i);
+            let s0 = _mm256_loadu_si256(sp as *const __m256i);
+            let s1 = _mm256_loadu_si256(sp.add(32) as *const __m256i);
+            let s2 = _mm256_loadu_si256(sp.add(64) as *const __m256i);
+            let s3 = _mm256_loadu_si256(sp.add(96) as *const __m256i);
+            let d0 = _mm256_loadu_si256(dp as *const __m256i);
+            let d1 = _mm256_loadu_si256(dp.add(32) as *const __m256i);
+            let d2 = _mm256_loadu_si256(dp.add(64) as *const __m256i);
+            let d3 = _mm256_loadu_si256(dp.add(96) as *const __m256i);
+            _mm256_storeu_si256(dp as *mut __m256i, _mm256_xor_si256(d0, s0));
+            _mm256_storeu_si256(dp.add(32) as *mut __m256i, _mm256_xor_si256(d1, s1));
+            _mm256_storeu_si256(dp.add(64) as *mut __m256i, _mm256_xor_si256(d2, s2));
+            _mm256_storeu_si256(dp.add(96) as *mut __m256i, _mm256_xor_si256(d3, s3));
+            i += 128;
+        }
+        while i + 32 <= n {
+            let s = _mm256_loadu_si256(src.as_ptr().add(i) as *const __m256i);
+            let d = _mm256_loadu_si256(dst.as_ptr().add(i) as *const __m256i);
+            _mm256_storeu_si256(
+                dst.as_mut_ptr().add(i) as *mut __m256i,
+                _mm256_xor_si256(d, s),
+            );
+            i += 32;
+        }
     }
     xor_sse2(&src[i..n], &mut dst[i..n]);
 }
@@ -113,18 +118,24 @@ pub(crate) fn mul_xor_avx2(c: u8, src: &[u8], dst: &mut [u8]) {
 #[target_feature(enable = "ssse3")]
 unsafe fn mul_ssse3_inner(c: u8, src: &[u8], dst: &mut [u8]) {
     let (lo, hi) = split_tables(c);
-    let tlo = _mm_loadu_si128(lo.as_ptr() as *const __m128i);
-    let thi = _mm_loadu_si128(hi.as_ptr() as *const __m128i);
-    let mask = _mm_set1_epi8(0x0f);
     let n = src.len().min(dst.len());
     let mut i = 0;
-    while i + 16 <= n {
-        let s = _mm_loadu_si128(src.as_ptr().add(i) as *const __m128i);
-        let lo_n = _mm_and_si128(s, mask);
-        let hi_n = _mm_and_si128(_mm_srli_epi64(s, 4), mask);
-        let prod = _mm_xor_si128(_mm_shuffle_epi8(tlo, lo_n), _mm_shuffle_epi8(thi, hi_n));
-        _mm_storeu_si128(dst.as_mut_ptr().add(i) as *mut __m128i, prod);
-        i += 16;
+    // SAFETY: SSSE3 is available per this function's contract (dispatch
+    // checked `simd_level() >= Ssse3`); the nibble tables are 16 bytes by
+    // construction, and `i + 16 <= n` keeps every unaligned access in
+    // bounds.
+    unsafe {
+        let tlo = _mm_loadu_si128(lo.as_ptr() as *const __m128i);
+        let thi = _mm_loadu_si128(hi.as_ptr() as *const __m128i);
+        let mask = _mm_set1_epi8(0x0f);
+        while i + 16 <= n {
+            let s = _mm_loadu_si128(src.as_ptr().add(i) as *const __m128i);
+            let lo_n = _mm_and_si128(s, mask);
+            let hi_n = _mm_and_si128(_mm_srli_epi64(s, 4), mask);
+            let prod = _mm_xor_si128(_mm_shuffle_epi8(tlo, lo_n), _mm_shuffle_epi8(thi, hi_n));
+            _mm_storeu_si128(dst.as_mut_ptr().add(i) as *mut __m128i, prod);
+            i += 16;
+        }
     }
     scalar_mul_tail(c, &src[i..n], &mut dst[i..n], false);
 }
@@ -132,19 +143,23 @@ unsafe fn mul_ssse3_inner(c: u8, src: &[u8], dst: &mut [u8]) {
 #[target_feature(enable = "ssse3")]
 unsafe fn mul_xor_ssse3_inner(c: u8, src: &[u8], dst: &mut [u8]) {
     let (lo, hi) = split_tables(c);
-    let tlo = _mm_loadu_si128(lo.as_ptr() as *const __m128i);
-    let thi = _mm_loadu_si128(hi.as_ptr() as *const __m128i);
-    let mask = _mm_set1_epi8(0x0f);
     let n = src.len().min(dst.len());
     let mut i = 0;
-    while i + 16 <= n {
-        let s = _mm_loadu_si128(src.as_ptr().add(i) as *const __m128i);
-        let d = _mm_loadu_si128(dst.as_ptr().add(i) as *const __m128i);
-        let lo_n = _mm_and_si128(s, mask);
-        let hi_n = _mm_and_si128(_mm_srli_epi64(s, 4), mask);
-        let prod = _mm_xor_si128(_mm_shuffle_epi8(tlo, lo_n), _mm_shuffle_epi8(thi, hi_n));
-        _mm_storeu_si128(dst.as_mut_ptr().add(i) as *mut __m128i, _mm_xor_si128(d, prod));
-        i += 16;
+    // SAFETY: as in `mul_ssse3_inner` — feature guaranteed by the caller,
+    // all accesses bounded by `i + 16 <= n`.
+    unsafe {
+        let tlo = _mm_loadu_si128(lo.as_ptr() as *const __m128i);
+        let thi = _mm_loadu_si128(hi.as_ptr() as *const __m128i);
+        let mask = _mm_set1_epi8(0x0f);
+        while i + 16 <= n {
+            let s = _mm_loadu_si128(src.as_ptr().add(i) as *const __m128i);
+            let d = _mm_loadu_si128(dst.as_ptr().add(i) as *const __m128i);
+            let lo_n = _mm_and_si128(s, mask);
+            let hi_n = _mm_and_si128(_mm_srli_epi64(s, 4), mask);
+            let prod = _mm_xor_si128(_mm_shuffle_epi8(tlo, lo_n), _mm_shuffle_epi8(thi, hi_n));
+            _mm_storeu_si128(dst.as_mut_ptr().add(i) as *mut __m128i, _mm_xor_si128(d, prod));
+            i += 16;
+        }
     }
     scalar_mul_tail(c, &src[i..n], &mut dst[i..n], true);
 }
@@ -152,70 +167,81 @@ unsafe fn mul_xor_ssse3_inner(c: u8, src: &[u8], dst: &mut [u8]) {
 #[target_feature(enable = "avx2")]
 unsafe fn mul_avx2_inner(c: u8, src: &[u8], dst: &mut [u8]) {
     let (lo, hi) = split_tables(c);
-    let tlo = _mm256_broadcastsi128_si256(_mm_loadu_si128(lo.as_ptr() as *const __m128i));
-    let thi = _mm256_broadcastsi128_si256(_mm_loadu_si128(hi.as_ptr() as *const __m128i));
-    let mask = _mm256_set1_epi8(0x0f);
     let n = src.len().min(dst.len());
     let mut i = 0;
-    while i + 32 <= n {
-        let s = _mm256_loadu_si256(src.as_ptr().add(i) as *const __m256i);
-        let lo_n = _mm256_and_si256(s, mask);
-        let hi_n = _mm256_and_si256(_mm256_srli_epi64(s, 4), mask);
-        let prod = _mm256_xor_si256(
-            _mm256_shuffle_epi8(tlo, lo_n),
-            _mm256_shuffle_epi8(thi, hi_n),
-        );
-        _mm256_storeu_si256(dst.as_mut_ptr().add(i) as *mut __m256i, prod);
-        i += 32;
+    // SAFETY: AVX2 (hence SSSE3) is available per this function's contract
+    // (dispatch checked `simd_level() == Avx2`); all unaligned accesses are
+    // bounded by `i + 32 <= n`, and the SSSE3 tail call inherits the same
+    // feature guarantee.
+    unsafe {
+        let tlo = _mm256_broadcastsi128_si256(_mm_loadu_si128(lo.as_ptr() as *const __m128i));
+        let thi = _mm256_broadcastsi128_si256(_mm_loadu_si128(hi.as_ptr() as *const __m128i));
+        let mask = _mm256_set1_epi8(0x0f);
+        while i + 32 <= n {
+            let s = _mm256_loadu_si256(src.as_ptr().add(i) as *const __m256i);
+            let lo_n = _mm256_and_si256(s, mask);
+            let hi_n = _mm256_and_si256(_mm256_srli_epi64(s, 4), mask);
+            let prod = _mm256_xor_si256(
+                _mm256_shuffle_epi8(tlo, lo_n),
+                _mm256_shuffle_epi8(thi, hi_n),
+            );
+            _mm256_storeu_si256(dst.as_mut_ptr().add(i) as *mut __m256i, prod);
+            i += 32;
+        }
+        mul_ssse3_inner(c, &src[i..n], &mut dst[i..n]);
     }
-    mul_ssse3_inner(c, &src[i..n], &mut dst[i..n]);
 }
 
 #[target_feature(enable = "avx2")]
 unsafe fn mul_xor_avx2_inner(c: u8, src: &[u8], dst: &mut [u8]) {
     let (lo, hi) = split_tables(c);
-    let tlo = _mm256_broadcastsi128_si256(_mm_loadu_si128(lo.as_ptr() as *const __m128i));
-    let thi = _mm256_broadcastsi128_si256(_mm_loadu_si128(hi.as_ptr() as *const __m128i));
-    let mask = _mm256_set1_epi8(0x0f);
     let n = src.len().min(dst.len());
     let mut i = 0;
-    // 2x unrolled (64 B/iteration): two independent shuffle/xor chains
-    // hide the VPSHUFB latency; this kernel dominates encode time.
-    while i + 64 <= n {
-        let sp = src.as_ptr().add(i);
-        let dp = dst.as_mut_ptr().add(i);
-        let s0 = _mm256_loadu_si256(sp as *const __m256i);
-        let s1 = _mm256_loadu_si256(sp.add(32) as *const __m256i);
-        let d0 = _mm256_loadu_si256(dp as *const __m256i);
-        let d1 = _mm256_loadu_si256(dp.add(32) as *const __m256i);
-        let p0 = _mm256_xor_si256(
-            _mm256_shuffle_epi8(tlo, _mm256_and_si256(s0, mask)),
-            _mm256_shuffle_epi8(thi, _mm256_and_si256(_mm256_srli_epi64(s0, 4), mask)),
-        );
-        let p1 = _mm256_xor_si256(
-            _mm256_shuffle_epi8(tlo, _mm256_and_si256(s1, mask)),
-            _mm256_shuffle_epi8(thi, _mm256_and_si256(_mm256_srli_epi64(s1, 4), mask)),
-        );
-        _mm256_storeu_si256(dp as *mut __m256i, _mm256_xor_si256(d0, p0));
-        _mm256_storeu_si256(dp.add(32) as *mut __m256i, _mm256_xor_si256(d1, p1));
-        i += 64;
+    // SAFETY: as in `mul_avx2_inner` — AVX2 guaranteed by the caller, all
+    // unaligned accesses bounded by the loop guards (`i + 64 <= n`,
+    // `i + 32 <= n`), SSSE3 tail call covered by the same feature set.
+    unsafe {
+        let tlo = _mm256_broadcastsi128_si256(_mm_loadu_si128(lo.as_ptr() as *const __m128i));
+        let thi = _mm256_broadcastsi128_si256(_mm_loadu_si128(hi.as_ptr() as *const __m128i));
+        let mask = _mm256_set1_epi8(0x0f);
+        // 2x unrolled (64 B/iteration): two independent shuffle/xor chains
+        // hide the VPSHUFB latency; this kernel dominates encode time.
+        while i + 64 <= n {
+            let sp = src.as_ptr().add(i);
+            let dp = dst.as_mut_ptr().add(i);
+            let s0 = _mm256_loadu_si256(sp as *const __m256i);
+            let s1 = _mm256_loadu_si256(sp.add(32) as *const __m256i);
+            let d0 = _mm256_loadu_si256(dp as *const __m256i);
+            let d1 = _mm256_loadu_si256(dp.add(32) as *const __m256i);
+            let p0 = _mm256_xor_si256(
+                _mm256_shuffle_epi8(tlo, _mm256_and_si256(s0, mask)),
+                _mm256_shuffle_epi8(thi, _mm256_and_si256(_mm256_srli_epi64(s0, 4), mask)),
+            );
+            let p1 = _mm256_xor_si256(
+                _mm256_shuffle_epi8(tlo, _mm256_and_si256(s1, mask)),
+                _mm256_shuffle_epi8(thi, _mm256_and_si256(_mm256_srli_epi64(s1, 4), mask)),
+            );
+            _mm256_storeu_si256(dp as *mut __m256i, _mm256_xor_si256(d0, p0));
+            _mm256_storeu_si256(dp.add(32) as *mut __m256i, _mm256_xor_si256(d1, p1));
+            i += 64;
+        }
+        while i + 32 <= n {
+            let s = _mm256_loadu_si256(src.as_ptr().add(i) as *const __m256i);
+            let d = _mm256_loadu_si256(dst.as_ptr().add(i) as *const __m256i);
+            let lo_n = _mm256_and_si256(s, mask);
+            let hi_n = _mm256_and_si256(_mm256_srli_epi64(s, 4), mask);
+            let prod = _mm256_xor_si256(
+                _mm256_shuffle_epi8(tlo, lo_n),
+                _mm256_shuffle_epi8(thi, hi_n),
+            );
+            _mm256_storeu_si256(
+                dst.as_mut_ptr().add(i) as *mut __m256i,
+                _mm256_xor_si256(d, prod),
+            );
+            i += 32;
+        }
+        mul_xor_ssse3_inner(c, &src[i..n], &mut dst[i..n]);
     }
-    while i + 32 <= n {
-        let s = _mm256_loadu_si256(src.as_ptr().add(i) as *const __m256i);
-        let d = _mm256_loadu_si256(dst.as_ptr().add(i) as *const __m256i);
-        let lo_n = _mm256_and_si256(s, mask);
-        let hi_n = _mm256_and_si256(_mm256_srli_epi64(s, 4), mask);
-        let prod = _mm256_xor_si256(
-            _mm256_shuffle_epi8(tlo, lo_n),
-            _mm256_shuffle_epi8(thi, hi_n),
-        );
-        _mm256_storeu_si256(
-            dst.as_mut_ptr().add(i) as *mut __m256i,
-            _mm256_xor_si256(d, prod),
-        );
-        i += 32;
-    }
-    mul_xor_ssse3_inner(c, &src[i..n], &mut dst[i..n]);
 }
 
 /// Scalar cleanup for the final sub-vector bytes.

@@ -24,6 +24,7 @@
 //! intrinsic calls over in-bounds pointers.
 
 #![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 mod kernels;

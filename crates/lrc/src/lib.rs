@@ -201,9 +201,7 @@ impl ErasureCode for Lrc {
         for group in &self.groups {
             let mut p = vec![0u8; len];
             for &d in group {
-                for (dst, b) in p.iter_mut().zip(data[d]) {
-                    *dst ^= *b;
-                }
+                apec_gf::xor_slice(data[d], &mut p).expect("data shards share one length");
             }
             out.push(p);
         }

@@ -554,7 +554,7 @@ mod proptests {
             }
             for (idx, val) in flips {
                 let i = idx.index(damaged.len());
-                damaged[i] ^= val;
+                damaged[i] ^= val; // raw-xor-ok: test fault injection, single byte
             }
             let parsed = parse_container(&tiers.important, &damaged).unwrap();
             for (got, want) in parsed.frames.iter().zip(&video.frames) {

@@ -226,7 +226,7 @@ impl ErasureCode for ArrayCode {
             for &e in &self.spec.parity_support[i] {
                 if let Some(prev) = expanded.get(&e) {
                     for (m, b) in mask.iter_mut().zip(prev) {
-                        *m ^= *b;
+                        *m ^= *b; // raw-xor-ok: bool support masks, not shard bytes
                     }
                 } else {
                     mask[e] = !mask[e];

@@ -19,6 +19,7 @@
 //! | [`recovery`] | `apec-recovery` | frame interpolation + PSNR |
 //! | [`cluster`] | `apec-cluster` | functional cluster + repair timing model |
 //! | [`analysis`] | `apec-analysis` | reliability/overhead/write-cost models |
+//! | [`audit`] | `apec-audit` | static construction auditor: rank sweeps + schedule proofs |
 //!
 //! Start with `examples/quickstart.rs`, then `examples/video_vault.rs`
 //! for the full video→tiers→cluster→failure→interpolation pipeline.
@@ -45,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub use apec_analysis as analysis;
+pub use apec_audit as audit;
 pub use apec_bitmatrix as bitmatrix;
 pub use apec_cluster as cluster;
 pub use apec_ec as ec;

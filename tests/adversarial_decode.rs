@@ -1,0 +1,219 @@
+//! Adversarial decode inputs must yield typed errors, never panics.
+//!
+//! Every shipped code is driven through the same battery of malformed
+//! stripes: wrong shard counts, truncated and over-long shards,
+//! misaligned lengths, zero-length stripes, and erasure patterns beyond
+//! tolerance. The contract under test is the `ErasureCode` trait's:
+//! validation happens up front and reports `EcError`, so no adversarial
+//! *shape* can reach the algebra and panic — data loss is reported, not
+//! thrown.
+
+use approximate_code::audit::shipped_codes;
+use approximate_code::ec::{EcError, ErasureCode};
+
+/// A valid stripe for `code`: encoded parity appended to patterned data.
+fn valid_stripe(code: &dyn ErasureCode, blocks: usize) -> Vec<Option<Vec<u8>>> {
+    let len = code.shard_alignment() * blocks;
+    let data: Vec<Vec<u8>> = (0..code.data_nodes())
+        .map(|d| (0..len).map(|i| (d * 31 + i * 7) as u8).collect())
+        .collect();
+    let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+    let parity = code.encode(&refs).expect("valid stripe encodes");
+    data.into_iter().chain(parity).map(Some).collect()
+}
+
+#[test]
+fn encode_rejects_wrong_shard_count() {
+    for target in shipped_codes() {
+        let code = target.as_code();
+        let len = code.shard_alignment();
+        let shard = vec![0u8; len];
+        for count in [0, code.data_nodes() - 1, code.data_nodes() + 1] {
+            let data: Vec<&[u8]> = (0..count).map(|_| shard.as_slice()).collect();
+            assert!(
+                matches!(code.encode(&data), Err(EcError::WrongShardCount { .. })),
+                "{}: encode accepted {count} shards (want {})",
+                code.name(),
+                code.data_nodes()
+            );
+        }
+    }
+}
+
+#[test]
+fn encode_rejects_truncated_and_oversized_shards() {
+    for target in shipped_codes() {
+        let code = target.as_code();
+        let len = code.shard_alignment() * 2;
+        let good = vec![0u8; len];
+        for bad_len in [len - 1, len + 1, 0] {
+            let bad = vec![0u8; bad_len];
+            let mut data: Vec<&[u8]> = (0..code.data_nodes()).map(|_| good.as_slice()).collect();
+            *data.last_mut().expect("at least one data shard") = bad.as_slice();
+            let err = code.encode(&data);
+            assert!(
+                err.is_err(),
+                "{}: encode accepted a shard of {bad_len} bytes among {len}-byte shards",
+                code.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn encode_rejects_misaligned_shards() {
+    for target in shipped_codes() {
+        let code = target.as_code();
+        let align = code.shard_alignment();
+        if align == 1 {
+            continue; // every length is aligned
+        }
+        let bad = vec![0u8; align + 1];
+        let data: Vec<&[u8]> = (0..code.data_nodes()).map(|_| bad.as_slice()).collect();
+        assert!(
+            matches!(code.encode(&data), Err(EcError::MisalignedShard { .. })),
+            "{}: encode accepted misaligned {}-byte shards (alignment {align})",
+            code.name(),
+            align + 1
+        );
+    }
+}
+
+#[test]
+fn reconstruct_rejects_wrong_stripe_width() {
+    for target in shipped_codes() {
+        let code = target.as_code();
+        for width in [0, code.total_nodes() - 1, code.total_nodes() + 1] {
+            let mut stripe: Vec<Option<Vec<u8>>> =
+                vec![Some(vec![0u8; code.shard_alignment()]); width];
+            assert!(
+                code.reconstruct(&mut stripe).is_err(),
+                "{}: reconstruct accepted a {width}-shard stripe (want {})",
+                code.name(),
+                code.total_nodes()
+            );
+        }
+    }
+}
+
+#[test]
+fn reconstruct_rejects_inconsistent_shard_lengths() {
+    for target in shipped_codes() {
+        let code = target.as_code();
+        let mut stripe = valid_stripe(code, 2);
+        // Truncate one surviving shard: lengths now disagree.
+        let last = stripe.len() - 1;
+        stripe[last].as_mut().expect("present").pop();
+        stripe[0] = None;
+        assert!(
+            code.reconstruct(&mut stripe).is_err(),
+            "{}: reconstruct accepted a truncated shard",
+            code.name()
+        );
+    }
+}
+
+#[test]
+fn reconstruct_rejects_all_erased_and_beyond_tolerance() {
+    for target in shipped_codes() {
+        let code = target.as_code();
+
+        // Everything erased: nothing to rebuild from.
+        let mut all_gone: Vec<Option<Vec<u8>>> = vec![None; code.total_nodes()];
+        assert!(
+            code.reconstruct(&mut all_gone).is_err(),
+            "{}: reconstruct accepted a fully erased stripe",
+            code.name()
+        );
+
+        // One past the advertised tolerance, erasing parity-heavy
+        // suffixes first so LRC-style codes cannot decode locally.
+        let t = code.fault_tolerance();
+        if t + 1 <= code.total_nodes() {
+            let mut stripe = valid_stripe(code, 1);
+            let n = stripe.len();
+            for i in 0..t + 1 {
+                stripe[n - 1 - i] = None;
+            }
+            match code.reconstruct(&mut stripe) {
+                Ok(()) => {} // legal: tolerance is a guarantee, not a cap
+                Err(
+                    EcError::TooManyErasures { .. } | EcError::UnrecoverablePattern { .. },
+                ) => {}
+                Err(other) => panic!(
+                    "{}: beyond-tolerance erasure yielded the wrong error: {other}",
+                    code.name()
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn solvers_reject_duplicate_and_out_of_range_erasures() {
+    // Element-level solver (array codes): duplicates are deduplicated,
+    // out-of-range indices are a typed error — neither may panic.
+    let star = approximate_code::xor::star(5, 5).expect("valid STAR(5,3)");
+    let spec = star.spec();
+    spec.recovery_plan(&[0, 0, 0])
+        .expect("duplicate erasures of one recoverable element");
+    let total = spec.total_elements();
+    assert!(
+        spec.recovery_plan(&[total + 5]).is_err(),
+        "out-of-range element accepted"
+    );
+    assert!(
+        spec.partial_recovery_plan(&[total]).is_err(),
+        "off-by-one element index accepted"
+    );
+
+    // Node-level planner (Approximate Code): same contract.
+    let appr = approximate_code::approx::ApproxCode::build_named(
+        approximate_code::approx::BaseFamily::Rs,
+        3,
+        1,
+        1,
+        2,
+        approximate_code::approx::Structure::Uneven,
+    )
+    .expect("valid APPR.RS");
+    let dup = appr
+        .plan_for(&[0, 0])
+        .expect("duplicate node erasure within tolerance");
+    assert!(dup.recovers_all());
+    assert!(
+        appr.plan_for(&[appr.total_nodes() + 5]).is_err(),
+        "out-of-range node accepted"
+    );
+}
+
+#[test]
+fn reconstruct_is_a_no_op_on_intact_stripes() {
+    for target in shipped_codes() {
+        let code = target.as_code();
+        let mut stripe = valid_stripe(code, 1);
+        let before = stripe.clone();
+        code.reconstruct(&mut stripe)
+            .unwrap_or_else(|e| panic!("{}: intact stripe rejected: {e}", code.name()));
+        assert_eq!(stripe, before, "{}: intact stripe was modified", code.name());
+    }
+}
+
+#[test]
+fn within_tolerance_erasures_round_trip() {
+    // The positive control for the battery above: worst-case erasure
+    // patterns inside the tolerance must rebuild the exact bytes.
+    for target in shipped_codes() {
+        let code = target.as_code();
+        let t = code.fault_tolerance();
+        let reference = valid_stripe(code, 2);
+        // Erase the *data* prefix — parities alone must carry it.
+        let mut stripe = reference.clone();
+        for shard in stripe.iter_mut().take(t) {
+            *shard = None;
+        }
+        code.reconstruct(&mut stripe)
+            .unwrap_or_else(|e| panic!("{}: tolerance-{t} erasure failed: {e}", code.name()));
+        assert_eq!(stripe, reference, "{}: rebuilt bytes differ", code.name());
+    }
+}

@@ -1,0 +1,32 @@
+//! Offline API stub for `crossbeam` (see tools/offline/README.md).
+//!
+//! Implements `crossbeam::thread::scope` / `Scope::spawn` on top of
+//! `std::thread::scope`. One semantic difference: a panicking worker makes
+//! the std scope panic at join instead of surfacing as `Err`, which is
+//! equivalent for the workspace's `.expect(...)` call sites.
+
+pub mod thread {
+    /// Stub of `crossbeam::thread::Scope`.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            self.inner.spawn(move || f(&scope))
+        }
+    }
+
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}

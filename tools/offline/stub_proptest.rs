@@ -1,0 +1,394 @@
+//! Offline API stub for the `proptest` crate (see tools/offline/README.md).
+//!
+//! Compiled as `--crate-name proptest` by `tools/offline/verify.sh` so the
+//! workspace's property tests can build *and run* without crates.io access.
+//! It implements the subset of proptest the workspace uses:
+//!
+//! * the `proptest!` macro (typed args, `in <strategy>` args, per-block
+//!   `#![proptest_config(...)]`),
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` / `prop_assume!`,
+//! * `any::<T>()`, integer range strategies, `proptest::collection::vec`,
+//!   `Just` and `Strategy::prop_map`.
+//!
+//! Sampling is a plain SplitMix64 sweep — no shrinking, no persistence.
+//! That is deliberately simpler than real proptest but runs the identical
+//! test bodies over the same value domains.
+
+/// Deterministic value source handed to strategies.
+pub mod stubrng {
+    pub struct StubRng {
+        state: u64,
+    }
+
+    impl StubRng {
+        pub fn new(seed: u64) -> Self {
+            StubRng {
+                state: seed ^ 0x6a09_e667_f3bc_c909,
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Stub of `ProptestConfig`: only the case count is honoured.
+    #[derive(Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Per-case outcome used by the assertion macros.
+    pub enum CaseError {
+        /// `prop_assume!` rejected the inputs; resample.
+        Reject,
+        /// `prop_assert*!` failed; abort the test.
+        Fail(String),
+    }
+}
+
+pub mod strategy {
+    use crate::stubrng::StubRng;
+
+    /// Stub `Strategy`: a sampleable value domain.
+    pub trait Strategy {
+        type Value;
+        fn sample(&self, rng: &mut StubRng) -> Self::Value;
+
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Constant strategy.
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StubRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut StubRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    macro_rules! impl_tuple_strategies {
+        ($(($($s:ident/$v:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut StubRng) -> Self::Value {
+                    let ($($v,)+) = self;
+                    ($($v.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategies!((A/a, B/b) (A/a, B/b, C/c) (A/a, B/b, C/c, D/d));
+
+    macro_rules! impl_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StubRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u128;
+                    self.start + (rng.next_u64() as u128 % span) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StubRng) -> $t {
+                    let (a, b) = (*self.start(), *self.end());
+                    assert!(a <= b, "empty range strategy");
+                    let span = (b - a) as u128 + 1;
+                    a + (rng.next_u64() as u128 % span) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeFrom<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StubRng) -> $t {
+                    let span = <$t>::MAX as u128 - self.start as u128 + 1;
+                    self.start + (rng.next_u64() as u128 % span) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategies!(u8, u16, u32, u64, usize);
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::stubrng::StubRng;
+
+    /// Types with a default whole-domain strategy (`any::<T>()`) or a direct
+    /// draw (typed `proptest!` arguments).
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut StubRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StubRng) -> Self { rng.next_u64() as $t }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i32, i64);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StubRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StubRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::stubrng::StubRng;
+
+    /// Length specs accepted by `vec`: a fixed `usize` or a range.
+    pub trait LenSpec {
+        fn sample_len(&self, rng: &mut StubRng) -> usize;
+    }
+
+    impl LenSpec for usize {
+        fn sample_len(&self, _rng: &mut StubRng) -> usize {
+            *self
+        }
+    }
+
+    impl LenSpec for std::ops::Range<usize> {
+        fn sample_len(&self, rng: &mut StubRng) -> usize {
+            assert!(self.start < self.end, "empty vec length range");
+            self.start + (rng.next_u64() as usize % (self.end - self.start))
+        }
+    }
+
+    impl LenSpec for std::ops::RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut StubRng) -> usize {
+            let (a, b) = (*self.start(), *self.end());
+            a + (rng.next_u64() as usize % (b - a + 1))
+        }
+    }
+
+    pub struct VecStrategy<S, L> {
+        elem: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: LenSpec> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StubRng) -> Vec<S::Value> {
+            let n = self.len.sample_len(rng);
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy, L: LenSpec>(elem: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { elem, len }
+    }
+}
+
+pub mod sample {
+    /// Stub of `proptest::sample::Index`: a position scaled to a length.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(pub(crate) u64);
+
+    impl Index {
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl crate::arbitrary::Arbitrary for Index {
+        fn arbitrary(rng: &mut crate::stubrng::StubRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__stub_proptest_fns!{ cfg = ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__stub_proptest_fns!{
+            cfg = (<$crate::test_runner::Config as ::std::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! __stub_proptest_fns {
+    (cfg = ($cfg:expr)) => {};
+    (cfg = ($cfg:expr) $(#[$meta:meta])* fn $name:ident($($args:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let __cfg: $crate::test_runner::Config = $cfg;
+            // Seed per test name so runs are deterministic but distinct.
+            let __seed = ::std::convert::identity::<&str>(stringify!($name))
+                .bytes()
+                .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                    (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+                });
+            let mut __rng = $crate::stubrng::StubRng::new(__seed);
+            let mut __accepted = 0u32;
+            let mut __attempts = 0u32;
+            while __accepted < __cfg.cases {
+                __attempts += 1;
+                assert!(
+                    __attempts <= __cfg.cases.saturating_mul(20).max(1000),
+                    "proptest stub: prop_assume! rejected too many cases in {}",
+                    stringify!($name)
+                );
+                let __outcome: ::std::result::Result<(), $crate::test_runner::CaseError> =
+                    (|| {
+                        $crate::__stub_proptest_bind!(__rng, $($args)*);
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => __accepted += 1,
+                    ::std::result::Result::Err($crate::test_runner::CaseError::Reject) => {}
+                    ::std::result::Result::Err($crate::test_runner::CaseError::Fail(msg)) => {
+                        panic!("property failed in {}: {}", stringify!($name), msg)
+                    }
+                }
+            }
+        }
+        $crate::__stub_proptest_fns!{ cfg = ($cfg) $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! __stub_proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $crate::__stub_proptest_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, $name:ident in $strat:expr) => {
+        let $name = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+    };
+    ($rng:ident, $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name: $ty = $crate::arbitrary::Arbitrary::arbitrary(&mut $rng);
+        $crate::__stub_proptest_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, $name:ident : $ty:ty) => {
+        let $name: $ty = $crate::arbitrary::Arbitrary::arbitrary(&mut $rng);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::CaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::CaseError::Fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(__a == __b) {
+            return ::std::result::Result::Err($crate::test_runner::CaseError::Fail(
+                format!("{:?} != {:?}", __a, __b),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(__a == __b) {
+            return ::std::result::Result::Err($crate::test_runner::CaseError::Fail(
+                format!("{:?} != {:?}: {}", __a, __b, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if __a == __b {
+            return ::std::result::Result::Err($crate::test_runner::CaseError::Fail(
+                format!("both sides equal {:?}", __a),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::CaseError::Reject);
+        }
+    };
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}

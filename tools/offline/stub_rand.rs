@@ -1,0 +1,175 @@
+//! Offline API stub for the `rand` crate (see tools/offline/README.md).
+//!
+//! The verification sandbox has no crates.io access, so `tools/offline/verify.sh`
+//! compiles this file as `--crate-name rand` and links the workspace against it.
+//! It reproduces exactly the API surface the workspace uses — `StdRng`,
+//! `SeedableRng::seed_from_u64`, `random` / `random_range` / `random_bool` /
+//! `fill`, and `SliceRandom::{shuffle, choose}` — backed by a SplitMix64
+//! stream. The statistical quality is irrelevant for these tests; only
+//! determinism per seed matters.
+
+pub mod rngs {
+    /// Deterministic stand-in for `rand::rngs::StdRng` (SplitMix64 core).
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl StdRng {
+        pub(crate) fn from_state(seed: u64) -> Self {
+            StdRng {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        pub fn random<T: crate::StubRandom>(&mut self) -> T {
+            T::from_u64(self.next_u64())
+        }
+
+        pub fn random_range<T, R: crate::SampleRange<T>>(&mut self, range: R) -> T {
+            range.sample(self)
+        }
+
+        pub fn random_bool(&mut self, p: f64) -> bool {
+            (self.next_u64() as f64 / u64::MAX as f64) < p
+        }
+
+        pub fn fill(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let v = self.next_u64().to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&v[..n]);
+            }
+        }
+    }
+}
+
+/// Types producible from a raw 64-bit draw (stub analogue of `Distribution`).
+pub trait StubRandom {
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_stub_random {
+    ($($t:ty),*) => {$(
+        impl StubRandom for $t {
+            fn from_u64(v: u64) -> Self { v as $t }
+        }
+    )*};
+}
+impl_stub_random!(u8, u16, u32, u64, usize, i32, i64);
+
+impl StubRandom for bool {
+    fn from_u64(v: u64) -> Self {
+        v & 1 == 1
+    }
+}
+
+impl StubRandom for f64 {
+    fn from_u64(v: u64) -> Self {
+        v as f64 / u64::MAX as f64
+    }
+}
+
+/// Ranges a value can be drawn from (stub analogue of `SampleRange`).
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut rngs::StdRng) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                assert!(self.start < self.end, "empty random_range");
+                let span = (self.end - self.start) as u128;
+                self.start + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                let (a, b) = (*self.start(), *self.end());
+                assert!(a <= b, "empty random_range");
+                let span = (b - a) as u128 + 1;
+                a + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                assert!(self.start < self.end, "empty random_range");
+                let frac = rng.next_u64() as $t / u64::MAX as $t;
+                self.start + frac * (self.end - self.start)
+            }
+        }
+    )*};
+}
+impl_sample_range_float!(f32, f64);
+
+/// Seeding trait matching the call form `StdRng::seed_from_u64(s)`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::StdRng::from_state(seed)
+    }
+}
+
+/// Slice helpers matching `rand::seq::SliceRandom` as used in the workspace.
+pub trait SliceRandom {
+    type Item;
+    fn shuffle(&mut self, rng: &mut rngs::StdRng);
+    fn choose(&self, rng: &mut rngs::StdRng) -> Option<&Self::Item>;
+    fn choose_multiple(
+        &self,
+        rng: &mut rngs::StdRng,
+        amount: usize,
+    ) -> std::vec::IntoIter<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle(&mut self, rng: &mut rngs::StdRng) {
+        for i in (1..self.len()).rev() {
+            let j = rng.random_range(0..i + 1);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose(&self, rng: &mut rngs::StdRng) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.random_range(0..self.len())])
+        }
+    }
+
+    fn choose_multiple(&self, rng: &mut rngs::StdRng, amount: usize) -> std::vec::IntoIter<&T> {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(rng);
+        order.truncate(amount.min(self.len()));
+        order
+            .into_iter()
+            .map(|i| &self[i])
+            .collect::<Vec<&T>>()
+            .into_iter()
+    }
+}
+
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::{SampleRange, SeedableRng, SliceRandom, StubRandom};
+}

@@ -1,0 +1,174 @@
+#!/usr/bin/env bash
+# Offline tier-1 verification for sandboxes without crates.io access.
+#
+# `cargo build && cargo test` need the real registry; when it is
+# unreachable this script reproduces the same coverage with direct rustc
+# invocations: it compiles API stubs for the four external dependencies
+# (rand, proptest, parking_lot, crossbeam — see the stub_*.rs headers),
+# builds every workspace crate against them in dependency order, then
+# compiles and runs each crate's unit tests and the root integration
+# tests. The cli and bench crates need serde derive macros and are
+# compile-skipped here; CI covers them.
+#
+# Usage: tools/offline/verify.sh [--asan] [--clippy]
+#   --asan    additionally run the gf/ec kernel tests under AddressSanitizer
+#             (nightly rustc with -Zsanitizer=address, real SIMD paths)
+#   --clippy  additionally lint every compiled crate with clippy-driver
+set -euo pipefail
+
+REPO="$(cd "$(dirname "$0")/../.." && pwd)"
+OUT="${APEC_OFFLINE_OUT:-/tmp/apec-offline}"
+EDITION=2021
+RUN_ASAN=0
+RUN_CLIPPY=0
+for arg in "$@"; do
+  case "$arg" in
+    --asan) RUN_ASAN=1 ;;
+    --clippy) RUN_CLIPPY=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+LIBDIR="$OUT/rlibs"
+TESTDIR="$OUT/tests"
+mkdir -p "$LIBDIR" "$TESTDIR"
+
+RUSTC="${RUSTC:-rustc}"
+COMMON=(--edition "$EDITION" -O -L "dependency=$LIBDIR")
+
+# crate-name -> root source path, in dependency order.
+CRATES=(
+  "apec_gf:crates/gf/src/lib.rs:"
+  "apec_bitmatrix:crates/bitmatrix/src/lib.rs:apec_gf"
+  "apec_ec:crates/ec/src/lib.rs:apec_gf crossbeam parking_lot"
+  "apec_rs:crates/rs/src/lib.rs:apec_gf apec_ec parking_lot"
+  "apec_lrc:crates/lrc/src/lib.rs:apec_gf apec_ec apec_rs"
+  "apec_xor:crates/xor/src/lib.rs:apec_gf apec_ec apec_bitmatrix parking_lot"
+  "approx_code:crates/core/src/lib.rs:apec_gf apec_bitmatrix apec_ec apec_rs apec_lrc apec_xor parking_lot"
+  "apec_video:crates/video/src/lib.rs:rand"
+  "apec_recovery:crates/recovery/src/lib.rs:apec_video"
+  "apec_analysis:crates/analysis/src/lib.rs:approx_code apec_ec rand"
+  "apec_cluster:crates/cluster/src/lib.rs:apec_ec apec_rs apec_lrc apec_xor approx_code parking_lot rand"
+  "apec_audit:crates/audit/src/lib.rs:apec_gf apec_bitmatrix apec_ec apec_rs apec_lrc apec_xor approx_code"
+  "approximate_code:src/lib.rs:apec_gf apec_bitmatrix apec_ec apec_rs apec_lrc apec_xor approx_code apec_video apec_recovery apec_analysis apec_cluster apec_audit rand"
+)
+
+STUBS=(
+  "rand:tools/offline/stub_rand.rs"
+  "proptest:tools/offline/stub_proptest.rs"
+  "parking_lot:tools/offline/stub_parking_lot.rs"
+  "crossbeam:tools/offline/stub_crossbeam.rs"
+)
+
+externs_for() {
+  local deps="$1" e=()
+  for d in $deps; do
+    e+=(--extern "$d=$LIBDIR/lib$d.rlib")
+  done
+  echo "${e[@]}"
+}
+
+echo "== building dependency stubs"
+for entry in "${STUBS[@]}"; do
+  name="${entry%%:*}"; src="${entry#*:}"
+  "$RUSTC" "${COMMON[@]}" --crate-name "$name" --crate-type rlib \
+    "$REPO/$src" -o "$LIBDIR/lib$name.rlib" --cap-lints allow
+done
+
+echo "== building workspace crates"
+for entry in "${CRATES[@]}"; do
+  IFS=: read -r name src deps <<<"$entry"
+  [ -f "$REPO/$src" ] || { echo "  skip $name (missing $src)"; continue; }
+  # shellcheck disable=SC2046
+  "$RUSTC" "${COMMON[@]}" --crate-name "$name" --crate-type rlib \
+    $(externs_for "$deps") "$REPO/$src" -o "$LIBDIR/lib$name.rlib"
+  echo "  lib $name ok"
+done
+
+echo "== building + running unit tests"
+# Tests skipped ONLY under the stub RNG: they assert statistical quality
+# (PSNR bars) of synthetic video generated from the exact StdRng stream,
+# which the SplitMix64 stub cannot reproduce. CI runs them with real rand.
+skips_for() {
+  case "$1" in
+    apec_recovery) echo "--skip block_motion_clears_35db_and_rivals_global" ;;
+    *) echo "" ;;
+  esac
+}
+for entry in "${CRATES[@]}"; do
+  IFS=: read -r name src deps <<<"$entry"
+  [ -f "$REPO/$src" ] || continue
+  # shellcheck disable=SC2046
+  "$RUSTC" "${COMMON[@]}" --crate-name "$name" --test \
+    $(externs_for "$deps") \
+    --extern proptest="$LIBDIR/libproptest.rlib" \
+    --extern rand="$LIBDIR/librand.rlib" \
+    "$REPO/$src" -o "$TESTDIR/$name-test"
+  # shellcheck disable=SC2046
+  "$TESTDIR/$name-test" --test-threads "$(nproc)" -q $(skips_for "$name")
+  echo "  unit $name ok"
+done
+
+echo "== building + running integration tests"
+ROOT_EXTERNS=(--extern approximate_code="$LIBDIR/libapproximate_code.rlib"
+  --extern rand="$LIBDIR/librand.rlib"
+  --extern proptest="$LIBDIR/libproptest.rlib")
+for d in apec_gf apec_bitmatrix apec_ec apec_rs apec_lrc apec_xor approx_code \
+         apec_video apec_recovery apec_analysis apec_cluster apec_audit; do
+  ROOT_EXTERNS+=(--extern "$d=$LIBDIR/lib$d.rlib")
+done
+for t in "$REPO"/tests/*.rs; do
+  name="$(basename "$t" .rs)"
+  "$RUSTC" "${COMMON[@]}" --crate-name "$name" --test "${ROOT_EXTERNS[@]}" \
+    "$t" -o "$TESTDIR/it-$name"
+  "$TESTDIR/it-$name" --test-threads "$(nproc)" -q
+  echo "  integration $name ok"
+done
+
+if [ "$RUN_CLIPPY" = 1 ]; then
+  echo "== clippy (offline, per-crate)"
+  CLIPPY="${CLIPPY_DRIVER:-clippy-driver}"
+  for entry in "${CRATES[@]}"; do
+    IFS=: read -r name src deps <<<"$entry"
+    [ -f "$REPO/$src" ] || continue
+    # shellcheck disable=SC2046
+    "$CLIPPY" "${COMMON[@]}" --crate-name "$name" --crate-type rlib \
+      $(externs_for "$deps") "$REPO/$src" -o "$LIBDIR/lib$name.rlib" \
+      -W clippy::all -D warnings
+    echo "  clippy $name ok"
+  done
+fi
+
+if [ "$RUN_ASAN" = 1 ]; then
+  echo "== AddressSanitizer lane (nightly, real SIMD paths)"
+  ASAN_OUT="$OUT/asan"
+  mkdir -p "$ASAN_OUT/rlibs" "$ASAN_OUT/tests"
+  NIGHTLY=(rustc +nightly --edition "$EDITION" -O -Zsanitizer=address
+    -L "dependency=$ASAN_OUT/rlibs")
+  for entry in "${STUBS[@]}"; do
+    name="${entry%%:*}"; src="${entry#*:}"
+    "${NIGHTLY[@]}" --crate-name "$name" --crate-type rlib \
+      "$REPO/$src" -o "$ASAN_OUT/rlibs/lib$name.rlib" --cap-lints allow
+  done
+  for entry in "${CRATES[@]}"; do
+    IFS=: read -r name src deps <<<"$entry"
+    [ -f "$REPO/$src" ] || continue
+    e=()
+    for d in $deps; do e+=(--extern "$d=$ASAN_OUT/rlibs/lib$d.rlib"); done
+    "${NIGHTLY[@]}" --crate-name "$name" --crate-type rlib \
+      "${e[@]}" "$REPO/$src" -o "$ASAN_OUT/rlibs/lib$name.rlib"
+    case "$name" in
+      apec_gf|apec_bitmatrix|apec_ec|apec_rs|apec_xor|apec_audit)
+        "${NIGHTLY[@]}" --crate-name "$name" --test \
+          "${e[@]}" \
+          --extern proptest="$ASAN_OUT/rlibs/libproptest.rlib" \
+          --extern rand="$ASAN_OUT/rlibs/librand.rlib" \
+          "$REPO/$src" -o "$ASAN_OUT/tests/$name-test"
+        ASAN_OPTIONS=detect_leaks=1 "$ASAN_OUT/tests/$name-test" -q
+        echo "  asan $name ok"
+        ;;
+    esac
+  done
+fi
+
+echo "offline verification passed"
