@@ -6,7 +6,7 @@
 //! erasure pattern nobody generated. This crate closes that gap by
 //! checking the *algebra* instead of sampling behaviour:
 //!
-//! 1. **Generator extraction** ([`probe`]): every code is a linear map
+//! 1. **Generator extraction** ([`probe()`]): every code is a linear map
 //!    over GF(2^8), so encoding unit stripes recovers its full generator
 //!    matrix — with linearity itself verified, not assumed.
 //! 2. **Decodability sweeps** ([`policy`]): for each family the exact
@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod plans;
 pub mod policy;
 pub mod probe;
 pub mod registry;
@@ -120,7 +121,7 @@ pub struct CodeReport {
     /// construction nevertheless fails to decode (legal unless the code
     /// claims maximal recoverability, but worth watching).
     pub conservative_patterns: usize,
-    /// Recorded failure messages (capped at [`MAX_RECORDED_FAILURES`]).
+    /// Recorded failure messages (capped at `MAX_RECORDED_FAILURES`).
     pub failures: Vec<String>,
     /// Failures beyond the recording cap.
     pub suppressed_failures: usize,
@@ -208,7 +209,10 @@ pub fn audit_target(target: &AuditTarget) -> CodeReport {
         }
     };
     match target {
-        AuditTarget::Mds { r, .. } => policy::check_mds(&gen, *r, &mut report),
+        AuditTarget::Mds { r, code } => {
+            policy::check_mds(&gen, *r, &mut report);
+            plans::check_plans(code.as_ref(), &gen, *r, *r, &mut report);
+        }
         AuditTarget::Array { code } => {
             let tolerance = code.fault_tolerance();
             policy::check_mds(&gen, tolerance, &mut report);
@@ -218,8 +222,13 @@ pub fn audit_target(target: &AuditTarget) -> CodeReport {
                 tolerance + 1,
                 &mut report,
             );
+            plans::check_plans(code, &gen, tolerance + 1, tolerance, &mut report);
         }
-        AuditTarget::Lrc { code } => policy::check_lrc(&gen, code, &mut report),
+        AuditTarget::Lrc { code } => {
+            policy::check_lrc(&gen, code, &mut report);
+            let tolerance = code.fault_tolerance();
+            plans::check_plans(code, &gen, tolerance, tolerance, &mut report);
+        }
         AuditTarget::Approx { code } => {
             policy::check_approx(&gen, code, &mut report);
             let spec = match &code.layout().engine {
@@ -232,8 +241,18 @@ pub fn audit_target(target: &AuditTarget) -> CodeReport {
                 code.important_fault_tolerance() + 1,
                 &mut report,
             );
+            // Tiered planners never refuse a pattern; they return partial
+            // plans with proven-unsolvable remainders instead.
+            plans::check_plans(
+                code,
+                &gen,
+                code.important_fault_tolerance() + 1,
+                usize::MAX,
+                &mut report,
+            );
         }
     }
+    policy::check_update_pattern(&gen, code, &mut report);
     report
 }
 
@@ -316,6 +335,11 @@ mod tests {
             "{}",
             report.render()
         );
+        // And the repair-plan verifier covers *every* shipped code: all 13
+        // emit native plans now, so all 13 must have verified plans.
+        for r in &report.codes {
+            assert!(r.plans_verified > 0, "{} verified no plans", r.code);
+        }
     }
 
     #[test]
@@ -337,6 +361,23 @@ mod tests {
                 .any(|f| f.contains("MDS violation")),
             "failures: {:?}",
             report.failures
+        );
+        // The repair-plan verifier catches it independently: the inner
+        // planner's coefficients disagree with the zeroed parity row. Run
+        // it on a fresh report so the rank sweep's failures cannot crowd
+        // the message out of the recording cap.
+        let inner = ReedSolomon::new(4, 2, MatrixKind::Vandermonde).unwrap();
+        let code = SabotagedCode::new(Box::new(inner));
+        let gen = probe::probe(&code).unwrap();
+        let mut plan_report = CodeReport::new(code.name(), &code);
+        plans::check_plans(&code, &gen, 2, 2, &mut plan_report);
+        assert!(
+            plan_report
+                .failures
+                .iter()
+                .any(|f| f.contains("algebraically wrong")),
+            "failures: {:?}",
+            plan_report.failures
         );
     }
 

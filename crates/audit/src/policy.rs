@@ -155,6 +155,34 @@ pub fn check_lrc(gen: &ProbedGenerator, lrc: &Lrc, report: &mut CodeReport) {
     }
 }
 
+/// Update-pattern audit: the advertised `parity_writes` must equal the
+/// average number of parity elements with a nonzero coefficient in a data
+/// element's generator column — a data-element write dirties exactly the
+/// parity elements whose equations mention it, so anything else misprices
+/// the paper's single-write-overhead metric.
+pub fn check_update_pattern(
+    gen: &ProbedGenerator,
+    code: &dyn apec_ec::ErasureCode,
+    report: &mut CodeReport,
+) {
+    let cols = gen.cols();
+    let mut touched = 0usize;
+    for node in gen.data_nodes..gen.total_nodes {
+        for offset in 0..gen.shard_len {
+            touched += gen.row(node, offset).iter().filter(|c| !c.is_zero()).count();
+        }
+    }
+    let algebraic = touched as f64 / cols as f64;
+    let claimed = code.update_pattern().parity_writes;
+    if (claimed - algebraic).abs() > 1e-9 {
+        report.fail(format!(
+            "update_pattern().parity_writes = {claimed} but the probed \
+             generator has {algebraic} nonzero parity coefficients per data \
+             column"
+        ));
+    }
+}
+
 /// Approximate-Code audit: the layout's own claims versus the algebra.
 pub fn check_approx(gen: &ProbedGenerator, code: &ApproxCode, report: &mut CodeReport) {
     use apec_ec::ErasureCode;
@@ -230,6 +258,24 @@ mod tests {
         assert_eq!(seen.len(), 10);
         seen.dedup();
         assert_eq!(seen.len(), 10, "no duplicates");
+    }
+
+    #[test]
+    fn update_pattern_overclaims_are_caught() {
+        use crate::registry::SabotagedCode;
+        // Zeroing a parity row halves the true write fan-out of RS(4,2),
+        // but the wrapper still advertises the inner code's r = 2.
+        let inner = apec_rs::ReedSolomon::new(4, 2, apec_rs::MatrixKind::Vandermonde).unwrap();
+        let code = SabotagedCode::new(Box::new(inner));
+        let gen = crate::probe::probe(&code).unwrap();
+        let mut report = crate::CodeReport::new(apec_ec::ErasureCode::name(&code), &code);
+        check_update_pattern(&gen, &code, &mut report);
+        assert!(!report.passed());
+        assert!(
+            report.failures.iter().any(|f| f.contains("parity_writes")),
+            "failures: {:?}",
+            report.failures
+        );
     }
 
     #[test]

@@ -112,6 +112,17 @@ impl ErasureCode for SabotagedCode {
         self.inner.reconstruct(shards)
     }
 
+    fn plan_repair(
+        &self,
+        erased: &[usize],
+        wanted: &[usize],
+    ) -> Result<apec_ec::RepairPlan, EcError> {
+        // Delegate to the inner planner: its coefficients describe the
+        // *unsabotaged* generator, so the symbolic plan check must notice
+        // the mismatch against the probed (zeroed-parity) matrix.
+        self.inner.plan_repair(erased, wanted)
+    }
+
     fn update_pattern(&self) -> UpdatePattern {
         self.inner.update_pattern()
     }

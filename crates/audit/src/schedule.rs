@@ -12,7 +12,7 @@
 //! unit vectors; parity elements are folded from their declared support
 //! in encoding order. Three facts are then checked exhaustively:
 //!
-//! 1. the symbolic values agree with the [probed generator](crate::probe)
+//! 1. the symbolic values agree with the [probed generator](crate::probe())
 //!    — i.e. the shipped encode path implements the spec's equations;
 //! 2. every step of every compiled schedule reads only surviving or
 //!    already-rebuilt elements and its right-hand side *symbolically

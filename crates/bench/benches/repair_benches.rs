@@ -1,0 +1,277 @@
+//! Repair-path benchmarks: legacy whole-stripe `reconstruct` versus the
+//! plan-IR executor, full versus partial decode.
+//!
+//! Two outputs per run:
+//!
+//! 1. Criterion groups (`repair/*`) with statistically robust per-mode
+//!    timings, for regression tracking.
+//! 2. `BENCH_repair.json` at the repository root — a compact
+//!    machine-readable summary (median repair latency per code x erasure
+//!    pattern x mode, plus each plan's shard-read/rebuild footprint) used
+//!    by the acceptance criteria: the pooled executor must not regress
+//!    against `reconstruct`, and partial decode must beat full repair on
+//!    single-erasure degraded reads.
+//!
+//! Modes:
+//! - `reconstruct_full`: the pre-plan repair path — assemble an owned
+//!   `Vec<Option<Vec<u8>>>` stripe (cloning every survivor, as the old
+//!   cluster store did) and call [`ErasureCode::reconstruct`].
+//! - `plan_full_pooled`: `plan_repair(erased, erased)` executed through
+//!   the pooled [`RepairScratch`] arena — zero per-call allocation warm.
+//! - `plan_partial_pooled`: `plan_repair(erased, wanted)` with
+//!   `wanted` a strict subset of `erased` — the degraded-read shape.
+
+use apec_ec::{ErasureCode, RepairPlan, RepairScratch};
+use apec_lrc::Lrc;
+use apec_rs::{MatrixKind, ReedSolomon};
+use approx_code::{ApproxCode, BaseFamily, Structure};
+use criterion::{BenchmarkId, Criterion, Throughput};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::time::Instant;
+
+/// Target shard size; rounded down to the code's alignment.
+const TARGET_SHARD: usize = 64 << 10;
+
+/// One benchmarked repair situation: a code, a set of dead nodes, and the
+/// decode targets exercised against it. A `None` wanted set means the
+/// legacy whole-stripe `reconstruct` path.
+struct Scenario {
+    code: Box<dyn ErasureCode>,
+    erased: Vec<usize>,
+    modes: Vec<(&'static str, Option<Vec<usize>>)>,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        // MDS double failure: the plan executor must hold its own on the
+        // worst case (every survivor read, both shards recomputed), and
+        // partial decode of one of the two lost shards must be cheaper.
+        Scenario {
+            code: Box::new(ReedSolomon::new(6, 3, MatrixKind::Vandermonde).unwrap()),
+            erased: vec![0, 8],
+            modes: vec![
+                ("reconstruct_full", None),
+                ("plan_full_pooled", Some(vec![0, 8])),
+                ("plan_partial_pooled", Some(vec![0])),
+            ],
+        },
+        // Single-erasure degraded reads: one data shard down, the client
+        // wants exactly that shard. RS still reads k survivors either way,
+        // so this isolates the executor/allocation overhead...
+        Scenario {
+            code: Box::new(ReedSolomon::new(6, 3, MatrixKind::Vandermonde).unwrap()),
+            erased: vec![0],
+            modes: vec![
+                ("reconstruct_full", None),
+                ("plan_full_pooled", Some(vec![0])),
+            ],
+        },
+        // ...while LRC's planner reads only the failed shard's local
+        // group, so the plan path wins on I/O and on time.
+        Scenario {
+            code: Box::new(Lrc::new(6, 2, 2).unwrap()),
+            erased: vec![0],
+            modes: vec![
+                ("reconstruct_full", None),
+                ("plan_full_pooled", Some(vec![0])),
+            ],
+        },
+        // Approximate framework code (STAR base): degraded read of one
+        // important data node through the tiered planner.
+        Scenario {
+            code: Box::new(
+                ApproxCode::build_named(BaseFamily::Star, 3, 1, 1, 2, Structure::Uneven).unwrap(),
+            ),
+            erased: vec![0],
+            modes: vec![
+                ("reconstruct_full", None),
+                ("plan_full_pooled", Some(vec![0])),
+            ],
+        },
+    ]
+}
+
+/// An encoded stripe shared by every mode of one scenario.
+struct Fixture {
+    stripe: Vec<Vec<u8>>,
+    shard_len: usize,
+}
+
+fn encode_stripe(code: &dyn ErasureCode, seed: u64) -> Fixture {
+    let align = code.shard_alignment();
+    let shard_len = (TARGET_SHARD / align).max(1) * align;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<Vec<u8>> = (0..code.data_nodes())
+        .map(|_| {
+            let mut v = vec![0u8; shard_len];
+            rng.fill(v.as_mut_slice());
+            v
+        })
+        .collect();
+    let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+    let parity = code.encode(&refs).unwrap();
+    let stripe: Vec<Vec<u8>> = data.into_iter().chain(parity).collect();
+    Fixture { stripe, shard_len }
+}
+
+/// The legacy repair path, including the stripe-assembly cost callers
+/// used to pay on every degraded read.
+fn run_reconstruct(code: &dyn ErasureCode, stripe: &[Vec<u8>], erased: &[usize]) {
+    let mut working: Vec<Option<Vec<u8>>> = stripe
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (!erased.contains(&i)).then(|| s.clone()))
+        .collect();
+    code.reconstruct(&mut working).unwrap();
+    std::hint::black_box(&working);
+}
+
+/// Warm plan execution state: the plan, borrowed survivors, and the
+/// pooled scratch/output buffers reused across calls.
+struct PlanRunner<'a> {
+    code: &'a dyn ErasureCode,
+    plan: RepairPlan,
+    shards: Vec<Option<&'a [u8]>>,
+    scratch: RepairScratch,
+    out: Vec<Vec<u8>>,
+}
+
+impl<'a> PlanRunner<'a> {
+    fn new(
+        code: &'a dyn ErasureCode,
+        stripe: &'a [Vec<u8>],
+        erased: &[usize],
+        wanted: &[usize],
+    ) -> Self {
+        let plan = code.plan_repair(erased, wanted).unwrap();
+        let shards: Vec<Option<&[u8]>> = stripe
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (!erased.contains(&i)).then(|| s.as_slice()))
+            .collect();
+        let mut runner = PlanRunner {
+            code,
+            plan,
+            shards,
+            scratch: RepairScratch::new(),
+            out: vec![Vec::new(); wanted.len()],
+        };
+        runner.run(); // warm the arena so steady-state calls allocate nothing
+        runner
+    }
+
+    fn run(&mut self) {
+        self.code
+            .execute_plan(&self.plan, &self.shards, &mut self.scratch, &mut self.out)
+            .unwrap();
+        std::hint::black_box(&self.out);
+    }
+}
+
+fn bench_repair(c: &mut Criterion) {
+    for scenario in scenarios() {
+        let code = scenario.code.as_ref();
+        let fixture = encode_stripe(code, 17);
+        let mut g = c.benchmark_group(format!("repair/{}", code.name()));
+        g.throughput(Throughput::Bytes(
+            (fixture.shard_len * scenario.erased.len()) as u64,
+        ));
+        for (mode, wanted) in &scenario.modes {
+            match wanted {
+                None => {
+                    g.bench_function(
+                        BenchmarkId::new(*mode, format!("{:?}", scenario.erased)),
+                        |b| b.iter(|| run_reconstruct(code, &fixture.stripe, &scenario.erased)),
+                    );
+                }
+                Some(wanted) => {
+                    let mut runner =
+                        PlanRunner::new(code, &fixture.stripe, &scenario.erased, wanted);
+                    g.bench_function(
+                        BenchmarkId::new(*mode, format!("{:?}", scenario.erased)),
+                        |b| b.iter(|| runner.run()),
+                    );
+                }
+            }
+        }
+        g.finish();
+    }
+}
+
+/// Median wall-clock microseconds per repair over `reps` timed samples
+/// (after one warm-up sample), `inner` repairs per sample.
+fn median_micros(mut f: impl FnMut()) -> f64 {
+    let inner = 8;
+    let reps = 9;
+    let mut samples = Vec::with_capacity(reps);
+    for rep in 0..=reps {
+        let t = Instant::now();
+        for _ in 0..inner {
+            f();
+        }
+        let micros = t.elapsed().as_secs_f64() * 1e6 / inner as f64;
+        if rep > 0 {
+            samples.push(micros);
+        }
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// Writes the machine-readable summary consumed by the acceptance
+/// criteria. Lives at the repo root so CI artifacts and humans find it
+/// without digging through `target/criterion`.
+fn write_bench_json() {
+    let mut entries = Vec::new();
+    for scenario in scenarios() {
+        let code = scenario.code.as_ref();
+        let fixture = encode_stripe(code, 17);
+        let n = code.total_nodes();
+        for (mode, wanted) in &scenario.modes {
+            let (micros, read_shards, rebuilt_shards) = match wanted {
+                None => {
+                    let micros = median_micros(|| {
+                        run_reconstruct(code, &fixture.stripe, &scenario.erased)
+                    });
+                    (
+                        micros,
+                        (n - scenario.erased.len()) as f64,
+                        scenario.erased.len() as f64,
+                    )
+                }
+                Some(wanted) => {
+                    let mut runner =
+                        PlanRunner::new(code, &fixture.stripe, &scenario.erased, wanted);
+                    let reads = runner.plan.total_read_fraction();
+                    let writes: f64 = (0..n).map(|i| runner.plan.write_fraction(i)).sum();
+                    (median_micros(|| runner.run()), reads, writes)
+                }
+            };
+            entries.push(format!(
+                "    {{\"code\": \"{}\", \"erased\": {:?}, \"mode\": \"{mode}\", \
+                 \"shard_bytes\": {}, \"micros_per_repair\": {micros:.1}, \
+                 \"read_shards\": {read_shards:.2}, \"rebuilt_shards\": {rebuilt_shards:.2}}}",
+                code.name(),
+                scenario.erased,
+                fixture.shard_len,
+            ));
+        }
+    }
+    let doc = format!(
+        "{{\n  \"bench\": \"repair-plan-executor\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_repair.json");
+    match std::fs::write(path, doc) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    write_bench_json();
+    let mut c = Criterion::default().configure_from_args();
+    bench_repair(&mut c);
+    c.final_summary();
+}

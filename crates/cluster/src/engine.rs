@@ -34,8 +34,24 @@ pub struct Resource {
 
 impl Resource {
     /// Service duration for `bytes` of work, in ns.
+    ///
+    /// Computed as `ceil(bytes * 1e9 / rate)` in u128 integer arithmetic
+    /// whenever the configured rate is an integral number of bytes/sec
+    /// (every built-in hardware profile is), so nanosecond schedules stay
+    /// exact for multi-GB tasks instead of drifting through `f64` rounding
+    /// — an f64 loses integer precision past 2^53, which a few GB at ns
+    /// granularity already exceeds. Fractional rates fall back to floats.
     fn service_ns(&self, bytes: u64) -> u64 {
-        let transfer = (bytes as f64 / self.bytes_per_sec * 1e9).ceil() as u64;
+        let transfer = if self.bytes_per_sec.fract() == 0.0
+            && self.bytes_per_sec >= 1.0
+            && self.bytes_per_sec <= u64::MAX as f64
+        {
+            let rate = self.bytes_per_sec as u128;
+            let exact = (bytes as u128 * 1_000_000_000).div_ceil(rate);
+            u64::try_from(exact).unwrap_or(u64::MAX)
+        } else {
+            (bytes as f64 / self.bytes_per_sec * 1e9).ceil() as u64
+        };
         self.op_latency_ns + transfer
     }
 }
@@ -251,6 +267,34 @@ mod tests {
         }
         let s = sim.run();
         assert_eq!(s.makespan_ns, 15_000_000);
+    }
+
+    #[test]
+    fn service_time_is_exact_for_huge_transfers() {
+        // Past 2^53 bytes an f64 can no longer represent the byte count,
+        // so the old float path silently rounded the schedule. The integer
+        // path must stay ns-exact.
+        let r = Resource {
+            name: "nic".into(),
+            bytes_per_sec: 1e9,
+            op_latency_ns: 0,
+        };
+        let bytes = (1u64 << 53) + 1; // ~9 PB, unrepresentable in f64
+        assert_eq!(r.service_ns(bytes), bytes, "1 B/ns rate: ns == bytes");
+        // Exact ceiling division on a non-multiple.
+        let slow = Resource {
+            name: "disk".into(),
+            bytes_per_sec: 3.0,
+            op_latency_ns: 0,
+        };
+        assert_eq!(slow.service_ns(10), 3_333_333_334);
+        // Fractional rates still work through the float fallback.
+        let frac = Resource {
+            name: "half".into(),
+            bytes_per_sec: 0.5,
+            op_latency_ns: 0,
+        };
+        assert_eq!(frac.service_ns(1), 2_000_000_000);
     }
 
     #[test]

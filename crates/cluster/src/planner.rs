@@ -1,19 +1,18 @@
 //! Repair profiles: what a node repair must read, compute and write.
 //!
-//! The timing model is codec-agnostic; this module extracts, for each
-//! codec family, the *shape* of a repair from the codec's own decode
-//! machinery. A profile is a set of [`RepairGroup`]s — one per failed
-//! node, each rebuilt by its own worker (HDFS-style distributed
-//! reconstruction) — so the simulator naturally captures both the
-//! parallelism of independent local repairs (Approximate Code's whole
-//! point) and the source-disk contention when several workers pull from
-//! the same survivors (plain RS's curse).
+//! The timing model is codec-agnostic: a profile is derived entirely from
+//! the codec's own [`ErasureCode::plan_repair`] — one [`RepairGroup`] per
+//! failed node, each a *partial decode* plan for just that node (HDFS-style
+//! distributed reconstruction, one rebuild worker per failure) — so the
+//! simulator naturally captures both the parallelism of independent local
+//! repairs (Approximate Code's whole point) and the source-disk contention
+//! when several workers pull from the same survivors (plain RS's curse).
+//!
+//! There is no per-family code here any more: the per-codec repair shapes
+//! the old planner re-derived by hand (and could silently get wrong) now
+//! come straight from the plan IR the codecs themselves execute.
 
 use apec_ec::{EcError, ErasureCode};
-use apec_lrc::Lrc;
-use apec_rs::ReedSolomon;
-use apec_xor::ArrayCode;
-use approx_code::ApproxCode;
 
 /// The rebuild of one failed node.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,191 +67,33 @@ pub trait RepairPlanner {
     fn repair_profile(&self, failed: &[usize]) -> Result<RepairProfile, EcError>;
 }
 
-impl RepairPlanner for ReedSolomon {
+/// Every erasure code is a repair planner: each failed node's group is the
+/// partial-decode plan for that node alone, so profile numbers and executed
+/// repairs agree by construction.
+impl<C: ErasureCode + ?Sized> RepairPlanner for C {
     fn repair_profile(&self, failed: &[usize]) -> Result<RepairProfile, EcError> {
         let n = self.total_nodes();
-        let k = self.data_nodes();
-        if failed.len() > self.fault_tolerance() {
-            return Err(EcError::TooManyErasures {
-                missing: failed.to_vec(),
-                tolerance: self.fault_tolerance(),
-            });
-        }
-        // Matrix decode: every rebuild worker fetches the same k
-        // survivors in full and pays k multiply-accumulate passes.
-        let sources: Vec<(usize, f64)> = (0..n)
-            .filter(|node| !failed.contains(node))
-            .take(k)
-            .map(|node| (node, 1.0))
-            .collect();
-        Ok(RepairProfile {
-            n_nodes: n,
-            groups: failed
-                .iter()
-                .map(|&f| RepairGroup {
-                    target: f,
-                    reads: sources.clone(),
-                    write_fraction: 1.0,
-                    compute_shards: k as f64,
-                })
-                .collect(),
-        })
-    }
-}
-
-impl RepairPlanner for Lrc {
-    fn repair_profile(&self, failed: &[usize]) -> Result<RepairProfile, EcError> {
-        let n = self.total_nodes();
-        let k = self.data_nodes();
-        let group_members = |g: usize| -> Vec<usize> {
-            let mut m = self.groups()[g].clone();
-            m.push(self.local_parity_index(g));
-            m
-        };
-        let mut groups = Vec::new();
+        let mut groups = Vec::with_capacity(failed.len());
         for &f in failed {
-            let group = if f < k {
-                Some(self.group_of(f))
-            } else if f < k + self.local_groups() {
-                Some(f - k)
-            } else {
-                None
-            };
-            let local_ok = group.is_some_and(|g| {
-                group_members(g)
-                    .iter()
-                    .filter(|&&m| failed.contains(&m))
-                    .count()
-                    == 1
-            });
-            if let (true, Some(g)) = (local_ok, group) {
-                // Cheap local path: read the surviving group members only.
-                let reads: Vec<(usize, f64)> = group_members(g)
-                    .into_iter()
-                    .filter(|&m| m != f)
-                    .map(|m| (m, 1.0))
-                    .collect();
-                let cost = reads.len() as f64;
-                groups.push(RepairGroup {
-                    target: f,
-                    reads,
-                    write_fraction: 1.0,
-                    compute_shards: cost,
-                });
-            } else {
-                // Global decode: k independent survivors.
-                let sources: Vec<(usize, f64)> = (0..n)
-                    .filter(|node| !failed.contains(node))
-                    .take(k)
-                    .map(|node| (node, 1.0))
-                    .collect();
-                if sources.len() < k {
-                    return Err(EcError::TooManyErasures {
-                        missing: failed.to_vec(),
-                        tolerance: self.fault_tolerance(),
-                    });
-                }
-                groups.push(RepairGroup {
-                    target: f,
-                    reads: sources,
-                    write_fraction: 1.0,
-                    compute_shards: k as f64,
-                });
-            }
-        }
-        Ok(RepairProfile { n_nodes: n, groups })
-    }
-}
-
-/// Builds per-target groups from element-level plan steps.
-fn groups_from_steps(
-    epn: usize,
-    failed: &[usize],
-    steps: impl Iterator<Item = (usize, Vec<usize>)>,
-    unsolved_per_node: &[usize],
-) -> Vec<RepairGroup> {
-    use std::collections::HashMap;
-    // target node -> (source node -> distinct elements read), compute.
-    let mut by_target: HashMap<usize, (HashMap<usize, std::collections::HashSet<usize>>, usize)> =
-        HashMap::new();
-    for (target_elem, sources) in steps {
-        let tnode = target_elem / epn;
-        let entry = by_target.entry(tnode).or_default();
-        entry.1 += sources.len();
-        for s in sources {
-            entry.0.entry(s / epn).or_default().insert(s);
-        }
-    }
-    failed
-        .iter()
-        .filter_map(|&f| {
-            let write_fraction = 1.0 - unsolved_per_node[f] as f64 / epn as f64;
-            let (reads, compute) = match by_target.remove(&f) {
-                Some((srcs, cost)) => {
-                    let mut reads: Vec<(usize, f64)> = srcs
-                        .into_iter()
-                        .map(|(node, elems)| (node, elems.len() as f64 / epn as f64))
-                        .collect();
-                    reads.sort_by_key(|&(node, _)| node);
-                    (reads, cost as f64 / epn as f64)
-                }
-                None => (Vec::new(), 0.0),
-            };
+            let plan = self.plan_repair(failed, &[f])?;
+            let reads: Vec<(usize, f64)> = plan
+                .reads()
+                .iter()
+                .map(|r| (r.node, plan.read_fraction(r.node)))
+                .collect();
+            let write_fraction = plan.write_fraction(f);
             if write_fraction <= 0.0 && reads.is_empty() {
                 // Nothing recoverable on this node: the loss is delegated
                 // to the approximate-recovery layer, no repair I/O at all.
-                return None;
+                continue;
             }
-            Some(RepairGroup {
+            groups.push(RepairGroup {
                 target: f,
                 reads,
                 write_fraction,
-                compute_shards: compute,
-            })
-        })
-        .collect()
-}
-
-impl RepairPlanner for ArrayCode {
-    fn repair_profile(&self, failed: &[usize]) -> Result<RepairProfile, EcError> {
-        let spec = self.spec();
-        let epn = spec.rows_per_col;
-        let erased = spec.erase_columns(failed);
-        let plan = spec
-            .recovery_plan(&erased)
-            .map_err(|e| EcError::UnrecoverablePattern {
-                missing: failed.to_vec(),
-                detail: e.to_string(),
-            })?;
-        let unsolved = vec![0usize; spec.n_cols];
-        let groups = groups_from_steps(
-            epn,
-            failed,
-            plan.steps.iter().map(|s| (s.target, s.sources.clone())),
-            &unsolved,
-        );
-        Ok(RepairProfile {
-            n_nodes: spec.n_cols,
-            groups,
-        })
-    }
-}
-
-impl RepairPlanner for ApproxCode {
-    fn repair_profile(&self, failed: &[usize]) -> Result<RepairProfile, EcError> {
-        let bundle = self.plan_for(failed)?;
-        let epn = self.layout().elements_per_node();
-        let n = self.params().total_nodes();
-        let mut unsolved_per_node = vec![0usize; n];
-        for &e in &bundle.unsolved {
-            unsolved_per_node[e / epn] += 1;
+                compute_shards: plan.compute_shards(),
+            });
         }
-        let groups = groups_from_steps(
-            epn,
-            failed,
-            bundle.step_io().into_iter(),
-            &unsolved_per_node,
-        );
         Ok(RepairProfile { n_nodes: n, groups })
     }
 }
@@ -260,7 +101,9 @@ impl RepairPlanner for ApproxCode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use approx_code::{BaseFamily, Structure};
+    use apec_lrc::Lrc;
+    use apec_rs::ReedSolomon;
+    use approx_code::{ApproxCode, BaseFamily, Structure};
 
     #[test]
     fn rs_reads_k_survivors_per_worker() {
@@ -347,5 +190,15 @@ mod tests {
         for (na, _) in &a.reads {
             assert!(!b.reads.iter().any(|(nb, _)| nb == na), "sources overlap");
         }
+    }
+
+    #[test]
+    fn profiles_come_from_plans_for_boxed_codes_too() {
+        // The blanket impl must cover unsized `dyn ErasureCode`, which is
+        // how the bench harness and the simulator hold codecs.
+        let boxed: Box<dyn ErasureCode> = Box::new(ReedSolomon::vandermonde(4, 2).unwrap());
+        let p = boxed.repair_profile(&[1]).unwrap();
+        assert_eq!(p.groups.len(), 1);
+        assert_eq!(p.groups[0].reads.len(), 4);
     }
 }

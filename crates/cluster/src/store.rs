@@ -7,7 +7,7 @@
 //! correctness questions with real shards in memory.
 
 use apec_ec::iostats::IoStats;
-use apec_ec::{EcError, ErasureCode};
+use apec_ec::{EcError, ErasureCode, RepairPlan, RepairScratch};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -157,6 +157,11 @@ impl Cluster {
         Some(b.clone())
     }
 
+    /// Presence check without I/O accounting: metadata, not a disk read.
+    fn has_block(&self, node: usize, id: BlockId) -> bool {
+        self.is_alive(node) && self.nodes[node].blocks.contains_key(&id)
+    }
+
     /// Stores an object under `code`, returning the NameNode metadata.
     ///
     /// Shard position `i` of every stripe lands on node
@@ -218,8 +223,15 @@ impl Cluster {
         })
     }
 
-    /// Reads an object back, reconstructing on the fly if nodes are down
-    /// (a degraded read). The stored blocks are not modified.
+    /// Reads an object back, decoding on the fly if nodes are down (a
+    /// degraded read). The stored blocks are not modified.
+    ///
+    /// Degraded reads go through [`ErasureCode::plan_repair`]'s *partial
+    /// decode*: only the missing **data** shards are planned as wanted, so
+    /// the read fetches exactly the survivor blocks the plan names (for
+    /// RS(k,r) with one dead node: k blocks) instead of the whole stripe,
+    /// and a missing parity shard costs nothing at all. Plans and scratch
+    /// buffers are reused across the object's stripes.
     pub fn read_object(
         &self,
         code: &dyn ErasureCode,
@@ -227,27 +239,71 @@ impl Cluster {
     ) -> Result<Vec<u8>, ClusterError> {
         let width = code.total_nodes();
         let k = code.data_nodes();
+        let block_id = |s: u32, i: usize| BlockId {
+            object: meta.object,
+            stripe: s,
+            shard: i as u32,
+        };
         let mut out = Vec::with_capacity(meta.len);
+        let mut plan_cache: HashMap<Vec<usize>, RepairPlan> = HashMap::new();
+        let mut scratch = RepairScratch::new();
+        let mut rebuilt: Vec<Vec<u8>> = Vec::new();
+        let mut stripe: Vec<Option<Vec<u8>>> = vec![None; width];
         for s in 0..meta.stripes {
-            let mut stripe: Vec<Option<Vec<u8>>> = (0..width)
-                .map(|i| {
-                    self.get_block(
-                        meta.placement[i],
-                        BlockId {
-                            object: meta.object,
-                            stripe: s,
-                            shard: i as u32,
-                        },
-                    )
-                })
+            let missing: Vec<usize> = (0..width)
+                .filter(|&i| !self.has_block(meta.placement[i], block_id(s, i)))
                 .collect();
-            if stripe.iter().any(Option::is_none) {
-                code.reconstruct(&mut stripe).map_err(|e| {
-                    ClusterError::Unavailable(format!("stripe {s}: {e}"))
-                })?;
+            let wanted: Vec<usize> = missing.iter().copied().filter(|&i| i < k).collect();
+            if wanted.is_empty() {
+                // All data shards are live (missing parity is irrelevant to
+                // a read): stream them straight out.
+                for i in 0..k {
+                    let block = self
+                        .get_block(meta.placement[i], block_id(s, i))
+                        .expect("presence checked above");
+                    out.extend_from_slice(&block);
+                }
+                continue;
             }
-            for shard in stripe.into_iter().take(k) {
-                out.extend_from_slice(&shard.expect("reconstructed"));
+            let plan = match plan_cache.entry(missing.clone()) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    let plan = code.plan_repair(&missing, &wanted).map_err(|e| {
+                        ClusterError::Unavailable(format!("stripe {s}: {e}"))
+                    })?;
+                    v.insert(plan)
+                }
+            };
+            if !plan.unsolved().is_empty() {
+                return Err(ClusterError::Unavailable(format!(
+                    "stripe {s}: {} data elements unrecoverable",
+                    plan.unsolved().len()
+                )));
+            }
+            // Fetch only what the read needs: live data shards (they feed
+            // the output directly) plus whatever the plan reads.
+            for slot in stripe.iter_mut() {
+                *slot = None;
+            }
+            for i in (0..k).filter(|i| !missing.contains(i)) {
+                stripe[i] = self.get_block(meta.placement[i], block_id(s, i));
+            }
+            for r in plan.reads() {
+                if stripe[r.node].is_none() {
+                    stripe[r.node] = self.get_block(meta.placement[r.node], block_id(s, r.node));
+                }
+            }
+            let shard_refs: Vec<Option<&[u8]>> = stripe.iter().map(|o| o.as_deref()).collect();
+            rebuilt.resize(wanted.len(), Vec::new());
+            code.execute_plan(plan, &shard_refs, &mut scratch, &mut rebuilt)
+                .map_err(|e| ClusterError::Unavailable(format!("stripe {s}: {e}")))?;
+            for (i, slot) in stripe.iter().take(k).enumerate() {
+                match wanted.binary_search(&i) {
+                    Ok(w) => out.extend_from_slice(&rebuilt[w]),
+                    Err(_) => {
+                        out.extend_from_slice(slot.as_deref().expect("live data fetched"))
+                    }
+                }
             }
         }
         out.truncate(meta.len);
@@ -411,6 +467,35 @@ mod tests {
         // read k=4 survivors... the repair reads all 5 surviving shards.
         assert!(totals.read_bytes >= 4 * 1024);
         assert_eq!(totals.write_bytes, 1024 * u64::from(meta.stripes));
+    }
+
+    #[test]
+    fn degraded_read_fetches_exactly_k_blocks_per_stripe() {
+        // ISSUE acceptance: a degraded single-shard read on RS(k,r) reads
+        // exactly k survivor blocks (partial decode), not the whole stripe.
+        let mut cluster = Cluster::new(8);
+        let code = ReedSolomon::vandermonde(4, 3).unwrap();
+        let data = payload(3 * 4 * 512);
+        let meta = cluster.store_object(&code, 7, &data, 512).unwrap();
+        cluster.kill_node(meta.placement[0]).unwrap();
+        cluster.stats().reset();
+        assert_eq!(cluster.read_object(&code, &meta).unwrap(), data);
+        let totals = cluster.stats().totals();
+        assert_eq!(totals.read_bytes, u64::from(meta.stripes) * 4 * 512);
+        assert_eq!(totals.write_bytes, 0, "reads never write back");
+    }
+
+    #[test]
+    fn missing_parity_costs_a_read_nothing() {
+        let mut cluster = Cluster::new(8);
+        let code = ReedSolomon::vandermonde(4, 2).unwrap();
+        let data = payload(4 * 256);
+        let meta = cluster.store_object(&code, 8, &data, 256).unwrap();
+        cluster.kill_node(meta.placement[5]).unwrap(); // a parity position
+        cluster.stats().reset();
+        assert_eq!(cluster.read_object(&code, &meta).unwrap(), data);
+        let totals = cluster.stats().totals();
+        assert_eq!(totals.read_bytes, 4 * 256, "only the data shards");
     }
 
     #[test]

@@ -2,6 +2,9 @@
 //!
 //! * [`ErasureCode`] — the object-safe trait all codes implement (RS,
 //!   Cauchy-RS, LRC, EVENODD, RDP, STAR, TIP and the Approximate codes).
+//! * [`plan`] — the repair-plan IR: planning and executing repairs as
+//!   explicit, inspectable schedules with pooled scratch buffers and
+//!   partial (degraded-read) decode.
 //! * [`stripe`] — splitting byte objects into aligned per-node shards and
 //!   back.
 //! * [`parallel`] — a crossbeam-based segmented pipeline that encodes or
@@ -16,10 +19,12 @@
 mod error;
 pub mod iostats;
 pub mod parallel;
+pub mod plan;
 pub mod stripe;
 mod traits;
 
 pub use error::EcError;
+pub use plan::{PlanRead, PlanStep, RepairPlan, RepairScratch};
 pub use traits::{BoxedCode, ErasureCode, UpdatePattern};
 
 /// Other crates' placeholder modules get filled in as the build proceeds.

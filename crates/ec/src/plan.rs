@@ -1,0 +1,697 @@
+//! The repair-plan IR: a first-class, inspectable description of a repair.
+//!
+//! [`ErasureCode::reconstruct`] is a monolithic whole-stripe call; the paper's
+//! argument, however, is entirely about the *shape* of a repair — how many
+//! shards are read, which groups stay local, what fraction of a node is
+//! rebuilt. [`RepairPlan`] makes that shape a value: a set of survivor reads
+//! plus an ordered compute schedule over shard *elements*, produced by
+//! [`ErasureCode::plan_repair`] and run by [`ErasureCode::execute_plan`]
+//! against a reusable [`RepairScratch`] arena.
+//!
+//! Element granularity: every shard is split into
+//! [`ErasureCode::shard_alignment`] equal elements, and the global id of
+//! element `idx` of node `node` is `node * elements_per_shard + idx` — the
+//! same convention the audit crate's generator probe uses, so plans can be
+//! verified symbolically against the probed generator.
+//!
+//! Partial decode falls out of the IR: `wanted ⊆ erased` lets a degraded
+//! read ask for one shard, and [`RepairPlan::from_steps`] prunes the
+//! schedule back from the wanted outputs, dropping every read and step the
+//! other erasures would have needed.
+
+use crate::iostats::IoStats;
+use crate::{EcError, ErasureCode};
+use std::collections::{HashMap, HashSet};
+
+/// One compute step: `target` (a global element id on an erased node) is a
+/// GF(2^8) linear combination of `sources`.
+///
+/// Sources are `(coefficient, global element id)` pairs; a source either
+/// lives on a surviving node (and appears in the plan's reads) or is the
+/// target of an earlier step. Zero coefficients are legal — matrix decoders
+/// fetch whole shards regardless, so a zero term still models a read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanStep {
+    /// Global element id being rebuilt.
+    pub target: usize,
+    /// `(coefficient, global element id)` terms, XOR-accumulated.
+    pub sources: Vec<(u8, usize)>,
+}
+
+/// Everything the plan reads from one surviving node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanRead {
+    /// Surviving node index.
+    pub node: usize,
+    /// Local element indices read from that node's shard, sorted.
+    pub elements: Vec<usize>,
+}
+
+/// A compiled repair: which survivors to read, how much of each, and the
+/// element-level compute schedule that turns those reads into the wanted
+/// shards.
+///
+/// Plans are produced by [`ErasureCode::plan_repair`]. Codes with native
+/// planners (RS/CRS, LRC, the XOR array codes, the Approximate framework
+/// codes) emit explicit schedules; the trait default emits an *opaque* plan
+/// that reads every survivor in full and defers to
+/// [`ErasureCode::reconstruct`] at execution time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairPlan {
+    n: usize,
+    elements_per_shard: usize,
+    erased: Vec<usize>,
+    wanted: Vec<usize>,
+    unsolved: Vec<usize>,
+    reads: Vec<PlanRead>,
+    steps: Vec<PlanStep>,
+    opaque: bool,
+}
+
+/// Validates and normalizes the (erased, wanted) pair shared by every
+/// planner: bounds-checks node indices, sorts, dedups, and checks
+/// `wanted ⊆ erased`.
+pub fn normalize_pattern(
+    n: usize,
+    erased: &[usize],
+    wanted: &[usize],
+) -> Result<(Vec<usize>, Vec<usize>), EcError> {
+    let sort_checked = |nodes: &[usize], what: &str| -> Result<Vec<usize>, EcError> {
+        let mut v = nodes.to_vec(); // clone-ok: tiny index list, not shard bytes
+        v.sort_unstable();
+        v.dedup();
+        if let Some(&bad) = v.iter().find(|&&i| i >= n) {
+            return Err(EcError::InvalidParameters(format!(
+                "{what} node {bad} out of range for {n} nodes"
+            )));
+        }
+        Ok(v)
+    };
+    let erased = sort_checked(erased, "erased")?;
+    let wanted = sort_checked(wanted, "wanted")?;
+    if let Some(&stray) = wanted.iter().find(|w| !erased.contains(w)) {
+        return Err(EcError::InvalidParameters(format!(
+            "wanted node {stray} is not erased"
+        )));
+    }
+    Ok((erased, wanted))
+}
+
+impl RepairPlan {
+    /// Builds an opaque plan: read every survivor in full, rebuild via the
+    /// code's own [`ErasureCode::reconstruct`]. This is what the trait
+    /// default emits for codes without a native planner.
+    pub fn opaque(
+        n: usize,
+        elements_per_shard: usize,
+        erased: &[usize],
+        wanted: &[usize],
+    ) -> Result<RepairPlan, EcError> {
+        let eps = elements_per_shard.max(1);
+        let (erased, wanted) = normalize_pattern(n, erased, wanted)?;
+        let reads = (0..n)
+            .filter(|i| !erased.contains(i))
+            .map(|node| PlanRead {
+                node,
+                elements: (0..eps).collect(),
+            })
+            .collect();
+        Ok(RepairPlan {
+            n,
+            elements_per_shard: eps,
+            erased,
+            wanted,
+            unsolved: Vec::new(),
+            reads,
+            steps: Vec::new(),
+            opaque: true,
+        })
+    }
+
+    /// Builds a plan from a full recovery schedule, pruning it back from
+    /// `wanted`.
+    ///
+    /// `steps` must be a dependency-ordered schedule (each source is either
+    /// on a surviving node or the target of an earlier step) that rebuilds
+    /// every erased element not listed in `unsolved` (global element ids).
+    /// Steps whose targets the wanted outputs do not depend on are dropped,
+    /// and the read set is derived from the surviving sources of the steps
+    /// that remain — this is what makes `wanted ⊂ erased` a *partial*
+    /// decode.
+    pub fn from_steps(
+        n: usize,
+        elements_per_shard: usize,
+        erased: &[usize],
+        wanted: &[usize],
+        steps: Vec<PlanStep>,
+        unsolved: &[usize],
+    ) -> Result<RepairPlan, EcError> {
+        let eps = elements_per_shard.max(1);
+        let (erased, wanted) = normalize_pattern(n, erased, wanted)?;
+        let erased_set: HashSet<usize> = erased.iter().copied().collect();
+        let unsolved_set: HashSet<usize> = unsolved.iter().copied().collect();
+
+        // Backward pass: keep only the steps the wanted elements depend on.
+        let mut needed: HashSet<usize> = wanted
+            .iter()
+            .flat_map(|&w| w * eps..(w + 1) * eps)
+            .filter(|e| !unsolved_set.contains(e))
+            .collect();
+        let mut kept: Vec<PlanStep> = Vec::with_capacity(steps.len());
+        for step in steps.into_iter().rev() {
+            if !needed.contains(&step.target) {
+                continue;
+            }
+            for &(_, src) in &step.sources {
+                if erased_set.contains(&(src / eps)) {
+                    needed.insert(src);
+                }
+            }
+            kept.push(step);
+        }
+        kept.reverse();
+
+        // Forward pass: every source must be readable or already rebuilt,
+        // and every wanted element must end up covered.
+        let mut read_elems: HashSet<usize> = HashSet::new();
+        let mut known: HashSet<usize> = HashSet::new();
+        for step in &kept {
+            for &(_, src) in &step.sources {
+                if erased_set.contains(&(src / eps)) {
+                    if !known.contains(&src) {
+                        return Err(EcError::Internal(format!(
+                            "repair schedule reads erased element {src} before rebuilding it"
+                        )));
+                    }
+                } else {
+                    read_elems.insert(src);
+                }
+            }
+            known.insert(step.target);
+        }
+        for &w in &wanted {
+            for e in w * eps..(w + 1) * eps {
+                if !unsolved_set.contains(&e) && !known.contains(&e) {
+                    return Err(EcError::Internal(format!(
+                        "repair schedule does not cover wanted element {e}"
+                    )));
+                }
+            }
+        }
+
+        let mut by_node: HashMap<usize, Vec<usize>> = HashMap::new();
+        for e in read_elems {
+            by_node.entry(e / eps).or_default().push(e % eps);
+        }
+        let mut reads: Vec<PlanRead> = by_node
+            .into_iter()
+            .map(|(node, mut elements)| {
+                elements.sort_unstable();
+                PlanRead { node, elements }
+            })
+            .collect();
+        reads.sort_by_key(|r| r.node);
+
+        let mut unsolved_wanted: Vec<usize> = unsolved
+            .iter()
+            .copied()
+            .filter(|&e| wanted.binary_search(&(e / eps)).is_ok())
+            .collect();
+        unsolved_wanted.sort_unstable();
+        unsolved_wanted.dedup();
+
+        Ok(RepairPlan {
+            n,
+            elements_per_shard: eps,
+            erased,
+            wanted,
+            unsolved: unsolved_wanted,
+            reads,
+            steps: kept,
+            opaque: false,
+        })
+    }
+
+    /// Total nodes in the stripe.
+    pub fn total_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Elements per shard (= the code's [`ErasureCode::shard_alignment`]).
+    pub fn elements_per_shard(&self) -> usize {
+        self.elements_per_shard
+    }
+
+    /// The erased nodes this plan assumes, sorted.
+    pub fn erased(&self) -> &[usize] {
+        &self.erased
+    }
+
+    /// The erased nodes this plan materializes, sorted.
+    pub fn wanted(&self) -> &[usize] {
+        &self.wanted
+    }
+
+    /// Wanted elements (global ids) the pattern cannot rebuild; their byte
+    /// ranges are zero-filled by the executor (tiered codes only).
+    pub fn unsolved(&self) -> &[usize] {
+        &self.unsolved
+    }
+
+    /// Per-survivor reads.
+    pub fn reads(&self) -> &[PlanRead] {
+        &self.reads
+    }
+
+    /// The compute schedule (empty for opaque plans).
+    pub fn steps(&self) -> &[PlanStep] {
+        &self.steps
+    }
+
+    /// `true` when this plan defers to [`ErasureCode::reconstruct`] instead
+    /// of carrying an explicit schedule.
+    pub fn is_opaque(&self) -> bool {
+        self.opaque
+    }
+
+    /// Fraction of `node`'s shard this plan reads (0 when unused).
+    pub fn read_fraction(&self, node: usize) -> f64 {
+        self.reads
+            .iter()
+            .find(|r| r.node == node)
+            .map_or(0.0, |r| r.elements.len() as f64 / self.elements_per_shard as f64)
+    }
+
+    /// Total shard-fractions read across all survivors.
+    pub fn total_read_fraction(&self) -> f64 {
+        self.reads
+            .iter()
+            .map(|r| r.elements.len() as f64 / self.elements_per_shard as f64)
+            .sum()
+    }
+
+    /// Decode volume in shard units: total source terms across all steps
+    /// divided by the elements per shard. For an opaque plan this falls back
+    /// to the matrix-decode model (one full pass per survivor read).
+    pub fn compute_shards(&self) -> f64 {
+        if self.opaque {
+            return self.total_read_fraction();
+        }
+        let terms: usize = self.steps.iter().map(|s| s.sources.len()).sum();
+        terms as f64 / self.elements_per_shard as f64
+    }
+
+    /// Fraction of `node`'s shard this plan rebuilds (0 for nodes outside
+    /// `wanted`, below 1 when a tiered pattern leaves elements unsolved).
+    pub fn write_fraction(&self, node: usize) -> f64 {
+        if self.wanted.binary_search(&node).is_err() {
+            return 0.0;
+        }
+        let eps = self.elements_per_shard;
+        let unsolved_here = self
+            .unsolved
+            .iter()
+            .filter(|&&e| e / eps == node)
+            .count();
+        (eps - unsolved_here) as f64 / eps as f64
+    }
+
+    /// The I/O this plan will charge when executed against shards of
+    /// `shard_len` bytes: one read per survivor touched and one write per
+    /// wanted node (solved bytes only). The executor records exactly this
+    /// into its scratch [`IoStats`], which is what makes plan inspection and
+    /// execution agree by construction.
+    pub fn expected_io(&self, shard_len: usize) -> Result<IoStats, EcError> {
+        let elem_len = self.element_len(shard_len)?;
+        let io = IoStats::new(self.n);
+        for r in &self.reads {
+            io.record_read(r.node, (r.elements.len() * elem_len) as u64);
+        }
+        let eps = self.elements_per_shard;
+        for &w in &self.wanted {
+            let unsolved_here = self.unsolved.iter().filter(|&&e| e / eps == w).count();
+            io.record_write(w, ((eps - unsolved_here) * elem_len) as u64);
+        }
+        Ok(io)
+    }
+
+    fn element_len(&self, shard_len: usize) -> Result<usize, EcError> {
+        if !shard_len.is_multiple_of(self.elements_per_shard) {
+            return Err(EcError::MisalignedShard {
+                alignment: self.elements_per_shard,
+                got: shard_len,
+            });
+        }
+        Ok(shard_len / self.elements_per_shard)
+    }
+}
+
+/// A reusable execution arena: element buffers, the opaque-path stripe, and
+/// the per-call I/O ledger all live here, so repeated
+/// [`ErasureCode::execute_plan`] calls allocate nothing once warm.
+///
+/// The arena owns its memory across calls; buffers grow to the high-water
+/// mark of the plans executed through it and are recycled, never returned.
+/// One scratch must not be shared between threads mid-call (it is `Send`,
+/// not `Sync` — move it into a worker instead).
+#[derive(Debug, Default)]
+pub struct RepairScratch {
+    /// Flat arena holding one slot per schedule step.
+    elems: Vec<u8>,
+    /// Global element id -> slot index into `elems`.
+    slot_of: HashMap<usize, usize>,
+    /// Pooled stripe for the opaque path.
+    stripe: Vec<Option<Vec<u8>>>,
+    /// Spare buffers recycled between opaque executions.
+    spare: Vec<Vec<u8>>,
+    /// I/O recorded by the most recent execution.
+    io: Option<IoStats>,
+}
+
+impl RepairScratch {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// I/O recorded by the most recent [`ErasureCode::execute_plan`] call
+    /// through this scratch (reset at the start of each call).
+    pub fn io(&self) -> Option<&IoStats> {
+        self.io.as_ref()
+    }
+
+    fn begin(&mut self, plan: &RepairPlan, elem_len: usize) {
+        self.slot_of.clear();
+        self.elems.clear();
+        self.elems.resize(plan.steps.len() * elem_len, 0);
+        self.io = Some(IoStats::new(plan.n));
+    }
+
+    fn record_plan_reads(&mut self, plan: &RepairPlan, elem_len: usize) {
+        let io = self.io.as_ref().expect("begin() ran");
+        for r in &plan.reads {
+            io.record_read(r.node, (r.elements.len() * elem_len) as u64);
+        }
+    }
+}
+
+/// Checks the survivor shards an execution was handed against the plan:
+/// every read source must be present, all present shards equal-length and
+/// aligned. Returns `(shard_len, element_len)`.
+fn check_execution_inputs(
+    plan: &RepairPlan,
+    shards: &[Option<&[u8]>],
+    out: &[Vec<u8>],
+) -> Result<(usize, usize), EcError> {
+    if shards.len() != plan.n {
+        return Err(EcError::WrongShardCount {
+            expected: plan.n,
+            got: shards.len(),
+        });
+    }
+    if out.len() != plan.wanted.len() {
+        return Err(EcError::WrongShardCount {
+            expected: plan.wanted.len(),
+            got: out.len(),
+        });
+    }
+    let mut len: Option<usize> = None;
+    for (i, s) in shards.iter().enumerate() {
+        if let Some(b) = s {
+            match len {
+                None => len = Some(b.len()),
+                Some(l) if l != b.len() => {
+                    return Err(EcError::ShardSizeMismatch {
+                        first: l,
+                        index: i,
+                        got: b.len(),
+                    })
+                }
+                _ => {}
+            }
+        }
+    }
+    let shard_len = len.ok_or_else(|| EcError::TooManyErasures {
+        missing: (0..plan.n).collect(),
+        tolerance: 0,
+    })?;
+    for r in &plan.reads {
+        if shards.get(r.node).copied().flatten().is_none() {
+            return Err(EcError::Internal(format!(
+                "plan reads node {} but its shard is unavailable",
+                r.node
+            )));
+        }
+    }
+    let elem_len = plan.element_len(shard_len)?;
+    Ok((shard_len, elem_len))
+}
+
+/// Runs an explicit schedule: XOR/multiply-accumulate every step into the
+/// scratch arena, then assemble the wanted shards into `out` (unsolved
+/// element ranges are zero-filled).
+pub fn execute_steps(
+    plan: &RepairPlan,
+    shards: &[Option<&[u8]>],
+    scratch: &mut RepairScratch,
+    out: &mut [Vec<u8>],
+) -> Result<(), EcError> {
+    if plan.opaque {
+        return Err(EcError::Internal(
+            "execute_steps cannot run an opaque plan; use ErasureCode::execute_plan".into(),
+        ));
+    }
+    let (shard_len, elem_len) = check_execution_inputs(plan, shards, out)?;
+    let eps = plan.elements_per_shard;
+    scratch.begin(plan, elem_len);
+    scratch.record_plan_reads(plan, elem_len);
+
+    for (slot, step) in plan.steps.iter().enumerate() {
+        // Earlier slots are read-only sources for the current one.
+        let (done, rest) = scratch.elems.split_at_mut(slot * elem_len);
+        let dst = &mut rest[..elem_len];
+        for &(coeff, src) in &step.sources {
+            if coeff == 0 {
+                continue;
+            }
+            let src_slice: &[u8] = match scratch.slot_of.get(&src) {
+                Some(&s) => &done[s * elem_len..(s + 1) * elem_len],
+                None => {
+                    let node = src / eps;
+                    let offset = (src % eps) * elem_len;
+                    let shard = shards[node].ok_or_else(|| {
+                        EcError::Internal(format!("source node {node} unavailable mid-plan"))
+                    })?;
+                    &shard[offset..offset + elem_len]
+                }
+            };
+            if coeff == 1 {
+                apec_gf::xor_slice(src_slice, dst)
+                    .map_err(|e| EcError::Internal(e.to_string()))?;
+            } else {
+                apec_gf::mul_slice_xor(coeff, src_slice, dst)
+                    .map_err(|e| EcError::Internal(e.to_string()))?;
+            }
+        }
+        scratch.slot_of.insert(step.target, slot);
+    }
+
+    let io = scratch.io.as_ref().expect("begin() ran");
+    for (buf, &w) in out.iter_mut().zip(&plan.wanted) {
+        buf.clear();
+        buf.resize(shard_len, 0);
+        let mut written = 0usize;
+        for idx in 0..eps {
+            let e = w * eps + idx;
+            if plan.unsolved.binary_search(&e).is_ok() {
+                continue; // stays zero: the tiered code gave this range up
+            }
+            let slot = *scratch.slot_of.get(&e).ok_or_else(|| {
+                EcError::Internal(format!("plan left wanted element {e} unbuilt"))
+            })?;
+            buf[idx * elem_len..(idx + 1) * elem_len]
+                .copy_from_slice(&scratch.elems[slot * elem_len..(slot + 1) * elem_len]);
+            written += elem_len;
+        }
+        io.record_write(w, written as u64);
+    }
+    Ok(())
+}
+
+/// Runs an opaque plan by assembling a pooled stripe and calling the code's
+/// own whole-stripe `reconstruct` (passed as a closure so this stays usable
+/// from the trait's default method).
+pub fn execute_opaque(
+    reconstruct: impl FnOnce(&mut [Option<Vec<u8>>]) -> Result<(), EcError>,
+    plan: &RepairPlan,
+    shards: &[Option<&[u8]>],
+    scratch: &mut RepairScratch,
+    out: &mut [Vec<u8>],
+) -> Result<(), EcError> {
+    let (shard_len, elem_len) = check_execution_inputs(plan, shards, out)?;
+    scratch.begin(plan, elem_len);
+    scratch.record_plan_reads(plan, elem_len);
+
+    scratch.stripe.resize(plan.n, None);
+    for (slot, src) in scratch.stripe.iter_mut().zip(shards) {
+        match src {
+            Some(bytes) => {
+                let mut buf = slot.take().or_else(|| scratch.spare.pop()).unwrap_or_default();
+                buf.clear();
+                buf.extend_from_slice(bytes);
+                *slot = Some(buf);
+            }
+            None => {
+                if let Some(buf) = slot.take() {
+                    scratch.spare.push(buf);
+                }
+            }
+        }
+    }
+    reconstruct(&mut scratch.stripe)?;
+
+    let io = scratch.io.as_ref().expect("begin() ran");
+    for (buf, &w) in out.iter_mut().zip(&plan.wanted) {
+        let rebuilt = scratch.stripe[w]
+            .as_deref()
+            .ok_or_else(|| EcError::Internal(format!("reconstruct left shard {w} empty")))?;
+        buf.clear();
+        buf.extend_from_slice(rebuilt);
+        io.record_write(w, shard_len as u64);
+    }
+    Ok(())
+}
+
+/// Convenience wrapper: plan and execute in one call, materializing the
+/// wanted shards into `out`. Equivalent to `plan_repair` + `execute_plan`
+/// but keeps call sites that never inspect the plan short.
+pub fn repair_into(
+    code: &dyn ErasureCode,
+    erased: &[usize],
+    wanted: &[usize],
+    shards: &[Option<&[u8]>],
+    scratch: &mut RepairScratch,
+    out: &mut [Vec<u8>],
+) -> Result<RepairPlan, EcError> {
+    let plan = code.plan_repair(erased, wanted)?;
+    code.execute_plan(&plan, shards, scratch, out)?;
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(target: usize, sources: &[(u8, usize)]) -> PlanStep {
+        PlanStep {
+            target,
+            sources: sources.to_vec(),
+        }
+    }
+
+    #[test]
+    fn normalize_rejects_bad_patterns() {
+        assert!(normalize_pattern(4, &[5], &[]).is_err());
+        assert!(normalize_pattern(4, &[1], &[2]).is_err());
+        let (e, w) = normalize_pattern(4, &[3, 1, 1], &[3]).unwrap();
+        assert_eq!(e, vec![1, 3]);
+        assert_eq!(w, vec![3]);
+    }
+
+    #[test]
+    fn pruning_drops_unneeded_steps_and_reads() {
+        // Two independent targets; wanting only one drops the other's step
+        // and its read.
+        let steps = vec![step(0, &[(1, 2), (1, 3)]), step(1, &[(1, 4), (1, 5)])];
+        let plan = RepairPlan::from_steps(6, 1, &[0, 1], &[0], steps, &[]).unwrap();
+        assert_eq!(plan.steps().len(), 1);
+        let read_nodes: Vec<usize> = plan.reads().iter().map(|r| r.node).collect();
+        assert_eq!(read_nodes, vec![2, 3]);
+        assert_eq!(plan.write_fraction(0), 1.0);
+        assert_eq!(plan.write_fraction(1), 0.0);
+    }
+
+    #[test]
+    fn pruning_keeps_dependency_chains() {
+        // Rebuilding 1 requires first rebuilding 0 (a chained schedule).
+        let steps = vec![step(0, &[(1, 2), (1, 3)]), step(1, &[(1, 0), (1, 4)])];
+        let plan = RepairPlan::from_steps(5, 1, &[0, 1], &[1], steps, &[]).unwrap();
+        assert_eq!(plan.steps().len(), 2);
+        let read_nodes: Vec<usize> = plan.reads().iter().map(|r| r.node).collect();
+        assert_eq!(read_nodes, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn out_of_order_schedules_are_rejected() {
+        let steps = vec![step(1, &[(1, 0), (1, 4)]), step(0, &[(1, 2), (1, 3)])];
+        assert!(matches!(
+            RepairPlan::from_steps(5, 1, &[0, 1], &[1], steps, &[]),
+            Err(EcError::Internal(_))
+        ));
+    }
+
+    #[test]
+    fn uncovered_wanted_elements_are_rejected_unless_unsolved() {
+        let steps = vec![step(0, &[(1, 2)])];
+        assert!(RepairPlan::from_steps(3, 1, &[0, 1], &[1], steps.clone(), &[]).is_err());
+        let plan = RepairPlan::from_steps(3, 1, &[0, 1], &[1], steps, &[1]).unwrap();
+        assert_eq!(plan.unsolved(), &[1]);
+        assert_eq!(plan.write_fraction(1), 0.0);
+        assert!(plan.steps().is_empty(), "unsolved-only want needs no work");
+    }
+
+    #[test]
+    fn fractions_account_elements_not_shards() {
+        // 2 elements per shard; both elements of node 1 feed the rebuild.
+        let steps = vec![step(0, &[(1, 2)]), step(1, &[(1, 3), (1, 0)])];
+        let plan = RepairPlan::from_steps(2, 2, &[0], &[0], steps, &[]).unwrap();
+        assert_eq!(plan.read_fraction(1), 1.0);
+        assert_eq!(plan.compute_shards(), 1.5);
+        let io = plan.expected_io(8).unwrap();
+        assert_eq!(io.node(1).read_bytes, 8);
+        assert_eq!(io.node(0).write_bytes, 8);
+    }
+
+    #[test]
+    fn executor_matches_expected_io_and_bytes() {
+        // Toy parity: e0 = e1 + e2 over two survivor nodes.
+        let steps = vec![step(0, &[(1, 1), (1, 2)])];
+        let plan = RepairPlan::from_steps(3, 1, &[0], &[0], steps, &[]).unwrap();
+        let s1 = vec![0xAAu8; 16];
+        let s2 = vec![0x0Fu8; 16];
+        let shards: Vec<Option<&[u8]>> = vec![None, Some(&s1), Some(&s2)];
+        let mut scratch = RepairScratch::new();
+        let mut out = vec![Vec::new()];
+        execute_steps(&plan, &shards, &mut scratch, &mut out).unwrap();
+        assert_eq!(out[0], vec![0xA5u8; 16]);
+        let expected = plan.expected_io(16).unwrap();
+        let got = scratch.io().unwrap();
+        assert_eq!(expected.snapshot(), got.snapshot());
+    }
+
+    #[test]
+    fn executor_reuses_capacity_across_calls() {
+        let steps = vec![step(0, &[(1, 1), (2, 2)])];
+        let plan = RepairPlan::from_steps(3, 1, &[0], &[0], steps, &[]).unwrap();
+        let s1 = vec![7u8; 64];
+        let s2 = vec![9u8; 64];
+        let shards: Vec<Option<&[u8]>> = vec![None, Some(&s1), Some(&s2)];
+        let mut scratch = RepairScratch::new();
+        let mut out = vec![Vec::new()];
+        execute_steps(&plan, &shards, &mut scratch, &mut out).unwrap();
+        let first = out[0].as_ptr();
+        let cap = out[0].capacity();
+        execute_steps(&plan, &shards, &mut scratch, &mut out).unwrap();
+        assert_eq!(out[0].as_ptr(), first, "output buffer was reused");
+        assert_eq!(out[0].capacity(), cap);
+    }
+
+    #[test]
+    fn opaque_plan_reads_every_survivor() {
+        let plan = RepairPlan::opaque(5, 1, &[1, 3], &[1]).unwrap();
+        assert!(plan.is_opaque());
+        let nodes: Vec<usize> = plan.reads().iter().map(|r| r.node).collect();
+        assert_eq!(nodes, vec![0, 2, 4]);
+        assert_eq!(plan.total_read_fraction(), 3.0);
+    }
+}

@@ -1,5 +1,6 @@
 //! The [`ErasureCode`] trait.
 
+use crate::plan::{self, RepairPlan, RepairScratch};
 use crate::EcError;
 
 /// How a single-block update to one data node ripples through the code —
@@ -66,6 +67,54 @@ pub trait ErasureCode: Send + Sync {
     /// and leave `shards` unmodified except possibly for already-recovered
     /// entries of partially repairable framework codes (documented there).
     fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), EcError>;
+
+    /// Compiles a repair of `erased` that materializes the `wanted ⊆ erased`
+    /// shards — the plan half of the plan/execute split.
+    ///
+    /// The returned [`RepairPlan`] is an inspectable value: which survivors
+    /// are read (and what fraction of each), the element-level compute
+    /// schedule, and which wanted elements a tiered code gives up on. Passing
+    /// a strict subset of the erasures yields a *partial decode*: a degraded
+    /// read of one shard plans (and later executes) only the work that shard
+    /// needs instead of rebuilding the whole stripe.
+    ///
+    /// The default wraps [`ErasureCode::reconstruct`] in an opaque plan that
+    /// reads every survivor in full; RS/CRS, LRC, the XOR array codes and
+    /// the Approximate framework codes override it with native planners.
+    fn plan_repair(&self, erased: &[usize], wanted: &[usize]) -> Result<RepairPlan, EcError> {
+        if erased.len() > self.fault_tolerance() {
+            return Err(EcError::TooManyErasures {
+                missing: erased.to_vec(),
+                tolerance: self.fault_tolerance(),
+            });
+        }
+        RepairPlan::opaque(self.total_nodes(), self.shard_alignment(), erased, wanted)
+    }
+
+    /// Executes a plan from [`ErasureCode::plan_repair`] — the execute half
+    /// of the plan/execute split.
+    ///
+    /// `shards` holds the stripe's available shards (`None` for erased or
+    /// unread positions; every node the plan reads must be `Some`). The
+    /// wanted shards are materialized into `out` — one buffer per entry of
+    /// [`RepairPlan::wanted`], reused across calls — and all intermediate
+    /// state lives in the pooled `scratch` arena, so a warm repair loop
+    /// performs no per-call allocation. The I/O actually performed is
+    /// recorded in [`RepairScratch::io`] and matches
+    /// [`RepairPlan::expected_io`] by construction.
+    fn execute_plan(
+        &self,
+        plan: &RepairPlan,
+        shards: &[Option<&[u8]>],
+        scratch: &mut RepairScratch,
+        out: &mut [Vec<u8>],
+    ) -> Result<(), EcError> {
+        if plan.is_opaque() {
+            plan::execute_opaque(|stripe| self.reconstruct(stripe), plan, shards, scratch, out)
+        } else {
+            plan::execute_steps(plan, shards, scratch, out)
+        }
+    }
 
     /// The storage overhead ratio `total bytes / data bytes` = n/k.
     fn storage_overhead(&self) -> f64 {

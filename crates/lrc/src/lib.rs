@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use apec_ec::plan::{normalize_pattern, PlanStep, RepairPlan};
 use apec_ec::{EcError, ErasureCode, UpdatePattern};
 use apec_gf::{cauchy, GfMatrix};
 
@@ -312,6 +313,100 @@ impl ErasureCode for Lrc {
             parity_writes: 1.0 + self.r as f64,
         }
     }
+
+    fn plan_repair(&self, erased: &[usize], wanted: &[usize]) -> Result<RepairPlan, EcError> {
+        let n = self.total_nodes();
+        let (erased, wanted) = normalize_pattern(n, erased, wanted)?;
+        if erased.is_empty() {
+            return RepairPlan::from_steps(n, 1, &[], &[], Vec::new(), &[]);
+        }
+        let mut present: Vec<bool> = (0..n).map(|i| erased.binary_search(&i).is_err()).collect();
+        let mut steps: Vec<PlanStep> = Vec::new();
+
+        // Phase 1: simulate the local fixed point; each repair is a pure
+        // XOR of the group's other members (data + local parity).
+        loop {
+            let mut progress = false;
+            for (gi, group) in self.groups.iter().enumerate() {
+                let lp = self.local_parity_index(gi);
+                let members: Vec<usize> =
+                    group.iter().copied().chain(std::iter::once(lp)).collect();
+                let missing: Vec<usize> = members
+                    .iter()
+                    .copied()
+                    .filter(|&i| !present[i])
+                    .collect();
+                if missing.len() != 1 {
+                    continue;
+                }
+                let target = missing[0];
+                let sources: Vec<(u8, usize)> = members
+                    .iter()
+                    .copied()
+                    .filter(|&m| m != target)
+                    .map(|m| (1u8, m))
+                    .collect();
+                steps.push(PlanStep { target, sources });
+                present[target] = true;
+                progress = true;
+            }
+            if !progress {
+                break;
+            }
+        }
+
+        let still_missing: Vec<usize> = (0..n).filter(|&i| !present[i]).collect();
+        if !still_missing.is_empty() {
+            // Phase 2: mirror `reconstruct`'s greedy global solve — pick k
+            // independent surviving generator rows (locally-recovered nodes
+            // count as survivors here, exactly as they do at decode time).
+            let gen = self.generator();
+            let survivors: Vec<usize> = (0..n).filter(|&i| present[i]).collect();
+            let mut chosen: Vec<usize> = Vec::with_capacity(self.k);
+            for &s in &survivors {
+                if chosen.len() == self.k {
+                    break;
+                }
+                chosen.push(s);
+                if gen.select_rows(&chosen).rank() != chosen.len() {
+                    chosen.pop();
+                }
+            }
+            if chosen.len() < self.k {
+                return Err(EcError::UnrecoverablePattern {
+                    missing: still_missing,
+                    detail: format!(
+                        "only {} independent surviving equations for {} data nodes",
+                        chosen.len(),
+                        self.k
+                    ),
+                });
+            }
+            let inv = gen
+                .select_rows(&chosen)
+                .invert()
+                .map_err(|e| EcError::Internal(format!("independent rows must invert: {e}")))?;
+
+            // Missing data node d = row d of inv applied to the chosen
+            // shards. Zero coefficients are kept: the matrix decode reads
+            // every chosen shard in full.
+            for &d in still_missing.iter().filter(|&&i| i < self.k) {
+                let sources: Vec<(u8, usize)> = chosen
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &c)| (inv.get(d, j).value(), c))
+                    .collect();
+                steps.push(PlanStep { target: d, sources });
+            }
+            // Missing parities re-derive from the (now complete) data.
+            for &p in still_missing.iter().filter(|&&i| i >= self.k) {
+                let sources: Vec<(u8, usize)> =
+                    (0..self.k).map(|t| (gen.get(p, t).value(), t)).collect();
+                steps.push(PlanStep { target: p, sources });
+            }
+        }
+        RepairPlan::from_steps(n, 1, &erased, &wanted, steps, &[])
+    }
 }
 
 #[cfg(test)]
@@ -486,6 +581,67 @@ mod tests {
                 assert_eq!(stripe, full, "k={k} l={l}");
             }
         }
+    }
+
+    #[test]
+    fn plan_single_failure_reads_only_the_local_group() {
+        // ISSUE acceptance: LRC single-failure plans read only the group.
+        let code = Lrc::new(8, 4, 2).unwrap();
+        let plan = code.plan_repair(&[0], &[0]).unwrap();
+        assert!(!plan.is_opaque());
+        let read_nodes: Vec<usize> = plan.reads().iter().map(|r| r.node).collect();
+        assert_eq!(read_nodes, vec![1, code.local_parity_index(0)]);
+        assert_eq!(plan.total_read_fraction(), 2.0);
+        assert_eq!(plan.compute_shards(), 2.0);
+    }
+
+    #[test]
+    fn plan_execution_matches_reconstruct_all_patterns() {
+        let code = Lrc::new(6, 2, 2).unwrap();
+        let data = random_data(6, 32, 12);
+        let full = full_stripe(&code, &data);
+        let n = code.total_nodes();
+        let mut scratch = apec_ec::RepairScratch::new();
+        for f in 1..=3 {
+            for pattern in combinations(n, f) {
+                let shards: Vec<Option<&[u8]>> = (0..n)
+                    .map(|i| {
+                        if pattern.contains(&i) {
+                            None
+                        } else {
+                            full[i].as_deref()
+                        }
+                    })
+                    .collect();
+                let plan = code.plan_repair(&pattern, &pattern).unwrap();
+                let mut out = vec![Vec::new(); pattern.len()];
+                code.execute_plan(&plan, &shards, &mut scratch, &mut out).unwrap();
+                for (buf, &e) in out.iter().zip(&pattern) {
+                    assert_eq!(Some(&buf[..]), full[e].as_deref(), "pattern {pattern:?} shard {e}");
+                }
+                assert_eq!(
+                    plan.expected_io(32).unwrap().snapshot(),
+                    scratch.io().unwrap().snapshot()
+                );
+                // Partial decode of each shard individually.
+                for &w in &pattern {
+                    let partial = code.plan_repair(&pattern, &[w]).unwrap();
+                    let mut one = vec![Vec::new()];
+                    code.execute_plan(&partial, &shards, &mut scratch, &mut one).unwrap();
+                    assert_eq!(Some(&one[0][..]), full[w].as_deref());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_reports_unrecoverable_patterns() {
+        let code = Lrc::new(8, 4, 2).unwrap();
+        let pattern = vec![0, 1, code.global_parity_index(0), code.global_parity_index(1)];
+        assert!(matches!(
+            code.plan_repair(&pattern, &pattern),
+            Err(EcError::UnrecoverablePattern { .. })
+        ));
     }
 
     proptest! {

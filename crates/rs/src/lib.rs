@@ -17,10 +17,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use apec_ec::plan::{normalize_pattern, PlanStep, RepairPlan};
 use apec_ec::{EcError, ErasureCode, UpdatePattern};
-use apec_gf::{cauchy, identity, systematic_vandermonde, GfMatrix};
+use apec_gf::{cauchy, identity, systematic_vandermonde, Gf8, GfMatrix};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Which generator-matrix construction to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -43,7 +45,8 @@ pub struct ReedSolomon {
     /// on every stripe.
     parity_rows: GfMatrix,
     /// Decode-matrix cache keyed by the sorted list of missing shards.
-    decode_cache: Mutex<HashMap<Vec<usize>, GfMatrix>>,
+    /// Entries are shared out as `Arc`s so cache hits never copy the matrix.
+    decode_cache: Mutex<HashMap<Vec<usize>, Arc<GfMatrix>>>,
 }
 
 impl ReedSolomon {
@@ -109,10 +112,14 @@ impl ReedSolomon {
     }
 
     /// The inverted decode matrix for a given erasure pattern, cached.
-    fn decode_matrix(&self, missing: &[usize], survivors: &[usize]) -> Result<GfMatrix, EcError> {
-        let key: Vec<usize> = missing.to_vec();
+    fn decode_matrix(
+        &self,
+        missing: &[usize],
+        survivors: &[usize],
+    ) -> Result<Arc<GfMatrix>, EcError> {
+        let key: Vec<usize> = missing.to_vec(); // clone-ok: tiny pattern key, not shard bytes
         if let Some(m) = self.decode_cache.lock().get(&key) {
-            return Ok(m.clone());
+            return Ok(Arc::clone(m));
         }
         let sub = self.generator.select_rows(&survivors[..self.k]);
         let inv = sub.invert().map_err(|e| {
@@ -120,7 +127,10 @@ impl ReedSolomon {
                 "survivor submatrix must be invertible for an MDS code: {e}"
             ))
         })?;
-        self.decode_cache.lock().insert(key, inv.clone());
+        let inv = Arc::new(inv);
+        self.decode_cache
+            .lock()
+            .insert(key, Arc::clone(&inv));
         Ok(inv)
     }
 
@@ -218,6 +228,50 @@ impl ErasureCode for ReedSolomon {
             node_writes: 1.0 + self.r as f64,
             parity_writes: self.r as f64,
         }
+    }
+
+    fn plan_repair(&self, erased: &[usize], wanted: &[usize]) -> Result<RepairPlan, EcError> {
+        let n = self.total_nodes();
+        let (erased, wanted) = normalize_pattern(n, erased, wanted)?;
+        if erased.len() > self.r {
+            return Err(EcError::TooManyErasures {
+                missing: erased,
+                tolerance: self.r,
+            });
+        }
+        if erased.is_empty() {
+            return RepairPlan::from_steps(n, 1, &[], &[], Vec::new(), &[]);
+        }
+        let survivors: Vec<usize> = (0..n).filter(|i| !erased.contains(i)).collect();
+        // Survivors are ascending, so the first k are exactly the decode
+        // basis `reconstruct` uses (all surviving data nodes sort first).
+        let basis = &survivors[..self.k];
+        let inv = self.decode_matrix(&erased, &survivors)?;
+
+        // One composed step per erased node: an erased data shard w is row w
+        // of inv applied to the basis; an erased parity p is G[p] · inv — a
+        // single k-term combination instead of "decode all data, re-encode".
+        // Zero coefficients are kept on purpose: the matrix decoder fetches
+        // every basis shard in full regardless of sparsity.
+        let mut steps = Vec::with_capacity(erased.len());
+        for &e in &erased {
+            let coeff_of = |j: usize| -> Gf8 {
+                if e < self.k {
+                    inv.get(e, j)
+                } else {
+                    (0..self.k).fold(Gf8::ZERO, |acc, t| {
+                        acc + self.generator.get(e, t) * inv.get(t, j)
+                    })
+                }
+            };
+            let sources: Vec<(u8, usize)> = basis
+                .iter()
+                .enumerate()
+                .map(|(j, &s)| (coeff_of(j).value(), s))
+                .collect();
+            steps.push(PlanStep { target: e, sources });
+        }
+        RepairPlan::from_steps(n, 1, &erased, &wanted, steps, &[])
     }
 }
 
@@ -392,6 +446,76 @@ mod tests {
         let serial = code.encode(&refs).unwrap();
         let parallel = apec_ec::parallel::encode_segmented(&code, &refs, 1024, 4).unwrap();
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn plan_partial_decode_reads_exactly_k_shards() {
+        // ISSUE acceptance: a degraded single-shard read on RS(k,r) reads
+        // exactly k survivor shards and materializes only the wanted shard.
+        let code = ReedSolomon::vandermonde(5, 3).unwrap();
+        let plan = code.plan_repair(&[1, 6], &[1]).unwrap();
+        assert!(!plan.is_opaque());
+        assert_eq!(plan.reads().len(), 5);
+        assert_eq!(plan.total_read_fraction(), 5.0);
+        assert_eq!(plan.wanted(), &[1]);
+        assert_eq!(plan.steps().len(), 1, "only the wanted shard is computed");
+        assert_eq!(plan.compute_shards(), 5.0);
+    }
+
+    #[test]
+    fn plan_execution_matches_reconstruct_all_patterns() {
+        for kind in [MatrixKind::Vandermonde, MatrixKind::Cauchy] {
+            let code = ReedSolomon::new(4, 3, kind).unwrap();
+            let data = random_data(4, 48, 11);
+            let full = full_stripe(&code, &data);
+            let mut scratch = apec_ec::RepairScratch::new();
+            for f in 1..=3 {
+                for pattern in combinations(7, f) {
+                    let shards: Vec<Option<&[u8]>> = (0..7)
+                        .map(|i| {
+                            if pattern.contains(&i) {
+                                None
+                            } else {
+                                full[i].as_deref()
+                            }
+                        })
+                        .collect();
+                    // Full repair of the pattern.
+                    let plan = code.plan_repair(&pattern, &pattern).unwrap();
+                    let mut out = vec![Vec::new(); pattern.len()];
+                    code.execute_plan(&plan, &shards, &mut scratch, &mut out).unwrap();
+                    for (buf, &e) in out.iter().zip(&pattern) {
+                        assert_eq!(
+                            Some(&buf[..]),
+                            full[e].as_deref(),
+                            "{kind:?} pattern {pattern:?} shard {e}"
+                        );
+                    }
+                    assert_eq!(
+                        plan.expected_io(48).unwrap().snapshot(),
+                        scratch.io().unwrap().snapshot(),
+                        "plan-reported I/O must match executed I/O"
+                    );
+                    // Partial decode of each single shard in the pattern.
+                    for &w in &pattern {
+                        let partial = code.plan_repair(&pattern, &[w]).unwrap();
+                        assert_eq!(partial.steps().len(), 1);
+                        let mut one = vec![Vec::new()];
+                        code.execute_plan(&partial, &shards, &mut scratch, &mut one)
+                            .unwrap();
+                        assert_eq!(Some(&one[0][..]), full[w].as_deref());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_shares_the_reconstruct_decode_cache() {
+        let code = ReedSolomon::vandermonde(5, 3).unwrap();
+        let _ = code.plan_repair(&[0, 6], &[0]).unwrap();
+        let _ = code.plan_repair(&[0, 6], &[6]).unwrap();
+        assert_eq!(code.cached_patterns(), 1, "one inversion per pattern");
     }
 
     proptest! {

@@ -62,7 +62,7 @@ pub use approx_code as approx;
 pub mod prelude {
     pub use crate::approx::{ApproxCode, BaseFamily, Structure, TieredReport};
     pub use crate::cluster::{Cluster, ClusterConfig, RepairPlanner};
-    pub use crate::ec::ErasureCode;
+    pub use crate::ec::{ErasureCode, RepairPlan, RepairScratch};
     pub use crate::lrc::Lrc;
     pub use crate::recovery::{recover_lost_frames, Interpolator};
     pub use crate::rs::ReedSolomon;

@@ -1,0 +1,174 @@
+//! Offline API stub for the `criterion` benchmark harness (see
+//! tools/offline/README.md).
+//!
+//! The verification sandbox has no crates.io access, so
+//! `tools/offline/verify.sh` compiles this file as `--crate-name criterion`
+//! and builds the bench binaries against it. It reproduces exactly the API
+//! surface the workspace's benches use — `Criterion`, `BenchmarkGroup`,
+//! `Bencher::iter`, `Throughput::Bytes`, `BenchmarkId`, and the
+//! `criterion_group!`/`criterion_main!` macros (including the
+//! `name/config/targets` form). Every registered benchmark routine is run
+//! **once** as a smoke test; no statistics are collected. CI runs the real
+//! criterion for timing.
+
+/// Stand-in for `criterion::Criterion`. Carries no state; benchmark
+/// routines execute immediately, once.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        smoke_run(&id.into_benchmark_id().label, f);
+        self
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+/// Stand-in for `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().label);
+        smoke_run(&label, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().label);
+        smoke_run(&label, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn smoke_run<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+    let mut b = Bencher;
+    f(&mut b);
+    eprintln!("  smoke {label} ok");
+}
+
+/// Stand-in for `criterion::Bencher`; runs the routine exactly once.
+pub struct Bencher;
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let _ = routine();
+    }
+}
+
+/// Stand-in for `criterion::Throughput`.
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Stand-in for `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Mirror of criterion's `IntoBenchmarkId` conversion for the id
+/// arguments of `bench_function`/`bench_with_input`.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            label: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+            c.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -4,11 +4,12 @@
 # `cargo build && cargo test` need the real registry; when it is
 # unreachable this script reproduces the same coverage with direct rustc
 # invocations: it compiles API stubs for the four external dependencies
-# (rand, proptest, parking_lot, crossbeam — see the stub_*.rs headers),
-# builds every workspace crate against them in dependency order, then
-# compiles and runs each crate's unit tests and the root integration
-# tests. The cli and bench crates need serde derive macros and are
-# compile-skipped here; CI covers them.
+# (rand, proptest, parking_lot, crossbeam, criterion — see the stub_*.rs
+# headers), builds every workspace crate against them in dependency order,
+# then compiles and runs each crate's unit tests, the root integration
+# tests, and the bench binaries (smoke-run once via the criterion stub).
+# The cli crate and the bench crate's serde-based lib need derive macros
+# and are compile-skipped here; CI covers them.
 #
 # Usage: tools/offline/verify.sh [--asan] [--clippy]
 #   --asan    additionally run the gf/ec kernel tests under AddressSanitizer
@@ -58,6 +59,7 @@ STUBS=(
   "proptest:tools/offline/stub_proptest.rs"
   "parking_lot:tools/offline/stub_parking_lot.rs"
   "crossbeam:tools/offline/stub_crossbeam.rs"
+  "criterion:tools/offline/stub_criterion.rs"
 )
 
 externs_for() {
@@ -124,6 +126,27 @@ for t in "$REPO"/tests/*.rs; do
   "$TESTDIR/it-$name" --test-threads "$(nproc)" -q
   echo "  integration $name ok"
 done
+
+echo "== compiling benches (stub criterion; smoke-running repair_benches)"
+# The stub harness runs every registered routine once, so compiling is a
+# real type-check of the bench code and running is a smoke test.
+# CARGO_MANIFEST_DIR (normally set by cargo) is pointed into $OUT so the
+# hand-timed JSON summaries land there instead of dirtying the repo root.
+BENCH_EXTERNS=(--extern criterion="$LIBDIR/libcriterion.rlib"
+  --extern rand="$LIBDIR/librand.rlib")
+for d in apec_gf apec_bitmatrix apec_ec apec_rs apec_lrc apec_xor approx_code; do
+  BENCH_EXTERNS+=(--extern "$d=$LIBDIR/lib$d.rlib")
+done
+mkdir -p "$OUT/bench-manifest/sub"
+for b in "$REPO"/crates/bench/benches/*.rs; do
+  name="$(basename "$b" .rs)"
+  CARGO_MANIFEST_DIR="$OUT/bench-manifest/sub" \
+    "$RUSTC" "${COMMON[@]}" --crate-name "$name" "${BENCH_EXTERNS[@]}" \
+    "$b" -o "$TESTDIR/bench-$name"
+  echo "  bench $name compiles"
+done
+"$TESTDIR/bench-repair_benches" >/dev/null 2>&1 || "$TESTDIR/bench-repair_benches"
+echo "  bench repair_benches smoke ok ($OUT/BENCH_repair.json)"
 
 if [ "$RUN_CLIPPY" = 1 ]; then
   echo "== clippy (offline, per-crate)"

@@ -64,6 +64,19 @@ const UNSAFE_ALLOWED: &[&str] = &["crates/gf/src/kernels/"];
 /// kernel layer, and xtask must be able to name the patterns it greps for.
 const RAW_XOR_EXEMPT: &[&str] = &["crates/gf/", "xtask/src/"];
 
+/// Decode hot paths: non-test code here moves shard bytes, so buffer
+/// clones (`.clone()` / `.to_vec(`) are banned — the repair executor's
+/// whole point is a zero-allocation warm path. Legitimate small-object
+/// copies (pattern keys, coefficient lists) carry a same-line
+/// `// clone-ok: <reason>` marker.
+const CLONE_BANNED: &[&str] = &[
+    "crates/rs/src/",
+    "crates/lrc/src/",
+    "crates/xor/src/",
+    "crates/core/src/code.rs",
+    "crates/ec/src/plan.rs",
+];
+
 fn lint(root: &Path) -> Result<(), String> {
     let mut files = Vec::new();
     for dir in SCAN_ROOTS {
@@ -264,10 +277,30 @@ fn lint_file(rel: &str, text: &str, report: &mut String) {
     let lines = scrub(text);
     let unsafe_allowed = UNSAFE_ALLOWED.iter().any(|p| rel.starts_with(p));
     let xor_exempt = RAW_XOR_EXEMPT.iter().any(|p| rel.starts_with(p));
+    let clone_banned = CLONE_BANNED.iter().any(|p| rel.starts_with(p));
+    // The clone ban covers only shipping code: everything before the first
+    // `#[cfg(test)]` line (test modules sit at the bottom of each file).
+    let test_start = lines
+        .iter()
+        .position(|l| l.code.contains("#[cfg(test)]"))
+        .unwrap_or(lines.len());
 
     for (idx, line) in lines.iter().enumerate() {
         let lineno = idx + 1;
         let code = line.code.as_str();
+
+        if clone_banned
+            && idx < test_start
+            && (code.contains(".clone()") || code.contains(".to_vec("))
+            && !line.raw.contains("clone-ok:")
+        {
+            let _ = writeln!(
+                report,
+                "{rel}:{lineno}: buffer clone in a decode hot path — reuse \
+                 pooled scratch/Arc instead (or add `// clone-ok: <reason>` \
+                 for a provably small copy)"
+            );
+        }
 
         if contains_word(code, "unsafe") {
             // Attribute/lint mentions (`unsafe_code`, `unsafe_op_in_unsafe_fn`)
@@ -416,6 +449,34 @@ mod tests {
         assert!(report.contains("MUL_TABLE"));
         // the marked line is not reported twice
         assert_eq!(report.matches("raw `^=`").count(), 1);
+    }
+
+    #[test]
+    fn lint_flags_hot_path_clones_outside_tests() {
+        let mut report = String::new();
+        lint_file(
+            "crates/rs/src/lib.rs",
+            "let a = buf.clone();\nlet b = key.to_vec(); // clone-ok: tiny key\n\
+             #[cfg(test)]\nlet c = buf.clone();\n",
+            &mut report,
+        );
+        assert_eq!(
+            report.matches("decode hot path").count(),
+            1,
+            "report: {report}"
+        );
+        assert!(report.contains(":1:"), "report: {report}");
+    }
+
+    #[test]
+    fn clone_lint_only_covers_hot_paths() {
+        let mut report = String::new();
+        lint_file(
+            "crates/cluster/src/store.rs",
+            "let a = buf.clone();\n",
+            &mut report,
+        );
+        assert!(report.is_empty(), "unexpected report: {report}");
     }
 
     #[test]
