@@ -10,7 +10,38 @@
 use crate::combinatorics::{binomial, combinations};
 use approx_code::{ApproxCode, Structure};
 use rand::prelude::*;
-use rand::rngs::StdRng;
+use std::fmt;
+
+/// Parameter combinations outside a closed-form model's assumptions.
+///
+/// The CLI and the experiment harness accept arbitrary `(k, r, g, h)`
+/// tuples; models that only hold for part of that space report why with
+/// this error instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReliabilityError {
+    /// The paper's `P_I` derivation fixes the important fault tolerance at
+    /// `r + g = 3` (3DFT); other tolerances have no published closed form.
+    UnsupportedTolerance {
+        /// Local parities per stripe.
+        r: usize,
+        /// Global parities.
+        g: usize,
+    },
+}
+
+impl fmt::Display for ReliabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReliabilityError::UnsupportedTolerance { r, g } => write!(
+                f,
+                "P_I closed form needs 3DFT (r + g = 3), got r = {r}, g = {g}; \
+                 use enumerate_reliability/sample_reliability instead"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReliabilityError {}
 
 /// `P_U`: expectation that **unimportant** data survives `f = r + 1`
 /// arbitrary node failures (paper Eq. 1–2).
@@ -28,12 +59,24 @@ pub fn analytic_p_u(k: usize, r: usize, g: usize, h: usize, structure: Structure
 
 /// `P_I`: expectation that **important** data survives `f = r + g + 1 = 4`
 /// arbitrary node failures (paper Eq. 3–4; the paper fixes `r + g = 3`).
-pub fn analytic_p_i(k: usize, r: usize, g: usize, h: usize, structure: Structure) -> f64 {
-    assert_eq!(r + g, 3, "the paper's P_I derivation assumes 3DFT (r + g = 3)");
+///
+/// Returns [`ReliabilityError::UnsupportedTolerance`] outside the 3DFT
+/// setting — the measured counterparts ([`enumerate_reliability`],
+/// [`sample_reliability`]) work for any geometry.
+pub fn analytic_p_i(
+    k: usize,
+    r: usize,
+    g: usize,
+    h: usize,
+    structure: Structure,
+) -> Result<f64, ReliabilityError> {
+    if r + g != 3 {
+        return Err(ReliabilityError::UnsupportedTolerance { r, g });
+    }
     let n = h * (k + r) + g;
     let f = 4;
     let all = binomial(n, f) as f64;
-    match structure {
+    Ok(match structure {
         Structure::Even => {
             // Σ_{i=0..g} C(k+r, 4-i)·C(g, i): the failures split between
             // one stripe and the global nodes.
@@ -41,7 +84,7 @@ pub fn analytic_p_i(k: usize, r: usize, g: usize, h: usize, structure: Structure
             1.0 - h as f64 * sum as f64 / all
         }
         Structure::Uneven => 1.0 - binomial(k + 3, 4) as f64 / all,
-    }
+    })
 }
 
 /// Measured counterpart of `P_U`/`P_I`: evaluates every `C(N, f)` failure
@@ -87,7 +130,7 @@ pub fn sample_reliability(
     seed: u64,
 ) -> MeasuredReliability {
     let n = code.params().total_nodes();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = apec_ec::rng::fork(seed, "sample_reliability");
     let mut ok_u = 0usize;
     let mut ok_i = 0usize;
     let mut nodes: Vec<usize> = (0..n).collect();
@@ -119,9 +162,9 @@ mod tests {
         // §3.4: APPR.RS(3,1,2,3,Even): P_U = 80.21 %, P_I = 95.50 %;
         //        APPR.RS(3,1,2,3,Uneven): P_U = 86.81 %, P_I = 98.50 %.
         let pu_even = analytic_p_u(3, 1, 2, 3, Structure::Even);
-        let pi_even = analytic_p_i(3, 1, 2, 3, Structure::Even);
+        let pi_even = analytic_p_i(3, 1, 2, 3, Structure::Even).unwrap();
         let pu_uneven = analytic_p_u(3, 1, 2, 3, Structure::Uneven);
-        let pi_uneven = analytic_p_i(3, 1, 2, 3, Structure::Uneven);
+        let pi_uneven = analytic_p_i(3, 1, 2, 3, Structure::Uneven).unwrap();
         assert!((pu_even - 0.8021978).abs() < 1e-4, "{pu_even}");
         assert!((pi_even - 0.9550450).abs() < 1e-4, "{pi_even}");
         assert!((pu_uneven - 0.8681319).abs() < 1e-4, "{pu_uneven}");
@@ -140,7 +183,7 @@ mod tests {
                 at_r1.p_u
             );
             let at_rg1 = enumerate_reliability(&code, 4);
-            let want_pi = analytic_p_i(3, 1, 2, 3, structure);
+            let want_pi = analytic_p_i(3, 1, 2, 3, structure).unwrap();
             assert!(
                 (at_rg1.p_i - want_pi).abs() < 1e-12,
                 "{structure}: enumerated P_I {} vs analytic {want_pi}",
@@ -158,7 +201,7 @@ mod tests {
         let want_pu = analytic_p_u(3, 1, 2, 3, Structure::Uneven);
         assert!((at_r1.p_u - want_pu).abs() < 1e-12, "{} vs {want_pu}", at_r1.p_u);
         let at_rg1 = enumerate_reliability(&code, 4);
-        let want_pi = analytic_p_i(3, 1, 2, 3, Structure::Uneven);
+        let want_pi = analytic_p_i(3, 1, 2, 3, Structure::Uneven).unwrap();
         assert!((at_rg1.p_i - want_pi).abs() < 1e-12, "{} vs {want_pi}", at_rg1.p_i);
     }
 
@@ -173,8 +216,8 @@ mod tests {
                         > analytic_p_u(k, 1, 2, h, Structure::Even)
                 );
                 assert!(
-                    analytic_p_i(k, 1, 2, h, Structure::Uneven)
-                        > analytic_p_i(k, 1, 2, h, Structure::Even)
+                    analytic_p_i(k, 1, 2, h, Structure::Uneven).unwrap()
+                        > analytic_p_i(k, 1, 2, h, Structure::Even).unwrap()
                 );
             }
         }
@@ -194,8 +237,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "3DFT")]
-    fn p_i_guards_the_3dft_assumption() {
-        analytic_p_i(4, 2, 2, 3, Structure::Even);
+    fn p_i_rejects_non_3dft_parameters_gracefully() {
+        // CLI-reachable combos outside the paper's 3DFT assumption must
+        // fail with a typed, descriptive error — not a panic.
+        let err = analytic_p_i(4, 2, 2, 3, Structure::Even).unwrap_err();
+        assert_eq!(err, ReliabilityError::UnsupportedTolerance { r: 2, g: 2 });
+        assert!(err.to_string().contains("r + g = 3"), "{err}");
+        assert!(analytic_p_i(4, 1, 1, 3, Structure::Uneven).is_err());
+        // The supported boundary still succeeds for both structures.
+        for s in [Structure::Even, Structure::Uneven] {
+            assert!(analytic_p_i(4, 2, 1, 3, s).is_ok());
+        }
     }
 }

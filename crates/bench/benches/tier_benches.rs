@@ -1,0 +1,133 @@
+//! Tier lifecycle benchmarks: whole-trace engine runs across demotion
+//! policies and cold-code structures.
+//!
+//! Two outputs per run:
+//!
+//! 1. Criterion group (`tier/run`) timing one full trace replay per
+//!    configuration — ingest, Zipf reads, failures, repairs, demotions
+//!    and the report build, end to end.
+//! 2. `BENCH_tier.json` at the repository root — the lifecycle outcomes
+//!    the paper's cost argument rests on (storage saved vs the all-hot
+//!    counterfactual, conversion traffic, read latency, approximate-read
+//!    PSNR), one row per configuration, plus the report digest so a
+//!    regression in determinism shows up as a changed digest under an
+//!    unchanged seed.
+//!
+//! Configurations:
+//! - `never`: demotion disabled — the all-hot baseline (savings ≈ 0).
+//! - `access-uneven`: the demo access-count policy with the Uneven
+//!   (importance-aware) cold structure — the paper's proposal.
+//! - `age-even`: age-based demotion onto an Even cold structure — the
+//!   conventional archival-tiering strawman.
+
+use apec_ec::ErasureCode;
+use apec_tier::{DemotionPolicy, TierConfig, TierEngine, TierReport, WorkloadConfig};
+use approx_code::Structure;
+use criterion::{BenchmarkId, Criterion};
+use std::time::Instant;
+
+/// One benchmarked lifecycle configuration.
+struct Scenario {
+    label: &'static str,
+    cfg: TierConfig,
+    workload: WorkloadConfig,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    let seed = 42;
+    let workload = WorkloadConfig::small(seed);
+    let base = TierConfig::demo(seed);
+
+    let mut never = base;
+    never.policy = DemotionPolicy::Never;
+
+    let mut age_even = base;
+    age_even.policy = DemotionPolicy::Age { min_age: 16 };
+    age_even.cold.structure = Structure::Even;
+    // Even sub-stripes every node h ways, so its alignment differs from
+    // the Uneven demo default; re-derive the shard length.
+    let align = age_even.cold.build().expect("even cold code").shard_alignment();
+    age_even.cold_shard_len = align * 128;
+
+    vec![
+        Scenario {
+            label: "never",
+            cfg: never,
+            workload,
+        },
+        Scenario {
+            label: "access-uneven",
+            cfg: base,
+            workload,
+        },
+        Scenario {
+            label: "age-even",
+            cfg: age_even,
+            workload,
+        },
+    ]
+}
+
+fn run_once(s: &Scenario) -> TierReport {
+    let mut engine = TierEngine::new(s.cfg).expect("bench config is valid");
+    engine.run(&s.workload).expect("trace executes")
+}
+
+fn bench_tier(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tier/run");
+    // A full trace replay is seconds, not microseconds; keep the sample
+    // count at criterion's floor.
+    for s in scenarios() {
+        g.bench_function(BenchmarkId::from_parameter(s.label), |b| {
+            b.iter(|| std::hint::black_box(run_once(&s)))
+        });
+    }
+    g.finish();
+}
+
+/// Writes the machine-readable lifecycle summary consumed by CI. Lives at
+/// the repo root next to the other `BENCH_*.json` artifacts.
+fn write_bench_json() {
+    let mut entries = Vec::new();
+    for s in scenarios() {
+        let t = Instant::now();
+        let report = run_once(&s);
+        let micros = t.elapsed().as_secs_f64() * 1e6;
+        let psnr = if report.psnr.samples > 0 {
+            format!("{:.2}", report.psnr.mean_db)
+        } else {
+            "null".to_string()
+        };
+        entries.push(format!(
+            "    {{\"config\": \"{}\", \"hot\": \"{}\", \"cold\": \"{}\", \
+             \"micros_per_run\": {micros:.0}, \"demotions\": {}, \
+             \"savings_pct\": {:.2}, \"conversion_write_kib\": {}, \
+             \"read_p95_ms\": {:.3}, \"psnr_mean_db\": {psnr}, \
+             \"digest\": \"{}\"}}",
+            s.label,
+            report.config.hot_code,
+            report.config.cold_code,
+            report.tiers.demotions,
+            report.costs.savings_ratio() * 100.0,
+            report.io.conversion.write_bytes / 1024,
+            report.latency.p95_ns as f64 / 1e6,
+            report.digest(),
+        ));
+    }
+    let doc = format!(
+        "{{\n  \"bench\": \"tier-lifecycle\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tier.json");
+    match std::fs::write(path, doc) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    write_bench_json();
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    bench_tier(&mut c);
+    c.final_summary();
+}

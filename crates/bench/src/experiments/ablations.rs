@@ -35,7 +35,7 @@ pub fn ablation_structure() -> Table {
         t.row(vec![
             structure.to_string().into(),
             (reliability::analytic_p_u(5, 1, 2, 4, structure) * 100.0).into(),
-            (reliability::analytic_p_i(5, 1, 2, 4, structure) * 100.0).into(),
+            (reliability::analytic_p_i(5, 1, 2, 4, structure).expect("3DFT") * 100.0).into(),
             format!("{carrying}/{}", params.data_nodes()).into(),
             (max / mean).into(),
         ]);
@@ -60,7 +60,7 @@ pub fn ablation_h_sweep() -> Table {
             (overhead::appr_rs_improvement(5, 1, 2, h) * 100.0).into(),
             apec_analysis::writecost::appr_rs_single_write(1, 2, h).into(),
             (reliability::analytic_p_u(5, 1, 2, h, Structure::Uneven) * 100.0).into(),
-            (reliability::analytic_p_i(5, 1, 2, h, Structure::Uneven) * 100.0).into(),
+            (reliability::analytic_p_i(5, 1, 2, h, Structure::Uneven).expect("3DFT") * 100.0).into(),
             format!("1/{h}").into(),
         ]);
     }
@@ -83,7 +83,7 @@ pub fn ablation_split() -> Table {
             code.storage_overhead().into(),
             code.update_pattern().node_writes.into(),
             (reliability::analytic_p_u(5, r, g, 4, Structure::Even) * 100.0).into(),
-            (reliability::analytic_p_i(5, r, g, 4, Structure::Even) * 100.0).into(),
+            (reliability::analytic_p_i(5, r, g, 4, Structure::Even).expect("3DFT") * 100.0).into(),
             enc.into(),
         ]);
     }

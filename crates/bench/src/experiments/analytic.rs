@@ -192,7 +192,7 @@ pub fn reliability_table() -> Table {
             code.name().into(),
             (reliability::analytic_p_u(3, 1, 2, 3, structure) * 100.0).into(),
             (m2.p_u * 100.0).into(),
-            (reliability::analytic_p_i(3, 1, 2, 3, structure) * 100.0).into(),
+            (reliability::analytic_p_i(3, 1, 2, 3, structure).expect("3DFT") * 100.0).into(),
             (m4.p_i * 100.0).into(),
             "exhaustive".into(),
         ]);
@@ -207,7 +207,7 @@ pub fn reliability_table() -> Table {
                 code.name().into(),
                 (reliability::analytic_p_u(5, 1, 2, 4, structure) * 100.0).into(),
                 (m2.p_u * 100.0).into(),
-                (reliability::analytic_p_i(5, 1, 2, 4, structure) * 100.0).into(),
+                (reliability::analytic_p_i(5, 1, 2, 4, structure).expect("3DFT") * 100.0).into(),
                 (m4.p_i * 100.0).into(),
                 "monte-carlo (1500)".into(),
             ]);

@@ -85,6 +85,20 @@ impl Args {
         }
     }
 
+    /// An optional flag: `None` when absent, parsed when present.
+    pub fn get_opt<T: FromStr>(&self, name: &str) -> Result<Option<T>, CliError>
+    where
+        T::Err: fmt::Display,
+    {
+        match self.take(name) {
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|e| CliError(format!("--{name} '{v}': {e}"))),
+            None => Ok(None),
+        }
+    }
+
     /// An optional string flag with a default.
     pub fn get_or_str(&self, name: &str, default: &str) -> Result<String, CliError> {
         Ok(self.take(name).unwrap_or_else(|| default.to_string()))

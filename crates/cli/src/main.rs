@@ -10,6 +10,7 @@
 //! apec get   --dir vault --id clip --out restored.apv
 //! apec check clip.apv restored.apv
 //! apec audit
+//! apec tier  --seed 42 --ticks 60 --json report.json
 //! ```
 //!
 //! `gen` renders a synthetic 60 fps clip and compresses it with the
@@ -23,6 +24,7 @@
 
 mod args;
 mod clip;
+mod tier_cmd;
 mod vault;
 
 use args::{Args, CliError};
@@ -56,6 +58,11 @@ commands:
   get     --dir DIR --id ID --out FILE.apv
   check   REFERENCE.apv CANDIDATE.apv
   audit
+  tier    [--seed S] [--videos N] [--ticks N] [--reads-per-tick N] [--nodes N]
+          [--policy access|age|never] [--threshold N] [--window N] [--age N]
+          [--family rs|lrc|star|tip] [--k N] [--r N] [--g N] [--h N]
+          [--structure even|uneven] [--cold-shard N] [--hot-k N] [--hot-r N]
+          [--failure-every N] [--repair-after N] [--json FILE]
 
 run 'apec <command> --help' is not a thing; this is the whole manual.";
 
@@ -74,6 +81,7 @@ fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "get" => cmd_get(Args::parse(rest)?),
         "check" => cmd_check(Args::parse(rest)?),
         "audit" => cmd_audit(Args::parse(rest)?),
+        "tier" => tier_cmd::run(Args::parse(rest)?),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

@@ -370,6 +370,132 @@ impl Cluster {
         meta.placement = new_placement;
         Ok(rebuilt)
     }
+
+    /// Stores an object from **pre-split data stripes** instead of a flat
+    /// byte slice: `data_stripes[s][j]` is data shard `j` of stripe `s`,
+    /// every shard already `shard_len`-sized. Parity is encoded per stripe
+    /// and the usual placement rotation applies.
+    ///
+    /// This is the ingest path for tiered packings
+    /// (`approx::tiered::pack`), where the shard↔byte mapping is the
+    /// code's business and the cluster must not re-split the object.
+    /// `logical_len` is recorded as `ObjectMeta::len` for bookkeeping; the
+    /// caller unpacks reads itself via [`Cluster::fetch_block`].
+    pub fn store_encoded(
+        &mut self,
+        code: &dyn ErasureCode,
+        object: u64,
+        data_stripes: &[Vec<Vec<u8>>],
+        logical_len: usize,
+    ) -> Result<ObjectMeta, ClusterError> {
+        let width = code.total_nodes();
+        if self.node_count() < width {
+            return Err(ClusterError::TooSmall {
+                nodes: self.node_count(),
+                needed: width,
+            });
+        }
+        let k = code.data_nodes();
+        let shard_len = data_stripes
+            .first()
+            .and_then(|s| s.first())
+            .map(Vec::len)
+            .ok_or_else(|| ClusterError::Unavailable("no stripes to store".into()))?;
+        for (s, stripe) in data_stripes.iter().enumerate() {
+            if stripe.len() != k || stripe.iter().any(|sh| sh.len() != shard_len) {
+                return Err(ClusterError::Unavailable(format!(
+                    "stripe {s}: want {k} shards of {shard_len} B"
+                )));
+            }
+        }
+        let placement: Vec<usize> = (0..width)
+            .map(|i| (i + object as usize) % self.node_count())
+            .collect();
+        for (s, stripe) in data_stripes.iter().enumerate() {
+            let refs: Vec<&[u8]> = stripe.iter().map(|sh| sh.as_slice()).collect();
+            let parity = code.encode(&refs)?;
+            for (i, bytes) in stripe.iter().cloned().chain(parity).enumerate() {
+                let id = BlockId {
+                    object,
+                    stripe: s as u32,
+                    shard: i as u32,
+                };
+                self.put_block(placement[i], id, bytes)?;
+            }
+        }
+        Ok(ObjectMeta {
+            object,
+            len: logical_len,
+            stripes: data_stripes.len() as u32,
+            shard_len,
+            placement,
+        })
+    }
+
+    /// Removes every block of an object, returning the bytes freed.
+    ///
+    /// A NameNode metadata operation: no disk I/O is charged (real systems
+    /// unlink asynchronously; the paper's conversion cost model likewise
+    /// counts only the data moved, not the space reclaimed).
+    pub fn delete_object(&mut self, meta: &ObjectMeta) -> u64 {
+        let mut freed = 0u64;
+        for s in 0..meta.stripes {
+            for (i, &node) in meta.placement.iter().enumerate() {
+                let id = BlockId {
+                    object: meta.object,
+                    stripe: s,
+                    shard: i as u32,
+                };
+                if let Some(b) = self.nodes[node].blocks.remove(&id) {
+                    freed += b.len() as u64;
+                }
+            }
+        }
+        freed
+    }
+
+    /// Reads one block (I/O-accounted). `None` if the node is dead or the
+    /// block is gone.
+    pub fn fetch_block(&self, node: usize, id: BlockId) -> Option<Vec<u8>> {
+        self.get_block(node, id)
+    }
+
+    /// Presence check (a NameNode metadata query — no I/O charged).
+    pub fn block_present(&self, node: usize, id: BlockId) -> bool {
+        self.has_block(node, id)
+    }
+
+    /// Writes one block (I/O-accounted). Fails if the node is dead.
+    pub fn store_block(
+        &mut self,
+        node: usize,
+        id: BlockId,
+        bytes: Vec<u8>,
+    ) -> Result<(), ClusterError> {
+        self.put_block(node, id, bytes)
+    }
+
+    /// Bytes an object currently occupies on live nodes (metadata scan,
+    /// no I/O charged). Healthy objects report
+    /// `stripes × width × shard_len`; failures show up as shortfall.
+    pub fn object_stored_bytes(&self, meta: &ObjectMeta) -> u64 {
+        let mut total = 0u64;
+        for s in 0..meta.stripes {
+            for (i, &node) in meta.placement.iter().enumerate() {
+                let id = BlockId {
+                    object: meta.object,
+                    stripe: s,
+                    shard: i as u32,
+                };
+                if self.is_alive(node) {
+                    if let Some(b) = self.nodes[node].blocks.get(&id) {
+                        total += b.len() as u64;
+                    }
+                }
+            }
+        }
+        total
+    }
 }
 
 #[cfg(test)]
@@ -506,6 +632,83 @@ mod tests {
             cluster.store_object(&code, 6, &[0u8; 10], 16),
             Err(ClusterError::TooSmall { nodes: 3, needed: 7 })
         ));
+    }
+
+    #[test]
+    fn store_encoded_round_trips_through_fetch_block() {
+        let mut cluster = Cluster::new(9);
+        let code = ReedSolomon::vandermonde(3, 2).unwrap();
+        let shard_len = 256;
+        let stripes: Vec<Vec<Vec<u8>>> = (0..2)
+            .map(|s| (0..3).map(|j| payload(shard_len + s + j) [..shard_len].to_vec()).collect())
+            .collect();
+        let meta = cluster.store_encoded(&code, 11, &stripes, 2 * 3 * shard_len).unwrap();
+        assert_eq!(meta.stripes, 2);
+        assert_eq!(meta.shard_len, shard_len);
+        // Data shards come back byte-identical from their placed nodes.
+        for (s, stripe) in stripes.iter().enumerate() {
+            for (j, shard) in stripe.iter().enumerate() {
+                let id = BlockId { object: 11, stripe: s as u32, shard: j as u32 };
+                assert_eq!(cluster.fetch_block(meta.placement[j], id).as_ref(), Some(shard));
+            }
+        }
+        // Parity was encoded too: a full stripe width is present.
+        assert_eq!(
+            cluster.object_stored_bytes(&meta),
+            2 * 5 * shard_len as u64
+        );
+        // And the generic reader agrees with the flat concatenation.
+        let flat: Vec<u8> = stripes.iter().flatten().flatten().copied().collect();
+        assert_eq!(cluster.read_object(&code, &meta).unwrap(), flat);
+    }
+
+    #[test]
+    fn store_encoded_rejects_ragged_stripes() {
+        let mut cluster = Cluster::new(9);
+        let code = ReedSolomon::vandermonde(3, 2).unwrap();
+        let bad = vec![vec![vec![0u8; 64], vec![0u8; 64]]]; // 2 shards, want 3
+        assert!(matches!(
+            cluster.store_encoded(&code, 12, &bad, 128),
+            Err(ClusterError::Unavailable(_))
+        ));
+        assert!(cluster.store_encoded(&code, 13, &[], 0).is_err());
+    }
+
+    #[test]
+    fn delete_object_frees_blocks_without_io_charge() {
+        let mut cluster = Cluster::new(8);
+        let code = ReedSolomon::vandermonde(4, 2).unwrap();
+        let data = payload(4 * 512);
+        let meta = cluster.store_object(&code, 14, &data, 512).unwrap();
+        cluster.stats().reset();
+        let freed = cluster.delete_object(&meta);
+        assert_eq!(freed, 6 * 512);
+        assert_eq!(cluster.object_stored_bytes(&meta), 0);
+        let totals = cluster.stats().totals();
+        assert_eq!((totals.read_bytes, totals.write_bytes), (0, 0));
+        // The id can be reused for the re-encoded (demoted) replacement.
+        assert!(cluster.store_object(&code, 14, &data, 512).is_ok());
+    }
+
+    #[test]
+    fn block_level_api_accounts_io_like_the_object_path() {
+        let mut cluster = Cluster::new(4);
+        let id = BlockId { object: 21, stripe: 0, shard: 0 };
+        cluster.store_block(2, id, vec![7u8; 100]).unwrap();
+        assert!(cluster.block_present(2, id));
+        assert_eq!(cluster.fetch_block(2, id).unwrap().len(), 100);
+        let n = cluster.stats().node(2);
+        assert_eq!((n.write_bytes, n.read_bytes), (100, 100));
+        // Presence checks and stored-bytes scans stay free.
+        let before = cluster.stats().totals();
+        assert!(!cluster.block_present(1, id));
+        let after = cluster.stats().totals();
+        assert_eq!(before, after);
+        // Dead node: writes fail, reads miss, presence is false.
+        cluster.kill_node(2).unwrap();
+        assert!(cluster.store_block(2, id, vec![0u8; 1]).is_err());
+        assert!(cluster.fetch_block(2, id).is_none());
+        assert!(!cluster.block_present(2, id));
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //!   element-wise, so a stripe can be cut into independent segments.
 //! * [`iostats`] — I/O accounting used to reproduce the paper's single-write
 //!   and recovery-cost experiments.
+//! * [`rng`] — centralised deterministic seed plumbing: every stochastic
+//!   component forks its generator from one seed, so runs reproduce
+//!   bit-for-bit (entropy-based constructors are banned by `xtask lint`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,6 +23,7 @@ mod error;
 pub mod iostats;
 pub mod parallel;
 pub mod plan;
+pub mod rng;
 pub mod stripe;
 mod traits;
 

@@ -1,0 +1,109 @@
+//! Centralised deterministic seed plumbing.
+//!
+//! Every stochastic component in the workspace — the tier workload
+//! generator, Monte-Carlo reliability validation, benchmark fixtures,
+//! examples — draws its randomness through this module so that one `u64`
+//! seed reproduces an entire run bit-for-bit. Entropy-based constructors
+//! (`thread_rng`, `rand::rng()`, `from_entropy`, `from_os_rng`) are banned
+//! workspace-wide by `cargo xtask lint`; this module is the sanctioned
+//! alternative.
+//!
+//! Independent consumers of one master seed must not share a stream (a
+//! workload's read sampler advancing would perturb its failure injector).
+//! [`derive`] splits a master seed into decorrelated child seeds by label,
+//! and [`fork`] builds the child generator directly:
+//!
+//! ```
+//! use apec_ec::rng;
+//! use rand::Rng;
+//!
+//! let mut reads = rng::fork(42, "reads");
+//! let mut failures = rng::fork(42, "failures");
+//! // Distinct labels ⇒ decorrelated streams; same seed ⇒ same run.
+//! let _ = reads.random_range(0..100u32);
+//! let _ = failures.random_range(0..100u32);
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic generator from a bare seed.
+///
+/// Thin wrapper over `StdRng::seed_from_u64`, named so call sites read as
+/// policy ("this randomness is seed-plumbed") rather than mechanism.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derives a decorrelated child seed from a master seed and a label.
+///
+/// The label is hashed with FNV-1a and the combination is finalised with
+/// the SplitMix64 mixer, so nearby master seeds and similar labels still
+/// land far apart in seed space. Deterministic across platforms and
+/// releases: the constants are fixed here, not inherited from `std`.
+pub fn derive(seed: u64, label: &str) -> u64 {
+    // FNV-1a over the label bytes.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in label.as_bytes() {
+        h ^= u64::from(b); // raw-xor-ok: seed hashing, not shard data
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // SplitMix64 finaliser over seed ⊕ label-hash.
+    let mut z = seed ^ h; // raw-xor-ok: seed mixing, not shard data
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9); // raw-xor-ok: mixer
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb); // raw-xor-ok: mixer
+    z ^ (z >> 31) // raw-xor-ok: mixer
+}
+
+/// A deterministic generator for one labelled sub-stream of a master seed.
+///
+/// Equivalent to `seeded(derive(seed, label))`.
+pub fn fork(seed: u64, label: &str) -> StdRng {
+    seeded(derive(seed, label))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    // Required for `.random()` under the real `rand`; the offline stub
+    // exposes the generation methods inherently, making this "unused".
+    #[allow(unused_imports)]
+    use rand::Rng;
+
+    #[test]
+    fn seeded_is_reproducible() {
+        let mut r1 = seeded(7);
+        let mut r2 = seeded(7);
+        let a: Vec<u32> = (0..8).map(|_| r1.random()).collect();
+        let b: Vec<u32> = (0..8).map(|_| r2.random()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn derive_is_stable_and_label_sensitive() {
+        assert_eq!(derive(42, "reads"), derive(42, "reads"));
+        assert_ne!(derive(42, "reads"), derive(42, "failures"));
+        assert_ne!(derive(42, "reads"), derive(43, "reads"));
+        // The empty label still mixes the seed (fork(s, "") != seeded-from-s).
+        assert_ne!(derive(42, ""), 42);
+    }
+
+    #[test]
+    fn forked_streams_are_decorrelated() {
+        let mut a = fork(1, "a");
+        let mut b = fork(1, "b");
+        let xs: Vec<u64> = (0..16).map(|_| a.random()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.random()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn nearby_seeds_diverge() {
+        // SplitMix64 avalanche: consecutive master seeds must not yield
+        // consecutive child seeds.
+        let d0 = derive(100, "x");
+        let d1 = derive(101, "x");
+        assert!(d0.abs_diff(d1) > 1 << 32, "{d0} vs {d1}");
+    }
+}

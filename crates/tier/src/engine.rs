@@ -1,0 +1,1079 @@
+//! The tier state machine: objects live Hot (a conventional 3DFT code) or
+//! Cold (Approximate Code), with re-encode-in-place demotion.
+//!
+//! Every object enters on the hot tier under a standard code (RS, Cauchy
+//! RS, or LRC). At each tick boundary the configured
+//! [`DemotionPolicy`] inspects the object's access history; when it
+//! fires, the engine reads the object off the hot placement, repacks the
+//! important/unimportant streams with `approx_code::tiered::pack`, and
+//! re-stores it under the cold [`ApproxCode`] — charging every byte of
+//! conversion traffic through the cluster's `IoStats`, exactly like the
+//! paper's migration experiments (§4.5).
+//!
+//! Reads route by tier: hot reads use the cluster's plan-driven degraded
+//! read path; cold reads decode around missing blocks with
+//! [`ApproxCode::reconstruct_tiered`] *locally* (reads never write back)
+//! and, when unimportant data is gone for good, hand the damaged frames
+//! to `apec-recovery`'s interpolators and score the result with PSNR.
+//! Node repair rebuilds hot objects via the cluster's repair executor and
+//! cold objects via a tiered rebuild that writes back zero-filled
+//! unsolved ranges — a *permanent* approximation the container layer
+//! later surfaces as CRC-failed (lost) frames.
+
+use crate::cost::{simulate_object_read, TierCosts};
+use crate::policy::{AccessStats, DemotionPolicy};
+use crate::report::{
+    ConfigEcho, ConversionRecord, EventCounts, IoBreakdown, IoTotals, LatencyHistogram,
+    OverheadCheck, PsnrHistogram, ReadCounts, TierCounts, TierReport, TimelinePoint,
+};
+use crate::workload::{EventKind, Trace, WorkloadConfig};
+use apec_cluster::{BlockId, Cluster, ClusterConfig, ClusterError, ObjectMeta};
+use apec_ec::iostats::NodeIo;
+use apec_ec::{EcError, ErasureCode};
+use apec_lrc::Lrc;
+use apec_recovery::{recover_lost_frames, Interpolator};
+use apec_rs::ReedSolomon;
+use apec_video::{
+    decode_stream, encode_stream, parse_container, psnr_db, serialize_container, GopConfig,
+    SyntheticVideo, VideoContainer,
+};
+use approx_code::{tiered, ApproxCode, BaseFamily, Structure};
+use serde::Serialize;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Errors from engine construction or event execution.
+#[derive(Debug)]
+pub enum TierError {
+    /// A cluster operation failed.
+    Cluster(ClusterError),
+    /// A codec operation failed.
+    Codec(EcError),
+    /// The configuration is inconsistent.
+    Config(String),
+}
+
+impl fmt::Display for TierError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TierError::Cluster(e) => write!(f, "cluster: {e}"),
+            TierError::Codec(e) => write!(f, "codec: {e}"),
+            TierError::Config(m) => write!(f, "config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TierError {}
+
+impl From<ClusterError> for TierError {
+    fn from(e: ClusterError) -> Self {
+        TierError::Cluster(e)
+    }
+}
+
+impl From<EcError> for TierError {
+    fn from(e: EcError) -> Self {
+        TierError::Codec(e)
+    }
+}
+
+/// The hot tier's conventional erasure code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HotCode {
+    /// Vandermonde Reed-Solomon RS(k, r).
+    Rs {
+        /// Data shards.
+        k: usize,
+        /// Parity shards.
+        r: usize,
+    },
+    /// Cauchy Reed-Solomon CRS(k, r).
+    Crs {
+        /// Data shards.
+        k: usize,
+        /// Parity shards.
+        r: usize,
+    },
+    /// Azure-style LRC(k, l, r).
+    Lrc {
+        /// Data shards.
+        k: usize,
+        /// Local groups.
+        l: usize,
+        /// Global parities.
+        r: usize,
+    },
+}
+
+impl HotCode {
+    /// Builds the code behind the trait object the engine drives.
+    pub fn build(&self) -> Result<Box<dyn ErasureCode>, EcError> {
+        Ok(match *self {
+            HotCode::Rs { k, r } => Box::new(ReedSolomon::vandermonde(k, r)?),
+            HotCode::Crs { k, r } => Box::new(ReedSolomon::cauchy(k, r)?),
+            HotCode::Lrc { k, l, r } => Box::new(Lrc::new(k, l, r)?),
+        })
+    }
+
+    /// Expected shard writes for a one-block update
+    /// (`analysis::writecost`, the paper's Table 3 metric).
+    pub fn single_write_cost(&self) -> f64 {
+        match *self {
+            HotCode::Rs { r, .. } | HotCode::Crs { r, .. } => {
+                apec_analysis::writecost::rs_single_write(r)
+            }
+            HotCode::Lrc { r, .. } => apec_analysis::writecost::lrc_single_write(r),
+        }
+    }
+}
+
+/// The cold tier's Approximate Code, in the paper's notation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColdCodeSpec {
+    /// Base family (RS, LRC, STAR, TIP).
+    pub family: BaseFamily,
+    /// Data nodes per local stripe.
+    pub k: usize,
+    /// Local parities per stripe.
+    pub r: usize,
+    /// Global parities over the important data.
+    pub g: usize,
+    /// Number of local stripes (the importance ratio is `1/h`).
+    pub h: usize,
+    /// Even or Uneven importance placement.
+    pub structure: Structure,
+}
+
+impl ColdCodeSpec {
+    /// Builds the [`ApproxCode`].
+    pub fn build(&self) -> Result<ApproxCode, EcError> {
+        ApproxCode::build_named(self.family, self.k, self.r, self.g, self.h, self.structure)
+    }
+
+    /// Expected shard writes for a one-block update
+    /// (`analysis::writecost`, the paper's Table 3 metric).
+    pub fn single_write_cost(&self) -> f64 {
+        use apec_analysis::writecost;
+        match self.family {
+            BaseFamily::Rs => writecost::appr_rs_single_write(self.r, self.g, self.h),
+            BaseFamily::Lrc => writecost::appr_lrc_single_write(self.g, self.h),
+            BaseFamily::Star => writecost::appr_star_single_write(self.k, self.h),
+            BaseFamily::Tip => writecost::appr_tip_single_write(self.h),
+        }
+    }
+}
+
+/// Shape of the synthetic videos the workload ingests.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct VideoProfile {
+    /// Frame width, pixels.
+    pub width: usize,
+    /// Frame height, pixels.
+    pub height: usize,
+    /// Frame rate.
+    pub fps: f64,
+    /// GOP length (frames per I-frame).
+    pub gop_len: usize,
+    /// Codec quantisation deadzone.
+    pub quant: u8,
+    /// Minimum frames per video.
+    pub min_frames: usize,
+    /// Maximum frames per video (inclusive).
+    pub max_frames: usize,
+    /// Moving blobs in the synthetic scene.
+    pub blobs: usize,
+}
+
+impl Default for VideoProfile {
+    fn default() -> Self {
+        VideoProfile {
+            width: 48,
+            height: 32,
+            fps: 60.0,
+            gop_len: 12,
+            quant: 2,
+            min_frames: 24,
+            max_frames: 48,
+            blobs: 3,
+        }
+    }
+}
+
+/// Full engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TierConfig {
+    /// Cluster node count (must fit the wider of the two codes).
+    pub nodes: usize,
+    /// Hot-tier code.
+    pub hot: HotCode,
+    /// Cold-tier Approximate Code.
+    pub cold: ColdCodeSpec,
+    /// Hot-tier shard length, bytes.
+    pub hot_shard_len: usize,
+    /// Cold-tier shard length, bytes (must respect the code's alignment).
+    pub cold_shard_len: usize,
+    /// When hot objects demote.
+    pub policy: DemotionPolicy,
+    /// Interpolator for approximate reads.
+    pub interpolator: Interpolator,
+    /// Resource model for read latencies.
+    pub timing: ClusterConfig,
+    /// Synthetic video shape.
+    pub video: VideoProfile,
+    /// Timeline sampling period, ticks.
+    pub sample_every: usize,
+    /// Master seed for video content (the workload carries its own).
+    pub seed: u64,
+}
+
+impl TierConfig {
+    /// A small, self-consistent configuration mirroring the paper's
+    /// comparison: hot RS(5,3) (the 3DFT baseline, overhead 1.6×) vs
+    /// cold APPR.RS(5,1,2,3,Uneven) (20 nodes over 15 data nodes,
+    /// overhead 1.33×, still 3DFT on important data) on a 20-node
+    /// cluster — the default for tests, the CI smoke lane and
+    /// `apec tier`. `h = 3` matches the synthetic container's measured
+    /// important fraction (~0.3), and the small cold shard keeps
+    /// per-object rounding slack from eating the overhead gap.
+    pub fn demo(seed: u64) -> Self {
+        let cold = ColdCodeSpec {
+            family: BaseFamily::Rs,
+            k: 5,
+            r: 1,
+            g: 2,
+            h: 3,
+            structure: Structure::Uneven,
+        };
+        let align = cold
+            .build()
+            .expect("demo cold code is valid")
+            .shard_alignment();
+        TierConfig {
+            nodes: 20,
+            hot: HotCode::Rs { k: 5, r: 3 },
+            cold,
+            hot_shard_len: 1024,
+            cold_shard_len: align * 128,
+            policy: DemotionPolicy::AccessCount {
+                threshold: 2,
+                window: 8,
+            },
+            interpolator: Interpolator::MotionCompensated { search_radius: 3 },
+            timing: ClusterConfig::default(),
+            video: VideoProfile::default(),
+            sample_every: 5,
+            seed,
+        }
+    }
+}
+
+/// Which tier an object currently lives on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Tier {
+    /// Conventional 3DFT code, full fidelity.
+    Hot,
+    /// Approximate Code, reduced redundancy.
+    Cold,
+}
+
+/// What one read returned.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadOutcome {
+    /// Tier the object was served from.
+    pub tier: Tier,
+    /// Whether the read had to decode around missing blocks.
+    pub degraded: bool,
+    /// Whether the read failed entirely (important data unrecoverable).
+    pub unavailable: bool,
+    /// Simulated latency from the timing model, ns.
+    pub latency_ns: u64,
+    /// Frames that had to be interpolated (cold reads only).
+    pub lost_frames: usize,
+    /// Mean PSNR over the interpolated frames, dB (when any were lost).
+    pub psnr_db: Option<f64>,
+}
+
+struct ObjectRecord {
+    tier: Tier,
+    meta: ObjectMeta,
+    video_seed: u64,
+    frame_count: usize,
+    important_len: usize,
+    unimportant_len: usize,
+    /// Physical footprint while hot, kept for the all-hot counterfactual.
+    hot_nominal_bytes: u64,
+    access: AccessStats,
+}
+
+fn nominal_bytes(meta: &ObjectMeta) -> u64 {
+    u64::from(meta.stripes) * meta.placement.len() as u64 * meta.shard_len as u64
+}
+
+fn io_delta(before: &[NodeIo], after: &[NodeIo]) -> (IoTotals, Vec<u64>) {
+    let mut t = IoTotals::default();
+    let mut per_node_reads = vec![0u64; after.len()];
+    for (n, (b, a)) in before.iter().zip(after).enumerate() {
+        per_node_reads[n] = a.read_bytes - b.read_bytes;
+        t.read_bytes += a.read_bytes - b.read_bytes;
+        t.write_bytes += a.write_bytes - b.write_bytes;
+    }
+    (t, per_node_reads)
+}
+
+/// The deterministic trace-driven tier lifecycle engine.
+pub struct TierEngine {
+    cfg: TierConfig,
+    cluster: Cluster,
+    hot_code: Box<dyn ErasureCode>,
+    cold_code: ApproxCode,
+    objects: BTreeMap<u64, ObjectRecord>,
+    now: usize,
+    events: EventCounts,
+    tiers: TierCounts,
+    reads: ReadCounts,
+    io: IoBreakdown,
+    conversions: Vec<ConversionRecord>,
+    latencies: Vec<u64>,
+    psnr_samples: Vec<f64>,
+    costs: TierCosts,
+    timeline: Vec<TimelinePoint>,
+}
+
+impl TierEngine {
+    /// Builds an engine, validating the configuration.
+    pub fn new(cfg: TierConfig) -> Result<Self, TierError> {
+        let hot_code = cfg.hot.build()?;
+        let cold_code = cfg.cold.build()?;
+        let widest = hot_code.total_nodes().max(cold_code.total_nodes());
+        if cfg.nodes < widest {
+            return Err(TierError::Config(format!(
+                "{} nodes cannot host a {widest}-wide stripe",
+                cfg.nodes
+            )));
+        }
+        if cfg.hot_shard_len == 0 {
+            return Err(TierError::Config("hot_shard_len must be positive".into()));
+        }
+        let align = cold_code.shard_alignment();
+        if cfg.cold_shard_len == 0 || !cfg.cold_shard_len.is_multiple_of(align) {
+            return Err(TierError::Config(format!(
+                "cold_shard_len {} must be a positive multiple of the code alignment {align}",
+                cfg.cold_shard_len
+            )));
+        }
+        if cfg.video.min_frames == 0 || cfg.video.min_frames > cfg.video.max_frames {
+            return Err(TierError::Config(format!(
+                "frame range {}..={} is empty",
+                cfg.video.min_frames, cfg.video.max_frames
+            )));
+        }
+        Ok(TierEngine {
+            cluster: Cluster::new(cfg.nodes),
+            hot_code,
+            cold_code,
+            cfg,
+            objects: BTreeMap::new(),
+            now: 0,
+            events: EventCounts::default(),
+            tiers: TierCounts::default(),
+            reads: ReadCounts::default(),
+            io: IoBreakdown::default(),
+            conversions: Vec::new(),
+            latencies: Vec::new(),
+            psnr_samples: Vec::new(),
+            costs: TierCosts::default(),
+            timeline: Vec::new(),
+        })
+    }
+
+    /// Read-only view of the functional cluster (for tests and tools).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The cold-tier code.
+    pub fn cold_code(&self) -> &ApproxCode {
+        &self.cold_code
+    }
+
+    /// Which tier an object is on, if it exists.
+    pub fn tier_of(&self, object: u64) -> Option<Tier> {
+        self.objects.get(&object).map(|r| r.tier)
+    }
+
+    /// The cluster metadata of an object, if it exists.
+    pub fn meta_of(&self, object: u64) -> Option<&ObjectMeta> {
+        self.objects.get(&object).map(|r| &r.meta)
+    }
+
+    fn gop(&self) -> GopConfig {
+        GopConfig {
+            gop_len: self.cfg.video.gop_len,
+            use_b_frames: true,
+            quant: self.cfg.video.quant,
+        }
+    }
+
+    /// Generates and runs the workload's trace, returning the report.
+    pub fn run(&mut self, workload: &WorkloadConfig) -> Result<TierReport, TierError> {
+        let trace = workload.generate(self.cfg.nodes);
+        self.run_trace(&trace, workload)
+    }
+
+    /// Runs an explicit trace. `workload` is echoed into the report for
+    /// provenance (pass the config that generated the trace).
+    pub fn run_trace(
+        &mut self,
+        trace: &Trace,
+        workload: &WorkloadConfig,
+    ) -> Result<TierReport, TierError> {
+        let mut idx = 0;
+        for t in 0..trace.ticks {
+            self.now = t;
+            while idx < trace.events.len() && trace.events[idx].tick == t {
+                let ev = trace.events[idx];
+                idx += 1;
+                match ev.kind {
+                    EventKind::Ingest { video } => self.ingest(video)?,
+                    EventKind::Read { video } => {
+                        self.read_object(video)?;
+                    }
+                    EventKind::FailNode { node } => self.fail_node(node)?,
+                    EventKind::RepairNode { node } => self.repair_node(node)?,
+                }
+            }
+            self.end_of_tick(t + 1 == trace.ticks)?;
+        }
+        Ok(self.report(workload))
+    }
+
+    /// Ingests one synthetic video onto the hot tier.
+    ///
+    /// Content is derived from the engine seed and the video id alone, so
+    /// the same `(seed, id)` always produces the same bytes — the PSNR
+    /// scorer regenerates the ground truth from the same derivation.
+    pub fn ingest(&mut self, video: u64) -> Result<(), TierError> {
+        let v = self.cfg.video;
+        let vseed = apec_ec::rng::derive(self.cfg.seed, &format!("video-{video}"));
+        let span = v.max_frames - v.min_frames + 1;
+        let frame_count = v.min_frames
+            + (apec_ec::rng::derive(self.cfg.seed, &format!("video-len-{video}")) as usize) % span;
+        let frames =
+            SyntheticVideo::new(v.width, v.height, v.fps, vseed, v.blobs).frames(frame_count);
+        let container = VideoContainer {
+            width: v.width,
+            height: v.height,
+            fps: v.fps as u16,
+            gop: self.gop(),
+            frames: encode_stream(&frames, &self.gop()),
+        };
+        let tb = serialize_container(&container);
+        let mut data = tb.important.clone();
+        data.extend_from_slice(&tb.unimportant);
+
+        let before = self.cluster.stats().snapshot();
+        let stored =
+            self.cluster
+                .store_object(self.hot_code.as_ref(), video, &data, self.cfg.hot_shard_len);
+        let (d, _) = io_delta(&before, &self.cluster.stats().snapshot());
+        self.io.ingest += d;
+        self.events.ingests += 1;
+        let meta = match stored {
+            Ok(m) => m,
+            // A placement node is down mid-outage: the ingest is lost
+            // (client retry is out of scope). Partial blocks stay charged.
+            Err(ClusterError::Unavailable(_)) => return Ok(()),
+            Err(e) => return Err(e.into()),
+        };
+        let hot_nominal = nominal_bytes(&meta);
+        self.objects.insert(
+            video,
+            ObjectRecord {
+                tier: Tier::Hot,
+                meta,
+                video_seed: vseed,
+                frame_count,
+                important_len: tb.important.len(),
+                unimportant_len: tb.unimportant.len(),
+                hot_nominal_bytes: hot_nominal,
+                access: AccessStats::new(self.now),
+            },
+        );
+        Ok(())
+    }
+
+    /// Kills a node (blocks lost).
+    pub fn fail_node(&mut self, node: usize) -> Result<(), TierError> {
+        self.cluster.kill_node(node)?;
+        self.events.failures += 1;
+        Ok(())
+    }
+
+    /// Revives a node and rebuilds every object that lost blocks, as far
+    /// as each object's placement is fully live again.
+    ///
+    /// Hot objects go through the cluster's plan-executing repair; cold
+    /// objects rebuild with [`ApproxCode::reconstruct_tiered`], writing
+    /// back zero-filled unsolved ranges — a permanent approximation that
+    /// surfaces later as CRC-failed frames handed to interpolation.
+    pub fn repair_node(&mut self, node: usize) -> Result<(), TierError> {
+        self.cluster.revive_node(node)?;
+        self.events.repairs += 1;
+        let ids: Vec<u64> = self.objects.keys().copied().collect();
+        for id in ids {
+            let (tier, meta) = {
+                let rec = &self.objects[&id];
+                (rec.tier, rec.meta.clone())
+            };
+            if meta.placement.iter().any(|&n| !self.cluster.is_alive(n)) {
+                continue; // another failure is still outstanding
+            }
+            let damaged = (0..meta.stripes).any(|s| {
+                meta.placement.iter().enumerate().any(|(i, &n)| {
+                    !self.cluster.block_present(
+                        n,
+                        BlockId {
+                            object: id,
+                            stripe: s,
+                            shard: i as u32,
+                        },
+                    )
+                })
+            });
+            if !damaged {
+                continue;
+            }
+            let before = self.cluster.stats().snapshot();
+            match tier {
+                Tier::Hot => {
+                    let mut m = meta.clone();
+                    // Beyond-tolerance stripes stay damaged (the object
+                    // will read as unavailable); that is data loss, not an
+                    // engine error.
+                    if self
+                        .cluster
+                        .repair_object(self.hot_code.as_ref(), &mut m, &HashMap::new())
+                        .is_ok()
+                    {
+                        self.objects.get_mut(&id).expect("exists").meta = m;
+                    }
+                }
+                Tier::Cold => self.repair_cold(id, &meta)?,
+            }
+            let (d, _) = io_delta(&before, &self.cluster.stats().snapshot());
+            self.io.repair += d;
+        }
+        Ok(())
+    }
+
+    fn repair_cold(&mut self, object: u64, meta: &ObjectMeta) -> Result<(), TierError> {
+        let width = self.cold_code.total_nodes();
+        for s in 0..meta.stripes {
+            let bid = |i: usize| BlockId {
+                object,
+                stripe: s,
+                shard: i as u32,
+            };
+            let mut stripe: Vec<Option<Vec<u8>>> = (0..width)
+                .map(|i| self.cluster.fetch_block(meta.placement[i], bid(i)))
+                .collect();
+            let missing: Vec<usize> = (0..width).filter(|&i| stripe[i].is_none()).collect();
+            if missing.is_empty() {
+                continue;
+            }
+            // Shape is valid by construction, so this cannot fail — it
+            // rebuilds what it can and zero-fills the rest.
+            self.cold_code.reconstruct_tiered(&mut stripe)?;
+            for &i in &missing {
+                self.cluster.store_block(
+                    meta.placement[i],
+                    bid(i),
+                    stripe[i].take().expect("rebuilt"),
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Serves one read, routed by the object's tier.
+    pub fn read_object(&mut self, video: u64) -> Result<ReadOutcome, TierError> {
+        self.reads.total += 1;
+        let Some(rec) = self.objects.get(&video) else {
+            // Ingest was lost to an outage; the read finds nothing.
+            self.reads.unavailable += 1;
+            return Ok(ReadOutcome {
+                tier: Tier::Hot,
+                degraded: false,
+                unavailable: true,
+                latency_ns: 0,
+                lost_frames: 0,
+                psnr_db: None,
+            });
+        };
+        let outcome = match rec.tier {
+            Tier::Hot => self.read_hot(video)?,
+            Tier::Cold => self.read_cold(video)?,
+        };
+        if outcome.degraded {
+            self.reads.degraded += 1;
+        }
+        if outcome.lost_frames > 0 {
+            self.reads.approximate += 1;
+        }
+        if outcome.unavailable {
+            self.reads.unavailable += 1;
+        } else {
+            self.latencies.push(outcome.latency_ns);
+            let now = self.now;
+            self.objects
+                .get_mut(&video)
+                .expect("checked above")
+                .access
+                .record_read(now);
+        }
+        Ok(outcome)
+    }
+
+    fn read_hot(&mut self, video: u64) -> Result<ReadOutcome, TierError> {
+        self.reads.hot += 1;
+        let meta = self.objects[&video].meta.clone();
+        let degraded = (0..meta.stripes).any(|s| {
+            meta.placement.iter().enumerate().any(|(i, &n)| {
+                !self.cluster.block_present(
+                    n,
+                    BlockId {
+                        object: video,
+                        stripe: s,
+                        shard: i as u32,
+                    },
+                )
+            })
+        });
+        let before = self.cluster.stats().snapshot();
+        let res = self.cluster.read_object(self.hot_code.as_ref(), &meta);
+        let (d, per_node) = io_delta(&before, &self.cluster.stats().snapshot());
+        self.io.read += d;
+        match res {
+            Ok(_bytes) => {
+                let decode_bytes = if degraded { d.read_bytes } else { 0 };
+                Ok(ReadOutcome {
+                    tier: Tier::Hot,
+                    degraded,
+                    unavailable: false,
+                    latency_ns: simulate_object_read(&self.cfg.timing, &per_node, decode_bytes),
+                    lost_frames: 0,
+                    psnr_db: None,
+                })
+            }
+            Err(ClusterError::Unavailable(_)) => Ok(ReadOutcome {
+                tier: Tier::Hot,
+                degraded,
+                unavailable: true,
+                latency_ns: 0,
+                lost_frames: 0,
+                psnr_db: None,
+            }),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn read_cold(&mut self, video: u64) -> Result<ReadOutcome, TierError> {
+        self.reads.cold += 1;
+        let (meta, important_len, unimportant_len, video_seed, frame_count) = {
+            let r = &self.objects[&video];
+            (
+                r.meta.clone(),
+                r.important_len,
+                r.unimportant_len,
+                r.video_seed,
+                r.frame_count,
+            )
+        };
+        let width = self.cold_code.total_nodes();
+        let kd = self.cold_code.data_nodes();
+        let before = self.cluster.stats().snapshot();
+        let mut degraded = false;
+        let mut data_stripes: Vec<Vec<Vec<u8>>> = Vec::with_capacity(meta.stripes as usize);
+        for s in 0..meta.stripes {
+            let bid = |i: usize| BlockId {
+                object: video,
+                stripe: s,
+                shard: i as u32,
+            };
+            let data_live = (0..kd).all(|i| self.cluster.block_present(meta.placement[i], bid(i)));
+            if data_live {
+                data_stripes.push(
+                    (0..kd)
+                        .map(|i| {
+                            self.cluster
+                                .fetch_block(meta.placement[i], bid(i))
+                                .expect("presence checked")
+                        })
+                        .collect(),
+                );
+                continue;
+            }
+            // Decode around the damage on a local copy — approximate
+            // reads never write back; unsolved ranges come back zeroed
+            // and fail the container's frame CRCs.
+            degraded = true;
+            let mut stripe: Vec<Option<Vec<u8>>> = (0..width)
+                .map(|i| self.cluster.fetch_block(meta.placement[i], bid(i)))
+                .collect();
+            self.cold_code.reconstruct_tiered(&mut stripe)?;
+            data_stripes.push(
+                (0..kd)
+                    .map(|i| stripe[i].take().expect("rebuilt"))
+                    .collect(),
+            );
+        }
+        let (d, per_node) = io_delta(&before, &self.cluster.stats().snapshot());
+        self.io.read += d;
+
+        let (important, unimportant) =
+            tiered::unpack(&self.cold_code, &data_stripes, important_len, unimportant_len);
+        let Ok(parsed) = parse_container(&important, &unimportant) else {
+            // Important data damaged beyond r+g tolerance: no approximate
+            // answer exists. Reported, never a panic.
+            return Ok(ReadOutcome {
+                tier: Tier::Cold,
+                degraded,
+                unavailable: true,
+                latency_ns: 0,
+                lost_frames: 0,
+                psnr_db: None,
+            });
+        };
+        let mut stream = decode_stream(&parsed.frames, parsed.width, parsed.height, &parsed.gop);
+        let lost = stream.lost_indices();
+        let mut psnr = None;
+        if !lost.is_empty() {
+            recover_lost_frames(&mut stream, self.cfg.interpolator);
+            let v = self.cfg.video;
+            let truth =
+                SyntheticVideo::new(v.width, v.height, v.fps, video_seed, v.blobs).frames(frame_count);
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for &i in &lost {
+                if let (Some(reference), Some(recon)) = (truth.get(i), stream.frames[i].as_ref()) {
+                    let db = psnr_db(reference, recon);
+                    self.psnr_samples.push(db);
+                    sum += db;
+                    n += 1;
+                }
+            }
+            if n > 0 {
+                psnr = Some(sum / n as f64);
+            }
+        }
+        let decode_bytes = if degraded || !lost.is_empty() {
+            d.read_bytes
+        } else {
+            0
+        };
+        Ok(ReadOutcome {
+            tier: Tier::Cold,
+            degraded,
+            unavailable: false,
+            latency_ns: simulate_object_read(&self.cfg.timing, &per_node, decode_bytes),
+            lost_frames: lost.len(),
+            psnr_db: psnr,
+        })
+    }
+
+    /// Converts a hot object to the cold tier in place: read hot, repack
+    /// important/unimportant streams under the Approximate Code, delete
+    /// the hot copy, store the cold one. Every byte of conversion I/O is
+    /// charged through the cluster's counters.
+    ///
+    /// Returns `false` (a *failed demotion*, not an error) when the hot
+    /// copy cannot be read intact or the cold placement is not fully
+    /// live — the object stays hot and the policy retries next tick.
+    pub fn demote(&mut self, video: u64) -> Result<bool, TierError> {
+        let (meta, important_len) = {
+            let Some(rec) = self.objects.get(&video) else {
+                return Ok(false);
+            };
+            if rec.tier == Tier::Cold {
+                return Ok(false);
+            }
+            (rec.meta.clone(), rec.important_len)
+        };
+        // The cold placement must be fully live before the hot copy is
+        // deleted, or the conversion would lose the object mid-flight.
+        let cold_width = self.cold_code.total_nodes();
+        let cold_placement_live = (0..cold_width)
+            .all(|i| self.cluster.is_alive((i + video as usize) % self.cfg.nodes));
+        if !cold_placement_live {
+            self.tiers.failed_demotions += 1;
+            return Ok(false);
+        }
+        let before = self.cluster.stats().snapshot();
+        let bytes = match self.cluster.read_object(self.hot_code.as_ref(), &meta) {
+            Ok(b) => b,
+            Err(ClusterError::Unavailable(_)) => {
+                let (d, _) = io_delta(&before, &self.cluster.stats().snapshot());
+                self.io.conversion += d;
+                self.tiers.failed_demotions += 1;
+                return Ok(false);
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let (important, unimportant) = bytes.split_at(important_len.min(bytes.len()));
+        let packed = tiered::pack(
+            &self.cold_code,
+            important,
+            unimportant,
+            self.cfg.cold_shard_len,
+        )?;
+        self.cluster.delete_object(&meta);
+        let new_meta =
+            self.cluster
+                .store_encoded(&self.cold_code, video, &packed.stripes, bytes.len())?;
+        let (d, _) = io_delta(&before, &self.cluster.stats().snapshot());
+        self.io.conversion += d;
+        self.conversions.push(ConversionRecord {
+            tick: self.now,
+            object: video,
+            bytes_read: d.read_bytes,
+            bytes_written: d.write_bytes,
+        });
+        self.tiers.demotions += 1;
+        let rec = self.objects.get_mut(&video).expect("checked above");
+        rec.tier = Tier::Cold;
+        rec.meta = new_meta;
+        Ok(true)
+    }
+
+    fn end_of_tick(&mut self, last: bool) -> Result<(), TierError> {
+        // Demotion scan in object-id order (BTreeMap keeps it stable).
+        let ids: Vec<u64> = self.objects.keys().copied().collect();
+        for id in ids {
+            let rec = self.objects.get_mut(&id).expect("exists");
+            if rec.tier != Tier::Hot {
+                continue;
+            }
+            if self.cfg.policy.evaluate(&mut rec.access, self.now) {
+                self.demote(id)?;
+            }
+        }
+        // Accrue byte-ticks and sample the timeline.
+        let (mut hot, mut cold, mut logical, mut hot_only) = (0u64, 0u64, 0u64, 0u64);
+        for rec in self.objects.values() {
+            let phys = nominal_bytes(&rec.meta);
+            match rec.tier {
+                Tier::Hot => hot += phys,
+                Tier::Cold => cold += phys,
+            }
+            logical += (rec.important_len + rec.unimportant_len) as u64;
+            hot_only += rec.hot_nominal_bytes;
+        }
+        self.costs.hot_byte_ticks += hot;
+        self.costs.cold_byte_ticks += cold;
+        self.costs.logical_byte_ticks += logical;
+        self.costs.hot_only_byte_ticks += hot_only;
+        if last || self.now.is_multiple_of(self.cfg.sample_every.max(1)) {
+            self.timeline.push(TimelinePoint {
+                tick: self.now,
+                hot_bytes: hot,
+                cold_bytes: cold,
+                logical_bytes: logical,
+                overhead: if logical == 0 {
+                    0.0
+                } else {
+                    (hot + cold) as f64 / logical as f64
+                },
+            });
+        }
+        Ok(())
+    }
+
+    fn report(&mut self, workload: &WorkloadConfig) -> TierReport {
+        let mut tiers = self.tiers;
+        for rec in self.objects.values() {
+            match rec.tier {
+                Tier::Hot => tiers.hot_objects += 1,
+                Tier::Cold => tiers.cold_objects += 1,
+            }
+        }
+        // Measured overheads: physical capacity over data capacity, from
+        // the live object registry.
+        let mut hot_phys = 0u64;
+        let mut hot_data = 0u64;
+        let mut cold_phys = 0u64;
+        let mut cold_data = 0u64;
+        for rec in self.objects.values() {
+            let phys = nominal_bytes(&rec.meta);
+            let (code_data, code_width): (u64, u64) = match rec.tier {
+                Tier::Hot => (
+                    self.hot_code.data_nodes() as u64,
+                    self.hot_code.total_nodes() as u64,
+                ),
+                Tier::Cold => (
+                    self.cold_code.data_nodes() as u64,
+                    self.cold_code.total_nodes() as u64,
+                ),
+            };
+            let data = phys * code_data / code_width;
+            match rec.tier {
+                Tier::Hot => {
+                    hot_phys += phys;
+                    hot_data += data;
+                }
+                Tier::Cold => {
+                    cold_phys += phys;
+                    cold_data += data;
+                }
+            }
+        }
+        let ratio = |p: u64, d: u64| if d == 0 { 0.0 } else { p as f64 / d as f64 };
+        let c = self.cfg.cold;
+        let overhead = OverheadCheck {
+            expected_hot: self.hot_code.storage_overhead(),
+            measured_hot: ratio(hot_phys, hot_data),
+            expected_cold: apec_analysis::overhead::appr_overhead(c.k, c.r, c.g, c.h),
+            measured_cold: ratio(cold_phys, cold_data),
+            hot_single_write: self.cfg.hot.single_write_cost(),
+            cold_single_write: c.single_write_cost(),
+        };
+        let totals = self.cluster.stats().totals();
+        self.io.cluster_total = IoTotals {
+            read_bytes: totals.read_bytes,
+            write_bytes: totals.write_bytes,
+        };
+        self.events.reads = self.reads.total;
+        TierReport {
+            config: ConfigEcho {
+                seed: self.cfg.seed,
+                nodes: self.cfg.nodes,
+                hot_code: self.hot_code.name(),
+                cold_code: self.cold_code.name(),
+                hot_shard_len: self.cfg.hot_shard_len,
+                cold_shard_len: self.cfg.cold_shard_len,
+                policy: self.cfg.policy,
+                interpolator: format!("{:?}", self.cfg.interpolator),
+                workload: *workload,
+            },
+            events: self.events,
+            tiers,
+            reads: self.reads,
+            io: self.io,
+            conversions: self.conversions.clone(),
+            latency: LatencyHistogram::from_samples(self.latencies.clone()),
+            psnr: PsnrHistogram::from_samples(&self.psnr_samples),
+            overhead,
+            timeline: self.timeline.clone(),
+            costs: self.costs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn placement(engine: &TierEngine, object: u64) -> Vec<usize> {
+        engine.meta_of(object).expect("object exists").placement.clone()
+    }
+
+    #[test]
+    fn config_validation_rejects_inconsistent_setups() {
+        let mut cfg = TierConfig::demo(1);
+        cfg.nodes = 4; // narrower than both codes
+        assert!(matches!(TierEngine::new(cfg), Err(TierError::Config(_))));
+
+        let mut cfg = TierConfig::demo(1);
+        cfg.cold_shard_len = 0;
+        assert!(matches!(TierEngine::new(cfg), Err(TierError::Config(_))));
+
+        let mut cfg = TierConfig::demo(1);
+        cfg.video.min_frames = 0;
+        assert!(matches!(TierEngine::new(cfg), Err(TierError::Config(_))));
+    }
+
+    #[test]
+    fn ingest_demote_read_roundtrip() {
+        let mut e = TierEngine::new(TierConfig::demo(3)).unwrap();
+        e.ingest(5).unwrap();
+        assert_eq!(e.tier_of(5), Some(Tier::Hot));
+
+        let hot = e.read_object(5).unwrap();
+        assert_eq!(hot.tier, Tier::Hot);
+        assert!(!hot.degraded && !hot.unavailable);
+        assert!(hot.latency_ns > 0);
+
+        assert!(e.demote(5).unwrap());
+        assert_eq!(e.tier_of(5), Some(Tier::Cold));
+        // Demoting twice is a no-op, not an error.
+        assert!(!e.demote(5).unwrap());
+
+        let cold = e.read_object(5).unwrap();
+        assert_eq!(cold.tier, Tier::Cold);
+        assert!(!cold.degraded && !cold.unavailable);
+        assert_eq!(cold.lost_frames, 0, "healthy cold read loses nothing");
+
+        // Cold footprint matches the Approximate Code's width/data ratio.
+        let meta = e.meta_of(5).unwrap();
+        let width = e.cold_code().total_nodes();
+        let kd = e.cold_code().data_nodes();
+        assert_eq!(meta.placement.len(), width);
+        let phys = e.cluster().object_stored_bytes(meta);
+        let data = u64::from(meta.stripes) * kd as u64 * meta.shard_len as u64;
+        assert_eq!(phys, data * width as u64 / kd as u64);
+    }
+
+    #[test]
+    fn demotion_aborts_safely_when_cold_placement_is_down() {
+        let mut e = TierEngine::new(TierConfig::demo(9)).unwrap();
+        e.ingest(0).unwrap();
+        // Node 15 hosts cold shard position 15 of object 0 but no hot
+        // shard (hot width is 8), so the hot copy stays fully readable.
+        e.fail_node(15).unwrap();
+        assert!(!e.demote(0).unwrap());
+        assert_eq!(e.tier_of(0), Some(Tier::Hot));
+        let read = e.read_object(0).unwrap();
+        assert!(!read.unavailable && !read.degraded);
+
+        e.repair_node(15).unwrap();
+        assert!(e.demote(0).unwrap());
+        assert_eq!(e.tier_of(0), Some(Tier::Cold));
+    }
+
+    #[test]
+    fn unimportant_loss_becomes_an_approximate_read_with_psnr() {
+        let mut e = TierEngine::new(TierConfig::demo(11)).unwrap();
+        e.ingest(0).unwrap();
+        assert!(e.demote(0).unwrap());
+        // Cold positions 5 and 6 are data nodes of local stripe 1 —
+        // unimportant data under the Uneven structure, covered only by
+        // that stripe's single local parity. Killing both exceeds the
+        // local tolerance, so the bytes are gone for good.
+        let pl = placement(&e, 0);
+        e.fail_node(pl[5]).unwrap();
+        e.fail_node(pl[6]).unwrap();
+
+        let read = e.read_object(0).unwrap();
+        assert_eq!(read.tier, Tier::Cold);
+        assert!(read.degraded && !read.unavailable);
+        assert!(read.lost_frames > 0, "zeroed unimportant data must lose frames");
+        let db = read.psnr_db.expect("interpolated frames are scored");
+        assert!(db.is_finite() && db > 0.0, "psnr {db}");
+
+        // Repair writes back zero-filled blocks: the loss is permanent,
+        // and later reads are approximate without being degraded.
+        e.repair_node(pl[5]).unwrap();
+        e.repair_node(pl[6]).unwrap();
+        let after = e.read_object(0).unwrap();
+        assert!(!after.degraded && !after.unavailable);
+        assert!(after.lost_frames > 0, "the approximation is permanent");
+        assert!(after.psnr_db.is_some());
+    }
+
+    #[test]
+    fn reads_of_unknown_objects_are_unavailable_not_errors() {
+        let mut e = TierEngine::new(TierConfig::demo(2)).unwrap();
+        let r = e.read_object(99).unwrap();
+        assert!(r.unavailable);
+        assert_eq!(e.report(&WorkloadConfig::small(2)).reads.unavailable, 1);
+    }
+}

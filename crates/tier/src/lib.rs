@@ -1,0 +1,57 @@
+//! Tier lifecycle engine: workload-driven hot→cold demotion,
+//! approximate re-encoding, and long-horizon cost accounting.
+//!
+//! This crate is the simulation counterpart of the paper's Hadoop
+//! testbed (§4): it drives the functional cluster
+//! ([`apec_cluster::Cluster`]) with a seeded, Zipf-popular video workload
+//! and manages each object's life across two tiers —
+//!
+//! - **Hot**: a conventional 3DFT code (RS, Cauchy RS or LRC) holding
+//!   full-fidelity data for young, frequently-watched videos;
+//! - **Cold**: the Approximate Code, entered by an in-place re-encode
+//!   once a [`DemotionPolicy`] decides the video has cooled down.
+//!
+//! The pipeline per module:
+//!
+//! | module | role |
+//! |---|---|
+//! | [`workload`] | seeded Zipf + decay trace generator (ingest/read/fail/repair) |
+//! | [`policy`] | demotion policies over per-object access stats |
+//! | [`engine`] | the tier state machine executing traces on a cluster |
+//! | [`cost`] | read-latency DAGs and byte-tick storage accounting |
+//! | [`report`] | the serialisable, digest-stable [`TierReport`] |
+//!
+//! Everything is deterministic: the same seed produces a byte-identical
+//! [`TierReport`] JSON (asserted by `TierReport::digest` in CI), and all
+//! randomness flows through `apec_ec::rng` labelled forks.
+//!
+//! ```
+//! use apec_tier::{TierConfig, TierEngine, WorkloadConfig};
+//!
+//! let mut engine = TierEngine::new(TierConfig::demo(7)).unwrap();
+//! let report = engine.run(&WorkloadConfig::small(7)).unwrap();
+//! assert!(report.tiers.demotions > 0);
+//! assert!(report.costs.savings_ratio() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod engine;
+pub mod policy;
+pub mod report;
+pub mod workload;
+
+pub use cost::{simulate_object_read, TierCosts};
+pub use engine::{
+    ColdCodeSpec, HotCode, ReadOutcome, Tier, TierConfig, TierEngine, TierError, VideoProfile,
+};
+pub use policy::{AccessStats, DemotionPolicy};
+pub use report::{IoBreakdown, IoTotals, OverheadCheck, TierReport, TimelinePoint};
+pub use workload::{EventKind, Trace, TraceEvent, WorkloadConfig};
+
+// Re-exported so downstream users (CLI, benches) can configure timing
+// without depending on `apec-cluster` directly.
+pub use apec_cluster::ClusterConfig;
+pub use apec_recovery::Interpolator;

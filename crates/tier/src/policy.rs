@@ -1,0 +1,129 @@
+//! Demotion policies: when a hot object becomes cold.
+//!
+//! The paper's premise is that video popularity decays fast (§1: "most
+//! videos are barely watched weeks after upload"), so data written hot
+//! under a 3DFT code should migrate to the cheaper Approximate Code once
+//! its access rate drops. The engine asks a [`DemotionPolicy`] at every
+//! tick boundary; the policy answers from the object's [`AccessStats`]
+//! alone, so policies stay pure and the engine stays deterministic.
+
+use serde::Serialize;
+
+/// Per-object access bookkeeping the engine maintains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct AccessStats {
+    /// Tick the object was ingested.
+    pub ingested_at: usize,
+    /// Tick of the most recent read (`ingested_at` if never read).
+    pub last_read: usize,
+    /// Reads observed in the current observation window.
+    pub reads_in_window: u64,
+    /// Tick the current observation window opened.
+    pub window_start: usize,
+    /// Lifetime read count.
+    pub total_reads: u64,
+}
+
+impl AccessStats {
+    /// Fresh stats for an object ingested `now`.
+    pub fn new(now: usize) -> Self {
+        AccessStats {
+            ingested_at: now,
+            last_read: now,
+            reads_in_window: 0,
+            window_start: now,
+            total_reads: 0,
+        }
+    }
+
+    /// Records one read at tick `now`.
+    pub fn record_read(&mut self, now: usize) {
+        self.last_read = now;
+        self.reads_in_window += 1;
+        self.total_reads += 1;
+    }
+}
+
+/// When to demote a hot object to the cold (Approximate Code) tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum DemotionPolicy {
+    /// Demote when a full observation window passes with fewer than
+    /// `threshold` reads. Windows with enough traffic roll over and the
+    /// count restarts, so a steadily-popular object stays hot forever.
+    AccessCount {
+        /// Minimum reads per window to stay hot.
+        threshold: u64,
+        /// Window length in ticks.
+        window: usize,
+    },
+    /// Demote unconditionally once the object is `min_age` ticks old —
+    /// the age-based tiering rule most archival stores ship with.
+    Age {
+        /// Minimum age in ticks before demotion.
+        min_age: usize,
+    },
+    /// Never demote (the all-hot baseline the paper compares against).
+    Never,
+}
+
+impl DemotionPolicy {
+    /// Decides whether to demote at tick `now`, updating window state.
+    ///
+    /// Takes `stats` mutably because [`DemotionPolicy::AccessCount`] rolls
+    /// its observation window when the object met the threshold; the
+    /// other policies never write.
+    pub fn evaluate(&self, stats: &mut AccessStats, now: usize) -> bool {
+        match *self {
+            DemotionPolicy::AccessCount { threshold, window } => {
+                if now < stats.window_start + window.max(1) {
+                    return false; // window still open
+                }
+                if stats.reads_in_window >= threshold {
+                    stats.window_start = now;
+                    stats.reads_in_window = 0;
+                    return false; // busy enough — stay hot, new window
+                }
+                true
+            }
+            DemotionPolicy::Age { min_age } => now.saturating_sub(stats.ingested_at) >= min_age,
+            DemotionPolicy::Never => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn age_policy_fires_at_min_age() {
+        let p = DemotionPolicy::Age { min_age: 10 };
+        let mut s = AccessStats::new(5);
+        assert!(!p.evaluate(&mut s, 14));
+        assert!(p.evaluate(&mut s, 15));
+    }
+
+    #[test]
+    fn access_count_demotes_only_quiet_windows() {
+        let p = DemotionPolicy::AccessCount {
+            threshold: 2,
+            window: 10,
+        };
+        let mut s = AccessStats::new(0);
+        s.record_read(3);
+        s.record_read(4);
+        // Window [0, 10) saw 2 reads ≥ threshold: rolls over, stays hot.
+        assert!(!p.evaluate(&mut s, 10));
+        assert_eq!((s.window_start, s.reads_in_window), (10, 0));
+        // Window [10, 20) saw 1 read < threshold: demote.
+        s.record_read(12);
+        assert!(!p.evaluate(&mut s, 19), "window not yet complete");
+        assert!(p.evaluate(&mut s, 20));
+    }
+
+    #[test]
+    fn never_policy_never_fires() {
+        let mut s = AccessStats::new(0);
+        assert!(!DemotionPolicy::Never.evaluate(&mut s, usize::MAX));
+    }
+}

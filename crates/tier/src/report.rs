@@ -1,0 +1,339 @@
+//! The serialisable outcome of a tier-lifecycle run.
+//!
+//! A [`TierReport`] is the engine's single artefact: storage overhead over
+//! time, bytes moved by conversion vs repair, the read-latency
+//! distribution from the timing model, and the PSNR histogram of
+//! approximate reads — the quantities the paper's evaluation section
+//! plots. It serialises with `serde_json` in a fully deterministic field
+//! order, and [`TierReport::digest`] folds the JSON into one `u64` the CI
+//! smoke lane asserts on: same seed ⇒ same digest, bit-for-bit.
+
+use crate::cost::TierCosts;
+use crate::policy::DemotionPolicy;
+use crate::workload::WorkloadConfig;
+use serde::Serialize;
+
+/// Millisecond bucket edges of the latency histogram.
+pub const LATENCY_EDGES_MS: [u64; 10] = [1, 2, 5, 10, 20, 50, 100, 200, 500, 1000];
+
+/// Decibel bucket edges of the PSNR histogram.
+pub const PSNR_EDGES_DB: [f64; 6] = [20.0, 25.0, 30.0, 35.0, 40.0, 45.0];
+
+/// Echo of the run's configuration (codes by display name).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ConfigEcho {
+    /// Master seed.
+    pub seed: u64,
+    /// Cluster node count.
+    pub nodes: usize,
+    /// Hot-tier code, by name.
+    pub hot_code: String,
+    /// Cold-tier code, by name.
+    pub cold_code: String,
+    /// Hot-tier shard length in bytes.
+    pub hot_shard_len: usize,
+    /// Cold-tier shard length in bytes.
+    pub cold_shard_len: usize,
+    /// Demotion policy.
+    pub policy: DemotionPolicy,
+    /// Interpolator for approximate reads, by name.
+    pub interpolator: String,
+    /// Workload parameters.
+    pub workload: WorkloadConfig,
+}
+
+/// Event counts by kind, as executed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct EventCounts {
+    /// Ingest events.
+    pub ingests: usize,
+    /// Read events.
+    pub reads: usize,
+    /// Node failures injected.
+    pub failures: usize,
+    /// Node repairs executed.
+    pub repairs: usize,
+}
+
+/// Object population and conversion outcomes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct TierCounts {
+    /// Objects on the hot tier at the end of the run.
+    pub hot_objects: usize,
+    /// Objects on the cold tier at the end of the run.
+    pub cold_objects: usize,
+    /// Successful hot→cold conversions.
+    pub demotions: usize,
+    /// Demotions abandoned because the hot object could not be read
+    /// intact (e.g. during an unrepaired failure).
+    pub failed_demotions: usize,
+}
+
+/// Read outcomes by class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct ReadCounts {
+    /// All read events served.
+    pub total: usize,
+    /// Reads served from the hot tier.
+    pub hot: usize,
+    /// Reads served from the cold tier.
+    pub cold: usize,
+    /// Reads that had to decode around missing blocks.
+    pub degraded: usize,
+    /// Cold reads that lost frames and interpolated them.
+    pub approximate: usize,
+    /// Reads that could not be served at all.
+    pub unavailable: usize,
+}
+
+/// Read/write byte totals for one I/O category.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct IoTotals {
+    /// Bytes read from cluster disks.
+    pub read_bytes: u64,
+    /// Bytes written to cluster disks.
+    pub write_bytes: u64,
+}
+
+/// Cluster I/O attributed to the activity that caused it.
+///
+/// Categories are measured as `IoStats` snapshot deltas around each
+/// operation, so they sum exactly to [`IoBreakdown::cluster_total`] — the
+/// acceptance check `io_accounting_is_complete` asserts it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct IoBreakdown {
+    /// Initial hot-tier encoding writes (and no reads).
+    pub ingest: IoTotals,
+    /// Client reads, including degraded-read amplification.
+    pub read: IoTotals,
+    /// Hot→cold conversion traffic (read hot + write cold).
+    pub conversion: IoTotals,
+    /// Failure repair traffic.
+    pub repair: IoTotals,
+    /// Everything the cluster's own counters saw.
+    pub cluster_total: IoTotals,
+}
+
+impl std::ops::AddAssign for IoTotals {
+    fn add_assign(&mut self, rhs: IoTotals) {
+        self.read_bytes += rhs.read_bytes;
+        self.write_bytes += rhs.write_bytes;
+    }
+}
+
+/// One hot→cold conversion, as executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ConversionRecord {
+    /// Tick the demotion ran.
+    pub tick: usize,
+    /// Object converted.
+    pub object: u64,
+    /// Bytes read off the hot placement.
+    pub bytes_read: u64,
+    /// Bytes written to the cold placement.
+    pub bytes_written: u64,
+}
+
+/// Read-latency distribution from the timing model.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct LatencyHistogram {
+    /// Counts per bucket: `buckets[i]` counts latencies below
+    /// [`LATENCY_EDGES_MS`]`[i]`; the final slot is the overflow bucket.
+    pub buckets: Vec<u64>,
+    /// Median latency, ns.
+    pub p50_ns: u64,
+    /// 95th percentile, ns.
+    pub p95_ns: u64,
+    /// 99th percentile, ns.
+    pub p99_ns: u64,
+    /// Mean latency, ns.
+    pub mean_ns: u64,
+    /// Worst observed latency, ns.
+    pub max_ns: u64,
+}
+
+impl LatencyHistogram {
+    /// Builds the histogram and summary stats from raw samples.
+    pub fn from_samples(mut samples: Vec<u64>) -> Self {
+        let mut buckets = vec![0u64; LATENCY_EDGES_MS.len() + 1];
+        for &ns in &samples {
+            let ms = ns / 1_000_000;
+            let slot = LATENCY_EDGES_MS
+                .iter()
+                .position(|&edge| ms < edge)
+                .unwrap_or(LATENCY_EDGES_MS.len());
+            buckets[slot] += 1;
+        }
+        samples.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            if samples.is_empty() {
+                return 0;
+            }
+            let idx = ((samples.len() - 1) as f64 * p).round() as usize;
+            samples[idx]
+        };
+        let mean = if samples.is_empty() {
+            0
+        } else {
+            samples.iter().sum::<u64>() / samples.len() as u64
+        };
+        LatencyHistogram {
+            buckets,
+            p50_ns: pct(0.50),
+            p95_ns: pct(0.95),
+            p99_ns: pct(0.99),
+            mean_ns: mean,
+            max_ns: samples.last().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// PSNR distribution over approximate (frame-interpolated) reads.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PsnrHistogram {
+    /// `buckets[0]` counts samples below [`PSNR_EDGES_DB`]`[0]`,
+    /// `buckets[i]` those in `[edge[i-1], edge[i])`, the last slot those
+    /// at or above the final edge.
+    pub buckets: Vec<u64>,
+    /// Mean PSNR over all interpolated frames, dB.
+    pub mean_db: f64,
+    /// Worst interpolated frame, dB.
+    pub min_db: f64,
+    /// Number of frame samples.
+    pub samples: usize,
+}
+
+impl PsnrHistogram {
+    /// Builds the histogram from per-frame PSNR samples.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        let mut buckets = vec![0u64; PSNR_EDGES_DB.len() + 1];
+        for &db in samples {
+            let slot = PSNR_EDGES_DB
+                .iter()
+                .position(|&edge| db < edge)
+                .unwrap_or(PSNR_EDGES_DB.len());
+            buckets[slot] += 1;
+        }
+        // Empty runs report zeros (not ±inf) so the JSON stays plain.
+        let mean = if samples.is_empty() {
+            0.0
+        } else {
+            samples.iter().sum::<f64>() / samples.len() as f64
+        };
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        PsnrHistogram {
+            buckets,
+            mean_db: mean,
+            min_db: if min.is_finite() { min } else { 0.0 },
+            samples: samples.len(),
+        }
+    }
+}
+
+/// Measured vs analytical storage overhead per tier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct OverheadCheck {
+    /// `analysis::overhead` prediction for the hot code.
+    pub expected_hot: f64,
+    /// Measured physical/logical-capacity ratio of hot objects.
+    pub measured_hot: f64,
+    /// `analysis::overhead::appr_overhead` for the cold structure.
+    pub expected_cold: f64,
+    /// Measured ratio of cold (demoted) objects.
+    pub measured_cold: f64,
+    /// `analysis::writecost` single-block update cost on the hot tier
+    /// (shard writes per one-block update, the paper's Table 3 metric).
+    pub hot_single_write: f64,
+    /// `analysis::writecost` single-block update cost on the cold tier —
+    /// part of why demoted (rarely-updated) objects tolerate the cheaper
+    /// structure.
+    pub cold_single_write: f64,
+}
+
+/// Storage footprints sampled along the run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct TimelinePoint {
+    /// Tick of the sample.
+    pub tick: usize,
+    /// Hot-tier physical bytes.
+    pub hot_bytes: u64,
+    /// Cold-tier physical bytes.
+    pub cold_bytes: u64,
+    /// Logical (pre-redundancy) bytes stored.
+    pub logical_bytes: u64,
+    /// Physical/logical overhead at this tick.
+    pub overhead: f64,
+}
+
+/// Everything a tier-lifecycle run produces.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TierReport {
+    /// Configuration echo.
+    pub config: ConfigEcho,
+    /// Events executed, by kind.
+    pub events: EventCounts,
+    /// Tier population and conversions.
+    pub tiers: TierCounts,
+    /// Read outcomes.
+    pub reads: ReadCounts,
+    /// I/O by category, cross-checked against the cluster's counters.
+    pub io: IoBreakdown,
+    /// Every conversion, in execution order.
+    pub conversions: Vec<ConversionRecord>,
+    /// Read-latency distribution.
+    pub latency: LatencyHistogram,
+    /// PSNR distribution of approximate reads.
+    pub psnr: PsnrHistogram,
+    /// Overhead cross-check against `apec-analysis`.
+    pub overhead: OverheadCheck,
+    /// Storage footprint over time.
+    pub timeline: Vec<TimelinePoint>,
+    /// Integrated storage costs and the all-hot counterfactual.
+    pub costs: TierCosts,
+}
+
+impl TierReport {
+    /// Canonical JSON rendering (deterministic field order).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialises")
+    }
+
+    /// FNV-1a digest of the canonical JSON, as fixed-width hex.
+    ///
+    /// Two runs with the same seed and configuration must produce equal
+    /// digests; the CI smoke lane runs the CLI twice and compares.
+    pub fn digest(&self) -> String {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in self.to_json().as_bytes() {
+            h ^= u64::from(b); // raw-xor-ok: digest hashing, not shard data
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        format!("{h:016x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_histogram_buckets_and_percentiles() {
+        let ms = |v: u64| v * 1_000_000;
+        let h = LatencyHistogram::from_samples(vec![ms(1), ms(3), ms(3), ms(40), ms(2000)]);
+        assert_eq!(h.buckets, vec![0, 1, 2, 0, 0, 1, 0, 0, 0, 0, 1]);
+        assert_eq!(h.p50_ns, ms(3));
+        assert_eq!(h.max_ns, ms(2000));
+        let empty = LatencyHistogram::from_samples(vec![]);
+        assert_eq!(empty.buckets.iter().sum::<u64>(), 0);
+        assert_eq!(empty.p99_ns, 0);
+    }
+
+    #[test]
+    fn psnr_histogram_buckets() {
+        let h = PsnrHistogram::from_samples(&[18.0, 34.9, 35.0, 52.0]);
+        assert_eq!(h.buckets, vec![1, 0, 0, 1, 1, 0, 1]);
+        assert_eq!(h.samples, 4);
+        assert!((h.min_db - 18.0).abs() < 1e-12);
+        assert_eq!(PsnrHistogram::from_samples(&[]).min_db, 0.0);
+    }
+}

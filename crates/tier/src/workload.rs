@@ -1,0 +1,296 @@
+//! Seeded workload generation: a Zipf-popular video catalog with
+//! per-video popularity decay, emitting an ordered event trace.
+//!
+//! The paper's evaluation drives a Hadoop cluster with YouTube-8m videos
+//! whose access frequency follows the usual long-tail pattern: most reads
+//! concentrate on a few hot videos, and every video cools down as it ages.
+//! This module reproduces that shape synthetically and deterministically —
+//! the same seed yields the same trace byte-for-byte, which the CI smoke
+//! lane and the reproducibility tests rely on.
+//!
+//! Popularity of video `v` at tick `t` is
+//! `(rank(v) + 1)^-s · 0.5^((t - ingest(v)) / half_life)` — a Zipf law
+//! over a seeded rank permutation (so video ids don't correlate with
+//! popularity) times exponential decay from the video's ingest tick.
+//! Node failures are injected on a fixed cadence with a repair scheduled a
+//! configurable number of ticks later, mirroring a detection+re-replication
+//! delay.
+
+use serde::Serialize;
+
+/// One scheduled action in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum EventKind {
+    /// A new video enters the system (stored on the hot tier).
+    Ingest {
+        /// Video / object identifier.
+        video: u64,
+    },
+    /// A client reads a video end-to-end.
+    Read {
+        /// Video / object identifier.
+        video: u64,
+    },
+    /// A storage node dies, losing its blocks.
+    FailNode {
+        /// Cluster node index.
+        node: usize,
+    },
+    /// A failed node is replaced and lost blocks are re-replicated.
+    RepairNode {
+        /// Cluster node index.
+        node: usize,
+    },
+}
+
+/// An event pinned to its tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct TraceEvent {
+    /// Simulation tick the event fires at.
+    pub tick: usize,
+    /// What happens.
+    pub kind: EventKind,
+}
+
+/// An ordered, reproducible event schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Trace {
+    /// Number of ticks the simulation runs for.
+    pub ticks: usize,
+    /// Events sorted by tick; within a tick: repairs, failures, ingests,
+    /// reads — so a repaired node is usable by the same tick's reads.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Events of one kind (for summaries and tests).
+    pub fn count(&self, f: impl Fn(&EventKind) -> bool) -> usize {
+        self.events.iter().filter(|e| f(&e.kind)).count()
+    }
+}
+
+/// Parameters of the synthetic workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct WorkloadConfig {
+    /// Catalog size: videos ingested over the run.
+    pub videos: usize,
+    /// Simulation length in ticks.
+    pub ticks: usize,
+    /// Read events sampled per tick.
+    pub reads_per_tick: usize,
+    /// Zipf exponent `s` of the popularity law (≈ 1 for video catalogs).
+    pub zipf_exponent: f64,
+    /// Ticks for a video's popularity to halve.
+    pub half_life: f64,
+    /// Ingests are spread uniformly over the first `ingest_window` ticks.
+    pub ingest_window: usize,
+    /// A node failure every this many ticks (`0` disables failures).
+    pub failure_every: usize,
+    /// Ticks between a failure and its repair.
+    pub repair_after: usize,
+    /// Master seed; every stochastic choice forks from it by label.
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    /// A small preset that exercises every event kind in a few hundred
+    /// events — the default for tests, CI smoke runs and the CLI.
+    pub fn small(seed: u64) -> Self {
+        WorkloadConfig {
+            videos: 8,
+            ticks: 60,
+            reads_per_tick: 4,
+            zipf_exponent: 1.1,
+            half_life: 12.0,
+            ingest_window: 16,
+            failure_every: 20,
+            repair_after: 3,
+            seed,
+        }
+    }
+
+    /// The tick video `v` is ingested at.
+    fn ingest_tick(&self, v: usize) -> usize {
+        if self.videos == 0 {
+            return 0;
+        }
+        // Evenly spaced over the window, first video at tick 0.
+        v * self.ingest_window.min(self.ticks.saturating_sub(1)) / self.videos
+    }
+
+    /// Generates the event trace for a cluster of `nodes` nodes.
+    ///
+    /// Deterministic: reads, failures and the popularity rank permutation
+    /// each draw from their own labelled fork of [`WorkloadConfig::seed`],
+    /// so changing one knob (say `reads_per_tick`) never perturbs the
+    /// failure schedule.
+    pub fn generate(&self, nodes: usize) -> Trace {
+        use rand::prelude::*;
+
+        // Seeded rank permutation: video id ↛ popularity rank.
+        let mut ranks: Vec<usize> = (0..self.videos).collect();
+        ranks.shuffle(&mut apec_ec::rng::fork(self.seed, "workload-ranks"));
+
+        let ingest_at: Vec<usize> = (0..self.videos).map(|v| self.ingest_tick(v)).collect();
+
+        // Failure schedule first (it is independent of the read stream):
+        // pick a victim among currently-live nodes, schedule its repair.
+        let mut fail_rng = apec_ec::rng::fork(self.seed, "workload-failures");
+        let mut fails_at: Vec<Vec<usize>> = vec![Vec::new(); self.ticks];
+        let mut repairs_at: Vec<Vec<usize>> = vec![Vec::new(); self.ticks];
+        let mut down: Vec<bool> = vec![false; nodes];
+        if self.failure_every > 0 && nodes > 0 {
+            for t in (self.failure_every..self.ticks).step_by(self.failure_every) {
+                let live: Vec<usize> = (0..nodes).filter(|&n| !down[n]).collect();
+                let Some(&victim) = live.as_slice().choose(&mut fail_rng) else {
+                    continue;
+                };
+                down[victim] = true;
+                fails_at[t].push(victim);
+                let back = t + self.repair_after;
+                if back < self.ticks {
+                    repairs_at[back].push(victim);
+                    // Mark it live again from the repair tick onward; the
+                    // simple model allows at most one outstanding failure
+                    // per node.
+                    down[victim] = false;
+                }
+            }
+        }
+
+        let mut read_rng = apec_ec::rng::fork(self.seed, "workload-reads");
+        let mut events = Vec::new();
+        for t in 0..self.ticks {
+            for &n in &repairs_at[t] {
+                events.push(TraceEvent {
+                    tick: t,
+                    kind: EventKind::RepairNode { node: n },
+                });
+            }
+            for &n in &fails_at[t] {
+                events.push(TraceEvent {
+                    tick: t,
+                    kind: EventKind::FailNode { node: n },
+                });
+            }
+            for (v, &at) in ingest_at.iter().enumerate() {
+                if at == t {
+                    events.push(TraceEvent {
+                        tick: t,
+                        kind: EventKind::Ingest { video: v as u64 },
+                    });
+                }
+            }
+            // Popularity-weighted reads over the already-ingested catalog.
+            let weights: Vec<f64> = (0..self.videos)
+                .map(|v| {
+                    if ingest_at[v] > t {
+                        return 0.0;
+                    }
+                    let age = (t - ingest_at[v]) as f64;
+                    let zipf = ((ranks[v] + 1) as f64).powf(-self.zipf_exponent);
+                    zipf * 0.5f64.powf(age / self.half_life.max(1e-9))
+                })
+                .collect();
+            let total: f64 = weights.iter().sum();
+            if total <= 0.0 {
+                continue;
+            }
+            for _ in 0..self.reads_per_tick {
+                let mut x = read_rng.random_range(0.0..total);
+                let mut pick = self.videos - 1;
+                for (v, &w) in weights.iter().enumerate() {
+                    if x < w {
+                        pick = v;
+                        break;
+                    }
+                    x -= w;
+                }
+                events.push(TraceEvent {
+                    tick: t,
+                    kind: EventKind::Read { video: pick as u64 },
+                });
+            }
+        }
+        Trace {
+            ticks: self.ticks,
+            events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_trace() {
+        let cfg = WorkloadConfig::small(42);
+        assert_eq!(cfg.generate(12), cfg.generate(12));
+        assert_ne!(cfg.generate(12), WorkloadConfig::small(43).generate(12));
+    }
+
+    #[test]
+    fn trace_contains_every_event_kind_in_order() {
+        let cfg = WorkloadConfig::small(7);
+        let trace = cfg.generate(12);
+        assert_eq!(trace.count(|k| matches!(k, EventKind::Ingest { .. })), 8);
+        assert!(trace.count(|k| matches!(k, EventKind::Read { .. })) > 0);
+        assert!(trace.count(|k| matches!(k, EventKind::FailNode { .. })) >= 1);
+        assert!(trace.count(|k| matches!(k, EventKind::RepairNode { .. })) >= 1);
+        assert!(trace.events.windows(2).all(|w| w[0].tick <= w[1].tick));
+    }
+
+    #[test]
+    fn reads_never_precede_ingest() {
+        let cfg = WorkloadConfig::small(3);
+        let trace = cfg.generate(12);
+        let mut ingested = std::collections::BTreeSet::new();
+        for e in &trace.events {
+            match e.kind {
+                EventKind::Ingest { video } => {
+                    ingested.insert(video);
+                }
+                EventKind::Read { video } => assert!(
+                    ingested.contains(&video),
+                    "read of video {video} before its ingest at tick {}",
+                    e.tick
+                ),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn popularity_is_long_tailed() {
+        // With s > 1 the most-read video should take a clearly larger
+        // share than the median one.
+        let mut cfg = WorkloadConfig::small(1);
+        cfg.videos = 6;
+        cfg.ticks = 200;
+        cfg.reads_per_tick = 8;
+        cfg.ingest_window = 1;
+        cfg.half_life = 1e9; // isolate the Zipf factor
+        cfg.failure_every = 0;
+        let trace = cfg.generate(12);
+        let mut counts = vec![0usize; cfg.videos];
+        for e in &trace.events {
+            if let EventKind::Read { video } = e.kind {
+                counts[video as usize] += 1;
+            }
+        }
+        counts.sort_unstable();
+        assert!(
+            counts[cfg.videos - 1] > 3 * counts[cfg.videos / 2].max(1),
+            "{counts:?}"
+        );
+    }
+
+    #[test]
+    fn failures_disabled_when_cadence_is_zero() {
+        let mut cfg = WorkloadConfig::small(5);
+        cfg.failure_every = 0;
+        let trace = cfg.generate(12);
+        assert_eq!(trace.count(|k| matches!(k, EventKind::FailNode { .. })), 0);
+    }
+}

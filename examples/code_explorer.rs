@@ -57,7 +57,8 @@ fn main() {
                 let code = ApproxCode::build_named(family, 5, r, g, 4, structure)
                     .expect("valid parameters");
                 let pu = reliability::analytic_p_u(5, r, g, 4, structure);
-                let pi = reliability::analytic_p_i(5, r, g, 4, structure);
+                let pi = reliability::analytic_p_i(5, r, g, 4, structure)
+                    .expect("(r, g) sweep stays within 3DFT");
                 println!(
                     "{:<28} {:>8.3}x {:>6} {:>7} {:>13.2} {:>7.2}% {:>7.2}%",
                     code.name(),
@@ -82,7 +83,7 @@ fn main() {
             "{structure:<7}: P_U analytic {:.2}% / enumerated {:.2}%   P_I analytic {:.2}% / enumerated {:.2}%",
             reliability::analytic_p_u(3, 1, 2, 3, structure) * 100.0,
             measured2.p_u * 100.0,
-            reliability::analytic_p_i(3, 1, 2, 3, structure) * 100.0,
+            reliability::analytic_p_i(3, 1, 2, 3, structure).expect("3DFT") * 100.0,
             measured4.p_i * 100.0
         );
     }

@@ -20,6 +20,7 @@
 //! | [`cluster`] | `apec-cluster` | functional cluster + repair timing model |
 //! | [`analysis`] | `apec-analysis` | reliability/overhead/write-cost models |
 //! | [`audit`] | `apec-audit` | static construction auditor: rank sweeps + schedule proofs |
+//! | [`tier`] | `apec-tier` | tier lifecycle engine: workload → demotion → cost report |
 //!
 //! Start with `examples/quickstart.rs`, then `examples/video_vault.rs`
 //! for the full video→tiers→cluster→failure→interpolation pipeline.
@@ -54,6 +55,7 @@ pub use apec_gf as gf;
 pub use apec_lrc as lrc;
 pub use apec_recovery as recovery;
 pub use apec_rs as rs;
+pub use apec_tier as tier;
 pub use apec_video as video;
 pub use apec_xor as xor;
 pub use approx_code as approx;
@@ -66,6 +68,9 @@ pub mod prelude {
     pub use crate::lrc::Lrc;
     pub use crate::recovery::{recover_lost_frames, Interpolator};
     pub use crate::rs::ReedSolomon;
+    pub use crate::tier::{
+        DemotionPolicy, TierConfig, TierEngine, TierReport, Trace, WorkloadConfig,
+    };
     pub use crate::video::{GopConfig, SyntheticVideo};
     pub use crate::xor::{evenodd, rdp, star, tip_like};
 }

@@ -21,7 +21,7 @@ fn analytic_reliability_matches_decoder_across_families_and_structures() {
                 want_pu
             );
             let m4 = reliability::enumerate_reliability(&code, r + g + 1);
-            let want_pi = reliability::analytic_p_i(k, r, g, h, structure);
+            let want_pi = reliability::analytic_p_i(k, r, g, h, structure).expect("3DFT");
             assert!(
                 (m4.p_i - want_pi).abs() < 1e-12,
                 "{family:?}/{structure:?}: P_I {} vs {}",
@@ -47,7 +47,7 @@ fn reliability_with_r2_g1_configuration() {
             want_pu
         );
         let m4 = reliability::enumerate_reliability(&code, r + g + 1);
-        let want_pi = reliability::analytic_p_i(k, r, g, h, structure);
+        let want_pi = reliability::analytic_p_i(k, r, g, h, structure).expect("3DFT");
         assert!(
             (m4.p_i - want_pi).abs() < 1e-12,
             "{structure:?}: P_I {} vs {}",

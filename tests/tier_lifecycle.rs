@@ -1,0 +1,128 @@
+//! End-to-end acceptance tests of the tier lifecycle engine.
+//!
+//! These assert the PR's contract: same seed ⇒ byte-identical report,
+//! measured storage overhead of demoted objects matches the analytical
+//! model, every byte of conversion traffic is accounted, and approximate
+//! reads on cold objects survive every within-tolerance failure pattern
+//! with a finite PSNR instead of a panic.
+
+use approximate_code::audit::policy::for_each_pattern;
+use approximate_code::tier::{Tier, TierConfig, TierEngine, WorkloadConfig};
+
+fn run_report(seed: u64) -> approximate_code::tier::TierReport {
+    let mut engine = TierEngine::new(TierConfig::demo(seed)).expect("demo config is valid");
+    engine
+        .run(&WorkloadConfig::small(seed))
+        .expect("trace executes")
+}
+
+#[test]
+fn same_seed_produces_byte_identical_reports() {
+    let a = run_report(7);
+    let b = run_report(7);
+    assert_eq!(a.to_json(), b.to_json(), "same seed must replay identically");
+    assert_eq!(a.digest(), b.digest());
+
+    let c = run_report(8);
+    assert_ne!(a.digest(), c.digest(), "different seeds must diverge");
+}
+
+#[test]
+fn the_lifecycle_actually_moves_data_and_saves_storage() {
+    let report = run_report(42);
+    assert!(report.events.ingests > 0 && report.events.reads > 0);
+    assert!(report.events.failures > 0 && report.events.repairs > 0);
+    assert!(report.tiers.demotions > 0, "the demo policy must demote");
+    assert!(report.reads.cold > 0, "cold objects must still be read");
+    assert!(
+        report.costs.savings_ratio() > 0.0,
+        "tiering must beat the all-hot counterfactual: {:?}",
+        report.costs
+    );
+    assert!(!report.timeline.is_empty());
+    assert!(report.latency.max_ns > 0);
+}
+
+#[test]
+fn demoted_storage_overhead_matches_the_analytical_model() {
+    let report = run_report(3);
+    assert!(report.tiers.cold_objects > 0, "need demoted objects to measure");
+    // The demo cold code is APPR.RS(k=5, r=1, g=2, h=3): 20 nodes over 15
+    // data nodes, overhead 4/3 — measured must match analytical exactly
+    // (both are integer node-count ratios).
+    let oh = &report.overhead;
+    assert!(
+        (oh.measured_cold - oh.expected_cold).abs() < 1e-12,
+        "cold overhead: measured {} vs analytic {}",
+        oh.measured_cold,
+        oh.expected_cold
+    );
+    assert!(
+        (oh.measured_hot - oh.expected_hot).abs() < 1e-12,
+        "hot overhead: measured {} vs analytic {}",
+        oh.measured_hot,
+        oh.expected_hot
+    );
+}
+
+#[test]
+fn every_conversion_byte_is_accounted() {
+    let report = run_report(13);
+    assert!(!report.conversions.is_empty());
+    let read_sum: u64 = report.conversions.iter().map(|c| c.bytes_read).sum();
+    let write_sum: u64 = report.conversions.iter().map(|c| c.bytes_written).sum();
+    assert_eq!(read_sum, report.io.conversion.read_bytes);
+    assert_eq!(write_sum, report.io.conversion.write_bytes);
+    assert!(write_sum > 0, "conversions must write the cold encoding");
+
+    // The four categories partition everything the cluster counters saw.
+    let io = &report.io;
+    assert_eq!(
+        io.ingest.read_bytes + io.read.read_bytes + io.conversion.read_bytes + io.repair.read_bytes,
+        io.cluster_total.read_bytes,
+        "read bytes must partition: {io:?}"
+    );
+    assert_eq!(
+        io.ingest.write_bytes
+            + io.read.write_bytes
+            + io.conversion.write_bytes
+            + io.repair.write_bytes,
+        io.cluster_total.write_bytes,
+        "write bytes must partition: {io:?}"
+    );
+}
+
+#[test]
+fn cold_reads_survive_every_within_tolerance_pattern() {
+    // The demo cold code is 3DFT (r + g = 3): for every failure pattern of
+    // up to 3 of its placement nodes, a cold read must succeed — fully,
+    // or approximately with a finite PSNR — and never panic.
+    use approximate_code::ec::ErasureCode;
+    let width = TierConfig::demo(0)
+        .cold
+        .build()
+        .expect("demo cold code is valid")
+        .total_nodes();
+    for size in 1..=3 {
+        for_each_pattern(width, size, |pattern| {
+            let mut engine =
+                TierEngine::new(TierConfig::demo(99)).expect("demo config is valid");
+            engine.ingest(0).expect("ingest");
+            assert!(engine.demote(0).expect("demote"), "demotion must succeed");
+            let placement = engine.meta_of(0).expect("exists").placement.clone();
+            for &pos in pattern {
+                engine.fail_node(placement[pos]).expect("kill");
+            }
+            let read = engine.read_object(0).expect("read must not error");
+            assert_eq!(read.tier, Tier::Cold);
+            assert!(
+                !read.unavailable,
+                "within tolerance {pattern:?} the read must be served"
+            );
+            if read.lost_frames > 0 {
+                let db = read.psnr_db.expect("approximate reads report PSNR");
+                assert!(db.is_finite(), "pattern {pattern:?}: psnr {db}");
+            }
+        });
+    }
+}

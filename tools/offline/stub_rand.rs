@@ -116,6 +116,13 @@ macro_rules! impl_sample_range_float {
 }
 impl_sample_range_float!(f32, f64);
 
+/// Stand-in for `rand::Rng`. The generation methods live inherently on
+/// the stub [`rngs::StdRng`], so this trait only has to exist for
+/// `use rand::Rng;` imports to resolve.
+pub trait Rng {}
+
+impl Rng for rngs::StdRng {}
+
 /// Seeding trait matching the call form `StdRng::seed_from_u64(s)`.
 pub trait SeedableRng: Sized {
     fn seed_from_u64(seed: u64) -> Self;
@@ -171,5 +178,5 @@ impl<T> SliceRandom for [T] {
 
 pub mod prelude {
     pub use crate::rngs::StdRng;
-    pub use crate::{SampleRange, SeedableRng, SliceRandom, StubRandom};
+    pub use crate::{Rng, SampleRange, SeedableRng, SliceRandom, StubRandom};
 }

@@ -1,0 +1,134 @@
+//! Offline API stub for `serde` — `Serialize` only (see README.md).
+//!
+//! `tools/offline/verify.sh` compiles this as `--crate-name serde` with
+//! the proc-macro from `stub_serde_derive.rs` linked as `serde_derive`,
+//! so `use serde::Serialize; #[derive(Serialize)]` resolves exactly like
+//! the real crate's `derive` feature. The trait is a single method that
+//! appends compact JSON; `stub_serde_json.rs` builds `to_string[_pretty]`
+//! on top of it. Field order is derive order, so per-seed determinism —
+//! the only property the offline tests assert about serialisation —
+//! holds just as it does under real `serde_json`.
+
+pub use serde_derive::Serialize;
+
+/// Stub analogue of `serde::Serialize`: append `self` as JSON.
+pub trait Serialize {
+    /// Appends the JSON encoding of `self` to `out`.
+    fn stub_json(&self, out: &mut String);
+}
+
+/// Appends a JSON string literal with minimal escaping.
+pub fn string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a JSON object from (key, value) pairs — the derive's target.
+pub fn obj(out: &mut String, fields: &[(&str, &dyn Serialize)]) {
+    out.push('{');
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        string(out, k);
+        out.push(':');
+        v.stub_json(out);
+    }
+    out.push('}');
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn stub_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+impl_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn stub_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    out.push_str(&self.to_string());
+                } else {
+                    // Mirrors serde_json's arbitrary-precision-off default.
+                    out.push_str("null");
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn stub_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for str {
+    fn stub_json(&self, out: &mut String) {
+        string(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn stub_json(&self, out: &mut String) {
+        string(out, self);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn stub_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.stub_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn stub_json(&self, out: &mut String) {
+        self.as_slice().stub_json(out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn stub_json(&self, out: &mut String) {
+        self.as_slice().stub_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn stub_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.stub_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn stub_json(&self, out: &mut String) {
+        (**self).stub_json(out);
+    }
+}

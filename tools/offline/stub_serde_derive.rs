@@ -1,0 +1,168 @@
+//! Offline proc-macro stub for `#[derive(Serialize)]` (see README.md).
+//!
+//! Compiled by `tools/offline/verify.sh` as `--crate-name serde_derive
+//! --crate-type proc-macro` and re-exported by `stub_serde.rs`, so the
+//! workspace's `#[derive(serde::Serialize)]` attributes expand without
+//! crates.io access. It token-scans the item directly (no `syn`) and
+//! supports exactly the shapes the workspace uses: non-generic structs
+//! with named fields, and enums whose variants are unit or braced. The
+//! generated impl writes serde's externally-tagged JSON layout through
+//! the stub `serde::Serialize` trait.
+
+extern crate proc_macro;
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Steps past attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_meta(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Field names of a braced `{ name: Type, ... }` body, skipping types
+/// with angle-bracket depth tracking (`Vec<u64>`, `Option<Vec<u8>>`, …).
+fn field_names(body: TokenStream) -> Vec<String> {
+    let tt: Vec<TokenTree> = body.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tt.len() {
+        i = skip_meta(&tt, i);
+        if i >= tt.len() {
+            break;
+        }
+        let name = match &tt[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("stub serde derive: expected field name, got `{other}`"),
+        };
+        i += 1;
+        match &tt[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("stub serde derive: expected `:` after `{name}`, got `{other}`"),
+        }
+        let mut angle = 0i32;
+        while i < tt.len() {
+            match &tt[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // past the separating comma (or off the end)
+        names.push(name);
+    }
+    names
+}
+
+fn struct_impl(name: &str, body: TokenStream) -> String {
+    let pairs: Vec<String> = field_names(body)
+        .iter()
+        .map(|f| format!("(\"{f}\", &self.{f} as &dyn ::serde::Serialize)"))
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn stub_json(&self, out: &mut ::std::string::String) {{\n\
+         ::serde::obj(out, &[{}]);\n}}\n}}",
+        pairs.join(", ")
+    )
+}
+
+fn enum_impl(name: &str, body: TokenStream) -> String {
+    let tt: Vec<TokenTree> = body.into_iter().collect();
+    let mut arms = Vec::new();
+    let mut i = 0;
+    while i < tt.len() {
+        i = skip_meta(&tt, i);
+        if i >= tt.len() {
+            break;
+        }
+        let variant = match &tt[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("stub serde derive: expected variant name, got `{other}`"),
+        };
+        i += 1;
+        match tt.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = field_names(g.stream());
+                let pats = fields.join(", ");
+                let pairs: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("(\"{f}\", {f} as &dyn ::serde::Serialize)"))
+                    .collect();
+                arms.push(format!(
+                    "{name}::{variant} {{ {pats} }} => {{\n\
+                     out.push('{{');\n\
+                     ::serde::string(out, \"{variant}\");\n\
+                     out.push(':');\n\
+                     ::serde::obj(out, &[{}]);\n\
+                     out.push('}}');\n}}",
+                    pairs.join(", ")
+                ));
+                i += 1;
+                if let Some(TokenTree::Punct(p)) = tt.get(i) {
+                    if p.as_char() == ',' {
+                        i += 1;
+                    }
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                arms.push(format!(
+                    "{name}::{variant} => ::serde::string(out, \"{variant}\"),"
+                ));
+                i += 1;
+            }
+            None => {
+                arms.push(format!(
+                    "{name}::{variant} => ::serde::string(out, \"{variant}\"),"
+                ));
+            }
+            Some(other) => {
+                panic!("stub serde derive: unsupported variant shape at `{other}` (tuple variants are not used in this workspace)")
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn stub_json(&self, out: &mut ::std::string::String) {{\n\
+         match self {{\n{}\n}}\n}}\n}}",
+        arms.join("\n")
+    )
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_meta(&tokens, 0);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("stub serde derive: expected `struct`/`enum`, got `{other}`"),
+    };
+    i += 1;
+    let name = tokens[i].to_string();
+    i += 1;
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "stub serde derive on `{name}`: only plain braced items are supported, got {other:?}"
+        ),
+    };
+    let code = match kind.as_str() {
+        "struct" => struct_impl(&name, body),
+        "enum" => enum_impl(&name, body),
+        other => panic!("stub serde derive: unsupported item kind `{other}`"),
+    };
+    code.parse().expect("stub serde derive generated invalid Rust")
+}

@@ -1,0 +1,33 @@
+//! Offline API stub for `serde_json` (see README.md).
+//!
+//! Provides `to_string` / `to_string_pretty` over the stub
+//! `serde::Serialize` trait. "Pretty" output here is the same compact
+//! JSON — the offline tests assert determinism and content, never
+//! whitespace — and the error type is uninhabited-in-practice because
+//! the stub serialiser cannot fail.
+
+/// Stub analogue of `serde_json::Error`. The stub writer never fails,
+/// so this is constructed only to satisfy the `Result` signature.
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("stub serde_json error (unreachable)")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialises to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.stub_json(&mut out);
+    Ok(out)
+}
+
+/// Stub "pretty" output: identical to [`to_string`]; offline tests only
+/// assert determinism and content, never formatting.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    to_string(value)
+}

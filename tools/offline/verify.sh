@@ -3,13 +3,14 @@
 #
 # `cargo build && cargo test` need the real registry; when it is
 # unreachable this script reproduces the same coverage with direct rustc
-# invocations: it compiles API stubs for the four external dependencies
-# (rand, proptest, parking_lot, crossbeam, criterion — see the stub_*.rs
-# headers), builds every workspace crate against them in dependency order,
-# then compiles and runs each crate's unit tests, the root integration
-# tests, and the bench binaries (smoke-run once via the criterion stub).
-# The cli crate and the bench crate's serde-based lib need derive macros
-# and are compile-skipped here; CI covers them.
+# invocations: it compiles API stubs for the external dependencies
+# (rand, proptest, parking_lot, crossbeam, criterion, serde/serde_json —
+# see the stub_*.rs headers), builds every workspace crate against them
+# in dependency order, then compiles and runs each crate's unit tests,
+# the root integration tests, and the bench binaries (smoke-run once via
+# the criterion stub). The serde stub covers Serialize only, so the cli
+# crate (whose vault needs Deserialize) and the bench crate's serde-based
+# lib are compile-skipped here; CI covers them.
 #
 # Usage: tools/offline/verify.sh [--asan] [--clippy]
 #   --asan    additionally run the gf/ec kernel tests under AddressSanitizer
@@ -41,7 +42,7 @@ COMMON=(--edition "$EDITION" -O -L "dependency=$LIBDIR")
 CRATES=(
   "apec_gf:crates/gf/src/lib.rs:"
   "apec_bitmatrix:crates/bitmatrix/src/lib.rs:apec_gf"
-  "apec_ec:crates/ec/src/lib.rs:apec_gf crossbeam parking_lot"
+  "apec_ec:crates/ec/src/lib.rs:apec_gf crossbeam parking_lot rand"
   "apec_rs:crates/rs/src/lib.rs:apec_gf apec_ec parking_lot"
   "apec_lrc:crates/lrc/src/lib.rs:apec_gf apec_ec apec_rs"
   "apec_xor:crates/xor/src/lib.rs:apec_gf apec_ec apec_bitmatrix parking_lot"
@@ -51,7 +52,8 @@ CRATES=(
   "apec_analysis:crates/analysis/src/lib.rs:approx_code apec_ec rand"
   "apec_cluster:crates/cluster/src/lib.rs:apec_ec apec_rs apec_lrc apec_xor approx_code parking_lot rand"
   "apec_audit:crates/audit/src/lib.rs:apec_gf apec_bitmatrix apec_ec apec_rs apec_lrc apec_xor approx_code"
-  "approximate_code:src/lib.rs:apec_gf apec_bitmatrix apec_ec apec_rs apec_lrc apec_xor approx_code apec_video apec_recovery apec_analysis apec_cluster apec_audit rand"
+  "apec_tier:crates/tier/src/lib.rs:apec_ec apec_rs apec_lrc approx_code apec_video apec_recovery apec_analysis apec_cluster rand serde serde_json"
+  "approximate_code:src/lib.rs:apec_gf apec_bitmatrix apec_ec apec_rs apec_lrc apec_xor approx_code apec_video apec_recovery apec_analysis apec_cluster apec_audit apec_tier rand"
 )
 
 STUBS=(
@@ -76,6 +78,16 @@ for entry in "${STUBS[@]}"; do
   "$RUSTC" "${COMMON[@]}" --crate-name "$name" --crate-type rlib \
     "$REPO/$src" -o "$LIBDIR/lib$name.rlib" --cap-lints allow
 done
+
+echo "== building serde stubs (proc-macro derive + trait + json)"
+"$RUSTC" --edition "$EDITION" -O --crate-name serde_derive --crate-type proc-macro \
+  "$REPO/tools/offline/stub_serde_derive.rs" -o "$LIBDIR/libserde_derive.so" --cap-lints allow
+"$RUSTC" "${COMMON[@]}" --crate-name serde --crate-type rlib \
+  --extern serde_derive="$LIBDIR/libserde_derive.so" \
+  "$REPO/tools/offline/stub_serde.rs" -o "$LIBDIR/libserde.rlib" --cap-lints allow
+"$RUSTC" "${COMMON[@]}" --crate-name serde_json --crate-type rlib \
+  --extern serde="$LIBDIR/libserde.rlib" \
+  "$REPO/tools/offline/stub_serde_json.rs" -o "$LIBDIR/libserde_json.rlib" --cap-lints allow
 
 echo "== building workspace crates"
 for entry in "${CRATES[@]}"; do
@@ -116,7 +128,7 @@ ROOT_EXTERNS=(--extern approximate_code="$LIBDIR/libapproximate_code.rlib"
   --extern rand="$LIBDIR/librand.rlib"
   --extern proptest="$LIBDIR/libproptest.rlib")
 for d in apec_gf apec_bitmatrix apec_ec apec_rs apec_lrc apec_xor approx_code \
-         apec_video apec_recovery apec_analysis apec_cluster apec_audit; do
+         apec_video apec_recovery apec_analysis apec_cluster apec_audit apec_tier; do
   ROOT_EXTERNS+=(--extern "$d=$LIBDIR/lib$d.rlib")
 done
 for t in "$REPO"/tests/*.rs; do
@@ -134,7 +146,8 @@ echo "== compiling benches (stub criterion; smoke-running repair_benches)"
 # hand-timed JSON summaries land there instead of dirtying the repo root.
 BENCH_EXTERNS=(--extern criterion="$LIBDIR/libcriterion.rlib"
   --extern rand="$LIBDIR/librand.rlib")
-for d in apec_gf apec_bitmatrix apec_ec apec_rs apec_lrc apec_xor approx_code; do
+for d in apec_gf apec_bitmatrix apec_ec apec_rs apec_lrc apec_xor approx_code \
+         apec_video apec_recovery apec_analysis apec_cluster apec_tier; do
   BENCH_EXTERNS+=(--extern "$d=$LIBDIR/lib$d.rlib")
 done
 mkdir -p "$OUT/bench-manifest/sub"
@@ -147,6 +160,9 @@ for b in "$REPO"/crates/bench/benches/*.rs; do
 done
 "$TESTDIR/bench-repair_benches" >/dev/null 2>&1 || "$TESTDIR/bench-repair_benches"
 echo "  bench repair_benches smoke ok ($OUT/BENCH_repair.json)"
+CARGO_MANIFEST_DIR="$OUT/bench-manifest/sub" \
+  "$TESTDIR/bench-tier_benches" >/dev/null 2>&1 || "$TESTDIR/bench-tier_benches"
+echo "  bench tier_benches smoke ok ($OUT/BENCH_tier.json)"
 
 if [ "$RUN_CLIPPY" = 1 ]; then
   echo "== clippy (offline, per-crate)"

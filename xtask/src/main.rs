@@ -18,6 +18,10 @@
 //!    Any `^=` outside `crates/gf` needs an explicit
 //!    `// raw-xor-ok: <reason>` marker on the same line; `MUL_TABLE`
 //!    may not be referenced outside `crates/gf` at all.
+//! 4. **no entropy-seeded RNGs** — every run must reproduce from one
+//!    `u64` seed, so `thread_rng`, `rand::rng()`, `from_entropy` and
+//!    `from_os_rng` are banned everywhere; randomness is plumbed through
+//!    `apec_ec::rng::{seeded, derive, fork}` instead.
 //!
 //! The pass is lexical (comment/string-aware line scanning), not a full
 //! parse: deliberately simple enough to audit by eye, strict enough to
@@ -321,6 +325,25 @@ fn lint_file(rel: &str, text: &str, report: &mut String) {
             }
         }
 
+        // Entropy-seeded generators break run reproducibility; no path is
+        // exempt — `apec_ec::rng` itself only wraps `seed_from_u64`.
+        for banned in ["thread_rng", "from_entropy", "from_os_rng"] {
+            if contains_word(code, banned) {
+                let _ = writeln!(
+                    report,
+                    "{rel}:{lineno}: entropy-seeded RNG `{banned}` — plumb a \
+                     seed through apec_ec::rng::{{seeded, derive, fork}}"
+                );
+            }
+        }
+        if code.contains("rand::rng(") {
+            let _ = writeln!(
+                report,
+                "{rel}:{lineno}: entropy-seeded RNG `rand::rng()` — plumb a \
+                 seed through apec_ec::rng::{{seeded, derive, fork}}"
+            );
+        }
+
         if !xor_exempt {
             if code.contains("^=") && !line.raw.contains("raw-xor-ok:") {
                 let _ = writeln!(
@@ -474,6 +497,35 @@ mod tests {
         lint_file(
             "crates/cluster/src/store.rs",
             "let a = buf.clone();\n",
+            &mut report,
+        );
+        assert!(report.is_empty(), "unexpected report: {report}");
+    }
+
+    #[test]
+    fn lint_flags_entropy_seeded_rngs() {
+        let mut report = String::new();
+        lint_file(
+            "crates/demo/src/lib.rs",
+            "let mut a = rand::rng();\nlet mut b = thread_rng();\n\
+             let c = StdRng::from_entropy();\nlet d = StdRng::from_os_rng();\n\
+             let ok = apec_ec::rng::seeded(7);\n",
+            &mut report,
+        );
+        assert_eq!(report.matches("entropy-seeded RNG").count(), 4, "report: {report}");
+        assert!(report.contains("thread_rng"));
+        assert!(report.contains("from_entropy"));
+        assert!(report.contains("from_os_rng"));
+    }
+
+    #[test]
+    fn rng_lint_spares_seeded_namespaces() {
+        let mut report = String::new();
+        lint_file(
+            "crates/demo/src/lib.rs",
+            // `rand::rngs::StdRng` must not trip the `rand::rng(` pattern,
+            // and mentions inside comments/strings never count.
+            "use rand::rngs::StdRng;\nlet s = \"thread_rng\"; // thread_rng\n",
             &mut report,
         );
         assert!(report.is_empty(), "unexpected report: {report}");
