@@ -38,6 +38,11 @@ pub enum ClusterError {
     Codec(EcError),
     /// The object cannot be served (too many dead nodes).
     Unavailable(String),
+    /// A cluster-level invariant failed (corrupted metadata, a repair plan
+    /// referencing nodes outside the stripe, a reconstruct that did not
+    /// fill the shard it promised). These were panics before PR 5; the
+    /// store now degrades to an error so the serving path never aborts.
+    Internal(String),
 }
 
 impl fmt::Display for ClusterError {
@@ -49,6 +54,7 @@ impl fmt::Display for ClusterError {
             ClusterError::NoSuchNode(n) => write!(f, "no such node {n}"),
             ClusterError::Codec(e) => write!(f, "codec error: {e}"),
             ClusterError::Unavailable(m) => write!(f, "object unavailable: {m}"),
+            ClusterError::Internal(m) => write!(f, "cluster invariant violated: {m}"),
         }
     }
 }
@@ -239,6 +245,15 @@ impl Cluster {
     ) -> Result<Vec<u8>, ClusterError> {
         let width = code.total_nodes();
         let k = code.data_nodes();
+        // Metadata is caller-supplied; a placement that disagrees with the
+        // code's width must degrade to an error, not a panic mid-read.
+        if meta.placement.len() != width {
+            return Err(ClusterError::Internal(format!(
+                "object {}: placement lists {} nodes but the code spans {width}",
+                meta.object,
+                meta.placement.len()
+            )));
+        }
         let block_id = |s: u32, i: usize| BlockId {
             object: meta.object,
             stripe: s,
@@ -260,7 +275,12 @@ impl Cluster {
                 for i in 0..k {
                     let block = self
                         .get_block(meta.placement[i], block_id(s, i))
-                        .expect("presence checked above");
+                        .ok_or_else(|| {
+                            ClusterError::Internal(format!(
+                                "stripe {s} shard {i}: block vanished between presence \
+                                 check and fetch"
+                            ))
+                        })?;
                     out.extend_from_slice(&block);
                 }
                 continue;
@@ -286,11 +306,20 @@ impl Cluster {
                 *slot = None;
             }
             for i in (0..k).filter(|i| !missing.contains(i)) {
+                // panic-ok: stripe was allocated with exactly `width` slots and i < k <= width
                 stripe[i] = self.get_block(meta.placement[i], block_id(s, i));
             }
             for r in plan.reads() {
-                if stripe[r.node].is_none() {
-                    stripe[r.node] = self.get_block(meta.placement[r.node], block_id(s, r.node));
+                // A plan is untrusted input here: it may name nodes outside
+                // the stripe (e.g. a foreign code's plan), so index checked.
+                let slot = stripe.get_mut(r.node).ok_or_else(|| {
+                    ClusterError::Internal(format!(
+                        "stripe {s}: repair plan reads node {} outside stripe width {width}",
+                        r.node
+                    ))
+                })?;
+                if slot.is_none() {
+                    *slot = self.get_block(meta.placement[r.node], block_id(s, r.node));
                 }
             }
             let shard_refs: Vec<Option<&[u8]>> = stripe.iter().map(|o| o.as_deref()).collect();
@@ -300,9 +329,11 @@ impl Cluster {
             for (i, slot) in stripe.iter().take(k).enumerate() {
                 match wanted.binary_search(&i) {
                     Ok(w) => out.extend_from_slice(&rebuilt[w]),
-                    Err(_) => {
-                        out.extend_from_slice(slot.as_deref().expect("live data fetched"))
-                    }
+                    Err(_) => out.extend_from_slice(slot.as_deref().ok_or_else(|| {
+                        ClusterError::Internal(format!(
+                            "stripe {s} shard {i}: live data shard not fetched for read"
+                        ))
+                    })?),
                 }
             }
         }
@@ -322,6 +353,13 @@ impl Cluster {
         replacement: &HashMap<usize, usize>,
     ) -> Result<usize, ClusterError> {
         let width = code.total_nodes();
+        if meta.placement.len() != width {
+            return Err(ClusterError::Internal(format!(
+                "object {}: placement lists {} nodes but the code spans {width}",
+                meta.object,
+                meta.placement.len()
+            )));
+        }
         let mut rebuilt = 0usize;
         // Remap the placement first so rebuilt blocks land on live nodes.
         let mut new_placement = meta.placement.clone();
@@ -348,7 +386,12 @@ impl Cluster {
                     )
                 })
                 .collect();
-            let missing: Vec<usize> = (0..width).filter(|&i| stripe[i].is_none()).collect();
+            let missing: Vec<usize> = stripe
+                .iter()
+                .enumerate()
+                .filter(|(_, shard)| shard.is_none())
+                .map(|(i, _)| i)
+                .collect();
             if missing.is_empty() {
                 continue;
             }
@@ -359,11 +402,13 @@ impl Cluster {
                     stripe: s,
                     shard: i as u32,
                 };
-                self.put_block(
-                    new_placement[i],
-                    id,
-                    stripe[i].clone().expect("reconstructed"),
-                )?;
+                let block = stripe.get_mut(i).and_then(Option::take).ok_or_else(|| {
+                    ClusterError::Internal(format!(
+                        "stripe {s} shard {i}: reconstruct did not rebuild the shard it \
+                         reported missing"
+                    ))
+                })?;
+                self.put_block(new_placement[i], id, block)?;
                 rebuilt += 1;
             }
         }
@@ -720,5 +765,57 @@ mod tests {
         cluster.revive_node(0).unwrap();
         assert!(cluster.is_alive(0));
         assert!(cluster.kill_node(9).is_err());
+    }
+
+    // PR 5 regressions: metadata/plan corruption on the serving path must
+    // surface as `ClusterError::Internal`, never as a panic.
+
+    #[test]
+    fn read_with_truncated_placement_errors_instead_of_panicking() {
+        let mut cluster = Cluster::new(8);
+        let code = ReedSolomon::vandermonde(4, 3).unwrap();
+        let data = payload(2_000);
+        let mut meta = cluster.store_object(&code, 11, &data, 512).unwrap();
+        meta.placement.truncate(3); // corrupt: code spans 7 nodes
+        assert!(matches!(
+            cluster.read_object(&code, &meta),
+            Err(ClusterError::Internal(_))
+        ));
+    }
+
+    #[test]
+    fn repair_with_oversized_placement_errors_instead_of_panicking() {
+        let mut cluster = Cluster::new(8);
+        let code = ReedSolomon::vandermonde(4, 2).unwrap();
+        let data = payload(1_000);
+        let mut meta = cluster.store_object(&code, 12, &data, 512).unwrap();
+        meta.placement.push(7); // corrupt: one node too many
+        assert!(matches!(
+            cluster.repair_object(&code, &mut meta, &HashMap::new()),
+            Err(ClusterError::Internal(_))
+        ));
+    }
+
+    #[test]
+    fn mismatched_code_for_meta_errors_instead_of_panicking() {
+        // Store under RS(4,3) but read back under RS(2,1): the placement
+        // no longer matches the code width, a realistic operator mistake.
+        let mut cluster = Cluster::new(8);
+        let wide = ReedSolomon::vandermonde(4, 3).unwrap();
+        let narrow = ReedSolomon::vandermonde(2, 1).unwrap();
+        let data = payload(2_000);
+        let meta = cluster.store_object(&wide, 13, &data, 512).unwrap();
+        assert!(matches!(
+            cluster.read_object(&narrow, &meta),
+            Err(ClusterError::Internal(_))
+        ));
+    }
+
+    #[test]
+    fn internal_error_displays_its_invariant() {
+        let err = ClusterError::Internal("stripe 3 shard 1: block vanished".into());
+        let msg = err.to_string();
+        assert!(msg.contains("cluster invariant violated"));
+        assert!(msg.contains("stripe 3 shard 1"));
     }
 }

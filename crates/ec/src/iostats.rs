@@ -40,19 +40,24 @@ impl IoStats {
     }
 
     /// Records a read of `bytes` from `node`.
+    ///
+    /// Counters saturate instead of wrapping: a pinned counter is visibly
+    /// wrong in a report, a wrapped one silently corrupts the paper's
+    /// cost accounting (and consumers like `tier::io_delta` treat
+    /// `u64::MAX` as "saturated" rather than computing a bogus delta).
     pub fn record_read(&self, node: usize, bytes: u64) {
         let mut nodes = self.nodes.lock();
         let io = &mut nodes[node];
-        io.read_ops += 1;
-        io.read_bytes += bytes;
+        io.read_ops = io.read_ops.saturating_add(1);
+        io.read_bytes = io.read_bytes.saturating_add(bytes);
     }
 
     /// Records a write of `bytes` to `node`.
     pub fn record_write(&self, node: usize, bytes: u64) {
         let mut nodes = self.nodes.lock();
         let io = &mut nodes[node];
-        io.write_ops += 1;
-        io.write_bytes += bytes;
+        io.write_ops = io.write_ops.saturating_add(1);
+        io.write_bytes = io.write_bytes.saturating_add(bytes);
     }
 
     /// Snapshot of one node's counters.
@@ -70,10 +75,10 @@ impl IoStats {
         let nodes = self.nodes.lock();
         let mut t = NodeIo::default();
         for n in nodes.iter() {
-            t.read_ops += n.read_ops;
-            t.read_bytes += n.read_bytes;
-            t.write_ops += n.write_ops;
-            t.write_bytes += n.write_bytes;
+            t.read_ops = t.read_ops.saturating_add(n.read_ops);
+            t.read_bytes = t.read_bytes.saturating_add(n.read_bytes);
+            t.write_ops = t.write_ops.saturating_add(n.write_ops);
+            t.write_bytes = t.write_bytes.saturating_add(n.write_bytes);
         }
         t
     }
@@ -81,7 +86,7 @@ impl IoStats {
     /// Total operations (reads + writes) — the paper's "number of I/Os".
     pub fn total_ops(&self) -> u64 {
         let t = self.totals();
-        t.read_ops + t.write_ops
+        t.read_ops.saturating_add(t.write_ops)
     }
 
     /// Resets every counter to zero.

@@ -25,6 +25,7 @@ pub mod parallel;
 pub mod plan;
 pub mod rng;
 pub mod stripe;
+pub mod sync_assert;
 mod traits;
 
 pub use error::EcError;

@@ -17,9 +17,50 @@
 //!
 //! Workers pull segment indices from a shared atomic counter, so long
 //! stripes load-balance even when segment costs vary.
+//!
+//! # Memory ordering of the segment counter
+//!
+//! The claim counter uses `fetch_add(1, Ordering::Relaxed)`, and Relaxed
+//! is sufficient — this is the one place the workspace lint permits it.
+//! The argument has two halves:
+//!
+//! * **Uniqueness** comes from *atomicity*, not ordering: every atomic
+//!   read-modify-write observes the latest value in the counter's single
+//!   modification order (C++11 [atomics.order] ¶10, the RMW rule), so no
+//!   two `fetch_add(1)` calls can return the same index regardless of how
+//!   weakly they are ordered against other memory. Each segment index is
+//!   therefore claimed by exactly one worker, and every index below the
+//!   final counter value is claimed by someone — no segment is processed
+//!   twice or skipped. `parallel::claim_model` checks exactly this
+//!   protocol under loom (`RUSTFLAGS="--cfg loom"`), and as a std-thread
+//!   stress test in normal runs.
+//! * **Publication** of the computed segments does not travel through the
+//!   counter at all. A worker writes its result into `results[i]` under a
+//!   `parking_lot::Mutex` (Release on unlock), and the collecting loop
+//!   runs strictly after `crossbeam::thread::scope` returns, which joins
+//!   every worker and so establishes a happens-before edge from each
+//!   worker's entire execution to the collector. Either edge alone is
+//!   enough; the counter never needs Acquire/Release.
+//!
+//! The `const _` items below are the lint-mandated compile-time witnesses
+//! that everything captured by the worker closures is `Send + Sync`.
 
+use crate::sync_assert::assert_send_sync;
 use crate::{EcError, ErasureCode};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[cfg(any(test, loom))]
+pub mod claim_model;
+
+// Everything the scoped workers share: the claim counter, the per-segment
+// result cells, the shard views, and the code itself (`ErasureCode` has
+// `Send + Sync` supertraits, witnessed via a concrete impl's reference).
+const _: () = assert_send_sync::<AtomicUsize>();
+const _: () = assert_send_sync::<Vec<parking_lot::Mutex<Option<Result<Vec<Vec<u8>>, EcError>>>>>();
+const _: () =
+    assert_send_sync::<Vec<parking_lot::Mutex<Option<Result<Vec<(usize, Vec<u8>)>, EcError>>>>>();
+const _: () = assert_send_sync::<&[Option<Vec<u8>>]>();
+const _: () = assert_send_sync::<&dyn ErasureCode>();
 
 /// Byte-offset ranges `[a, b)` within an element row.
 fn offset_ranges(row_len: usize, segment_bytes: usize, rows: usize) -> Vec<(usize, usize)> {
@@ -46,6 +87,7 @@ fn gather_into(shard: &[u8], rows: usize, row_len: usize, a: usize, b: usize, ou
     out.clear();
     out.reserve(rows * (b - a));
     for r in 0..rows {
+        // panic-ok: a <= b <= row_len (offset_ranges) and rows * row_len == shard.len() (check_data_shards/check_stripe)
         out.extend_from_slice(&shard[r * row_len + a..r * row_len + b]);
     }
 }
@@ -54,6 +96,7 @@ fn gather_into(shard: &[u8], rows: usize, row_len: usize, a: usize, b: usize, ou
 fn scatter(segment: &[u8], shard: &mut [u8], rows: usize, row_len: usize, a: usize, b: usize) {
     let w = b - a;
     for r in 0..rows {
+        // panic-ok: same bounds as gather_into; segment is rows * w bytes by construction
         shard[r * row_len + a..r * row_len + b].copy_from_slice(&segment[r * w..(r + 1) * w]);
     }
 }
@@ -104,14 +147,18 @@ pub fn encode_segmented(
             });
         }
     })
-    .expect("worker thread panicked during segmented encode");
+    .map_err(|_| EcError::Internal("worker thread panicked during segmented encode".into()))?;
 
     let mut parity = vec![vec![0u8; shard_len]; code.parity_nodes()];
     for (cell, &(a, b)) in results.iter().zip(&ranges) {
         let seg = cell
             .lock()
             .take()
-            .expect("every segment is claimed by exactly one worker")?;
+            .ok_or_else(|| {
+                // Unreachable by the claim protocol (see module docs and
+                // `claim_model`); degrade to a typed error regardless.
+                EcError::Internal("segment never claimed by any encode worker".into())
+            })??;
         debug_assert_eq!(seg.len(), parity.len());
         for (p, s) in parity.iter_mut().zip(seg) {
             scatter(&s, p, rows, row_len, a, b);
@@ -171,11 +218,20 @@ pub fn reconstruct_segmented(
                             })
                         })
                         .collect();
-                    let res = code.reconstruct(&mut seg).map(|()| {
+                    let res = code.reconstruct(&mut seg).and_then(|()| {
                         missing
                             .iter()
-                            .map(|&m| (m, seg[m].take().expect("reconstruct fills all shards")))
-                            .collect::<Vec<_>>()
+                            .map(|&m| {
+                                seg.get_mut(m)
+                                    .and_then(Option::take)
+                                    .map(|bytes| (m, bytes))
+                                    .ok_or_else(|| {
+                                        EcError::Internal(format!(
+                                            "segment reconstruct left shard {m} unfilled"
+                                        ))
+                                    })
+                            })
+                            .collect::<Result<Vec<_>, _>>()
                     });
                     pool.extend(seg.into_iter().flatten());
                     *results[i].lock() = Some(res);
@@ -183,21 +239,28 @@ pub fn reconstruct_segmented(
             });
         }
     })
-    .expect("worker thread panicked during segmented reconstruct");
+    .map_err(|_| EcError::Internal("worker thread panicked during segmented reconstruct".into()))?;
 
     // Pre-size the recovered shards, then scatter each segment into place.
     for &m in &missing {
+        // panic-ok: check_stripe proved every missing index is within the stripe
         shards[m] = Some(vec![0u8; shard_len]);
     }
     for (cell, &(a, b)) in results.iter().zip(&ranges) {
-        let seg = cell
-            .lock()
-            .take()
-            .expect("every segment is claimed by exactly one worker");
+        let seg = cell.lock().take().ok_or_else(|| {
+            // Unreachable by the claim protocol (see module docs and
+            // `claim_model`); degrade to a typed error regardless.
+            EcError::Internal("segment never claimed by any reconstruct worker".into())
+        })?;
         match seg {
             Ok(parts) => {
                 for (m, bytes) in parts {
-                    let dst = shards[m].as_mut().expect("pre-sized above");
+                    let dst = shards
+                        .get_mut(m)
+                        .and_then(Option::as_mut)
+                        .ok_or_else(|| {
+                            EcError::Internal(format!("recovered shard {m} not pre-sized"))
+                        })?;
                     scatter(&bytes, dst, rows, row_len, a, b);
                 }
             }
@@ -205,6 +268,7 @@ pub fn reconstruct_segmented(
                 // Restore the erased state before reporting: the serial
                 // contract is "unmodified on failure".
                 for &m in &missing {
+                    // panic-ok: same bound as the pre-size loop above
                     shards[m] = None;
                 }
                 return Err(e);

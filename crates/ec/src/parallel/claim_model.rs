@@ -1,0 +1,109 @@
+//! Model of the segment-claim protocol used by `encode_segmented` /
+//! `reconstruct_segmented`, checked two ways:
+//!
+//! * under **loom** (`RUSTFLAGS="--cfg loom" cargo test -p apec-ec --lib
+//!   --release claim`), every interleaving of the modelled threads is
+//!   explored exhaustively, proving the protocol's invariant — *every
+//!   segment is claimed by exactly one worker, none skipped, none
+//!   doubled* — holds even with `Ordering::Relaxed` on the counter;
+//! * under plain `cargo test`, the same protocol runs as a std-thread
+//!   stress test, so the invariant is exercised on every CI run without
+//!   the loom dependency (which is cfg-gated and never built normally).
+//!
+//! The model deliberately mirrors the production shape: a shared
+//! `AtomicUsize` ticket counter claimed with `fetch_add(1, Relaxed)`, a
+//! per-segment mutex cell for the result, and a join barrier before the
+//! cells are read. See the module docs of [`crate::parallel`] for why
+//! Relaxed suffices (RMW atomicity gives uniqueness; the join and the
+//! cell mutexes give publication).
+
+#[cfg(loom)]
+use loom::{
+    sync::atomic::{AtomicUsize, Ordering},
+    sync::{Arc, Mutex},
+    thread,
+};
+#[cfg(not(loom))]
+use std::{
+    sync::atomic::{AtomicUsize, Ordering},
+    sync::{Arc, Mutex},
+    thread,
+};
+
+/// Runs one round of the claim protocol with `n_workers` threads over
+/// `n_segments` segments and returns how many times each segment was
+/// claimed. The protocol is correct iff every count is exactly 1.
+pub fn claim_round(n_workers: usize, n_segments: usize) -> Vec<usize> {
+    let next = Arc::new(AtomicUsize::new(0));
+    let hits: Arc<Vec<Mutex<usize>>> = Arc::new((0..n_segments).map(|_| Mutex::new(0)).collect());
+
+    let handles: Vec<_> = (0..n_workers)
+        .map(|_| {
+            let next = Arc::clone(&next);
+            let hits = Arc::clone(&hits);
+            thread::spawn(move || loop {
+                // The exact production claim: Relaxed fetch_add ticket.
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_segments {
+                    break;
+                }
+                // panic-ok: i < n_segments checked above; lock poisoning means a sibling already failed the test
+                *hits[i].lock().unwrap() += 1;
+            })
+        })
+        .collect();
+    for h in handles {
+        // panic-ok: model harness — a worker panic IS the test failure being surfaced
+        h.join().unwrap();
+    }
+    // panic-ok: all workers joined, no lock can be held or poisoned here
+    hits.iter().map(|m| *m.lock().unwrap()).collect()
+}
+
+/// Exhaustive loom check. Small bounds keep the state space tractable —
+/// loom explores every interleaving, so 2 workers × 3 segments already
+/// covers claim/claim races, claim/exit races, and the join edge.
+#[cfg(loom)]
+mod loom_model {
+    #[test]
+    fn every_segment_claimed_exactly_once() {
+        loom::model(|| {
+            let hits = super::claim_round(2, 3);
+            assert!(
+                hits.iter().all(|&h| h == 1),
+                "segment claimed {hits:?} times — protocol broken"
+            );
+        });
+    }
+
+    #[test]
+    fn more_workers_than_segments_is_safe() {
+        loom::model(|| {
+            let hits = super::claim_round(3, 2);
+            assert!(hits.iter().all(|&h| h == 1), "{hits:?}");
+        });
+    }
+}
+
+/// Std-thread stress fallback for normal test runs.
+#[cfg(all(test, not(loom)))]
+mod stress {
+    #[test]
+    fn every_segment_claimed_exactly_once_stress() {
+        for workers in [2, 4, 8] {
+            for round in 0..50 {
+                let hits = super::claim_round(workers, 64);
+                assert!(
+                    hits.iter().all(|&h| h == 1),
+                    "workers={workers} round={round}: {hits:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_workers_than_segments_is_safe() {
+        let hits = super::claim_round(16, 3);
+        assert!(hits.iter().all(|&h| h == 1), "{hits:?}");
+    }
+}

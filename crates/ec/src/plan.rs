@@ -388,6 +388,7 @@ impl RepairScratch {
     }
 
     fn record_plan_reads(&mut self, plan: &RepairPlan, elem_len: usize) {
+        // panic-ok: private helper, only reachable after begin() installed io
         let io = self.io.as_ref().expect("begin() ran");
         for r in &plan.reads {
             io.record_read(r.node, (r.elements.len() * elem_len) as u64);
@@ -479,9 +480,10 @@ pub fn execute_steps(
                 None => {
                     let node = src / eps;
                     let offset = (src % eps) * elem_len;
-                    let shard = shards[node].ok_or_else(|| {
+                    let shard = shards.get(node).copied().flatten().ok_or_else(|| {
                         EcError::Internal(format!("source node {node} unavailable mid-plan"))
                     })?;
+                    // panic-ok: offset + elem_len <= eps * elem_len == shard_len, validated against the plan
                     &shard[offset..offset + elem_len]
                 }
             };
@@ -496,6 +498,7 @@ pub fn execute_steps(
         scratch.slot_of.insert(step.target, slot);
     }
 
+    // panic-ok: scratch.begin() ran at the top of this function
     let io = scratch.io.as_ref().expect("begin() ran");
     for (buf, &w) in out.iter_mut().zip(&plan.wanted) {
         buf.clear();
@@ -550,10 +553,13 @@ pub fn execute_opaque(
     }
     reconstruct(&mut scratch.stripe)?;
 
+    // panic-ok: scratch.begin() ran at the top of this function
     let io = scratch.io.as_ref().expect("begin() ran");
     for (buf, &w) in out.iter_mut().zip(&plan.wanted) {
-        let rebuilt = scratch.stripe[w]
-            .as_deref()
+        let rebuilt = scratch
+            .stripe
+            .get(w)
+            .and_then(|s| s.as_deref())
             .ok_or_else(|| EcError::Internal(format!("reconstruct left shard {w} empty")))?;
         buf.clear();
         buf.extend_from_slice(rebuilt);

@@ -45,6 +45,7 @@ pub fn join_shards(shards: &[Vec<u8>], original_len: usize) -> Vec<u8> {
             break;
         }
         let take = (original_len - out.len()).min(shard.len());
+        // panic-ok: take is clamped to shard.len() on the line above
         out.extend_from_slice(&shard[..take]);
     }
     out

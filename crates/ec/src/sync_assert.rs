@@ -1,0 +1,33 @@
+//! Compile-time `Send`/`Sync` witnesses.
+//!
+//! `cargo xtask lint` requires every file that spawns onto a crossbeam
+//! scope to witness, at compile time, that the types crossing the scope
+//! are `Send + Sync` — so a later edit that slips a `Rc`/`RefCell`/raw
+//! pointer into a worker capture fails the build right at the
+//! declaration instead of deep inside a trait bound error (or worse,
+//! compiling because some wrapper hid the requirement).
+//!
+//! Usage, next to the spawning code:
+//!
+//! ```
+//! use apec_ec::sync_assert::assert_send_sync;
+//! const _: () = assert_send_sync::<std::sync::atomic::AtomicUsize>();
+//! ```
+
+/// Compiles only if `T: Send + Sync`. Call in a `const _: () = …;` item so
+/// the witness costs nothing at runtime and cannot be skipped by dead-code
+/// elimination.
+pub const fn assert_send_sync<T: Send + Sync>() {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn witnesses_compile_for_shared_types() {
+        const _: () = assert_send_sync::<std::sync::atomic::AtomicUsize>();
+        const _: () = assert_send_sync::<Vec<parking_lot::Mutex<Option<Vec<u8>>>>>();
+        // A !Sync type would fail to compile here — covered by the fact
+        // that this cannot be expressed as a runtime test at all.
+    }
+}

@@ -124,6 +124,7 @@ impl Lrc {
         self.groups
             .iter()
             .position(|g| g.contains(&data_node))
+            // panic-ok: the constructor partitions 0..k over the groups exhaustively
             .expect("every data node is grouped")
     }
 
@@ -158,6 +159,7 @@ impl Lrc {
             let missing: Vec<usize> = members
                 .iter()
                 .copied()
+                // panic-ok: group members and local-parity indices are < total_nodes by construction
                 .filter(|&i| shards[i].is_none())
                 .collect();
             if missing.len() != 1 {
@@ -168,9 +170,12 @@ impl Lrc {
                 if m == missing[0] {
                     continue;
                 }
+                // panic-ok: m != missing[0] is the group's only absent member, so shards[m] is Some
                 let s = shards[m].as_ref().expect("checked present");
+                // panic-ok: check_stripe proved all shards share one length, acc allocated to it
                 apec_gf::xor_slice(s, &mut acc).expect("stripe shards share one length");
             }
+            // panic-ok: missing[0] is a member index, < total_nodes
             shards[missing[0]] = Some(acc);
             progress = true;
         }
@@ -202,6 +207,7 @@ impl ErasureCode for Lrc {
         for group in &self.groups {
             let mut p = vec![0u8; len];
             for &d in group {
+                // panic-ok: check_data_shards proved equal lengths; p allocated to match
                 apec_gf::xor_slice(data[d], &mut p).expect("data shards share one length");
             }
             out.push(p);
@@ -226,6 +232,7 @@ impl ErasureCode for Lrc {
         while self.local_repair_pass(shards, len) {}
 
         let still_missing: Vec<usize> = (0..self.total_nodes())
+            // panic-ok: check_stripe proved shards.len() == total_nodes()
             .filter(|&i| shards[i].is_none())
             .collect();
         if still_missing.is_empty() {
@@ -236,6 +243,7 @@ impl ErasureCode for Lrc {
         // of the generator among surviving shards.
         let gen = self.generator();
         let survivors: Vec<usize> = (0..self.total_nodes())
+            // panic-ok: check_stripe proved shards.len() == total_nodes()
             .filter(|&i| shards[i].is_some())
             .collect();
         let mut chosen: Vec<usize> = Vec::with_capacity(self.k);
@@ -265,6 +273,7 @@ impl ErasureCode for Lrc {
             .map_err(|e| EcError::Internal(format!("independent rows must invert: {e}")))?;
         let chosen_blocks: Vec<&[u8]> = chosen
             .iter()
+            // panic-ok: chosen is a subset of survivors, which are Some by construction
             .map(|&i| shards[i].as_deref().expect("chosen rows survive"))
             .collect();
 
@@ -280,6 +289,7 @@ impl ErasureCode for Lrc {
             rows.apply(&chosen_blocks, &mut out)
                 .map_err(|e| EcError::Internal(e.to_string()))?;
             for (&idx, block) in missing_data.iter().zip(out) {
+                // panic-ok: idx is a missing index, bounded by check_stripe
                 shards[idx] = Some(block);
             }
         }
@@ -292,6 +302,7 @@ impl ErasureCode for Lrc {
             .collect();
         if !missing_parity.is_empty() {
             let data_blocks: Vec<&[u8]> = (0..self.k)
+                // panic-ok: i < k <= total_nodes and missing data was recovered above
                 .map(|i| shards[i].as_deref().expect("data complete"))
                 .collect();
             let rows = gen.select_rows(&missing_parity);
@@ -299,6 +310,7 @@ impl ErasureCode for Lrc {
             rows.apply(&data_blocks, &mut out)
                 .map_err(|e| EcError::Internal(e.to_string()))?;
             for (&idx, block) in missing_parity.iter().zip(out) {
+                // panic-ok: idx is a missing index, bounded by check_stripe
                 shards[idx] = Some(block);
             }
         }

@@ -257,7 +257,9 @@ pub fn recover_lost_frames(stream: &mut DecodedStream, method: Interpolator) -> 
             (Some(a), Some(b)) => {
                 let alpha = (i - a) as f64 / (b - a) as f64;
                 let frame = interpolate(
+                    // panic-ok: a was found by scanning original[..], so frames[a] is Some
                     stream.frames[a].as_ref().expect("original frame present"),
+                    // panic-ok: b was found by scanning original[..], so frames[b] is Some
                     stream.frames[b].as_ref().expect("original frame present"),
                     alpha,
                     method,

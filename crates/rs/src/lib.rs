@@ -181,6 +181,7 @@ impl ErasureCode for ReedSolomon {
             });
         }
         let survivors: Vec<usize> = (0..self.total_nodes())
+            // panic-ok: check_stripe proved shards.len() == total_nodes()
             .filter(|&i| shards[i].is_some())
             .collect();
 
@@ -189,6 +190,7 @@ impl ErasureCode for ReedSolomon {
         let inv = self.decode_matrix(&missing, &survivors)?;
         let survivor_blocks: Vec<&[u8]> = survivors[..self.k]
             .iter()
+            // panic-ok: survivors collected from shards[i].is_some() just above
             .map(|&i| shards[i].as_deref().expect("survivor present"))
             .collect();
 
@@ -200,6 +202,7 @@ impl ErasureCode for ReedSolomon {
             rows.apply(&survivor_blocks, &mut out)
                 .map_err(|e| EcError::Internal(e.to_string()))?;
             for (&idx, block) in missing_data.iter().zip(out) {
+                // panic-ok: idx is a missing index, bounded by check_stripe
                 shards[idx] = Some(block);
             }
         }
@@ -209,6 +212,7 @@ impl ErasureCode for ReedSolomon {
             missing.iter().copied().filter(|&i| i >= self.k).collect();
         if !missing_parity.is_empty() {
             let data_blocks: Vec<&[u8]> = (0..self.k)
+                // panic-ok: i < k <= total_nodes and every data shard was recovered above
                 .map(|i| shards[i].as_deref().expect("data recovered above"))
                 .collect();
             let rows = self.generator.select_rows(&missing_parity);
@@ -216,6 +220,7 @@ impl ErasureCode for ReedSolomon {
             rows.apply(&data_blocks, &mut out)
                 .map_err(|e| EcError::Internal(e.to_string()))?;
             for (&idx, block) in missing_parity.iter().zip(out) {
+                // panic-ok: idx is a missing index, bounded by check_stripe
                 shards[idx] = Some(block);
             }
         }

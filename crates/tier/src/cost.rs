@@ -82,7 +82,8 @@ impl TierCosts {
         if self.hot_only_byte_ticks == 0 {
             return 0.0;
         }
-        1.0 - (self.hot_byte_ticks + self.cold_byte_ticks) as f64
+        // Summed in f64: u64 addition could overflow after ~2^63 byte-ticks.
+        1.0 - (self.hot_byte_ticks as f64 + self.cold_byte_ticks as f64)
             / self.hot_only_byte_ticks as f64
     }
 
@@ -91,7 +92,7 @@ impl TierCosts {
         if self.logical_byte_ticks == 0 {
             return 0.0;
         }
-        (self.hot_byte_ticks + self.cold_byte_ticks) as f64 / self.logical_byte_ticks as f64
+        (self.hot_byte_ticks as f64 + self.cold_byte_ticks as f64) / self.logical_byte_ticks as f64
     }
 }
 

@@ -51,6 +51,11 @@ pub enum TierError {
     Codec(EcError),
     /// The configuration is inconsistent.
     Config(String),
+    /// An engine invariant failed (an object vanished mid-operation, a
+    /// reconstruct did not fill a shard it reported rebuilding). These
+    /// were panics before PR 5; the lifecycle engine now surfaces them as
+    /// errors so a simulation run fails loudly instead of aborting.
+    Internal(String),
 }
 
 impl fmt::Display for TierError {
@@ -59,6 +64,7 @@ impl fmt::Display for TierError {
             TierError::Cluster(e) => write!(f, "cluster: {e}"),
             TierError::Codec(e) => write!(f, "codec: {e}"),
             TierError::Config(m) => write!(f, "config: {m}"),
+            TierError::Internal(m) => write!(f, "engine invariant violated: {m}"),
         }
     }
 }
@@ -246,7 +252,7 @@ impl TierConfig {
         };
         let align = cold
             .build()
-            .expect("demo cold code is valid")
+            .expect("demo cold code is valid") // panic-ok: constant audited spec, covered by tier unit tests
             .shard_alignment();
         TierConfig {
             nodes: 20,
@@ -312,10 +318,12 @@ fn nominal_bytes(meta: &ObjectMeta) -> u64 {
 fn io_delta(before: &[NodeIo], after: &[NodeIo]) -> (IoTotals, Vec<u64>) {
     let mut t = IoTotals::default();
     let mut per_node_reads = vec![0u64; after.len()];
+    // Deltas are saturating: counters only grow, but a saturated counter
+    // (see IoStats) could otherwise make `after < before` and underflow.
     for (n, (b, a)) in before.iter().zip(after).enumerate() {
-        per_node_reads[n] = a.read_bytes - b.read_bytes;
-        t.read_bytes += a.read_bytes - b.read_bytes;
-        t.write_bytes += a.write_bytes - b.write_bytes;
+        per_node_reads[n] = a.read_bytes.saturating_sub(b.read_bytes);
+        t.read_bytes = t.read_bytes.saturating_add(a.read_bytes.saturating_sub(b.read_bytes));
+        t.write_bytes = t.write_bytes.saturating_add(a.write_bytes.saturating_sub(b.write_bytes));
     }
     (t, per_node_reads)
 }
@@ -555,7 +563,10 @@ impl TierEngine {
                         .repair_object(self.hot_code.as_ref(), &mut m, &HashMap::new())
                         .is_ok()
                     {
-                        self.objects.get_mut(&id).expect("exists").meta = m;
+                        let rec = self.objects.get_mut(&id).ok_or_else(|| {
+                            TierError::Internal(format!("object {id} vanished during repair"))
+                        })?;
+                        rec.meta = m;
                     }
                 }
                 Tier::Cold => self.repair_cold(id, &meta)?,
@@ -577,7 +588,12 @@ impl TierEngine {
             let mut stripe: Vec<Option<Vec<u8>>> = (0..width)
                 .map(|i| self.cluster.fetch_block(meta.placement[i], bid(i)))
                 .collect();
-            let missing: Vec<usize> = (0..width).filter(|&i| stripe[i].is_none()).collect();
+            let missing: Vec<usize> = stripe
+                .iter()
+                .enumerate()
+                .filter(|(_, shard)| shard.is_none())
+                .map(|(i, _)| i)
+                .collect();
             if missing.is_empty() {
                 continue;
             }
@@ -585,11 +601,13 @@ impl TierEngine {
             // rebuilds what it can and zero-fills the rest.
             self.cold_code.reconstruct_tiered(&mut stripe)?;
             for &i in &missing {
-                self.cluster.store_block(
-                    meta.placement[i],
-                    bid(i),
-                    stripe[i].take().expect("rebuilt"),
-                )?;
+                let block = stripe.get_mut(i).and_then(Option::take).ok_or_else(|| {
+                    TierError::Internal(format!(
+                        "object {object} stripe {s} shard {i}: reconstruct_tiered left a \
+                         reported-missing shard empty"
+                    ))
+                })?;
+                self.cluster.store_block(meta.placement[i], bid(i), block)?;
             }
         }
         Ok(())
@@ -627,7 +645,9 @@ impl TierEngine {
             let now = self.now;
             self.objects
                 .get_mut(&video)
-                .expect("checked above")
+                .ok_or_else(|| {
+                    TierError::Internal(format!("object {video} vanished during read"))
+                })?
                 .access
                 .record_read(now);
         }
@@ -705,11 +725,16 @@ impl TierEngine {
                 data_stripes.push(
                     (0..kd)
                         .map(|i| {
-                            self.cluster
-                                .fetch_block(meta.placement[i], bid(i))
-                                .expect("presence checked")
+                            self.cluster.fetch_block(meta.placement[i], bid(i)).ok_or_else(
+                                || {
+                                    TierError::Internal(format!(
+                                        "stripe {s} shard {i}: block vanished between \
+                                         presence check and fetch"
+                                    ))
+                                },
+                            )
                         })
-                        .collect(),
+                        .collect::<Result<Vec<_>, _>>()?,
                 );
                 continue;
             }
@@ -723,8 +748,15 @@ impl TierEngine {
             self.cold_code.reconstruct_tiered(&mut stripe)?;
             data_stripes.push(
                 (0..kd)
-                    .map(|i| stripe[i].take().expect("rebuilt"))
-                    .collect(),
+                    .map(|i| {
+                        stripe.get_mut(i).and_then(Option::take).ok_or_else(|| {
+                            TierError::Internal(format!(
+                                "stripe {s} shard {i}: reconstruct_tiered left a data \
+                                 shard empty"
+                            ))
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
             );
         }
         let (d, per_node) = io_delta(&before, &self.cluster.stats().snapshot());
@@ -839,7 +871,9 @@ impl TierEngine {
             bytes_written: d.write_bytes,
         });
         self.tiers.demotions += 1;
-        let rec = self.objects.get_mut(&video).expect("checked above");
+        let rec = self.objects.get_mut(&video).ok_or_else(|| {
+            TierError::Internal(format!("object {video} vanished during demotion"))
+        })?;
         rec.tier = Tier::Cold;
         rec.meta = new_meta;
         Ok(true)
@@ -849,7 +883,10 @@ impl TierEngine {
         // Demotion scan in object-id order (BTreeMap keeps it stable).
         let ids: Vec<u64> = self.objects.keys().copied().collect();
         for id in ids {
-            let rec = self.objects.get_mut(&id).expect("exists");
+            // Robust to future policies that delete objects mid-scan.
+            let Some(rec) = self.objects.get_mut(&id) else {
+                continue;
+            };
             if rec.tier != Tier::Hot {
                 continue;
             }
@@ -868,10 +905,10 @@ impl TierEngine {
             logical += (rec.important_len + rec.unimportant_len) as u64;
             hot_only += rec.hot_nominal_bytes;
         }
-        self.costs.hot_byte_ticks += hot;
-        self.costs.cold_byte_ticks += cold;
-        self.costs.logical_byte_ticks += logical;
-        self.costs.hot_only_byte_ticks += hot_only;
+        self.costs.hot_byte_ticks = self.costs.hot_byte_ticks.saturating_add(hot);
+        self.costs.cold_byte_ticks = self.costs.cold_byte_ticks.saturating_add(cold);
+        self.costs.logical_byte_ticks = self.costs.logical_byte_ticks.saturating_add(logical);
+        self.costs.hot_only_byte_ticks = self.costs.hot_only_byte_ticks.saturating_add(hot_only);
         if last || self.now.is_multiple_of(self.cfg.sample_every.max(1)) {
             self.timeline.push(TimelinePoint {
                 tick: self.now,
@@ -1075,5 +1112,37 @@ mod tests {
         let r = e.read_object(99).unwrap();
         assert!(r.unavailable);
         assert_eq!(e.report(&WorkloadConfig::small(2)).reads.unavailable, 1);
+    }
+
+    // PR 5 regressions: lifecycle invariant violations surface as
+    // `TierError::Internal` (typed, Display-able), never as a panic, and the
+    // IO accounting stays monotone even when a counter has saturated.
+
+    #[test]
+    fn demote_of_unknown_object_is_a_noop() {
+        let mut e = TierEngine::new(TierConfig::demo(3)).unwrap();
+        assert!(!e.demote(424242).unwrap());
+    }
+
+    #[test]
+    fn internal_error_displays_its_invariant() {
+        let err = TierError::Internal("object 7 vanished during demotion".into());
+        let msg = err.to_string();
+        assert!(msg.contains("engine invariant violated"));
+        assert!(msg.contains("object 7"));
+    }
+
+    #[test]
+    fn io_delta_survives_saturated_counters() {
+        use apec_ec::iostats::NodeIo;
+        // A node whose read counter pinned at u64::MAX between snapshots
+        // must not underflow the delta (the counter "moved backwards"
+        // relative to naive subtraction once it saturates).
+        let before = vec![NodeIo { read_ops: 1, read_bytes: u64::MAX, write_ops: 0, write_bytes: 5 }];
+        let after = vec![NodeIo { read_ops: 2, read_bytes: u64::MAX, write_ops: 0, write_bytes: 3 }];
+        let (t, per_node) = io_delta(&before, &after);
+        assert_eq!(t.read_bytes, 0);
+        assert_eq!(t.write_bytes, 0); // 3 - 5 saturates to 0, not wraps
+        assert_eq!(per_node, vec![0]);
     }
 }

@@ -116,8 +116,8 @@ pub struct IoBreakdown {
 
 impl std::ops::AddAssign for IoTotals {
     fn add_assign(&mut self, rhs: IoTotals) {
-        self.read_bytes += rhs.read_bytes;
-        self.write_bytes += rhs.write_bytes;
+        self.read_bytes = self.read_bytes.saturating_add(rhs.read_bytes);
+        self.write_bytes = self.write_bytes.saturating_add(rhs.write_bytes);
     }
 }
 

@@ -110,14 +110,19 @@ impl ArrayCode {
             let slot = rebuilt
                 .iter_mut()
                 .find(|(c, _)| *c == tcol)
+                // panic-ok: plan_for only emits steps targeting the erased columns we seeded
                 .expect("plan targets erased columns");
+            // panic-ok: trange is r*elen..(r+1)*elen with r < rows_per_col, inside the elen*rpc buffer
             let dst = &mut slot.1[trange];
             for &e in &step.sources {
                 let (scol, srange) = range(e);
+                // panic-ok: plan_for validated every source column as surviving before planning
                 let src = shards[scol]
                     .as_deref()
+                    // panic-ok: same invariant — the plan only reads surviving columns
                     .expect("plan sources survive the erasure");
                 apec_gf::xor_slice(&src[srange], dst)
+                    // panic-ok: srange and dst are both exactly elen bytes by construction of range()
                     .expect("element ranges are all elen bytes");
             }
         }
@@ -184,6 +189,7 @@ impl ErasureCode for ArrayCode {
                 // Decode never copies shard bytes (pooled plan executor);
                 // encode materializes elements once per stripe write.
                 elements[c * rpc + r] =
+                    // panic-ok: check_data_shards proved shard.len() == rpc * element_len
                     shard[r * element_len..(r + 1) * element_len].to_vec(); // clone-ok: encode path
             }
         }
@@ -212,6 +218,7 @@ impl ErasureCode for ArrayCode {
         }
         let plan = self.plan_for(&missing)?;
         for (col, shard) in self.stream_plan(&plan, shards, &missing, len) {
+            // panic-ok: col comes from `missing`, which check_stripe bounded by n_cols
             shards[col] = Some(shard);
         }
         Ok(())

@@ -200,6 +200,118 @@ fn reconstruct_is_a_no_op_on_intact_stripes() {
 }
 
 #[test]
+fn reconstruct_handles_zero_length_shards_without_panicking() {
+    // A stripe of zero-length shards is shape-consistent but carries no
+    // elements. Codes may treat it as a degenerate no-op (RS: zero bytes
+    // to rebuild) or reject it, but either way the result must be a typed
+    // one — no division by a zero element count may reach the algebra.
+    for target in shipped_codes() {
+        let code = target.as_code();
+        let mut stripe: Vec<Option<Vec<u8>>> = vec![Some(Vec::new()); code.total_nodes()];
+        stripe[0] = None;
+        match code.reconstruct(&mut stripe) {
+            Ok(()) => assert_eq!(
+                stripe[0].as_deref(),
+                Some(&[][..]),
+                "{}: accepted zero-length stripe but left the erased shard empty",
+                code.name()
+            ),
+            Err(_) => {} // typed rejection is equally sound
+        }
+    }
+}
+
+#[test]
+fn encode_handles_zero_length_shards_without_panicking() {
+    for target in shipped_codes() {
+        let code = target.as_code();
+        let empty: Vec<u8> = Vec::new();
+        let data: Vec<&[u8]> = (0..code.data_nodes()).map(|_| empty.as_slice()).collect();
+        match code.encode(&data) {
+            Ok(parity) => {
+                assert_eq!(
+                    parity.len(),
+                    code.total_nodes() - code.data_nodes(),
+                    "{}: degenerate encode returned the wrong parity count",
+                    code.name()
+                );
+                assert!(
+                    parity.iter().all(|p| p.is_empty()),
+                    "{}: zero-length data produced non-empty parity",
+                    code.name()
+                );
+            }
+            Err(_) => {} // typed rejection is equally sound
+        }
+    }
+}
+
+#[test]
+fn reconstruct_rejects_misaligned_shard_lengths() {
+    // All shards share one length, but that length is not a multiple of
+    // the code's alignment — the element grid cannot be laid over it.
+    for target in shipped_codes() {
+        let code = target.as_code();
+        let align = code.shard_alignment();
+        if align == 1 {
+            continue; // every length is aligned
+        }
+        let mut stripe: Vec<Option<Vec<u8>>> =
+            vec![Some(vec![0u8; align + 1]); code.total_nodes()];
+        stripe[0] = None;
+        assert!(
+            code.reconstruct(&mut stripe).is_err(),
+            "{}: reconstruct accepted misaligned {}-byte shards (alignment {align})",
+            code.name(),
+            align + 1
+        );
+    }
+}
+
+#[test]
+fn io_stats_saturate_instead_of_wrapping() {
+    // PR 5: byte counters on the accounting path saturate at u64::MAX.
+    // A wrapped counter would silently corrupt the paper's cost model;
+    // a pinned one is visibly wrong and caught by io_delta's saturating
+    // subtraction downstream.
+    use approximate_code::ec::iostats::IoStats;
+
+    let stats = IoStats::new(2);
+    stats.record_read(0, u64::MAX - 10);
+    stats.record_read(0, 100); // would wrap; must pin at MAX
+    stats.record_write(1, u64::MAX);
+    stats.record_write(1, 1);
+    let snap = stats.snapshot();
+    assert_eq!(snap[0].read_bytes, u64::MAX);
+    assert_eq!(snap[0].read_ops, 2);
+    assert_eq!(snap[1].write_bytes, u64::MAX);
+
+    // The totals fold saturates too: two pinned nodes don't overflow the sum.
+    stats.record_read(1, u64::MAX);
+    let totals = stats.totals();
+    assert_eq!(totals.read_bytes, u64::MAX);
+    assert_eq!(totals.write_bytes, u64::MAX);
+    assert_eq!(stats.total_ops(), totals.read_ops + totals.write_ops);
+}
+
+#[test]
+fn io_stats_usize_max_adjacent_lengths_accumulate() {
+    // Shard lengths arrive as usize; recording lengths near usize::MAX
+    // must neither panic on the usize→u64 conversion nor wrap the counter.
+    use approximate_code::ec::iostats::IoStats;
+
+    let stats = IoStats::new(1);
+    let huge = usize::MAX as u64;
+    stats.record_read(0, huge);
+    stats.record_read(0, huge);
+    let snap = stats.snapshot();
+    // On 64-bit targets the second add saturates; on smaller targets the
+    // sum is exact. Either way the counter is monotone and finite.
+    assert!(snap[0].read_bytes >= huge);
+    assert_eq!(snap[0].read_ops, 2);
+}
+
+#[test]
 fn within_tolerance_erasures_round_trip() {
     // The positive control for the battery above: worst-case erasure
     // patterns inside the tolerance must rebuild the exact bytes.

@@ -12,9 +12,12 @@
 # crate (whose vault needs Deserialize) and the bench crate's serde-based
 # lib are compile-skipped here; CI covers them.
 #
-# Usage: tools/offline/verify.sh [--asan] [--clippy]
+# Usage: tools/offline/verify.sh [--asan] [--tsan] [--clippy]
 #   --asan    additionally run the gf/ec kernel tests under AddressSanitizer
 #             (nightly rustc with -Zsanitizer=address, real SIMD paths)
+#   --tsan    additionally run the concurrency-bearing crates (ec, rs, xor)
+#             under ThreadSanitizer (nightly rustc with -Zsanitizer=thread;
+#             std stays uninstrumented, see tsan_suppressions.txt)
 #   --clippy  additionally lint every compiled crate with clippy-driver
 set -euo pipefail
 
@@ -22,10 +25,12 @@ REPO="$(cd "$(dirname "$0")/../.." && pwd)"
 OUT="${APEC_OFFLINE_OUT:-/tmp/apec-offline}"
 EDITION=2021
 RUN_ASAN=0
+RUN_TSAN=0
 RUN_CLIPPY=0
 for arg in "$@"; do
   case "$arg" in
     --asan) RUN_ASAN=1 ;;
+    --tsan) RUN_TSAN=1 ;;
     --clippy) RUN_CLIPPY=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
@@ -139,6 +144,25 @@ for t in "$REPO"/tests/*.rs; do
   echo "  integration $name ok"
 done
 
+echo "== xtask: build, unit tests, fixture regressions, workspace lint"
+# xtask is dependency-free, so this lane needs no stubs. The fixture
+# integration test includes the lint module tree via #[path] and reads
+# its fixtures relative to the repo root; the final invocation is the
+# real semantic lint over the workspace, ratcheted against the
+# committed xtask/panic_baseline.json.
+"$RUSTC" --edition "$EDITION" -O --crate-name xtask \
+  "$REPO/xtask/src/main.rs" -o "$TESTDIR/xtask"
+"$RUSTC" --edition "$EDITION" -O --crate-name xtask --test \
+  "$REPO/xtask/src/main.rs" -o "$TESTDIR/xtask-unit"
+"$TESTDIR/xtask-unit" --test-threads "$(nproc)" -q
+echo "  unit xtask ok"
+"$RUSTC" --edition "$EDITION" -O --crate-name lint_fixtures --test \
+  "$REPO/xtask/tests/lint_fixtures.rs" -o "$TESTDIR/xtask-fixtures"
+(cd "$REPO" && "$TESTDIR/xtask-fixtures" --test-threads "$(nproc)" -q)
+echo "  fixtures xtask ok"
+(cd "$REPO" && "$TESTDIR/xtask" lint --report "$OUT/panics.json")
+echo "  lint + ratchet ok ($OUT/panics.json)"
+
 echo "== compiling benches (stub criterion; smoke-running repair_benches)"
 # The stub harness runs every registered routine once, so compiling is a
 # real type-check of the bench code and running is a smoke test.
@@ -205,6 +229,51 @@ if [ "$RUN_ASAN" = 1 ]; then
           "$REPO/$src" -o "$ASAN_OUT/tests/$name-test"
         ASAN_OPTIONS=detect_leaks=1 "$ASAN_OUT/tests/$name-test" -q
         echo "  asan $name ok"
+        ;;
+    esac
+  done
+fi
+
+if [ "$RUN_TSAN" = 1 ]; then
+  echo "== ThreadSanitizer lane (nightly, crossbeam pipelines)"
+  # The concurrency-bearing crates: ec's segmented encode/reconstruct
+  # pipeline (the one Ordering::Relaxed site lives there) plus the codec
+  # crates sharing plan caches behind parking_lot mutexes. The prebuilt
+  # std is uninstrumented (-Cunsafe-allow-abi-mismatch=sanitizer), so
+  # std-internal handshakes are suppressed via tsan_suppressions.txt;
+  # workspace frames are never suppressed. The harness runs single-
+  # threaded — each test's own crossbeam scope provides the
+  # concurrency under test, and parallel libtest threads only add
+  # uninstrumented-capture-buffer noise.
+  TSAN_OUT="$OUT/tsan"
+  mkdir -p "$TSAN_OUT/rlibs" "$TSAN_OUT/tests"
+  TSANC=(rustc +nightly --edition "$EDITION" -O -Zsanitizer=thread
+    -Cunsafe-allow-abi-mismatch=sanitizer -L "dependency=$TSAN_OUT/rlibs")
+  for entry in "${STUBS[@]}"; do
+    name="${entry%%:*}"; src="${entry#*:}"
+    "${TSANC[@]}" --crate-name "$name" --crate-type rlib \
+      "$REPO/$src" -o "$TSAN_OUT/rlibs/lib$name.rlib" --cap-lints allow
+  done
+  for entry in "${CRATES[@]}"; do
+    IFS=: read -r name src deps <<<"$entry"
+    case "$name" in
+      apec_gf|apec_bitmatrix|apec_ec|apec_rs|apec_xor) ;;
+      *) continue ;;
+    esac
+    e=()
+    for d in $deps; do e+=(--extern "$d=$TSAN_OUT/rlibs/lib$d.rlib"); done
+    "${TSANC[@]}" --crate-name "$name" --crate-type rlib \
+      "${e[@]}" "$REPO/$src" -o "$TSAN_OUT/rlibs/lib$name.rlib"
+    case "$name" in
+      apec_ec|apec_rs|apec_xor)
+        "${TSANC[@]}" --crate-name "$name" --test \
+          "${e[@]}" \
+          --extern proptest="$TSAN_OUT/rlibs/libproptest.rlib" \
+          --extern rand="$TSAN_OUT/rlibs/librand.rlib" \
+          "$REPO/$src" -o "$TSAN_OUT/tests/$name-test"
+        TSAN_OPTIONS="halt_on_error=1 suppressions=$REPO/tools/offline/tsan_suppressions.txt" \
+          "$TSAN_OUT/tests/$name-test" -q --test-threads 1
+        echo "  tsan $name ok"
         ;;
     esac
   done

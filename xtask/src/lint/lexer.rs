@@ -1,0 +1,499 @@
+//! A faithful, dependency-free Rust lexer for the lint pass.
+//!
+//! The PR 2 scanner was line-oriented: it reset string state at every
+//! newline, so a `\`-continued string literal leaked its contents into
+//! "code" (the scanner flagged its own test strings), and `unsafe` blocks
+//! split across lines by rustfmt were matched by per-line heuristics.
+//! This lexer produces real tokens with line/column spans — multi-line
+//! strings, raw strings, nested block comments, lifetimes vs char
+//! literals, compound operators — so every rule in [`super::rules`]
+//! matches *code tokens*, never comment or literal text.
+//!
+//! It is not a full grammar: the parse layer on top
+//! ([`super::scopes`]) only needs token streams plus matched delimiters.
+
+/// Token classes the rules distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `unwrap`, `read_bytes`, …).
+    Ident,
+    /// Lifetime (`'a`) — kept distinct so `'a` never looks like a char.
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// String / char / byte literal of any flavour. Text is NOT kept:
+    /// literal contents must never match a code pattern.
+    Lit,
+    /// Punctuation, with compound operators pre-joined (`+=`, `::`, …).
+    Punct,
+}
+
+/// One code token with its source position (1-based line, 0-based col).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Class of the token.
+    pub kind: TokKind,
+    /// Token text (empty for `Lit` — contents are deliberately dropped).
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+/// One comment line, for marker lookup (`SAFETY:`, `panic-ok:` …).
+/// Multi-line block comments contribute one entry per source line.
+#[derive(Debug, Clone)]
+pub struct CommentLine {
+    /// 1-based source line.
+    pub line: u32,
+    /// The comment text on that line (without delimiters).
+    pub text: String,
+}
+
+/// Lexer output: the token stream and every comment line.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comment text per line (markers live here).
+    pub comments: Vec<CommentLine>,
+}
+
+/// Compound operators, longest first (maximal munch).
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "->", "=>", "::", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+/// Tokenizes `src`. Never fails: unexpected bytes become 1-char puncts so
+/// the rules still see everything around them.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Tracks line numbers without a separate pass.
+    macro_rules! bump {
+        ($n:expr) => {{
+            for k in 0..$n {
+                if chars[i + k] == '\n' {
+                    line += 1;
+                }
+            }
+            i += $n;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+
+        if c.is_whitespace() {
+            bump!(1);
+            continue;
+        }
+
+        // Line comment.
+        if c == '/' && next == Some('/') {
+            let start = i + 2;
+            let mut j = start;
+            while j < chars.len() && chars[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(CommentLine {
+                line,
+                text: chars[start..j].iter().collect(),
+            });
+            bump!(j - i);
+            continue;
+        }
+
+        // Block comment (nested, possibly multi-line).
+        if c == '/' && next == Some('*') {
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            let mut seg_start = j;
+            let mut seg_line = line;
+            let mut cur_line = line;
+            while j < chars.len() && depth > 0 {
+                if chars[j] == '/' && chars.get(j + 1) == Some(&'*') {
+                    depth += 1;
+                    j += 2;
+                } else if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    if chars[j] == '\n' {
+                        out.comments.push(CommentLine {
+                            line: seg_line,
+                            text: chars[seg_start..j].iter().collect(),
+                        });
+                        cur_line += 1;
+                        seg_line = cur_line;
+                        seg_start = j + 1;
+                    }
+                    j += 1;
+                }
+            }
+            let seg_end = j.saturating_sub(2).max(seg_start);
+            out.comments.push(CommentLine {
+                line: seg_line,
+                text: chars[seg_start..seg_end.min(chars.len())].iter().collect(),
+            });
+            bump!(j - i);
+            continue;
+        }
+
+        // Identifier / keyword, or a literal prefix (r", b', br#" …).
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            let mut j = i;
+            while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            let ident: String = chars[start..j].iter().collect();
+            let after = chars.get(j).copied();
+
+            // Raw identifier r#name (but r#" is a raw string).
+            if ident == "r"
+                && after == Some('#')
+                && chars
+                    .get(j + 1)
+                    .is_some_and(|c| c.is_alphabetic() || *c == '_')
+            {
+                let mut k = j + 1;
+                while k < chars.len() && (chars[k].is_alphanumeric() || chars[k] == '_') {
+                    k += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: chars[j + 1..k].iter().collect(),
+                    line,
+                });
+                bump!(k - i);
+                continue;
+            }
+
+            // String-ish prefixes: r/b/c/br/cr/rb + quote or raw hashes.
+            let is_str_prefix = matches!(ident.as_str(), "r" | "b" | "c" | "br" | "cr" | "rb")
+                && matches!(after, Some('"') | Some('#'));
+            let is_byte_char = ident == "b" && after == Some('\'');
+            if is_str_prefix {
+                let tok_line = line;
+                bump!(j - i); // consume the prefix
+                if consume_string_or_raw(&chars, &mut i, &mut line) {
+                    out.toks.push(Tok {
+                        kind: TokKind::Lit,
+                        text: String::new(),
+                        line: tok_line,
+                    });
+                    continue;
+                }
+                // `#` that wasn't a raw string (e.g. `r #[..]` can't occur;
+                // be safe): fall through by emitting the ident.
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: ident,
+                    line: tok_line,
+                });
+                continue;
+            }
+            if is_byte_char {
+                let tok_line = line;
+                bump!(j - i);
+                consume_char_literal(&chars, &mut i, &mut line);
+                out.toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text: String::new(),
+                    line: tok_line,
+                });
+                continue;
+            }
+
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text: ident,
+                line,
+            });
+            bump!(j - i);
+            continue;
+        }
+
+        // Number.
+        if c.is_ascii_digit() {
+            let mut j = i;
+            while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            // Fractional part: `.` followed by a digit (not `..`, not a
+            // method call like `1.min(..)`).
+            if chars.get(j) == Some(&'.') && chars.get(j + 1).is_some_and(|c| c.is_ascii_digit()) {
+                j += 1;
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Num,
+                text: String::new(),
+                line,
+            });
+            bump!(j - i);
+            continue;
+        }
+
+        // Plain string literal (may span lines).
+        if c == '"' {
+            let tok_line = line;
+            consume_plain_string(&chars, &mut i, &mut line);
+            out.toks.push(Tok {
+                kind: TokKind::Lit,
+                text: String::new(),
+                line: tok_line,
+            });
+            continue;
+        }
+
+        // Lifetime vs char literal.
+        if c == '\'' {
+            let is_lifetime = next.is_some_and(|n| n.is_alphabetic() || n == '_') && {
+                // `'a` (no closing quote right after the ident run).
+                let mut k = i + 1;
+                while k < chars.len() && (chars[k].is_alphanumeric() || chars[k] == '_') {
+                    k += 1;
+                }
+                chars.get(k) != Some(&'\'')
+            };
+            if is_lifetime {
+                let mut k = i + 1;
+                while k < chars.len() && (chars[k].is_alphanumeric() || chars[k] == '_') {
+                    k += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: chars[i + 1..k].iter().collect(),
+                    line,
+                });
+                bump!(k - i);
+            } else {
+                let tok_line = line;
+                consume_char_literal(&chars, &mut i, &mut line);
+                out.toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text: String::new(),
+                    line: tok_line,
+                });
+            }
+            continue;
+        }
+
+        // Punctuation, compound first.
+        let mut matched = false;
+        for p in PUNCTS {
+            let pl = p.chars().count();
+            if i + pl <= chars.len() && chars[i..i + pl].iter().collect::<String>() == **p {
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (*p).to_string(),
+                    line,
+                });
+                bump!(pl);
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            out.toks.push(Tok {
+                kind: TokKind::Punct,
+                text: c.to_string(),
+                line,
+            });
+            bump!(1);
+        }
+    }
+    out
+}
+
+/// Consumes a `"…"` or `#…#"…"#…#` (raw) literal at `*i`, updating the
+/// line counter. Returns false if `*i` does not start a string.
+fn consume_string_or_raw(chars: &[char], i: &mut usize, line: &mut u32) -> bool {
+    match chars.get(*i) {
+        Some('"') => {
+            consume_plain_string(chars, i, line);
+            true
+        }
+        Some('#') => {
+            let mut hashes = 0usize;
+            let mut j = *i;
+            while chars.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if chars.get(j) != Some(&'"') {
+                return false;
+            }
+            j += 1;
+            // Scan for `"` followed by `hashes` hashes.
+            loop {
+                match chars.get(j) {
+                    None => break,
+                    Some('"') => {
+                        let mut k = j + 1;
+                        let mut seen = 0usize;
+                        while seen < hashes && chars.get(k) == Some(&'#') {
+                            seen += 1;
+                            k += 1;
+                        }
+                        if seen == hashes {
+                            j = k;
+                            break;
+                        }
+                        j += 1;
+                    }
+                    Some('\n') => {
+                        *line += 1;
+                        j += 1;
+                    }
+                    Some(_) => j += 1,
+                }
+            }
+            *i = j;
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Consumes a non-raw `"…"` literal at `*i` (escapes, may span lines).
+fn consume_plain_string(chars: &[char], i: &mut usize, line: &mut u32) {
+    debug_assert_eq!(chars.get(*i), Some(&'"'));
+    let mut j = *i + 1;
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => {
+                // Escaped newline (line continuation) still counts a line.
+                if chars.get(j + 1) == Some(&'\n') {
+                    *line += 1;
+                }
+                j += 2;
+            }
+            '"' => {
+                j += 1;
+                break;
+            }
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    *i = j;
+}
+
+/// Consumes a `'…'` char literal at `*i` (escapes; never spans lines in
+/// valid Rust, but tolerate it).
+fn consume_char_literal(chars: &[char], i: &mut usize, line: &mut u32) {
+    debug_assert_eq!(chars.get(*i), Some(&'\''));
+    let mut j = *i + 1;
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => j += 2,
+            '\'' => {
+                j += 1;
+                break;
+            }
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    *i = j;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(l: &Lexed) -> Vec<&str> {
+        l.toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn strings_never_leak_tokens() {
+        let l = lex("let x = \"unsafe ^= MUL_TABLE thread_rng\";");
+        assert_eq!(idents(&l), vec!["let", "x"]);
+        assert!(!l.toks.iter().any(|t| t.text == "^="));
+    }
+
+    #[test]
+    fn multi_line_string_with_continuation_stays_a_literal() {
+        // The PR 2 scanner reset string state per line and flagged the
+        // second line's contents; the lexer must not.
+        let l = lex("let s = \"a\\nb\\\n from_entropy()\";\nlet y = 1;");
+        assert_eq!(idents(&l), vec!["let", "s", "let", "y"]);
+        // The continued literal occupies source lines 1–2, so the trailing
+        // statement sits on line 3.
+        assert_eq!(l.toks.last().map(|t| t.line), Some(3));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let l = lex("let s = r#\"unsafe \" still\"#; let t = r\"^=\";");
+        assert_eq!(idents(&l), vec!["let", "s", "let", "t"]);
+    }
+
+    #[test]
+    fn byte_and_char_literals_vs_lifetimes() {
+        let l = lex("fn f<'a>(x: &'a [u8]) -> char { b'\\'' ; 'x' }");
+        assert!(l.toks.iter().any(|t| t.kind == TokKind::Lifetime && t.text == "a"));
+        let lits = l.toks.iter().filter(|t| t.kind == TokKind::Lit).count();
+        assert_eq!(lits, 2, "byte char + char literal");
+    }
+
+    #[test]
+    fn nested_block_comments_and_line_tracking() {
+        let l = lex("a /* x /* y */ z\nstill ^= comment */ b\nc");
+        assert_eq!(idents(&l), vec!["a", "b", "c"]);
+        assert!(!l.toks.iter().any(|t| t.text == "^="));
+        let c_tok = l.toks.iter().find(|t| t.text == "c").unwrap();
+        assert_eq!(c_tok.line, 3);
+        // Comment text is retained for marker lookup, per line.
+        assert!(l.comments.iter().any(|c| c.text.contains("still")));
+    }
+
+    #[test]
+    fn compound_operators_are_single_tokens() {
+        let l = lex("a += b; c ^= d; e :: f; g..=h;");
+        let puncts: Vec<&str> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(puncts.contains(&"+="));
+        assert!(puncts.contains(&"^="));
+        assert!(puncts.contains(&"::"));
+        assert!(puncts.contains(&"..="));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_methods() {
+        let l = lex("for i in 0..10 { 1.min(2); 2.5f64; }");
+        assert!(l.toks.iter().any(|t| t.text == ".."));
+        assert!(l.toks.iter().any(|t| t.text == "min"));
+    }
+
+    #[test]
+    fn comments_keep_marker_text() {
+        let l = lex("unsafe { f() } // SAFETY: bounded\nx ^= y; // raw-xor-ok: test\n");
+        assert!(l.comments.iter().any(|c| c.line == 1 && c.text.contains("SAFETY:")));
+        assert!(l.comments.iter().any(|c| c.line == 2 && c.text.contains("raw-xor-ok:")));
+    }
+}

@@ -1,0 +1,268 @@
+//! Findings, the machine-readable waiver inventory (`--report
+//! panics.json`), and the CI ratchet against `xtask/panic_baseline.json`.
+//!
+//! xtask is deliberately dependency-free, so the JSON here is written and
+//! read by hand. The schema is kept flat on purpose:
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "total_waivers": 12,
+//!   "rules": { "panic-freedom": 9, "shard-index": 2, "checked-arith": 1 },
+//!   "waivers": [
+//!     { "rule": "panic-freedom", "file": "crates/rs/src/lib.rs",
+//!       "line": 42, "invariant": "matrix proven invertible above" }
+//!   ]
+//! }
+//! ```
+//!
+//! The committed baseline (`xtask/panic_baseline.json`) uses the same
+//! schema with `waivers` omitted. The ratchet fails CI when any rule's
+//! waiver count *rises* above the baseline; falling counts print a
+//! reminder to re-run `cargo xtask lint --write-baseline` so the ratchet
+//! tightens and the slack cannot be spent later.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One lint observation: either a hard error (fails the run) or a waived
+/// site (allowed by marker, but inventoried and ratcheted).
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub file: String,
+    pub line: u32,
+    pub rule: &'static str,
+    /// Error message, or the waiver's stated invariant/reason.
+    pub detail: String,
+    pub waived: bool,
+}
+
+impl Finding {
+    pub fn error(file: &str, line: u32, rule: &'static str, detail: String) -> Self {
+        Finding {
+            file: file.to_string(),
+            line,
+            rule,
+            detail,
+            waived: false,
+        }
+    }
+
+    pub fn waived(file: &str, line: u32, rule: &'static str, invariant: String) -> Self {
+        Finding {
+            file: file.to_string(),
+            line,
+            rule,
+            detail: invariant,
+            waived: true,
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: [{}] {}", self.file, self.rule, self.detail)
+        } else {
+            write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.detail)
+        }
+    }
+}
+
+/// Per-rule waiver counts, ordered for stable output.
+pub fn waiver_counts(findings: &[Finding]) -> BTreeMap<&'static str, usize> {
+    let mut counts = BTreeMap::new();
+    for f in findings.iter().filter(|f| f.waived) {
+        *counts.entry(f.rule).or_insert(0) += 1;
+    }
+    counts
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialises the waiver inventory. `include_sites` controls whether the
+/// per-site `waivers` array is emitted (reports: yes; baseline: no).
+pub fn render_inventory(findings: &[Finding], include_sites: bool) -> String {
+    let counts = waiver_counts(findings);
+    let total: usize = counts.values().sum();
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": 1,\n");
+    out.push_str(&format!("  \"total_waivers\": {total},\n"));
+    out.push_str("  \"rules\": {");
+    let mut first = true;
+    for (rule, n) in &counts {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("\n    \"{rule}\": {n}"));
+    }
+    out.push_str(if counts.is_empty() { "}" } else { "\n  }" });
+    if include_sites {
+        out.push_str(",\n  \"waivers\": [");
+        let mut sites: Vec<&Finding> = findings.iter().filter(|f| f.waived).collect();
+        sites.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        let mut first = true;
+        for f in sites {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n    {{ \"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"invariant\": \"{}\" }}",
+                f.rule,
+                json_escape(&f.file),
+                f.line,
+                json_escape(&f.detail)
+            ));
+        }
+        out.push_str("\n  ]");
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Minimal parser for the baseline schema: extracts the `"rules"` object's
+/// `"name": count` pairs. Tolerates whitespace/ordering but nothing fancy —
+/// the file is machine-written by `--write-baseline`.
+pub fn parse_baseline(text: &str) -> Result<BTreeMap<String, usize>, String> {
+    let rules_at = text
+        .find("\"rules\"")
+        .ok_or_else(|| "baseline missing \"rules\" object".to_string())?;
+    let open = text[rules_at..]
+        .find('{')
+        .map(|o| rules_at + o)
+        .ok_or_else(|| "baseline \"rules\" has no '{'".to_string())?;
+    let close = text[open..]
+        .find('}')
+        .map(|c| open + c)
+        .ok_or_else(|| "baseline \"rules\" has no '}'".to_string())?;
+    let body = &text[open + 1..close];
+    let mut out = BTreeMap::new();
+    for pair in body.split(',') {
+        let pair = pair.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let (name, count) = pair
+            .split_once(':')
+            .ok_or_else(|| format!("bad baseline entry: {pair:?}"))?;
+        let name = name.trim().trim_matches('"').to_string();
+        let count: usize = count
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad baseline count in: {pair:?}"))?;
+        out.insert(name, count);
+    }
+    Ok(out)
+}
+
+/// The ratchet: no rule's waiver count may exceed its baseline; rules
+/// absent from the baseline get a budget of zero. Returns Err lines for
+/// CI, and informational lines when counts fell (tighten the baseline).
+pub fn ratchet(
+    findings: &[Finding],
+    baseline: &BTreeMap<String, usize>,
+) -> Result<Vec<String>, Vec<String>> {
+    let counts = waiver_counts(findings);
+    let mut errors = Vec::new();
+    let mut notes = Vec::new();
+    for (rule, &n) in &counts {
+        let budget = baseline.get(*rule).copied().unwrap_or(0);
+        if n > budget {
+            errors.push(format!(
+                "ratchet: rule `{rule}` has {n} waivers, baseline allows {budget} — \
+                 convert the new sites to typed errors instead of waiving them"
+            ));
+        } else if n < budget {
+            notes.push(format!(
+                "ratchet: rule `{rule}` is below baseline ({n} < {budget}) — run \
+                 `cargo xtask lint --write-baseline` to lock in the improvement"
+            ));
+        }
+    }
+    for (rule, &budget) in baseline {
+        if budget > 0 && !counts.contains_key(rule.as_str()) {
+            notes.push(format!(
+                "ratchet: rule `{rule}` has 0 waivers, baseline allows {budget} — run \
+                 `cargo xtask lint --write-baseline` to lock in the improvement"
+            ));
+        }
+    }
+    if errors.is_empty() {
+        Ok(notes)
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(rule: &'static str) -> Finding {
+        Finding::waived("crates/rs/src/lib.rs", 7, rule, "why".into())
+    }
+
+    #[test]
+    fn inventory_round_trips_through_parser() {
+        let findings = vec![w("panic-freedom"), w("panic-freedom"), w("checked-arith")];
+        let json = render_inventory(&findings, true);
+        assert!(json.contains("\"total_waivers\": 3"));
+        assert!(json.contains("\"invariant\": \"why\""));
+        let parsed = parse_baseline(&json).unwrap();
+        assert_eq!(parsed.get("panic-freedom"), Some(&2));
+        assert_eq!(parsed.get("checked-arith"), Some(&1));
+    }
+
+    #[test]
+    fn baseline_omits_sites() {
+        let json = render_inventory(&[w("panic-freedom")], false);
+        assert!(!json.contains("waivers\": ["));
+        assert!(parse_baseline(&json).is_ok());
+    }
+
+    #[test]
+    fn empty_inventory_is_valid() {
+        let json = render_inventory(&[], true);
+        assert!(json.contains("\"total_waivers\": 0"));
+        assert!(parse_baseline(&json).unwrap().is_empty());
+    }
+
+    #[test]
+    fn ratchet_blocks_growth_and_notes_shrink() {
+        let mut base = BTreeMap::new();
+        base.insert("panic-freedom".to_string(), 1);
+        // Growth: 2 > 1.
+        let err = ratchet(&[w("panic-freedom"), w("panic-freedom")], &base).unwrap_err();
+        assert_eq!(err.len(), 1, "{err:?}");
+        // Exact: fine, no notes.
+        assert!(ratchet(&[w("panic-freedom")], &base).unwrap().is_empty());
+        // Shrink: ok plus a tighten note.
+        let notes = ratchet(&[], &base).unwrap();
+        assert_eq!(notes.len(), 1, "{notes:?}");
+        // New rule with no budget: blocked.
+        assert!(ratchet(&[w("shard-index")], &BTreeMap::new()).is_err());
+    }
+
+    #[test]
+    fn escaping_is_applied_to_invariants() {
+        let f = Finding::waived("a.rs", 1, "panic-freedom", "say \"hi\"\\path".into());
+        let json = render_inventory(&[f], true);
+        assert!(json.contains("say \\\"hi\\\"\\\\path"));
+    }
+}

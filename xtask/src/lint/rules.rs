@@ -1,0 +1,563 @@
+//! The policy rules, evaluated over one file's token stream.
+//!
+//! Four legacy rules (unsafe containment + SAFETY comments, raw XOR /
+//! `MUL_TABLE` confinement, entropy-RNG ban, hot-path clone ban) are
+//! re-expressed over tokens so they become span-accurate, and three
+//! semantic policies are new in this pass:
+//!
+//! * **panic-freedom** — `unwrap()` / `expect()` / `panic!` /
+//!   `unreachable!` / `todo!` / `unimplemented!` and `[]`-indexing of
+//!   shard/stripe buffers are banned in non-test code on the
+//!   decode/repair/read paths ([`PANIC_SCOPE`]); escape with
+//!   `// panic-ok: <invariant>` (inventoried and ratcheted).
+//! * **checked arithmetic** — `+` / `*` / `+=` / `*=` on the byte/op
+//!   counter fields ([`ARITH_FIELDS`]) must be `checked_*` /
+//!   `saturating_*` or carry `// wrap-ok: <reason>`.
+//! * **concurrency hygiene** — `Ordering::Relaxed` only in
+//!   `ec::parallel`'s segment counter, `static mut` banned outright, and
+//!   files that spawn onto a crossbeam scope must carry compile-time
+//!   `assert_send_sync::<T>()` witnesses.
+
+use super::lexer::{CommentLine, Lexed, TokKind};
+use super::report::Finding;
+use super::scopes::{classify_unsafe, Scopes, UnsafeKind};
+
+/// Directories scanned for Rust sources, relative to the workspace root.
+pub const SCAN_ROOTS: &[&str] = &["crates", "src", "tests", "xtask/src", "xtask/tests"];
+
+/// Paths (prefix match, `/`-normalised) where `unsafe` code is permitted.
+pub const UNSAFE_ALLOWED: &[&str] = &["crates/gf/src/kernels/"];
+
+/// Path prefixes exempt from the raw-XOR/mul lint: the gf crate *is* the
+/// kernel layer. (The PR 2 scanner also had to exempt xtask itself — its
+/// pattern strings looked like code to a line scanner. Tokens fixed that.)
+pub const RAW_XOR_EXEMPT: &[&str] = &["crates/gf/"];
+
+/// Decode hot paths where shard-buffer clones are banned (see PR 3).
+pub const CLONE_BANNED: &[&str] = &[
+    "crates/rs/src/",
+    "crates/lrc/src/",
+    "crates/xor/src/",
+    "crates/core/src/code.rs",
+    "crates/ec/src/plan.rs",
+];
+
+/// Decode/repair/read paths under the panic-freedom policy: code here
+/// must keep serving (possibly approximately) under failures, so it
+/// reports typed `EcError` / `ClusterError` / `TierError` values instead
+/// of panicking. Non-test code only.
+pub const PANIC_SCOPE: &[&str] = &[
+    "crates/ec/src/plan.rs",
+    "crates/ec/src/parallel",
+    "crates/ec/src/stripe.rs",
+    "crates/ec/src/traits.rs",
+    "crates/rs/src/",
+    "crates/lrc/src/",
+    "crates/xor/src/",
+    "crates/cluster/src/store.rs",
+    "crates/cluster/src/planner.rs",
+    "crates/cluster/src/engine.rs",
+    "crates/tier/src/engine.rs",
+    "crates/recovery/src/",
+];
+
+/// Identifier names that denote shard/stripe buffers: `[]`-indexing one
+/// of these in a panic-scoped file is an out-of-bounds panic hazard on
+/// the degraded path (erasure patterns control the indices).
+pub const SHARD_INDEX_NAMES: &[&str] = &["shards", "shard", "stripe", "seg", "segments"];
+
+/// Files whose integer counters feed the paper's cost accounting; sums
+/// here must never silently wrap.
+pub const ARITH_SCOPE: &[&str] = &[
+    "crates/ec/src/iostats.rs",
+    "crates/tier/src/cost.rs",
+    "crates/tier/src/engine.rs",
+    "crates/tier/src/report.rs",
+    "crates/analysis/src/writecost.rs",
+];
+
+/// The counter fields the checked-arithmetic policy protects.
+pub const ARITH_FIELDS: &[&str] = &[
+    "read_ops",
+    "read_bytes",
+    "write_ops",
+    "write_bytes",
+    "hot_byte_ticks",
+    "cold_byte_ticks",
+    "logical_byte_ticks",
+    "hot_only_byte_ticks",
+];
+
+/// The only module allowed to use `Ordering::Relaxed` (the segment work
+/// counter and its loom model; the module comment there documents why
+/// Relaxed suffices).
+pub const RELAXED_ALLOWED: &[&str] = &["crates/ec/src/parallel"];
+
+/// Crates under the concurrency-hygiene policy.
+pub const CONCURRENCY_SCOPE: &[&str] = &[
+    "crates/ec/",
+    "crates/rs/",
+    "crates/lrc/",
+    "crates/xor/",
+    "crates/cluster/",
+    "crates/tier/",
+    "crates/recovery/",
+];
+
+fn in_scope(rel: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| rel.starts_with(p))
+}
+
+/// Marker comment (`panic-ok:` …) on the token's line or the line above —
+/// rustfmt may split a call chain so the marker sits on the receiver line.
+fn marker<'a>(comments: &'a [CommentLine], line: u32, name: &str) -> Option<&'a str> {
+    comments
+        .iter()
+        .filter(|c| c.line == line || c.line + 1 == line)
+        .find_map(|c| {
+            let at = c.text.find(name)?;
+            Some(c.text[at + name.len()..].trim())
+        })
+}
+
+/// A `SAFETY:` comment on the same line or within the five lines above.
+fn has_safety_comment(comments: &[CommentLine], line: u32) -> bool {
+    comments
+        .iter()
+        .any(|c| c.line <= line && c.line + 5 >= line && c.text.contains("SAFETY:"))
+}
+
+/// Runs every rule on one lexed file, appending to `findings`.
+pub fn lint_file(rel: &str, lexed: &Lexed, scopes: &Scopes, findings: &mut Vec<Finding>) {
+    let toks = &lexed.toks;
+    let comments = &lexed.comments;
+    let unsafe_allowed = in_scope(rel, UNSAFE_ALLOWED);
+    let xor_exempt = in_scope(rel, RAW_XOR_EXEMPT);
+    let clone_banned = in_scope(rel, CLONE_BANNED);
+    let panic_scoped = in_scope(rel, PANIC_SCOPE);
+    let arith_scoped = in_scope(rel, ARITH_SCOPE);
+    let concurrency_scoped = in_scope(rel, CONCURRENCY_SCOPE);
+
+    if scopes.unbalanced {
+        findings.push(Finding::error(
+            rel,
+            0,
+            "parse",
+            "unbalanced delimiters — file skipped by scope-sensitive rules".into(),
+        ));
+        return;
+    }
+
+    let mut uses_crossbeam_spawn = false;
+    let mut has_send_sync_assert = false;
+
+    for (i, t) in toks.iter().enumerate() {
+        let line = t.line;
+        let in_test = scopes.in_test(i);
+        let ident = |j: usize| toks.get(j).filter(|t| t.kind == TokKind::Ident);
+        let punct = |j: usize, s: &str| toks.get(j).is_some_and(|t| t.kind == TokKind::Punct && t.text == s);
+
+        match t.kind {
+            TokKind::Ident => match t.text.as_str() {
+                "unsafe" => {
+                    if !unsafe_allowed {
+                        findings.push(Finding::error(
+                            rel,
+                            line,
+                            "unsafe-containment",
+                            "`unsafe` outside crates/gf/src/kernels/ — convert to safe code \
+                             or move it into the kernel layer"
+                                .into(),
+                        ));
+                    } else if classify_unsafe(toks, i) == UnsafeKind::Block
+                        && !has_safety_comment(comments, line)
+                    {
+                        findings.push(Finding::error(
+                            rel,
+                            line,
+                            "safety-comment",
+                            "unsafe block without a `// SAFETY:` comment (same line or within \
+                             the 5 lines above)"
+                                .into(),
+                        ));
+                    }
+                }
+                "MUL_TABLE" if !xor_exempt => {
+                    findings.push(Finding::error(
+                        rel,
+                        line,
+                        "mul-table",
+                        "raw `MUL_TABLE` lookup outside apec_gf — use apec_gf::mul_slice / \
+                         mul_slice_xor"
+                            .into(),
+                    ));
+                }
+                "thread_rng" | "from_entropy" | "from_os_rng" => {
+                    findings.push(Finding::error(
+                        rel,
+                        line,
+                        "entropy-rng",
+                        format!(
+                            "entropy-seeded RNG `{}` — plumb a seed through \
+                             apec_ec::rng::{{seeded, derive, fork}}",
+                            t.text
+                        ),
+                    ));
+                }
+                "rand" if punct(i + 1, "::") => {
+                    if ident(i + 2).is_some_and(|t| t.text == "rng") && punct(i + 3, "(") {
+                        findings.push(Finding::error(
+                            rel,
+                            line,
+                            "entropy-rng",
+                            "entropy-seeded RNG `rand::rng()` — plumb a seed through \
+                             apec_ec::rng::{seeded, derive, fork}"
+                                .into(),
+                        ));
+                    }
+                }
+                // panic! / unreachable! / todo! / unimplemented! macros.
+                "panic" | "unreachable" | "todo" | "unimplemented"
+                    if panic_scoped && !in_test && punct(i + 1, "!") =>
+                {
+                    let rule = "panic-freedom";
+                    match marker(comments, line, "panic-ok:") {
+                        Some(inv) if !inv.is_empty() => {
+                            findings.push(Finding::waived(rel, line, rule, inv.to_string()));
+                        }
+                        _ => findings.push(Finding::error(
+                            rel,
+                            line,
+                            rule,
+                            format!(
+                                "`{}!` on a decode/repair/read path — return a typed \
+                                 EcError/ClusterError/TierError instead (or justify with \
+                                 `// panic-ok: <invariant>`)",
+                                t.text
+                            ),
+                        )),
+                    }
+                }
+                // static mut — banned everywhere, no escape marker.
+                "static" if ident(i + 1).is_some_and(|t| t.text == "mut") => {
+                    findings.push(Finding::error(
+                        rel,
+                        line,
+                        "static-mut",
+                        "`static mut` — use an atomic or a lock; mutable statics race".into(),
+                    ));
+                }
+                "Relaxed"
+                    if concurrency_scoped
+                        && !in_test
+                        && !in_scope(rel, RELAXED_ALLOWED) =>
+                {
+                    findings.push(Finding::error(
+                        rel,
+                        line,
+                        "relaxed-ordering",
+                        "`Ordering::Relaxed` outside ec::parallel's work counter — use \
+                         Acquire/Release (and document the pairing), or move the counter \
+                         into ec::parallel"
+                            .into(),
+                    ));
+                }
+                "crossbeam" => {
+                    uses_crossbeam_spawn = uses_crossbeam_spawn
+                        || toks.iter().any(|t| t.kind == TokKind::Ident && t.text == "spawn");
+                }
+                "assert_send_sync" => has_send_sync_assert = true,
+                // Shard-buffer indexing: `shards[..]`, `stripe[..]`, …
+                name if panic_scoped
+                    && !in_test
+                    && SHARD_INDEX_NAMES.contains(&name)
+                    && punct(i + 1, "[")
+                    // `let shards[..]` patterns don't exist; but skip
+                    // attribute-ish positions where `[` opens a type.
+                    && !punct(i.wrapping_sub(1), "#") =>
+                {
+                    let rule = "shard-index";
+                    match marker(comments, line, "panic-ok:") {
+                        Some(inv) if !inv.is_empty() => {
+                            findings.push(Finding::waived(rel, line, rule, inv.to_string()));
+                        }
+                        _ => findings.push(Finding::error(
+                            rel,
+                            line,
+                            rule,
+                            format!(
+                                "`{name}[…]` indexing on a decode/repair/read path — use \
+                                 .get()/.get_mut() with a typed error (or justify with \
+                                 `// panic-ok: <invariant>`)"
+                            ),
+                        )),
+                    }
+                }
+                _ => {}
+            },
+            TokKind::Punct => match t.text.as_str() {
+                "^=" if !xor_exempt => {
+                    if marker(comments, line, "raw-xor-ok:").is_some() {
+                        findings.push(Finding::waived(
+                            rel,
+                            line,
+                            "raw-xor",
+                            marker(comments, line, "raw-xor-ok:").unwrap_or("").to_string(),
+                        ));
+                    } else {
+                        findings.push(Finding::error(
+                            rel,
+                            line,
+                            "raw-xor",
+                            "raw `^=` outside apec_gf kernels — use apec_gf::xor_slice (or \
+                             add `// raw-xor-ok: <reason>`)"
+                                .into(),
+                        ));
+                    }
+                }
+                "." if !in_test => {
+                    if let Some(m) = ident(i + 1) {
+                        if clone_banned && (m.text == "clone" || m.text == "to_vec") && punct(i + 2, "(") {
+                            match marker(comments, line, "clone-ok:") {
+                                Some(reason) if !reason.is_empty() => findings.push(
+                                    Finding::waived(rel, line, "clone-hot-path", reason.into()),
+                                ),
+                                _ => findings.push(Finding::error(
+                                    rel,
+                                    line,
+                                    "clone-hot-path",
+                                    "buffer clone in a decode hot path — reuse pooled \
+                                     scratch/Arc instead (or add `// clone-ok: <reason>` for \
+                                     a provably small copy)"
+                                        .into(),
+                                )),
+                            }
+                        }
+                        // .unwrap() / .expect() on panic-scoped paths.
+                        if panic_scoped
+                            && (m.text == "unwrap" || m.text == "expect")
+                            && punct(i + 2, "(")
+                        {
+                            let rule = "panic-freedom";
+                            match marker(comments, m.line, "panic-ok:") {
+                                Some(inv) if !inv.is_empty() => findings.push(Finding::waived(
+                                    rel,
+                                    m.line,
+                                    rule,
+                                    inv.to_string(),
+                                )),
+                                _ => findings.push(Finding::error(
+                                    rel,
+                                    m.line,
+                                    rule,
+                                    format!(
+                                        "`.{}()` on a decode/repair/read path — propagate a \
+                                         typed error (`ok_or`/`?`) instead (or justify with \
+                                         `// panic-ok: <invariant>`)",
+                                        m.text
+                                    ),
+                                )),
+                            }
+                        }
+                    }
+                }
+                op @ ("+" | "*" | "+=" | "*=") if arith_scoped && !in_test => {
+                    // Counter arithmetic: the operand just before or after
+                    // the operator is one of the protected fields.
+                    let near_field = [i.wrapping_sub(1), i + 1]
+                        .iter()
+                        .filter_map(|&j| toks.get(j))
+                        .any(|t| t.kind == TokKind::Ident && ARITH_FIELDS.contains(&t.text.as_str()));
+                    if near_field {
+                        match marker(comments, line, "wrap-ok:") {
+                            Some(reason) if !reason.is_empty() => findings.push(Finding::waived(
+                                rel,
+                                line,
+                                "checked-arith",
+                                reason.into(),
+                            )),
+                            _ => findings.push(Finding::error(
+                                rel,
+                                line,
+                                "checked-arith",
+                                format!(
+                                    "unchecked `{op}` on a byte/op counter — use \
+                                     saturating_add/checked_mul (cost accounting must not \
+                                     silently wrap) or justify with `// wrap-ok: <reason>`"
+                                ),
+                            )),
+                        }
+                    }
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+
+    if uses_crossbeam_spawn && concurrency_scoped && !has_send_sync_assert {
+        findings.push(Finding::error(
+            rel,
+            0,
+            "send-sync-assert",
+            "file spawns onto a crossbeam scope but has no \
+             `assert_send_sync::<T>()` compile-time witnesses for the types \
+             crossing the scope (see apec_ec::sync_assert)"
+                .into(),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::lexer::lex;
+    use crate::lint::scopes::analyze;
+
+    fn run(rel: &str, src: &str) -> Vec<Finding> {
+        let lexed = lex(src);
+        let scopes = analyze(&lexed);
+        let mut f = Vec::new();
+        lint_file(rel, &lexed, &scopes, &mut f);
+        f
+    }
+
+    fn errors(f: &[Finding]) -> Vec<&Finding> {
+        f.iter().filter(|x| !x.waived).collect()
+    }
+
+    #[test]
+    fn unwrap_flagged_only_in_scope_and_outside_tests() {
+        let src = "fn ship(x: Option<u8>) { x.unwrap(); }\n\
+                   #[cfg(test)]\nmod tests { fn t(x: Option<u8>) { x.unwrap(); } }\n";
+        let f = run("crates/rs/src/lib.rs", src);
+        assert_eq!(errors(&f).len(), 1, "{f:?}");
+        assert_eq!(errors(&f)[0].rule, "panic-freedom");
+        assert_eq!(errors(&f)[0].line, 1);
+        // Same code outside the panic scope: clean.
+        assert!(errors(&run("crates/video/src/lib.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn panic_ok_marker_waives_and_is_inventoried() {
+        let src = "fn f(x: Option<u8>) {\n    x.unwrap() // panic-ok: checked by caller\n}\n";
+        let f = run("crates/lrc/src/lib.rs", src);
+        assert!(errors(&f).is_empty(), "{f:?}");
+        let w: Vec<_> = f.iter().filter(|x| x.waived).collect();
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].detail, "checked by caller");
+    }
+
+    #[test]
+    fn empty_panic_ok_invariant_does_not_waive() {
+        let src = "fn f(x: Option<u8>) { x.unwrap() } // panic-ok:\n";
+        let f = run("crates/lrc/src/lib.rs", src);
+        assert_eq!(errors(&f).len(), 1, "a waiver must state its invariant");
+    }
+
+    #[test]
+    fn marker_on_receiver_line_covers_split_chain() {
+        let src = "fn f(x: Option<u8>) {\n    x // panic-ok: presence checked\n        .unwrap();\n}\n";
+        let f = run("crates/lrc/src/lib.rs", src);
+        assert!(errors(&f).is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn panic_macros_flagged() {
+        let src = "fn f() { panic!(\"boom\") }\nfn g() { unreachable!() }\nfn h() { todo!() }\n";
+        let f = run("crates/xor/src/rdp.rs", src);
+        assert_eq!(errors(&f).len(), 3, "{f:?}");
+    }
+
+    #[test]
+    fn shard_indexing_flagged_with_names_only() {
+        let src = "fn f(shards: &[u8], other: &[u8]) { let _ = shards[0] + other[0]; }\n";
+        let f = run("crates/cluster/src/store.rs", src);
+        let e = errors(&f);
+        assert_eq!(e.len(), 1, "{f:?}");
+        assert_eq!(e[0].rule, "shard-index");
+    }
+
+    #[test]
+    fn checked_arith_flags_counter_fields() {
+        let src = "fn f(io: &mut NodeIo, b: u64) {\n    io.read_bytes += b;\n    io.read_ops = io.read_ops.saturating_add(1);\n}\n";
+        let f = run("crates/ec/src/iostats.rs", src);
+        let e = errors(&f);
+        assert_eq!(e.len(), 1, "{f:?}");
+        assert_eq!(e[0].rule, "checked-arith");
+        assert_eq!(e[0].line, 2);
+    }
+
+    #[test]
+    fn wrap_ok_waives_arith() {
+        let src = "fn f(t: &mut NodeIo, n: &NodeIo) {\n    t.read_ops += n.read_ops; // wrap-ok: test fixture\n}\n";
+        let f = run("crates/tier/src/report.rs", src);
+        assert!(errors(&f).is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn relaxed_ordering_confined_to_parallel() {
+        let src = "fn f(a: &AtomicUsize) { a.load(Ordering::Relaxed); }\n";
+        assert_eq!(errors(&run("crates/cluster/src/store.rs", src)).len(), 1);
+        assert!(errors(&run("crates/ec/src/parallel.rs", src)).is_empty());
+        // gf's SIMD-level cache is outside the concurrency scope.
+        assert!(errors(&run("crates/gf/src/kernels/mod.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn static_mut_banned() {
+        let f = run("crates/ec/src/lib.rs", "static mut X: u8 = 0;\n");
+        assert_eq!(errors(&f).len(), 1);
+        assert_eq!(errors(&f)[0].rule, "static-mut");
+        assert!(errors(&run("crates/ec/src/lib.rs", "static X: u8 = 0;\n")).is_empty());
+    }
+
+    #[test]
+    fn crossbeam_scope_requires_send_sync_witness() {
+        let src = "fn f() { crossbeam::thread::scope(|s| { s.spawn(|_| {}); }).unwrap(); }\n";
+        let f = run("crates/ec/src/parallel.rs", src);
+        assert!(f.iter().any(|x| x.rule == "send-sync-assert" && !x.waived), "{f:?}");
+        let ok = format!("const _: () = assert_send_sync::<u8>();\n{src}");
+        let f = run("crates/ec/src/parallel.rs", &ok);
+        assert!(!f.iter().any(|x| x.rule == "send-sync-assert"), "{f:?}");
+    }
+
+    #[test]
+    fn unsafe_split_across_lines_is_still_a_block() {
+        // Regression for the PR 2 line scanner: rustfmt may break between
+        // `unsafe` and `{`; the SAFETY requirement must still bind.
+        let src = "fn f() {\n    let v = unsafe\n    {\n        g()\n    };\n}\n";
+        let f = run("crates/gf/src/kernels/x86.rs", src);
+        assert_eq!(errors(&f).len(), 1, "{f:?}");
+        assert_eq!(errors(&f)[0].rule, "safety-comment");
+        let ok = "fn f() {\n    // SAFETY: bounded by caller\n    let v = unsafe\n    {\n        g()\n    };\n}\n";
+        assert!(errors(&run("crates/gf/src/kernels/x86.rs", ok)).is_empty());
+    }
+
+    #[test]
+    fn unsafe_outside_kernels_flagged_even_in_strings_not() {
+        let f = run("crates/ec/src/lib.rs", "unsafe { f() }\n");
+        assert_eq!(errors(&f)[0].rule, "unsafe-containment");
+        assert!(errors(&run("crates/ec/src/lib.rs", "let s = \"unsafe\";\n")).is_empty());
+    }
+
+    #[test]
+    fn legacy_rules_still_fire_on_tokens() {
+        let src = "fn f(d: &mut [u8], s: &[u8]) {\n    d[0] ^= s[0];\n    let t = MUL_TABLE[0];\n    let r = thread_rng();\n}\n";
+        let f = run("crates/analysis/src/lib.rs", src);
+        let rules: Vec<&str> = errors(&f).iter().map(|x| x.rule).collect();
+        assert!(rules.contains(&"raw-xor"));
+        assert!(rules.contains(&"mul-table"));
+        assert!(rules.contains(&"entropy-rng"));
+    }
+
+    #[test]
+    fn clone_ban_respects_tests_anywhere_in_file() {
+        let src = "#[cfg(test)]\nmod tests { fn t(b: &[u8]) { b.to_vec(); } }\n\
+                   fn ship(b: &[u8]) -> Vec<u8> { b.to_vec() }\n";
+        let f = run("crates/rs/src/lib.rs", src);
+        let e = errors(&f);
+        assert_eq!(e.len(), 1, "{f:?}");
+        assert_eq!(e[0].line, 3, "only the shipping to_vec counts");
+    }
+}

@@ -1,0 +1,266 @@
+//! Token-tree scope analysis: matched delimiters, `#[cfg(test)]` item
+//! masking, and `unsafe` block/declaration classification.
+//!
+//! This is the "parse" half of the linter. It does not build a full AST;
+//! the rules only need three structural facts the old line scanner could
+//! not compute:
+//!
+//! 1. **delimiter matching** — every `(`/`[`/`{` token knows its closing
+//!    partner, so attributes and item bodies have exact extents even when
+//!    rustfmt splits them across lines;
+//! 2. **test masking** — any item under an attribute that mentions `test`
+//!    (`#[cfg(test)]`, `#[test]`, `#[cfg(any(test, …))]`) is marked, so
+//!    shipping-code policies skip test modules wherever they sit in the
+//!    file (the PR 2 scanner assumed tests were a suffix of the file);
+//! 3. **unsafe classification** — an `unsafe` keyword token is a *block*
+//!    iff the next token is `{`, regardless of line breaks.
+
+use super::lexer::{Lexed, Tok, TokKind};
+
+/// Structural facts about one file's token stream.
+pub struct Scopes {
+    /// `close[i]` = index of the matching closer for an opener at `i`.
+    /// Only read through [`Scopes::matching`] (test-only today, kept as
+    /// the API for extent-based rules).
+    #[allow(dead_code)]
+    close: Vec<Option<usize>>,
+    /// `test[i]` = token `i` belongs to a `test`-attributed item.
+    test: Vec<bool>,
+    /// True when delimiters did not balance (rules should stay quiet
+    /// about scope-sensitive findings rather than misreport).
+    pub unbalanced: bool,
+}
+
+impl Scopes {
+    /// Matching closer index for the opener at `i`, if `i` opens a group.
+    #[allow(dead_code)]
+    pub fn matching(&self, i: usize) -> Option<usize> {
+        self.close.get(i).copied().flatten()
+    }
+
+    /// Whether token `i` sits inside a `#[cfg(test)]`-style item.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test.get(i).copied().unwrap_or(false)
+    }
+}
+
+fn is_open(t: &Tok) -> bool {
+    t.kind == TokKind::Punct && matches!(t.text.as_str(), "(" | "[" | "{")
+}
+
+fn is_close(t: &Tok) -> bool {
+    t.kind == TokKind::Punct && matches!(t.text.as_str(), ")" | "]" | "}")
+}
+
+/// Computes matched delimiters and the test mask for a token stream.
+pub fn analyze(lexed: &Lexed) -> Scopes {
+    let toks = &lexed.toks;
+    let n = toks.len();
+    let mut close = vec![None; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut unbalanced = false;
+    for (i, t) in toks.iter().enumerate() {
+        if is_open(t) {
+            stack.push(i);
+        } else if is_close(t) {
+            match stack.pop() {
+                Some(open) => close[open] = Some(i),
+                None => unbalanced = true,
+            }
+        }
+    }
+    if !stack.is_empty() {
+        unbalanced = true;
+    }
+
+    let mut test = vec![false; n];
+    if !unbalanced {
+        mark_test_items(toks, &close, &mut test);
+    }
+    Scopes {
+        close,
+        test,
+        unbalanced,
+    }
+}
+
+/// Marks every token of every item attributed with something naming
+/// `test`. Outer attributes only (`#[..]`); inner `#![..]` configure the
+/// enclosing scope and never mark an item here.
+fn mark_test_items(toks: &[Tok], close: &[Option<usize>], test: &mut [bool]) {
+    let n = toks.len();
+    let mut i = 0usize;
+    while i < n {
+        let is_outer_attr = toks[i].text == "#"
+            && toks.get(i + 1).is_some_and(|t| t.text == "[")
+            && toks.get(i + 1).map(|t| t.kind) == Some(TokKind::Punct);
+        if !is_outer_attr {
+            i += 1;
+            continue;
+        }
+        let Some(attr_close) = close[i + 1] else {
+            i += 1;
+            continue;
+        };
+        let mentions_test = toks[i + 2..attr_close]
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "test");
+        if !mentions_test {
+            i = attr_close + 1;
+            continue;
+        }
+        // Skip any further attributes stacked on the same item.
+        let mut j = attr_close + 1;
+        while j < n && toks[j].text == "#" && toks.get(j + 1).is_some_and(|t| t.text == "[") {
+            match close[j + 1] {
+                Some(c) => j = c + 1,
+                None => break,
+            }
+        }
+        // The item extends to its body's `{…}` or to a terminating `;`,
+        // skipping over any intermediate groups (generics' brackets,
+        // argument lists, where clauses with parenthesised bounds …).
+        let mut end = j;
+        while end < n {
+            let t = &toks[end];
+            if t.text == "{" {
+                end = close[end].unwrap_or(n - 1);
+                break;
+            }
+            if t.text == "(" || t.text == "[" {
+                end = match close[end] {
+                    Some(c) => c + 1,
+                    None => n,
+                };
+                continue;
+            }
+            if t.text == ";" {
+                break;
+            }
+            // A closer at this level means the attribute sat at the end of
+            // a group (malformed); stop rather than leak the mask.
+            if is_close(t) {
+                end = end.saturating_sub(1);
+                break;
+            }
+            end += 1;
+        }
+        let end = end.min(n - 1);
+        for flag in test.iter_mut().take(end + 1).skip(i) {
+            *flag = true;
+        }
+        i = end + 1;
+    }
+}
+
+/// What an `unsafe` keyword token introduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnsafeKind {
+    /// `unsafe { … }` — needs a `SAFETY:` comment.
+    Block,
+    /// `unsafe fn` / `unsafe impl` / `unsafe trait` / `unsafe extern`.
+    Decl,
+}
+
+/// Classifies the `unsafe` keyword at token index `i` (which the caller
+/// has verified is an `unsafe` ident). Line breaks between `unsafe` and
+/// `{` do not matter — that is the point of the rewrite.
+pub fn classify_unsafe(toks: &[Tok], i: usize) -> UnsafeKind {
+    match toks.get(i + 1) {
+        Some(t) if t.text == "{" => UnsafeKind::Block,
+        _ => UnsafeKind::Decl,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::lexer::lex;
+
+    fn mask_of(src: &str) -> (Lexed, Scopes) {
+        let l = lex(src);
+        let s = analyze(&l);
+        (l, s)
+    }
+
+    #[test]
+    fn delimiters_match_across_lines() {
+        let (l, s) = mask_of("fn f(\n  a: usize,\n) {\n  g(a);\n}");
+        let open = l.toks.iter().position(|t| t.text == "{").unwrap();
+        let close = s.matching(open).unwrap();
+        assert_eq!(l.toks[close].text, "}");
+        assert!(!s.unbalanced);
+    }
+
+    #[test]
+    fn cfg_test_mod_is_masked_even_mid_file() {
+        let src = "fn ship() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\nfn also_ship() { y.unwrap(); }";
+        let (l, s) = mask_of(src);
+        let unwraps: Vec<usize> = l
+            .toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.text == "unwrap")
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(s.in_test(unwraps[0]), "unwrap inside #[cfg(test)] mod");
+        assert!(!s.in_test(unwraps[1]), "unwrap after the test mod ships");
+    }
+
+    #[test]
+    fn test_attribute_with_stacked_attrs() {
+        let src = "#[test]\n#[allow(dead_code)]\nfn t() { a.unwrap() }\nfn s() {}";
+        let (l, s) = mask_of(src);
+        let u = l.toks.iter().position(|t| t.text == "unwrap").unwrap();
+        assert!(s.in_test(u));
+        let ship = l.toks.iter().position(|t| t.text == "s").unwrap();
+        assert!(!s.in_test(ship));
+    }
+
+    #[test]
+    fn cfg_any_test_counts() {
+        let src = "#[cfg(any(test, feature = \"x\"))]\nfn t() { a.unwrap() }";
+        let (l, s) = mask_of(src);
+        let u = l.toks.iter().position(|t| t.text == "unwrap").unwrap();
+        assert!(s.in_test(u));
+    }
+
+    #[test]
+    fn attribute_on_use_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse x::y;\nfn ship() { a.unwrap() }";
+        let (l, s) = mask_of(src);
+        let u = l.toks.iter().position(|t| t.text == "unwrap").unwrap();
+        assert!(!s.in_test(u), "mask must stop at the use-item's `;`");
+    }
+
+    #[test]
+    fn non_test_cfg_does_not_mask() {
+        let src = "#[cfg(miri)]\nfn m() { a.unwrap() }";
+        let (l, s) = mask_of(src);
+        let u = l.toks.iter().position(|t| t.text == "unwrap").unwrap();
+        assert!(!s.in_test(u));
+    }
+
+    #[test]
+    fn unsafe_block_vs_decl_across_lines() {
+        let src = "unsafe\n{\n f()\n}\nunsafe fn g() {}\nunsafe impl Send for X {}";
+        let (l, _) = mask_of(src);
+        let us: Vec<usize> = l
+            .toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.text == "unsafe")
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(classify_unsafe(&l.toks, us[0]), UnsafeKind::Block);
+        assert_eq!(classify_unsafe(&l.toks, us[1]), UnsafeKind::Decl);
+        assert_eq!(classify_unsafe(&l.toks, us[2]), UnsafeKind::Decl);
+    }
+
+    #[test]
+    fn unbalanced_input_is_flagged_not_fatal() {
+        let (_, s) = mask_of("fn f( {");
+        assert!(s.unbalanced);
+    }
+}

@@ -1,551 +1,68 @@
 //! Workspace helper tasks, invoked as `cargo xtask <command>`.
 //!
 //! `lint` is the soundness gate that rustc cannot express as a built-in
-//! lint: it enforces the workspace's unsafe-containment policy (see
-//! DESIGN.md §Assurance) over the source tree itself:
+//! lint. Since PR 5 it is a token-tree semantic pass (see `lint/mod.rs`),
+//! enforcing:
 //!
-//! 1. **SAFETY comments** — every `unsafe` block must carry a
-//!    `// SAFETY:` comment on the same line or within the five lines
-//!    above it, stating the invariant that makes the block sound.
-//! 2. **unsafe containment** — `unsafe` code may appear only under
-//!    `crates/gf/src/kernels/`; every other crate root must pin
-//!    `#![forbid(unsafe_code)]` (or `#![deny(unsafe_code)]` for the
-//!    `gf` root itself, which scopes narrow `allow`s to the two kernel
-//!    modules).
-//! 3. **no raw XOR/mul loops** — shard-byte XOR (`^=`) and GF product
-//!    table indexing belong in `apec_gf`'s kernels, where they are
-//!    SIMD-dispatched and property-tested against the scalar oracle.
-//!    Any `^=` outside `crates/gf` needs an explicit
-//!    `// raw-xor-ok: <reason>` marker on the same line; `MUL_TABLE`
-//!    may not be referenced outside `crates/gf` at all.
-//! 4. **no entropy-seeded RNGs** — every run must reproduce from one
-//!    `u64` seed, so `thread_rng`, `rand::rng()`, `from_entropy` and
-//!    `from_os_rng` are banned everywhere; randomness is plumbed through
-//!    `apec_ec::rng::{seeded, derive, fork}` instead.
+//! 1. **unsafe containment** — `unsafe` only under `crates/gf/src/kernels/`,
+//!    every block carrying a `// SAFETY:` comment, every other crate root
+//!    pinning `#![forbid(unsafe_code)]`;
+//! 2. **kernel confinement** — raw `^=` / `MUL_TABLE` stay inside apec_gf;
+//! 3. **reproducibility** — entropy-seeded RNGs banned everywhere;
+//! 4. **zero-copy decode** — shard-buffer clones banned on hot paths;
+//! 5. **panic-freedom** — `unwrap`/`expect`/`panic!`-family macros and
+//!    shard-buffer `[]` indexing banned in non-test decode/repair/read
+//!    code, waived only by `// panic-ok: <invariant>` (inventoried via
+//!    `--report panics.json`, ratcheted against `xtask/panic_baseline.json`);
+//! 6. **checked arithmetic** — byte/op counters use `saturating_*`/
+//!    `checked_*` or carry `// wrap-ok: <reason>`;
+//! 7. **concurrency hygiene** — `Ordering::Relaxed` confined to
+//!    `ec::parallel`, `static mut` banned, crossbeam-scope types witnessed
+//!    by `assert_send_sync`.
 //!
-//! The pass is lexical (comment/string-aware line scanning), not a full
-//! parse: deliberately simple enough to audit by eye, strict enough to
-//! fail CI on policy drift.
+//! Usage: `cargo xtask lint [--report <path>] [--baseline <path>]
+//! [--write-baseline] [--no-ratchet]`
 
 #![forbid(unsafe_code)]
 
-use std::fmt::Write as _;
-use std::path::{Path, PathBuf};
+mod lint;
+
+use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => match lint(Path::new(".")) {
-            Ok(()) => {
-                println!("xtask lint: ok");
-                ExitCode::SUCCESS
+        Some("lint") => {
+            let opts = match lint::Options::parse(&args[1..]) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("xtask lint: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match lint::run(Path::new("."), &opts) {
+                Ok(summary) => {
+                    for line in summary {
+                        println!("xtask lint: {line}");
+                    }
+                    println!("xtask lint: ok");
+                    ExitCode::SUCCESS
+                }
+                Err(report) => {
+                    eprint!("{report}");
+                    eprintln!("xtask lint: FAILED");
+                    ExitCode::from(1)
+                }
             }
-            Err(report) => {
-                eprint!("{report}");
-                eprintln!("xtask lint: FAILED");
-                ExitCode::from(1)
-            }
-        },
+        }
         Some(other) => {
             eprintln!("xtask: unknown command {other:?} (expected: lint)");
             ExitCode::from(2)
         }
         None => {
-            eprintln!("usage: cargo xtask lint");
+            eprintln!("usage: cargo xtask lint [--report <path>] [--write-baseline] [--no-ratchet]");
             ExitCode::from(2)
         }
-    }
-}
-
-/// Directories scanned for Rust sources, relative to the workspace root.
-const SCAN_ROOTS: &[&str] = &["crates", "src", "tests", "xtask/src"];
-
-/// Paths (prefix match, `/`-normalised) where `unsafe` code is permitted.
-const UNSAFE_ALLOWED: &[&str] = &["crates/gf/src/kernels/"];
-
-/// Path prefixes exempt from the raw-XOR/mul lint: the gf crate *is* the
-/// kernel layer, and xtask must be able to name the patterns it greps for.
-const RAW_XOR_EXEMPT: &[&str] = &["crates/gf/", "xtask/src/"];
-
-/// Decode hot paths: non-test code here moves shard bytes, so buffer
-/// clones (`.clone()` / `.to_vec(`) are banned — the repair executor's
-/// whole point is a zero-allocation warm path. Legitimate small-object
-/// copies (pattern keys, coefficient lists) carry a same-line
-/// `// clone-ok: <reason>` marker.
-const CLONE_BANNED: &[&str] = &[
-    "crates/rs/src/",
-    "crates/lrc/src/",
-    "crates/xor/src/",
-    "crates/core/src/code.rs",
-    "crates/ec/src/plan.rs",
-];
-
-fn lint(root: &Path) -> Result<(), String> {
-    let mut files = Vec::new();
-    for dir in SCAN_ROOTS {
-        collect_rs_files(&root.join(dir), &mut files);
-    }
-    files.sort();
-
-    let mut report = String::new();
-    for path in &files {
-        let rel = path
-            .strip_prefix(root)
-            .unwrap_or(path)
-            .to_string_lossy()
-            .replace('\\', "/");
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
-            Err(e) => {
-                let _ = writeln!(report, "{rel}: unreadable: {e}");
-                continue;
-            }
-        };
-        lint_file(&rel, &text, &mut report);
-    }
-
-    for rel in crate_roots(root) {
-        let text = std::fs::read_to_string(root.join(&rel)).unwrap_or_default();
-        let gate = text.contains("#![forbid(unsafe_code)]") || text.contains("#![deny(unsafe_code)]");
-        if !gate {
-            let _ = writeln!(
-                report,
-                "{rel}: crate root lacks #![forbid(unsafe_code)] / #![deny(unsafe_code)]"
-            );
-        }
-    }
-
-    if report.is_empty() {
-        Ok(())
-    } else {
-        Err(report)
-    }
-}
-
-/// Every crate root (lib.rs and bin main files) that must pin the
-/// unsafe-code gate.
-fn crate_roots(root: &Path) -> Vec<String> {
-    let mut out = Vec::new();
-    let crates = root.join("crates");
-    if let Ok(entries) = std::fs::read_dir(&crates) {
-        for entry in entries.flatten() {
-            for candidate in ["src/lib.rs", "src/main.rs"] {
-                let p = entry.path().join(candidate);
-                if p.is_file() {
-                    out.push(
-                        p.strip_prefix(root)
-                            .unwrap_or(&p)
-                            .to_string_lossy()
-                            .replace('\\', "/"),
-                    );
-                }
-            }
-            // bin targets (e.g. crates/bench/src/bin/*.rs)
-            let bins = entry.path().join("src/bin");
-            if let Ok(bin_entries) = std::fs::read_dir(&bins) {
-                for b in bin_entries.flatten() {
-                    let p = b.path();
-                    if p.extension().is_some_and(|e| e == "rs") {
-                        out.push(
-                            p.strip_prefix(root)
-                                .unwrap_or(&p)
-                                .to_string_lossy()
-                                .replace('\\', "/"),
-                        );
-                    }
-                }
-            }
-        }
-    }
-    if root.join("src/lib.rs").is_file() {
-        out.push("src/lib.rs".to_string());
-    }
-    out.sort();
-    out
-}
-
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.is_dir() {
-            // Skip build artifacts; everything else under the scan roots is
-            // source.
-            if path.file_name().is_some_and(|n| n == "target") {
-                continue;
-            }
-            collect_rs_files(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-}
-
-/// One source line with comments and string literals blanked out, plus the
-/// comment text kept separately (markers like `SAFETY:` live in comments).
-struct ScrubbedLine {
-    /// Code with comments/strings replaced by spaces.
-    code: String,
-    /// The raw line, for marker searches.
-    raw: String,
-}
-
-/// Strips `//` comments, `/* */` comments and string/char literals so the
-/// policy patterns only match real code. Line-oriented; block comments may
-/// span lines.
-fn scrub(text: &str) -> Vec<ScrubbedLine> {
-    let mut out = Vec::new();
-    let mut in_block_comment = false;
-    for raw in text.lines() {
-        let bytes: Vec<char> = raw.chars().collect();
-        let mut code = String::with_capacity(raw.len());
-        let mut i = 0;
-        let mut in_str = false;
-        let mut in_char = false;
-        while i < bytes.len() {
-            let c = bytes[i];
-            let next = bytes.get(i + 1).copied();
-            if in_block_comment {
-                if c == '*' && next == Some('/') {
-                    in_block_comment = false;
-                    code.push_str("  ");
-                    i += 2;
-                } else {
-                    code.push(' ');
-                    i += 1;
-                }
-            } else if in_str {
-                if c == '\\' {
-                    code.push_str("  ");
-                    i += 2;
-                } else {
-                    if c == '"' {
-                        in_str = false;
-                    }
-                    code.push(' ');
-                    i += 1;
-                }
-            } else if in_char {
-                if c == '\\' {
-                    code.push_str("  ");
-                    i += 2;
-                } else {
-                    if c == '\'' {
-                        in_char = false;
-                    }
-                    code.push(' ');
-                    i += 1;
-                }
-            } else if c == '/' && next == Some('/') {
-                // Rest of the line is a comment.
-                break;
-            } else if c == '/' && next == Some('*') {
-                in_block_comment = true;
-                code.push_str("  ");
-                i += 2;
-            } else if c == '"' {
-                in_str = true;
-                code.push(' ');
-                i += 1;
-            } else if c == '\'' {
-                // Distinguish char literals from lifetimes: a lifetime is
-                // `'` + ident not followed by a closing `'`.
-                let is_lifetime = next.is_some_and(|n| n.is_alphabetic() || n == '_')
-                    && bytes.get(i + 2).copied() != Some('\'');
-                if is_lifetime {
-                    code.push(c);
-                    i += 1;
-                } else {
-                    in_char = true;
-                    code.push(' ');
-                    i += 1;
-                }
-            } else {
-                code.push(c);
-                i += 1;
-            }
-        }
-        // Strings/chars do not span lines in this codebase; reset to be safe.
-        out.push(ScrubbedLine {
-            code,
-            raw: raw.to_string(),
-        });
-    }
-    out
-}
-
-fn lint_file(rel: &str, text: &str, report: &mut String) {
-    let lines = scrub(text);
-    let unsafe_allowed = UNSAFE_ALLOWED.iter().any(|p| rel.starts_with(p));
-    let xor_exempt = RAW_XOR_EXEMPT.iter().any(|p| rel.starts_with(p));
-    let clone_banned = CLONE_BANNED.iter().any(|p| rel.starts_with(p));
-    // The clone ban covers only shipping code: everything before the first
-    // `#[cfg(test)]` line (test modules sit at the bottom of each file).
-    let test_start = lines
-        .iter()
-        .position(|l| l.code.contains("#[cfg(test)]"))
-        .unwrap_or(lines.len());
-
-    for (idx, line) in lines.iter().enumerate() {
-        let lineno = idx + 1;
-        let code = line.code.as_str();
-
-        if clone_banned
-            && idx < test_start
-            && (code.contains(".clone()") || code.contains(".to_vec("))
-            && !line.raw.contains("clone-ok:")
-        {
-            let _ = writeln!(
-                report,
-                "{rel}:{lineno}: buffer clone in a decode hot path — reuse \
-                 pooled scratch/Arc instead (or add `// clone-ok: <reason>` \
-                 for a provably small copy)"
-            );
-        }
-
-        if contains_word(code, "unsafe") {
-            // Attribute/lint mentions (`unsafe_code`, `unsafe_op_in_unsafe_fn`)
-            // are configuration, not unsafe code.
-            let is_code = contains_unsafe_keyword(code);
-            if is_code && !unsafe_allowed {
-                let _ = writeln!(
-                    report,
-                    "{rel}:{lineno}: `unsafe` outside crates/gf/src/kernels/ — \
-                     convert to safe code or move it into the kernel layer"
-                );
-            } else if is_code && is_unsafe_block(code) && !has_safety_comment(&lines, idx) {
-                let _ = writeln!(
-                    report,
-                    "{rel}:{lineno}: unsafe block without a `// SAFETY:` comment \
-                     (same line or within the 5 lines above)"
-                );
-            }
-        }
-
-        // Entropy-seeded generators break run reproducibility; no path is
-        // exempt — `apec_ec::rng` itself only wraps `seed_from_u64`.
-        for banned in ["thread_rng", "from_entropy", "from_os_rng"] {
-            if contains_word(code, banned) {
-                let _ = writeln!(
-                    report,
-                    "{rel}:{lineno}: entropy-seeded RNG `{banned}` — plumb a \
-                     seed through apec_ec::rng::{{seeded, derive, fork}}"
-                );
-            }
-        }
-        if code.contains("rand::rng(") {
-            let _ = writeln!(
-                report,
-                "{rel}:{lineno}: entropy-seeded RNG `rand::rng()` — plumb a \
-                 seed through apec_ec::rng::{{seeded, derive, fork}}"
-            );
-        }
-
-        if !xor_exempt {
-            if code.contains("^=") && !line.raw.contains("raw-xor-ok:") {
-                let _ = writeln!(
-                    report,
-                    "{rel}:{lineno}: raw `^=` outside apec_gf kernels — use \
-                     apec_gf::xor_slice (or add `// raw-xor-ok: <reason>`)"
-                );
-            }
-            if contains_word(code, "MUL_TABLE") {
-                let _ = writeln!(
-                    report,
-                    "{rel}:{lineno}: raw `MUL_TABLE` lookup outside apec_gf — \
-                     use apec_gf::mul_slice / mul_slice_xor"
-                );
-            }
-        }
-    }
-}
-
-/// `needle` appears in `hay` delimited by non-identifier characters.
-fn contains_word(hay: &str, needle: &str) -> bool {
-    let mut start = 0;
-    while let Some(pos) = hay[start..].find(needle) {
-        let at = start + pos;
-        let before_ok = at == 0
-            || !hay[..at]
-                .chars()
-                .next_back()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        let after = at + needle.len();
-        let after_ok = after >= hay.len()
-            || !hay[after..]
-                .chars()
-                .next()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        if before_ok && after_ok {
-            return true;
-        }
-        start = at + needle.len();
-    }
-    false
-}
-
-/// `unsafe` used as a keyword (fn qualifier, block, impl, trait), as
-/// opposed to appearing inside identifiers like `unsafe_code`.
-fn contains_unsafe_keyword(code: &str) -> bool {
-    contains_word(code, "unsafe")
-}
-
-/// Heuristic: the line opens an unsafe *block* (`unsafe {`), rather than
-/// declaring an `unsafe fn`/`unsafe impl`/`unsafe trait`.
-fn is_unsafe_block(code: &str) -> bool {
-    let Some(pos) = code.find("unsafe") else {
-        return false;
-    };
-    let rest = code[pos + "unsafe".len()..].trim_start();
-    rest.is_empty() || rest.starts_with('{')
-}
-
-/// A `SAFETY:` marker on the same line or within the five preceding lines.
-fn has_safety_comment(lines: &[ScrubbedLine], idx: usize) -> bool {
-    let from = idx.saturating_sub(5);
-    lines[from..=idx].iter().any(|l| l.raw.contains("SAFETY:"))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn scrub_blanks_comments_and_strings() {
-        let lines = scrub("let x = \"unsafe ^= MUL_TABLE\"; // unsafe ^=\nlet y = 1;");
-        assert!(!lines[0].code.contains("unsafe"));
-        assert!(!lines[0].code.contains("^="));
-        assert!(lines[0].raw.contains("unsafe"));
-        assert_eq!(lines[1].code, "let y = 1;");
-    }
-
-    #[test]
-    fn scrub_handles_block_comments_across_lines() {
-        let lines = scrub("a /* start\nstill ^= comment\nend */ b");
-        assert!(lines[0].code.starts_with("a "));
-        assert!(!lines[1].code.contains("^="));
-        assert!(lines[2].code.contains('b'));
-    }
-
-    #[test]
-    fn scrub_keeps_lifetimes() {
-        let lines = scrub("fn f<'a>(x: &'a [u8]) -> &'a [u8] { x }");
-        assert!(lines[0].code.contains("'a"));
-    }
-
-    #[test]
-    fn word_boundaries_respected() {
-        assert!(contains_word("unsafe {", "unsafe"));
-        assert!(!contains_word("#![forbid(unsafe_code)]", "unsafe"));
-        assert!(!contains_word("unsafe_op_in_unsafe_fn", "unsafe"));
-    }
-
-    #[test]
-    fn unsafe_block_detection() {
-        assert!(is_unsafe_block("    unsafe {"));
-        assert!(is_unsafe_block("    unsafe"));
-        assert!(is_unsafe_block("    let v = unsafe { f() };"));
-        assert!(!is_unsafe_block("unsafe fn g() {"));
-        assert!(!is_unsafe_block("unsafe impl Send for T {}"));
-    }
-
-    #[test]
-    fn safety_comment_window() {
-        let lines = scrub("// SAFETY: fine\nlet a = 0;\nunsafe { f() }");
-        assert!(has_safety_comment(&lines, 2));
-        let lines = scrub("let a = 0;\nunsafe { f() }");
-        assert!(!has_safety_comment(&lines, 1));
-    }
-
-    #[test]
-    fn lint_flags_unmarked_xor_and_mul_table() {
-        let mut report = String::new();
-        lint_file(
-            "crates/demo/src/lib.rs",
-            "*d ^= *s;\nlet t = MUL_TABLE[0];\n*d ^= *s; // raw-xor-ok: test\n",
-            &mut report,
-        );
-        assert!(report.contains("raw `^=`"));
-        assert!(report.contains("MUL_TABLE"));
-        // the marked line is not reported twice
-        assert_eq!(report.matches("raw `^=`").count(), 1);
-    }
-
-    #[test]
-    fn lint_flags_hot_path_clones_outside_tests() {
-        let mut report = String::new();
-        lint_file(
-            "crates/rs/src/lib.rs",
-            "let a = buf.clone();\nlet b = key.to_vec(); // clone-ok: tiny key\n\
-             #[cfg(test)]\nlet c = buf.clone();\n",
-            &mut report,
-        );
-        assert_eq!(
-            report.matches("decode hot path").count(),
-            1,
-            "report: {report}"
-        );
-        assert!(report.contains(":1:"), "report: {report}");
-    }
-
-    #[test]
-    fn clone_lint_only_covers_hot_paths() {
-        let mut report = String::new();
-        lint_file(
-            "crates/cluster/src/store.rs",
-            "let a = buf.clone();\n",
-            &mut report,
-        );
-        assert!(report.is_empty(), "unexpected report: {report}");
-    }
-
-    #[test]
-    fn lint_flags_entropy_seeded_rngs() {
-        let mut report = String::new();
-        lint_file(
-            "crates/demo/src/lib.rs",
-            "let mut a = rand::rng();\nlet mut b = thread_rng();\n\
-             let c = StdRng::from_entropy();\nlet d = StdRng::from_os_rng();\n\
-             let ok = apec_ec::rng::seeded(7);\n",
-            &mut report,
-        );
-        assert_eq!(report.matches("entropy-seeded RNG").count(), 4, "report: {report}");
-        assert!(report.contains("thread_rng"));
-        assert!(report.contains("from_entropy"));
-        assert!(report.contains("from_os_rng"));
-    }
-
-    #[test]
-    fn rng_lint_spares_seeded_namespaces() {
-        let mut report = String::new();
-        lint_file(
-            "crates/demo/src/lib.rs",
-            // `rand::rngs::StdRng` must not trip the `rand::rng(` pattern,
-            // and mentions inside comments/strings never count.
-            "use rand::rngs::StdRng;\nlet s = \"thread_rng\"; // thread_rng\n",
-            &mut report,
-        );
-        assert!(report.is_empty(), "unexpected report: {report}");
-    }
-
-    #[test]
-    fn lint_allows_gf_kernels() {
-        let mut report = String::new();
-        lint_file(
-            "crates/gf/src/kernels/x86.rs",
-            "// SAFETY: bounded\nunsafe { f() }\n*d ^= *s;\n",
-            &mut report,
-        );
-        assert!(report.is_empty(), "unexpected report: {report}");
-    }
-
-    #[test]
-    fn lint_rejects_unsafe_outside_kernels() {
-        let mut report = String::new();
-        lint_file("crates/ec/src/lib.rs", "unsafe { f() }\n", &mut report);
-        assert!(report.contains("outside crates/gf/src/kernels/"));
     }
 }

@@ -1,0 +1,13 @@
+//! Known-bad fixture: an `unsafe` block whose `{` sits on the next line.
+//!
+//! The PR 2 line scanner matched the literal text `unsafe {` and let this
+//! formatting through; the token scanner must classify it as a block
+//! regardless of the line break (see `scopes::classify_unsafe`).
+
+pub fn peek(v: &[u8]) -> u8 {
+    let p = v.as_ptr();
+    unsafe
+    {
+        *p
+    }
+}

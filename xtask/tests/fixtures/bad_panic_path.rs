@@ -1,0 +1,18 @@
+//! Known-bad fixture: panics on a decode path, with a `#[cfg(test)]`
+//! module that must stay exempt even though it sits mid-file.
+
+pub fn decode(shards: &[Option<Vec<u8>>]) -> usize {
+    let first = shards[0].as_ref().unwrap();
+    first.len()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u8> = Some(1);
+        v.unwrap();
+        let shards = [1u8, 2];
+        assert_eq!(shards[0], 1);
+    }
+}

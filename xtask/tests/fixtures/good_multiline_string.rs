@@ -1,0 +1,14 @@
+//! Known-good fixture: a string literal spanning lines that *mentions*
+//! `unsafe` blocks and `unwrap()` calls. The PR 2 line scanner had no
+//! notion of literals and false-positived on files like this; the lexer
+//! keeps the whole thing a single `Lit` token.
+
+pub const USAGE: &str = "example (not code):
+    unsafe { ptr.read() }
+    shards[0].unwrap()
+    a + b on read_bytes
+";
+
+pub fn usage_len() -> usize {
+    USAGE.len()
+}

@@ -1,0 +1,122 @@
+//! Regression fixtures for the semantic linter.
+//!
+//! Each fixture in `tests/fixtures/` is a Rust snippet that either
+//! defeated the PR 2 line-oriented scanner (multi-line `unsafe`, string
+//! literals that look like code) or pins the behaviour of the PR 5
+//! semantic policies (panic-freedom scope, `#[cfg(test)]` exemption,
+//! `panic-ok:` waivers). The fixtures directory is excluded from the
+//! workspace scan (`lint::run` skips `fixtures/`), so the snippets are
+//! linted only here, against a path chosen by each test.
+
+// The whole module tree is included; this harness only exercises the
+// per-file path (`lint_file`), so the workspace driver is dead code here.
+#![allow(dead_code)]
+
+#[path = "../src/lint/mod.rs"]
+mod lint;
+
+use lint::lexer::lex;
+use lint::report::Finding;
+use lint::rules::lint_file;
+use lint::scopes::analyze;
+
+/// Reads a fixture whether the test runs from the workspace root (the
+/// offline harness) or from `xtask/` (cargo).
+fn fixture(name: &str) -> String {
+    let candidates = [
+        format!("xtask/tests/fixtures/{name}"),
+        format!("tests/fixtures/{name}"),
+    ];
+    for c in &candidates {
+        if let Ok(src) = std::fs::read_to_string(c) {
+            return src;
+        }
+    }
+    panic!("fixture {name} not found in {candidates:?}");
+}
+
+/// Lints a fixture as if it lived at `rel` inside the workspace.
+fn lint_as(rel: &str, name: &str) -> Vec<Finding> {
+    let src = fixture(name);
+    let lexed = lex(&src);
+    let scopes = analyze(&lexed);
+    assert!(!scopes.unbalanced, "{name}: fixture has unbalanced delimiters");
+    let mut findings = Vec::new();
+    lint_file(rel, &lexed, &scopes, &mut findings);
+    findings
+}
+
+fn errors(findings: &[Finding]) -> Vec<&Finding> {
+    findings.iter().filter(|f| !f.waived).collect()
+}
+
+#[test]
+fn multi_line_unsafe_block_is_still_contained() {
+    // The regression the fixture set exists for: `unsafe\n{` defeated the
+    // old `"unsafe {"` substring match.
+    let findings = lint_as("crates/rs/src/fixture.rs", "bad_multiline_unsafe.rs");
+    let errs = errors(&findings);
+    assert!(
+        errs.iter().any(|f| f.rule == "unsafe-containment"),
+        "multi-line unsafe block escaped containment: {findings:?}"
+    );
+    // The block starts at the `unsafe` keyword's line (9), not the `{`.
+    let site = errs.iter().find(|f| f.rule == "unsafe-containment").unwrap();
+    assert_eq!(site.line, 9, "finding must anchor at the unsafe keyword");
+}
+
+#[test]
+fn code_shaped_string_literals_are_not_code() {
+    // Mentions of unsafe/unwrap/indexing inside a string literal must not
+    // trip any rule, even at the most heavily policed path.
+    let findings = lint_as("crates/rs/src/fixture.rs", "good_multiline_string.rs");
+    assert!(
+        errors(&findings).is_empty(),
+        "string literal content was linted as code: {findings:?}"
+    );
+}
+
+#[test]
+fn panic_path_hazards_flagged_outside_tests_only() {
+    let findings = lint_as("crates/rs/src/fixture.rs", "bad_panic_path.rs");
+    let errs = errors(&findings);
+    assert!(
+        errs.iter().any(|f| f.rule == "panic-freedom" && f.line == 5),
+        "unwrap on the decode path not flagged: {findings:?}"
+    );
+    assert!(
+        errs.iter().any(|f| f.rule == "shard-index" && f.line == 5),
+        "shards[0] indexing not flagged: {findings:?}"
+    );
+    // Nothing inside the mid-file #[cfg(test)] module (lines 9+) fires.
+    assert!(
+        errs.iter().all(|f| f.line < 9),
+        "findings leaked into the #[cfg(test)] module: {findings:?}"
+    );
+}
+
+#[test]
+fn panic_ok_markers_waive_and_are_inventoried() {
+    let findings = lint_as("crates/rs/src/fixture.rs", "good_waived_panic.rs");
+    assert!(
+        errors(&findings).is_empty(),
+        "panic-ok marker did not waive: {findings:?}"
+    );
+    let waived: Vec<_> = findings.iter().filter(|f| f.waived).collect();
+    assert_eq!(waived.len(), 2, "expected unwrap + index waivers: {findings:?}");
+    assert!(
+        waived.iter().all(|f| f.detail.contains("caller validated")),
+        "waiver must carry the stated invariant: {findings:?}"
+    );
+}
+
+#[test]
+fn outside_panic_scope_the_same_code_is_clean() {
+    // The same hazardous snippet at a non-policed path produces nothing:
+    // the policy is scoped, not global.
+    let findings = lint_as("crates/video/src/fixture.rs", "bad_panic_path.rs");
+    assert!(
+        errors(&findings).is_empty(),
+        "panic policy fired outside its scope: {findings:?}"
+    );
+}
