@@ -1,0 +1,215 @@
+//! Object-encode benchmarks: the legacy copy-then-encode path versus the
+//! session-reuse streaming pipeline, anchored against the raw fused
+//! [`GfMatrix::apply_into`] kernel.
+//!
+//! Two outputs per run:
+//!
+//! 1. Criterion groups (`encode/*`) with statistically robust per-mode
+//!    timings, for regression tracking.
+//! 2. `BENCH_encode.json` at the repository root — a compact
+//!    machine-readable summary used by the acceptance criteria: on a
+//!    ~64 MiB object under RS(5,3), session-reuse streaming encode must
+//!    run at least 2x the legacy `split_into_shards` + `encode()` path
+//!    and within ~10% of the raw fused kernel.
+//!
+//! Modes:
+//! - `legacy_split_encode`: [`split_into_shards`] copies the whole object
+//!   into `k` owned shards (one object-wide stripe), then `encode()`
+//!   allocates fresh parity — the pre-session object path.
+//! - `legacy_stripe_copy_encode`: the old cluster-store shape — per
+//!   `shard_len` stripe, copy `k` windows into owned shards and call
+//!   `encode()`, allocating parity every stripe.
+//! - `session_streaming`: a warm [`EncodeSession::encode_object`] pass —
+//!   borrowed data windows, parity written into the reused arena.
+//! - `raw_kernel`: the same striping loop driving the fused
+//!   [`GfMatrix::apply_into`] directly with the RS parity rows — the
+//!   speed-of-light reference the streaming path is held to.
+
+use apec_ec::stripe::split_into_shards;
+use apec_ec::{EcError, EncodeSession, ErasureCode};
+use apec_gf::GfMatrix;
+use apec_rs::{MatrixKind, ReedSolomon};
+use criterion::{Criterion, Throughput};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::time::Instant;
+
+const K: usize = 5;
+const R: usize = 3;
+/// Streaming stripe granularity.
+const SHARD_LEN: usize = 64 << 10;
+/// A whole number of stripes nearest 64 MiB, so every mode (including
+/// the raw kernel, which takes full windows only) sees identical bytes.
+const OBJECT_BYTES: usize = 205 * K * SHARD_LEN;
+
+fn object(seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v = vec![0u8; OBJECT_BYTES];
+    rng.fill(v.as_mut_slice());
+    v
+}
+
+fn code() -> ReedSolomon {
+    ReedSolomon::new(K, R, MatrixKind::Vandermonde).unwrap()
+}
+
+/// The parity submatrix RS(5,3) encodes with: the bottom `r` rows of the
+/// code's own generator, so the kernel reference multiplies by exactly
+/// the coefficients the trait path does. (A hand-rebuilt matrix risks
+/// degenerate coefficients that hit the `mul_slice_xor` zero/one fast
+/// paths and make the reference dishonestly fast.)
+fn parity_rows(code: &ReedSolomon) -> GfMatrix {
+    let rows = code.generator().select_rows(&(K..K + R).collect::<Vec<_>>());
+    let nontrivial = (0..R)
+        .flat_map(|r| (0..K).map(move |c| (r, c)))
+        .filter(|&(r, c)| rows.get(r, c).value() > 1)
+        .count();
+    assert!(nontrivial > 0, "parity rows collapsed to 0/1 coefficients");
+    rows
+}
+
+fn run_legacy_split(code: &ReedSolomon, object: &[u8]) {
+    let shards = split_into_shards(object, K, code.shard_alignment());
+    let refs: Vec<&[u8]> = shards.iter().map(|s| s.as_slice()).collect();
+    let parity = code.encode(&refs).unwrap();
+    std::hint::black_box(&parity);
+}
+
+fn run_legacy_stripes(code: &ReedSolomon, object: &[u8]) {
+    let stripe_bytes = K * SHARD_LEN;
+    for base in (0..object.len()).step_by(stripe_bytes) {
+        let shards: Vec<Vec<u8>> = (0..K)
+            .map(|i| {
+                let a = (base + i * SHARD_LEN).min(object.len());
+                let b = (base + (i + 1) * SHARD_LEN).min(object.len());
+                let mut v = object[a..b].to_vec();
+                v.resize(SHARD_LEN, 0);
+                v
+            })
+            .collect();
+        let refs: Vec<&[u8]> = shards.iter().map(|s| s.as_slice()).collect();
+        let parity = code.encode(&refs).unwrap();
+        std::hint::black_box(&parity);
+    }
+}
+
+fn run_streaming(session: &mut EncodeSession, code: &ReedSolomon, object: &[u8]) {
+    session
+        .encode_object(code, object, SHARD_LEN, |_, data, parity| -> Result<(), EcError> {
+            std::hint::black_box((data.len(), parity.len()));
+            Ok(())
+        })
+        .unwrap();
+}
+
+fn run_kernel(rows: &GfMatrix, object: &[u8], arena: &mut [Vec<u8>]) {
+    let stripe_bytes = K * SHARD_LEN;
+    for base in (0..object.len()).step_by(stripe_bytes) {
+        let views: [&[u8]; K] =
+            std::array::from_fn(|i| &object[base + i * SHARD_LEN..base + (i + 1) * SHARD_LEN]);
+        let mut outs: [&mut [u8]; R] = std::array::from_fn(|_| &mut [][..]);
+        for (o, row) in outs.iter_mut().zip(arena.iter_mut()) {
+            *o = row.as_mut_slice();
+        }
+        rows.apply_into(&views, &mut outs).unwrap();
+        std::hint::black_box(&arena);
+    }
+}
+
+/// Median wall-clock microseconds per whole-object encode over `reps`
+/// timed samples (after one warm-up), `inner` encodes per sample. The
+/// object is large, so fewer repetitions than the repair bench suffice.
+fn median_micros(mut f: impl FnMut()) -> f64 {
+    let inner = 2;
+    let reps = 5;
+    let mut samples = Vec::with_capacity(reps);
+    for rep in 0..=reps {
+        let t = Instant::now();
+        for _ in 0..inner {
+            f();
+        }
+        let micros = t.elapsed().as_secs_f64() * 1e6 / f64::from(inner);
+        if rep > 0 {
+            samples.push(micros);
+        }
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn gib_per_s(micros: f64) -> f64 {
+    OBJECT_BYTES as f64 / (micros * 1e-6) / (1u64 << 30) as f64
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let code = code();
+    let rows = parity_rows(&code);
+    let obj = object(23);
+    let mut g = c.benchmark_group(format!("encode/{}", code.name()));
+    g.throughput(Throughput::Bytes(OBJECT_BYTES as u64));
+    g.bench_function("legacy_split_encode", |b| {
+        b.iter(|| run_legacy_split(&code, &obj))
+    });
+    g.bench_function("legacy_stripe_copy_encode", |b| {
+        b.iter(|| run_legacy_stripes(&code, &obj))
+    });
+    let mut session = EncodeSession::new();
+    g.bench_function("session_streaming", |b| {
+        b.iter(|| run_streaming(&mut session, &code, &obj))
+    });
+    let mut arena = vec![vec![0u8; SHARD_LEN]; R];
+    g.bench_function("raw_kernel", |b| b.iter(|| run_kernel(&rows, &obj, &mut arena)));
+    g.finish();
+}
+
+/// Writes the machine-readable summary the acceptance criteria read.
+fn write_bench_json() {
+    let code = code();
+    let rows = parity_rows(&code);
+    let obj = object(23);
+
+    let legacy = median_micros(|| run_legacy_split(&code, &obj));
+    let per_stripe = median_micros(|| run_legacy_stripes(&code, &obj));
+    let mut session = EncodeSession::new();
+    run_streaming(&mut session, &code, &obj); // warm the arena
+    let streaming = median_micros(|| run_streaming(&mut session, &code, &obj));
+    let mut arena = vec![vec![0u8; SHARD_LEN]; R];
+    let kernel = median_micros(|| run_kernel(&rows, &obj, &mut arena));
+
+    let entries = [
+        ("legacy_split_encode", legacy),
+        ("legacy_stripe_copy_encode", per_stripe),
+        ("session_streaming", streaming),
+        ("raw_kernel", kernel),
+    ]
+    .map(|(mode, micros)| {
+        format!(
+            "    {{\"mode\": \"{mode}\", \"micros_per_object\": {micros:.1}, \
+             \"gib_per_s\": {:.3}}}",
+            gib_per_s(micros),
+        )
+    });
+    let doc = format!(
+        "{{\n  \"bench\": \"encode-sessions\",\n  \"code\": \"{}\",\n  \
+         \"object_bytes\": {OBJECT_BYTES},\n  \"shard_len\": {SHARD_LEN},\n  \
+         \"results\": [\n{}\n  ],\n  \
+         \"speedup_streaming_vs_legacy\": {:.2},\n  \
+         \"streaming_micros_over_kernel\": {:.3}\n}}\n",
+        code.name(),
+        entries.join(",\n"),
+        legacy / streaming,
+        streaming / kernel,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_encode.json");
+    match std::fs::write(path, doc) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    write_bench_json();
+    let mut c = Criterion::default().configure_from_args();
+    bench_encode(&mut c);
+    c.final_summary();
+}

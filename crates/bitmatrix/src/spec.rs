@@ -6,7 +6,7 @@
 
 use crate::matrix::BitMatrix;
 use apec_gf::xor_slice;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// Index of one *element* of a stripe.
@@ -240,6 +240,47 @@ impl XorCodeSpec {
     /// analytical cost models.
     pub fn encode_xor_cost(&self) -> usize {
         self.parity_support.iter().map(|s| s.len()).sum()
+    }
+
+    /// Every parity's support expanded to **data elements only**, in
+    /// encoding order.
+    ///
+    /// A support may reference earlier-encoded parities (RDP's diagonal
+    /// crosses the row-parity column); substituting each such reference by
+    /// its own expansion — a symmetric difference over GF(2), since an
+    /// element appearing twice cancels — yields a flat program where every
+    /// parity is a plain XOR of data elements. This is what lets
+    /// `encode_into` write parity straight into caller-owned slices with
+    /// no element materialization and no parity-reads-parity aliasing.
+    ///
+    /// Expansion may include *virtual* data elements living in non-data
+    /// columns (shortened codes); callers that treat those as
+    /// identically zero should filter them out.
+    pub fn expanded_parity_support(&self) -> Vec<(ElementIndex, Vec<ElementIndex>)> {
+        let total = self.total_elements();
+        let mut expanded: HashMap<ElementIndex, Vec<bool>> = HashMap::new();
+        let mut out = Vec::with_capacity(self.parity_elements.len());
+        for (i, &p) in self.parity_elements.iter().enumerate() {
+            let mut mask = vec![false; total];
+            for &e in &self.parity_support[i] {
+                if let Some(prev) = expanded.get(&e) {
+                    for (m, b) in mask.iter_mut().zip(prev) {
+                        *m ^= *b; // raw-xor-ok: bool support masks, not shard bytes
+                    }
+                } else {
+                    mask[e] = !mask[e];
+                }
+            }
+            let support: Vec<ElementIndex> = mask
+                .iter()
+                .enumerate()
+                .filter(|(_, &m)| m)
+                .map(|(e, _)| e)
+                .collect();
+            expanded.insert(p, mask);
+            out.push((p, support));
+        }
+        out
     }
 
     /// Solves the erasure pattern symbolically and compiles a
@@ -555,6 +596,32 @@ mod tests {
         let mut spec = raid4();
         spec.parity_support[0] = vec![0, 0]; // duplicate support
         assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn expanded_parity_support_matches_encode() {
+        let rdp_like = XorCodeSpec {
+            n_cols: 3,
+            rows_per_col: 2,
+            data_elements: vec![0, 1, 2, 3],
+            parity_elements: vec![4, 5],
+            parity_support: vec![vec![0, 2], vec![1, 3, 4]],
+        };
+        for (spec, seed) in [(raid4(), 9), (rdp_like, 10)] {
+            spec.validate().unwrap();
+            let full = random_elements(&spec, 32, seed);
+            for (p, support) in spec.expanded_parity_support() {
+                let mut acc = vec![0u8; 32];
+                for &e in &support {
+                    assert!(
+                        spec.data_elements.contains(&e),
+                        "expanded support of parity {p} still references element {e}"
+                    );
+                    xor_slice(&full[e], &mut acc).unwrap();
+                }
+                assert_eq!(acc, full[p], "parity element {p} from expanded support");
+            }
+        }
     }
 
     #[test]

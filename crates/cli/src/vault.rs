@@ -16,7 +16,7 @@
 //! pipeline a real deployment of the paper's system would run.
 
 use approx_code::{tiered, ApproxCode, BaseFamily, Structure};
-use apec_ec::ErasureCode;
+use apec_ec::{EncodeSession, ErasureCode};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::fs;
@@ -259,10 +259,21 @@ impl Vault {
             )));
         }
         let packed = tiered::pack(&self.code, important, unimportant, self.config.shard_len)?;
+        // One warm parity arena for the whole object: parity streams to
+        // disk straight from the session's buffers, so no per-stripe
+        // parity allocation or copy happens on the put path.
+        let mut session = EncodeSession::new();
+        let mut refs: Vec<&[u8]> = Vec::with_capacity(self.code.data_nodes());
         for (s, shards) in packed.stripes.iter().enumerate() {
-            let refs: Vec<&[u8]> = shards.iter().map(|b| b.as_slice()).collect();
-            let parity = self.code.encode(&refs)?;
-            for (node, bytes) in shards.iter().chain(parity.iter()).enumerate() {
+            refs.clear();
+            refs.extend(shards.iter().map(|b| b.as_slice()));
+            let parity = session.encode(&self.code, &refs)?;
+            for (node, bytes) in refs
+                .iter()
+                .copied()
+                .chain(parity.iter().map(|p| p.as_slice()))
+                .enumerate()
+            {
                 fs::write(self.shard_path(node, id, s), bytes)?;
             }
         }

@@ -7,7 +7,7 @@
 //! correctness questions with real shards in memory.
 
 use apec_ec::iostats::IoStats;
-use apec_ec::{EcError, ErasureCode, RepairPlan, RepairScratch};
+use apec_ec::{DecodeSession, EcError, EncodeSession, ErasureCode};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -187,39 +187,39 @@ impl Cluster {
                 needed: width,
             });
         }
-        let k = code.data_nodes();
-        let stripe_capacity = k * shard_len;
-        let stripes = data.len().div_ceil(stripe_capacity).max(1);
         let placement: Vec<usize> = (0..width)
             .map(|i| (i + object as usize) % self.node_count())
             .collect();
 
-        for s in 0..stripes {
-            let lo = (s * stripe_capacity).min(data.len());
-            // Fixed-width slicing (not `split_into_shards`, whose per-shard
-            // size shrinks for partial tails): the reader concatenates
-            // whole shards and truncates, so every shard must cover a
-            // contiguous `shard_len` window of the object.
-            let shards: Vec<Vec<u8>> = (0..k)
-                .map(|i| {
-                    let a = (lo + i * shard_len).min(data.len());
-                    let b = (lo + (i + 1) * shard_len).min(data.len());
-                    let mut shard = data[a..b].to_vec();
-                    shard.resize(shard_len, 0);
-                    shard
-                })
-                .collect();
-            let refs: Vec<&[u8]> = shards.iter().map(|s| s.as_slice()).collect();
-            let parity = code.encode(&refs)?;
-            for (i, bytes) in shards.into_iter().chain(parity).enumerate() {
-                let id = BlockId {
-                    object,
-                    stripe: s as u32,
-                    shard: i as u32,
-                };
-                self.put_block(placement[i], id, bytes)?;
-            }
-        }
+        // Streaming encode: `EncodeSession::encode_object` views each
+        // stripe as fixed `shard_len` windows borrowed straight from
+        // `data` (matching the reader's concatenate-and-truncate
+        // convention — this is why it is not `split_into_shards`, whose
+        // per-shard size shrinks for partial tails) and encodes parity
+        // into a warm arena. Bytes are copied exactly once, into the
+        // owned blocks the DataNodes keep.
+        let mut session = EncodeSession::new();
+        let stripes = session.encode_object(
+            code,
+            data,
+            shard_len,
+            |s, shards, parity| -> Result<(), ClusterError> {
+                for (i, bytes) in shards
+                    .iter()
+                    .map(|sh| sh.to_vec())
+                    .chain(parity.iter().cloned())
+                    .enumerate()
+                {
+                    let id = BlockId {
+                        object,
+                        stripe: s as u32,
+                        shard: i as u32,
+                    };
+                    self.put_block(placement[i], id, bytes)?;
+                }
+                Ok(())
+            },
+        )?;
         Ok(ObjectMeta {
             object,
             len: data.len(),
@@ -236,8 +236,9 @@ impl Cluster {
     /// decode*: only the missing **data** shards are planned as wanted, so
     /// the read fetches exactly the survivor blocks the plan names (for
     /// RS(k,r) with one dead node: k blocks) instead of the whole stripe,
-    /// and a missing parity shard costs nothing at all. Plans and scratch
-    /// buffers are reused across the object's stripes.
+    /// and a missing parity shard costs nothing at all. A [`DecodeSession`]
+    /// caches the plan per erasure pattern and pools the execution scratch
+    /// and output buffers across the object's stripes.
     pub fn read_object(
         &self,
         code: &dyn ErasureCode,
@@ -260,9 +261,7 @@ impl Cluster {
             shard: i as u32,
         };
         let mut out = Vec::with_capacity(meta.len);
-        let mut plan_cache: HashMap<Vec<usize>, RepairPlan> = HashMap::new();
-        let mut scratch = RepairScratch::new();
-        let mut rebuilt: Vec<Vec<u8>> = Vec::new();
+        let mut session = DecodeSession::new();
         let mut stripe: Vec<Option<Vec<u8>>> = vec![None; width];
         for s in 0..meta.stripes {
             let missing: Vec<usize> = (0..width)
@@ -285,15 +284,9 @@ impl Cluster {
                 }
                 continue;
             }
-            let plan = match plan_cache.entry(missing.clone()) {
-                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                std::collections::hash_map::Entry::Vacant(v) => {
-                    let plan = code.plan_repair(&missing, &wanted).map_err(|e| {
-                        ClusterError::Unavailable(format!("stripe {s}: {e}"))
-                    })?;
-                    v.insert(plan)
-                }
-            };
+            let plan = session
+                .plan(code, &missing, &wanted)
+                .map_err(|e| ClusterError::Unavailable(format!("stripe {s}: {e}")))?;
             if !plan.unsolved().is_empty() {
                 return Err(ClusterError::Unavailable(format!(
                     "stripe {s}: {} data elements unrecoverable",
@@ -323,8 +316,8 @@ impl Cluster {
                 }
             }
             let shard_refs: Vec<Option<&[u8]>> = stripe.iter().map(|o| o.as_deref()).collect();
-            rebuilt.resize(wanted.len(), Vec::new());
-            code.execute_plan(plan, &shard_refs, &mut scratch, &mut rebuilt)
+            let rebuilt = session
+                .decode(code, &shard_refs, &missing, &wanted)
                 .map_err(|e| ClusterError::Unavailable(format!("stripe {s}: {e}")))?;
             for (i, slot) in stripe.iter().take(k).enumerate() {
                 match wanted.binary_search(&i) {
@@ -456,10 +449,14 @@ impl Cluster {
         let placement: Vec<usize> = (0..width)
             .map(|i| (i + object as usize) % self.node_count())
             .collect();
+        // One warm parity arena across every stripe of the ingest.
+        let mut session = EncodeSession::new();
+        let mut refs: Vec<&[u8]> = Vec::with_capacity(k);
         for (s, stripe) in data_stripes.iter().enumerate() {
-            let refs: Vec<&[u8]> = stripe.iter().map(|sh| sh.as_slice()).collect();
-            let parity = code.encode(&refs)?;
-            for (i, bytes) in stripe.iter().cloned().chain(parity).enumerate() {
+            refs.clear();
+            refs.extend(stripe.iter().map(|sh| sh.as_slice()));
+            let parity = session.encode(code, &refs)?;
+            for (i, bytes) in stripe.iter().cloned().chain(parity.iter().cloned()).enumerate() {
                 let id = BlockId {
                     object,
                     stripe: s as u32,

@@ -5,6 +5,9 @@
 //! * [`plan`] — the repair-plan IR: planning and executing repairs as
 //!   explicit, inspectable schedules with pooled scratch buffers and
 //!   partial (degraded-read) decode.
+//! * [`session`] — reusable [`EncodeSession`]/[`DecodeSession`] contexts
+//!   that keep parity arenas, striping scratch and repair plans warm
+//!   across stripes, plus the zero-copy streaming object encoder.
 //! * [`stripe`] — splitting byte objects into aligned per-node shards and
 //!   back.
 //! * [`parallel`] — a crossbeam-based segmented pipeline that encodes or
@@ -24,12 +27,14 @@ pub mod iostats;
 pub mod parallel;
 pub mod plan;
 pub mod rng;
+pub mod session;
 pub mod stripe;
 pub mod sync_assert;
 mod traits;
 
 pub use error::EcError;
 pub use plan::{PlanRead, PlanStep, RepairPlan, RepairScratch};
+pub use session::{DecodeSession, EncodeSession};
 pub use traits::{BoxedCode, ErasureCode, UpdatePattern};
 
 /// Other crates' placeholder modules get filled in as the build proceeds.
@@ -37,5 +42,5 @@ pub use traits::{BoxedCode, ErasureCode, UpdatePattern};
 pub mod prelude {
     pub use crate::iostats::IoStats;
     pub use crate::stripe::{join_shards, split_into_shards};
-    pub use crate::{EcError, ErasureCode};
+    pub use crate::{DecodeSession, EcError, EncodeSession, ErasureCode};
 }

@@ -45,6 +45,7 @@
 //! The `const _` items below are the lint-mandated compile-time witnesses
 //! that everything captured by the worker closures is `Send + Sync`.
 
+use crate::session::{EncodeSession, MAX_STACK_NODES};
 use crate::sync_assert::assert_send_sync;
 use crate::{EcError, ErasureCode};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -53,13 +54,17 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 pub mod claim_model;
 
 // Everything the scoped workers share: the claim counter, the per-segment
-// result cells, the shard views, and the code itself (`ErasureCode` has
-// `Send + Sync` supertraits, witnessed via a concrete impl's reference).
+// output cells (encode: pre-split chunks of the final parity buffers;
+// reconstruct: per-segment result slots), the first-error slot, the shard
+// views, and the code itself (`ErasureCode` has `Send + Sync` supertraits,
+// witnessed via a concrete impl's reference).
 const _: () = assert_send_sync::<AtomicUsize>();
-const _: () = assert_send_sync::<Vec<parking_lot::Mutex<Option<Result<Vec<Vec<u8>>, EcError>>>>>();
+const _: () = assert_send_sync::<Vec<parking_lot::Mutex<Vec<&mut [u8]>>>>();
+const _: () = assert_send_sync::<parking_lot::Mutex<Option<EcError>>>();
 const _: () =
     assert_send_sync::<Vec<parking_lot::Mutex<Option<Result<Vec<(usize, Vec<u8>)>, EcError>>>>>();
 const _: () = assert_send_sync::<&[Option<Vec<u8>>]>();
+const _: () = assert_send_sync::<&[&[u8]]>();
 const _: () = assert_send_sync::<&dyn ErasureCode>();
 
 /// Byte-offset ranges `[a, b)` within an element row.
@@ -122,15 +127,39 @@ pub fn encode_segmented(
 
     let next = AtomicUsize::new(0);
     let n_workers = threads.min(ranges.len());
-    type SegCell = parking_lot::Mutex<Option<Result<Vec<Vec<u8>>, EcError>>>;
-    let results: Vec<SegCell> =
-        (0..ranges.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+
+    // Pre-split the final parity buffers into disjoint per-segment
+    // chunk sets (`r_parity × rows` chunks each), so workers write their
+    // results straight into place: no per-claim result `Vec`, and the
+    // collector loop disappears entirely.
+    let mut parity = vec![vec![0u8; shard_len]; code.parity_nodes()];
+    let mut chunk_sets: Vec<Vec<&mut [u8]>> = (0..ranges.len())
+        .map(|_| Vec::with_capacity(parity.len() * rows))
+        .collect();
+    for shard in parity.iter_mut() {
+        for row_slice in shard.chunks_mut(row_len.max(1)) {
+            let mut rest = row_slice;
+            for (i, &(a, b)) in ranges.iter().enumerate() {
+                let (chunk, tail) = rest.split_at_mut(b - a);
+                chunk_sets[i].push(chunk);
+                rest = tail;
+            }
+        }
+    }
+    let cells: Vec<parking_lot::Mutex<Vec<&mut [u8]>>> =
+        chunk_sets.into_iter().map(parking_lot::Mutex::new).collect();
+    let error: parking_lot::Mutex<Option<EcError>> = parking_lot::Mutex::new(None);
 
     crossbeam::thread::scope(|s| {
         for _ in 0..n_workers {
             s.spawn(|_| {
-                // One gather buffer per data shard, reused across every
-                // segment this worker claims.
+                // Per-worker warm state, reused across every segment this
+                // worker claims: the encode session's parity arena and one
+                // gather buffer per data shard. The borrowed-slice views
+                // are rebuilt each claim from a stack array (a loop-carried
+                // `Vec<&[u8]>` cannot be refilled across iterations while
+                // the gather buffers mutate), which costs no heap.
+                let mut session = EncodeSession::new();
                 let mut seg_data: Vec<Vec<u8>> = data.iter().map(|_| Vec::new()).collect();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -141,28 +170,43 @@ pub fn encode_segmented(
                     for (buf, d) in seg_data.iter_mut().zip(data) {
                         gather_into(d, rows, row_len, a, b, buf);
                     }
-                    let refs: Vec<&[u8]> = seg_data.iter().map(|d| d.as_slice()).collect();
-                    *results[i].lock() = Some(code.encode(&refs));
+                    let encoded = if seg_data.len() <= MAX_STACK_NODES {
+                        let mut refs: [&[u8]; MAX_STACK_NODES] = [&[]; MAX_STACK_NODES];
+                        for (r, d) in refs.iter_mut().zip(&seg_data) {
+                            *r = d.as_slice();
+                        }
+                        session.encode(code, &refs[..seg_data.len()])
+                    } else {
+                        // alloc-ok: > MAX_STACK_NODES data shards never happens for shipped codes
+                        let refs: Vec<&[u8]> = seg_data.iter().map(|d| d.as_slice()).collect();
+                        session.encode(code, &refs)
+                    };
+                    match encoded {
+                        Ok(seg_parity) => {
+                            let w = b - a;
+                            let mut targets = cells[i].lock();
+                            for (p, seg_shard) in seg_parity.iter().enumerate() {
+                                for r in 0..rows {
+                                    // panic-ok: chunk (p*rows + r) is w bytes by the pre-split above; seg shards are rows*w bytes
+                                    targets[p * rows + r]
+                                        .copy_from_slice(&seg_shard[r * w..(r + 1) * w]);
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            error.lock().get_or_insert(e);
+                            break;
+                        }
+                    }
                 }
             });
         }
     })
     .map_err(|_| EcError::Internal("worker thread panicked during segmented encode".into()))?;
 
-    let mut parity = vec![vec![0u8; shard_len]; code.parity_nodes()];
-    for (cell, &(a, b)) in results.iter().zip(&ranges) {
-        let seg = cell
-            .lock()
-            .take()
-            .ok_or_else(|| {
-                // Unreachable by the claim protocol (see module docs and
-                // `claim_model`); degrade to a typed error regardless.
-                EcError::Internal("segment never claimed by any encode worker".into())
-            })??;
-        debug_assert_eq!(seg.len(), parity.len());
-        for (p, s) in parity.iter_mut().zip(seg) {
-            scatter(&s, p, rows, row_len, a, b);
-        }
+    drop(cells);
+    if let Some(e) = error.lock().take() {
+        return Err(e);
     }
     Ok(parity)
 }

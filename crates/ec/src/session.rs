@@ -1,0 +1,472 @@
+//! Reusable encode/decode sessions: warm working memory across stripes.
+//!
+//! Every [`ErasureCode::encode`] call allocates fresh parity buffers and
+//! every repair allocates plan state, which dominates wall-clock time long
+//! before the GF kernels do (the kernels sustain tens of GiB/s; a 64 KiB
+//! allocation plus page faults does not). A session is created once per
+//! workload and owns all of that memory:
+//!
+//! * [`EncodeSession`] — a parity output arena, the tail-pad scratch and
+//!   zero backing used by the streaming striper, all reshaped lazily and
+//!   kept warm across stripes. [`EncodeSession::encode`] writes parity via
+//!   [`ErasureCode::encode_into`] with zero per-stripe allocation once
+//!   warm; [`EncodeSession::encode_object`] streams a multi-MiB object
+//!   stripe-at-a-time from *borrowed* input windows, replacing the
+//!   `split_into_shards` full-object copy.
+//! * [`DecodeSession`] — a cached [`RepairPlan`] per erasure pattern, the
+//!   pooled [`RepairScratch`] arena and reusable output buffers, so a warm
+//!   repair loop performs no per-call allocation either.
+//!
+//! [`EncodeSession::reset`] / [`DecodeSession::reset`] drop cached shapes
+//! and plans but keep the byte arenas, for reuse across differently-shaped
+//! workloads.
+//!
+//! # Zero-copy striping invariants
+//!
+//! The data views handed to the [`EncodeSession::encode_object`] sink are:
+//!
+//! 1. full `shard_len` windows borrowed directly from the object for every
+//!    shard that lies entirely inside it — no bytes are copied;
+//! 2. at most **one** view per object backed by the session's pad scratch
+//!    (the single shard straddling the object's end, copied and
+//!    zero-padded);
+//! 3. views of a shared zero buffer for shards entirely past the end.
+//!
+//! Views are valid only for the duration of the sink call; the parity
+//! slices alias the session arena and are overwritten by the next stripe.
+
+use crate::plan::{RepairPlan, RepairScratch};
+use crate::{EcError, ErasureCode};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Largest node count the sessions serve from stack-allocated borrow
+/// arrays; wider codes fall back to a heap `Vec` of references (none of
+/// the shipped codes come close).
+pub const MAX_STACK_NODES: usize = 64;
+
+/// Reshapes an arena to `rows` buffers of exactly `len` bytes, touching
+/// memory only when the shape actually changed (the warm-loop case skips
+/// both the resize and its zero-fill; `encode_into` overwrites contents).
+fn shape_rows(arena: &mut Vec<Vec<u8>>, rows: usize, len: usize) {
+    if arena.len() != rows {
+        arena.resize_with(rows, Vec::new);
+    }
+    for row in arena.iter_mut() {
+        if row.len() != len {
+            row.clear();
+            row.resize(len, 0);
+        }
+    }
+}
+
+/// A reusable encoding context owning the parity arena and striping
+/// scratch. See the [module docs](self) for the ownership model.
+#[derive(Default)]
+pub struct EncodeSession {
+    /// Parity output arena: `parity_nodes()` rows of the current shard
+    /// length, lazily reshaped, capacity kept across stripes.
+    parity: Vec<Vec<u8>>,
+    /// Tail-pad scratch for the one boundary shard per streamed object.
+    pad: Vec<u8>,
+    /// Shared zero backing for virtual shards past the object's end.
+    zeros: Vec<u8>,
+}
+
+impl EncodeSession {
+    /// Creates an empty session; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops the cached shapes but keeps nothing allocated beyond empty
+    /// vectors' capacity — call between workloads of very different shard
+    /// lengths to return memory, or rely on lazy reshaping otherwise.
+    pub fn reset(&mut self) {
+        for row in self.parity.iter_mut() {
+            row.clear();
+        }
+        self.pad.clear();
+        self.zeros.clear();
+    }
+
+    /// Encodes one stripe into the session's parity arena and returns the
+    /// parity shards, borrowed until the next call.
+    ///
+    /// Byte-identical to [`ErasureCode::encode`]; once the session is warm
+    /// for this `(parity_nodes, shard_len)` shape, the call performs no
+    /// heap allocation.
+    pub fn encode(
+        &mut self,
+        code: &dyn ErasureCode,
+        data: &[&[u8]],
+    ) -> Result<&[Vec<u8>], EcError> {
+        let len = code.check_data_shards(data)?;
+        shape_rows(&mut self.parity, code.parity_nodes(), len);
+        encode_into_rows(code, data, &mut self.parity)?;
+        Ok(&self.parity)
+    }
+
+    /// Streams `object` through the code one stripe at a time: each stripe
+    /// is `data_nodes()` shards of exactly `shard_len` bytes viewed
+    /// directly from `object` (see the striping invariants in the
+    /// [module docs](self)), encoded into the warm parity arena, and
+    /// handed to `sink(stripe_index, data_views, parity)`.
+    ///
+    /// Returns the number of stripes emitted: `ceil(len / (k·shard_len))`,
+    /// with an empty object still producing one all-zero stripe (matching
+    /// [`split_into_shards`](crate::stripe::split_into_shards)'s
+    /// empty-object behaviour).
+    pub fn encode_object<E>(
+        &mut self,
+        code: &dyn ErasureCode,
+        object: &[u8],
+        shard_len: usize,
+        mut sink: impl FnMut(usize, &[&[u8]], &[Vec<u8>]) -> Result<(), E>,
+    ) -> Result<usize, E>
+    where
+        E: From<EcError>,
+    {
+        let k = code.data_nodes();
+        let align = code.shard_alignment();
+        if shard_len == 0 || !shard_len.is_multiple_of(align) {
+            return Err(EcError::MisalignedShard {
+                alignment: align.max(1),
+                got: shard_len,
+            }
+            .into());
+        }
+        let stripe_bytes = shard_len.checked_mul(k).ok_or_else(|| {
+            EcError::Internal(format!("stripe size {shard_len}×{k} overflows usize"))
+        })?;
+        let stripes = object.len().div_ceil(stripe_bytes).max(1);
+
+        // Field-level borrows: `pad` is rewritten each stripe while the
+        // views borrow `zeros` and `object`, and `parity` is written while
+        // the views are alive — disjoint fields keep the borrows legal.
+        let Self { parity, pad, zeros } = self;
+        if zeros.len() < shard_len {
+            zeros.resize(shard_len, 0);
+        }
+        if pad.len() != shard_len {
+            pad.clear();
+            pad.resize(shard_len, 0);
+        }
+        shape_rows(parity, code.parity_nodes(), shard_len);
+
+        for s in 0..stripes {
+            let base = s * stripe_bytes;
+            // First pass: materialize the (at most one) boundary shard
+            // into the pad scratch, so the view pass below only takes
+            // shared borrows.
+            let mut pad_shard = None;
+            for i in 0..k {
+                let a = (base + i * shard_len).min(object.len());
+                let b = (base + (i + 1) * shard_len).min(object.len());
+                if a < b && b - a < shard_len {
+                    pad[..b - a].copy_from_slice(&object[a..b]);
+                    pad[b - a..].fill(0);
+                    pad_shard = Some(i);
+                    break;
+                }
+            }
+            let view_of = |i: usize| -> &[u8] {
+                if pad_shard == Some(i) {
+                    return pad;
+                }
+                let a = (base + i * shard_len).min(object.len());
+                let b = (base + (i + 1) * shard_len).min(object.len());
+                if b - a == shard_len {
+                    &object[a..b]
+                } else {
+                    &zeros[..shard_len]
+                }
+            };
+            // Per-iteration stack array: refilling a loop-carried Vec of
+            // borrows is rejected by the borrow checker once `pad` is
+            // rewritten each stripe, and a fresh array costs no heap.
+            if k <= MAX_STACK_NODES {
+                let mut views: [&[u8]; MAX_STACK_NODES] = [&[]; MAX_STACK_NODES];
+                for (i, v) in views.iter_mut().enumerate().take(k) {
+                    *v = view_of(i);
+                }
+                encode_into_rows(code, &views[..k], parity)?;
+                sink(s, &views[..k], parity)?;
+            } else {
+                // alloc-ok: > MAX_STACK_NODES data shards never happens for shipped codes
+                let views: Vec<&[u8]> = (0..k).map(view_of).collect();
+                encode_into_rows(code, &views, parity)?;
+                sink(s, &views, parity)?;
+            }
+        }
+        Ok(stripes)
+    }
+}
+
+/// Drives [`ErasureCode::encode_into`] against an arena of owned rows,
+/// borrowing the mutable views through a stack array so the warm path
+/// performs no allocation.
+fn encode_into_rows(
+    code: &dyn ErasureCode,
+    data: &[&[u8]],
+    arena: &mut [Vec<u8>],
+) -> Result<(), EcError> {
+    let r = arena.len();
+    if r <= MAX_STACK_NODES {
+        let mut views: [&mut [u8]; MAX_STACK_NODES] = std::array::from_fn(|_| &mut [][..]);
+        for (v, row) in views.iter_mut().zip(arena.iter_mut()) {
+            *v = row.as_mut_slice();
+        }
+        code.encode_into(data, &mut views[..r])
+    } else {
+        // alloc-ok: > MAX_STACK_NODES parity rows never happens for shipped codes
+        let mut views: Vec<&mut [u8]> = arena.iter_mut().map(|v| v.as_mut_slice()).collect();
+        code.encode_into(data, &mut views)
+    }
+}
+
+/// A reusable decoding context: cached repair plans per erasure pattern,
+/// the pooled execution arena, and reusable output buffers.
+#[derive(Default)]
+pub struct DecodeSession {
+    plans: HashMap<(Vec<usize>, Vec<usize>), Arc<RepairPlan>>,
+    scratch: RepairScratch,
+    out: Vec<Vec<u8>>,
+}
+
+impl DecodeSession {
+    /// Creates an empty session; plans and buffers build up on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops the cached plans and output shapes (the scratch arena shrinks
+    /// naturally on the next `begin`). Call when switching codes: plans
+    /// are keyed by erasure pattern only, so one session must not be
+    /// shared across codes without a reset in between.
+    pub fn reset(&mut self) {
+        self.plans.clear();
+        for row in self.out.iter_mut() {
+            row.clear();
+        }
+    }
+
+    /// The cached plan for repairing `erased` to materialize `wanted`,
+    /// compiling and caching it on first sight of the pattern.
+    pub fn plan(
+        &mut self,
+        code: &dyn ErasureCode,
+        erased: &[usize],
+        wanted: &[usize],
+    ) -> Result<Arc<RepairPlan>, EcError> {
+        let key = (erased.to_vec(), wanted.to_vec());
+        if let Some(plan) = self.plans.get(&key) {
+            return Ok(Arc::clone(plan));
+        }
+        let plan = Arc::new(code.plan_repair(erased, wanted)?);
+        self.plans.insert(key, Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// Repairs `erased` and returns the `wanted` shards, borrowed from the
+    /// session until the next call.
+    ///
+    /// `shards` holds the stripe's available shards (`None` at least for
+    /// every erased position). Plans are cached per `(erased, wanted)`
+    /// pattern and the execution arena is reused, so a warm loop over
+    /// stripes with a repeating failure pattern performs no allocation
+    /// beyond the small cache-key vectors.
+    pub fn decode(
+        &mut self,
+        code: &dyn ErasureCode,
+        shards: &[Option<&[u8]>],
+        erased: &[usize],
+        wanted: &[usize],
+    ) -> Result<&[Vec<u8>], EcError> {
+        let plan = self.plan(code, erased, wanted)?;
+        if self.out.len() != plan.wanted().len() {
+            self.out.resize_with(plan.wanted().len(), Vec::new);
+        }
+        code.execute_plan(&plan, shards, &mut self.scratch, &mut self.out)?;
+        Ok(&self.out)
+    }
+
+    /// I/O recorded by the most recent [`DecodeSession::decode`] call.
+    pub fn last_io(&self) -> Option<&crate::iostats::IoStats> {
+        self.scratch.io()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stripe::split_into_shards;
+
+    /// Single-parity XOR code (same shape as the `traits` test code) —
+    /// enough to exercise session plumbing without a codec dependency.
+    struct ParityCode {
+        k: usize,
+    }
+
+    impl ErasureCode for ParityCode {
+        fn name(&self) -> String {
+            format!("PARITY({},1)", self.k)
+        }
+        fn data_nodes(&self) -> usize {
+            self.k
+        }
+        fn parity_nodes(&self) -> usize {
+            1
+        }
+        fn fault_tolerance(&self) -> usize {
+            1
+        }
+        fn encode(&self, data: &[&[u8]]) -> Result<Vec<Vec<u8>>, EcError> {
+            let len = self.check_data_shards(data)?;
+            let mut p = vec![0u8; len];
+            for s in data {
+                apec_gf::xor_slice(s, &mut p).expect("data shards share one length");
+            }
+            Ok(vec![p])
+        }
+        fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), EcError> {
+            let (len, missing) = self.check_stripe(shards)?;
+            if missing.len() > 1 {
+                return Err(EcError::TooManyErasures {
+                    missing,
+                    tolerance: 1,
+                });
+            }
+            let Some(&m) = missing.first() else {
+                return Ok(());
+            };
+            let mut acc = vec![0u8; len];
+            for s in shards.iter().flatten() {
+                apec_gf::xor_slice(s, &mut acc).expect("stripe shards share one length");
+            }
+            shards[m] = Some(acc);
+            Ok(())
+        }
+    }
+
+    fn bytes(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 131 % 251) as u8).collect()
+    }
+
+    #[test]
+    fn session_encode_matches_encode_across_shapes() {
+        let code = ParityCode { k: 3 };
+        let mut sess = EncodeSession::new();
+        for len in [16usize, 4096, 7, 16] {
+            let data: Vec<Vec<u8>> = (0..3).map(|i| bytes(len + i).split_off(i)).collect();
+            let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+            let expect = code.encode(&refs).unwrap();
+            let got = sess.encode(&code, &refs).unwrap();
+            assert_eq!(got, expect.as_slice(), "len={len}");
+        }
+        // reset keeps the session usable.
+        sess.reset();
+        let data: Vec<Vec<u8>> = (0..3).map(|_| bytes(33)).collect();
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        assert_eq!(
+            sess.encode(&code, &refs).unwrap(),
+            code.encode(&refs).unwrap().as_slice()
+        );
+    }
+
+    #[test]
+    fn encode_object_matches_manual_striping() {
+        let code = ParityCode { k: 3 };
+        let shard_len = 8;
+        let stripe_bytes = shard_len * 3;
+        // Lengths hitting: exact fit, partial boundary shard, whole-shard
+        // gap (zero virtual shards), and a sub-stripe object.
+        for obj_len in [stripe_bytes * 2, stripe_bytes * 2 - 5, stripe_bytes + 3, 4] {
+            let object = bytes(obj_len);
+            let mut sess = EncodeSession::new();
+            let mut seen = Vec::new();
+            let stripes = sess
+                .encode_object(
+                    &code,
+                    &object,
+                    shard_len,
+                    |s, data, parity| -> Result<(), EcError> {
+                        let owned: Vec<Vec<u8>> = data.iter().map(|d| d.to_vec()).collect();
+                        seen.push((s, owned, parity.to_vec()));
+                        Ok(())
+                    },
+                )
+                .unwrap();
+            assert_eq!(stripes, obj_len.div_ceil(stripe_bytes).max(1));
+            assert_eq!(seen.len(), stripes);
+            for (s, data, parity) in &seen {
+                // Reference: fixed-width slices, zero-padded.
+                for (i, shard) in data.iter().enumerate() {
+                    assert_eq!(shard.len(), shard_len);
+                    let a = (s * stripe_bytes + i * shard_len).min(obj_len);
+                    let b = (s * stripe_bytes + (i + 1) * shard_len).min(obj_len);
+                    assert_eq!(&shard[..b - a], &object[a..b], "stripe {s} shard {i}");
+                    assert!(shard[b - a..].iter().all(|&x| x == 0));
+                }
+                let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+                assert_eq!(parity, &code.encode(&refs).unwrap(), "stripe {s} parity");
+            }
+        }
+    }
+
+    #[test]
+    fn encode_object_empty_matches_split_into_shards_convention() {
+        let code = ParityCode { k: 2 };
+        let mut sess = EncodeSession::new();
+        let mut calls = 0;
+        let stripes = sess
+            .encode_object(&code, &[], 4, |_, data, _| -> Result<(), EcError> {
+                calls += 1;
+                assert!(data.iter().all(|d| d.len() == 4 && d.iter().all(|&x| x == 0)));
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!((stripes, calls), (1, 1));
+        // Same shape split_into_shards produces for an empty object.
+        let legacy = split_into_shards(&[], 2, 4);
+        assert!(legacy.iter().all(|s| s.len() == 4));
+    }
+
+    #[test]
+    fn encode_object_rejects_bad_shard_len_and_propagates_sink_errors() {
+        let code = ParityCode { k: 2 };
+        let mut sess = EncodeSession::new();
+        let err = sess
+            .encode_object(&code, &[1, 2, 3], 0, |_, _, _| -> Result<(), EcError> { Ok(()) })
+            .unwrap_err();
+        assert!(matches!(err, EcError::MisalignedShard { .. }));
+
+        let err = sess
+            .encode_object(&code, &[1, 2, 3], 4, |_, _, _| {
+                Err(EcError::Internal("sink says no".into()))
+            })
+            .unwrap_err();
+        assert!(matches!(err, EcError::Internal(_)));
+    }
+
+    #[test]
+    fn decode_session_reuses_plans_and_buffers() {
+        let code = ParityCode { k: 3 };
+        let data: Vec<Vec<u8>> = (0..3).map(|_| bytes(64)).collect();
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = code.encode(&refs).unwrap();
+
+        let mut sess = DecodeSession::new();
+        for round in 0..3 {
+            let mut shards: Vec<Option<&[u8]>> = refs.iter().map(|r| Some(*r)).collect();
+            shards.push(Some(parity[0].as_slice()));
+            shards[1] = None;
+            let out = sess.decode(&code, &shards, &[1], &[1]).unwrap();
+            assert_eq!(out.len(), 1);
+            assert_eq!(out[0], data[1], "round {round}");
+        }
+        assert_eq!(sess.plans.len(), 1, "plan cached once across rounds");
+        sess.reset();
+        assert!(sess.plans.is_empty());
+    }
+}

@@ -15,7 +15,7 @@
 pub fn split_into_shards(data: &[u8], k: usize, alignment: usize) -> Vec<Vec<u8>> {
     assert!(k > 0, "cannot split into zero shards");
     assert!(alignment > 0, "alignment must be positive");
-    let per_shard = data.len().div_ceil(k).div_ceil(alignment).max(1) * alignment;
+    let per_shard = min_shard_len(data.len(), k, alignment);
     let mut shards = Vec::with_capacity(k);
     for i in 0..k {
         let start = (i * per_shard).min(data.len());
@@ -26,6 +26,21 @@ pub fn split_into_shards(data: &[u8], k: usize, alignment: usize) -> Vec<Vec<u8>
         shards.push(shard);
     }
     shards
+}
+
+/// The smallest `alignment`-multiple shard length whose `k` shards hold
+/// `len` bytes: `ceil(len / (k·alignment)) · alignment`, with one aligned
+/// unit for the empty object so a stripe always exists.
+///
+/// Stated as a single ceiling over the full stripe unit `k·alignment`
+/// rather than the historical nested `ceil(ceil(len/k)/alignment)` form —
+/// the two are equal for every positive `len` (nested ceilings collapse:
+/// `⌈⌈x/a⌉/b⌉ = ⌈x/(ab)⌉`), but the direct form makes the minimality
+/// obvious and is what the regression tests below pin.
+pub fn min_shard_len(len: usize, k: usize, alignment: usize) -> usize {
+    assert!(k > 0, "cannot split into zero shards");
+    assert!(alignment > 0, "alignment must be positive");
+    len.div_ceil(k * alignment).max(1) * alignment
 }
 
 /// Reassembles the original object from data shards produced by
@@ -81,6 +96,30 @@ mod tests {
     }
 
     #[test]
+    fn tail_padding_is_minimal_at_stripe_boundaries() {
+        // Objects just under, at, and just over k × alignment must get the
+        // smallest aligned shard that fits — no over-padding at the
+        // boundary (regression pin for the shard-length formula).
+        let (k, a) = (4, 8);
+        for (len, want) in [
+            (k * a - 1, a),     // one byte short of a full stripe: still 1 unit
+            (k * a, a),         // exact fit
+            (k * a + 1, 2 * a), // one byte over: grows by exactly one unit
+            (2 * k * a - 1, 2 * a),
+            (1, a),
+        ] {
+            let shards = split_into_shards(&vec![7u8; len], k, a);
+            assert!(
+                shards.iter().all(|s| s.len() == want),
+                "len={len}: got {} want {want}",
+                shards[0].len()
+            );
+            assert_eq!(min_shard_len(len, k, a), want);
+        }
+        assert_eq!(min_shard_len(0, k, a), a, "empty object keeps one unit");
+    }
+
+    #[test]
     fn single_shard() {
         let data = vec![7u8; 5];
         let shards = split_into_shards(&data, 1, 1);
@@ -122,6 +161,13 @@ mod tests {
                 prop_assert_eq!(s.len() % alignment, 0);
             }
             prop_assert!(len0 * k >= data.len());
+            // Minimality: one aligned unit less would not hold the object
+            // (except the floor of one unit kept for empty objects).
+            prop_assert!(
+                len0 == alignment || (len0 - alignment) * k < data.len(),
+                "per-shard {} over-pads {} bytes into {} × {}-aligned shards",
+                len0, data.len(), k, alignment
+            );
             prop_assert_eq!(join_shards(&shards, data.len()), data);
         }
         }

@@ -58,6 +58,30 @@ pub trait ErasureCode: Send + Sync {
     /// length is a multiple of `shard_alignment()`.
     fn encode(&self, data: &[&[u8]]) -> Result<Vec<Vec<u8>>, EcError>;
 
+    /// Computes parity straight into caller-owned slices — the zero-copy
+    /// counterpart of [`ErasureCode::encode`], used by
+    /// [`EncodeSession`](crate::EncodeSession) so a warm encode loop
+    /// performs no per-stripe allocation.
+    ///
+    /// `parity` must contain exactly `parity_nodes()` slices, each the
+    /// same length as the data shards. Output bytes are identical to
+    /// `encode`; the slices' prior contents are ignored (implementations
+    /// overwrite or zero-fill before accumulating).
+    ///
+    /// The default delegates to `encode` and copies — correct for any
+    /// implementation, but allocating. RS/CRS, LRC, the XOR array codes
+    /// and the Approximate framework codes override it natively.
+    fn encode_into(&self, data: &[&[u8]], parity: &mut [&mut [u8]]) -> Result<(), EcError> {
+        let len = self.check_data_shards(data)?;
+        self.check_parity_bufs(parity, len)?;
+        // alloc-ok: compatibility fallback; native impls write in place
+        let owned = self.encode(data)?;
+        for (dst, src) in parity.iter_mut().zip(&owned) {
+            dst.copy_from_slice(src);
+        }
+        Ok(())
+    }
+
     /// Rebuilds the missing shards in place.
     ///
     /// `shards` has `total_nodes()` entries; `None` marks an erased shard.
@@ -157,6 +181,28 @@ pub trait ErasureCode: Send + Sync {
             });
         }
         Ok(len)
+    }
+
+    /// Validates a set of caller-owned parity output slices against the
+    /// code geometry and an already-validated data shard length. Helper
+    /// for [`ErasureCode::encode_into`] implementations.
+    fn check_parity_bufs(&self, parity: &[&mut [u8]], shard_len: usize) -> Result<(), EcError> {
+        if parity.len() != self.parity_nodes() {
+            return Err(EcError::WrongShardCount {
+                expected: self.parity_nodes(),
+                got: parity.len(),
+            });
+        }
+        for (i, p) in parity.iter().enumerate() {
+            if p.len() != shard_len {
+                return Err(EcError::ShardSizeMismatch {
+                    first: shard_len,
+                    index: i,
+                    got: p.len(),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Validates a reconstruction input: shape, equal sizes, alignment.
@@ -302,6 +348,32 @@ mod tests {
         assert!(matches!(
             c.reconstruct(&mut stripe2),
             Err(EcError::TooManyErasures { .. })
+        ));
+    }
+
+    #[test]
+    fn default_encode_into_matches_encode() {
+        let c = ParityCode { k: 3 };
+        let data: Vec<Vec<u8>> = vec![vec![1, 2], vec![3, 4], vec![5, 6]];
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let expect = c.encode(&refs).unwrap();
+
+        let mut arena = vec![vec![0xFFu8; 2]];
+        let mut views: Vec<&mut [u8]> = arena.iter_mut().map(|v| v.as_mut_slice()).collect();
+        c.encode_into(&refs, &mut views).unwrap();
+        assert_eq!(arena, expect);
+
+        // Wrong parity shapes are rejected before any work happens.
+        let mut short = vec![vec![0u8; 1]];
+        let mut views: Vec<&mut [u8]> = short.iter_mut().map(|v| v.as_mut_slice()).collect();
+        assert!(matches!(
+            c.encode_into(&refs, &mut views),
+            Err(EcError::ShardSizeMismatch { .. })
+        ));
+        let mut none: Vec<&mut [u8]> = Vec::new();
+        assert!(matches!(
+            c.encode_into(&refs, &mut none),
+            Err(EcError::WrongShardCount { .. })
         ));
     }
 

@@ -186,6 +186,16 @@ impl GfMatrix {
     /// XOR accumulation is bytewise-commutative, so the result is
     /// byte-identical to the unblocked order.
     pub fn apply(&self, blocks: &[&[u8]], out: &mut [Vec<u8>]) -> Result<(), MatrixError> {
+        let mut views: Vec<&mut [u8]> = out.iter_mut().map(|v| v.as_mut_slice()).collect();
+        self.apply_into(blocks, &mut views)
+    }
+
+    /// [`GfMatrix::apply`] writing straight into caller-owned mutable
+    /// slices instead of `Vec`s — the zero-copy entry point used by
+    /// `encode_into` implementations and encode sessions. The slices are
+    /// zero-filled and then accumulated with the same cache-blocked fused
+    /// walk, so output is byte-identical to [`GfMatrix::apply`].
+    pub fn apply_into(&self, blocks: &[&[u8]], out: &mut [&mut [u8]]) -> Result<(), MatrixError> {
         if blocks.len() != self.cols || out.len() != self.rows {
             return Err(MatrixError::DimensionMismatch {
                 left: (self.rows, self.cols),
@@ -613,6 +623,31 @@ mod tests {
             }
         }
         assert_eq!(blocked, reference);
+    }
+
+    #[test]
+    fn apply_into_matches_apply() {
+        let len = APPLY_BLOCK_BYTES + 11;
+        let mut rng = StdRng::seed_from_u64(123);
+        let g = systematic_vandermonde(5, 3).unwrap();
+        let par = g.select_rows(&[5, 6, 7]);
+        let blocks: Vec<Vec<u8>> = (0..5)
+            .map(|_| {
+                let mut v = vec![0u8; len];
+                rng.fill(v.as_mut_slice());
+                v
+            })
+            .collect();
+        let refs: Vec<&[u8]> = blocks.iter().map(|b| b.as_slice()).collect();
+        let mut via_vecs = vec![vec![0u8; len]; 3];
+        par.apply(&refs, &mut via_vecs).unwrap();
+
+        // Dirty the target slices: apply_into must zero-fill before
+        // accumulating, not trust the caller.
+        let mut arena = vec![vec![0xA5u8; len]; 3];
+        let mut views: Vec<&mut [u8]> = arena.iter_mut().map(|v| v.as_mut_slice()).collect();
+        par.apply_into(&refs, &mut views).unwrap();
+        assert_eq!(arena, via_vecs);
     }
 
     #[test]

@@ -220,6 +220,21 @@ impl ErasureCode for Lrc {
         Ok(out)
     }
 
+    fn encode_into(&self, data: &[&[u8]], parity: &mut [&mut [u8]]) -> Result<(), EcError> {
+        let len = self.check_data_shards(data)?;
+        self.check_parity_bufs(parity, len)?;
+        let (locals, globals) = parity.split_at_mut(self.l);
+        for (group, p) in self.groups.iter().zip(locals.iter_mut()) {
+            p.fill(0);
+            for &d in group {
+                apec_gf::xor_slice(data[d], p).map_err(|e| EcError::Internal(e.to_string()))?;
+            }
+        }
+        self.global_rows
+            .apply_into(data, globals)
+            .map_err(|e| EcError::Internal(e.to_string()))
+    }
+
     fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), EcError> {
         let (len, missing) = self.check_stripe(shards)?;
         if missing.is_empty() {

@@ -169,6 +169,14 @@ impl ErasureCode for ReedSolomon {
         Ok(out)
     }
 
+    fn encode_into(&self, data: &[&[u8]], parity: &mut [&mut [u8]]) -> Result<(), EcError> {
+        let len = self.check_data_shards(data)?;
+        self.check_parity_bufs(parity, len)?;
+        self.parity_rows
+            .apply_into(data, parity)
+            .map_err(|e| EcError::Internal(e.to_string()))
+    }
+
     fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), EcError> {
         let (len, missing) = self.check_stripe(shards)?;
         if missing.is_empty() {

@@ -23,6 +23,12 @@ pub struct ArrayCode {
     data_cols: usize,
     tolerance: usize,
     plan_cache: Mutex<HashMap<Vec<usize>, Arc<RecoveryPlan>>>,
+    /// Flat encode program: each parity element with its support expanded
+    /// to *real* data elements only (earlier-parity references substituted
+    /// by symmetric difference, virtual shortened elements dropped), so
+    /// `encode_into` XORs data sub-slices straight into parity slices with
+    /// no element materialization.
+    encode_program: Vec<(usize, Vec<usize>)>,
 }
 
 impl ArrayCode {
@@ -55,12 +61,25 @@ impl ArrayCode {
                 }
             }
         }
+        let rpc = spec.rows_per_col;
+        let encode_program = spec
+            .expanded_parity_support()
+            .into_iter()
+            .map(|(p, support)| {
+                // Virtual (shortened) elements sit in non-data columns and
+                // are identically zero — XORing them is a no-op, drop them.
+                let real: Vec<usize> =
+                    support.into_iter().filter(|&e| e / rpc < data_cols).collect();
+                (p, real)
+            })
+            .collect();
         Ok(ArrayCode {
             name: name.into(),
             spec,
             data_cols,
             tolerance,
             plan_cache: Mutex::new(HashMap::new()),
+            encode_program,
         })
     }
 
@@ -211,6 +230,28 @@ impl ErasureCode for ArrayCode {
         Ok(out)
     }
 
+    fn encode_into(&self, data: &[&[u8]], parity: &mut [&mut [u8]]) -> Result<(), EcError> {
+        let len = self.check_data_shards(data)?;
+        self.check_parity_bufs(parity, len)?;
+        let rpc = self.spec.rows_per_col;
+        let elen = len / rpc;
+        for p in parity.iter_mut() {
+            p.fill(0);
+        }
+        for (pelem, support) in &self.encode_program {
+            let (pcol, prow) = (pelem / rpc, pelem % rpc);
+            // panic-ok: parity elements live in columns data_cols..n_cols (pure-data check in new)
+            let dst = &mut parity[pcol - self.data_cols][prow * elen..(prow + 1) * elen];
+            for &e in support {
+                let (c, r) = (e / rpc, e % rpc);
+                // panic-ok: the program only references real data columns
+                let src = &data[c][r * elen..(r + 1) * elen];
+                apec_gf::xor_slice(src, dst).map_err(|e| EcError::Internal(e.to_string()))?;
+            }
+        }
+        Ok(())
+    }
+
     fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), EcError> {
         let (len, missing) = self.check_stripe(shards)?;
         if missing.is_empty() {
@@ -225,41 +266,18 @@ impl ErasureCode for ArrayCode {
     }
 
     fn update_pattern(&self) -> UpdatePattern {
-        // Expand parity supports to data-only supports (symmetric
-        // difference handles parities referencing earlier parities, as in
-        // RDP), then count, for each data element, how many parity
-        // elements depend on it.
-        let total = self.spec.total_elements();
-        let mut expanded: HashMap<usize, Vec<bool>> = HashMap::new();
-        let mut writes_per_data = vec![0usize; total];
-        for (i, &p) in self.spec.parity_elements.iter().enumerate() {
-            let mut mask = vec![false; total];
-            for &e in &self.spec.parity_support[i] {
-                if let Some(prev) = expanded.get(&e) {
-                    for (m, b) in mask.iter_mut().zip(prev) {
-                        *m ^= *b; // raw-xor-ok: bool support masks, not shard bytes
-                    }
-                } else {
-                    mask[e] = !mask[e];
-                }
-            }
-            for (e, &m) in mask.iter().enumerate() {
-                if m {
-                    writes_per_data[e] += 1;
-                }
-            }
-            expanded.insert(p, mask);
-        }
-        let data_elems: Vec<usize> = self
+        // The cached encode program *is* the data-only dependency map
+        // (virtual shortened elements already dropped): count, for each
+        // real data element, how many parity elements depend on it.
+        let real_data = self
             .spec
             .data_elements
             .iter()
-            .copied()
             // Virtual (shortened) columns carry no real data.
-            .filter(|&e| self.spec.column_of(e) < self.data_cols)
-            .collect();
-        let total_writes: usize = data_elems.iter().map(|&e| writes_per_data[e]).sum();
-        let parity_writes = total_writes as f64 / data_elems.len().max(1) as f64;
+            .filter(|&&e| self.spec.column_of(e) < self.data_cols)
+            .count();
+        let total_writes: usize = self.encode_program.iter().map(|(_, s)| s.len()).sum();
+        let parity_writes = total_writes as f64 / real_data.max(1) as f64;
         UpdatePattern {
             node_writes: 1.0 + parity_writes,
             parity_writes,

@@ -64,7 +64,7 @@ pub use approx_code as approx;
 pub mod prelude {
     pub use crate::approx::{ApproxCode, BaseFamily, Structure, TieredReport};
     pub use crate::cluster::{Cluster, ClusterConfig, RepairPlanner};
-    pub use crate::ec::{ErasureCode, RepairPlan, RepairScratch};
+    pub use crate::ec::{DecodeSession, EncodeSession, ErasureCode, RepairPlan, RepairScratch};
     pub use crate::lrc::Lrc;
     pub use crate::recovery::{recover_lost_frames, Interpolator};
     pub use crate::rs::ReedSolomon;

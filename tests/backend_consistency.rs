@@ -11,9 +11,11 @@
 //! `set_backend` mutates process-global state and the libtest harness
 //! runs tests concurrently.
 
+use approximate_code::audit::shipped_codes;
 use approximate_code::ec::parallel::encode_segmented;
 use approximate_code::gf::{set_backend, GfBackend};
 use approximate_code::prelude::*;
+use proptest::prelude::*;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -90,5 +92,77 @@ fn codecs_are_byte_identical_across_backends() {
             );
         }
         set_backend(approximate_code::gf::best_backend());
+    }
+
+    // `encode_into` and session-reuse equivalence for every shipped code
+    // construction, under every supported backend. One session carries
+    // across differently-shaped consecutive stripes (and a `reset()`)
+    // to prove the lazily reshaped arena never leaks stale bytes.
+    for (ci, target) in shipped_codes().iter().enumerate() {
+        let code = target.as_code();
+        let mut sess = EncodeSession::new();
+        for &b in &backends {
+            set_backend(b);
+            for (round, per_align) in [4usize, 9, 4].into_iter().enumerate() {
+                let data = random_data(code, per_align, 0xE0 + ci as u64 * 31 + round as u64);
+                let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+                let expect = code.encode(&refs).unwrap();
+
+                // Caller-owned dirty buffers: encode_into must overwrite
+                // every byte, not accumulate into them.
+                let len = refs[0].len();
+                let mut bufs = vec![vec![0xA5u8; len]; code.parity_nodes()];
+                let mut views: Vec<&mut [u8]> =
+                    bufs.iter_mut().map(|v| v.as_mut_slice()).collect();
+                code.encode_into(&refs, &mut views).unwrap();
+                assert_eq!(
+                    bufs,
+                    expect,
+                    "{}: encode_into under {b} differs from encode",
+                    code.name()
+                );
+
+                assert_eq!(
+                    sess.encode(code, &refs).unwrap(),
+                    expect.as_slice(),
+                    "{}: session encode under {b} differs (round {round})",
+                    code.name()
+                );
+            }
+            sess.reset();
+        }
+    }
+    set_backend(approximate_code::gf::best_backend());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Session reuse across a random sequence of stripe shapes is
+    /// byte-identical to fresh `encode()` calls for every shipped code.
+    /// (Backend selection is process-global, so this test leaves it
+    /// alone and runs under whatever backend is active.)
+    #[test]
+    fn session_reuse_matches_encode_across_shapes(
+        seed in any::<u64>(),
+        per_aligns in proptest::collection::vec(1usize..24, 1..4),
+    ) {
+        for target in shipped_codes() {
+            let code = target.as_code();
+            let mut sess = EncodeSession::new();
+            for (i, &per_align) in per_aligns.iter().enumerate() {
+                let data = random_data(code, per_align, seed ^ (i as u64) << 8);
+                let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+                let expect = code.encode(&refs).unwrap();
+                prop_assert_eq!(
+                    sess.encode(code, &refs).unwrap(),
+                    expect.as_slice(),
+                    "{}: shape {} (x{} alignment)",
+                    code.name(),
+                    i,
+                    per_align
+                );
+            }
+        }
     }
 }

@@ -184,6 +184,8 @@ for b in "$REPO"/crates/bench/benches/*.rs; do
 done
 "$TESTDIR/bench-repair_benches" >/dev/null 2>&1 || "$TESTDIR/bench-repair_benches"
 echo "  bench repair_benches smoke ok ($OUT/BENCH_repair.json)"
+"$TESTDIR/bench-encode_benches" >/dev/null 2>&1 || "$TESTDIR/bench-encode_benches"
+echo "  bench encode_benches smoke ok ($OUT/BENCH_encode.json)"
 CARGO_MANIFEST_DIR="$OUT/bench-manifest/sub" \
   "$TESTDIR/bench-tier_benches" >/dev/null 2>&1 || "$TESTDIR/bench-tier_benches"
 echo "  bench tier_benches smoke ok ($OUT/BENCH_tier.json)"

@@ -17,6 +17,11 @@
 //!   `ec::parallel`'s segment counter, `static mut` banned outright, and
 //!   files that spawn onto a crossbeam scope must carry compile-time
 //!   `assert_send_sync::<T>()` witnesses.
+//! * **hot-path allocation** — fresh buffer allocation (`vec!`,
+//!   `.to_vec()`, `with_capacity`, `.collect()`) is banned inside the
+//!   bodies of fns named `encode_into` / `apply_into`
+//!   ([`HOT_ALLOC_FNS`]): those are the session layer's zero-allocation
+//!   contract. Escape with `// alloc-ok: <reason>`.
 
 use super::lexer::{CommentLine, Lexed, TokKind};
 use super::report::Finding;
@@ -104,8 +109,70 @@ pub const CONCURRENCY_SCOPE: &[&str] = &[
     "crates/recovery/",
 ];
 
+/// Fns whose bodies are the sessions' zero-allocation encode contract:
+/// they receive caller-owned output buffers, so allocating fresh parity
+/// storage inside them silently reintroduces the per-call cost the
+/// session arena exists to remove. Matched by name anywhere in the tree
+/// (trait impls and inherent methods alike).
+pub const HOT_ALLOC_FNS: &[&str] = &["encode_into", "apply_into"];
+
 fn in_scope(rel: &str, prefixes: &[&str]) -> bool {
     prefixes.iter().any(|p| rel.starts_with(p))
+}
+
+/// Marks every token inside the body of a fn named in [`HOT_ALLOC_FNS`].
+/// The body `{` is found by walking the signature and skipping bracketed
+/// groups (argument list, slice types in the return position); a `;`
+/// first means a trait method declaration with no body.
+fn hot_alloc_mask(toks: &[super::lexer::Tok], scopes: &Scopes) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        let named_fn = toks[i].kind == TokKind::Ident
+            && toks[i].text == "fn"
+            && toks.get(i + 1).is_some_and(|t| {
+                t.kind == TokKind::Ident && HOT_ALLOC_FNS.contains(&t.text.as_str())
+            });
+        if !named_fn {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 2;
+        let mut body = None;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.kind == TokKind::Punct {
+                if t.text == "{" {
+                    body = Some(j);
+                    break;
+                }
+                if t.text == ";" {
+                    break;
+                }
+                if t.text == "(" || t.text == "[" {
+                    match scopes.matching(j) {
+                        Some(c) => {
+                            j = c + 1;
+                            continue;
+                        }
+                        None => break,
+                    }
+                }
+            }
+            j += 1;
+        }
+        if let Some(open) = body {
+            if let Some(close) = scopes.matching(open) {
+                for flag in mask.iter_mut().take(close).skip(open + 1) {
+                    *flag = true;
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    mask
 }
 
 /// Marker comment (`panic-ok:` …) on the token's line or the line above —
@@ -118,6 +185,33 @@ fn marker<'a>(comments: &'a [CommentLine], line: u32, name: &str) -> Option<&'a 
             let at = c.text.find(name)?;
             Some(c.text[at + name.len()..].trim())
         })
+}
+
+/// Records a `hot-path-alloc` finding (or its `alloc-ok:` waiver) for an
+/// allocation token inside an [`HOT_ALLOC_FNS`] body.
+fn push_hot_alloc(
+    rel: &str,
+    line: u32,
+    what: &str,
+    comments: &[CommentLine],
+    findings: &mut Vec<Finding>,
+) {
+    let rule = "hot-path-alloc";
+    match marker(comments, line, "alloc-ok:") {
+        Some(reason) if !reason.is_empty() => {
+            findings.push(Finding::waived(rel, line, rule, reason.to_string()));
+        }
+        _ => findings.push(Finding::error(
+            rel,
+            line,
+            rule,
+            format!(
+                "fresh allocation (`{what}`) inside an encode_into/apply_into hot \
+                 path — write into the caller's buffers or the session arena \
+                 instead (or justify with `// alloc-ok: <reason>`)"
+            ),
+        )),
+    }
 }
 
 /// A `SAFETY:` comment on the same line or within the five lines above.
@@ -148,6 +242,7 @@ pub fn lint_file(rel: &str, lexed: &Lexed, scopes: &Scopes, findings: &mut Vec<F
         return;
     }
 
+    let hot_alloc = hot_alloc_mask(toks, scopes);
     let mut uses_crossbeam_spawn = false;
     let mut has_send_sync_assert = false;
 
@@ -267,6 +362,15 @@ pub fn lint_file(rel: &str, lexed: &Lexed, scopes: &Scopes, findings: &mut Vec<F
                         || toks.iter().any(|t| t.kind == TokKind::Ident && t.text == "spawn");
                 }
                 "assert_send_sync" => has_send_sync_assert = true,
+                // Fresh allocations inside encode_into/apply_into bodies.
+                "vec" if hot_alloc[i] && !in_test && punct(i + 1, "!") => {
+                    push_hot_alloc(rel, line, "vec![…]", comments, findings);
+                }
+                name @ ("to_vec" | "with_capacity" | "collect")
+                    if hot_alloc[i] && !in_test && punct(i + 1, "(") =>
+                {
+                    push_hot_alloc(rel, line, name, comments, findings);
+                }
                 // Shard-buffer indexing: `shards[..]`, `stripe[..]`, …
                 name if panic_scoped
                     && !in_test
@@ -549,6 +653,72 @@ mod tests {
         assert!(rules.contains(&"raw-xor"));
         assert!(rules.contains(&"mul-table"));
         assert!(rules.contains(&"entropy-rng"));
+    }
+
+    #[test]
+    fn hot_path_alloc_flagged_inside_encode_into_only() {
+        let src = "impl C {\n\
+                   fn encode_into(&self, p: &mut [&mut [u8]]) {\n    let v = vec![vec![0u8; 4]; 2];\n}\n\
+                   fn encode(&self) -> Vec<Vec<u8>> { vec![vec![0u8; 4]; 2] }\n\
+                   }\n";
+        let f = run("crates/rs/src/lib.rs", src);
+        let e: Vec<_> = errors(&f)
+            .into_iter()
+            .filter(|x| x.rule == "hot-path-alloc")
+            .collect();
+        // Both `vec!` tokens on line 3 are flagged; the ones in `encode`
+        // (line 5) are not — allocation is that path's contract.
+        assert_eq!(e.len(), 2, "{f:?}");
+        assert!(e.iter().all(|x| x.line == 3), "{e:?}");
+    }
+
+    #[test]
+    fn hot_path_alloc_covers_collect_with_capacity_and_to_vec() {
+        let src = "fn apply_into(&self, out: &mut [&mut [u8]]) {\n\
+                   \x20   let a: Vec<u8> = x.iter().collect();\n\
+                   \x20   let b = Vec::with_capacity(4);\n\
+                   \x20   let c = s.to_vec();\n}\n";
+        let f = run("crates/gf/src/matrix.rs", src);
+        let e: Vec<_> = errors(&f)
+            .into_iter()
+            .filter(|x| x.rule == "hot-path-alloc")
+            .collect();
+        assert_eq!(e.len(), 3, "{f:?}");
+    }
+
+    #[test]
+    fn alloc_ok_marker_waives_and_tests_are_exempt() {
+        let src = "fn encode_into(&self) {\n\
+                   \x20   // alloc-ok: wider than MAX_STACK_NODES never ships\n\
+                   \x20   let v = heap.to_vec();\n}\n\
+                   #[cfg(test)]\nmod tests { fn t() { let _ = vec![0u8; 4]; }\n\
+                   fn encode_into() { let _ = vec![0u8; 4]; } }\n";
+        let f = run("crates/ec/src/session.rs", src);
+        assert!(
+            !errors(&f).iter().any(|x| x.rule == "hot-path-alloc"),
+            "{f:?}"
+        );
+        let w: Vec<_> = f
+            .iter()
+            .filter(|x| x.waived && x.rule == "hot-path-alloc")
+            .collect();
+        assert_eq!(w.len(), 1, "{f:?}");
+        assert_eq!(w[0].detail, "wider than MAX_STACK_NODES never ships");
+    }
+
+    #[test]
+    fn trait_declaration_without_body_is_not_masked() {
+        // `fn encode_into(...) -> Result<(), EcError>;` has no body; the
+        // next fn's allocations must not inherit the hot mask.
+        let src = "trait T {\n\
+                   fn encode_into(&self, p: &mut [&mut [u8]]) -> R;\n\
+                   fn other(&self) -> Vec<u8> { v.to_vec() }\n\
+                   }\n";
+        let f = run("crates/ec/src/traits.rs", src);
+        assert!(
+            !f.iter().any(|x| x.rule == "hot-path-alloc"),
+            "{f:?}"
+        );
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //!    `checked_*` or carry `// wrap-ok: <reason>`;
 //! 7. **concurrency hygiene** — `Ordering::Relaxed` confined to
 //!    `ec::parallel`, `static mut` banned, crossbeam-scope types witnessed
-//!    by `assert_send_sync`.
+//!    by `assert_send_sync`;
+//! 8. **hot-path allocation** — `vec!`/`to_vec`/`with_capacity`/`collect`
+//!    banned inside `encode_into`/`apply_into` bodies (the session layer's
+//!    zero-allocation contract), waived only by `// alloc-ok: <reason>`.
 //!
 //! Usage: `cargo xtask lint [--report <path>] [--baseline <path>]
 //! [--write-baseline] [--no-ratchet]`
