@@ -85,6 +85,7 @@ impl RecoveryPlan {
             let (first, rest) = step
                 .sources
                 .split_first()
+                // panic-ok: the planner never emits an empty-source step
                 .expect("recovery step always has at least one source");
             // Reuse the target's existing allocation as the accumulator
             // (taken out first so the source borrows below are clean).
@@ -95,7 +96,7 @@ impl RecoveryPlan {
             for &s in rest {
                 let src = &elements[s];
                 assert_eq!(src.len(), len, "inconsistent element block sizes");
-                xor_slice(src, &mut acc).expect("lengths asserted equal");
+                xor_slice(src, &mut acc).expect("lengths asserted equal"); // panic-ok: assert_eq! above pins the lengths
             }
             elements[step.target] = acc;
         }

@@ -70,9 +70,11 @@ impl GfRecoveryPlan {
                 .get(step.sources.first().map(|&(_, e)| e).unwrap_or(step.target))
                 .map(Vec::len)
                 .unwrap_or(0);
+            // alloc-ok: solver-facing reference spec; the streaming path uses apply_into
             let mut acc = vec![0u8; len];
             for &(c, src) in &step.sources {
                 mul_slice_xor(c, &elements[src], &mut acc)
+                    // panic-ok: documented misuse panic — callers pass equal-sized element blocks
                     .expect("inconsistent element block sizes");
             }
             elements[step.target] = acc;
@@ -177,6 +179,7 @@ impl GfSpec {
         for (i, &p) in self.parity_elements.iter().enumerate() {
             let support = &self.parity_support[i];
             let len = elements[support[0].1].len();
+            // alloc-ok: legacy Vec-returning encode; reached only via the compatibility fallback
             let mut acc = vec![0u8; len];
             for &(c, src) in support {
                 mul_slice_xor(c, &elements[src], &mut acc)
@@ -243,7 +246,7 @@ impl GfSpec {
                 continue;
             };
             m.swap_rows(pivot, rank);
-            let inv = m.get(rank, col).inverse().expect("pivot nonzero");
+            let inv = m.get(rank, col).inverse().expect("pivot nonzero"); // panic-ok: `find` selected a row with a nonzero entry
             m.scale_row(rank, inv);
             for r in 0..n_eq {
                 if r != rank && !m.get(r, col).is_zero() {

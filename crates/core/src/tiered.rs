@@ -138,6 +138,7 @@ pub fn unpack(
                 let (node, row, slot) = layout.locate(e);
                 let off = (row * layout.sub + slot) * elen;
                 let take = elen.min(cap - stream.len());
+                // panic-ok: locate() maps element ids to nodes inside the layout's stripe shape
                 stream.extend_from_slice(&shards[node][off..off + take]);
             }
         }

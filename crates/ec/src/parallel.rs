@@ -177,7 +177,6 @@ pub fn encode_segmented(
                         }
                         session.encode(code, &refs[..seg_data.len()])
                     } else {
-                        // alloc-ok: > MAX_STACK_NODES data shards never happens for shipped codes
                         let refs: Vec<&[u8]> = seg_data.iter().map(|d| d.as_slice()).collect();
                         session.encode(code, &refs)
                     };
@@ -187,7 +186,7 @@ pub fn encode_segmented(
                             let mut targets = cells[i].lock();
                             for (p, seg_shard) in seg_parity.iter().enumerate() {
                                 for r in 0..rows {
-                                    // panic-ok: chunk (p*rows + r) is w bytes by the pre-split above; seg shards are rows*w bytes
+                                    // Chunk (p*rows + r) is w bytes by the pre-split above.
                                     targets[p * rows + r]
                                         .copy_from_slice(&seg_shard[r * w..(r + 1) * w]);
                                 }

@@ -49,11 +49,11 @@ pub fn derive(seed: u64, label: &str) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     // SplitMix64 finaliser over seed ⊕ label-hash.
-    let mut z = seed ^ h; // raw-xor-ok: seed mixing, not shard data
+    let mut z = seed ^ h;
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9); // raw-xor-ok: mixer
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb); // raw-xor-ok: mixer
-    z ^ (z >> 31) // raw-xor-ok: mixer
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// A deterministic generator for one labelled sub-stream of a master seed.

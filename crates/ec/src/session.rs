@@ -193,7 +193,6 @@ impl EncodeSession {
                 encode_into_rows(code, &views[..k], parity)?;
                 sink(s, &views[..k], parity)?;
             } else {
-                // alloc-ok: > MAX_STACK_NODES data shards never happens for shipped codes
                 let views: Vec<&[u8]> = (0..k).map(view_of).collect();
                 encode_into_rows(code, &views, parity)?;
                 sink(s, &views, parity)?;

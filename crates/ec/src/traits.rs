@@ -74,7 +74,6 @@ pub trait ErasureCode: Send + Sync {
     fn encode_into(&self, data: &[&[u8]], parity: &mut [&mut [u8]]) -> Result<(), EcError> {
         let len = self.check_data_shards(data)?;
         self.check_parity_bufs(parity, len)?;
-        // alloc-ok: compatibility fallback; native impls write in place
         let owned = self.encode(data)?;
         for (dst, src) in parity.iter_mut().zip(&owned) {
             dst.copy_from_slice(src);

@@ -12,14 +12,12 @@ const LANE: usize = std::mem::size_of::<u64>();
 
 /// `dst ^= src` in `u64` lanes.
 pub(crate) fn xor(src: &[u8], dst: &mut [u8]) {
-    let mut s = src.chunks_exact(LANE);
-    let mut d = dst.chunks_exact_mut(LANE);
-    for (dc, sc) in (&mut d).zip(&mut s) {
-        let v = u64::from_ne_bytes(dc.try_into().expect("exact chunk"))
-            ^ u64::from_ne_bytes(sc.try_into().expect("exact chunk"));
-        dc.copy_from_slice(&v.to_ne_bytes());
+    let (sc, sr) = src.as_chunks::<LANE>();
+    let (dc, dr) = dst.as_chunks_mut::<LANE>();
+    for (d, s) in dc.iter_mut().zip(sc) {
+        *d = (u64::from_ne_bytes(*d) ^ u64::from_ne_bytes(*s)).to_ne_bytes();
     }
-    for (db, sb) in d.into_remainder().iter_mut().zip(s.remainder()) {
+    for (db, sb) in dr.iter_mut().zip(sr) {
         *db ^= *sb;
     }
 }
@@ -27,16 +25,16 @@ pub(crate) fn xor(src: &[u8], dst: &mut [u8]) {
 /// `dst = c * src`: per-byte table lookups, `u64`-batched stores.
 pub(crate) fn mul(c: u8, src: &[u8], dst: &mut [u8]) {
     let row = &MUL_TABLE[c as usize];
-    let mut s = src.chunks_exact(LANE);
-    let mut d = dst.chunks_exact_mut(LANE);
-    for (dc, sc) in (&mut d).zip(&mut s) {
+    let (sc, sr) = src.as_chunks::<LANE>();
+    let (dc, dr) = dst.as_chunks_mut::<LANE>();
+    for (d, s) in dc.iter_mut().zip(sc) {
         let mut prod = [0u8; LANE];
-        for (p, b) in prod.iter_mut().zip(sc) {
+        for (p, b) in prod.iter_mut().zip(s) {
             *p = row[*b as usize];
         }
-        dc.copy_from_slice(&prod);
+        *d = prod;
     }
-    for (db, sb) in d.into_remainder().iter_mut().zip(s.remainder()) {
+    for (db, sb) in dr.iter_mut().zip(sr) {
         *db = row[*sb as usize];
     }
 }
@@ -44,18 +42,16 @@ pub(crate) fn mul(c: u8, src: &[u8], dst: &mut [u8]) {
 /// `dst ^= c * src`: per-byte table lookups, `u64`-batched load/xor/store.
 pub(crate) fn mul_xor(c: u8, src: &[u8], dst: &mut [u8]) {
     let row = &MUL_TABLE[c as usize];
-    let mut s = src.chunks_exact(LANE);
-    let mut d = dst.chunks_exact_mut(LANE);
-    for (dc, sc) in (&mut d).zip(&mut s) {
+    let (sc, sr) = src.as_chunks::<LANE>();
+    let (dc, dr) = dst.as_chunks_mut::<LANE>();
+    for (d, s) in dc.iter_mut().zip(sc) {
         let mut prod = [0u8; LANE];
-        for (p, b) in prod.iter_mut().zip(sc) {
+        for (p, b) in prod.iter_mut().zip(s) {
             *p = row[*b as usize];
         }
-        let v = u64::from_ne_bytes(dc.try_into().expect("exact chunk"))
-            ^ u64::from_ne_bytes(prod);
-        dc.copy_from_slice(&v.to_ne_bytes());
+        *d = (u64::from_ne_bytes(*d) ^ u64::from_ne_bytes(prod)).to_ne_bytes();
     }
-    for (db, sb) in d.into_remainder().iter_mut().zip(s.remainder()) {
+    for (db, sb) in dr.iter_mut().zip(sr) {
         *db ^= row[*sb as usize];
     }
 }

@@ -186,6 +186,7 @@ impl GfMatrix {
     /// XOR accumulation is bytewise-commutative, so the result is
     /// byte-identical to the unblocked order.
     pub fn apply(&self, blocks: &[&[u8]], out: &mut [Vec<u8>]) -> Result<(), MatrixError> {
+        // alloc-ok: borrow-repack only (Vec of slice views); apply_into is the data path
         let mut views: Vec<&mut [u8]> = out.iter_mut().map(|v| v.as_mut_slice()).collect();
         self.apply_into(blocks, &mut views)
     }
@@ -235,6 +236,7 @@ impl GfMatrix {
                 for (c, src) in blocks.iter().enumerate() {
                     let coeff = self.get(r, c).value();
                     mul_slice_xor(coeff, &src[start..end], chunk)
+                        // panic-ok: both slices are the same start..end range
                         .expect("chunk lengths match by construction");
                 }
             }
@@ -275,7 +277,7 @@ impl GfMatrix {
             }
             // Normalise the pivot row.
             let p = work.get(col, col);
-            let pinv = p.inverse().expect("pivot is nonzero by construction");
+            let pinv = p.inverse().expect("pivot is nonzero by construction"); // panic-ok: singular pivots already returned MatrixError::Singular
             work.scale_row(col, pinv);
             inv.scale_row(col, pinv);
             debug_assert_eq!(
@@ -314,6 +316,7 @@ impl GfMatrix {
             let pinv = work
                 .get(rank, col)
                 .inverse()
+                // panic-ok: `find` selected a row with a nonzero entry
                 .expect("pivot is nonzero: `find` selected a row with a nonzero entry");
             work.scale_row(rank, pinv);
             for r in 0..work.rows {

@@ -203,16 +203,16 @@ impl ErasureCode for Lrc {
 
     fn encode(&self, data: &[&[u8]]) -> Result<Vec<Vec<u8>>, EcError> {
         let len = self.check_data_shards(data)?;
-        let mut out = Vec::with_capacity(self.l + self.r);
+        let mut out = Vec::with_capacity(self.l + self.r); // alloc-ok: legacy Vec-returning encode; encode_into is the zero-alloc path
         for group in &self.groups {
-            let mut p = vec![0u8; len];
+            let mut p = vec![0u8; len]; // alloc-ok: legacy Vec-returning encode
             for &d in group {
                 // panic-ok: check_data_shards proved equal lengths; p allocated to match
                 apec_gf::xor_slice(data[d], &mut p).expect("data shards share one length");
             }
             out.push(p);
         }
-        let mut globals = vec![vec![0u8; len]; self.r];
+        let mut globals = vec![vec![0u8; len]; self.r]; // alloc-ok: legacy Vec-returning encode
         self.global_rows
             .apply(data, &mut globals)
             .map_err(|e| EcError::Internal(e.to_string()))?;

@@ -162,7 +162,7 @@ impl ErasureCode for ReedSolomon {
 
     fn encode(&self, data: &[&[u8]]) -> Result<Vec<Vec<u8>>, EcError> {
         let len = self.check_data_shards(data)?;
-        let mut out = vec![vec![0u8; len]; self.r];
+        let mut out = vec![vec![0u8; len]; self.r]; // alloc-ok: legacy Vec-returning encode; encode_into is the zero-alloc path
         self.parity_rows
             .apply(data, &mut out)
             .map_err(|e| EcError::Internal(e.to_string()))?;

@@ -217,17 +217,23 @@ impl<'a> Reader<'a> {
         self.pos += n;
         Ok(s)
     }
+    fn array<const N: usize>(&mut self, c: &'static str) -> Result<[u8; N], ContainerError> {
+        let s = self.take(N, c)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(s);
+        Ok(out)
+    }
     fn u8(&mut self, c: &'static str) -> Result<u8, ContainerError> {
         Ok(self.take(1, c)?[0])
     }
     fn u16(&mut self, c: &'static str) -> Result<u16, ContainerError> {
-        Ok(u16::from_le_bytes(self.take(2, c)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.array(c)?))
     }
     fn u32(&mut self, c: &'static str) -> Result<u32, ContainerError> {
-        Ok(u32::from_le_bytes(self.take(4, c)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array(c)?))
     }
     fn u64(&mut self, c: &'static str) -> Result<u64, ContainerError> {
-        Ok(u64::from_le_bytes(self.take(8, c)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array(c)?))
     }
 }
 

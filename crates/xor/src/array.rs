@@ -131,7 +131,7 @@ impl ArrayCode {
                 .find(|(c, _)| *c == tcol)
                 // panic-ok: plan_for only emits steps targeting the erased columns we seeded
                 .expect("plan targets erased columns");
-            // panic-ok: trange is r*elen..(r+1)*elen with r < rows_per_col, inside the elen*rpc buffer
+            // trange is r*elen..(r+1)*elen with r < rows_per_col, inside the elen*rpc buffer.
             let dst = &mut slot.1[trange];
             for &e in &step.sources {
                 let (scol, srange) = range(e);
@@ -202,26 +202,26 @@ impl ErasureCode for ArrayCode {
         let rpc = self.spec.rows_per_col;
         let element_len = len / rpc;
 
-        let mut elements = vec![Vec::new(); self.spec.total_elements()];
+        let mut elements = vec![Vec::new(); self.spec.total_elements()]; // alloc-ok: legacy Vec-returning encode; encode_into is the zero-alloc path
         for (c, shard) in data.iter().enumerate() {
             for r in 0..rpc {
                 // Decode never copies shard bytes (pooled plan executor);
                 // encode materializes elements once per stripe write.
                 elements[c * rpc + r] =
                     // panic-ok: check_data_shards proved shard.len() == rpc * element_len
-                    shard[r * element_len..(r + 1) * element_len].to_vec(); // clone-ok: encode path
+                    shard[r * element_len..(r + 1) * element_len].to_vec(); // clone-ok: encode path; alloc-ok: legacy encode materializes elements
             }
         }
         for c in data.len()..self.spec.n_cols {
             for r in 0..rpc {
-                elements[c * rpc + r] = vec![0u8; element_len];
+                elements[c * rpc + r] = vec![0u8; element_len]; // alloc-ok: legacy Vec-returning encode
             }
         }
         self.spec.encode(&mut elements);
 
-        let mut out = Vec::with_capacity(self.parity_nodes());
+        let mut out = Vec::with_capacity(self.parity_nodes()); // alloc-ok: legacy Vec-returning encode
         for c in self.data_cols..self.spec.n_cols {
-            let mut shard = Vec::with_capacity(len);
+            let mut shard = Vec::with_capacity(len); // alloc-ok: legacy Vec-returning encode
             for r in 0..rpc {
                 shard.extend_from_slice(&elements[c * rpc + r]);
             }
@@ -240,11 +240,11 @@ impl ErasureCode for ArrayCode {
         }
         for (pelem, support) in &self.encode_program {
             let (pcol, prow) = (pelem / rpc, pelem % rpc);
-            // panic-ok: parity elements live in columns data_cols..n_cols (pure-data check in new)
+            // Parity elements live in columns data_cols..n_cols (pure-data check in new).
             let dst = &mut parity[pcol - self.data_cols][prow * elen..(prow + 1) * elen];
             for &e in support {
                 let (c, r) = (e / rpc, e % rpc);
-                // panic-ok: the program only references real data columns
+                // The program only references real data columns.
                 let src = &data[c][r * elen..(r + 1) * elen];
                 apec_gf::xor_slice(src, dst).map_err(|e| EcError::Internal(e.to_string()))?;
             }

@@ -146,10 +146,10 @@ done
 
 echo "== xtask: build, unit tests, fixture regressions, workspace lint"
 # xtask is dependency-free, so this lane needs no stubs. The fixture
-# integration test includes the lint module tree via #[path] and reads
-# its fixtures relative to the repo root; the final invocation is the
-# real semantic lint over the workspace, ratcheted against the
-# committed xtask/panic_baseline.json.
+# integration tests include the lint module tree via #[path] and read
+# their fixtures relative to the repo root; the final invocation is the
+# real call-graph lint over the workspace, ratcheted against the
+# committed xtask/panic_baseline.json and xtask/transitive_baseline.json.
 "$RUSTC" --edition "$EDITION" -O --crate-name xtask \
   "$REPO/xtask/src/main.rs" -o "$TESTDIR/xtask"
 "$RUSTC" --edition "$EDITION" -O --crate-name xtask --test \
@@ -160,8 +160,14 @@ echo "  unit xtask ok"
   "$REPO/xtask/tests/lint_fixtures.rs" -o "$TESTDIR/xtask-fixtures"
 (cd "$REPO" && "$TESTDIR/xtask-fixtures" --test-threads "$(nproc)" -q)
 echo "  fixtures xtask ok"
-(cd "$REPO" && "$TESTDIR/xtask" lint --report "$OUT/panics.json")
-echo "  lint + ratchet ok ($OUT/panics.json)"
+"$RUSTC" --edition "$EDITION" -O --crate-name callgraph_fixtures --test \
+  "$REPO/xtask/tests/callgraph_fixtures.rs" -o "$TESTDIR/xtask-cg-fixtures"
+(cd "$REPO" && "$TESTDIR/xtask-cg-fixtures" --test-threads "$(nproc)" -q)
+echo "  callgraph fixtures xtask ok"
+(cd "$REPO" && "$TESTDIR/xtask" lint --report "$OUT/panics.json" --sarif "$OUT/lint.sarif")
+echo "  lint + dual ratchet ok ($OUT/panics.json, $OUT/lint.sarif)"
+(cd "$REPO" && "$TESTDIR/xtask" bench-check)
+echo "  bench-check (committed artifacts) ok"
 
 echo "== compiling benches (stub criterion; smoke-running repair_benches)"
 # The stub harness runs every registered routine once, so compiling is a
@@ -189,6 +195,10 @@ echo "  bench encode_benches smoke ok ($OUT/BENCH_encode.json)"
 CARGO_MANIFEST_DIR="$OUT/bench-manifest/sub" \
   "$TESTDIR/bench-tier_benches" >/dev/null 2>&1 || "$TESTDIR/bench-tier_benches"
 echo "  bench tier_benches smoke ok ($OUT/BENCH_tier.json)"
+# Schema-validate the freshly generated artifacts too (the smoke runs
+# write them under $OUT, one directory above the fake manifest dir).
+"$TESTDIR/xtask" bench-check "$OUT/BENCH_repair.json" "$OUT/BENCH_encode.json" "$OUT/BENCH_tier.json"
+echo "  bench-check (generated artifacts) ok"
 
 if [ "$RUN_CLIPPY" = 1 ]; then
   echo "== clippy (offline, per-crate)"

@@ -1,0 +1,505 @@
+//! `xtask bench-check`: structural validation of the `BENCH_*.json`
+//! artifacts the bench suites write at the repository root.
+//!
+//! The bench writers emit JSON by hand (no serde in the workspace), so a
+//! field rename or a `NaN`-shaped formatting bug silently breaks every
+//! downstream consumer (CI trend jobs, EXPERIMENTS.md tables). This
+//! command pins each document to the schema its `"bench"` discriminator
+//! declares: required top-level fields, a non-empty `results` array, and
+//! required typed fields on every result row. Unknown bench names are an
+//! error — a new suite must register its schema here.
+//!
+//! The parser is a minimal recursive-descent JSON reader, sufficient for
+//! the subset the bench writers produce (objects, arrays, strings without
+//! exotic escapes, finite numbers, booleans, null).
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value (subset: no unicode escapes beyond `\uXXXX`
+/// pass-through, numbers as f64).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Num(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+
+    /// Field lookup on an object value.
+    pub fn field(&self, name: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document, rejecting trailing garbage.
+pub fn parse(src: &str) -> Result<Json, String> {
+    let b = src.as_bytes();
+    let mut pos = 0usize;
+    let v = value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while b.get(*pos).is_some_and(|c| c.is_ascii_whitespace()) {
+        *pos += 1;
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos).map(Json::Str),
+        Some(b't') => literal(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => literal(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => literal(b, pos, "null", Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+        Some(c) => Err(format!("unexpected byte {:?} at {}", *c as char, *pos)),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn literal(b: &[u8], pos: &mut usize, word: &str, v: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(v)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while b
+        .get(*pos)
+        .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    let n: f64 = text
+        .parse()
+        .map_err(|_| format!("invalid number {text:?} at byte {start}"))?;
+    if !n.is_finite() {
+        return Err(format!("non-finite number {text:?} at byte {start}"));
+    }
+    Ok(Json::Num(n))
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    *pos += 1; // opening quote
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                let esc = b.get(*pos + 1).copied();
+                match esc {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        // Pass-through: bench writers never emit \u, but
+                        // keep the document parseable rather than erroring.
+                        let _ = write!(out, "\\u");
+                        *pos += 2;
+                        continue;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 2;
+            }
+            Some(&c) => {
+                // Multi-byte UTF-8 sequences are copied verbatim.
+                let ch_len = utf8_len(c);
+                let end = (*pos + ch_len).min(b.len());
+                let s = std::str::from_utf8(&b[*pos..end]).map_err(|e| e.to_string())?;
+                out.push_str(s);
+                *pos = end;
+            }
+            None => return Err("unterminated string".to_string()),
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // `{`
+    let mut pairs = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(pairs));
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {}", *pos));
+        }
+        let key = string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {}", *pos));
+        }
+        *pos += 1;
+        let v = value(b, pos)?;
+        pairs.push((key, v));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // `[`
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+/// Expected type of a schema field.
+#[derive(Debug, Clone, Copy)]
+enum Kind {
+    Str,
+    Num,
+    Arr,
+    /// Number or `null` (tier PSNR is null when no samples were taken).
+    NumOrNull,
+}
+
+impl Kind {
+    fn accepts(self, v: &Json) -> bool {
+        match self {
+            Kind::Str => matches!(v, Json::Str(_)),
+            Kind::Num => matches!(v, Json::Num(_)),
+            Kind::Arr => matches!(v, Json::Arr(_)),
+            Kind::NumOrNull => matches!(v, Json::Num(_) | Json::Null),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Kind::Str => "string",
+            Kind::Num => "number",
+            Kind::Arr => "array",
+            Kind::NumOrNull => "number|null",
+        }
+    }
+}
+
+/// One bench family's schema: required top-level fields plus required
+/// fields on every `results` row.
+struct Schema {
+    bench: &'static str,
+    top: &'static [(&'static str, Kind)],
+    row: &'static [(&'static str, Kind)],
+}
+
+/// The registry. A new bench suite must add its schema here or
+/// `bench-check` rejects its artifact.
+const SCHEMAS: &[Schema] = &[
+    Schema {
+        bench: "encode-sessions",
+        top: &[
+            ("code", Kind::Str),
+            ("object_bytes", Kind::Num),
+            ("shard_len", Kind::Num),
+        ],
+        row: &[
+            ("mode", Kind::Str),
+            ("micros_per_object", Kind::Num),
+            ("gib_per_s", Kind::Num),
+        ],
+    },
+    Schema {
+        bench: "gf-kernel-ablation",
+        top: &[("best_backend", Kind::Str)],
+        row: &[
+            ("kernel", Kind::Str),
+            ("backend", Kind::Str),
+            ("block_bytes", Kind::Num),
+            ("mib_per_s", Kind::Num),
+        ],
+    },
+    Schema {
+        bench: "repair-plan-executor",
+        top: &[],
+        row: &[
+            ("code", Kind::Str),
+            ("erased", Kind::Arr),
+            ("mode", Kind::Str),
+            ("shard_bytes", Kind::Num),
+            ("micros_per_repair", Kind::Num),
+            ("read_shards", Kind::Num),
+            ("rebuilt_shards", Kind::Num),
+        ],
+    },
+    Schema {
+        bench: "tier-lifecycle",
+        top: &[],
+        row: &[
+            ("config", Kind::Str),
+            ("hot", Kind::Str),
+            ("cold", Kind::Str),
+            ("micros_per_run", Kind::Num),
+            ("demotions", Kind::Num),
+            ("savings_pct", Kind::Num),
+            ("conversion_write_kib", Kind::Num),
+            ("read_p95_ms", Kind::Num),
+            ("psnr_mean_db", Kind::NumOrNull),
+            ("digest", Kind::Str),
+        ],
+    },
+];
+
+/// Validates one document, returning `(bench name, row count)` or every
+/// problem found.
+pub fn check_doc(src: &str) -> Result<(String, usize), Vec<String>> {
+    let doc = parse(src).map_err(|e| vec![format!("not valid JSON: {e}")])?;
+    let Json::Obj(_) = &doc else {
+        return Err(vec![format!("top level must be an object, got {}", doc.kind())]);
+    };
+    let bench = match doc.field("bench") {
+        Some(Json::Str(s)) => s.clone(),
+        Some(v) => return Err(vec![format!("`bench` must be a string, got {}", v.kind())]),
+        None => return Err(vec!["missing `bench` discriminator field".to_string()]),
+    };
+    let Some(schema) = SCHEMAS.iter().find(|s| s.bench == bench) else {
+        let known: Vec<&str> = SCHEMAS.iter().map(|s| s.bench).collect();
+        return Err(vec![format!(
+            "unknown bench {bench:?} — register its schema in xtask/src/bench.rs (known: {})",
+            known.join(", ")
+        )]);
+    };
+    let mut problems = Vec::new();
+    for (name, kind) in schema.top {
+        match doc.field(name) {
+            Some(v) if kind.accepts(v) => {}
+            Some(v) => problems.push(format!(
+                "field `{name}` must be {}, got {}",
+                kind.name(),
+                v.kind()
+            )),
+            None => problems.push(format!("missing required field `{name}`")),
+        }
+    }
+    let rows = match doc.field("results") {
+        Some(Json::Arr(rows)) if !rows.is_empty() => rows.as_slice(),
+        Some(Json::Arr(_)) => {
+            problems.push("`results` must not be empty".to_string());
+            &[]
+        }
+        Some(v) => {
+            problems.push(format!("`results` must be an array, got {}", v.kind()));
+            &[]
+        }
+        None => {
+            problems.push("missing required field `results`".to_string());
+            &[]
+        }
+    };
+    for (i, row) in rows.iter().enumerate() {
+        if !matches!(row, Json::Obj(_)) {
+            problems.push(format!("results[{i}] must be an object, got {}", row.kind()));
+            continue;
+        }
+        for (name, kind) in schema.row {
+            match row.field(name) {
+                Some(v) if kind.accepts(v) => {}
+                Some(v) => problems.push(format!(
+                    "results[{i}].{name} must be {}, got {}",
+                    kind.name(),
+                    v.kind()
+                )),
+                None => problems.push(format!("results[{i}] missing required field `{name}`")),
+            }
+        }
+    }
+    if problems.is_empty() {
+        Ok((bench, rows.len()))
+    } else {
+        Err(problems)
+    }
+}
+
+/// Runs `bench-check` over explicit paths, or over every `BENCH_*.json`
+/// in the current directory when none are given. Prints one line per
+/// file; returns `Err` with the count of failing files.
+pub fn run(paths: &[String]) -> Result<Vec<String>, String> {
+    let mut targets: Vec<String> = paths.to_vec();
+    if targets.is_empty() {
+        let entries = std::fs::read_dir(".").map_err(|e| format!("read_dir .: {e}"))?;
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with("BENCH_") && name.ends_with(".json") {
+                targets.push(name);
+            }
+        }
+        targets.sort();
+        if targets.is_empty() {
+            return Err("no BENCH_*.json files found in the current directory".to_string());
+        }
+    }
+    let mut lines = Vec::new();
+    let mut failed = 0usize;
+    for path in &targets {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                lines.push(format!("{path}: FAILED (read: {e})"));
+                failed += 1;
+                continue;
+            }
+        };
+        match check_doc(&src) {
+            Ok((bench, rows)) => lines.push(format!("{path}: ok ({bench}, {rows} rows)")),
+            Err(problems) => {
+                lines.push(format!("{path}: FAILED"));
+                for p in problems {
+                    lines.push(format!("  - {p}"));
+                }
+                failed += 1;
+            }
+        }
+    }
+    for l in &lines {
+        println!("xtask bench-check: {l}");
+    }
+    if failed > 0 {
+        Err(format!("{failed} of {} file(s) failed schema validation", targets.len()))
+    } else {
+        Ok(lines)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_round_trips_the_shapes_writers_emit() {
+        let v = parse(r#"{"a": [1, -2.5, 3e2], "b": "x\"y", "c": null, "d": true}"#).unwrap();
+        assert_eq!(v.field("b"), Some(&Json::Str("x\"y".to_string())));
+        assert_eq!(
+            v.field("a"),
+            Some(&Json::Arr(vec![Json::Num(1.0), Json::Num(-2.5), Json::Num(300.0)]))
+        );
+        assert_eq!(v.field("c"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn parser_rejects_trailing_garbage_and_bare_nan() {
+        assert!(parse("{} x").is_err());
+        assert!(parse(r#"{"a": NaN}"#).is_err());
+    }
+
+    #[test]
+    fn valid_encode_doc_passes() {
+        let src = r#"{
+            "bench": "encode-sessions", "code": "RS(5,3)",
+            "object_bytes": 1024, "shard_len": 64,
+            "results": [{"mode": "m", "micros_per_object": 1.5, "gib_per_s": 2.0}]
+        }"#;
+        assert_eq!(check_doc(src).unwrap(), ("encode-sessions".to_string(), 1));
+    }
+
+    #[test]
+    fn missing_and_mistyped_fields_are_all_reported() {
+        let src = r#"{
+            "bench": "encode-sessions", "code": 7, "shard_len": 64,
+            "results": [{"mode": "m", "gib_per_s": "fast"}]
+        }"#;
+        let problems = check_doc(src).unwrap_err();
+        let text = problems.join("\n");
+        assert!(text.contains("`code` must be string"), "{text}");
+        assert!(text.contains("missing required field `object_bytes`"), "{text}");
+        assert!(text.contains("results[0] missing required field `micros_per_object`"), "{text}");
+        assert!(text.contains("results[0].gib_per_s must be number"), "{text}");
+    }
+
+    #[test]
+    fn unknown_bench_is_an_error_naming_the_registry() {
+        let problems = check_doc(r#"{"bench": "mystery", "results": [{}]}"#).unwrap_err();
+        assert!(problems[0].contains("unknown bench"), "{problems:?}");
+        assert!(problems[0].contains("tier-lifecycle"), "{problems:?}");
+    }
+
+    #[test]
+    fn empty_results_rejected() {
+        let src = r#"{"bench": "repair-plan-executor", "results": []}"#;
+        let problems = check_doc(src).unwrap_err();
+        assert!(problems.iter().any(|p| p.contains("must not be empty")), "{problems:?}");
+    }
+
+    #[test]
+    fn tier_psnr_may_be_null_but_not_string() {
+        let row = |psnr: &str| {
+            format!(
+                r#"{{"bench": "tier-lifecycle", "results": [{{
+                    "config": "c", "hot": "h", "cold": "c", "micros_per_run": 1,
+                    "demotions": 2, "savings_pct": 3.5, "conversion_write_kib": 4,
+                    "read_p95_ms": 0.5, "psnr_mean_db": {psnr}, "digest": "d"}}]}}"#
+            )
+        };
+        assert!(check_doc(&row("null")).is_ok());
+        assert!(check_doc(&row("31.7")).is_ok());
+        assert!(check_doc(&row("\"n/a\"")).is_err());
+    }
+}

@@ -1,0 +1,689 @@
+//! Intra-workspace call graph over the symbol table, with hazard sites.
+//!
+//! Fourth layer of the stack (lexer → scopes → symbols → **call graph** →
+//! policies). Each function body is scanned once for
+//!
+//! * **call sites**, resolved *by name* against the [`SymbolTable`]:
+//!   - `helper(..)` — free call → every free fn named `helper`;
+//!   - `self.method(..)` — resolved against the enclosing impl's type
+//!     (its inherent methods plus the methods of every trait it
+//!     implements); inside a trait default body it fans to the trait's
+//!     own impls, like dyn dispatch;
+//!   - `x.method(..)` where the body contains `let x = Type::new(..)`
+//!     (or any `Type::ctor(..)` / `Type { .. }` initialiser) — resolved
+//!     against `Type`, exactly like a `self.` receiver;
+//!   - `x.method(..)` — receiver unknown → every impl/trait method named
+//!     `method` (this is the conservative answer to dynamic dispatch:
+//!     a call through `&dyn ErasureCode` edges to **all** impls of the
+//!     called method, and to the trait's default body if it has one),
+//!     EXCEPT the [`UBIQUITOUS_METHODS`] — std collection/iterator names
+//!     like `get`/`insert` whose receiver is a `BTreeMap` or slice
+//!     essentially every time they appear, where name fan-out would wire
+//!     `map.get(..)` to every workspace method that happens to be called
+//!     `get` (measured on this workspace: one `BTreeMap::get` inside
+//!     `apply_into` manufactured fifty bogus reachability chains);
+//!   - `Type::assoc(..)` — path call → the named type's (or trait's)
+//!     methods, falling back to free fns for `module::helper(..)` paths;
+//!   - `Self::assoc(..)` — resolved against the enclosing impl's type.
+//! * **hazard sites** — the panic-freedom hazards (`unwrap`/`expect`,
+//!   `panic!`-family macros, shard-name `[]`-indexing) and the hot-path
+//!   allocation hazards (`vec!`, `.to_vec()`, `with_capacity`,
+//!   `.collect()`), each with its `panic-ok:`/`alloc-ok:` waiver looked
+//!   up from the comment channel.
+//!
+//! No type inference happens here; over-approximation is the point. A
+//! name-resolved edge that cannot exist at runtime can only make the
+//! reachability policies *stricter*, never let a real panic escape.
+//!
+//! Nested `fn` items are their own graph nodes; their token ranges are
+//! skipped while scanning the enclosing body so hazards are attributed
+//! to the function that actually contains them.
+
+use super::lexer::{Lexed, TokKind};
+use super::rules::{marker, SHARD_INDEX_NAMES};
+use super::scopes::Scopes;
+use super::symbols::{FnSym, Owner, SymbolTable};
+use std::collections::BTreeSet;
+
+/// Method names whose receiver-unknown `.name(` form is a std
+/// collection/slice/iterator call for all practical purposes. Excluded
+/// from the conservative method fan-out: resolving `map.get(k)` to every
+/// workspace fn named `get` produces only false edges, and false edges
+/// on *these* names dominate the whole graph (maps and slices are
+/// everywhere). Calls to same-named workspace methods still resolve via
+/// a `self.` receiver or a `Type::`/`Trait::` path — the forms the
+/// workspace actually uses for them.
+pub const UBIQUITOUS_METHODS: &[&str] = &[
+    "get", "get_mut", "insert", "remove", "push", "pop", "extend", "clear", "contains",
+    "contains_key", "entry", "keys", "values", "iter", "iter_mut", "into_iter", "next", "len",
+    "is_empty", "first", "last", "split_at", "split_at_mut", "chunks", "chunks_exact", "drain",
+    "retain", "sort", "sort_unstable", "clone", "as_ref", "as_mut", "as_slice", "as_bytes",
+    "to_string", "map", "and_then", "unwrap_or", "unwrap_or_default", "unwrap_or_else", "take",
+    "copy_from_slice", "fill", "resize", "truncate", "reserve",
+];
+
+/// Rust keywords that can precede `(` without being calls.
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "match", "return", "loop", "in", "let", "mut", "ref", "move",
+    "as", "fn", "pub", "use", "impl", "trait", "struct", "enum", "mod", "where", "unsafe",
+    "async", "await", "dyn", "const", "static", "crate", "super", "break", "continue", "type",
+];
+
+/// One resolved call edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Edge {
+    /// Callee's index in [`SymbolTable::fns`].
+    pub callee: usize,
+    /// 1-based line of the call site (in the caller's file).
+    pub line: u32,
+}
+
+/// One hazard site inside a function body.
+#[derive(Debug, Clone)]
+pub struct Hazard {
+    /// 1-based line of the hazard.
+    pub line: u32,
+    /// Human-readable description (`.unwrap()`, `vec![…]`, `shards[…]`).
+    pub what: &'static str,
+    /// The waiver invariant when a `panic-ok:`/`alloc-ok:` marker covers
+    /// the site (non-empty text required, same grammar as body rules).
+    pub waiver: Option<String>,
+}
+
+/// The workspace call graph: adjacency + per-node hazards, indexed by
+/// the symbol table's fn ids.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// `edges[id]` = resolved callees of fn `id`.
+    pub edges: Vec<Vec<Edge>>,
+    /// Panic-freedom hazards per fn.
+    pub panic_hazards: Vec<Vec<Hazard>>,
+    /// Allocation hazards per fn.
+    pub alloc_hazards: Vec<Vec<Hazard>>,
+}
+
+/// Builds the graph. `files[i]` must be the `(rel, lexed, scopes)` triple
+/// whose index matches every `FnSym::file_idx` in the table.
+pub fn build(table: &SymbolTable, files: &[(String, Lexed, Scopes)]) -> CallGraph {
+    let n = table.fns.len();
+    let mut g = CallGraph {
+        edges: vec![Vec::new(); n],
+        panic_hazards: vec![Vec::new(); n],
+        alloc_hazards: vec![Vec::new(); n],
+    };
+
+    // Body-start index → fn id, for skipping nested fn bodies fast.
+    let mut body_start: std::collections::BTreeMap<(usize, usize), usize> =
+        std::collections::BTreeMap::new();
+    for (id, f) in table.fns.iter().enumerate() {
+        if let Some((open, _)) = f.body {
+            body_start.insert((f.file_idx, open), id);
+        }
+    }
+
+    for (id, f) in table.fns.iter().enumerate() {
+        if f.in_test {
+            continue;
+        }
+        let Some((open, close)) = f.body else { continue };
+        let Some((_, lexed, _)) = files.get(f.file_idx) else { continue };
+        scan_body(table, f, id, lexed, open, close, &body_start, &mut g);
+    }
+    g
+}
+
+/// Scans one fn body for calls and hazards.
+#[allow(clippy::too_many_arguments)]
+fn scan_body(
+    table: &SymbolTable,
+    f: &FnSym,
+    id: usize,
+    lexed: &Lexed,
+    open: usize,
+    close: usize,
+    body_start: &std::collections::BTreeMap<(usize, usize), usize>,
+    g: &mut CallGraph,
+) {
+    let toks = &lexed.toks;
+    let comments = &lexed.comments;
+    let mut edges: BTreeSet<Edge> = BTreeSet::new();
+    let bindings = local_bindings(toks, open, close);
+    let mut j = open + 1;
+    while j < close {
+        let t = &toks[j];
+
+        // A nested `fn` item is its own graph node: skip its body so its
+        // hazards are not attributed to the enclosing function (defining
+        // a fn is not calling it).
+        if t.kind == TokKind::Ident
+            && t.text == "fn"
+            && toks.get(j + 1).is_some_and(|t| t.kind == TokKind::Ident)
+        {
+            if let Some((&(_, nested_open), &nested_id)) = body_start
+                .range((f.file_idx, j + 1)..(f.file_idx, close))
+                .next()
+            {
+                if nested_open < close {
+                    if let Some((_, nested_close)) = table.fns[nested_id].body {
+                        j = nested_close + 1;
+                        continue;
+                    }
+                }
+            }
+        }
+
+        if t.kind != TokKind::Ident {
+            j += 1;
+            continue;
+        }
+        let name = t.text.as_str();
+        let line = t.line;
+        let next = |k: usize| toks.get(j + k);
+        let next_is = |k: usize, s: &str| next(k).is_some_and(|t| t.kind == TokKind::Punct && t.text == s);
+        let prev = j.checked_sub(1).and_then(|p| toks.get(p));
+        let prev_is = |s: &str| prev.is_some_and(|t| t.kind == TokKind::Punct && t.text == s);
+
+        // Macro hazards.
+        if next_is(1, "!") {
+            match name {
+                "panic" | "unreachable" | "todo" | "unimplemented" => {
+                    g.panic_hazards[id].push(hazard(comments, line, name_of_macro(name), "panic-ok:"));
+                }
+                "vec" => {
+                    g.alloc_hazards[id].push(hazard(comments, line, "vec![…]", "alloc-ok:"));
+                }
+                _ => {}
+            }
+            j += 1;
+            continue;
+        }
+
+        // Shard-buffer indexing.
+        if SHARD_INDEX_NAMES.contains(&name) && next_is(1, "[") && !prev_is("#") {
+            g.panic_hazards[id].push(hazard(comments, line, "shard-buffer [i] indexing", "panic-ok:"));
+            j += 1;
+            continue;
+        }
+
+        if !next_is(1, "(") || KEYWORDS.contains(&name) {
+            j += 1;
+            continue;
+        }
+
+        // `name(` — classify by the preceding token.
+        if prev_is(".") {
+            match name {
+                "unwrap" => g.panic_hazards[id].push(hazard(comments, line, ".unwrap()", "panic-ok:")),
+                "expect" => g.panic_hazards[id].push(hazard(comments, line, ".expect()", "panic-ok:")),
+                "to_vec" => g.alloc_hazards[id].push(hazard(comments, line, ".to_vec()", "alloc-ok:")),
+                "collect" => g.alloc_hazards[id].push(hazard(comments, line, ".collect()", "alloc-ok:")),
+                _ => {
+                    let recv = j
+                        .checked_sub(2)
+                        .and_then(|p| toks.get(p))
+                        .filter(|t| t.kind == TokKind::Ident)
+                        .map(|t| t.text.as_str());
+                    // A receiver that is itself field-accessed
+                    // (`self.plans.insert(..)`) is not the local binding
+                    // of the same name.
+                    let recv_is_plain = j
+                        .checked_sub(3)
+                        .and_then(|p| toks.get(p))
+                        .is_none_or(|t| !(t.kind == TokKind::Punct && t.text == "."));
+                    let callees = match recv {
+                        Some("self") => resolve_self_method(table, f, name),
+                        Some(r) if recv_is_plain => match bindings.get(r) {
+                            Some(ty) => resolve_typed_method(table, ty, name),
+                            None => resolve_method(table, name),
+                        },
+                        _ => resolve_method(table, name),
+                    };
+                    for callee in callees {
+                        edges.insert(Edge { callee, line });
+                    }
+                }
+            }
+        } else if prev_is("::") {
+            if name == "with_capacity" {
+                g.alloc_hazards[id].push(hazard(comments, line, "with_capacity(…)", "alloc-ok:"));
+            } else {
+                let qual = j
+                    .checked_sub(2)
+                    .and_then(|p| toks.get(p))
+                    .filter(|t| t.kind == TokKind::Ident)
+                    .map(|t| t.text.as_str());
+                for callee in resolve_path(table, f, qual, name) {
+                    edges.insert(Edge { callee, line });
+                }
+            }
+        } else if name == "with_capacity" {
+            g.alloc_hazards[id].push(hazard(comments, line, "with_capacity(…)", "alloc-ok:"));
+        } else {
+            for callee in resolve_free(table, name) {
+                edges.insert(Edge { callee, line });
+            }
+        }
+        j += 1;
+    }
+
+    g.edges[id] = edges
+        .into_iter()
+        .filter(|e| e.callee != id && !table.fns[e.callee].in_test)
+        .collect();
+}
+
+fn name_of_macro(name: &str) -> &'static str {
+    match name {
+        "panic" => "panic!",
+        "unreachable" => "unreachable!",
+        "todo" => "todo!",
+        _ => "unimplemented!",
+    }
+}
+
+fn hazard(
+    comments: &[super::lexer::CommentLine],
+    line: u32,
+    what: &'static str,
+    marker_name: &str,
+) -> Hazard {
+    let waiver = marker(comments, line, marker_name)
+        .filter(|inv| !inv.is_empty())
+        .map(str::to_string);
+    Hazard { line, what, waiver }
+}
+
+/// `x.name(..)` with an unknown receiver — all impl methods + trait
+/// decls/defaults of that name, except the [`UBIQUITOUS_METHODS`] (see
+/// the module docs for why those fan-outs are pure noise).
+fn resolve_method(table: &SymbolTable, name: &str) -> Vec<usize> {
+    if UBIQUITOUS_METHODS.contains(&name) {
+        return Vec::new();
+    }
+    table.methods_by_name.get(name).cloned().unwrap_or_default()
+}
+
+/// `self.name(..)` — the receiver's type IS the enclosing impl's type, so
+/// resolve precisely: the type's own methods (inherent or any of its
+/// trait impls) plus trait-default bodies of traits it implements. Inside
+/// a trait's own default body, fan to that trait's impls (dyn-style).
+/// Falls back to the conservative fan-out when the name is foreign to the
+/// owner (a deref'd field, a std method, a blanket impl).
+fn resolve_self_method(table: &SymbolTable, f: &FnSym, name: &str) -> Vec<usize> {
+    let mut out: Vec<usize> = Vec::new();
+    match &f.owner {
+        Owner::Impl { type_name, .. } => return resolve_typed_method(table, type_name, name),
+        Owner::Trait { trait_name } => {
+            // The trait's own decl/default …
+            out.extend(
+                table
+                    .by_type_method
+                    .get(&(trait_name.clone(), name.to_string()))
+                    .into_iter()
+                    .flatten(),
+            );
+            // … and every impl of it (a default body dispatches).
+            for &id in table.methods_by_name.get(name).into_iter().flatten() {
+                if matches!(
+                    &table.fns[id].owner,
+                    Owner::Impl { trait_name: Some(tn), .. } if tn == trait_name
+                ) {
+                    out.push(id);
+                }
+            }
+        }
+        Owner::Free => {}
+    }
+    if out.is_empty() {
+        return resolve_method(table, name);
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Methods callable on a value of known workspace type `ty`: its inherent
+/// and trait-impl methods, plus default bodies of every trait it
+/// implements. Falls back to the conservative fan-out when `ty` has no
+/// method of that name (a deref, a std method, a blanket impl).
+fn resolve_typed_method(table: &SymbolTable, ty: &str, name: &str) -> Vec<usize> {
+    let mut out: Vec<usize> = table
+        .by_type_method
+        .get(&(ty.to_string(), name.to_string()))
+        .cloned()
+        .unwrap_or_default();
+    for g in &table.fns {
+        if let Owner::Impl { type_name: tn, trait_name: Some(tr) } = &g.owner {
+            if tn == ty {
+                out.extend(
+                    table
+                        .by_type_method
+                        .get(&(tr.clone(), name.to_string()))
+                        .into_iter()
+                        .flatten(),
+                );
+            }
+        }
+    }
+    if out.is_empty() {
+        return resolve_method(table, name);
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Scans a body for `let [mut] x = path::to::Type::ctor(..)` and
+/// `let [mut] x = Type { .. }` initialisers, mapping each binding name to
+/// its type's head identifier. Type-annotated or pattern-destructuring
+/// `let`s are skipped (the annotation form is rare in this workspace and
+/// a missing entry only means the conservative fan-out applies).
+fn local_bindings(
+    toks: &[super::lexer::Tok],
+    open: usize,
+    close: usize,
+) -> std::collections::BTreeMap<String, String> {
+    let mut out = std::collections::BTreeMap::new();
+    let mut j = open + 1;
+    while j < close {
+        if !(toks[j].kind == TokKind::Ident && toks[j].text == "let") {
+            j += 1;
+            continue;
+        }
+        let mut k = j + 1;
+        if toks.get(k).is_some_and(|t| t.kind == TokKind::Ident && t.text == "mut") {
+            k += 1;
+        }
+        let Some(name) = toks.get(k).filter(|t| t.kind == TokKind::Ident) else {
+            j += 1;
+            continue;
+        };
+        if !toks.get(k + 1).is_some_and(|t| t.kind == TokKind::Punct && t.text == "=") {
+            j = k + 1; // `let Some(x)` patterns / `let x: T` annotations
+            continue;
+        }
+        // Walk the initialiser's leading path: Ident (:: Ident)* then a
+        // `(` (constructor call) or `{` (struct literal).
+        let mut path: Vec<&str> = Vec::new();
+        let mut m = k + 2;
+        while let Some(t) = toks.get(m) {
+            if t.kind == TokKind::Ident {
+                path.push(t.text.as_str());
+                m += 1;
+                if toks.get(m).is_some_and(|t| t.kind == TokKind::Punct && t.text == "::") {
+                    m += 1;
+                    continue;
+                }
+            }
+            break;
+        }
+        let head_is_type = |s: &str| s.chars().next().is_some_and(char::is_uppercase);
+        let ty = match toks.get(m).map(|t| (t.kind, t.text.as_str())) {
+            // `Type::new(..)` — the type is the segment before the ctor.
+            Some((TokKind::Punct, "(")) if path.len() >= 2 => {
+                path[path.len() - 2].to_string()
+            }
+            // `Type { .. }` struct literal.
+            Some((TokKind::Punct, "{")) if !path.is_empty() => {
+                path[path.len() - 1].to_string()
+            }
+            _ => {
+                j = k + 1;
+                continue;
+            }
+        };
+        if head_is_type(&ty) {
+            out.insert(name.text.clone(), ty);
+        }
+        j = m;
+    }
+    out
+}
+
+/// Plain `name(..)` — free fns of that name only (methods need a
+/// receiver or a `Self::`/`Type::` path).
+fn resolve_free(table: &SymbolTable, name: &str) -> Vec<usize> {
+    table.free_by_name.get(name).cloned().unwrap_or_default()
+}
+
+/// `Qual::name(..)`: the qualifier is the enclosing impl's type for
+/// `Self`, a workspace type or trait, or a module path segment (then the
+/// call is a free fn).
+fn resolve_path(table: &SymbolTable, f: &FnSym, qual: Option<&str>, name: &str) -> Vec<usize> {
+    let qual = match qual {
+        Some("Self") => match &f.owner {
+            Owner::Impl { type_name, .. } => type_name.clone(),
+            Owner::Trait { trait_name } => trait_name.clone(),
+            Owner::Free => return resolve_free(table, name),
+        },
+        Some(q) => q.to_string(),
+        // Leading-`::` or turbofish-qualified paths: fall back to any fn
+        // of that name (conservative).
+        None => {
+            let mut out = resolve_free(table, name);
+            out.extend(resolve_method(table, name));
+            return out;
+        }
+    };
+    let mut out: Vec<usize> = table
+        .by_type_method
+        .get(&(qual.clone(), name.to_string()))
+        .cloned()
+        .unwrap_or_default();
+    // `Trait::method(..)` (incl. UFCS-ish calls): fan to every impl of
+    // that trait's method, same as dyn dispatch.
+    if table.trait_methods.get(&qual).is_some_and(|ms| ms.iter().any(|m| m == name)) {
+        for &id in table.methods_by_name.get(name).into_iter().flatten() {
+            if matches!(
+                &table.fns[id].owner,
+                Owner::Impl { trait_name: Some(tn), .. } if *tn == qual
+            ) {
+                out.push(id);
+            }
+        }
+    }
+    if out.is_empty() {
+        // Module-qualified free call (`plan::compile(..)`).
+        out = resolve_free(table, name);
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::lexer::lex;
+    use crate::lint::scopes::analyze;
+
+    fn graph(src: &str) -> (SymbolTable, CallGraph) {
+        let lexed = lex(src);
+        let scopes = analyze(&lexed);
+        let mut t = SymbolTable::default();
+        t.add_file("crates/x/src/lib.rs", 0, &lexed, &scopes);
+        let files = vec![("crates/x/src/lib.rs".to_string(), lexed, scopes)];
+        let g = build(&t, &files);
+        (t, g)
+    }
+
+    fn id(t: &SymbolTable, name: &str) -> usize {
+        t.by_name[name][0]
+    }
+
+    #[test]
+    fn direct_call_edge() {
+        let (t, g) = graph("fn a() { b(1); }\nfn b(x: u8) {}\n");
+        assert_eq!(g.edges[id(&t, "a")], vec![Edge { callee: id(&t, "b"), line: 1 }]);
+    }
+
+    #[test]
+    fn method_call_fans_to_all_impls() {
+        let src = "trait T { fn m(&self); }\n\
+                   impl T for A { fn m(&self) {} }\n\
+                   impl T for B { fn m(&self) {} }\n\
+                   fn drive(x: &dyn T) { x.m(); }\n";
+        let (t, g) = graph(src);
+        let callees: Vec<usize> = g.edges[id(&t, "drive")].iter().map(|e| e.callee).collect();
+        assert_eq!(callees.len(), 3, "decl + both impls: {callees:?}");
+    }
+
+    #[test]
+    fn hazards_collected_with_waivers() {
+        let src = "fn a(x: Option<u8>) {\n    x.unwrap();\n    y.expect(\"m\"); // panic-ok: proven\n}\n";
+        let (t, g) = graph(src);
+        let h = &g.panic_hazards[id(&t, "a")];
+        assert_eq!(h.len(), 2);
+        assert!(h[0].waiver.is_none());
+        assert_eq!(h[1].waiver.as_deref(), Some("proven"));
+    }
+
+    #[test]
+    fn alloc_hazards_and_self_path() {
+        let src = "impl S {\n  fn encode_into(&self) { let v = Vec::with_capacity(4); Self::helper(); }\n  fn helper() { let x = vec![0u8; 2]; }\n}\n";
+        let (t, g) = graph(src);
+        let e = id(&t, "encode_into");
+        assert_eq!(g.alloc_hazards[e].len(), 1, "with_capacity");
+        assert_eq!(g.edges[e], vec![Edge { callee: id(&t, "helper"), line: 2 }]);
+        assert_eq!(g.alloc_hazards[id(&t, "helper")].len(), 1, "vec!");
+    }
+
+    #[test]
+    fn test_fns_are_excluded() {
+        let src = "fn a() { b(); }\nfn b() {}\n#[cfg(test)]\nmod t { fn a() { x.unwrap(); } }\n";
+        let (t, g) = graph(src);
+        // The test `a` exists in the table but has no scanned body.
+        let test_a = t.by_name["a"].iter().copied().find(|&i| t.fns[i].in_test).unwrap();
+        assert!(g.edges[test_a].is_empty());
+        assert!(g.panic_hazards[test_a].is_empty());
+    }
+
+    #[test]
+    fn nested_fn_hazard_not_attributed_to_parent() {
+        let src = "fn outer() {\n  fn inner(x: Option<u8>) { x.unwrap(); }\n  inner(None);\n}\n";
+        let (t, g) = graph(src);
+        assert!(g.panic_hazards[id(&t, "outer")].is_empty(), "hazard belongs to inner");
+        assert_eq!(g.panic_hazards[id(&t, "inner")].len(), 1);
+        // And the call edge outer → inner exists.
+        assert!(g.edges[id(&t, "outer")].iter().any(|e| e.callee == id(&t, "inner")));
+    }
+
+    #[test]
+    fn shard_indexing_is_a_hazard() {
+        let src = "fn f(shards: &[Vec<u8>]) { let _ = shards[0].len(); }\n";
+        let (t, g) = graph(src);
+        assert_eq!(g.panic_hazards[id(&t, "f")].len(), 1);
+        assert_eq!(g.panic_hazards[id(&t, "f")][0].what, "shard-buffer [i] indexing");
+    }
+
+    #[test]
+    fn ubiquitous_method_names_do_not_fan_out() {
+        // `map.get(..)` / `m.insert(..)` are std collection calls; wiring
+        // them to workspace methods named `get`/`insert` is pure noise.
+        let src = "impl Vault { fn get(&self, k: u64) { x.unwrap(); } }\n\
+                   fn read(map: &M, k: u64) { map.get(&k); map.insert(k, 0); }\n";
+        let (t, g) = graph(src);
+        assert!(g.edges[id(&t, "read")].is_empty(), "{:?}", g.edges[id(&t, "read")]);
+    }
+
+    #[test]
+    fn self_receiver_resolves_to_owner_type_only() {
+        // `self.get(..)` inside GfMatrix is GfMatrix::get, never the
+        // unrelated Vault::get — and it is NOT dropped by the ubiquitous
+        // filter (the receiver's type is known).
+        let src = "impl GfMatrix {\n  fn get(&self, r: usize) -> u8 { 0 }\n\
+                   \n  fn apply_into(&self) { self.get(0); }\n}\n\
+                   impl Vault { fn get(&self, k: u64) {} }\n";
+        let (t, g) = graph(src);
+        let apply = id(&t, "apply_into");
+        let gf_get = t.by_name["get"]
+            .iter()
+            .copied()
+            .find(|&i| matches!(&t.fns[i].owner, Owner::Impl { type_name, .. } if type_name == "GfMatrix"))
+            .unwrap();
+        let callees: Vec<usize> = g.edges[apply].iter().map(|e| e.callee).collect();
+        assert_eq!(callees, vec![gf_get], "{callees:?}");
+    }
+
+    #[test]
+    fn self_in_trait_default_fans_to_trait_impls() {
+        let src = "trait Code {\n  fn decode(&self);\n\
+                   \n  fn helper(&self) { self.decode() }\n}\n\
+                   impl Code for A { fn decode(&self) {} }\n\
+                   impl Other for B { fn decode(&self) {} }\n";
+        let (t, g) = graph(src);
+        let helper = id(&t, "helper");
+        let callees: Vec<usize> = g.edges[helper].iter().map(|e| e.callee).collect();
+        let b_decode = t.by_name["decode"]
+            .iter()
+            .copied()
+            .find(|&i| matches!(&t.fns[i].owner, Owner::Impl { type_name, .. } if type_name == "B"))
+            .unwrap();
+        assert!(!callees.contains(&b_decode), "unrelated trait's impl excluded: {callees:?}");
+        assert_eq!(callees.len(), 2, "decl + Code-for-A impl: {callees:?}");
+    }
+
+    #[test]
+    fn self_field_method_still_fans_conservatively() {
+        // `self.plans.insert(..)` — the receiver is the FIELD, not self;
+        // `insert` is ubiquitous so it resolves to nothing, but a
+        // non-ubiquitous field method keeps the conservative fan-out.
+        let src = "impl S { fn plan(&mut self) { self.plans.insert(1); self.inner.solve(); } }\n\
+                   impl Gauss { fn solve(&self) {} }\n";
+        let (t, g) = graph(src);
+        let callees: Vec<usize> = g.edges[id(&t, "plan")].iter().map(|e| e.callee).collect();
+        assert_eq!(callees, vec![id(&t, "solve")], "{callees:?}");
+    }
+
+    #[test]
+    fn let_binding_receiver_resolves_to_its_type() {
+        // `let mut sim = Simulation::new(); … sim.run()` must edge to
+        // Simulation::run, not to the unrelated TierEngine::run.
+        let src = "impl Simulation { fn new() -> Self { Simulation } fn run(&mut self) {} }\n\
+                   impl TierEngine { fn run(&mut self) { x.unwrap(); } }\n\
+                   fn cost() { let mut sim = Simulation::new(); sim.run(); }\n";
+        let (t, g) = graph(src);
+        let sim_run = t.by_name["run"]
+            .iter()
+            .copied()
+            .find(|&i| matches!(&t.fns[i].owner, Owner::Impl { type_name, .. } if type_name == "Simulation"))
+            .unwrap();
+        let callees: Vec<usize> = g.edges[id(&t, "cost")].iter().map(|e| e.callee).collect();
+        assert!(callees.contains(&sim_run), "{callees:?}");
+        let engine_run = t.by_name["run"]
+            .iter()
+            .copied()
+            .find(|&i| matches!(&t.fns[i].owner, Owner::Impl { type_name, .. } if type_name == "TierEngine"))
+            .unwrap();
+        assert!(!callees.contains(&engine_run), "typed receiver must not fan out: {callees:?}");
+    }
+
+    #[test]
+    fn struct_literal_binding_and_unknown_receiver() {
+        let src = "impl Probe { fn arm(&self) {} }\n\
+                   fn a(x: &Foo) { let p = Probe { n: 1 }; p.arm(); x.arm(); }\n";
+        let (t, g) = graph(src);
+        // Both resolve to Probe::arm — the literal binding precisely, the
+        // unknown receiver via conservative fan-out.
+        let callees: Vec<usize> = g.edges[id(&t, "a")].iter().map(|e| e.callee).collect();
+        assert_eq!(callees, vec![id(&t, "arm")]);
+    }
+
+    #[test]
+    fn trait_path_call_fans_to_trait_impls_only() {
+        let src = "trait T { fn go(&self); }\n\
+                   impl T for A { fn go(&self) {} }\n\
+                   impl B { fn go(&self) {} }\n\
+                   fn f(x: &A) { T::go(x); }\n";
+        let (t, g) = graph(src);
+        let callees: Vec<usize> = g.edges[id(&t, "f")].iter().map(|e| e.callee).collect();
+        // Trait decl + A's impl; NOT B's unrelated inherent `go`.
+        let b_go = t.by_name["go"]
+            .iter()
+            .copied()
+            .find(|&i| matches!(&t.fns[i].owner, Owner::Impl { type_name, .. } if type_name == "B"))
+            .unwrap();
+        assert!(!callees.contains(&b_go), "{callees:?}");
+        assert_eq!(callees.len(), 2, "{callees:?}");
+    }
+}

@@ -1,40 +1,64 @@
-//! `cargo xtask lint` v2 — token-tree semantic analysis of the workspace.
+//! `cargo xtask lint` v3 — call-graph-aware semantic analysis of the
+//! workspace.
 //!
-//! The PR 2 linter scanned line by line with a comment/string scrubber.
-//! That missed anything rustfmt split across lines (an `unsafe\n{` block),
-//! mis-scoped test masking (it assumed `#[cfg(test)]` was a suffix of the
-//! file), and leaked multi-line string literals into "code" (the scrubber
-//! reset its string state at every newline). This rewrite lexes each file
-//! into a real token stream ([`lexer`]), computes delimiter matching and
-//! `#[cfg(test)]` item extents ([`scopes`]), and evaluates every policy
-//! over tokens ([`rules`]), so spans are exact and markers are read from
-//! the comment channel instead of raw-substring sniffing.
+//! The PR 2 linter scanned line by line with a comment/string scrubber;
+//! PR 5 rewrote it into a token/scope pass ([`lexer`], [`scopes`],
+//! [`rules`]) so spans are exact and markers are read from the comment
+//! channel. That pass was still *body-local*: an `unwrap()` inside a
+//! helper called from `decode` — but living outside `PANIC_SCOPE` —
+//! escaped every policy. v3 adds the whole-workspace layers:
 //!
-//! The module is deliberately dependency-free: xtask must build with a
-//! bare toolchain (no registry access in the offline harness), so there
-//! is no `syn` here — the lexer handles exactly the Rust surface the
-//! workspace uses and is regression-tested against the constructs that
-//! broke the line scanner (`xtask/tests/fixtures/`).
+//! * [`symbols`] — fn/impl/trait items per file, incl. trait-method
+//!   declarations and default bodies;
+//! * [`callgraph`] — name-resolved intra-workspace call edges (method
+//!   calls fan out to every impl: the conservative answer to `dyn`
+//!   dispatch) plus per-function hazard sites;
+//! * [`transitive`] — panic-freedom and hot-path-allocation re-expressed
+//!   as reachability from the serving roots, every diagnostic carrying a
+//!   full call-path trace;
+//! * [`sarif`] — SARIF 2.1.0 output (`--sarif`) for inline PR
+//!   annotations in CI.
 //!
-//! Waivers (`panic-ok:` / `wrap-ok:` / `raw-xor-ok:` / `clone-ok:`) are
-//! inventoried into `--report panics.json` and ratcheted against the
-//! committed `xtask/panic_baseline.json` — see [`report`].
+//! The module stays deliberately dependency-free: xtask must build with
+//! a bare toolchain (no registry access in the offline harness), so
+//! there is no `syn` here — the lexer handles exactly the Rust surface
+//! the workspace uses and is regression-tested against the constructs
+//! that broke earlier versions (`xtask/tests/fixtures/`).
+//!
+//! Waivers (`panic-ok:` / `wrap-ok:` / `raw-xor-ok:` / `clone-ok:` /
+//! `alloc-ok:`) are inventoried into `--report panics.json` and
+//! ratcheted: body-local rules against `xtask/panic_baseline.json`, the
+//! transitive rules against `xtask/transitive_baseline.json` — see
+//! [`report`]. Markers that no longer suppress anything are hard errors
+//! (`dead-waiver`, [`rules::detect_dead_waivers`]).
 
+pub mod callgraph;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod sarif;
 pub mod scopes;
+pub mod symbols;
+pub mod transitive;
 
 use report::Finding;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
 /// Parsed `lint` subcommand options.
 pub struct Options {
     /// Write the full waiver inventory (with per-site entries) here.
     pub report_path: Option<PathBuf>,
-    /// Baseline file for the ratchet (default `xtask/panic_baseline.json`).
+    /// Write a SARIF 2.1.0 document (errors + waived notes) here.
+    pub sarif_path: Option<PathBuf>,
+    /// Baseline for the body-local ratchet (default
+    /// `xtask/panic_baseline.json`).
     pub baseline_path: PathBuf,
-    /// Rewrite the baseline from the current counts instead of ratcheting.
+    /// Baseline for the transitive ratchet (default
+    /// `xtask/transitive_baseline.json`).
+    pub transitive_baseline_path: PathBuf,
+    /// Rewrite both baselines from the current counts instead of
+    /// ratcheting.
     pub write_baseline: bool,
     /// Skip the ratchet entirely (local iteration).
     pub no_ratchet: bool,
@@ -44,7 +68,9 @@ impl Options {
     pub fn parse(args: &[String]) -> Result<Options, String> {
         let mut opts = Options {
             report_path: None,
+            sarif_path: None,
             baseline_path: PathBuf::from("xtask/panic_baseline.json"),
+            transitive_baseline_path: PathBuf::from("xtask/transitive_baseline.json"),
             write_baseline: false,
             no_ratchet: false,
         };
@@ -55,9 +81,17 @@ impl Options {
                     let p = it.next().ok_or("--report needs a path")?;
                     opts.report_path = Some(PathBuf::from(p));
                 }
+                "--sarif" => {
+                    let p = it.next().ok_or("--sarif needs a path")?;
+                    opts.sarif_path = Some(PathBuf::from(p));
+                }
                 "--baseline" => {
                     let p = it.next().ok_or("--baseline needs a path")?;
                     opts.baseline_path = PathBuf::from(p);
+                }
+                "--transitive-baseline" => {
+                    let p = it.next().ok_or("--transitive-baseline needs a path")?;
+                    opts.transitive_baseline_path = PathBuf::from(p);
                 }
                 "--write-baseline" => opts.write_baseline = true,
                 "--no-ratchet" => opts.no_ratchet = true,
@@ -68,17 +102,29 @@ impl Options {
     }
 }
 
+/// Files that join the call graph: shipping crate sources only —
+/// integration tests, benches and examples panic/allocate by design.
+fn graph_scoped(rel: &str) -> bool {
+    (rel.starts_with("crates/") || rel.starts_with("src/"))
+        && !rel.contains("/tests/")
+        && !rel.contains("/benches/")
+        && !rel.contains("/examples/")
+}
+
 /// Runs the whole pass from the workspace root. Returns `Ok` with summary
 /// lines to print, or `Err` with the failure report.
 pub fn run(root: &Path, opts: &Options) -> Result<Vec<String>, String> {
-    let mut files = Vec::new();
+    let mut paths = Vec::new();
     for dir in rules::SCAN_ROOTS {
-        collect_rs_files(&root.join(dir), &mut files);
+        collect_rs_files(&root.join(dir), &mut paths);
     }
-    files.sort();
+    paths.sort();
 
     let mut findings: Vec<Finding> = Vec::new();
-    for path in &files {
+    // (rel, lexed, scopes) for every readable file, kept for the
+    // whole-workspace passes.
+    let mut files: Vec<(String, lexer::Lexed, scopes::Scopes)> = Vec::new();
+    for path in &paths {
         let rel = path
             .strip_prefix(root)
             .unwrap_or(path)
@@ -94,7 +140,34 @@ pub fn run(root: &Path, opts: &Options) -> Result<Vec<String>, String> {
         let lexed = lexer::lex(&text);
         let scopes = scopes::analyze(&lexed);
         rules::lint_file(&rel, &lexed, &scopes, &mut findings);
+        files.push((rel, lexed, scopes));
     }
+
+    // Whole-workspace pass: symbol table → call graph → reachability.
+    let mut table = symbols::SymbolTable::default();
+    for (idx, (rel, lexed, scopes)) in files.iter().enumerate() {
+        if graph_scoped(rel) {
+            table.add_file(rel, idx, lexed, scopes);
+        }
+    }
+    let graph = callgraph::build(&table, &files);
+    transitive::run(&table, &graph, &mut findings);
+
+    // Dead-waiver check: needs the complete waived-line map (body-local
+    // AND transitive waivers both keep a marker alive).
+    let mut waived_lines: BTreeMap<&str, BTreeSet<u32>> = BTreeMap::new();
+    for f in findings.iter().filter(|f| f.waived) {
+        waived_lines.entry(f.file.as_str()).or_default().insert(f.line);
+    }
+    let mut dead: Vec<Finding> = Vec::new();
+    for (rel, lexed, scopes) in &files {
+        if graph_scoped(rel) {
+            let empty = BTreeSet::new();
+            let lines = waived_lines.get(rel.as_str()).unwrap_or(&empty);
+            rules::detect_dead_waivers(rel, lexed, scopes, lines, &mut dead);
+        }
+    }
+    findings.extend(dead);
 
     // Crate-root gate: every non-gf crate root pins #![forbid(unsafe_code)]
     // (gf pins deny + scoped allows for the kernel modules).
@@ -113,13 +186,26 @@ pub fn run(root: &Path, opts: &Options) -> Result<Vec<String>, String> {
     }
 
     let mut summary = Vec::new();
-    summary.push(format!("scanned {} files", files.len()));
+    summary.push(format!(
+        "scanned {} files ({} fns, {} call edges)",
+        files.len(),
+        table.fns.len(),
+        graph.edges.iter().map(Vec::len).sum::<usize>(),
+    ));
 
+    // Reports are written before the pass/fail decision so CI can upload
+    // them (SARIF annotations especially) even from a failing run.
     if let Some(report_path) = &opts.report_path {
         let json = report::render_inventory(&findings, true);
         std::fs::write(root.join(report_path), &json)
             .map_err(|e| format!("writing {}: {e}", report_path.display()))?;
         summary.push(format!("wrote waiver inventory to {}", report_path.display()));
+    }
+    if let Some(sarif_path) = &opts.sarif_path {
+        let json = sarif::render(&findings);
+        std::fs::write(root.join(sarif_path), &json)
+            .map_err(|e| format!("writing {}: {e}", sarif_path.display()))?;
+        summary.push(format!("wrote SARIF to {}", sarif_path.display()));
     }
 
     let errors: Vec<&Finding> = findings.iter().filter(|f| !f.waived).collect();
@@ -133,23 +219,40 @@ pub fn run(root: &Path, opts: &Options) -> Result<Vec<String>, String> {
         return Err(out);
     }
 
+    // Two ratchets: body-local waivers vs panic_baseline.json, transitive
+    // waivers vs transitive_baseline.json. Splitting keeps the PR 5
+    // baseline untouched by call-graph coverage growth.
+    let is_transitive = |f: &&Finding| f.rule.starts_with("transitive-");
+    let body: Vec<Finding> = findings.iter().filter(|f| !is_transitive(f)).cloned().collect();
+    let trans: Vec<Finding> = findings.iter().filter(is_transitive).cloned().collect();
+
     if opts.write_baseline {
-        let json = report::render_inventory(&findings, false);
-        std::fs::write(root.join(&opts.baseline_path), &json)
-            .map_err(|e| format!("writing {}: {e}", opts.baseline_path.display()))?;
-        summary.push(format!("wrote baseline to {}", opts.baseline_path.display()));
+        for (set, path) in [
+            (&body, &opts.baseline_path),
+            (&trans, &opts.transitive_baseline_path),
+        ] {
+            let json = report::render_inventory(set, false);
+            std::fs::write(root.join(path), &json)
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+            summary.push(format!("wrote baseline to {}", path.display()));
+        }
     } else if !opts.no_ratchet {
-        let text = std::fs::read_to_string(root.join(&opts.baseline_path)).map_err(|e| {
-            format!(
-                "missing waiver baseline {}: {e}\n\
-                 run `cargo xtask lint --write-baseline` once and commit the file",
-                opts.baseline_path.display()
-            )
-        })?;
-        let baseline = report::parse_baseline(&text)?;
-        match report::ratchet(&findings, &baseline) {
-            Ok(notes) => summary.extend(notes),
-            Err(errs) => return Err(errs.join("\n") + "\n"),
+        for (set, path, label) in [
+            (&body, &opts.baseline_path, "body"),
+            (&trans, &opts.transitive_baseline_path, "transitive"),
+        ] {
+            let text = std::fs::read_to_string(root.join(path)).map_err(|e| {
+                format!(
+                    "missing {label} waiver baseline {}: {e}\n\
+                     run `cargo xtask lint --write-baseline` once and commit the file",
+                    path.display()
+                )
+            })?;
+            let baseline = report::parse_baseline(&text)?;
+            match report::ratchet(set, &baseline) {
+                Ok(notes) => summary.extend(notes),
+                Err(errs) => return Err(errs.join("\n") + "\n"),
+            }
         }
     }
 
@@ -235,20 +338,36 @@ mod tests {
 
     #[test]
     fn options_parse_flags() {
-        let args: Vec<String> = ["--report", "panics.json", "--no-ratchet"]
+        let args: Vec<String> = ["--report", "panics.json", "--no-ratchet", "--sarif", "l.sarif"]
             .iter()
             .map(|s| s.to_string())
             .collect();
         let o = Options::parse(&args).unwrap();
         assert_eq!(o.report_path.as_deref(), Some(Path::new("panics.json")));
+        assert_eq!(o.sarif_path.as_deref(), Some(Path::new("l.sarif")));
         assert!(o.no_ratchet);
         assert!(!o.write_baseline);
         assert_eq!(o.baseline_path, Path::new("xtask/panic_baseline.json"));
+        assert_eq!(
+            o.transitive_baseline_path,
+            Path::new("xtask/transitive_baseline.json")
+        );
     }
 
     #[test]
     fn options_reject_unknown() {
         assert!(Options::parse(&["--wat".to_string()]).is_err());
         assert!(Options::parse(&["--report".to_string()]).is_err());
+        assert!(Options::parse(&["--sarif".to_string()]).is_err());
+    }
+
+    #[test]
+    fn graph_scope_excludes_test_code() {
+        assert!(graph_scoped("crates/rs/src/lib.rs"));
+        assert!(graph_scoped("src/lib.rs"));
+        assert!(!graph_scoped("tests/audit_codes.rs"));
+        assert!(!graph_scoped("crates/bench/benches/encode_benches.rs"));
+        assert!(!graph_scoped("crates/ec/tests/it.rs"));
+        assert!(!graph_scoped("xtask/src/main.rs"));
     }
 }

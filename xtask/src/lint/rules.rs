@@ -177,7 +177,9 @@ fn hot_alloc_mask(toks: &[super::lexer::Tok], scopes: &Scopes) -> Vec<bool> {
 
 /// Marker comment (`panic-ok:` …) on the token's line or the line above —
 /// rustfmt may split a call chain so the marker sits on the receiver line.
-fn marker<'a>(comments: &'a [CommentLine], line: u32, name: &str) -> Option<&'a str> {
+/// Shared with the call-graph pass so one marker waives both the
+/// body-local and the transitive finding at a site.
+pub fn marker<'a>(comments: &'a [CommentLine], line: u32, name: &str) -> Option<&'a str> {
     comments
         .iter()
         .filter(|c| c.line == line || c.line + 1 == line)
@@ -211,6 +213,75 @@ fn push_hot_alloc(
                  instead (or justify with `// alloc-ok: <reason>`)"
             ),
         )),
+    }
+}
+
+/// Every waiver marker the policies understand. Used by the dead-waiver
+/// check: a marker that suppresses no finding is stale and must go.
+pub const WAIVER_MARKERS: &[&str] =
+    &["panic-ok:", "alloc-ok:", "clone-ok:", "wrap-ok:", "raw-xor-ok:"];
+
+/// Flags waiver markers that no longer suppress anything.
+///
+/// `waived_lines` holds the line numbers of every *waived* finding in
+/// this file, across all passes (body-local and transitive). A marker on
+/// comment line `L` is live iff some waived finding sits on `L` (trailing
+/// comment) or `L + 1` (marker on the line above — the same window
+/// [`marker`] reads). Anything else is a stale waiver: the hazard it
+/// excused was fixed or moved, and leaving the marker behind would
+/// silently re-arm if a new hazard appeared on that line.
+///
+/// Doc comments are exempt (their text is prose that may *mention* a
+/// marker; after the lexer strips `//`, their text starts with `/`, `!`
+/// or `*`), and so are comments inside `#[cfg(test)]` item extents.
+pub fn detect_dead_waivers(
+    rel: &str,
+    lexed: &Lexed,
+    scopes: &Scopes,
+    waived_lines: &std::collections::BTreeSet<u32>,
+    findings: &mut Vec<Finding>,
+) {
+    // Line ranges covered by test-masked items (comments own no tokens,
+    // so the token mask is projected onto lines).
+    let mut test_ranges: Vec<(u32, u32)> = Vec::new();
+    let mut run_start: Option<(u32, u32)> = None;
+    for (i, t) in lexed.toks.iter().enumerate() {
+        if scopes.in_test(i) {
+            run_start = match run_start {
+                Some((a, _)) => Some((a, t.line)),
+                None => Some((t.line, t.line)),
+            };
+        } else if let Some(r) = run_start.take() {
+            test_ranges.push(r);
+        }
+    }
+    if let Some(r) = run_start {
+        test_ranges.push(r);
+    }
+
+    for c in &lexed.comments {
+        let text = c.text.trim_start();
+        if text.starts_with('/') || text.starts_with('!') || text.starts_with('*') {
+            continue; // doc comment prose
+        }
+        let Some(m) = WAIVER_MARKERS.iter().find(|m| c.text.contains(*m)) else {
+            continue;
+        };
+        if test_ranges.iter().any(|&(a, b)| c.line >= a && c.line <= b) {
+            continue;
+        }
+        if waived_lines.contains(&c.line) || waived_lines.contains(&(c.line + 1)) {
+            continue;
+        }
+        findings.push(Finding::error(
+            rel,
+            c.line,
+            "dead-waiver",
+            format!(
+                "`// {m}` waiver suppresses no finding — the hazard it excused is \
+                 gone; delete the marker (stale waivers re-arm silently)"
+            ),
+        ));
     }
 }
 
@@ -719,6 +790,45 @@ mod tests {
             !f.iter().any(|x| x.rule == "hot-path-alloc"),
             "{f:?}"
         );
+    }
+
+    fn dead_waivers(rel: &str, src: &str) -> Vec<Finding> {
+        let lexed = lex(src);
+        let scopes = analyze(&lexed);
+        let mut f = Vec::new();
+        lint_file(rel, &lexed, &scopes, &mut f);
+        let waived: std::collections::BTreeSet<u32> =
+            f.iter().filter(|x| x.waived).map(|x| x.line).collect();
+        let mut out = Vec::new();
+        detect_dead_waivers(rel, &lexed, &scopes, &waived, &mut out);
+        out
+    }
+
+    #[test]
+    fn stale_waiver_is_flagged() {
+        // The unwrap was fixed but the marker stayed behind.
+        let src = "fn f(x: Option<u8>) {\n    // panic-ok: caller validated\n    let _ = x;\n}\n";
+        let d = dead_waivers("crates/rs/src/lib.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "dead-waiver");
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn live_waiver_is_not_flagged() {
+        let src = "fn f(x: Option<u8>) {\n    x.unwrap() // panic-ok: caller validated\n}\n";
+        assert!(dead_waivers("crates/rs/src/lib.rs", src).is_empty());
+        // Marker on the line above the hazard is the other live window.
+        let src = "fn f(x: Option<u8>) {\n    // panic-ok: caller validated\n    x.unwrap();\n}\n";
+        assert!(dead_waivers("crates/rs/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn doc_comments_and_test_regions_are_exempt() {
+        let src = "/// explains the `// panic-ok:` grammar\nfn f() {}\n\
+                   #[cfg(test)]\nmod tests {\n    // panic-ok: fixture text\n    fn t() {}\n}\n";
+        let d = dead_waivers("crates/rs/src/lib.rs", src);
+        assert!(d.is_empty(), "{d:?}");
     }
 
     #[test]

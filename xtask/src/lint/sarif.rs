@@ -1,0 +1,159 @@
+//! SARIF 2.1.0 output for the lint pass (`--sarif <path>`).
+//!
+//! CI uploads the file through `github/codeql-action/upload-sarif`, which
+//! turns every finding into an inline PR annotation at its file:line —
+//! reviewers see "`.unwrap()` reachable from a serving root: …trace…"
+//! on the offending line instead of digging through job logs.
+//!
+//! Hand-rolled JSON (xtask stays dependency-free). The document is the
+//! minimal valid subset the upload action consumes: one run, a driver
+//! with per-rule metadata, and one `result` per finding. Unwaived
+//! findings map to `level: "error"`; waived sites are emitted as
+//! `level: "note"` so the annotation layer shows the accepted-risk
+//! inventory without failing anything.
+
+use super::report::Finding;
+use std::collections::BTreeMap;
+
+/// Static rule metadata: id → short description. Rules missing here
+/// still render (the id doubles as the description) so a new policy
+/// cannot silently break SARIF emission.
+const RULE_HELP: &[(&str, &str)] = &[
+    ("unsafe-containment", "unsafe code outside the audited gf kernel layer"),
+    ("safety-comment", "unsafe block without a SAFETY: comment"),
+    ("mul-table", "raw MUL_TABLE lookup outside apec_gf"),
+    ("raw-xor", "hand-rolled XOR outside apec_gf kernels"),
+    ("entropy-rng", "entropy-seeded RNG breaks reproducibility"),
+    ("clone-hot-path", "buffer clone in a decode hot path"),
+    ("panic-freedom", "panic hazard on a decode/repair/read path"),
+    ("shard-index", "shard-buffer []-indexing on a serving path"),
+    ("checked-arith", "unchecked arithmetic on a cost counter"),
+    ("relaxed-ordering", "Ordering::Relaxed outside ec::parallel"),
+    ("static-mut", "mutable static"),
+    ("send-sync-assert", "crossbeam scope without Send/Sync witnesses"),
+    ("crate-root-gate", "crate root lacks the unsafe_code gate"),
+    ("hot-path-alloc", "fresh allocation inside encode_into/apply_into"),
+    ("transitive-panic", "panic hazard transitively reachable from a serving root"),
+    ("transitive-alloc", "allocation transitively reachable from encode_into/apply_into"),
+    ("dead-waiver", "waiver marker that no longer suppresses any finding"),
+    ("parse", "file skipped: unbalanced delimiters"),
+    ("io", "unreadable file"),
+];
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the full findings list (errors and waived sites) as a SARIF
+/// 2.1.0 document.
+pub fn render(findings: &[Finding]) -> String {
+    // Rules actually present, in stable order.
+    let mut rules: BTreeMap<&str, &str> = BTreeMap::new();
+    for f in findings {
+        let help = RULE_HELP
+            .iter()
+            .find(|(id, _)| *id == f.rule)
+            .map(|(_, h)| *h)
+            .unwrap_or(f.rule);
+        rules.insert(f.rule, help);
+    }
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"apec-xtask-lint\",\n");
+    out.push_str(
+        "          \"informationUri\": \"https://example.invalid/DESIGN.md#13-static-analysis-architecture\",\n",
+    );
+    out.push_str("          \"rules\": [");
+    let mut first = true;
+    for (id, help) in &rules {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n            {{ \"id\": \"{}\", \"shortDescription\": {{ \"text\": \"{}\" }} }}",
+            esc(id),
+            esc(help)
+        ));
+    }
+    out.push_str(if rules.is_empty() { "]\n" } else { "\n          ]\n" });
+    out.push_str("        }\n      },\n");
+    out.push_str("      \"results\": [");
+    let mut first = true;
+    for f in findings {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let level = if f.waived { "note" } else { "error" };
+        let text = if f.waived {
+            format!("waived: {}", f.detail)
+        } else {
+            f.detail.clone()
+        };
+        out.push_str(&format!(
+            "\n        {{\n          \"ruleId\": \"{}\",\n          \"level\": \"{level}\",\n          \
+             \"message\": {{ \"text\": \"{}\" }},\n          \"locations\": [\n            {{\n              \
+             \"physicalLocation\": {{\n                \"artifactLocation\": {{ \"uri\": \"{}\" }},\n                \
+             \"region\": {{ \"startLine\": {} }}\n              }}\n            }}\n          ]\n        }}",
+            esc(f.rule),
+            esc(&text),
+            esc(&f.file),
+            f.line.max(1)
+        ));
+    }
+    out.push_str(if findings.is_empty() { "]\n" } else { "\n      ]\n" });
+    out.push_str("    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_errors_and_notes() {
+        let findings = vec![
+            Finding::error("crates/rs/src/lib.rs", 7, "transitive-panic", "trace \"x\"".into()),
+            Finding::waived("crates/gf/src/matrix.rs", 9, "panic-freedom", "why".into()),
+        ];
+        let s = render(&findings);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"ruleId\": \"transitive-panic\""));
+        assert!(s.contains("\"level\": \"error\""));
+        assert!(s.contains("\"level\": \"note\""));
+        assert!(s.contains("waived: why"));
+        assert!(s.contains("trace \\\"x\\\""), "message text is escaped");
+        assert!(s.contains("\"startLine\": 7"));
+    }
+
+    #[test]
+    fn empty_findings_is_valid_sarif() {
+        let s = render(&[]);
+        assert!(s.contains("\"results\": []"));
+        assert!(s.contains("\"rules\": []"));
+    }
+
+    #[test]
+    fn file_level_findings_clamp_to_line_one() {
+        let s = render(&[Finding::error("a.rs", 0, "crate-root-gate", "gate".into())]);
+        assert!(s.contains("\"startLine\": 1"));
+    }
+}

@@ -20,9 +20,7 @@ use super::lexer::{Lexed, Tok, TokKind};
 /// Structural facts about one file's token stream.
 pub struct Scopes {
     /// `close[i]` = index of the matching closer for an opener at `i`.
-    /// Only read through [`Scopes::matching`] (test-only today, kept as
-    /// the API for extent-based rules).
-    #[allow(dead_code)]
+    /// Only read through [`Scopes::matching`].
     close: Vec<Option<usize>>,
     /// `test[i]` = token `i` belongs to a `test`-attributed item.
     test: Vec<bool>,
@@ -33,7 +31,6 @@ pub struct Scopes {
 
 impl Scopes {
     /// Matching closer index for the opener at `i`, if `i` opens a group.
-    #[allow(dead_code)]
     pub fn matching(&self, i: usize) -> Option<usize> {
         self.close.get(i).copied().flatten()
     }
@@ -102,9 +99,27 @@ fn mark_test_items(toks: &[Tok], close: &[Option<usize>], test: &mut [bool]) {
             i += 1;
             continue;
         };
-        let mentions_test = toks[i + 2..attr_close]
-            .iter()
-            .any(|t| t.kind == TokKind::Ident && t.text == "test");
+        // `test` under a `not(..)` group means the item ships in non-test
+        // builds: `#[cfg(not(test))]` must NOT mask (that was a body-local
+        // false negative — shipping code silently inherited the test
+        // exemption). Only a `test` ident outside every `not(..)` counts.
+        let mut negated: Vec<(usize, usize)> = Vec::new();
+        for j in i + 2..attr_close {
+            if toks[j].kind == TokKind::Ident
+                && toks[j].text == "not"
+                && toks.get(j + 1).is_some_and(|t| t.text == "(")
+            {
+                if let Some(c) = close[j + 1] {
+                    negated.push((j + 1, c));
+                }
+            }
+        }
+        let mentions_test = toks[i + 2..attr_close].iter().enumerate().any(|(k, t)| {
+            let idx = i + 2 + k;
+            t.kind == TokKind::Ident
+                && t.text == "test"
+                && !negated.iter().any(|&(a, b)| idx > a && idx < b)
+        });
         if !mentions_test {
             i = attr_close + 1;
             continue;
@@ -240,6 +255,43 @@ mod tests {
         let (l, s) = mask_of(src);
         let u = l.toks.iter().position(|t| t.text == "unwrap").unwrap();
         assert!(!s.in_test(u));
+    }
+
+    #[test]
+    fn cfg_not_test_is_shipping_code() {
+        // `#[cfg(not(test))]` compiles exactly when tests do NOT: masking
+        // it as test code was a false negative for every body-local rule.
+        let src = "#[cfg(not(test))]\nfn ship() { a.unwrap() }";
+        let (l, s) = mask_of(src);
+        let u = l.toks.iter().position(|t| t.text == "unwrap").unwrap();
+        assert!(!s.in_test(u), "cfg(not(test)) items ship and must be linted");
+    }
+
+    #[test]
+    fn test_outside_a_not_group_still_masks() {
+        let src = "#[cfg(any(test, not(feature = \"x\")))]\nfn t() { a.unwrap() }";
+        let (l, s) = mask_of(src);
+        let u = l.toks.iter().position(|t| t.text == "unwrap").unwrap();
+        assert!(s.in_test(u), "`test` outside the not(..) group masks");
+    }
+
+    #[test]
+    fn doc_comment_between_attr_and_item_does_not_break_masking() {
+        // The mask follows the attributed *item*, not the attribute's line
+        // extent: a doc comment (which owns no tokens) between them must
+        // not detach the mask from the item.
+        let src = "#[cfg(test)]\n/// doc text with unwrap() and shards[0]\nmod tests { fn t(x: Option<u8>) { x.unwrap(); } }\nfn ship(y: Option<u8>) { y.unwrap(); }";
+        let (l, s) = mask_of(src);
+        let unwraps: Vec<usize> = l
+            .toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.text == "unwrap")
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(s.in_test(unwraps[0]), "doc comment must not detach the mask");
+        assert!(!s.in_test(unwraps[1]), "the next item still ships");
     }
 
     #[test]

@@ -1,0 +1,414 @@
+//! Workspace symbol table: every `fn` item, its enclosing `impl` / `trait`
+//! context, and the trait-method surface — extracted from the lexer's
+//! token stream, no `syn`.
+//!
+//! This is the third layer of the analysis stack (lexer → scopes →
+//! **symbols** → call graph → policies). It does not try to be a name
+//! resolver: the call graph built on top resolves calls *by name*,
+//! conservatively (a method call edges to every impl of that method
+//! name). What this layer contributes is the inventory those lookups
+//! need — which functions exist, which are inherent or trait methods,
+//! which trait methods carry default bodies, and the exact token extent
+//! of every body so call-site scans never leak across items.
+//!
+//! Parsing notes (the subset of Rust the workspace uses):
+//! * `impl` headers are read up to the body `{`, tracking `<…>` depth by
+//!   hand (the lexer pre-joins `>>`, which closes two angle groups — a
+//!   `Foo<Bar<T>>` header ends in one token). `impl Trait for Type`
+//!   yields both names; `impl Type` yields an inherent context.
+//! * A `fn` item's body is found by walking its signature, jumping over
+//!   matched `(`/`[` groups and `<…>` runs; a `;` first means a
+//!   declaration (trait method without default, or an extern decl).
+//! * Nested `fn` items are recorded as their own symbols and their token
+//!   ranges are excluded from the enclosing body's call scan.
+
+use super::lexer::{Lexed, TokKind};
+use super::scopes::Scopes;
+use std::collections::BTreeMap;
+
+/// What owns a function item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Owner {
+    /// Free function at module level (or nested inside another fn).
+    Free,
+    /// Method inside an `impl` block.
+    Impl {
+        /// The `Self` type's head identifier (`RsCode` in `impl ErasureCode
+        /// for RsCode`).
+        type_name: String,
+        /// The implemented trait's head identifier, if a trait impl.
+        trait_name: Option<String>,
+    },
+    /// Method declared inside a `trait` definition body. With a body it
+    /// is a default method; without, a pure declaration.
+    Trait {
+        /// The declaring trait's name.
+        trait_name: String,
+    },
+}
+
+/// One `fn` item anywhere in the workspace.
+#[derive(Debug, Clone)]
+pub struct FnSym {
+    /// The bare function name.
+    pub name: String,
+    /// Workspace-relative file path (`/`-normalised).
+    pub file: String,
+    /// Index of the file in the analysis set (token ranges refer to that
+    /// file's stream).
+    pub file_idx: usize,
+    /// 1-based line of the `fn` keyword. Read by the fixture harness
+    /// (`xtask/tests/callgraph_fixtures.rs`), which includes this module
+    /// tree as its own crate via `#[path]`.
+    #[allow(dead_code)]
+    pub line: u32,
+    /// Token-index extent of the body: `(open_brace, close_brace)`.
+    /// `None` for bodyless declarations.
+    pub body: Option<(usize, usize)>,
+    /// Enclosing impl/trait context.
+    pub owner: Owner,
+    /// Declared under a `#[cfg(test)]`-style mask.
+    pub in_test: bool,
+}
+
+impl FnSym {
+    /// `true` when this is a method (inherent, trait impl, or trait
+    /// default) rather than a free function. Used by the fixture harness
+    /// crate (`#[path]` include), not by the xtask binary itself.
+    #[allow(dead_code)]
+    pub fn is_method(&self) -> bool {
+        !matches!(self.owner, Owner::Free)
+    }
+}
+
+/// The workspace-wide symbol table plus lookup maps for call resolution.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// Every function item, in file/source order. Indices into this vec
+    /// are the node ids of the call graph.
+    pub fns: Vec<FnSym>,
+    /// name → fn indices (all owners).
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// Free fns only: name → indices.
+    pub free_by_name: BTreeMap<String, Vec<usize>>,
+    /// Methods (impl + trait-default decls with bodies count; bodyless
+    /// trait decls included too): name → indices.
+    pub methods_by_name: BTreeMap<String, Vec<usize>>,
+    /// (type_name, method name) → indices, for `Type::method(..)` calls.
+    pub by_type_method: BTreeMap<(String, String), Vec<usize>>,
+    /// trait name → method names declared in its body (for trait-path
+    /// call resolution `Trait::method(..)`).
+    pub trait_methods: BTreeMap<String, Vec<String>>,
+}
+
+impl SymbolTable {
+    /// Adds one file's symbols. `file_idx` must match the caller's file
+    /// ordering so the call graph can find the right token stream.
+    pub fn add_file(&mut self, rel: &str, file_idx: usize, lexed: &Lexed, scopes: &Scopes) {
+        if scopes.unbalanced {
+            return; // rules already reported a parse finding for the file
+        }
+        let start = self.fns.len();
+        extract_fns(rel, file_idx, lexed, scopes, &mut self.fns);
+        for idx in start..self.fns.len() {
+            let f = &self.fns[idx];
+            self.by_name.entry(f.name.clone()).or_default().push(idx);
+            match &f.owner {
+                Owner::Free => self.free_by_name.entry(f.name.clone()).or_default().push(idx),
+                Owner::Impl { type_name, .. } => {
+                    self.methods_by_name.entry(f.name.clone()).or_default().push(idx);
+                    self.by_type_method
+                        .entry((type_name.clone(), f.name.clone()))
+                        .or_default()
+                        .push(idx);
+                }
+                Owner::Trait { trait_name } => {
+                    self.methods_by_name.entry(f.name.clone()).or_default().push(idx);
+                    self.by_type_method
+                        .entry((trait_name.clone(), f.name.clone()))
+                        .or_default()
+                        .push(idx);
+                    self.trait_methods
+                        .entry(trait_name.clone())
+                        .or_default()
+                        .push(f.name.clone());
+                }
+            }
+        }
+    }
+}
+
+/// An `impl`/`trait` container discovered in a file, with its body extent.
+struct Container {
+    body: (usize, usize),
+    owner: Owner,
+}
+
+/// Walks one token stream, appending every `fn` item to `out`.
+fn extract_fns(rel: &str, file_idx: usize, lexed: &Lexed, scopes: &Scopes, out: &mut Vec<FnSym>) {
+    let toks = &lexed.toks;
+    let n = toks.len();
+
+    // Pass 1: impl/trait containers.
+    let mut containers: Vec<Container> = Vec::new();
+    let mut i = 0usize;
+    while i < n {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident && (t.text == "impl" || t.text == "trait") {
+            // `impl` also appears in `-> impl Trait` / `dyn impl` positions;
+            // a real item is followed (eventually) by a body `{` before any
+            // `;`, and `-> impl Trait` never is at statement level. We parse
+            // the header; failure to find a body just skips it.
+            if let Some(c) = parse_container(toks, scopes, i, t.text == "trait") {
+                let skip_to = c.body.0;
+                containers.push(c);
+                i = skip_to + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+
+    // Pass 2: fn items.
+    let mut i = 0usize;
+    while i < n {
+        let t = &toks[i];
+        let is_fn = t.kind == TokKind::Ident && t.text == "fn";
+        if !is_fn {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+            i += 1;
+            continue;
+        };
+        let body = find_body(toks, scopes, i + 2);
+        let owner = containers
+            .iter()
+            .filter(|c| c.body.0 < i && i < c.body.1)
+            .max_by_key(|c| c.body.0) // innermost container wins
+            .map(|c| c.owner.clone())
+            .unwrap_or(Owner::Free);
+        out.push(FnSym {
+            name: name_tok.text.clone(),
+            file: rel.to_string(),
+            file_idx,
+            line: t.line,
+            body,
+            owner,
+            in_test: scopes.in_test(i),
+        });
+        i += 2;
+    }
+}
+
+/// Parses an `impl`/`trait` header starting at token `i` (the keyword),
+/// returning the container with its body extent, or `None` when no body
+/// exists (e.g. `-> impl Trait` in a return type, or a malformed header).
+fn parse_container(
+    toks: &[super::lexer::Tok],
+    scopes: &Scopes,
+    i: usize,
+    is_trait: bool,
+) -> Option<Container> {
+    let n = toks.len();
+    let mut angle: i32 = 0;
+    let mut idents_before_for: Vec<String> = Vec::new();
+    let mut idents_after_for: Vec<String> = Vec::new();
+    let mut seen_for = false;
+    let mut seen_where = false;
+    let mut j = i + 1;
+    while j < n {
+        let t = &toks[j];
+        match t.kind {
+            TokKind::Punct => match t.text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "<<" => angle += 2,
+                ">>" => angle -= 2,
+                "{" if angle <= 0 => {
+                    let close = scopes.matching(j)?;
+                    let owner = if is_trait {
+                        Owner::Trait {
+                            trait_name: idents_before_for.first()?.clone(),
+                        }
+                    } else if seen_for {
+                        // Paths keep their last segment: `impl ec::Code for
+                        // cluster::Store` → trait `Code`, type `Store`.
+                        Owner::Impl {
+                            type_name: idents_after_for.last()?.clone(),
+                            trait_name: idents_before_for.last().cloned(),
+                        }
+                    } else {
+                        Owner::Impl {
+                            type_name: idents_before_for.last()?.clone(),
+                            trait_name: None,
+                        }
+                    };
+                    return Some(Container {
+                        body: (j, close),
+                        owner,
+                    });
+                }
+                ";" if angle <= 0 => return None, // `impl Trait for Type;`-less decl / stray
+                "(" | "[" => {
+                    j = scopes.matching(j)? + 1;
+                    continue;
+                }
+                _ => {}
+            },
+            TokKind::Ident if angle <= 0 && !seen_where => match t.text.as_str() {
+                "for" => seen_for = true,
+                "where" => seen_where = true,
+                // `dyn`/`unsafe`/`const` etc. are structure, not names.
+                "dyn" | "unsafe" | "const" | "async" | "pub" | "mut" => {}
+                name => {
+                    if seen_for {
+                        idents_after_for.push(name.to_string());
+                    } else {
+                        idents_before_for.push(name.to_string());
+                    }
+                }
+            },
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// From the token after an fn's name, finds the body `{ … }` extent:
+/// skips matched `(`/`[` groups and `<…>` runs; `;` first ⇒ no body.
+fn find_body(
+    toks: &[super::lexer::Tok],
+    scopes: &Scopes,
+    mut j: usize,
+) -> Option<(usize, usize)> {
+    let n = toks.len();
+    let mut angle: i32 = 0;
+    while j < n {
+        let t = &toks[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "<<" => angle += 2,
+                ">>" => angle -= 2,
+                "->" => {}
+                "{" if angle <= 0 => {
+                    let close = scopes.matching(j)?;
+                    return Some((j, close));
+                }
+                ";" if angle <= 0 => return None,
+                "(" | "[" => {
+                    j = scopes.matching(j)? + 1;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::lexer::lex;
+    use crate::lint::scopes::analyze;
+
+    fn table(src: &str) -> SymbolTable {
+        let lexed = lex(src);
+        let scopes = analyze(&lexed);
+        let mut t = SymbolTable::default();
+        t.add_file("crates/x/src/lib.rs", 0, &lexed, &scopes);
+        t
+    }
+
+    #[test]
+    fn free_fns_and_bodies() {
+        let t = table("fn a() { b(); }\nfn b();\n");
+        assert_eq!(t.fns.len(), 2);
+        assert_eq!(t.fns[0].name, "a");
+        assert!(t.fns[0].body.is_some());
+        assert_eq!(t.fns[0].owner, Owner::Free);
+        assert!(!t.fns[0].is_method());
+        assert_eq!(t.fns[0].line, 1);
+        assert_eq!(t.fns[1].line, 2);
+        assert!(t.fns[1].body.is_none(), "decl has no body");
+    }
+
+    #[test]
+    fn inherent_and_trait_impl_methods() {
+        let src = "impl Foo {\n  fn m(&self) {}\n}\n\
+                   impl Code for Bar<T> {\n  fn decode(&self) {}\n}\n";
+        let t = table(src);
+        assert_eq!(
+            t.fns[0].owner,
+            Owner::Impl { type_name: "Foo".into(), trait_name: None }
+        );
+        assert_eq!(
+            t.fns[1].owner,
+            Owner::Impl { type_name: "Bar".into(), trait_name: Some("Code".into()) }
+        );
+        assert!(t.by_type_method.contains_key(&("Bar".into(), "decode".into())));
+        assert!(t.fns.iter().all(FnSym::is_method));
+    }
+
+    #[test]
+    fn generic_impl_header_with_nested_angles() {
+        // `>>` is one token closing two angle groups; the header parser
+        // must not mistake the body brace's level.
+        let src = "impl<T: Into<Vec<u8>>> Codec for Wrap<Arc<T>> {\n  fn decode(&self) {}\n}\n";
+        let t = table(src);
+        assert_eq!(
+            t.fns[0].owner,
+            Owner::Impl { type_name: "Wrap".into(), trait_name: Some("Codec".into()) }
+        );
+    }
+
+    #[test]
+    fn trait_default_and_declared_methods() {
+        let src = "trait Code {\n  fn decode(&self);\n  fn helper(&self) { self.decode() }\n}\n";
+        let t = table(src);
+        assert_eq!(t.fns.len(), 2);
+        assert_eq!(t.fns[0].owner, Owner::Trait { trait_name: "Code".into() });
+        assert!(t.fns[0].body.is_none());
+        assert!(t.fns[1].body.is_some(), "default method has a body");
+        assert_eq!(t.trait_methods["Code"], vec!["decode", "helper"]);
+    }
+
+    #[test]
+    fn where_clause_does_not_pollute_names() {
+        let src = "impl<T> Code for Foo<T> where T: Clone {\n  fn m(&self) {}\n}\n";
+        let t = table(src);
+        assert_eq!(
+            t.fns[0].owner,
+            Owner::Impl { type_name: "Foo".into(), trait_name: Some("Code".into()) }
+        );
+    }
+
+    #[test]
+    fn return_impl_trait_is_not_a_container() {
+        let src = "fn make() -> impl Iterator<Item = u8> { x.iter() }\nfn other() {}\n";
+        let t = table(src);
+        assert_eq!(t.fns.len(), 2);
+        assert!(t.fns.iter().all(|f| f.owner == Owner::Free));
+    }
+
+    #[test]
+    fn test_mask_is_recorded() {
+        let src = "#[cfg(test)]\nmod tests { fn t() {} }\nfn ship() {}\n";
+        let t = table(src);
+        assert!(t.fns[0].in_test);
+        assert!(!t.fns[1].in_test);
+    }
+
+    #[test]
+    fn fn_with_generics_and_slice_return_finds_body() {
+        let src = "fn f<T: Ord>(a: &[u8]) -> [u8; 4] { g() }\n";
+        let t = table(src);
+        assert!(t.fns[0].body.is_some());
+    }
+}

@@ -1,0 +1,279 @@
+//! Reachability policies over the call graph: transitive panic-freedom
+//! and hot-path allocation propagation.
+//!
+//! The body-local policies in [`super::rules`] only see the file they are
+//! scoped to: an `unwrap()` inside a helper that `decode` calls — but
+//! that lives outside `PANIC_SCOPE` — escaped every check. This pass
+//! closes that gap by re-expressing both policies as graph reachability:
+//!
+//! * **`transitive-panic`** — every function reachable from a serving
+//!   root ([`PANIC_ROOTS`]: `decode`, `reconstruct`/`reconstruct_tiered`,
+//!   `plan_repair`/`execute_plan`, `read_object`/`repair_object`, tier
+//!   `read_object`/`repair_node`) must be panic-free;
+//! * **`transitive-alloc`** — every function reachable from
+//!   [`ALLOC_ROOTS`] (`encode_into`, `apply_into`) must not allocate
+//!   fresh buffers.
+//!
+//! Every diagnostic carries the full call-path trace from the root to
+//! the hazard, one hop per edge with the call-site line —
+//!
+//! ```text
+//! rs::lib::decode →[crates/rs/src/lib.rs:231] gf::matrix::solve
+//!   → `.unwrap()` via line 203
+//! ```
+//!
+//! — so a finding is never "somewhere under decode" but an exact,
+//! reviewable chain. Waivers reuse the site markers (`panic-ok:` /
+//! `alloc-ok:`); waived sites are inventoried and ratcheted against
+//! `xtask/transitive_baseline.json`, separately from the body-local
+//! baseline, so transitive coverage can tighten without perturbing the
+//! PR 5 ratchet.
+
+use super::callgraph::CallGraph;
+use super::report::Finding;
+use super::symbols::SymbolTable;
+use std::collections::{BTreeSet, VecDeque};
+
+/// Serving-path roots for the transitive panic-freedom policy: matched
+/// by function name, every non-test definition counts (trait method,
+/// inherent method, free fn alike).
+pub const PANIC_ROOTS: &[&str] = &[
+    "decode",
+    "reconstruct",
+    "reconstruct_tiered",
+    "plan_repair",
+    "execute_plan",
+    "read_object",
+    "repair_object",
+    "repair_node",
+];
+
+/// Zero-allocation roots: the session layer's hot encode contract.
+pub const ALLOC_ROOTS: &[&str] = &["encode_into", "apply_into"];
+
+/// Shortest-path BFS forest from every root: `parent[v]` is the hop that
+/// first reached `v` (`None` for roots and unreached nodes).
+struct Reach {
+    /// Visit state per fn id.
+    visited: Vec<bool>,
+    /// `(caller id, call-site line)` of the first edge into each node.
+    parent: Vec<Option<(usize, u32)>>,
+    /// Reached node ids in visit order (deterministic).
+    order: Vec<usize>,
+}
+
+fn reach(table: &SymbolTable, graph: &CallGraph, roots: &[&str]) -> Reach {
+    let n = table.fns.len();
+    let mut r = Reach {
+        visited: vec![false; n],
+        parent: vec![None; n],
+        order: Vec::new(),
+    };
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for (id, f) in table.fns.iter().enumerate() {
+        if !f.in_test && roots.contains(&f.name.as_str()) {
+            r.visited[id] = true;
+            queue.push_back(id);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        r.order.push(v);
+        for e in &graph.edges[v] {
+            if !r.visited[e.callee] {
+                r.visited[e.callee] = true;
+                r.parent[e.callee] = Some((v, e.line));
+                queue.push_back(e.callee);
+            }
+        }
+    }
+    r
+}
+
+/// `crates/rs/src/lib.rs` → `rs::lib` — a compact module-ish qualifier
+/// for traces.
+fn qualify(file: &str) -> String {
+    let mut s = file;
+    s = s.strip_prefix("crates/").unwrap_or(s);
+    s = s.strip_suffix(".rs").unwrap_or(s);
+    let parts: Vec<&str> = s.split('/').filter(|p| *p != "src").collect();
+    parts.join("::")
+}
+
+/// Formats the root→node call chain, one `→[file:line]` hop per edge.
+fn trace(table: &SymbolTable, r: &Reach, mut node: usize) -> String {
+    let mut hops: Vec<String> = Vec::new();
+    loop {
+        let f = &table.fns[node];
+        let label = format!("{}::{}", qualify(&f.file), f.name);
+        match r.parent[node] {
+            // The edge annotation belongs in front of the CALLEE: the
+            // caller invokes it at `caller-file:line`.
+            Some((caller, line)) => {
+                hops.push(format!("→[{}:{line}] {label}", table.fns[caller].file));
+                node = caller;
+            }
+            None => {
+                hops.push(label);
+                break;
+            }
+        }
+    }
+    hops.reverse();
+    hops.join(" ")
+}
+
+/// Runs both reachability policies, appending findings (errors for
+/// unwaived hazards, waived entries for marked ones — both carrying the
+/// trace).
+pub fn run(table: &SymbolTable, graph: &CallGraph, findings: &mut Vec<Finding>) {
+    let policies: [(&'static str, &[&str], &[Vec<super::callgraph::Hazard>], &str, &str); 2] = [
+        (
+            "transitive-panic",
+            PANIC_ROOTS,
+            &graph.panic_hazards,
+            "return a typed EcError/ClusterError/TierError along the chain",
+            "panic-ok",
+        ),
+        (
+            "transitive-alloc",
+            ALLOC_ROOTS,
+            &graph.alloc_hazards,
+            "hoist the buffer to the caller or the session arena",
+            "alloc-ok",
+        ),
+    ];
+    for (rule, roots, hazards, fix, marker_name) in policies {
+        let r = reach(table, graph, roots);
+        let mut seen: BTreeSet<(String, u32, &'static str)> = BTreeSet::new();
+        for &node in &r.order {
+            let f = &table.fns[node];
+            for h in &hazards[node] {
+                if !seen.insert((f.file.clone(), h.line, h.what)) {
+                    continue;
+                }
+                let chain = trace(table, &r, node);
+                match &h.waiver {
+                    Some(inv) => findings.push(Finding::waived(
+                        &f.file,
+                        h.line,
+                        rule,
+                        format!("{inv} [trace: {chain} → `{}` via line {}]", h.what, h.line),
+                    )),
+                    None => findings.push(Finding::error(
+                        &f.file,
+                        h.line,
+                        rule,
+                        format!(
+                            "`{}` reachable from a serving root: {chain} → `{}` via line {} — \
+                             {fix} (or justify with `// {marker_name}: <reason>`)",
+                            h.what, h.what, h.line
+                        ),
+                    )),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::callgraph::build;
+    use crate::lint::lexer::lex;
+    use crate::lint::scopes::analyze;
+
+    fn run_on(src: &str) -> Vec<Finding> {
+        let lexed = lex(src);
+        let scopes = analyze(&lexed);
+        let mut t = SymbolTable::default();
+        t.add_file("crates/x/src/lib.rs", 0, &lexed, &scopes);
+        let files = vec![("crates/x/src/lib.rs".to_string(), lexed, scopes)];
+        let g = build(&t, &files);
+        let mut f = Vec::new();
+        run(&t, &g, &mut f);
+        f
+    }
+
+    fn errors(f: &[Finding]) -> Vec<&Finding> {
+        f.iter().filter(|x| !x.waived).collect()
+    }
+
+    #[test]
+    fn two_deep_unwrap_under_decode_is_caught_with_trace() {
+        let src = "fn decode(x: Option<u8>) { mid(x); }\n\
+                   fn mid(x: Option<u8>) { deep(x); }\n\
+                   fn deep(x: Option<u8>) { x.unwrap(); }\n";
+        let f = run_on(src);
+        let e = errors(&f);
+        assert_eq!(e.len(), 1, "{f:?}");
+        assert_eq!(e[0].rule, "transitive-panic");
+        assert_eq!(e[0].line, 3);
+        // The full chain, arrows annotating each CALLEE with its call site.
+        assert!(
+            e[0].detail.contains(
+                "x::lib::decode →[crates/x/src/lib.rs:1] x::lib::mid \
+                 →[crates/x/src/lib.rs:2] x::lib::deep"
+            ),
+            "{}",
+            e[0].detail
+        );
+    }
+
+    #[test]
+    fn unreachable_hazard_is_silent() {
+        let src = "fn decode() { safe(); }\nfn safe() {}\nfn lonely(x: Option<u8>) { x.unwrap(); }\n";
+        assert!(errors(&run_on(src)).is_empty());
+    }
+
+    #[test]
+    fn waiver_covers_the_transitive_finding_too() {
+        let src = "fn decode(x: Option<u8>) { deep(x); }\n\
+                   fn deep(x: Option<u8>) {\n    x.unwrap() // panic-ok: caller validated\n}\n";
+        let f = run_on(src);
+        assert!(errors(&f).is_empty(), "{f:?}");
+        let w: Vec<_> = f.iter().filter(|x| x.waived).collect();
+        assert_eq!(w.len(), 1);
+        assert!(w[0].detail.contains("caller validated"));
+        assert!(w[0].detail.contains("trace:"), "waived entries keep the trace");
+    }
+
+    #[test]
+    fn cycles_terminate_and_still_report() {
+        let src = "fn decode() { a(); }\n\
+                   fn a() { b(); }\n\
+                   fn b(x: Option<u8>) { a(); x.unwrap(); }\n";
+        let f = run_on(src);
+        let e = errors(&f);
+        assert_eq!(e.len(), 1, "{f:?}");
+        assert!(e[0].detail.contains("x::lib::a"), "{}", e[0].detail);
+    }
+
+    #[test]
+    fn alloc_policy_runs_from_encode_into() {
+        let src = "fn encode_into(p: &mut [u8]) { fill(p); }\n\
+                   fn fill(p: &mut [u8]) { let v = p.to_vec(); }\n\
+                   fn decode(p: &[u8]) { other(p); }\n\
+                   fn other(p: &[u8]) { let v = p.to_vec(); }\n";
+        let f = run_on(src);
+        let e = errors(&f);
+        // Only the chain under encode_into is an alloc violation; decode's
+        // helper allocating is fine (panic policy does not ban allocs).
+        assert_eq!(e.len(), 1, "{f:?}");
+        assert_eq!(e[0].rule, "transitive-alloc");
+        assert_eq!(e[0].line, 2);
+    }
+
+    #[test]
+    fn dyn_dispatch_fans_to_every_impl() {
+        let src = "trait Code { fn inner(&self); }\n\
+                   struct A; struct B;\n\
+                   impl Code for A { fn inner(&self) {} }\n\
+                   impl Code for B { fn inner(&self) { oops(); } }\n\
+                   fn oops() { panic!(\"boom\") }\n\
+                   fn decode(c: &dyn Code) { c.inner(); }\n";
+        let f = run_on(src);
+        let e = errors(&f);
+        assert_eq!(e.len(), 1, "{f:?}");
+        assert!(e[0].detail.contains("x::lib::oops"), "{}", e[0].detail);
+    }
+}

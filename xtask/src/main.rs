@@ -1,8 +1,9 @@
 //! Workspace helper tasks, invoked as `cargo xtask <command>`.
 //!
 //! `lint` is the soundness gate that rustc cannot express as a built-in
-//! lint. Since PR 5 it is a token-tree semantic pass (see `lint/mod.rs`),
-//! enforcing:
+//! lint. Since PR 7 it is a call-graph-aware whole-workspace pass (lexer
+//! → scopes → symbols → call graph → policies; see `lint/mod.rs`),
+//! enforcing nine policies:
 //!
 //! 1. **unsafe containment** — `unsafe` only under `crates/gf/src/kernels/`,
 //!    every block carrying a `// SAFETY:` comment, every other crate root
@@ -10,24 +11,37 @@
 //! 2. **kernel confinement** — raw `^=` / `MUL_TABLE` stay inside apec_gf;
 //! 3. **reproducibility** — entropy-seeded RNGs banned everywhere;
 //! 4. **zero-copy decode** — shard-buffer clones banned on hot paths;
-//! 5. **panic-freedom** — `unwrap`/`expect`/`panic!`-family macros and
-//!    shard-buffer `[]` indexing banned in non-test decode/repair/read
-//!    code, waived only by `// panic-ok: <invariant>` (inventoried via
-//!    `--report panics.json`, ratcheted against `xtask/panic_baseline.json`);
+//! 5. **transitive panic-freedom** — no `unwrap`/`expect`/`panic!`-family
+//!    macro or shard-buffer `[]` indexing *reachable* from a serving root
+//!    (`decode`, `reconstruct*`, `plan_repair`/`execute_plan`,
+//!    `read_object`/`repair_object`/`repair_node`), body-local scope rules
+//!    included; every diagnostic carries the root→hazard call chain;
+//!    waived only by `// panic-ok: <invariant>` (inventoried via
+//!    `--report panics.json`, ratcheted against `xtask/panic_baseline.json`
+//!    and `xtask/transitive_baseline.json`);
 //! 6. **checked arithmetic** — byte/op counters use `saturating_*`/
 //!    `checked_*` or carry `// wrap-ok: <reason>`;
 //! 7. **concurrency hygiene** — `Ordering::Relaxed` confined to
 //!    `ec::parallel`, `static mut` banned, crossbeam-scope types witnessed
 //!    by `assert_send_sync`;
-//! 8. **hot-path allocation** — `vec!`/`to_vec`/`with_capacity`/`collect`
-//!    banned inside `encode_into`/`apply_into` bodies (the session layer's
-//!    zero-allocation contract), waived only by `// alloc-ok: <reason>`.
+//! 8. **transitive hot-path allocation** — `vec!`/`to_vec`/`with_capacity`/
+//!    `collect` banned in everything reachable from `encode_into`/
+//!    `apply_into` (the session layer's zero-allocation contract), waived
+//!    only by `// alloc-ok: <reason>`;
+//! 9. **dead-waiver hygiene** — a waiver marker that no longer suppresses
+//!    any finding is itself an error (stale waivers re-arm silently).
 //!
-//! Usage: `cargo xtask lint [--report <path>] [--baseline <path>]
-//! [--write-baseline] [--no-ratchet]`
+//! `bench-check` validates the `BENCH_*.json` artifacts the bench suites
+//! write against per-bench schemas (see `bench.rs`).
+//!
+//! Usage:
+//!   `cargo xtask lint [--report <path>] [--sarif <path>] [--baseline <path>]
+//!    [--transitive-baseline <path>] [--write-baseline] [--no-ratchet]`
+//!   `cargo xtask bench-check [paths...]`
 
 #![forbid(unsafe_code)]
 
+mod bench;
 mod lint;
 
 use std::path::Path;
@@ -59,12 +73,25 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("bench-check") => match bench::run(&args[1..]) {
+            Ok(_) => {
+                println!("xtask bench-check: ok");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("xtask bench-check: {e}");
+                ExitCode::from(1)
+            }
+        },
         Some(other) => {
-            eprintln!("xtask: unknown command {other:?} (expected: lint)");
+            eprintln!("xtask: unknown command {other:?} (expected: lint, bench-check)");
             ExitCode::from(2)
         }
         None => {
-            eprintln!("usage: cargo xtask lint [--report <path>] [--write-baseline] [--no-ratchet]");
+            eprintln!(
+                "usage: cargo xtask lint [--report <path>] [--sarif <path>] \
+                 [--write-baseline] [--no-ratchet] | cargo xtask bench-check [paths...]"
+            );
             ExitCode::from(2)
         }
     }

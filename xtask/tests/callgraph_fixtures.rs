@@ -1,0 +1,179 @@
+//! End-to-end fixtures for the call-graph layers (symbols → call graph →
+//! reachability policies).
+//!
+//! Each `cg_*.rs` fixture in `tests/fixtures/` is a small workspace-shaped
+//! snippet pinning one edge-resolution behaviour: direct calls, typed
+//! method receivers, trait-default-method dispatch, dyn fan-out, cycles,
+//! and the acceptance sabotage (an `unwrap()` two calls deep under
+//! `decode`). Every test asserts the *exact* reachability trace the
+//! diagnostic carries, so trace formatting and BFS parentage are pinned,
+//! not just "a finding exists".
+
+// The whole module tree is included; this harness exercises the symbol,
+// graph and transitive layers, so the workspace driver is dead code here.
+#![allow(dead_code)]
+
+#[path = "../src/lint/mod.rs"]
+mod lint;
+
+use lint::callgraph::{build, CallGraph};
+use lint::lexer::lex;
+use lint::report::Finding;
+use lint::scopes::analyze;
+use lint::symbols::SymbolTable;
+use lint::transitive;
+
+/// The workspace-relative path fixtures are analyzed under; `qualify`
+/// turns it into the `cg::lib` prefix every pinned trace uses.
+const REL: &str = "crates/cg/src/lib.rs";
+
+/// Reads a fixture whether the test runs from the workspace root (the
+/// offline harness) or from `xtask/` (cargo).
+fn fixture(name: &str) -> String {
+    let candidates = [
+        format!("xtask/tests/fixtures/{name}"),
+        format!("tests/fixtures/{name}"),
+    ];
+    for c in &candidates {
+        if let Ok(src) = std::fs::read_to_string(c) {
+            return src;
+        }
+    }
+    panic!("fixture {name} not found in {candidates:?}");
+}
+
+/// Runs the full analysis stack on one fixture as if it lived at [`REL`].
+fn analyze_fixture(name: &str) -> (SymbolTable, CallGraph, Vec<Finding>) {
+    let src = fixture(name);
+    let lexed = lex(&src);
+    let scopes = analyze(&lexed);
+    assert!(!scopes.unbalanced, "{name}: fixture has unbalanced delimiters");
+    let mut table = SymbolTable::default();
+    table.add_file(REL, 0, &lexed, &scopes);
+    let files = vec![(REL.to_string(), lexed, scopes)];
+    let graph = build(&table, &files);
+    let mut findings = Vec::new();
+    transitive::run(&table, &graph, &mut findings);
+    (table, graph, findings)
+}
+
+fn errors(findings: &[Finding]) -> Vec<&Finding> {
+    findings.iter().filter(|f| !f.waived).collect()
+}
+
+#[test]
+fn direct_call_chains_feed_both_policies() {
+    let (_, _, f) = analyze_fixture("cg_direct.rs");
+    let e = errors(&f);
+    assert_eq!(e.len(), 2, "{f:?}");
+    let panic = e.iter().find(|f| f.rule == "transitive-panic").unwrap();
+    assert_eq!(panic.line, 9);
+    assert!(
+        panic.detail.contains("cg::lib::decode →[crates/cg/src/lib.rs:5] cg::lib::helper"),
+        "{}",
+        panic.detail
+    );
+    let alloc = e.iter().find(|f| f.rule == "transitive-alloc").unwrap();
+    assert_eq!(alloc.line, 17);
+    assert!(
+        alloc
+            .detail
+            .contains("cg::lib::encode_into →[crates/cg/src/lib.rs:13] cg::lib::fill"),
+        "{}",
+        alloc.detail
+    );
+}
+
+#[test]
+fn typed_receiver_pins_the_impl() {
+    // `let s = Solver::new(); s.solve(x)` must flag Solver::solve only;
+    // Engine::solve carries the same hazard but is unreached.
+    let (_, _, f) = analyze_fixture("cg_method.rs");
+    let e = errors(&f);
+    assert_eq!(e.len(), 1, "{f:?}");
+    assert_eq!(e[0].line, 12, "Solver::solve's unwrap, not Engine's (line 20)");
+    assert!(
+        e[0].detail.contains("cg::lib::decode →[crates/cg/src/lib.rs:26] cg::lib::solve"),
+        "{}",
+        e[0].detail
+    );
+}
+
+#[test]
+fn trait_default_method_edges_to_impls() {
+    let (_, _, f) = analyze_fixture("cg_trait_default.rs");
+    let e = errors(&f);
+    assert_eq!(e.len(), 1, "{f:?}");
+    assert_eq!(e[0].line, 16);
+    assert!(
+        e[0].detail.contains("cg::lib::decode →[crates/cg/src/lib.rs:8] cg::lib::inner"),
+        "{}",
+        e[0].detail
+    );
+}
+
+#[test]
+fn dyn_dispatch_fans_to_every_impl() {
+    // `c.inner(x)` through `&dyn Code` reaches both impls; only B's chain
+    // continues into `boom` and its unwrap.
+    let (_, _, f) = analyze_fixture("cg_dyn.rs");
+    let e = errors(&f);
+    assert_eq!(e.len(), 1, "{f:?}");
+    assert_eq!(e[0].line, 24);
+    assert!(
+        e[0].detail.contains(
+            "cg::lib::decode →[crates/cg/src/lib.rs:28] cg::lib::inner \
+             →[crates/cg/src/lib.rs:19] cg::lib::boom"
+        ),
+        "{}",
+        e[0].detail
+    );
+}
+
+#[test]
+fn cycle_terminates_and_reports_once() {
+    let (_, _, f) = analyze_fixture("cg_cycle.rs");
+    let e = errors(&f);
+    assert_eq!(e.len(), 1, "{f:?}");
+    assert_eq!(e[0].line, 10);
+    // The shortest chain: decode → ping, not the ping↔pong loop.
+    assert!(
+        e[0].detail.contains("cg::lib::decode →[crates/cg/src/lib.rs:5] cg::lib::ping"),
+        "{}",
+        e[0].detail
+    );
+}
+
+#[test]
+fn sabotage_two_deep_unwrap_is_caught_with_full_trace() {
+    // The acceptance sabotage: hide an unwrap two calls below `decode`.
+    let (_, _, f) = analyze_fixture("cg_sabotage.rs");
+    let e = errors(&f);
+    assert_eq!(e.len(), 1, "{f:?}");
+    assert_eq!(e[0].rule, "transitive-panic");
+    assert_eq!(e[0].line, 13);
+    assert!(
+        e[0].detail.contains(
+            "cg::lib::decode →[crates/cg/src/lib.rs:5] cg::lib::mid \
+             →[crates/cg/src/lib.rs:9] cg::lib::deep"
+        ),
+        "{}",
+        e[0].detail
+    );
+}
+
+#[test]
+fn symbol_table_records_methods_and_lines() {
+    let (table, graph, _) = analyze_fixture("cg_method.rs");
+    // 2 Solver methods + 1 Engine method + decode.
+    assert_eq!(table.fns.len(), 4);
+    let solve = &table.fns[table.by_type_method[&("Solver".into(), "solve".into())][0]];
+    assert!(solve.is_method());
+    assert_eq!(solve.line, 11, "fn keyword line");
+    let decode = &table.fns[table.free_by_name["decode"][0]];
+    assert!(!decode.is_method());
+    assert_eq!(decode.line, 24);
+    // decode has exactly two edges: Solver::new and Solver::solve.
+    let decode_id = table.free_by_name["decode"][0];
+    assert_eq!(graph.edges[decode_id].len(), 2, "{:?}", graph.edges[decode_id]);
+}

@@ -1,0 +1,18 @@
+//! Mutual recursion: the BFS must terminate and report the hazard once,
+//! with the shortest chain from the root.
+
+pub fn decode(n: u8, x: Option<u8>) -> u8 {
+    ping(n, x)
+}
+
+fn ping(n: u8, x: Option<u8>) -> u8 {
+    if n == 0 {
+        x.unwrap()
+    } else {
+        pong(n - 1, x)
+    }
+}
+
+fn pong(n: u8, x: Option<u8>) -> u8 {
+    ping(n, x)
+}

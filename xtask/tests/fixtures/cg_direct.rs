@@ -1,0 +1,19 @@
+//! One-hop edges for both reachability policies: a panic hazard under
+//! `decode` and an allocation under `encode_into`.
+
+pub fn decode(x: Option<u8>) -> u8 {
+    helper(x)
+}
+
+fn helper(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+pub fn encode_into(out: &mut [u8]) {
+    fill(out)
+}
+
+fn fill(out: &mut [u8]) {
+    let scratch = vec![0u8; out.len()];
+    out.copy_from_slice(&scratch);
+}

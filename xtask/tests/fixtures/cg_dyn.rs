@@ -1,0 +1,29 @@
+//! Dyn-dispatch fan-out: a call through `&dyn Code` edges to every impl
+//! of the called method; only B's chain carries a hazard.
+
+pub trait Code {
+    fn inner(&self, x: Option<u8>) -> u8;
+}
+
+pub struct A;
+pub struct B;
+
+impl Code for A {
+    fn inner(&self, x: Option<u8>) -> u8 {
+        x.unwrap_or(0)
+    }
+}
+
+impl Code for B {
+    fn inner(&self, x: Option<u8>) -> u8 {
+        boom(x)
+    }
+}
+
+fn boom(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+pub fn decode(c: &dyn Code, x: Option<u8>) -> u8 {
+    c.inner(x)
+}

@@ -1,0 +1,27 @@
+//! Typed receiver: `let s = Solver::new()` pins `s.solve()` to Solver,
+//! so the same-named Engine::solve (with its own hazard) stays unreached.
+
+pub struct Solver;
+
+impl Solver {
+    pub fn new() -> Self {
+        Solver
+    }
+
+    fn solve(&self, x: Option<u8>) -> u8 {
+        x.unwrap()
+    }
+}
+
+pub struct Engine;
+
+impl Engine {
+    fn solve(&self, x: Option<u8>) -> u8 {
+        x.unwrap()
+    }
+}
+
+pub fn decode(x: Option<u8>) -> u8 {
+    let s = Solver::new();
+    s.solve(x)
+}

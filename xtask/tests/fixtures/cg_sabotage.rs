@@ -1,0 +1,14 @@
+//! The acceptance sabotage: an `unwrap()` two calls deep under `decode`
+//! must be caught, with the full chain in the diagnostic.
+
+pub fn decode(x: Option<u8>) -> u8 {
+    mid(x)
+}
+
+fn mid(x: Option<u8>) -> u8 {
+    deep(x)
+}
+
+fn deep(x: Option<u8>) -> u8 {
+    x.unwrap()
+}

@@ -1,0 +1,18 @@
+//! Trait-default-method edge: `decode`'s default body dispatches through
+//! `self.inner(..)` to every impl of the trait.
+
+pub trait Code {
+    fn inner(&self, x: Option<u8>) -> u8;
+
+    fn decode(&self, x: Option<u8>) -> u8 {
+        self.inner(x)
+    }
+}
+
+pub struct Rs;
+
+impl Code for Rs {
+    fn inner(&self, x: Option<u8>) -> u8 {
+        x.unwrap()
+    }
+}

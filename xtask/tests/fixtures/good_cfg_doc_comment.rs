@@ -1,0 +1,14 @@
+//! A doc comment between `#[cfg(test)]` and its item owns no tokens and
+//! must not detach the test mask from the item.
+
+pub fn ship() -> u8 {
+    1
+}
+
+#[cfg(test)]
+/// Harness helpers; doc text mentioning unwrap() and shards[0].
+mod tests {
+    pub fn t(x: Option<u8>) -> u8 {
+        x.unwrap()
+    }
+}

@@ -111,6 +111,18 @@ fn panic_ok_markers_waive_and_are_inventoried() {
 }
 
 #[test]
+fn doc_comment_between_cfg_test_and_item_still_masks() {
+    // Regression for a body-local false negative's mirror image: a doc
+    // comment between `#[cfg(test)]` and the `mod` owns no tokens, so the
+    // mask must still attach to the item and silence its hazards.
+    let findings = lint_as("crates/rs/src/fixture.rs", "good_cfg_doc_comment.rs");
+    assert!(
+        errors(&findings).is_empty(),
+        "doc comment detached the test mask: {findings:?}"
+    );
+}
+
+#[test]
 fn outside_panic_scope_the_same_code_is_clean() {
     // The same hazardous snippet at a non-policed path produces nothing:
     // the policy is scoped, not global.
