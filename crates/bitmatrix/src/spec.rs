@@ -223,6 +223,7 @@ impl XorCodeSpec {
         assert_eq!(elements.len(), self.total_elements(), "element count mismatch");
         for (i, &p) in self.parity_elements.iter().enumerate() {
             let support = &self.parity_support[i];
+            // panic-ok: XorCodeSpec::validate rejects empty parity supports at construction
             let (first, rest) = support.split_first().expect("validated non-empty support");
             let mut acc = std::mem::take(&mut elements[p]);
             let len = elements[*first].len();
@@ -231,7 +232,7 @@ impl XorCodeSpec {
             for &s in rest {
                 let src = &elements[s];
                 assert_eq!(src.len(), len, "inconsistent element block sizes");
-                xor_slice(src, &mut acc).expect("lengths asserted equal");
+                xor_slice(src, &mut acc).expect("lengths asserted equal"); // panic-ok: assert_eq! above pins the lengths
             }
             elements[p] = acc;
         }

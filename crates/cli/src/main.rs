@@ -11,6 +11,8 @@
 //! apec check clip.apv restored.apv
 //! apec audit
 //! apec tier  --seed 42 --ticks 60 --json report.json
+//! apec serve --dir vault --addr 127.0.0.1:4701
+//! apec load  --addr 127.0.0.1:4701 --seed 7 --json BENCH_serve.json
 //! ```
 //!
 //! `gen` renders a synthetic 60 fps clip and compresses it with the
@@ -24,6 +26,7 @@
 
 mod args;
 mod clip;
+mod serve_cmd;
 mod tier_cmd;
 mod vault;
 
@@ -63,6 +66,11 @@ commands:
           [--family rs|lrc|star|tip] [--k N] [--r N] [--g N] [--h N]
           [--structure even|uneven] [--cold-shard N] [--hot-k N] [--hot-r N]
           [--failure-every N] [--repair-after N] [--json FILE]
+  serve   --dir DIR [--addr HOST:PORT] [--workers N] [--queue-cap N] [--demo 0|1]
+  load    --addr HOST:PORT [--seed S] [--clients N] [--nodes N]
+          [--imp-bytes N] [--unimp-bytes N] [--videos N] [--ticks N]
+          [--reads-per-tick N] [--failure-every N] [--repair-after N]
+          [--json FILE] [--shutdown 0|1]
 
 run 'apec <command> --help' is not a thing; this is the whole manual.";
 
@@ -82,6 +90,8 @@ fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "check" => cmd_check(Args::parse(rest)?),
         "audit" => cmd_audit(Args::parse(rest)?),
         "tier" => tier_cmd::run(Args::parse(rest)?),
+        "serve" => serve_cmd::run_serve(Args::parse(rest)?),
+        "load" => serve_cmd::run_load(Args::parse(rest)?),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -171,9 +181,10 @@ fn cmd_ls(args: Args) -> Result<(), Box<dyn std::error::Error>> {
     let vault = Vault::open(&dir)?;
     let state = vault.state()?;
     println!(
-        "vault {} — {} — dead nodes: {:?}",
+        "vault {} — {} ({} KiB shards) — dead nodes: {:?}",
         dir.display(),
         apec_ec::ErasureCode::name(vault.code()),
+        vault.config().shard_len / 1024,
         state.dead_nodes
     );
     for meta in vault.list()? {

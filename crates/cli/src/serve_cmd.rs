@@ -1,0 +1,98 @@
+//! `apec serve` and `apec load`: the daemon and its closed-loop driver.
+//!
+//! `serve` opens (or, with `--demo 1`, initialises) a store directory
+//! and blocks serving the binary protocol until a client sends the
+//! `shutdown` verb. `load` replays the tier engine's seeded Zipf
+//! workload against a running daemon and prints — and optionally writes
+//! as `BENCH_serve.json` — the client-observed latency report.
+
+use crate::args::{Args, CliError};
+use apec_serve::{load, serve, LoadConfig, ServerConfig};
+use apec_store::{Store, StoreConfig};
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// `apec serve --dir DIR [--addr A] [--workers N] [--queue-cap N] [--demo 0|1]`
+pub fn run_serve(args: Args) -> Result<(), Box<dyn std::error::Error>> {
+    let dir: PathBuf = args.require("dir")?;
+    let addr: String = args.get_or_str("addr", "127.0.0.1:4701")?;
+    let config = ServerConfig {
+        workers: args.get_or("workers", ServerConfig::default().workers)?,
+        queue_cap: args.get_or("queue-cap", ServerConfig::default().queue_cap)?,
+    };
+    let demo: usize = args.get_or("demo", 0)?;
+    args.finish()?;
+
+    let store = if demo != 0 && !dir.join("config.json").exists() {
+        Store::init(&dir, StoreConfig::demo("rs"))?
+    } else {
+        Store::open(&dir)?
+    };
+    let listener = TcpListener::bind(&addr)
+        .map_err(|e| CliError(format!("cannot bind {addr}: {e}")))?;
+    let (workers, queue_cap) = (config.workers, config.queue_cap);
+    let handle = serve(Arc::new(store), listener, config)?;
+    println!(
+        "serving {} on {} ({workers} workers, queue {queue_cap}); stop with the shutdown verb",
+        dir.display(),
+        handle.addr(),
+    );
+    handle.join();
+    println!("daemon stopped");
+    Ok(())
+}
+
+/// `apec load --addr A [--seed S] [--clients N] [--nodes N]
+///  [--imp-bytes N] [--unimp-bytes N] [--videos N] [--ticks N]
+///  [--reads-per-tick N] [--failure-every N] [--repair-after N]
+///  [--json FILE] [--shutdown 0|1]`
+pub fn run_load(args: Args) -> Result<(), Box<dyn std::error::Error>> {
+    let addr: SocketAddr = args.require("addr")?;
+    let seed: u64 = args.get_or("seed", 7)?;
+    let nodes: usize = args.get_or("nodes", 17)?;
+    let mut cfg = LoadConfig::small(seed, nodes);
+    cfg.clients = args.get_or("clients", cfg.clients)?;
+    cfg.important_bytes = args.get_or("imp-bytes", cfg.important_bytes)?;
+    cfg.unimportant_bytes = args.get_or("unimp-bytes", cfg.unimportant_bytes)?;
+    cfg.workload.videos = args.get_or("videos", cfg.workload.videos)?;
+    cfg.workload.ticks = args.get_or("ticks", cfg.workload.ticks)?;
+    cfg.workload.reads_per_tick =
+        args.get_or("reads-per-tick", cfg.workload.reads_per_tick)?;
+    cfg.workload.failure_every = args.get_or("failure-every", cfg.workload.failure_every)?;
+    cfg.workload.repair_after = args.get_or("repair-after", cfg.workload.repair_after)?;
+    cfg.shutdown_after = args.get_or("shutdown", 0usize)? != 0;
+    let json_out: Option<PathBuf> = args.get_opt("json")?;
+    args.finish()?;
+
+    let report = load::run(addr, &cfg)?;
+    println!(
+        "load: {} requests in {:.1} ms ({:.0} req/s), {} clients",
+        report.total_requests, report.elapsed_ms, report.throughput_rps, report.clients
+    );
+    for op in &report.ops {
+        println!(
+            "  {:<6} {:>6} reqs  p50 {:>8.3} ms  p99 {:>8.3} ms  mean {:>8.3} ms",
+            op.op, op.requests, op.p50_ms, op.p99_ms, op.mean_ms
+        );
+    }
+    println!(
+        "  degraded ratio {:.4}, approx reads {}, integrity failures {}, mismatches {}, errors {}",
+        report.degraded_ratio,
+        report.approx_reads,
+        report.integrity_failures,
+        report.mismatches,
+        report.errors
+    );
+    if let Some(path) = json_out {
+        std::fs::write(&path, report.to_bench_json())?;
+        println!("wrote {}", path.display());
+    }
+    if report.mismatches > 0 || report.errors > 0 {
+        return Err(Box::new(CliError(format!(
+            "load run unhealthy: {} mismatches, {} errors",
+            report.mismatches, report.errors
+        ))));
+    }
+    Ok(())
+}

@@ -183,6 +183,7 @@ impl GfSpec {
             let mut acc = vec![0u8; len];
             for &(c, src) in support {
                 mul_slice_xor(c, &elements[src], &mut acc)
+                    // panic-ok: acc is allocated to the support's block length above
                     .expect("inconsistent element block sizes");
             }
             elements[p] = acc;

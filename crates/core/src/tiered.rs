@@ -95,6 +95,7 @@ pub fn pack(
                 let take = elen.min(stream.len() - src_start);
                 let (node, row, slot) = code.layout().locate(e);
                 let off = (row * code.layout().sub + slot) * elen;
+                // panic-ok: locate() maps element ids to in-layout (node, row, slot), off+take <= shard_len
                 shards[node][off..off + take]
                     .copy_from_slice(&stream[src_start..src_start + take]);
             }

@@ -1,0 +1,181 @@
+//! A blocking client for the serving protocol: one TCP connection,
+//! request–response in lockstep (the closed-loop unit the load harness
+//! multiplies).
+
+use crate::protocol::{
+    read_frame, write_frame, Op, Reader, Status, Writer, FLAG_APPROXIMATE, FLAG_DEGRADED,
+};
+use std::fmt;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+
+/// Client-side errors.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server answered with an error status.
+    Server(Status, String),
+    /// The server's reply did not parse.
+    Proto(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Server(status, msg) => write!(f, "server error {status:?}: {msg}"),
+            ClientError::Proto(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<String> for ClientError {
+    fn from(m: String) -> Self {
+        ClientError::Proto(m)
+    }
+}
+
+/// A get/degraded-get reply.
+#[derive(Debug, PartialEq, Eq)]
+pub struct GetReply {
+    /// The important byte stream.
+    pub important: Vec<u8>,
+    /// The unimportant byte stream.
+    pub unimportant: Vec<u8>,
+    /// At least one shard was reconstructed.
+    pub degraded: bool,
+    /// The bytes are approximate (zero-filled holes).
+    pub approximate: bool,
+    /// Integrity failures the server detected during this read.
+    pub integrity_failures: u32,
+}
+
+/// One blocking connection to the daemon.
+pub struct Client {
+    conn: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    pub fn connect(addr: SocketAddr) -> Result<Client, ClientError> {
+        let conn = TcpStream::connect(addr)?;
+        let _ = conn.set_nodelay(true);
+        Ok(Client { conn })
+    }
+
+    /// Applies a read/write timeout to the connection (`None` blocks
+    /// forever, the default).
+    pub fn set_timeout(&mut self, dur: Option<std::time::Duration>) -> Result<(), ClientError> {
+        self.conn.set_read_timeout(dur)?;
+        self.conn.set_write_timeout(dur)?;
+        Ok(())
+    }
+
+    fn round_trip(&mut self, op: Op, payload: &[u8]) -> Result<Vec<u8>, ClientError> {
+        write_frame(&mut self.conn, op as u8, payload)?;
+        let body = read_frame(&mut self.conn)?
+            .ok_or_else(|| ClientError::Proto("connection closed mid-request".to_string()))?;
+        let Some((&status_byte, reply)) = body.split_first() else {
+            return Err(ClientError::Proto("empty response body".to_string()));
+        };
+        let status = Status::from_byte(status_byte)
+            .ok_or_else(|| ClientError::Proto(format!("unknown status byte {status_byte}")))?;
+        if status == Status::Ok {
+            Ok(reply.to_vec())
+        } else {
+            Err(ClientError::Server(
+                status,
+                String::from_utf8_lossy(reply).into_owned(),
+            ))
+        }
+    }
+
+    /// Stores an object; returns the server's metadata JSON.
+    pub fn put(
+        &mut self,
+        id: &str,
+        important: &[u8],
+        unimportant: &[u8],
+    ) -> Result<String, ClientError> {
+        let mut w = Writer::new();
+        w.str16(id).buf32(important).buf32(unimportant);
+        let reply = self.round_trip(Op::Put, &w.into_bytes())?;
+        Ok(String::from_utf8_lossy(&reply).into_owned())
+    }
+
+    /// Fetches an object.
+    pub fn get(&mut self, id: &str) -> Result<GetReply, ClientError> {
+        let mut w = Writer::new();
+        w.str16(id);
+        let reply = self.round_trip(Op::Get, &w.into_bytes())?;
+        parse_get_reply(&reply)
+    }
+
+    /// Fetches an object while masking `mask` nodes as dead for this
+    /// read only.
+    pub fn degraded_get(&mut self, id: &str, mask: &[usize]) -> Result<GetReply, ClientError> {
+        let mut w = Writer::new();
+        w.str16(id).nodes16(mask);
+        let reply = self.round_trip(Op::DegradedGet, &w.into_bytes())?;
+        parse_get_reply(&reply)
+    }
+
+    /// Object metadata as the server's JSON.
+    pub fn stat(&mut self, id: &str) -> Result<String, ClientError> {
+        let mut w = Writer::new();
+        w.str16(id);
+        let reply = self.round_trip(Op::Stat, &w.into_bytes())?;
+        Ok(String::from_utf8_lossy(&reply).into_owned())
+    }
+
+    /// Metrics snapshot as the server's JSON.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let reply = self.round_trip(Op::Metrics, &[])?;
+        Ok(String::from_utf8_lossy(&reply).into_owned())
+    }
+
+    /// Kills a node (its shard files are deleted server-side).
+    pub fn kill(&mut self, node: usize) -> Result<(), ClientError> {
+        let mut w = Writer::new();
+        w.u16(node.min(u16::MAX as usize) as u16);
+        self.round_trip(Op::Kill, &w.into_bytes())?;
+        Ok(())
+    }
+
+    /// Repairs every object; returns the server's summary JSON.
+    pub fn repair(&mut self) -> Result<String, ClientError> {
+        let reply = self.round_trip(Op::Repair, &[])?;
+        Ok(String::from_utf8_lossy(&reply).into_owned())
+    }
+
+    /// Asks the daemon to stop after acknowledging.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.round_trip(Op::Shutdown, &[])?;
+        Ok(())
+    }
+}
+
+fn parse_get_reply(reply: &[u8]) -> Result<GetReply, ClientError> {
+    let mut r = Reader::new(reply);
+    let flags = r.u8()?;
+    let integrity_failures = r.u32()?;
+    let important = r.buf32()?.to_vec();
+    let unimportant = r.buf32()?.to_vec();
+    r.finish()?;
+    Ok(GetReply {
+        important,
+        unimportant,
+        degraded: flags & FLAG_DEGRADED != 0,
+        approximate: flags & FLAG_APPROXIMATE != 0,
+        integrity_failures,
+    })
+}

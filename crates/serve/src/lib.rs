@@ -1,0 +1,53 @@
+//! Concurrent object-serving daemon over the apec store, plus the
+//! closed-loop load harness that drives it.
+//!
+//! This crate is the paper's "storage system" boundary made live: where
+//! `apec-store` owns durable state (CRC-framed shards, Merkle
+//! manifests, atomic metadata), this crate puts a concurrent serving
+//! surface in front of it — a std-thread TCP daemon speaking a small
+//! length-prefixed binary protocol, with bounded admission control,
+//! per-worker warm codec sessions, and lock-free request metrics.
+//!
+//! | module | role |
+//! |---|---|
+//! | [`protocol`] | wire format: frames, opcodes, statuses, payload codec |
+//! | [`server`] | acceptor + bounded queue + worker pool ([`serve`]) |
+//! | [`client`] | blocking request–response [`Client`] |
+//! | [`metrics`] | relaxed-atomic counters and log-scale latency histograms |
+//! | [`load`] | closed-loop trace replay emitting `BENCH_serve.json` |
+//!
+//! ```no_run
+//! use apec_serve::{serve, Client, ServerConfig};
+//! use apec_store::{Store, StoreConfig};
+//! use std::net::TcpListener;
+//! use std::sync::Arc;
+//!
+//! let dir = std::env::temp_dir().join("apec-serve-doc");
+//! let store = Arc::new(Store::init(&dir, StoreConfig::demo("rs")).unwrap());
+//! let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+//! let handle = serve(store, listener, ServerConfig::default()).unwrap();
+//!
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! client.put("clip-1", b"important", b"unimportant").unwrap();
+//! let reply = client.get("clip-1").unwrap();
+//! assert_eq!(reply.important, b"important");
+//! handle.join();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod load;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError, GetReply};
+pub use load::{LoadConfig, LoadReport, OpSummary};
+pub use metrics::{Metrics, OpStats};
+pub use protocol::{Op, Status};
+pub use server::{serve, ServerConfig, ServerHandle};
+
+#[cfg(test)]
+mod tests;

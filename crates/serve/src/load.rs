@@ -1,0 +1,472 @@
+//! Closed-loop load harness: replay a seeded tier-engine workload trace
+//! against a live daemon and report client-observed latencies.
+//!
+//! The harness is *closed-loop*: every client thread holds exactly one
+//! in-flight request and issues the next only after the previous reply
+//! arrives, so measured latency is genuine service latency, not queueing
+//! delay invented by an open-loop generator outrunning the server.
+//!
+//! Roles:
+//!
+//! - the **coordinator** (the thread calling [`run`]) owns one
+//!   connection and applies the trace's control events in order —
+//!   ingests become `put`s, node failures become `kill`s, repairs
+//!   become `repair`s — so the cluster state a read observes is
+//!   well-defined up to the reads still draining;
+//! - `clients` **reader threads** each own one connection and consume
+//!   `Read` events round-robin from bounded channels, verifying every
+//!   reply byte-for-byte against the deterministic payload for that
+//!   video (skipping the comparison only when the server flagged the
+//!   bytes approximate).
+//!
+//! Payloads are derived from the seed by a splitmix64 filler — client
+//! and verifier recompute them independently, nothing is stored — and
+//! all latencies are kept exactly (client-side `Instant` pairs), so the
+//! report's percentiles are true sample quantiles, not histogram
+//! bounds.
+
+use crate::client::{Client, ClientError};
+use apec_tier::{EventKind, WorkloadConfig};
+use std::net::SocketAddr;
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// Load-run parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Seed for the workload trace and the payload filler.
+    pub seed: u64,
+    /// Closed-loop reader threads (each owns one connection). The
+    /// harness holds `clients + 1` persistent connections (readers plus
+    /// the coordinator), so the daemon must run at least that many
+    /// workers or the run parks in the admission queue forever.
+    pub clients: usize,
+    /// Important-stream bytes per object.
+    pub important_bytes: usize,
+    /// Unimportant-stream bytes per object.
+    pub unimportant_bytes: usize,
+    /// Node count the trace's failure events index into. Must match the
+    /// serving store's code (`total_nodes`).
+    pub nodes: usize,
+    /// The trace generator configuration.
+    pub workload: WorkloadConfig,
+    /// Send a `shutdown` verb once the run completes.
+    pub shutdown_after: bool,
+}
+
+impl LoadConfig {
+    /// The small smoke preset: the tier engine's `WorkloadConfig::small`
+    /// trace, 4 reader threads, failures enabled.
+    pub fn small(seed: u64, nodes: usize) -> Self {
+        LoadConfig {
+            seed,
+            clients: 4,
+            important_bytes: 640,
+            unimportant_bytes: 1664,
+            nodes,
+            workload: WorkloadConfig::small(seed),
+            shutdown_after: false,
+        }
+    }
+
+    /// The same preset with node failures disabled (CI smoke lane: the
+    /// degraded-read ratio must then be exactly zero).
+    pub fn smoke(seed: u64, nodes: usize) -> Self {
+        let mut cfg = Self::small(seed, nodes);
+        cfg.workload.failure_every = 0;
+        cfg
+    }
+}
+
+/// One op's client-observed latency summary.
+#[derive(Debug, Clone)]
+pub struct OpSummary {
+    /// Op name (`put`, `get`, `admin`).
+    pub op: String,
+    /// Requests issued.
+    pub requests: u64,
+    /// Median latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// Mean latency, milliseconds.
+    pub mean_ms: f64,
+}
+
+/// The outcome of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Seed the run used.
+    pub seed: u64,
+    /// Reader threads.
+    pub clients: usize,
+    /// Wall-clock duration of the replay, milliseconds.
+    pub elapsed_ms: f64,
+    /// Requests across all connections (coordinator + readers).
+    pub total_requests: u64,
+    /// Requests per wall-clock second.
+    pub throughput_rps: f64,
+    /// Reads the server answered degraded, over all reads.
+    pub degraded_ratio: f64,
+    /// Reads the server flagged approximate.
+    pub approx_reads: u64,
+    /// Integrity failures the server reported across all reads.
+    pub integrity_failures: u64,
+    /// Replies whose bytes did not match the expected payload.
+    pub mismatches: u64,
+    /// Requests that returned an error status.
+    pub errors: u64,
+    /// Per-op latency summaries (`put`, `get`, `admin`).
+    pub ops: Vec<OpSummary>,
+    /// The server's own metrics snapshot (JSON), fetched at the end.
+    pub server_metrics: String,
+}
+
+/// What one reader thread accumulated.
+#[derive(Default)]
+struct ReaderTally {
+    latencies_us: Vec<u64>,
+    reads: u64,
+    degraded: u64,
+    approx: u64,
+    integrity_failures: u64,
+    mismatches: u64,
+    errors: u64,
+}
+
+/// Deterministic payload bytes: splitmix64 stream keyed off the run
+/// seed and the video id, truncated to `len`.
+fn fill_deterministic(key: u64, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len.saturating_add(8));
+    let mut z = key;
+    while out.len() < len {
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut x = z;
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31; // raw-xor-ok: splitmix64 bit mixing, not shard bytes
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+/// The expected payload pair for one video under one run seed.
+pub fn payload_for(seed: u64, video: u64, important: usize, unimportant: usize) -> (Vec<u8>, Vec<u8>) {
+    let key = apec_ec::rng::derive(seed, &format!("load-payload-{video}"));
+    (
+        fill_deterministic(key, important),
+        fill_deterministic(key.rotate_left(17) ^ 0xa5a5_a5a5_a5a5_a5a5, unimportant),
+    )
+}
+
+/// The object id a video is stored under.
+pub fn video_id(video: u64) -> String {
+    format!("vid-{video}")
+}
+
+fn quantile_ms(sorted_us: &[u64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us
+        .get(rank - 1)
+        .map(|&us| us as f64 / 1000.0)
+        .unwrap_or(0.0)
+}
+
+fn summarize(op: &str, mut us: Vec<u64>) -> OpSummary {
+    us.sort_unstable();
+    let requests = us.len() as u64;
+    let mean_ms = if us.is_empty() {
+        0.0
+    } else {
+        us.iter().sum::<u64>() as f64 / us.len() as f64 / 1000.0
+    };
+    OpSummary {
+        op: op.to_string(),
+        requests,
+        p50_ms: quantile_ms(&us, 0.50),
+        p99_ms: quantile_ms(&us, 0.99),
+        mean_ms,
+    }
+}
+
+fn reader_thread(
+    addr: SocketAddr,
+    cfg: LoadConfig,
+    jobs: mpsc::Receiver<u64>,
+) -> Result<ReaderTally, ClientError> {
+    let mut client = Client::connect(addr)?;
+    let mut tally = ReaderTally::default();
+    while let Ok(video) = jobs.recv() {
+        let start = Instant::now();
+        let reply = client.get(&video_id(video));
+        let us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        tally.latencies_us.push(us);
+        tally.reads += 1;
+        match reply {
+            Ok(reply) => {
+                if reply.degraded {
+                    tally.degraded += 1;
+                }
+                if reply.approximate {
+                    tally.approx += 1;
+                }
+                tally.integrity_failures += reply.integrity_failures as u64;
+                let (imp, unimp) =
+                    payload_for(cfg.seed, video, cfg.important_bytes, cfg.unimportant_bytes);
+                // Approximate replies may hold zero-filled holes; the
+                // important stream must still be exact, the unimportant
+                // stream is only checked on exact replies.
+                let ok = reply.important == imp && (reply.approximate || reply.unimportant == unimp);
+                if !ok {
+                    tally.mismatches += 1;
+                }
+            }
+            Err(ClientError::Server(..)) => tally.errors += 1,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(tally)
+}
+
+/// Replays the seeded workload against a daemon at `addr`.
+///
+/// Trace semantics: `Ingest` → `put` (coordinator), `Read` → `get`
+/// (round-robin across reader threads), `FailNode` → `kill`,
+/// `RepairNode` → `repair` — all control verbs issued by the
+/// coordinator on its own connection, synchronously.
+pub fn run(addr: SocketAddr, cfg: &LoadConfig) -> Result<LoadReport, ClientError> {
+    let trace = cfg.workload.generate(cfg.nodes);
+    let mut coordinator = Client::connect(addr)?;
+
+    // Reader threads, each with its own bounded job channel. The
+    // channel bound keeps the dispatch loop from racing unboundedly far
+    // ahead of slow readers (closed-loop discipline at the run level).
+    let mut senders = Vec::with_capacity(cfg.clients.max(1));
+    let mut handles = Vec::with_capacity(cfg.clients.max(1));
+    for i in 0..cfg.clients.max(1) {
+        let (tx, rx) = mpsc::sync_channel::<u64>(16);
+        let cfg = cfg.clone();
+        senders.push(tx);
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("apec-load-{i}"))
+                .spawn(move || reader_thread(addr, cfg, rx))
+                .map_err(ClientError::Io)?,
+        );
+    }
+
+    let started = Instant::now();
+    let mut put_us: Vec<u64> = Vec::new();
+    let mut admin_us: Vec<u64> = Vec::new();
+    let mut errors = 0u64;
+    let mut next_reader = 0usize;
+    for ev in &trace.events {
+        match ev.kind {
+            EventKind::Ingest { video } => {
+                let (imp, unimp) =
+                    payload_for(cfg.seed, video, cfg.important_bytes, cfg.unimportant_bytes);
+                let start = Instant::now();
+                match coordinator.put(&video_id(video), &imp, &unimp) {
+                    Ok(_) => {}
+                    Err(ClientError::Server(..)) => errors += 1,
+                    Err(e) => return Err(e),
+                }
+                put_us.push(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
+            }
+            EventKind::Read { video } => {
+                let idx = next_reader % senders.len().max(1);
+                next_reader = next_reader.wrapping_add(1);
+                if let Some(tx) = senders.get(idx) {
+                    if tx.send(video).is_err() {
+                        // Reader died; its error surfaces at join.
+                        break;
+                    }
+                }
+            }
+            EventKind::FailNode { node } => {
+                let start = Instant::now();
+                match coordinator.kill(node) {
+                    Ok(()) => {}
+                    Err(ClientError::Server(..)) => errors += 1,
+                    Err(e) => return Err(e),
+                }
+                admin_us.push(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
+            }
+            EventKind::RepairNode { .. } => {
+                let start = Instant::now();
+                match coordinator.repair() {
+                    Ok(_) => {}
+                    Err(ClientError::Server(..)) => errors += 1,
+                    Err(e) => return Err(e),
+                }
+                admin_us.push(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
+            }
+        }
+    }
+
+    // Close the job channels and drain the readers.
+    drop(senders);
+    let mut read_tally = ReaderTally::default();
+    for h in handles {
+        match h.join() {
+            Ok(Ok(t)) => {
+                read_tally.latencies_us.extend(t.latencies_us);
+                read_tally.reads += t.reads;
+                read_tally.degraded += t.degraded;
+                read_tally.approx += t.approx;
+                read_tally.integrity_failures += t.integrity_failures;
+                read_tally.mismatches += t.mismatches;
+                read_tally.errors += t.errors;
+            }
+            Ok(Err(e)) => return Err(e),
+            Err(_) => return Err(ClientError::Proto("reader thread panicked".to_string())),
+        }
+    }
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1000.0;
+
+    let server_metrics = coordinator.metrics()?;
+    if cfg.shutdown_after {
+        coordinator.shutdown()?;
+    }
+
+    let total_requests = put_us.len() as u64
+        + admin_us.len() as u64
+        + read_tally.reads
+        + 1; // the final metrics fetch
+    let degraded_ratio = if read_tally.reads == 0 {
+        0.0
+    } else {
+        read_tally.degraded as f64 / read_tally.reads as f64
+    };
+    Ok(LoadReport {
+        seed: cfg.seed,
+        clients: cfg.clients.max(1),
+        elapsed_ms,
+        total_requests,
+        throughput_rps: if elapsed_ms > 0.0 {
+            total_requests as f64 / (elapsed_ms / 1000.0)
+        } else {
+            0.0
+        },
+        degraded_ratio,
+        approx_reads: read_tally.approx,
+        integrity_failures: read_tally.integrity_failures,
+        mismatches: read_tally.mismatches,
+        errors: errors + read_tally.errors,
+        ops: vec![
+            summarize("put", put_us),
+            summarize("get", read_tally.latencies_us),
+            summarize("admin", admin_us),
+        ],
+        server_metrics,
+    })
+}
+
+impl LoadReport {
+    /// Render the `BENCH_serve.json` document (`bench: "serve-load"`
+    /// schema, registered with `cargo xtask bench-check`).
+    pub fn to_bench_json(&self) -> String {
+        let mut rows = String::new();
+        for (i, op) in self.ops.iter().enumerate() {
+            if i > 0 {
+                rows.push_str(",\n");
+            }
+            rows.push_str(&format!(
+                "    {{\"op\": \"{}\", \"requests\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"mean_ms\": {:.3}}}",
+                op.op, op.requests, op.p50_ms, op.p99_ms, op.mean_ms
+            ));
+        }
+        format!(
+            "{{\n  \"bench\": \"serve-load\",\n  \"seed\": {},\n  \"clients\": {},\n  \
+             \"elapsed_ms\": {:.3},\n  \"total_requests\": {},\n  \"throughput_rps\": {:.3},\n  \
+             \"degraded_ratio\": {:.6},\n  \"integrity_failures\": {},\n  \"mismatches\": {},\n  \
+             \"errors\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+            self.seed,
+            self.clients,
+            self.elapsed_ms,
+            self.total_requests,
+            self.throughput_rps,
+            self.degraded_ratio,
+            self.integrity_failures,
+            self.mismatches,
+            self.errors,
+            rows
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payloads_are_deterministic_and_distinct() {
+        let (a_imp, a_unimp) = payload_for(7, 3, 100, 200);
+        let (b_imp, b_unimp) = payload_for(7, 3, 100, 200);
+        assert_eq!(a_imp, b_imp);
+        assert_eq!(a_unimp, b_unimp);
+        assert_eq!(a_imp.len(), 100);
+        assert_eq!(a_unimp.len(), 200);
+        let (c_imp, _) = payload_for(7, 4, 100, 200);
+        assert_ne!(a_imp, c_imp, "videos get distinct payloads");
+        let (d_imp, _) = payload_for(8, 3, 100, 200);
+        assert_ne!(a_imp, d_imp, "seeds get distinct payloads");
+    }
+
+    #[test]
+    fn quantiles_are_exact_sample_quantiles() {
+        let us: Vec<u64> = (1..=100).map(|i| i * 1000).collect();
+        assert!((quantile_ms(&us, 0.50) - 50.0).abs() < 1e-9);
+        assert!((quantile_ms(&us, 0.99) - 99.0).abs() < 1e-9);
+        assert!((quantile_ms(&us, 1.0) - 100.0).abs() < 1e-9);
+        assert_eq!(quantile_ms(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn bench_json_has_the_registered_shape() {
+        let report = LoadReport {
+            seed: 7,
+            clients: 4,
+            elapsed_ms: 123.456,
+            total_requests: 500,
+            throughput_rps: 4050.1,
+            degraded_ratio: 0.0,
+            approx_reads: 0,
+            integrity_failures: 0,
+            mismatches: 0,
+            errors: 0,
+            ops: vec![
+                summarize("put", vec![1000, 2000]),
+                summarize("get", vec![500, 600, 700]),
+                summarize("admin", vec![]),
+            ],
+            server_metrics: String::new(),
+        };
+        // The store parser rejects floats by design, so the bench
+        // document (which carries millisecond floats) is shape-checked
+        // textually; xtask bench-check does the schema-level parse.
+        let text = report.to_bench_json();
+        assert!(text.contains("\"bench\": \"serve-load\""));
+        assert!(text.contains("\"results\": ["));
+        for key in [
+            "seed",
+            "clients",
+            "elapsed_ms",
+            "total_requests",
+            "throughput_rps",
+            "degraded_ratio",
+            "integrity_failures",
+            "mismatches",
+            "errors",
+        ] {
+            assert!(text.contains(&format!("\"{key}\"")), "missing {key}");
+        }
+        for key in ["op", "requests", "p50_ms", "p99_ms", "mean_ms"] {
+            assert!(text.contains(&format!("\"{key}\"")), "missing row key {key}");
+        }
+    }
+}

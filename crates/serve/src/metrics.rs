@@ -1,0 +1,295 @@
+//! Lock-free serving metrics: monotonic counters and log-scale latency
+//! histograms, all plain `AtomicU64`s with relaxed ordering.
+//!
+//! Relaxed is sufficient here by design: every cell is an independent
+//! monotonic counter — no reader infers cross-cell ordering, and the
+//! snapshot is explicitly a *statistical* view (taken while workers keep
+//! serving), not a consistent cut. Using anything stronger would add
+//! fence traffic on the hot request path for no observable benefit.
+//!
+//! Latencies land in 64 power-of-two microsecond buckets (bucket `i`
+//! covers `[2^i, 2^(i+1))` µs), so recording is one `fetch_add` and
+//! quantiles are a 64-step walk with at most 2× bucket error — plenty
+//! for p50/p99 over a serving run, at zero allocation and zero locking.
+
+use apec_store::json::{obj, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const BUCKETS: usize = 64;
+
+/// One op's latency histogram plus request count and sum.
+pub struct OpStats {
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for OpStats {
+    fn default() -> Self {
+        OpStats {
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl OpStats {
+    /// Record one request latency in microseconds.
+    pub fn record(&self, us: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        // Bit length of the value picks the power-of-two bucket.
+        let idx = (64 - us.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            0
+        } else {
+            self.sum_us.load(Ordering::Relaxed) / n
+        }
+    }
+
+    /// Approximate quantile (upper bucket bound) in microseconds.
+    /// `q` is in [0,1]; returns 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Upper bound of bucket i: 2^(i+1) - 1 µs.
+                return if i + 1 >= 64 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+            }
+        }
+        u64::MAX
+    }
+
+    fn to_json(&self, op: &str) -> Value {
+        obj(vec![
+            ("op", Value::Str(op.to_string())),
+            ("requests", Value::Num(self.count())),
+            ("p50_us", Value::Num(self.quantile_us(0.50))),
+            ("p99_us", Value::Num(self.quantile_us(0.99))),
+            ("mean_us", Value::Num(self.mean_us())),
+        ])
+    }
+}
+
+/// The daemon's full metrics surface. One instance per server, shared
+/// across workers behind an `Arc`; every update is a single relaxed
+/// `fetch_add`.
+#[derive(Default)]
+pub struct Metrics {
+    /// Per-op latency histograms.
+    pub put: OpStats,
+    /// Get latencies.
+    pub get: OpStats,
+    /// Degraded-get latencies.
+    pub degraded_get: OpStats,
+    /// Stat latencies.
+    pub stat: OpStats,
+    /// Admin verbs (metrics, kill, repair, shutdown).
+    pub admin: OpStats,
+    total_requests: AtomicU64,
+    rejected_connections: AtomicU64,
+    errors: AtomicU64,
+    reads: AtomicU64,
+    degraded_reads: AtomicU64,
+    approx_reads: AtomicU64,
+    integrity_failures: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count one request (any op, any outcome).
+    pub fn count_request(&self) {
+        self.total_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one connection refused by admission control.
+    pub fn count_rejected(&self) {
+        self.rejected_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one request that returned an error status.
+    pub fn count_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one read outcome (get or degraded-get).
+    pub fn count_read(&self, degraded: bool, approximate: bool, integrity_failures: u64) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        if degraded {
+            self.degraded_reads.fetch_add(1, Ordering::Relaxed);
+        }
+        if approximate {
+            self.approx_reads.fetch_add(1, Ordering::Relaxed);
+        }
+        if integrity_failures > 0 {
+            self.integrity_failures
+                .fetch_add(integrity_failures, Ordering::Relaxed);
+        }
+    }
+
+    /// Total requests seen.
+    pub fn total_requests(&self) -> u64 {
+        self.total_requests.load(Ordering::Relaxed)
+    }
+
+    /// Connections refused by admission control.
+    pub fn rejected_connections(&self) -> u64 {
+        self.rejected_connections.load(Ordering::Relaxed)
+    }
+
+    /// Requests that returned an error status.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Reads served.
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    /// Reads that reconstructed at least one shard.
+    pub fn degraded_reads(&self) -> u64 {
+        self.degraded_reads.load(Ordering::Relaxed)
+    }
+
+    /// Integrity failures detected while reading.
+    pub fn integrity_failures(&self) -> u64 {
+        self.integrity_failures.load(Ordering::Relaxed)
+    }
+
+    /// Degraded reads over total reads, in [0,1].
+    pub fn degraded_ratio(&self) -> f64 {
+        let reads = self.reads();
+        if reads == 0 {
+            0.0
+        } else {
+            self.degraded_reads() as f64 / reads as f64
+        }
+    }
+
+    /// JSON snapshot served by the `metrics` verb. A statistical view:
+    /// counters are read one by one while workers keep serving.
+    pub fn snapshot_json(&self) -> String {
+        obj(vec![
+            ("total_requests", Value::Num(self.total_requests())),
+            ("rejected_connections", Value::Num(self.rejected_connections())),
+            ("errors", Value::Num(self.errors())),
+            ("reads", Value::Num(self.reads())),
+            ("degraded_reads", Value::Num(self.degraded_reads())),
+            ("approx_reads", Value::Num(self.approx_reads.load(Ordering::Relaxed))),
+            ("integrity_failures", Value::Num(self.integrity_failures())),
+            (
+                "ops",
+                Value::Arr(vec![
+                    self.put.to_json("put"),
+                    self.get.to_json("get"),
+                    self.degraded_get.to_json("degraded_get"),
+                    self.stat.to_json("stat"),
+                    self.admin.to_json("admin"),
+                ]),
+            ),
+        ])
+        .to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_the_data() {
+        let st = OpStats::default();
+        for us in [3u64, 5, 9, 17, 33, 65, 129, 1025, 4097, 100_000] {
+            st.record(us);
+        }
+        assert_eq!(st.count(), 10);
+        let p50 = st.quantile_us(0.50);
+        assert!((16..=63).contains(&p50), "p50={p50}");
+        let p99 = st.quantile_us(0.99);
+        assert!(p99 >= 100_000, "p99={p99}");
+        assert!(st.mean_us() > 0);
+        // Quantiles are monotone in q.
+        assert!(st.quantile_us(0.1) <= st.quantile_us(0.9));
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let st = OpStats::default();
+        assert_eq!(st.quantile_us(0.99), 0);
+        assert_eq!(st.mean_us(), 0);
+    }
+
+    #[test]
+    fn zero_latency_lands_in_the_first_bucket() {
+        let st = OpStats::default();
+        st.record(0);
+        assert_eq!(st.count(), 1);
+        assert_eq!(st.quantile_us(0.5), 1, "bucket 0 upper bound");
+    }
+
+    #[test]
+    fn snapshot_is_valid_json_with_expected_fields() {
+        let m = Metrics::new();
+        m.count_request();
+        m.get.record(120);
+        m.count_read(true, false, 2);
+        let snap = m.snapshot_json();
+        let v = apec_store::json::parse(&snap).expect("snapshot parses");
+        assert_eq!(v.get("total_requests").and_then(|x| x.as_num()), Some(1));
+        assert_eq!(v.get("reads").and_then(|x| x.as_num()), Some(1));
+        assert_eq!(v.get("degraded_reads").and_then(|x| x.as_num()), Some(1));
+        assert_eq!(v.get("integrity_failures").and_then(|x| x.as_num()), Some(2));
+        let ops = v.get("ops").and_then(|x| x.as_arr()).expect("ops array");
+        assert_eq!(ops.len(), 5);
+        assert!(ops.iter().all(|o| o.get("p99_us").is_some()));
+        assert!((m.degraded_ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let m = std::sync::Arc::new(Metrics::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let m = std::sync::Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    m.count_request();
+                    m.get.record(i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.total_requests(), 4000);
+        assert_eq!(m.get.count(), 4000);
+    }
+}

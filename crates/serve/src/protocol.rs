@@ -1,0 +1,361 @@
+//! The wire protocol: small, length-prefixed, binary, std-only.
+//!
+//! Every message is one frame: a `u32` little-endian body length
+//! followed by the body. A request body is an opcode byte plus its
+//! payload; a response body is a status byte plus its payload. Within
+//! payloads, strings are `u16`-length-prefixed UTF-8, byte buffers are
+//! `u32`-length-prefixed, and node lists are a `u16` count of `u16`
+//! indices — everything little-endian, nothing self-describing, so a
+//! request can be parsed with zero allocation beyond its own buffers.
+//!
+//! Frames are capped at [`MAX_FRAME`]; an oversized length prefix is a
+//! protocol error, not an allocation — a garbage client cannot make the
+//! daemon reserve gigabytes.
+
+use std::io::{self, Read, Write};
+
+/// Hard ceiling on one frame's body, requests and responses alike.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Request opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Store an object: `id`, important buf, unimportant buf.
+    Put = 1,
+    /// Fetch an object: `id`.
+    Get = 2,
+    /// Fetch while masking nodes as dead: `id`, node list.
+    DegradedGet = 3,
+    /// Object metadata: `id`.
+    Stat = 4,
+    /// Serving metrics snapshot (JSON).
+    Metrics = 5,
+    /// Kill a node: `u16` index.
+    Kill = 6,
+    /// Repair all objects.
+    Repair = 7,
+    /// Stop the daemon after responding.
+    Shutdown = 8,
+}
+
+impl Op {
+    /// Decode an opcode byte.
+    pub fn from_byte(b: u8) -> Option<Op> {
+        match b {
+            1 => Some(Op::Put),
+            2 => Some(Op::Get),
+            3 => Some(Op::DegradedGet),
+            4 => Some(Op::Stat),
+            5 => Some(Op::Metrics),
+            6 => Some(Op::Kill),
+            7 => Some(Op::Repair),
+            8 => Some(Op::Shutdown),
+            _ => None,
+        }
+    }
+}
+
+/// Response status codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Success; payload is op-specific.
+    Ok = 0,
+    /// Caller mistake (bad id, duplicate, out of range); payload is a
+    /// UTF-8 message.
+    ErrUser = 1,
+    /// Store-side corruption detected; payload is a UTF-8 message.
+    ErrCorrupt = 2,
+    /// I/O failure; payload is a UTF-8 message.
+    ErrIo = 3,
+    /// Admission control rejected the connection; retry later.
+    Overloaded = 4,
+    /// Malformed request; payload is a UTF-8 message.
+    ErrProto = 5,
+}
+
+impl Status {
+    /// Decode a status byte.
+    pub fn from_byte(b: u8) -> Option<Status> {
+        match b {
+            0 => Some(Status::Ok),
+            1 => Some(Status::ErrUser),
+            2 => Some(Status::ErrCorrupt),
+            3 => Some(Status::ErrIo),
+            4 => Some(Status::Overloaded),
+            5 => Some(Status::ErrProto),
+            _ => None,
+        }
+    }
+}
+
+/// Bit set in a get-reply flags byte when the read was degraded.
+pub const FLAG_DEGRADED: u8 = 1 << 0;
+/// Bit set when the returned bytes are approximate (zero-filled holes).
+pub const FLAG_APPROXIMATE: u8 = 1 << 1;
+
+/// Read one frame body. `Ok(None)` is a clean EOF before any byte of the
+/// frame (connection closed between requests).
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    match r.read(&mut len_bytes) {
+        Ok(0) => return Ok(None),
+        Ok(n) => r.read_exact(&mut len_bytes[n..])?,
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+            r.read_exact(&mut len_bytes)?;
+        }
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len == 0 || len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} outside 1..={MAX_FRAME}"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+/// Write one frame: `head` byte (opcode or status) + `payload`.
+pub fn write_frame(w: &mut impl Write, head: u8, payload: &[u8]) -> io::Result<()> {
+    let len = payload.len() + 1;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame length {len} exceeds {MAX_FRAME}"),
+        ));
+    }
+    w.write_all(&(len as u32).to_le_bytes())?;
+    w.write_all(&[head])?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Incremental reader over a request/response payload. Every accessor
+/// fails soft with a message — garbage input is a protocol error, never
+/// a panic.
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap a payload.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| format!("truncated payload at byte {}", self.pos))?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Next `u8`.
+    pub fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Next little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, String> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Next little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, String> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Next `u16`-prefixed UTF-8 string.
+    pub fn str16(&mut self) -> Result<&'a str, String> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes).map_err(|_| "string field is not UTF-8".to_string())
+    }
+
+    /// Next `u32`-prefixed byte buffer.
+    pub fn buf32(&mut self) -> Result<&'a [u8], String> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// Next `u16`-count-prefixed list of `u16` node indices.
+    pub fn nodes16(&mut self) -> Result<Vec<usize>, String> {
+        let count = self.u16()? as usize;
+        let mut out = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            out.push(self.u16()? as usize);
+        }
+        Ok(out)
+    }
+
+    /// Error unless the payload was consumed exactly.
+    pub fn finish(&self) -> Result<(), String> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} trailing bytes after payload",
+                self.bytes.len() - self.pos
+            ))
+        }
+    }
+}
+
+/// Payload builder mirroring [`Reader`].
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Empty payload builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a `u8`.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Append a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a `u16`-prefixed string (truncating past `u16::MAX` bytes
+    /// is a caller bug; ids are short by construction).
+    pub fn str16(&mut self, s: &str) -> &mut Self {
+        let len = s.len().min(u16::MAX as usize);
+        self.u16(len as u16);
+        self.buf.extend_from_slice(&s.as_bytes()[..len]);
+        self
+    }
+
+    /// Append a `u32`-prefixed buffer.
+    pub fn buf32(&mut self, b: &[u8]) -> &mut Self {
+        self.u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+        self
+    }
+
+    /// Append a node list.
+    pub fn nodes16(&mut self, nodes: &[usize]) -> &mut Self {
+        self.u16(nodes.len() as u16);
+        for &n in nodes {
+            self.u16(n as u16);
+        }
+        self
+    }
+
+    /// The finished payload.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, Op::Put as u8, b"payload").unwrap();
+        let mut cursor = io::Cursor::new(wire);
+        let body = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(body[0], Op::Put as u8);
+        assert_eq!(&body[1..], b"payload");
+        // Clean EOF after the frame.
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_and_zero_frames_are_rejected() {
+        let mut wire = ((MAX_FRAME + 1) as u32).to_le_bytes().to_vec();
+        wire.extend_from_slice(&[0; 8]);
+        assert!(read_frame(&mut io::Cursor::new(wire)).is_err());
+        let wire = 0u32.to_le_bytes().to_vec();
+        assert!(read_frame(&mut io::Cursor::new(wire)).is_err());
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error_not_a_hang() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 1, b"full payload").unwrap();
+        wire.truncate(wire.len() - 3);
+        assert!(read_frame(&mut io::Cursor::new(wire)).is_err());
+    }
+
+    #[test]
+    fn reader_writer_round_trip() {
+        let mut w = Writer::new();
+        w.u8(7).u16(513).u32(70_000).str16("clip-1").buf32(&[9, 8, 7]).nodes16(&[3, 11]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8(), Ok(7));
+        assert_eq!(r.u16(), Ok(513));
+        assert_eq!(r.u32(), Ok(70_000));
+        assert_eq!(r.str16(), Ok("clip-1"));
+        assert_eq!(r.buf32(), Ok(&[9u8, 8, 7][..]));
+        assert_eq!(r.nodes16(), Ok(vec![3, 11]));
+        assert_eq!(r.finish(), Ok(()));
+    }
+
+    #[test]
+    fn reader_fails_soft_on_garbage() {
+        let mut r = Reader::new(&[5, 0]);
+        assert!(r.str16().is_err(), "length prefix past end");
+        let mut r = Reader::new(&[1, 0, 0xff]);
+        assert!(r.str16().is_err(), "invalid utf-8");
+        let mut r = Reader::new(&[1, 2, 3]);
+        let _ = r.u8();
+        assert!(r.finish().is_err(), "trailing bytes detected");
+    }
+
+    #[test]
+    fn op_and_status_bytes_round_trip() {
+        for op in [
+            Op::Put,
+            Op::Get,
+            Op::DegradedGet,
+            Op::Stat,
+            Op::Metrics,
+            Op::Kill,
+            Op::Repair,
+            Op::Shutdown,
+        ] {
+            assert_eq!(Op::from_byte(op as u8), Some(op));
+        }
+        assert_eq!(Op::from_byte(0), None);
+        assert_eq!(Op::from_byte(99), None);
+        for st in [
+            Status::Ok,
+            Status::ErrUser,
+            Status::ErrCorrupt,
+            Status::ErrIo,
+            Status::Overloaded,
+            Status::ErrProto,
+        ] {
+            assert_eq!(Status::from_byte(st as u8), Some(st));
+        }
+        assert_eq!(Status::from_byte(42), None);
+    }
+}

@@ -1,0 +1,515 @@
+//! The serving daemon: a std-thread TCP server over a shared
+//! [`Store`], with bounded admission control and per-worker warm codec
+//! sessions.
+//!
+//! # Architecture
+//!
+//! ```text
+//!            accept()           bounded queue            N workers
+//! clients ──────────▶ acceptor ───────────────▶ pop ──▶ serve_connection
+//!                        │  queue full                     │ per-request:
+//!                        └─▶ Overloaded + close             │ handle_request
+//!                                                           └─▶ Store (shared)
+//! ```
+//!
+//! * **Admission control**: the acceptor never buffers unboundedly. A
+//!   connection either enters the bounded queue or is answered with
+//!   [`Status::Overloaded`] and closed immediately — under overload the
+//!   daemon sheds load explicitly instead of accumulating latency.
+//! * **Workers** own a [`StoreSession`] each (warm parity arenas and
+//!   cached repair plans), serving one connection at a time,
+//!   request-after-request until the client closes.
+//! * **Shutdown** is cooperative: the stop flag is set (by
+//!   [`ServerHandle::shutdown`] or the wire `Shutdown` verb), the queue
+//!   closes, and a self-connection unblocks the acceptor.
+
+use crate::metrics::Metrics;
+use crate::protocol::{
+    read_frame, write_frame, Op, Reader, Status, Writer, FLAG_APPROXIMATE, FLAG_DEGRADED,
+};
+use apec_store::json::{obj, Value};
+use apec_store::{Store, StoreError, StoreSession};
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Tuning knobs for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads (each owns a warm [`StoreSession`]).
+    pub workers: usize,
+    /// Bounded connection-queue capacity; beyond it, connections are
+    /// answered `Overloaded` and closed.
+    pub queue_cap: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            // Connections are persistent (one worker each until EOF),
+            // so the pool must exceed the expected concurrent client
+            // count; the default comfortably covers the load harness's
+            // default of 4 readers + 1 coordinator.
+            workers: 8,
+            queue_cap: 64,
+        }
+    }
+}
+
+/// Bounded MPMC connection queue: mutex + condvar, capacity-checked on
+/// push — the daemon's explicit backpressure point.
+struct ConnQueue {
+    inner: Mutex<QueueState>,
+    ready: Condvar,
+    cap: usize,
+}
+
+struct QueueState {
+    conns: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+impl ConnQueue {
+    fn new(cap: usize) -> Self {
+        ConnQueue {
+            inner: Mutex::new(QueueState {
+                conns: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    fn guard(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Admits the connection or hands it back (queue full or closed) so
+    /// the caller can answer `Overloaded` before closing it.
+    fn try_push(&self, conn: TcpStream) -> Result<(), TcpStream> {
+        let mut st = self.guard();
+        if st.closed || st.conns.len() >= self.cap {
+            return Err(conn);
+        }
+        st.conns.push_back(conn);
+        drop(st);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next connection; `None` once closed and drained.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut st = self.guard();
+        loop {
+            if let Some(conn) = st.conns.pop_front() {
+                return Some(conn);
+            }
+            if st.closed {
+                return None;
+            }
+            st = match self.ready.wait(st) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    fn close(&self) {
+        self.guard().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// One registration slot per worker: the duplicated handle of the
+/// connection that worker is currently serving, if any. Shutdown walks
+/// the slots and closes the sockets, which unblocks workers parked in
+/// `read_frame` on idle connections — the piece a stop flag alone
+/// cannot do.
+type ActiveSlots = Vec<Mutex<Option<TcpStream>>>;
+
+fn slot_guard(slot: &Mutex<Option<TcpStream>>) -> std::sync::MutexGuard<'_, Option<TcpStream>> {
+    match slot.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Closes every registered in-flight connection. Callers store the stop
+/// flag *before* this walk; a worker that registers a connection after
+/// its slot was walked will observe the flag through the slot mutex's
+/// ordering and bail out itself.
+fn interrupt_all(slots: &ActiveSlots) {
+    for slot in slots {
+        if let Some(conn) = slot_guard(slot).as_ref() {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+/// A running daemon: join handles, shared metrics, and the shutdown
+/// trigger.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    queue: Arc<ConnQueue>,
+    active: Arc<ActiveSlots>,
+    metrics: Arc<Metrics>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the daemon is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The daemon's live metrics.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Whether a stop has been requested (by [`ServerHandle::shutdown`]
+    /// or the wire `Shutdown` verb).
+    pub fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    /// Stops the daemon and joins every thread. Idempotent. Connections
+    /// being served are closed; queued connections are dropped unserved.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        self.queue.close();
+        interrupt_all(&self.active);
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Blocks until every thread has exited (a client `Shutdown` verb,
+    /// typically). Consumes the handle.
+    pub fn join(mut self) {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Starts the daemon on `listener` over `store` and returns immediately.
+pub fn serve(
+    store: Arc<Store>,
+    listener: TcpListener,
+    config: ServerConfig,
+) -> io::Result<ServerHandle> {
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let queue = Arc::new(ConnQueue::new(config.queue_cap));
+    let metrics = Arc::new(Metrics::new());
+    let active: Arc<ActiveSlots> =
+        Arc::new((0..config.workers).map(|_| Mutex::new(None)).collect());
+
+    let mut workers = Vec::with_capacity(config.workers);
+    for i in 0..config.workers {
+        let queue = Arc::clone(&queue);
+        let store = Arc::clone(&store);
+        let metrics = Arc::clone(&metrics);
+        let stop = Arc::clone(&stop);
+        let active = Arc::clone(&active);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("apec-serve-worker-{i}"))
+                .spawn(move || {
+                    let mut session = StoreSession::new();
+                    while let Some(conn) = queue.pop() {
+                        // Register the connection so shutdown can close
+                        // it out from under a blocked read; the slot
+                        // mutex also orders the stop-flag check below
+                        // against a concurrent interrupt_all walk.
+                        if let Some(slot) = active.get(i) {
+                            *slot_guard(slot) = conn.try_clone().ok();
+                        }
+                        if stop.load(Ordering::Acquire) {
+                            if let Some(slot) = active.get(i) {
+                                *slot_guard(slot) = None;
+                            }
+                            continue; // drain the queue without serving
+                        }
+                        serve_connection(
+                            &store, &mut session, &metrics, &stop, &active, addr, conn,
+                        );
+                        if let Some(slot) = active.get(i) {
+                            *slot_guard(slot) = None;
+                        }
+                    }
+                })?,
+        );
+    }
+
+    let acceptor = {
+        let queue = Arc::clone(&queue);
+        let stop = Arc::clone(&stop);
+        let metrics = Arc::clone(&metrics);
+        std::thread::Builder::new()
+            .name("apec-serve-acceptor".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(conn) = conn else { continue };
+                    let _ = conn.set_nodelay(true);
+                    if let Err(mut rejected) = queue.try_push(conn) {
+                        // Shed load explicitly: tell the client, close.
+                        metrics.count_rejected();
+                        let _ = write_frame(
+                            &mut rejected,
+                            Status::Overloaded as u8,
+                            b"server overloaded; retry later",
+                        );
+                    }
+                }
+                queue.close();
+            })?
+    };
+
+    Ok(ServerHandle {
+        addr,
+        stop,
+        queue,
+        active,
+        metrics,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+/// Serves one connection request-after-request until EOF, a protocol
+/// error, or shutdown.
+fn serve_connection(
+    store: &Store,
+    session: &mut StoreSession,
+    metrics: &Metrics,
+    stop: &AtomicBool,
+    active: &ActiveSlots,
+    addr: SocketAddr,
+    mut conn: TcpStream,
+) {
+    loop {
+        let body = match read_frame(&mut conn) {
+            Ok(Some(body)) => body,
+            Ok(None) => return,
+            Err(_) => return,
+        };
+        metrics.count_request();
+        let started = Instant::now();
+        let (op, status, payload) = handle_request(store, session, metrics, &body);
+        let us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        match op {
+            Some(Op::Put) => metrics.put.record(us),
+            Some(Op::Get) => metrics.get.record(us),
+            Some(Op::DegradedGet) => metrics.degraded_get.record(us),
+            Some(Op::Stat) => metrics.stat.record(us),
+            Some(_) | None => metrics.admin.record(us),
+        }
+        if status != Status::Ok {
+            metrics.count_error();
+        }
+        if write_frame(&mut conn, status as u8, &payload).is_err() {
+            return;
+        }
+        if op == Some(Op::Shutdown) {
+            stop.store(true, Ordering::Release);
+            // Close the other workers' in-flight connections (a blocked
+            // read wakes as EOF), then wake the acceptor so it observes
+            // the flag and closes the queue, releasing idle workers.
+            interrupt_all(active);
+            let _ = TcpStream::connect(addr);
+            return;
+        }
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+    }
+}
+
+/// Decodes and executes one request body; returns the opcode (when it
+/// parsed), the response status and the response payload. Never panics:
+/// garbage in means `ErrProto` out.
+fn handle_request(
+    store: &Store,
+    session: &mut StoreSession,
+    metrics: &Metrics,
+    body: &[u8],
+) -> (Option<Op>, Status, Vec<u8>) {
+    let Some((&op_byte, payload)) = body.split_first() else {
+        return (None, Status::ErrProto, b"empty request body".to_vec());
+    };
+    let Some(op) = Op::from_byte(op_byte) else {
+        return (
+            None,
+            Status::ErrProto,
+            format!("unknown opcode {op_byte}").into_bytes(),
+        );
+    };
+    let mut r = Reader::new(payload);
+    let result: Result<Vec<u8>, RequestError> = match op {
+        Op::Put => (|| {
+            let id = r.str16()?.to_string();
+            let important = r.buf32()?.to_vec();
+            let unimportant = r.buf32()?.to_vec();
+            r.finish()?;
+            let meta = store.put_object(session, &id, &important, &unimportant)?;
+            Ok(meta_json(&meta).into_bytes())
+        })(),
+        Op::Get => (|| {
+            let id = r.str16()?.to_string();
+            r.finish()?;
+            serve_get(store, session, metrics, &id)
+        })(),
+        Op::DegradedGet => (|| {
+            let id = r.str16()?.to_string();
+            let mask = r.nodes16()?;
+            r.finish()?;
+            serve_degraded_get(store, session, metrics, &id, &mask)
+        })(),
+        Op::Stat => (|| {
+            let id = r.str16()?.to_string();
+            r.finish()?;
+            let meta = store.stat(&id)?;
+            Ok(meta_json(&meta).into_bytes())
+        })(),
+        Op::Metrics => Ok(metrics.snapshot_json().into_bytes()),
+        Op::Kill => (|| {
+            let node = r.u16()? as usize;
+            r.finish()?;
+            store.kill_node(node)?;
+            Ok(obj(vec![("killed", Value::Num(node as u64))])
+                .to_string()
+                .into_bytes())
+        })(),
+        Op::Repair => (|| {
+            r.finish()?;
+            let summary = store.repair_all()?;
+            Ok(obj(vec![
+                ("shards_rebuilt", Value::Num(summary.shards_rebuilt as u64)),
+                ("bytes_lost", Value::Num(summary.bytes_lost as u64)),
+                ("important_intact", Value::Bool(summary.important_intact)),
+                (
+                    "integrity_failures",
+                    Value::Num(summary.integrity_failures as u64),
+                ),
+            ])
+            .to_string()
+            .into_bytes())
+        })(),
+        Op::Shutdown => Ok(b"bye".to_vec()),
+    };
+    match result {
+        Ok(payload) => (Some(op), Status::Ok, payload),
+        Err(e) => {
+            let (status, msg) = e.into_wire();
+            (Some(op), status, msg.into_bytes())
+        }
+    }
+}
+
+/// Serves a get: full read with integrity verification, recording the
+/// outcome in the metrics.
+fn serve_get(
+    store: &Store,
+    session: &mut StoreSession,
+    metrics: &Metrics,
+    id: &str,
+) -> Result<Vec<u8>, RequestError> {
+    serve_degraded_get(store, session, metrics, id, &[])
+}
+
+/// Serves a degraded get: `mask` nodes are treated as dead for this
+/// read only (stored files untouched), exercising reconstruction on a
+/// healthy cluster.
+fn serve_degraded_get(
+    store: &Store,
+    session: &mut StoreSession,
+    metrics: &Metrics,
+    id: &str,
+    mask: &[usize],
+) -> Result<Vec<u8>, RequestError> {
+    let out = store.read_object(session, id, mask)?;
+    metrics.count_read(out.degraded, out.approximate, out.integrity_failures as u64);
+    let mut flags = 0u8;
+    if out.degraded {
+        flags |= FLAG_DEGRADED;
+    }
+    if out.approximate {
+        flags |= FLAG_APPROXIMATE;
+    }
+    let mut w = Writer::new();
+    w.u8(flags)
+        .u32(out.integrity_failures.min(u32::MAX as usize) as u32)
+        .buf32(&out.important)
+        .buf32(&out.unimportant);
+    Ok(w.into_bytes())
+}
+
+fn meta_json(meta: &apec_store::ObjectMeta) -> String {
+    obj(vec![
+        ("id", Value::Str(meta.id.clone())),
+        ("stripes", Value::Num(meta.stripes as u64)),
+        ("important_len", Value::Num(meta.important_len as u64)),
+        ("unimportant_len", Value::Num(meta.unimportant_len as u64)),
+        ("approximated", Value::Bool(meta.approximated)),
+    ])
+    .to_string()
+}
+
+/// Internal error type letting handlers use `?` over both store errors
+/// and protocol-decode strings.
+enum RequestError {
+    Store(StoreError),
+    Proto(String),
+}
+
+impl RequestError {
+    fn into_wire(self) -> (Status, String) {
+        match self {
+            RequestError::Store(StoreError::User(m)) => (Status::ErrUser, m),
+            RequestError::Store(StoreError::Corrupt(m)) => (Status::ErrCorrupt, m),
+            RequestError::Store(StoreError::Io(e)) => (Status::ErrIo, e.to_string()),
+            RequestError::Proto(m) => (Status::ErrProto, m),
+        }
+    }
+}
+
+impl From<StoreError> for RequestError {
+    fn from(e: StoreError) -> Self {
+        RequestError::Store(e)
+    }
+}
+
+impl From<String> for RequestError {
+    fn from(m: String) -> Self {
+        RequestError::Proto(m)
+    }
+}

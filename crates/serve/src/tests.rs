@@ -1,0 +1,292 @@
+//! End-to-end daemon tests: live TCP servers on ephemeral ports, real
+//! stores on disk, concurrent clients.
+
+#![cfg(test)]
+
+use crate::client::{Client, ClientError};
+use crate::load::{self, LoadConfig};
+use crate::protocol::Status;
+use crate::server::{serve, ServerConfig, ServerHandle};
+use apec_ec::ErasureCode;
+use apec_store::{Store, StoreConfig};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_root(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "apec-serve-test-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::SeqCst)
+    ))
+}
+
+fn start_daemon(tag: &str, config: ServerConfig) -> (ServerHandle, Arc<Store>, PathBuf) {
+    let root = temp_root(tag);
+    let store = Arc::new(Store::init(&root, StoreConfig::demo("rs")).unwrap());
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let handle = serve(Arc::clone(&store), listener, config).unwrap();
+    (handle, store, root)
+}
+
+#[test]
+fn concurrent_clients_round_trip_byte_identical() {
+    let (handle, _store, root) = start_daemon("smoke", ServerConfig::default());
+    let addr = handle.addr();
+
+    // A shared object every thread reads, plus per-thread objects.
+    let (shared_imp, shared_unimp) = load::payload_for(99, 0, 500, 1200);
+    let mut seed_client = Client::connect(addr).unwrap();
+    seed_client.put("shared", &shared_imp, &shared_unimp).unwrap();
+
+    let mut threads = Vec::new();
+    for t in 0..6u64 {
+        let shared_imp = shared_imp.clone();
+        let shared_unimp = shared_unimp.clone();
+        threads.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            for i in 0..4u64 {
+                let video = t * 100 + i;
+                let id = format!("t{t}-o{i}");
+                let (imp, unimp) = load::payload_for(42, video, 300 + i as usize * 37, 900);
+                client.put(&id, &imp, &unimp).unwrap();
+                let reply = client.get(&id).unwrap();
+                assert_eq!(reply.important, imp, "{id} important bytes");
+                assert_eq!(reply.unimportant, unimp, "{id} unimportant bytes");
+                assert!(!reply.degraded && !reply.approximate);
+                assert_eq!(reply.integrity_failures, 0);
+                let shared = client.get("shared").unwrap();
+                assert_eq!(shared.important, shared_imp);
+                assert_eq!(shared.unimportant, shared_unimp);
+            }
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    // Errors are typed, not fatal: a missing id and a duplicate put.
+    match seed_client.get("no-such-object") {
+        Err(ClientError::Server(Status::ErrUser, msg)) => assert!(msg.contains("no such object")),
+        other => panic!("expected ErrUser, got {other:?}"),
+    }
+    match seed_client.put("shared", &shared_imp, &shared_unimp) {
+        Err(ClientError::Server(Status::ErrUser, _)) => {}
+        other => panic!("expected duplicate-put ErrUser, got {other:?}"),
+    }
+
+    let metrics = handle.metrics();
+    assert_eq!(metrics.integrity_failures(), 0);
+    assert_eq!(metrics.degraded_reads(), 0);
+    assert!(metrics.total_requests() >= (6 * 4 * 3 + 1) as u64);
+    assert_eq!(metrics.errors(), 2, "the two typed errors above");
+    seed_client.shutdown().unwrap();
+    handle.join();
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn overloaded_connections_are_shed_with_a_status() {
+    // No workers and a single queue slot: of two connections, exactly
+    // one sits queued forever and the other is answered `Overloaded`.
+    let config = ServerConfig {
+        workers: 0,
+        queue_cap: 1,
+    };
+    let (mut handle, _store, root) = start_daemon("overload", config);
+    let addr = handle.addr();
+
+    // Raw sockets: the Overloaded frame is *pushed* by the acceptor at
+    // admission time, before any request is sent.
+    let mut first = std::net::TcpStream::connect(addr).unwrap();
+    let mut second = std::net::TcpStream::connect(addr).unwrap();
+    for s in [&first, &second] {
+        s.set_read_timeout(Some(Duration::from_millis(500))).unwrap();
+    }
+
+    // Wait until the acceptor has disposed of both connections.
+    let metrics = Arc::clone(handle.metrics());
+    for _ in 0..100 {
+        if metrics.rejected_connections() == 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(metrics.rejected_connections(), 1);
+
+    // One socket receives the Overloaded frame; the queued one (no
+    // worker will ever pop it) stays silent until the read times out.
+    let outcomes = [
+        crate::protocol::read_frame(&mut first),
+        crate::protocol::read_frame(&mut second),
+    ];
+    let overloaded = outcomes
+        .iter()
+        .filter(|r| {
+            matches!(r, Ok(Some(body))
+                if body.first() == Some(&(Status::Overloaded as u8)))
+        })
+        .count();
+    let timed_out = outcomes.iter().filter(|r| r.is_err()).count();
+    assert_eq!((overloaded, timed_out), (1, 1), "{outcomes:?}");
+
+    handle.shutdown();
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn corruption_on_disk_is_detected_and_served_around() {
+    let (handle, _store, root) = start_daemon("corrupt", ServerConfig::default());
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).unwrap();
+
+    let (imp, unimp) = load::payload_for(5, 1, 400, 1000);
+    client.put("clip", &imp, &unimp).unwrap();
+
+    // Flip one payload bit in a data shard, behind the daemon's back.
+    let victim = root.join("nodes").join("1").join("clip_0.shard");
+    let mut bytes = std::fs::read(&victim).unwrap();
+    bytes[apec_store::crc::CRC_BYTES + 3] ^= 0x10; // raw-xor-ok: test fault injection, single byte
+    std::fs::write(&victim, &bytes).unwrap();
+
+    // The read detects the lie, reconstructs around it, and still
+    // returns byte-identical data.
+    let reply = client.get("clip").unwrap();
+    assert_eq!(reply.important, imp);
+    assert_eq!(reply.unimportant, unimp);
+    assert!(reply.degraded, "read had to reconstruct");
+    assert!(!reply.approximate);
+    assert_eq!(reply.integrity_failures, 1);
+
+    // The server-side counters saw it too.
+    let metrics = handle.metrics();
+    assert_eq!(metrics.integrity_failures(), 1);
+    assert_eq!(metrics.degraded_reads(), 1);
+
+    // Repair over the wire rewrites the shard; the next read is clean.
+    client.repair().unwrap();
+    let reply = client.get("clip").unwrap();
+    assert!(!reply.degraded);
+    assert_eq!(reply.integrity_failures, 0);
+
+    client.shutdown().unwrap();
+    handle.join();
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn degraded_get_masks_nodes_per_request() {
+    let (handle, store, root) = start_daemon("mask", ServerConfig::default());
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).unwrap();
+
+    let (imp, unimp) = load::payload_for(11, 2, 350, 800);
+    client.put("clip", &imp, &unimp).unwrap();
+
+    // Mask a live node: the read must reconstruct without it, exactly.
+    let node = store.code().params().data_node(0, 0);
+    let reply = client.degraded_get("clip", &[node]).unwrap();
+    assert_eq!(reply.important, imp);
+    assert_eq!(reply.unimportant, unimp);
+    assert!(reply.degraded && !reply.approximate);
+
+    client.shutdown().unwrap();
+    handle.join();
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn shutdown_verb_stops_the_daemon() {
+    let (handle, _store, root) = start_daemon("bye", ServerConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.shutdown().unwrap();
+    // join() returns only once the acceptor and all workers exited.
+    handle.join();
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn kill_mid_run_keeps_reads_exact_within_tolerance() {
+    let (handle, store, root) = start_daemon("kill", ServerConfig::default());
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).unwrap();
+
+    let (imp, unimp) = load::payload_for(13, 7, 640, 1664);
+    client.put("clip", &imp, &unimp).unwrap();
+    client.kill(2).unwrap();
+
+    // One dead node is within every stripe's tolerance (r=1, g=2):
+    // reads stay exact, flagged degraded only if the node held a shard
+    // this read needed.
+    let reply = client.get("clip").unwrap();
+    assert_eq!(reply.important, imp);
+    assert_eq!(reply.unimportant, unimp);
+    assert!(!reply.approximate);
+
+    // Writes are refused while degraded; repair re-admits them.
+    match client.put("clip2", &imp, &unimp) {
+        Err(ClientError::Server(Status::ErrUser, _)) => {}
+        other => panic!("expected degraded-write refusal, got {other:?}"),
+    }
+    client.repair().unwrap();
+    client.put("clip2", &imp, &unimp).unwrap();
+    let reply = client.get("clip2").unwrap();
+    assert!(!reply.degraded);
+    assert_eq!(store.state().unwrap().dead_nodes, Vec::<usize>::new());
+
+    client.shutdown().unwrap();
+    handle.join();
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn load_harness_smoke_run_is_clean() {
+    let (handle, store, root) = start_daemon("load", ServerConfig::default());
+    let nodes = store.code().total_nodes();
+
+    // Failure-free smoke: every read must be exact and un-degraded.
+    let mut cfg = LoadConfig::smoke(7, nodes);
+    cfg.clients = 3;
+    cfg.shutdown_after = true;
+    let report = load::run(handle.addr(), &cfg).unwrap();
+    assert_eq!(report.mismatches, 0, "byte-identical replies");
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.integrity_failures, 0);
+    assert!(report.degraded_ratio.abs() < f64::EPSILON);
+    assert!(report.total_requests > 0);
+    assert!(report.ops.iter().any(|o| o.op == "get" && o.requests > 0));
+    assert!(report.ops.iter().any(|o| o.op == "put" && o.requests > 0));
+
+    // The bench document and the server snapshot are well-formed.
+    let bench = report.to_bench_json();
+    assert!(bench.contains("\"bench\": \"serve-load\""));
+    let snap = apec_store::json::parse(&report.server_metrics).unwrap();
+    assert_eq!(snap.get("integrity_failures").and_then(|v| v.as_num()), Some(0));
+    assert_eq!(snap.get("degraded_reads").and_then(|v| v.as_num()), Some(0));
+
+    handle.join();
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn load_harness_survives_failures_mid_run() {
+    let (handle, store, root) = start_daemon("load-fail", ServerConfig::default());
+    let nodes = store.code().total_nodes();
+
+    // Failures on: nodes die and are repaired mid-run; every reply must
+    // still be byte-identical (single failures are within tolerance).
+    let mut cfg = LoadConfig::small(11, nodes);
+    cfg.clients = 2;
+    cfg.shutdown_after = true;
+    let report = load::run(handle.addr(), &cfg).unwrap();
+    assert_eq!(report.mismatches, 0, "byte-identical replies under failures");
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.approx_reads, 0, "single failures stay exact");
+
+    handle.join();
+    std::fs::remove_dir_all(&root).unwrap();
+}

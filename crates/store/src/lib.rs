@@ -1,0 +1,91 @@
+//! apec-store — the thread-safe on-disk object store beneath the vault
+//! CLI and the serving daemon.
+//!
+//! This crate extracts the storage stack that used to live inside
+//! `apec`'s one-shot `put`/`get` commands and hardens it for a long-lived
+//! concurrent server:
+//!
+//! | module | role |
+//! |---|---|
+//! | [`crc`] | std-only CRC-32 (IEEE) over shard payloads |
+//! | [`hash`] | std-only SHA-256 and hex [`hash::Digest`]s |
+//! | [`merkle`] | per-object Merkle trees over stripe shard digests |
+//! | [`json`] | dependency-free JSON reader/writer for the metadata files |
+//! | [`meta`] | config / state / manifest schemas + crash-safe atomic writes |
+//! | [`store`] | the [`Store`] handle: locked, integrity-checked object I/O |
+//!
+//! On-disk layout (one directory per store):
+//!
+//! ```text
+//! store/
+//!   config.json            code parameters (atomic: tmp + rename)
+//!   state.json             dead-node set   (atomic: tmp + rename)
+//!   nodes/<n>/<obj>_<s>.shard   [crc32 LE | payload] per (node, object, stripe)
+//!   objects/<id>.json      manifest: lengths + Merkle leaves + root (atomic)
+//! ```
+//!
+//! Every shard file is CRC-framed so bit-rot is *detected*, not just
+//! reconstructed around, and every object carries a Merkle manifest over
+//! its shard digests so a degraded read can pinpoint exactly which
+//! survivor is lying even when the per-shard CRC was recomputed by the
+//! corruptor. Metadata writes go through a temp file and an atomic
+//! rename, so a crash mid-write leaves the previous version intact and a
+//! truncated file surfaces as a typed [`StoreError::Corrupt`], never a
+//! panic or a silent misparse.
+//!
+//! The [`Store`] handle is `Sync`: reads of distinct objects run fully in
+//! parallel, reads of one object run in parallel with each other, and
+//! writers (put / kill / repair) are excluded at object or topology
+//! granularity — see the locking table in [`store`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crc;
+pub mod hash;
+pub mod json;
+pub mod merkle;
+pub mod meta;
+pub mod store;
+
+pub use meta::{Manifest, ObjectMeta, StoreConfig, StoreState};
+pub use store::{ReadOutcome, RepairSummary, Store, StoreSession};
+
+use std::fmt;
+
+/// Store-level errors, with enough context to be actionable from a shell
+/// or a wire protocol.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem problem.
+    Io(std::io::Error),
+    /// Malformed or missing store metadata (truncated JSON, bad Merkle
+    /// root, wrong types) — the store refuses to guess.
+    Corrupt(String),
+    /// User error (bad id, bad parameters, duplicate object, ...).
+    User(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::Corrupt(m) => write!(f, "store corrupt: {m}"),
+            StoreError::User(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<apec_ec::EcError> for StoreError {
+    fn from(e: apec_ec::EcError) -> Self {
+        StoreError::User(format!("codec: {e}"))
+    }
+}

@@ -1,0 +1,90 @@
+//! Merkle trees over an object's shard digests.
+//!
+//! Layout: the leaves of stripe `s` are the SHA-256 digests of each
+//! node's shard payload (post-CRC-strip), in node order. A stripe root
+//! hashes the concatenated leaves under a `0x01` interior prefix; the
+//! object root hashes the concatenated stripe roots under the same
+//! prefix. Leaves are hashed under a `0x00` prefix so a leaf can never
+//! be confused with an interior node (second-preimage hardening).
+//!
+//! Why both CRC *and* Merkle? The per-shard CRC is cheap and catches
+//! bit-rot locally, but an attacker (or a buggy repair) that rewrites a
+//! shard can recompute its CRC. The manifest's digests are written once
+//! at put time (and re-derived only by repair, which re-commits the
+//! manifest atomically), so a degraded read can compare every survivor
+//! against its recorded leaf and pinpoint exactly which node is lying —
+//! instead of feeding poisoned symbols to the decoder and producing
+//! plausible-looking garbage.
+
+use crate::hash::{Digest, Sha256};
+
+/// Domain-separation prefix for leaf hashes.
+const LEAF_TAG: u8 = 0x00;
+/// Domain-separation prefix for interior hashes.
+const NODE_TAG: u8 = 0x01;
+
+/// Hash one shard payload into its manifest leaf.
+pub fn leaf(payload: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&[LEAF_TAG]);
+    h.update(payload);
+    h.finish()
+}
+
+/// Combine an ordered slice of child digests into an interior node.
+pub fn interior(children: &[Digest]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&[NODE_TAG]);
+    for d in children {
+        h.update(&d.0);
+    }
+    h.finish()
+}
+
+/// Root over one stripe's leaves (node order).
+pub fn stripe_root(leaves: &[Digest]) -> Digest {
+    interior(leaves)
+}
+
+/// Object root over all stripe roots (stripe order).
+pub fn object_root(stripe_roots: &[Digest]) -> Digest {
+    interior(stripe_roots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::sha256;
+
+    #[test]
+    fn leaf_differs_from_plain_hash_and_interior() {
+        let payload = b"shard payload";
+        let l = leaf(payload);
+        assert_ne!(l, sha256(payload), "leaves are domain-separated");
+        assert_ne!(l, interior(&[l]), "interior of one leaf != the leaf");
+    }
+
+    #[test]
+    fn root_is_order_sensitive() {
+        let a = leaf(b"a");
+        let b = leaf(b"b");
+        assert_ne!(stripe_root(&[a, b]), stripe_root(&[b, a]));
+    }
+
+    #[test]
+    fn any_leaf_change_moves_the_object_root() {
+        let stripes: Vec<Vec<Digest>> = (0..3)
+            .map(|s| (0..4).map(|n| leaf(format!("{s}/{n}").as_bytes())).collect())
+            .collect();
+        let roots: Vec<Digest> = stripes.iter().map(|l| stripe_root(l)).collect();
+        let base = object_root(&roots);
+        for (s, stripe_leaves) in stripes.iter().enumerate() {
+            for n in 0..stripe_leaves.len() {
+                let mut mutated = stripes.clone();
+                mutated[s][n] = leaf(b"tampered");
+                let new_roots: Vec<Digest> = mutated.iter().map(|l| stripe_root(l)).collect();
+                assert_ne!(object_root(&new_roots), base, "leaf ({s},{n})");
+            }
+        }
+    }
+}

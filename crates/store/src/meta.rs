@@ -1,0 +1,450 @@
+//! Metadata schemas (`config.json`, `state.json`, per-object manifests)
+//! and the crash-safe atomic writer they all go through.
+//!
+//! Every metadata write lands in a temp file in the same directory and
+//! is then `rename`d over the target, so readers observe either the old
+//! or the new version in full — never a torn write. A truncated or
+//! hand-mangled file fails typed (`StoreError::Corrupt`), it never
+//! panics and never silently misparses.
+
+use crate::hash::Digest;
+use crate::json::{self, obj, Value};
+use crate::{merkle, StoreError};
+use apec_ec::ErasureCode;
+use approx_code::{ApproxCode, BaseFamily, Structure};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Persisted code configuration (schema of `config.json`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Base family name: `rs`, `lrc`, `star`, `tip`.
+    pub family: String,
+    /// Data nodes per local stripe.
+    pub k: usize,
+    /// Local parities per stripe.
+    pub r: usize,
+    /// Global parities.
+    pub g: usize,
+    /// Stripes per global stripe (importance ratio 1/h).
+    pub h: usize,
+    /// `even` or `uneven`.
+    pub structure: String,
+    /// Shard length in bytes.
+    pub shard_len: usize,
+}
+
+impl StoreConfig {
+    /// The small demonstration configuration (RS base, `k=4 r=1 g=2
+    /// h=3`, uneven structure, 192-byte shards — 17 nodes): the default
+    /// for `apec serve` and the serve smoke tests.
+    pub fn demo(family: &str) -> StoreConfig {
+        StoreConfig {
+            family: family.to_string(),
+            k: 4,
+            r: 1,
+            g: 2,
+            h: 3,
+            structure: "uneven".to_string(),
+            shard_len: 192,
+        }
+    }
+
+    /// Instantiates the code this store encodes under.
+    pub fn code(&self) -> Result<ApproxCode, StoreError> {
+        let family = match self.family.as_str() {
+            "rs" => BaseFamily::Rs,
+            "lrc" => BaseFamily::Lrc,
+            "star" => BaseFamily::Star,
+            "tip" => BaseFamily::Tip,
+            other => return Err(StoreError::User(format!("unknown family '{other}'"))),
+        };
+        let structure = match self.structure.as_str() {
+            "even" => Structure::Even,
+            "uneven" => Structure::Uneven,
+            other => return Err(StoreError::User(format!("unknown structure '{other}'"))),
+        };
+        ApproxCode::build_named(family, self.k, self.r, self.g, self.h, structure)
+            .map_err(|e| StoreError::User(format!("invalid parameters: {e}")))
+    }
+
+    /// Validates the configured shard length against the code's alignment.
+    pub fn check_shard_len(&self, code: &ApproxCode) -> Result<(), StoreError> {
+        if self.shard_len == 0 || !self.shard_len.is_multiple_of(code.shard_alignment()) {
+            return Err(StoreError::User(format!(
+                "shard_len {} must be a positive multiple of {}",
+                self.shard_len,
+                code.shard_alignment()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Serialize to the `config.json` wire form.
+    pub fn to_json(&self) -> String {
+        obj(vec![
+            ("family", Value::Str(self.family.clone())),
+            ("k", Value::Num(self.k as u64)),
+            ("r", Value::Num(self.r as u64)),
+            ("g", Value::Num(self.g as u64)),
+            ("h", Value::Num(self.h as u64)),
+            ("structure", Value::Str(self.structure.clone())),
+            ("shard_len", Value::Num(self.shard_len as u64)),
+        ])
+        .to_string()
+    }
+
+    /// Parse `config.json` text. Truncation or type mismatch is a typed
+    /// `Corrupt` error.
+    pub fn from_json(text: &str) -> Result<StoreConfig, StoreError> {
+        let v = parse_doc(text, "config.json")?;
+        Ok(StoreConfig {
+            family: req_str(&v, "family", "config.json")?,
+            k: req_usize(&v, "k", "config.json")?,
+            r: req_usize(&v, "r", "config.json")?,
+            g: req_usize(&v, "g", "config.json")?,
+            h: req_usize(&v, "h", "config.json")?,
+            structure: req_str(&v, "structure", "config.json")?,
+            shard_len: req_usize(&v, "shard_len", "config.json")?,
+        })
+    }
+}
+
+/// Mutable store state (schema of `state.json`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreState {
+    /// Nodes currently dead (killed and not yet repaired onto), sorted.
+    pub dead_nodes: Vec<usize>,
+}
+
+impl StoreState {
+    /// Serialize to the `state.json` wire form.
+    pub fn to_json(&self) -> String {
+        obj(vec![(
+            "dead_nodes",
+            Value::Arr(self.dead_nodes.iter().map(|&n| Value::Num(n as u64)).collect()),
+        )])
+        .to_string()
+    }
+
+    /// Parse `state.json` text.
+    pub fn from_json(text: &str) -> Result<StoreState, StoreError> {
+        let v = parse_doc(text, "state.json")?;
+        let arr = v
+            .get("dead_nodes")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| corrupt("state.json", "missing 'dead_nodes' array"))?;
+        let mut dead_nodes = Vec::with_capacity(arr.len());
+        for item in arr {
+            dead_nodes.push(to_usize(item, "state.json", "dead_nodes entry")?);
+        }
+        dead_nodes.sort_unstable();
+        dead_nodes.dedup();
+        Ok(StoreState { dead_nodes })
+    }
+}
+
+/// Per-object metadata (embedded in the manifest).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectMeta {
+    /// Object id (also the file stem).
+    pub id: String,
+    /// Stripe count.
+    pub stripes: usize,
+    /// Bytes in the important stream.
+    pub important_len: usize,
+    /// Bytes in the unimportant stream.
+    pub unimportant_len: usize,
+    /// `true` once a beyond-tolerance repair zero-filled part of the
+    /// unimportant stream; reads of this object are approximate.
+    pub approximated: bool,
+}
+
+/// Per-object manifest (schema of `objects/<id>.json`): metadata plus
+/// the Merkle commitment to every shard the object was written as.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Object metadata.
+    pub meta: ObjectMeta,
+    /// `leaves[stripe][node]` = digest of that shard's payload.
+    pub leaves: Vec<Vec<Digest>>,
+    /// Object Merkle root over the stripe roots.
+    pub root: Digest,
+}
+
+impl Manifest {
+    /// Build a manifest from metadata and its shard leaves, computing
+    /// the root.
+    pub fn build(meta: ObjectMeta, leaves: Vec<Vec<Digest>>) -> Manifest {
+        let root = Self::root_of(&leaves);
+        Manifest { meta, leaves, root }
+    }
+
+    /// Recompute the object root implied by `leaves`.
+    pub fn root_of(leaves: &[Vec<Digest>]) -> Digest {
+        let stripe_roots: Vec<Digest> = leaves.iter().map(|l| merkle::stripe_root(l)).collect();
+        merkle::object_root(&stripe_roots)
+    }
+
+    /// Serialize to the manifest wire form.
+    pub fn to_json(&self) -> String {
+        obj(vec![
+            ("id", Value::Str(self.meta.id.clone())),
+            ("stripes", Value::Num(self.meta.stripes as u64)),
+            ("important_len", Value::Num(self.meta.important_len as u64)),
+            ("unimportant_len", Value::Num(self.meta.unimportant_len as u64)),
+            ("approximated", Value::Bool(self.meta.approximated)),
+            (
+                "leaves",
+                Value::Arr(
+                    self.leaves
+                        .iter()
+                        .map(|stripe| {
+                            Value::Arr(
+                                stripe.iter().map(|d| Value::Str(d.to_hex())).collect(),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+            ("root", Value::Str(self.root.to_hex())),
+        ])
+        .to_string()
+    }
+
+    /// Parse and *verify* a manifest: the stored root must match the
+    /// root recomputed from the stored leaves, the leaf matrix must be
+    /// `stripes × nodes_per_stripe`, and every digest must be valid hex.
+    pub fn from_json(text: &str, what: &str) -> Result<Manifest, StoreError> {
+        let v = parse_doc(text, what)?;
+        let meta = ObjectMeta {
+            id: req_str(&v, "id", what)?,
+            stripes: req_usize(&v, "stripes", what)?,
+            important_len: req_usize(&v, "important_len", what)?,
+            unimportant_len: req_usize(&v, "unimportant_len", what)?,
+            approximated: v
+                .get("approximated")
+                .and_then(Value::as_bool)
+                .ok_or_else(|| corrupt(what, "missing 'approximated' bool"))?,
+        };
+        let leaf_rows = v
+            .get("leaves")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| corrupt(what, "missing 'leaves' array"))?;
+        if leaf_rows.len() != meta.stripes {
+            return Err(corrupt(
+                what,
+                &format!("{} leaf rows for {} stripes", leaf_rows.len(), meta.stripes),
+            ));
+        }
+        let mut leaves = Vec::with_capacity(leaf_rows.len());
+        let mut width = None;
+        for row in leaf_rows {
+            let row = row
+                .as_arr()
+                .ok_or_else(|| corrupt(what, "leaf row is not an array"))?;
+            if *width.get_or_insert(row.len()) != row.len() {
+                return Err(corrupt(what, "ragged leaf matrix"));
+            }
+            let mut digests = Vec::with_capacity(row.len());
+            for cell in row {
+                let hex = cell
+                    .as_str()
+                    .ok_or_else(|| corrupt(what, "leaf is not a string"))?;
+                digests.push(
+                    Digest::parse_hex(hex).ok_or_else(|| corrupt(what, "leaf is not hex"))?,
+                );
+            }
+            leaves.push(digests);
+        }
+        let root_hex = req_str(&v, "root", what)?;
+        let root =
+            Digest::parse_hex(&root_hex).ok_or_else(|| corrupt(what, "root is not hex"))?;
+        if Self::root_of(&leaves) != root {
+            return Err(corrupt(what, "merkle root does not match leaves"));
+        }
+        Ok(Manifest {
+            meta,
+            leaves,
+            root,
+        })
+    }
+}
+
+fn corrupt(what: &str, msg: &str) -> StoreError {
+    StoreError::Corrupt(format!("{what}: {msg}"))
+}
+
+fn parse_doc(text: &str, what: &str) -> Result<Value, StoreError> {
+    json::parse(text).map_err(|e| corrupt(what, &e))
+}
+
+fn req_str(v: &Value, key: &str, what: &str) -> Result<String, StoreError> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| corrupt(what, &format!("missing string field '{key}'")))
+}
+
+fn req_usize(v: &Value, key: &str, what: &str) -> Result<usize, StoreError> {
+    let field = v
+        .get(key)
+        .ok_or_else(|| corrupt(what, &format!("missing numeric field '{key}'")))?;
+    to_usize(field, what, key)
+}
+
+fn to_usize(v: &Value, what: &str, key: &str) -> Result<usize, StoreError> {
+    let n = v
+        .as_num()
+        .ok_or_else(|| corrupt(what, &format!("field '{key}' is not a number")))?;
+    usize::try_from(n).map_err(|_| corrupt(what, &format!("field '{key}' out of range")))
+}
+
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Write `bytes` to `path` atomically: temp sibling + rename. On any
+/// failure the temp file is cleaned up and the previous version of
+/// `path` (if any) is untouched.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = tmp_sibling(path)?;
+    fs::write(&tmp, bytes)?;
+    match fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+fn tmp_sibling(path: &Path) -> io::Result<PathBuf> {
+    let dir = path.parent().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "path has no parent directory")
+    })?;
+    let stem = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("meta");
+    let unique = format!(
+        ".{stem}.tmp.{}.{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::SeqCst)
+    );
+    Ok(dir.join(unique))
+}
+
+/// Read a metadata file, mapping a missing file to `None` and any other
+/// I/O failure to `Io`.
+pub fn read_optional(path: &Path) -> Result<Option<String>, StoreError> {
+    match fs::read_to_string(path) {
+        Ok(text) => Ok(Some(text)),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(StoreError::Io(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merkle::leaf;
+
+    fn config() -> StoreConfig {
+        StoreConfig {
+            family: "rs".into(),
+            k: 4,
+            r: 1,
+            g: 2,
+            h: 3,
+            structure: "uneven".into(),
+            shard_len: 192,
+        }
+    }
+
+    #[test]
+    fn config_round_trip() {
+        let c = config();
+        assert_eq!(StoreConfig::from_json(&c.to_json()).map_err(|e| e.to_string()), Ok(c));
+    }
+
+    #[test]
+    fn state_round_trip_sorts_and_dedups() {
+        let s = StoreState { dead_nodes: vec![4, 1] };
+        let text = r#"{"dead_nodes":[4,1,4]}"#;
+        assert_eq!(
+            StoreState::from_json(text).map_err(|e| e.to_string()),
+            Ok(StoreState { dead_nodes: vec![1, 4] })
+        );
+        let round = StoreState::from_json(&s.to_json());
+        assert_eq!(round.map_err(|e| e.to_string()), Ok(StoreState { dead_nodes: vec![1, 4] }));
+    }
+
+    fn manifest() -> Manifest {
+        let leaves: Vec<Vec<Digest>> = (0..2)
+            .map(|s| (0..5).map(|n| leaf(format!("{s}:{n}").as_bytes())).collect())
+            .collect();
+        Manifest::build(
+            ObjectMeta {
+                id: "clip-1".into(),
+                stripes: 2,
+                important_len: 100,
+                unimportant_len: 300,
+                approximated: false,
+            },
+            leaves,
+        )
+    }
+
+    #[test]
+    fn manifest_round_trip() {
+        let m = manifest();
+        let parsed = Manifest::from_json(&m.to_json(), "test");
+        assert_eq!(parsed.map_err(|e| e.to_string()), Ok(m));
+    }
+
+    #[test]
+    fn truncated_manifest_is_typed_corrupt_not_panic() {
+        let text = manifest().to_json();
+        for cut in 0..text.len() {
+            match Manifest::from_json(&text[..cut], "test") {
+                Err(StoreError::Corrupt(_)) => {}
+                other => panic!("prefix {cut}: expected Corrupt, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn tampered_root_or_leaf_is_rejected() {
+        let m = manifest();
+        let tampered_root = m.to_json().replace(&m.root.to_hex(), &"0".repeat(64));
+        assert!(matches!(
+            Manifest::from_json(&tampered_root, "test"),
+            Err(StoreError::Corrupt(_))
+        ));
+        let first_leaf = m.leaves[0][0].to_hex();
+        let tampered_leaf = m.to_json().replace(&first_leaf, &"f".repeat(64));
+        assert!(matches!(
+            Manifest::from_json(&tampered_leaf, "test"),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_temp(){
+        let dir = std::env::temp_dir().join(format!("apec-meta-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("state.json");
+        write_atomic(&target, b"one").unwrap();
+        write_atomic(&target, b"two").unwrap();
+        assert_eq!(fs::read(&target).unwrap(), b"two");
+        let stray: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(stray.is_empty(), "temp files left behind: {stray:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,878 @@
+//! The [`Store`] handle: thread-safe, integrity-checked object I/O over
+//! the on-disk layout described in the [crate docs](crate).
+//!
+//! # Locking model
+//!
+//! | operation | topology lock | object lock |
+//! |---|---|---|
+//! | `put_object` | read | write |
+//! | `read_object` / `stat` | read | read |
+//! | `kill_node` / `repair_all` | **write** | — (excluded via topology) |
+//!
+//! The topology lock serialises cluster-shape mutations (killing and
+//! repairing nodes) against all object traffic; per-object locks let
+//! reads of one object run concurrently with each other and with traffic
+//! on other objects. Lock acquisition recovers from poisoning (a
+//! panicked holder) instead of propagating the panic, so one crashed
+//! worker cannot wedge the daemon.
+//!
+//! # Integrity pipeline
+//!
+//! Every shard read is checked three ways before its bytes reach the
+//! decoder: exact framed length, CRC-32 over the payload, and the
+//! payload's Merkle leaf against the object manifest. A shard failing
+//! any check is demoted to an erasure (and counted), so corruption is
+//! repaired *around* exactly like a missing disk — it can never poison
+//! a reconstruction silently.
+
+use crate::crc::{crc32, CRC_BYTES};
+use crate::hash::Digest;
+use crate::merkle;
+use crate::meta::{read_optional, write_atomic, Manifest, ObjectMeta, StoreConfig, StoreState};
+use crate::StoreError;
+use apec_ec::{DecodeSession, EcError, EncodeSession, ErasureCode};
+use approx_code::{tiered, ApproxCode};
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Per-worker reusable codec state: a warm [`EncodeSession`] for puts
+/// and a warm [`DecodeSession`] (plan cache + scratch arena) for
+/// degraded reads. One per worker thread; never shared.
+#[derive(Default)]
+pub struct StoreSession {
+    /// Encode-side arena.
+    pub enc: EncodeSession,
+    /// Decode-side plan cache and scratch.
+    pub dec: DecodeSession,
+}
+
+impl StoreSession {
+    /// Fresh session; buffers and plan caches warm up on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Outcome of [`Store::read_object`].
+#[derive(Debug)]
+pub struct ReadOutcome {
+    /// The important byte stream (always byte-exact unless the object
+    /// was previously approximated by an over-tolerance repair).
+    pub important: Vec<u8>,
+    /// The unimportant byte stream (may contain zero-filled holes when
+    /// `approximate` is set).
+    pub unimportant: Vec<u8>,
+    /// Object metadata.
+    pub meta: ObjectMeta,
+    /// At least one shard had to be reconstructed (missing, masked, or
+    /// failed an integrity check).
+    pub degraded: bool,
+    /// The returned bytes are not guaranteed byte-exact: either this
+    /// read fell back to tiered (approximate) reconstruction, or a past
+    /// repair already zero-filled part of the object.
+    pub approximate: bool,
+    /// Shards that existed on disk but failed length/CRC/Merkle checks
+    /// during this read.
+    pub integrity_failures: usize,
+}
+
+/// Outcome of a repair pass over the whole store.
+#[derive(Debug, Default)]
+pub struct RepairSummary {
+    /// Shard files rewritten.
+    pub shards_rebuilt: usize,
+    /// Bytes that could not be rebuilt (zero-filled, left to the
+    /// approximate-recovery layer).
+    pub bytes_lost: usize,
+    /// `true` if every important byte survived.
+    pub important_intact: bool,
+    /// Corrupt (not merely missing) shards detected and rebuilt.
+    pub integrity_failures: usize,
+}
+
+/// How a framed shard file read resolved.
+enum ShardRead {
+    /// Payload passed length, CRC and Merkle-leaf checks.
+    Ok(Vec<u8>),
+    /// File absent (node dead or never written).
+    Missing,
+    /// File present but failed an integrity check.
+    Corrupt,
+}
+
+/// A handle to an on-disk store. `Sync`: share it behind an `Arc` and
+/// call it from many threads.
+pub struct Store {
+    root: PathBuf,
+    config: StoreConfig,
+    code: ApproxCode,
+    /// Cluster-shape lock; see the module docs for the matrix.
+    topo: RwLock<()>,
+    /// Lazily-populated per-object locks.
+    objects: Mutex<HashMap<String, Arc<RwLock<()>>>>,
+}
+
+/// Acquire a read guard, absorbing poisoning from a panicked holder
+/// (the guarded data lives on disk; the in-memory token carries none).
+fn read_guard<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    match lock.read() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Acquire a write guard, absorbing poisoning.
+fn write_guard<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    match lock.write() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Lock a mutex, absorbing poisoning.
+fn mutex_guard<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    match lock.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl Store {
+    /// Creates a new store directory.
+    pub fn init(root: &Path, config: StoreConfig) -> Result<Store, StoreError> {
+        let code = config.code()?;
+        config.check_shard_len(&code)?;
+        if root.join("config.json").exists() {
+            return Err(StoreError::User(format!(
+                "{} already contains a store",
+                root.display()
+            )));
+        }
+        fs::create_dir_all(root.join("objects"))?;
+        for n in 0..code.total_nodes() {
+            fs::create_dir_all(root.join("nodes").join(n.to_string()))?;
+        }
+        write_atomic(&root.join("config.json"), config.to_json().as_bytes())?;
+        write_atomic(&root.join("state.json"), StoreState::default().to_json().as_bytes())?;
+        Ok(Store {
+            root: root.to_path_buf(),
+            config,
+            code,
+            topo: RwLock::new(()),
+            objects: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Opens an existing store.
+    pub fn open(root: &Path) -> Result<Store, StoreError> {
+        let text = read_optional(&root.join("config.json"))?
+            .ok_or_else(|| StoreError::Corrupt(format!("{}: missing config.json", root.display())))?;
+        let config = StoreConfig::from_json(&text)?;
+        let code = config.code()?;
+        config.check_shard_len(&code)?;
+        Ok(Store {
+            root: root.to_path_buf(),
+            config,
+            code,
+            topo: RwLock::new(()),
+            objects: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The store's code configuration.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// The store's instantiated code.
+    pub fn code(&self) -> &ApproxCode {
+        &self.code
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn state_path(&self) -> PathBuf {
+        self.root.join("state.json")
+    }
+
+    fn shard_path(&self, node: usize, id: &str, stripe: usize) -> PathBuf {
+        self.root
+            .join("nodes")
+            .join(node.to_string())
+            .join(format!("{id}_{stripe}.shard"))
+    }
+
+    fn manifest_path(&self, id: &str) -> PathBuf {
+        self.root.join("objects").join(format!("{id}.json"))
+    }
+
+    /// Reads the mutable state (dead-node set).
+    pub fn state(&self) -> Result<StoreState, StoreError> {
+        let text = read_optional(&self.state_path())?
+            .ok_or_else(|| StoreError::Corrupt("missing state.json".to_string()))?;
+        StoreState::from_json(&text)
+    }
+
+    fn write_state(&self, state: &StoreState) -> Result<(), StoreError> {
+        write_atomic(&self.state_path(), state.to_json().as_bytes())?;
+        Ok(())
+    }
+
+    fn check_id(id: &str) -> Result<(), StoreError> {
+        if id.is_empty()
+            || !id
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            return Err(StoreError::User(format!(
+                "object id '{id}' must be non-empty [A-Za-z0-9_-]"
+            )));
+        }
+        Ok(())
+    }
+
+    /// The lock guarding `id`, created on first touch.
+    fn object_lock(&self, id: &str) -> Arc<RwLock<()>> {
+        let mut map = mutex_guard(&self.objects);
+        Arc::clone(map.entry(id.to_string()).or_default())
+    }
+
+    fn load_manifest(&self, id: &str) -> Result<Manifest, StoreError> {
+        let text = read_optional(&self.manifest_path(id))?
+            .ok_or_else(|| StoreError::User(format!("no such object '{id}'")))?;
+        let manifest = Manifest::from_json(&text, &format!("manifest for '{id}'"))?;
+        self.check_manifest_shape(&manifest)?;
+        Ok(manifest)
+    }
+
+    /// Rejects manifests whose leaf matrix disagrees with the code shape
+    /// (a manifest from a differently-configured store, or a truncated
+    /// rewrite that still parsed).
+    fn check_manifest_shape(&self, manifest: &Manifest) -> Result<(), StoreError> {
+        let total = self.code.total_nodes();
+        if manifest.leaves.iter().any(|row| row.len() != total) {
+            return Err(StoreError::Corrupt(format!(
+                "manifest for '{}' has wrong leaf width (expected {total} nodes)",
+                manifest.meta.id
+            )));
+        }
+        Ok(())
+    }
+
+    /// Writes one CRC-framed shard file.
+    fn write_shard(
+        &self,
+        node: usize,
+        id: &str,
+        stripe: usize,
+        payload: &[u8],
+    ) -> Result<(), StoreError> {
+        let mut framed = Vec::with_capacity(CRC_BYTES + payload.len());
+        framed.extend_from_slice(&crc32(payload).to_le_bytes());
+        framed.extend_from_slice(payload);
+        fs::write(self.shard_path(node, id, stripe), &framed)?;
+        Ok(())
+    }
+
+    /// Reads one framed shard file and runs the full integrity pipeline
+    /// against the manifest leaf.
+    fn read_shard_checked(
+        &self,
+        node: usize,
+        id: &str,
+        stripe: usize,
+        expected_leaf: &Digest,
+    ) -> Result<ShardRead, StoreError> {
+        let mut framed = match fs::read(self.shard_path(node, id, stripe)) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(ShardRead::Missing),
+            Err(e) => return Err(StoreError::Io(e)),
+        };
+        if framed.len() != CRC_BYTES + self.config.shard_len {
+            return Ok(ShardRead::Corrupt);
+        }
+        let payload = framed.split_off(CRC_BYTES);
+        let mut stored = [0u8; CRC_BYTES];
+        stored.copy_from_slice(&framed);
+        if u32::from_le_bytes(stored) != crc32(&payload) {
+            return Ok(ShardRead::Corrupt);
+        }
+        if merkle::leaf(&payload) != *expected_leaf {
+            return Ok(ShardRead::Corrupt);
+        }
+        Ok(ShardRead::Ok(payload))
+    }
+
+    /// Stores a two-tier object (important + unimportant byte streams).
+    ///
+    /// Shard files are written first; the manifest commits the object
+    /// last and atomically, so a crash mid-put leaves no visible object
+    /// (orphan shard files are simply overwritten by a retried put).
+    pub fn put_object(
+        &self,
+        session: &mut StoreSession,
+        id: &str,
+        important: &[u8],
+        unimportant: &[u8],
+    ) -> Result<ObjectMeta, StoreError> {
+        Self::check_id(id)?;
+        let _topo = read_guard(&self.topo);
+        let object_lock = self.object_lock(id);
+        let _obj = write_guard(&object_lock);
+        if self.manifest_path(id).exists() {
+            return Err(StoreError::User(format!("object '{id}' already exists")));
+        }
+        let dead = self.state()?.dead_nodes;
+        if !dead.is_empty() {
+            return Err(StoreError::User(format!(
+                "cannot write while nodes {dead:?} are dead; repair first"
+            )));
+        }
+        let packed = tiered::pack(&self.code, important, unimportant, self.config.shard_len)?;
+        let mut leaves: Vec<Vec<Digest>> = Vec::with_capacity(packed.stripes.len());
+        let mut refs: Vec<&[u8]> = Vec::with_capacity(self.code.data_nodes());
+        for (s, rows) in packed.stripes.iter().enumerate() {
+            refs.clear();
+            refs.extend(rows.iter().map(|b| b.as_slice()));
+            let parity = session.enc.encode(&self.code, &refs)?;
+            let mut stripe_leaves = Vec::with_capacity(self.code.total_nodes());
+            for (node, payload) in refs
+                .iter()
+                .copied()
+                .chain(parity.iter().map(|p| p.as_slice()))
+                .enumerate()
+            {
+                self.write_shard(node, id, s, payload)?;
+                stripe_leaves.push(merkle::leaf(payload));
+            }
+            leaves.push(stripe_leaves);
+        }
+        let meta = ObjectMeta {
+            id: id.to_string(),
+            stripes: packed.stripes.len(),
+            important_len: important.len(),
+            unimportant_len: unimportant.len(),
+            approximated: false,
+        };
+        let manifest = Manifest::build(meta.clone(), leaves);
+        write_atomic(&self.manifest_path(id), manifest.to_json().as_bytes())?;
+        Ok(meta)
+    }
+
+    /// Object metadata (from the manifest, Merkle-verified).
+    pub fn stat(&self, id: &str) -> Result<ObjectMeta, StoreError> {
+        let _topo = read_guard(&self.topo);
+        let object_lock = self.object_lock(id);
+        let _obj = read_guard(&object_lock);
+        Ok(self.load_manifest(id)?.meta)
+    }
+
+    /// Lists stored objects.
+    pub fn list(&self) -> Result<Vec<ObjectMeta>, StoreError> {
+        let _topo = read_guard(&self.topo);
+        let mut out = Vec::new();
+        for entry in fs::read_dir(self.root.join("objects"))? {
+            let path = entry?.path();
+            let text = fs::read_to_string(&path)?;
+            let what = format!("manifest {}", path.display());
+            out.push(Manifest::from_json(&text, &what)?.meta);
+        }
+        out.sort_by(|a, b| a.id.cmp(&b.id));
+        Ok(out)
+    }
+
+    /// Fetches an object's two streams, reconstructing around missing,
+    /// masked and corrupt shards. `mask` lists nodes to treat as dead
+    /// for this read (the serving daemon's degraded-get), on top of
+    /// whatever is actually missing on disk. Stored files are untouched.
+    pub fn read_object(
+        &self,
+        session: &mut StoreSession,
+        id: &str,
+        mask: &[usize],
+    ) -> Result<ReadOutcome, StoreError> {
+        let _topo = read_guard(&self.topo);
+        let object_lock = self.object_lock(id);
+        let _obj = read_guard(&object_lock);
+        let manifest = self.load_manifest(id)?;
+        let meta = manifest.meta.clone();
+        let total = self.code.total_nodes();
+        let data_nodes = self.code.data_nodes();
+        let mut integrity_failures = 0usize;
+        let mut degraded = false;
+        let mut approximate = meta.approximated;
+        let mut stripes: Vec<Vec<Vec<u8>>> = Vec::with_capacity(meta.stripes);
+
+        for (s, leaf_row) in manifest.leaves.iter().enumerate() {
+            let mut rows: Vec<Option<Vec<u8>>> = Vec::with_capacity(total);
+            for (node, expected) in leaf_row.iter().enumerate() {
+                if mask.contains(&node) {
+                    rows.push(None);
+                    continue;
+                }
+                match self.read_shard_checked(node, id, s, expected)? {
+                    ShardRead::Ok(payload) => rows.push(Some(payload)),
+                    ShardRead::Missing => rows.push(None),
+                    ShardRead::Corrupt => {
+                        integrity_failures += 1;
+                        rows.push(None);
+                    }
+                }
+            }
+            let missing: Vec<usize> = rows
+                .iter()
+                .enumerate()
+                .filter_map(|(i, r)| r.is_none().then_some(i))
+                .collect();
+            if !missing.is_empty() {
+                degraded = true;
+                let wanted: Vec<usize> =
+                    missing.iter().copied().filter(|&i| i < data_nodes).collect();
+                if !wanted.is_empty() {
+                    match self.decode_exact(session, &rows, &missing, &wanted) {
+                        Ok(decoded) => {
+                            for (&node, payload) in wanted.iter().zip(decoded) {
+                                if let Some(slot) = rows.get_mut(node) {
+                                    *slot = Some(payload);
+                                }
+                            }
+                        }
+                        Err(
+                            EcError::TooManyErasures { .. } | EcError::UnrecoverablePattern { .. },
+                        ) => {
+                            let report = self.code.reconstruct_tiered(&mut rows)?;
+                            approximate |= !report.fully_recovered;
+                        }
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+            }
+            let mut data_rows = Vec::with_capacity(data_nodes);
+            for row in rows.into_iter().take(data_nodes) {
+                data_rows.push(row.ok_or_else(|| {
+                    StoreError::Corrupt(format!("stripe {s} of '{id}' not materialised"))
+                })?);
+            }
+            stripes.push(data_rows);
+        }
+        let (important, unimportant) =
+            tiered::unpack(&self.code, &stripes, meta.important_len, meta.unimportant_len);
+        Ok(ReadOutcome {
+            important,
+            unimportant,
+            meta,
+            degraded,
+            approximate,
+            integrity_failures,
+        })
+    }
+
+    /// Exact (non-approximate) partial decode of `wanted` from the
+    /// survivors, via the session's cached repair plans. Returns owned
+    /// payloads in `wanted` order.
+    fn decode_exact(
+        &self,
+        session: &mut StoreSession,
+        rows: &[Option<Vec<u8>>],
+        missing: &[usize],
+        wanted: &[usize],
+    ) -> Result<Vec<Vec<u8>>, EcError> {
+        let views: Vec<Option<&[u8]>> = rows.iter().map(|r| r.as_deref()).collect();
+        let out = session.dec.decode(&self.code, &views, missing, wanted)?;
+        Ok(out.to_vec())
+    }
+
+    /// Kills a node: its shard files are deleted (disk-failure
+    /// semantics) and it joins the dead set.
+    pub fn kill_node(&self, node: usize) -> Result<(), StoreError> {
+        let _topo = write_guard(&self.topo);
+        if node >= self.code.total_nodes() {
+            return Err(StoreError::User(format!(
+                "node {node} out of range (0..{})",
+                self.code.total_nodes()
+            )));
+        }
+        let dir = self.root.join("nodes").join(node.to_string());
+        fs::remove_dir_all(&dir)?;
+        fs::create_dir_all(&dir)?;
+        let mut state = self.state()?;
+        if !state.dead_nodes.contains(&node) {
+            state.dead_nodes.push(node);
+            state.dead_nodes.sort_unstable();
+        }
+        self.write_state(&state)
+    }
+
+    /// Repairs every object after node failures (or detected bit-rot):
+    /// rebuilds what the code permits, rewrites lost shard files,
+    /// re-commits each touched manifest atomically, and clears the dead
+    /// set. Objects with unrecoverable (zero-filled) ranges are marked
+    /// `approximated` so later reads report themselves approximate.
+    pub fn repair_all(&self) -> Result<RepairSummary, StoreError> {
+        let _topo = write_guard(&self.topo);
+        let mut summary = RepairSummary {
+            important_intact: true,
+            ..RepairSummary::default()
+        };
+        let ids: Vec<String> = {
+            let mut ids = Vec::new();
+            for entry in fs::read_dir(self.root.join("objects"))? {
+                let path = entry?.path();
+                if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                    ids.push(stem.to_string());
+                }
+            }
+            ids.sort();
+            ids
+        };
+        for id in &ids {
+            let mut manifest = self.load_manifest(id)?;
+            let mut touched = false;
+            let mut fully = true;
+            for s in 0..manifest.meta.stripes {
+                let leaf_row = manifest
+                    .leaves
+                    .get(s)
+                    .ok_or_else(|| {
+                        StoreError::Corrupt(format!("manifest for '{id}' missing stripe {s}"))
+                    })?
+                    .clone();
+                let mut rows: Vec<Option<Vec<u8>>> = Vec::with_capacity(leaf_row.len());
+                for (node, expected) in leaf_row.iter().enumerate() {
+                    match self.read_shard_checked(node, id, s, expected)? {
+                        ShardRead::Ok(payload) => rows.push(Some(payload)),
+                        ShardRead::Missing => rows.push(None),
+                        ShardRead::Corrupt => {
+                            summary.integrity_failures += 1;
+                            rows.push(None);
+                        }
+                    }
+                }
+                let missing: Vec<usize> = rows
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, r)| r.is_none().then_some(i))
+                    .collect();
+                if missing.is_empty() {
+                    continue;
+                }
+                let report = self.code.reconstruct_tiered(&mut rows)?;
+                summary.important_intact &= report.important_recovered;
+                fully &= report.fully_recovered;
+                summary.bytes_lost += report
+                    .lost_ranges
+                    .iter()
+                    .map(|(_, r)| r.len())
+                    .sum::<usize>();
+                for &node in &missing {
+                    let payload = rows
+                        .get(node)
+                        .and_then(|r| r.as_deref())
+                        .ok_or_else(|| {
+                            StoreError::Corrupt(format!(
+                                "repair of '{id}' stripe {s} did not materialise node {node}"
+                            ))
+                        })?;
+                    self.write_shard(node, id, s, payload)?;
+                    summary.shards_rebuilt += 1;
+                    if let Some(slot) = manifest
+                        .leaves
+                        .get_mut(s)
+                        .and_then(|row| row.get_mut(node))
+                    {
+                        *slot = merkle::leaf(payload);
+                    }
+                    touched = true;
+                }
+            }
+            if touched {
+                manifest.meta.approximated |= !fully;
+                let rebuilt = Manifest::build(manifest.meta.clone(), manifest.leaves);
+                write_atomic(&self.manifest_path(id), rebuilt.to_json().as_bytes())?;
+            }
+        }
+        self.write_state(&StoreState::default())?;
+        Ok(summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_root(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "apec-store-test-{}-{}-{}",
+            tag,
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn test_config() -> StoreConfig {
+        StoreConfig {
+            family: "rs".into(),
+            k: 4,
+            r: 1,
+            g: 2,
+            h: 3,
+            structure: "uneven".into(),
+            shard_len: 3 * 64,
+        }
+    }
+
+    fn payloads(n: usize) -> (Vec<u8>, Vec<u8>) {
+        let imp: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
+        let unimp: Vec<u8> = (0..4 * n).map(|i| (i * 3 % 251) as u8).collect();
+        (imp, unimp)
+    }
+
+    #[test]
+    fn init_open_round_trip() {
+        let root = temp_root("init");
+        let s = Store::init(&root, test_config()).unwrap();
+        assert_eq!(s.code().total_nodes(), 17);
+        let s2 = Store::open(&root).unwrap();
+        assert_eq!(*s2.config(), test_config());
+        assert!(matches!(
+            Store::init(&root, test_config()),
+            Err(StoreError::User(_))
+        ));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn bad_configs_are_rejected() {
+        let root = temp_root("badcfg");
+        let mut cfg = test_config();
+        cfg.family = "zfec".into();
+        assert!(Store::init(&root, cfg).is_err());
+        let mut cfg = test_config();
+        cfg.shard_len = 0;
+        assert!(Store::init(&root, cfg).is_err());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let root = temp_root("putget");
+        let store = Store::init(&root, test_config()).unwrap();
+        let mut sess = StoreSession::new();
+        let (imp, unimp) = payloads(500);
+        let meta = store.put_object(&mut sess, "clip-1", &imp, &unimp).unwrap();
+        assert!(meta.stripes >= 1);
+        let out = store.read_object(&mut sess, "clip-1", &[]).unwrap();
+        assert_eq!(out.important, imp);
+        assert_eq!(out.unimportant, unimp);
+        assert!(!out.degraded && !out.approximate);
+        assert_eq!(out.integrity_failures, 0);
+        assert_eq!(store.stat("clip-1").unwrap(), meta);
+        assert!(store.put_object(&mut sess, "clip-1", &imp, &unimp).is_err());
+        assert!(store.put_object(&mut sess, "bad id!", &imp, &unimp).is_err());
+        assert!(store.read_object(&mut sess, "nope", &[]).is_err());
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn kill_within_tolerance_then_repair_is_lossless() {
+        let root = temp_root("repair1");
+        let store = Store::init(&root, test_config()).unwrap();
+        let mut sess = StoreSession::new();
+        let (imp, unimp) = payloads(300);
+        store.put_object(&mut sess, "obj", &imp, &unimp).unwrap();
+        store.kill_node(2).unwrap();
+        assert_eq!(store.state().unwrap().dead_nodes, vec![2]);
+        let out = store.read_object(&mut sess, "obj", &[]).unwrap();
+        assert!(out.degraded && !out.approximate);
+        assert_eq!((out.important, out.unimportant), (imp.clone(), unimp.clone()));
+        let summary = store.repair_all().unwrap();
+        assert!(summary.important_intact);
+        assert_eq!(summary.bytes_lost, 0);
+        assert!(summary.shards_rebuilt >= 1);
+        assert!(store.state().unwrap().dead_nodes.is_empty());
+        let out = store.read_object(&mut sess, "obj", &[]).unwrap();
+        assert!(!out.degraded, "repair restored every shard");
+        assert_eq!((out.important, out.unimportant), (imp, unimp));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn beyond_tolerance_repair_marks_object_approximated() {
+        let root = temp_root("repair2");
+        let store = Store::init(&root, test_config()).unwrap();
+        let mut sess = StoreSession::new();
+        let (imp, unimp) = payloads(400);
+        store.put_object(&mut sess, "obj", &imp, &unimp).unwrap();
+        // Two data nodes of local stripe 1 (unimportant under Uneven):
+        // beyond the local tolerance r=1.
+        let n1 = store.code().params().data_node(1, 0);
+        let n2 = store.code().params().data_node(1, 1);
+        store.kill_node(n1).unwrap();
+        store.kill_node(n2).unwrap();
+        let summary = store.repair_all().unwrap();
+        assert!(summary.important_intact);
+        assert!(summary.bytes_lost > 0);
+        let out = store.read_object(&mut sess, "obj", &[]).unwrap();
+        assert_eq!(out.important, imp, "important stream byte-exact");
+        assert_ne!(out.unimportant, unimp, "unimportant stream has holes");
+        assert_eq!(out.unimportant.len(), unimp.len());
+        assert!(out.approximate, "object is flagged approximated");
+        assert!(out.meta.approximated);
+        assert_eq!(out.integrity_failures, 0, "rebuilt manifest matches disk");
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn masked_read_is_degraded_but_exact() {
+        let root = temp_root("mask");
+        let store = Store::init(&root, test_config()).unwrap();
+        let mut sess = StoreSession::new();
+        let (imp, unimp) = payloads(350);
+        store.put_object(&mut sess, "obj", &imp, &unimp).unwrap();
+        let out = store.read_object(&mut sess, "obj", &[0, 5]).unwrap();
+        assert!(out.degraded);
+        assert!(!out.approximate);
+        assert_eq!(out.integrity_failures, 0, "masking is not corruption");
+        assert_eq!((out.important, out.unimportant), (imp, unimp));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn writes_blocked_while_degraded() {
+        let root = temp_root("blocked");
+        let store = Store::init(&root, test_config()).unwrap();
+        let mut sess = StoreSession::new();
+        store.kill_node(0).unwrap();
+        assert!(matches!(
+            store.put_object(&mut sess, "x", &[1], &[2]),
+            Err(StoreError::User(_))
+        ));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn kill_out_of_range_is_refused() {
+        let root = temp_root("range");
+        let store = Store::init(&root, test_config()).unwrap();
+        assert!(store.kill_node(99).is_err());
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_is_detected_and_reconstructed_around() {
+        let root = temp_root("bitflip");
+        let store = Store::init(&root, test_config()).unwrap();
+        let mut sess = StoreSession::new();
+        let (imp, unimp) = payloads(400);
+        store.put_object(&mut sess, "obj", &imp, &unimp).unwrap();
+        // Flip one payload bit on a data node; the CRC catches it.
+        let victim = store.shard_path(1, "obj", 0);
+        let mut bytes = fs::read(&victim).unwrap();
+        bytes[CRC_BYTES + 10] ^= 0x40; // raw-xor-ok: test fault injection, single byte
+        fs::write(&victim, &bytes).unwrap();
+        let out = store.read_object(&mut sess, "obj", &[]).unwrap();
+        assert_eq!(out.integrity_failures, 1, "corruption counted");
+        assert!(out.degraded && !out.approximate);
+        assert_eq!((out.important.clone(), out.unimportant.clone()), (imp.clone(), unimp.clone()));
+        // Repair detects it too, rewrites the shard, and the store is clean.
+        let summary = store.repair_all().unwrap();
+        assert_eq!(summary.integrity_failures, 1);
+        assert!(summary.shards_rebuilt >= 1);
+        let out = store.read_object(&mut sess, "obj", &[]).unwrap();
+        assert!(!out.degraded);
+        assert_eq!(out.integrity_failures, 0);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn crc_forgery_is_caught_by_the_merkle_leaf() {
+        let root = temp_root("forge");
+        let store = Store::init(&root, test_config()).unwrap();
+        let mut sess = StoreSession::new();
+        let (imp, unimp) = payloads(300);
+        store.put_object(&mut sess, "obj", &imp, &unimp).unwrap();
+        // Adversarial rewrite: change the payload AND recompute the CRC.
+        // Only the manifest leaf can catch this one.
+        let victim = store.shard_path(0, "obj", 0);
+        let mut framed = fs::read(&victim).unwrap();
+        let mut payload = framed.split_off(CRC_BYTES);
+        payload[0] ^= 0xff; // raw-xor-ok: test CRC forgery, single byte
+        let mut forged = crc32(&payload).to_le_bytes().to_vec();
+        forged.extend_from_slice(&payload);
+        fs::write(&victim, &forged).unwrap();
+        let out = store.read_object(&mut sess, "obj", &[]).unwrap();
+        assert_eq!(out.integrity_failures, 1, "forged CRC still detected");
+        assert_eq!((out.important, out.unimportant), (imp, unimp));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn truncated_metadata_is_typed_corrupt() {
+        let root = temp_root("trunc");
+        let store = Store::init(&root, test_config()).unwrap();
+        let mut sess = StoreSession::new();
+        let (imp, unimp) = payloads(200);
+        store.put_object(&mut sess, "obj", &imp, &unimp).unwrap();
+        // Truncate the object manifest.
+        let mpath = store.manifest_path("obj");
+        let text = fs::read(&mpath).unwrap();
+        fs::write(&mpath, &text[..text.len() / 2]).unwrap();
+        assert!(matches!(store.stat("obj"), Err(StoreError::Corrupt(_))));
+        assert!(matches!(
+            store.read_object(&mut sess, "obj", &[]),
+            Err(StoreError::Corrupt(_))
+        ));
+        // Truncate config.json: open fails typed.
+        let cpath = root.join("config.json");
+        let text = fs::read(&cpath).unwrap();
+        fs::write(&cpath, &text[..text.len() - 3]).unwrap();
+        assert!(matches!(Store::open(&root), Err(StoreError::Corrupt(_))));
+        // Truncate state.json: state reads fail typed.
+        let spath = root.join("state.json");
+        fs::write(&spath, b"{\"dead_nodes\":[1").unwrap();
+        assert!(matches!(store.state(), Err(StoreError::Corrupt(_))));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_round_trip() {
+        let root = temp_root("threads");
+        let store = Arc::new(Store::init(&root, test_config()).unwrap());
+        let mut sess = StoreSession::new();
+        let (imp, unimp) = payloads(260);
+        store.put_object(&mut sess, "shared", &imp, &unimp).unwrap();
+        let mut handles = Vec::new();
+        for t in 0..6usize {
+            let store = Arc::clone(&store);
+            let (imp, unimp) = (imp.clone(), unimp.clone());
+            handles.push(std::thread::spawn(move || {
+                let mut sess = StoreSession::new();
+                // Each thread writes its own objects and re-reads both
+                // its own and the shared one.
+                for i in 0..4usize {
+                    let id = format!("t{t}-o{i}");
+                    let (ti, tu) = (vec![t as u8; 90 + i], vec![i as u8; 300 + t]);
+                    store.put_object(&mut sess, &id, &ti, &tu).unwrap();
+                    let out = store.read_object(&mut sess, &id, &[]).unwrap();
+                    assert_eq!((out.important, out.unimportant), (ti, tu));
+                    let out = store.read_object(&mut sess, "shared", &[]).unwrap();
+                    assert_eq!((out.important, out.unimportant), (imp.clone(), unimp.clone()));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.list().unwrap().len(), 25);
+        fs::remove_dir_all(&root).unwrap();
+    }
+}

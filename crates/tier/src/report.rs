@@ -295,6 +295,7 @@ pub struct TierReport {
 impl TierReport {
     /// Canonical JSON rendering (deterministic field order).
     pub fn to_json(&self) -> String {
+        // panic-ok: serde_json on a derive(Serialize) tree with string keys cannot fail
         serde_json::to_string_pretty(self).expect("report serialises")
     }
 

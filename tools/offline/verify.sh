@@ -7,10 +7,10 @@
 # (rand, proptest, parking_lot, crossbeam, criterion, serde/serde_json —
 # see the stub_*.rs headers), builds every workspace crate against them
 # in dependency order, then compiles and runs each crate's unit tests,
-# the root integration tests, and the bench binaries (smoke-run once via
-# the criterion stub). The serde stub covers Serialize only, so the cli
-# crate (whose vault needs Deserialize) and the bench crate's serde-based
-# lib are compile-skipped here; CI covers them.
+# the root integration tests, the cli binary (plus a live serve/load
+# smoke against a loopback daemon), and the bench binaries (smoke-run
+# once via the criterion stub). The serde stub covers Serialize only, so
+# the bench crate's serde-based lib is compile-skipped here; CI covers it.
 #
 # Usage: tools/offline/verify.sh [--asan] [--tsan] [--clippy]
 #   --asan    additionally run the gf/ec kernel tests under AddressSanitizer
@@ -58,6 +58,8 @@ CRATES=(
   "apec_cluster:crates/cluster/src/lib.rs:apec_ec apec_rs apec_lrc apec_xor approx_code parking_lot rand"
   "apec_audit:crates/audit/src/lib.rs:apec_gf apec_bitmatrix apec_ec apec_rs apec_lrc apec_xor approx_code"
   "apec_tier:crates/tier/src/lib.rs:apec_ec apec_rs apec_lrc approx_code apec_video apec_recovery apec_analysis apec_cluster rand serde serde_json"
+  "apec_store:crates/store/src/lib.rs:apec_ec approx_code"
+  "apec_serve:crates/serve/src/lib.rs:apec_ec apec_store apec_tier"
   "approximate_code:src/lib.rs:apec_gf apec_bitmatrix apec_ec apec_rs apec_lrc apec_xor approx_code apec_video apec_recovery apec_analysis apec_cluster apec_audit apec_tier rand"
 )
 
@@ -144,6 +146,42 @@ for t in "$REPO"/tests/*.rs; do
   echo "  integration $name ok"
 done
 
+echo "== cli: build the apec binary, unit tests, serve/load smoke"
+# The cli is a bin target, so it gets its own lane instead of a CRATES
+# row. The smoke run drives the full daemon stack end-to-end: init a
+# demo store, serve it on a loopback port, replay the seeded load
+# harness (failures + repairs mid-run), assert the run was healthy (the
+# cli exits non-zero on any mismatch or transport error), and validate
+# the BENCH_serve.json it writes against the registered schema.
+CLI_EXTERNS=()
+for d in apec_audit apec_ec approx_code apec_video apec_recovery \
+         apec_serve apec_store apec_tier; do
+  CLI_EXTERNS+=(--extern "$d=$LIBDIR/lib$d.rlib")
+done
+"$RUSTC" "${COMMON[@]}" --crate-name apec --crate-type bin "${CLI_EXTERNS[@]}" \
+  "$REPO/crates/cli/src/main.rs" -o "$TESTDIR/apec"
+echo "  bin apec ok"
+"$RUSTC" "${COMMON[@]}" --crate-name apec --test "${CLI_EXTERNS[@]}" \
+  "$REPO/crates/cli/src/main.rs" -o "$TESTDIR/apec-cli-test"
+"$TESTDIR/apec-cli-test" --test-threads "$(nproc)" -q
+echo "  unit apec ok"
+SERVE_DIR="$OUT/serve-smoke-vault"
+SERVE_ADDR="127.0.0.1:$(( 42000 + $$ % 20000 ))"
+rm -rf "$SERVE_DIR"
+"$TESTDIR/apec" serve --dir "$SERVE_DIR" --addr "$SERVE_ADDR" --demo 1 \
+  > "$OUT/serve-smoke.log" 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 50); do
+  grep -q "serving" "$OUT/serve-smoke.log" 2>/dev/null && break
+  sleep 0.1
+done
+"$TESTDIR/apec" load --addr "$SERVE_ADDR" --seed 7 \
+  --json "$OUT/BENCH_serve.json" --shutdown 1
+wait "$SERVE_PID"
+trap - EXIT
+echo "  serve/load smoke ok ($OUT/BENCH_serve.json)"
+
 echo "== xtask: build, unit tests, fixture regressions, workspace lint"
 # xtask is dependency-free, so this lane needs no stubs. The fixture
 # integration tests include the lint module tree via #[path] and read
@@ -197,7 +235,7 @@ CARGO_MANIFEST_DIR="$OUT/bench-manifest/sub" \
 echo "  bench tier_benches smoke ok ($OUT/BENCH_tier.json)"
 # Schema-validate the freshly generated artifacts too (the smoke runs
 # write them under $OUT, one directory above the fake manifest dir).
-"$TESTDIR/xtask" bench-check "$OUT/BENCH_repair.json" "$OUT/BENCH_encode.json" "$OUT/BENCH_tier.json"
+"$TESTDIR/xtask" bench-check "$OUT/BENCH_repair.json" "$OUT/BENCH_encode.json" "$OUT/BENCH_tier.json" "$OUT/BENCH_serve.json"
 echo "  bench-check (generated artifacts) ok"
 
 if [ "$RUN_CLIPPY" = 1 ]; then

@@ -292,6 +292,27 @@ const SCHEMAS: &[Schema] = &[
         ],
     },
     Schema {
+        bench: "serve-load",
+        top: &[
+            ("seed", Kind::Num),
+            ("clients", Kind::Num),
+            ("elapsed_ms", Kind::Num),
+            ("total_requests", Kind::Num),
+            ("throughput_rps", Kind::Num),
+            ("degraded_ratio", Kind::Num),
+            ("integrity_failures", Kind::Num),
+            ("mismatches", Kind::Num),
+            ("errors", Kind::Num),
+        ],
+        row: &[
+            ("op", Kind::Str),
+            ("requests", Kind::Num),
+            ("p50_ms", Kind::Num),
+            ("p99_ms", Kind::Num),
+            ("mean_ms", Kind::Num),
+        ],
+    },
+    Schema {
         bench: "tier-lifecycle",
         top: &[],
         row: &[
@@ -479,6 +500,28 @@ mod tests {
         let problems = check_doc(r#"{"bench": "mystery", "results": [{}]}"#).unwrap_err();
         assert!(problems[0].contains("unknown bench"), "{problems:?}");
         assert!(problems[0].contains("tier-lifecycle"), "{problems:?}");
+    }
+
+    #[test]
+    fn serve_load_doc_passes_and_catches_drift() {
+        let src = r#"{
+            "bench": "serve-load", "seed": 7, "clients": 4,
+            "elapsed_ms": 141.4, "total_requests": 253, "throughput_rps": 1789.0,
+            "degraded_ratio": 0.070833, "integrity_failures": 0,
+            "mismatches": 0, "errors": 0,
+            "results": [
+                {"op": "put", "requests": 8, "p50_ms": 3.2, "p99_ms": 5.2, "mean_ms": 3.5},
+                {"op": "get", "requests": 240, "p50_ms": 1.8, "p99_ms": 9.1, "mean_ms": 2.1}
+            ]
+        }"#;
+        assert_eq!(check_doc(src).unwrap(), ("serve-load".to_string(), 2));
+        // A renamed latency field must fail loudly, not drift silently.
+        let drifted = src.replace("p99_ms", "p99_millis");
+        let problems = check_doc(&drifted).unwrap_err();
+        assert!(
+            problems.iter().any(|p| p.contains("missing required field `p99_ms`")),
+            "{problems:?}"
+        );
     }
 
     #[test]

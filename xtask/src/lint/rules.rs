@@ -64,6 +64,8 @@ pub const PANIC_SCOPE: &[&str] = &[
     "crates/cluster/src/engine.rs",
     "crates/tier/src/engine.rs",
     "crates/recovery/src/",
+    "crates/store/src/",
+    "crates/serve/src/",
 ];
 
 /// Identifier names that denote shard/stripe buffers: `[]`-indexing one
@@ -93,10 +95,10 @@ pub const ARITH_FIELDS: &[&str] = &[
     "hot_only_byte_ticks",
 ];
 
-/// The only module allowed to use `Ordering::Relaxed` (the segment work
-/// counter and its loom model; the module comment there documents why
-/// Relaxed suffices).
-pub const RELAXED_ALLOWED: &[&str] = &["crates/ec/src/parallel"];
+/// The only modules allowed to use `Ordering::Relaxed`: the segment
+/// work counter and its loom model, and the daemon's monotonic metric
+/// counters (each module's comment documents why Relaxed suffices).
+pub const RELAXED_ALLOWED: &[&str] = &["crates/ec/src/parallel", "crates/serve/src/metrics.rs"];
 
 /// Crates under the concurrency-hygiene policy.
 pub const CONCURRENCY_SCOPE: &[&str] = &[
@@ -107,6 +109,8 @@ pub const CONCURRENCY_SCOPE: &[&str] = &[
     "crates/cluster/",
     "crates/tier/",
     "crates/recovery/",
+    "crates/store/",
+    "crates/serve/",
 ];
 
 /// Fns whose bodies are the sessions' zero-allocation encode contract:

@@ -72,7 +72,11 @@ pub fn analyze(lexed: &Lexed) -> Scopes {
 
     let mut test = vec![false; n];
     if !unbalanced {
-        mark_test_items(toks, &close, &mut test);
+        if file_is_test_only(toks, &close) {
+            test.fill(true);
+        } else {
+            mark_test_items(toks, &close, &mut test);
+        }
     }
     Scopes {
         close,
@@ -81,9 +85,60 @@ pub fn analyze(lexed: &Lexed) -> Scopes {
     }
 }
 
+/// Whether the file opens with an inner `#![cfg(test)]`-style attribute:
+/// the whole file then compiles only under test (the idiom for a
+/// `mod tests;` split out into its own `tests.rs`), so every token is
+/// masked. Leading inner attributes are scanned in order; `test` under a
+/// `not(..)` group does not count, mirroring [`mark_test_items`].
+fn file_is_test_only(toks: &[Tok], close: &[Option<usize>]) -> bool {
+    let mut i = 0usize;
+    while toks.get(i).is_some_and(|t| t.text == "#")
+        && toks.get(i + 1).is_some_and(|t| t.text == "!")
+        && toks.get(i + 2).is_some_and(|t| t.text == "[")
+    {
+        let Some(attr_close) = close[i + 2] else {
+            return false;
+        };
+        if mentions_test_unnegated(toks, close, i + 3, attr_close) {
+            return true;
+        }
+        i = attr_close + 1;
+    }
+    false
+}
+
+/// Whether a `test` ident occurs in `toks[start..end]` outside every
+/// `not(..)` group (`#[cfg(not(test))]` ships in non-test builds and
+/// must NOT mask).
+fn mentions_test_unnegated(
+    toks: &[Tok],
+    close: &[Option<usize>],
+    start: usize,
+    end: usize,
+) -> bool {
+    let mut negated: Vec<(usize, usize)> = Vec::new();
+    for j in start..end {
+        if toks[j].kind == TokKind::Ident
+            && toks[j].text == "not"
+            && toks.get(j + 1).is_some_and(|t| t.text == "(")
+        {
+            if let Some(c) = close[j + 1] {
+                negated.push((j + 1, c));
+            }
+        }
+    }
+    toks[start..end].iter().enumerate().any(|(k, t)| {
+        let idx = start + k;
+        t.kind == TokKind::Ident
+            && t.text == "test"
+            && !negated.iter().any(|&(a, b)| idx > a && idx < b)
+    })
+}
+
 /// Marks every token of every item attributed with something naming
 /// `test`. Outer attributes only (`#[..]`); inner `#![..]` configure the
-/// enclosing scope and never mark an item here.
+/// enclosing scope and mark nothing here — except the file-leading case
+/// handled by [`file_is_test_only`].
 fn mark_test_items(toks: &[Tok], close: &[Option<usize>], test: &mut [bool]) {
     let n = toks.len();
     let mut i = 0usize;
@@ -103,24 +158,7 @@ fn mark_test_items(toks: &[Tok], close: &[Option<usize>], test: &mut [bool]) {
         // builds: `#[cfg(not(test))]` must NOT mask (that was a body-local
         // false negative — shipping code silently inherited the test
         // exemption). Only a `test` ident outside every `not(..)` counts.
-        let mut negated: Vec<(usize, usize)> = Vec::new();
-        for j in i + 2..attr_close {
-            if toks[j].kind == TokKind::Ident
-                && toks[j].text == "not"
-                && toks.get(j + 1).is_some_and(|t| t.text == "(")
-            {
-                if let Some(c) = close[j + 1] {
-                    negated.push((j + 1, c));
-                }
-            }
-        }
-        let mentions_test = toks[i + 2..attr_close].iter().enumerate().any(|(k, t)| {
-            let idx = i + 2 + k;
-            t.kind == TokKind::Ident
-                && t.text == "test"
-                && !negated.iter().any(|&(a, b)| idx > a && idx < b)
-        });
-        if !mentions_test {
+        if !mentions_test_unnegated(toks, close, i + 2, attr_close) {
             i = attr_close + 1;
             continue;
         }
@@ -292,6 +330,30 @@ mod tests {
         assert_eq!(unwraps.len(), 2);
         assert!(s.in_test(unwraps[0]), "doc comment must not detach the mask");
         assert!(!s.in_test(unwraps[1]), "the next item still ships");
+    }
+
+    #[test]
+    fn file_leading_inner_cfg_test_masks_everything() {
+        let src = "#![cfg(test)]\nuse x::y;\nfn helper(a: Option<u8>) { a.unwrap(); }";
+        let (l, s) = mask_of(src);
+        let u = l.toks.iter().position(|t| t.text == "unwrap").unwrap();
+        assert!(s.in_test(u), "whole tests.rs file compiles only under test");
+    }
+
+    #[test]
+    fn inner_cfg_not_test_does_not_mask_the_file() {
+        let src = "#![cfg(not(test))]\nfn ship(a: Option<u8>) { a.unwrap(); }";
+        let (l, s) = mask_of(src);
+        let u = l.toks.iter().position(|t| t.text == "unwrap").unwrap();
+        assert!(!s.in_test(u), "cfg(not(test)) files ship and must be linted");
+    }
+
+    #[test]
+    fn non_leading_inner_attr_does_not_mask() {
+        let src = "fn ship(a: Option<u8>) { a.unwrap(); }";
+        let (l, s) = mask_of(src);
+        let u = l.toks.iter().position(|t| t.text == "unwrap").unwrap();
+        assert!(!s.in_test(u));
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //! * **`transitive-panic`** — every function reachable from a serving
 //!   root ([`PANIC_ROOTS`]: `decode`, `reconstruct`/`reconstruct_tiered`,
 //!   `plan_repair`/`execute_plan`, `read_object`/`repair_object`, tier
-//!   `read_object`/`repair_node`) must be panic-free;
+//!   `read_object`/`repair_node`, and the daemon's `handle_request`/
+//!   `serve_get`/`serve_degraded_get`) must be panic-free;
 //! * **`transitive-alloc`** — every function reachable from
 //!   [`ALLOC_ROOTS`] (`encode_into`, `apply_into`) must not allocate
 //!   fresh buffers.
@@ -46,6 +47,9 @@ pub const PANIC_ROOTS: &[&str] = &[
     "read_object",
     "repair_object",
     "repair_node",
+    "handle_request",
+    "serve_get",
+    "serve_degraded_get",
 ];
 
 /// Zero-allocation roots: the session layer's hot encode contract.
