@@ -201,6 +201,7 @@ impl XorCodeSpec {
                         .parity_elements
                         .iter()
                         .position(|&p| p == e)
+                        // panic-ok: guarded by the contains() membership check above
                         .expect("checked membership");
                     if pos >= i {
                         return Err(format!(

@@ -13,6 +13,7 @@
 //! apec tier  --seed 42 --ticks 60 --json report.json
 //! apec serve --dir vault --addr 127.0.0.1:4701
 //! apec load  --addr 127.0.0.1:4701 --seed 7 --json BENCH_serve.json
+//! apec scrub --dir vault --inject 4 --repair 1
 //! ```
 //!
 //! `gen` renders a synthetic 60 fps clip and compresses it with the
@@ -67,10 +68,13 @@ commands:
           [--structure even|uneven] [--cold-shard N] [--hot-k N] [--hot-r N]
           [--failure-every N] [--repair-after N] [--json FILE]
   serve   --dir DIR [--addr HOST:PORT] [--workers N] [--queue-cap N] [--demo 0|1]
+          [--maint 0|1] [--scrub-seed S] [--scrub-mb N] [--cache-mb N]
   load    --addr HOST:PORT [--seed S] [--clients N] [--nodes N]
           [--imp-bytes N] [--unimp-bytes N] [--videos N] [--ticks N]
           [--reads-per-tick N] [--failure-every N] [--repair-after N]
-          [--json FILE] [--shutdown 0|1]
+          [--bitrot N] [--bitrot-seed S] [--heal-timeout-ms N]
+          [--json FILE] [--scrub-json FILE] [--shutdown 0|1]
+  scrub   --dir DIR [--seed S] [--repair 0|1] [--inject N] [--inject-seed S]
 
 run 'apec <command> --help' is not a thing; this is the whole manual.";
 
@@ -92,6 +96,7 @@ fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "tier" => tier_cmd::run(Args::parse(rest)?),
         "serve" => serve_cmd::run_serve(Args::parse(rest)?),
         "load" => serve_cmd::run_load(Args::parse(rest)?),
+        "scrub" => serve_cmd::run_scrub_cmd(Args::parse(rest)?),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

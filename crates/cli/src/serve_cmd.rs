@@ -1,25 +1,41 @@
-//! `apec serve` and `apec load`: the daemon and its closed-loop driver.
+//! `apec serve`, `apec load` and `apec scrub`: the daemon, its
+//! closed-loop driver, and the standalone maintenance pass.
 //!
 //! `serve` opens (or, with `--demo 1`, initialises) a store directory
 //! and blocks serving the binary protocol until a client sends the
-//! `shutdown` verb. `load` replays the tier engine's seeded Zipf
-//! workload against a running daemon and prints — and optionally writes
-//! as `BENCH_serve.json` — the client-observed latency report.
+//! `shutdown` verb; `--maint 1` (the default) runs the background
+//! scrubber/repair daemon alongside. `load` replays the tier engine's
+//! seeded Zipf workload against a running daemon and prints — and
+//! optionally writes as `BENCH_serve.json` — the client-observed
+//! latency report; `--bitrot N` additionally injects seeded bit-rot
+//! mid-run and proves the daemon heals it (`BENCH_scrub.json` via
+//! `--scrub-json`). `scrub` runs one synchronous maintenance pass over
+//! an offline store.
 
 use crate::args::{Args, CliError};
+use apec_maint::{run_scrub, MaintConfig};
 use apec_serve::{load, serve, LoadConfig, ServerConfig};
 use apec_store::{Store, StoreConfig};
 use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::sync::Arc;
 
-/// `apec serve --dir DIR [--addr A] [--workers N] [--queue-cap N] [--demo 0|1]`
+/// `apec serve --dir DIR [--addr A] [--workers N] [--queue-cap N] [--demo 0|1]
+///  [--maint 0|1] [--scrub-seed S] [--scrub-mb N] [--cache-mb N]`
 pub fn run_serve(args: Args) -> Result<(), Box<dyn std::error::Error>> {
     let dir: PathBuf = args.require("dir")?;
     let addr: String = args.get_or_str("addr", "127.0.0.1:4701")?;
+    let defaults = MaintConfig::default();
+    let maint = (args.get_or("maint", 1usize)? != 0).then_some(MaintConfig {
+        seed: args.get_or("scrub-seed", defaults.seed)?,
+        scrub_budget_bytes: args.get_or("scrub-mb", defaults.scrub_budget_bytes >> 20)? << 20,
+        ..defaults
+    });
     let config = ServerConfig {
         workers: args.get_or("workers", ServerConfig::default().workers)?,
         queue_cap: args.get_or("queue-cap", ServerConfig::default().queue_cap)?,
+        cache_bytes: args.get_or("cache-mb", ServerConfig::default().cache_bytes >> 20)? << 20,
+        maint,
     };
     let demo: usize = args.get_or("demo", 0)?;
     args.finish()?;
@@ -32,21 +48,80 @@ pub fn run_serve(args: Args) -> Result<(), Box<dyn std::error::Error>> {
     let listener = TcpListener::bind(&addr)
         .map_err(|e| CliError(format!("cannot bind {addr}: {e}")))?;
     let (workers, queue_cap) = (config.workers, config.queue_cap);
+    let maint_on = config.maint.is_some();
     let handle = serve(Arc::new(store), listener, config)?;
     println!(
-        "serving {} on {} ({workers} workers, queue {queue_cap}); stop with the shutdown verb",
+        "serving {} on {} ({workers} workers, queue {queue_cap}, maintenance {}); \
+         stop with the shutdown verb",
         dir.display(),
         handle.addr(),
+        if maint_on { "on" } else { "off" },
     );
     handle.join();
     println!("daemon stopped");
     Ok(())
 }
 
+/// `apec scrub --dir DIR [--seed S] [--repair 0|1] [--inject N] [--inject-seed S]`
+pub fn run_scrub_cmd(args: Args) -> Result<(), Box<dyn std::error::Error>> {
+    let dir: PathBuf = args.require("dir")?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let repair: usize = args.get_or("repair", 1)?;
+    let inject: u32 = args.get_or("inject", 0)?;
+    let inject_seed: u64 = args.get_or("inject-seed", seed ^ 0xb17_0a7)?;
+    args.finish()?;
+
+    let store = Store::open(&dir)?;
+    if inject > 0 {
+        let hits = store.inject_bitrot(inject_seed, inject as usize)?;
+        println!(
+            "injected {} bit flips (seed {inject_seed}) across committed shards",
+            hits.len()
+        );
+    }
+    let run = run_scrub(&store, seed, repair != 0)?;
+    println!(
+        "scrub: {} objects, {} KiB checked, {} unhealthy shards found",
+        run.objects,
+        run.bytes_scanned / 1024,
+        run.findings.len()
+    );
+    for f in &run.findings {
+        println!("  {:<24} stripe {:>3} node {:>3}  {:?}", f.id, f.stripe, f.node, f.health);
+    }
+    let mut rebuilt = 0usize;
+    let mut fully = true;
+    for (id, r) in &run.repairs {
+        rebuilt += r.shards_rebuilt;
+        fully &= r.fully_recovered;
+        println!(
+            "  healed {:<17} {} shards rebuilt, {} bytes lost",
+            id, r.shards_rebuilt, r.bytes_lost
+        );
+    }
+    if repair != 0 {
+        println!(
+            "repair: {} shards rebuilt across {} objects ({})",
+            rebuilt,
+            run.repairs.len(),
+            if fully { "all exact" } else { "approximate fallback used" }
+        );
+    } else if !run.findings.is_empty() {
+        println!("repair skipped (--repair 0); findings left in place");
+    }
+    if !fully {
+        return Err(Box::new(CliError(
+            "scrub could not fully recover every stripe".into(),
+        )));
+    }
+    Ok(())
+}
+
 /// `apec load --addr A [--seed S] [--clients N] [--nodes N]
 ///  [--imp-bytes N] [--unimp-bytes N] [--videos N] [--ticks N]
 ///  [--reads-per-tick N] [--failure-every N] [--repair-after N]
-///  [--json FILE] [--shutdown 0|1]`
+///  [--bitrot N] [--bitrot-seed S] [--heal-timeout-ms N]
+///  [--json FILE] [--scrub-json FILE] [--shutdown 0|1]`
 pub fn run_load(args: Args) -> Result<(), Box<dyn std::error::Error>> {
     let addr: SocketAddr = args.require("addr")?;
     let seed: u64 = args.get_or("seed", 7)?;
@@ -61,8 +136,12 @@ pub fn run_load(args: Args) -> Result<(), Box<dyn std::error::Error>> {
         args.get_or("reads-per-tick", cfg.workload.reads_per_tick)?;
     cfg.workload.failure_every = args.get_or("failure-every", cfg.workload.failure_every)?;
     cfg.workload.repair_after = args.get_or("repair-after", cfg.workload.repair_after)?;
+    cfg.bitrot_flips = args.get_or("bitrot", cfg.bitrot_flips)?;
+    cfg.bitrot_seed = args.get_or("bitrot-seed", cfg.bitrot_seed)?;
+    cfg.heal_timeout_ms = args.get_or("heal-timeout-ms", cfg.heal_timeout_ms)?;
     cfg.shutdown_after = args.get_or("shutdown", 0usize)? != 0;
     let json_out: Option<PathBuf> = args.get_opt("json")?;
+    let scrub_json_out: Option<PathBuf> = args.get_opt("scrub-json")?;
     args.finish()?;
 
     let report = load::run(addr, &cfg)?;
@@ -84,14 +163,35 @@ pub fn run_load(args: Args) -> Result<(), Box<dyn std::error::Error>> {
         report.mismatches,
         report.errors
     );
+    if let Some(s) = &report.scrub {
+        println!(
+            "  self-heal: {} injected, {} detected, {} healed in {:.1} ms; \
+             sweep {} reads, {} mismatches; cache hit rate {:.3}",
+            s.injected,
+            s.status.injected_detected,
+            s.status.injected_healed,
+            s.time_to_heal_ms,
+            s.sweep_reads,
+            s.sweep_mismatches,
+            s.cache_hit_rate()
+        );
+    }
     if let Some(path) = json_out {
         std::fs::write(&path, report.to_bench_json())?;
         println!("wrote {}", path.display());
     }
-    if report.mismatches > 0 || report.errors > 0 {
+    if let Some(path) = scrub_json_out {
+        let doc = report.scrub_bench_json().ok_or_else(|| {
+            CliError("--scrub-json needs a self-heal phase (--bitrot N)".into())
+        })?;
+        std::fs::write(&path, doc)?;
+        println!("wrote {}", path.display());
+    }
+    let sweep_mismatches = report.scrub.as_ref().map_or(0, |s| s.sweep_mismatches);
+    if report.mismatches > 0 || report.errors > 0 || sweep_mismatches > 0 {
         return Err(Box::new(CliError(format!(
-            "load run unhealthy: {} mismatches, {} errors",
-            report.mismatches, report.errors
+            "load run unhealthy: {} mismatches, {} errors, {} sweep mismatches",
+            report.mismatches, report.errors, sweep_mismatches
         ))));
     }
     Ok(())

@@ -156,6 +156,7 @@ fn gf_coefficients(
             let global = cauchy(g, k).map_err(|e| EcError::InvalidParameters(e.to_string()))?;
             Ok((local, global))
         }
+        // panic-ok: build() dispatches on family, XOR never reaches here
         _ => unreachable!("gf_coefficients called for XOR family"),
     }
 }
@@ -287,6 +288,7 @@ fn build_xor(params: ApprParams, family: BaseFamily) -> Result<ApproxLayout, EcE
     let slopes: Vec<usize> = match family {
         BaseFamily::Star => vec![0, 1, p - 1],
         BaseFamily::Tip => vec![0, 1, 2],
+        // panic-ok: build() dispatches on family, GF never reaches here
         _ => unreachable!("build_xor called for GF family"),
     };
     let local_slopes = &slopes[..r];

@@ -159,6 +159,7 @@ impl GfSpec {
                     return Err(format!("parity {i} references element {e} twice"));
                 }
                 if parity.contains(&e) {
+                    // panic-ok: guarded by the contains() check on the line above
                     let pos = self.parity_elements.iter().position(|&p| p == e).unwrap();
                     if pos >= i {
                         return Err(format!("parity {i} references later parity {e}"));

@@ -434,6 +434,7 @@ pub fn cauchy(rows: usize, cols: usize) -> Result<GfMatrix, MatrixError> {
         let x = Gf8((i + cols) as u8);
         for j in 0..cols {
             let y = Gf8(j as u8);
+            // panic-ok: x_i >= cols > y_j, so x+y != 0 and the inverse exists
             let denom = (x + y).inverse().expect("x_i and y_j sets are disjoint");
             m.set(i, j, denom);
         }

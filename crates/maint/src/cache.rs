@@ -1,0 +1,339 @@
+//! The hot-read cache: a bounded, sharded LRU over whole decoded
+//! objects, keyed by object id.
+//!
+//! Sitting in front of [`apec_store::Store`], the cache answers repeat
+//! reads of popular objects without touching shard files at all — which
+//! is what lets the scrubber and the repair queue spend disk bandwidth
+//! without evicting serving throughput. Only *clean* reads are cached
+//! (exact, non-degraded, zero integrity failures), so a hit is always
+//! byte-exact and can be served with all reply flags clear.
+//!
+//! Sharding: the id hashes (FNV-1a) to one of `shards` independent
+//! LRU maps, each behind its own mutex, so concurrent readers on
+//! different objects rarely contend. Recency is a per-shard monotonic
+//! stamp; eviction scans the (small, bounded) shard map for the minimum
+//! stamp — O(n) per eviction, deliberately simple and allocation-light.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Hot-cache sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Independent LRU shards (lock granularity). Clamped to >= 1.
+    pub shards: usize,
+    /// Total byte budget across all shards (object payload bytes).
+    /// Zero disables insertion entirely.
+    pub max_bytes: u64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            shards: 8,
+            max_bytes: 64 << 20,
+        }
+    }
+}
+
+/// One cached object: both decoded streams, shared so a hit is a
+/// refcount bump, not a copy.
+#[derive(Debug, Clone)]
+pub struct CachedObject {
+    /// The important byte stream (byte-exact by construction).
+    pub important: Arc<Vec<u8>>,
+    /// The unimportant byte stream (byte-exact by construction).
+    pub unimportant: Arc<Vec<u8>>,
+}
+
+struct Entry {
+    value: CachedObject,
+    stamp: u64,
+    bytes: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<String, Entry>,
+    bytes: u64,
+    tick: u64,
+}
+
+/// Monotonic hit/miss/eviction counters, shared with serve metrics.
+///
+/// Plain monotonic counters with no cross-variable invariants, so
+/// `Relaxed` is sufficient (same argument as `serve::metrics`; this
+/// file is whitelisted in the lint's `RELAXED_ALLOWED`).
+#[derive(Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    insertions: AtomicU64,
+}
+
+/// Point-in-time cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the store.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Successful inserts.
+    pub insertions: u64,
+    /// Objects currently resident.
+    pub objects: u64,
+    /// Payload bytes currently resident.
+    pub bytes: u64,
+}
+
+/// Bounded, sharded LRU cache of decoded objects.
+pub struct HotCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_budget: u64,
+    counters: Counters,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn fnv1a(id: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in id.as_bytes() {
+        h ^= b as u64; // raw-xor-ok: FNV-1a hash mixing, not shard bytes
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl HotCache {
+    /// Creates an empty cache with `config` sizing.
+    pub fn new(config: CacheConfig) -> Self {
+        let shards = config.shards.max(1);
+        HotCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_budget: config.max_bytes / shards as u64,
+            counters: Counters::default(),
+        }
+    }
+
+    /// The shard `id` hashes to. `None` only if `shards` were empty,
+    /// which `new` precludes; callers degrade to a no-op cache then.
+    fn shard(&self, id: &str) -> Option<&Mutex<Shard>> {
+        let idx = (fnv1a(id) % self.shards.len().max(1) as u64) as usize;
+        self.shards.get(idx)
+    }
+
+    /// Looks `id` up, bumping its recency. Records a hit or a miss.
+    pub fn get(&self, id: &str) -> Option<CachedObject> {
+        let mut shard = lock(self.shard(id)?);
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.map.get_mut(id) {
+            Some(entry) => {
+                entry.stamp = tick;
+                let value = entry.value.clone();
+                drop(shard);
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            None => {
+                drop(shard);
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a clean read's streams, evicting least-recently-used
+    /// entries until the shard fits its budget. Objects larger than one
+    /// shard's whole budget are not cached at all.
+    pub fn insert(&self, id: &str, important: Vec<u8>, unimportant: Vec<u8>) {
+        let bytes = (important.len() + unimportant.len()) as u64;
+        if bytes > self.per_shard_budget {
+            return;
+        }
+        let value = CachedObject {
+            important: Arc::new(important),
+            unimportant: Arc::new(unimportant),
+        };
+        let mut evicted = 0u64;
+        {
+            let Some(shard) = self.shard(id) else {
+                return;
+            };
+            let mut shard = lock(shard);
+            shard.tick += 1;
+            let tick = shard.tick;
+            if let Some(old) = shard.map.remove(id) {
+                shard.bytes = shard.bytes.saturating_sub(old.bytes);
+            }
+            while shard.bytes + bytes > self.per_shard_budget {
+                let victim = shard
+                    .map
+                    .iter()
+                    .min_by_key(|(vid, e)| (e.stamp, (*vid).clone()))
+                    .map(|(vid, _)| vid.clone());
+                match victim {
+                    Some(vid) => {
+                        if let Some(old) = shard.map.remove(&vid) {
+                            shard.bytes = shard.bytes.saturating_sub(old.bytes);
+                            evicted += 1;
+                        }
+                    }
+                    None => break,
+                }
+            }
+            shard.bytes += bytes;
+            shard.map.insert(
+                id.to_string(),
+                Entry {
+                    value,
+                    stamp: tick,
+                    bytes,
+                },
+            );
+        }
+        self.counters.insertions.fetch_add(1, Ordering::Relaxed);
+        if evicted > 0 {
+            self.counters.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Drops `id` if resident (object repaired, rewritten or retired).
+    pub fn invalidate(&self, id: &str) {
+        let Some(shard) = self.shard(id) else {
+            return;
+        };
+        let mut shard = lock(shard);
+        if let Some(old) = shard.map.remove(id) {
+            shard.bytes = shard.bytes.saturating_sub(old.bytes);
+        }
+    }
+
+    /// Drops everything (topology changed under the cache).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut shard = lock(shard);
+            shard.map.clear();
+            shard.bytes = 0;
+        }
+    }
+
+    /// Point-in-time statistics.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        let mut objects = 0u64;
+        let mut bytes = 0u64;
+        for shard in &self.shards {
+            let shard = lock(shard);
+            objects += shard.map.len() as u64;
+            bytes += shard.bytes;
+        }
+        CacheSnapshot {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
+            insertions: self.counters.insertions.load(Ordering::Relaxed),
+            objects,
+            bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(max_bytes: u64) -> HotCache {
+        HotCache::new(CacheConfig {
+            shards: 1, // single shard: LRU order is directly observable
+            max_bytes,
+        })
+    }
+
+    #[test]
+    fn hit_miss_and_counters() {
+        let c = cache(1024);
+        assert!(c.get("a").is_none());
+        c.insert("a", vec![1; 10], vec![2; 20]);
+        let got = c.get("a").expect("hit");
+        assert_eq!(*got.important, vec![1; 10]);
+        assert_eq!(*got.unimportant, vec![2; 20]);
+        let snap = c.snapshot();
+        assert_eq!((snap.hits, snap.misses, snap.insertions), (1, 1, 1));
+        assert_eq!((snap.objects, snap.bytes), (1, 30));
+    }
+
+    #[test]
+    fn lru_eviction_under_byte_budget() {
+        let c = cache(100);
+        c.insert("a", vec![0; 40], vec![]);
+        c.insert("b", vec![0; 40], vec![]);
+        assert!(c.get("a").is_some(), "touch a: b becomes LRU");
+        c.insert("c", vec![0; 40], vec![]); // must evict b
+        assert!(c.get("a").is_some());
+        assert!(c.get("b").is_none(), "b was evicted");
+        assert!(c.get("c").is_some());
+        let snap = c.snapshot();
+        assert_eq!(snap.evictions, 1);
+        assert!(snap.bytes <= 100);
+        // An object over the whole budget is refused outright.
+        c.insert("huge", vec![0; 200], vec![]);
+        assert!(c.get("huge").is_none());
+    }
+
+    #[test]
+    fn invalidate_and_clear() {
+        let c = cache(1024);
+        c.insert("a", vec![1; 8], vec![]);
+        c.insert("b", vec![1; 8], vec![]);
+        c.invalidate("a");
+        assert!(c.get("a").is_none());
+        assert!(c.get("b").is_some());
+        c.clear();
+        assert!(c.get("b").is_none());
+        assert_eq!(c.snapshot().bytes, 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_double_counting_bytes() {
+        let c = cache(1024);
+        c.insert("a", vec![1; 100], vec![]);
+        c.insert("a", vec![2; 50], vec![]);
+        let snap = c.snapshot();
+        assert_eq!((snap.objects, snap.bytes), (1, 50));
+        assert_eq!(*c.get("a").expect("hit").important, vec![2; 50]);
+    }
+
+    #[test]
+    fn sharded_cache_is_thread_safe() {
+        let c = Arc::new(HotCache::new(CacheConfig {
+            shards: 4,
+            max_bytes: 1 << 20,
+        }));
+        let mut handles = Vec::new();
+        for t in 0..8u8 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u32 {
+                    let id = format!("obj-{}", i % 16);
+                    c.insert(&id, vec![t; 64], vec![i as u8; 64]);
+                    if let Some(hit) = c.get(&id) {
+                        assert_eq!(hit.important.len(), 64);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("no panics");
+        }
+        assert!(c.snapshot().bytes <= 1 << 20);
+    }
+}

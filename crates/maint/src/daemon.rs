@@ -1,0 +1,513 @@
+//! The maintenance daemon: one low-priority background thread that
+//! ticks the scrubber, feeds its findings through the
+//! exposure-prioritized [`RepairQueue`], and heals objects with
+//! [`Store::repair_object`] under per-tick bandwidth caps.
+//!
+//! Priority inversion is handled structurally rather than by OS
+//! scheduling: each tick the scrubber reads at most
+//! `scrub_budget_bytes`, at most `repairs_per_tick` objects are healed,
+//! and when foreground reads are in flight the drain *defers*
+//! (bounded by `max_defer_ticks`, and never for `Critical` exposure —
+//! a stripe past exact tolerance outranks read latency). Repairs take
+//! the store's per-object write lock only, so foreground traffic on
+//! other objects proceeds concurrently.
+//!
+//! The same machinery runs synchronously via [`run_scrub`] for the
+//! standalone `apec scrub` command.
+
+use crate::cache::HotCache;
+use crate::queue::{RepairQueue, RepairTask};
+use crate::scrub::{ScrubFinding, Scrubber};
+use crate::status::{MaintStatus, Shared};
+use apec_store::{ObjectRepair, ShardHealth, Store, StoreError, StoreSession};
+use apec_tier::exposure::Exposure;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct MaintConfig {
+    /// Seed for the scrubber's per-pass scan permutation.
+    pub seed: u64,
+    /// Target wall-clock period of one maintenance tick, milliseconds.
+    pub tick_ms: u64,
+    /// Scrub byte budget per tick (0 = unlimited; the rate cap is
+    /// `scrub_budget_bytes / tick_ms` bytes per millisecond).
+    pub scrub_budget_bytes: u64,
+    /// Objects healed per tick at most.
+    pub repairs_per_tick: usize,
+    /// Heal queued objects automatically (false = detect-only).
+    pub auto_repair: bool,
+    /// Consecutive ticks a non-critical drain may yield to in-flight
+    /// foreground reads before repairing anyway.
+    pub max_defer_ticks: u32,
+}
+
+impl Default for MaintConfig {
+    fn default() -> Self {
+        MaintConfig {
+            seed: 0,
+            tick_ms: 20,
+            scrub_budget_bytes: 4 << 20,
+            repairs_per_tick: 2,
+            auto_repair: true,
+            max_defer_ticks: 8,
+        }
+    }
+}
+
+/// Runs one scrub tick, updating counters and queueing repair tasks
+/// for every unclean object scanned. Returns the tick's findings.
+fn scrub_tick(
+    store: &Store,
+    scrubber: &mut Scrubber,
+    queue: &mut RepairQueue,
+    shared: &Shared,
+    budget_bytes: u64,
+) -> Result<Vec<ScrubFinding>, StoreError> {
+    let started = Instant::now();
+    let tick = scrubber.tick(store, budget_bytes)?;
+    let busy_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    Shared::add(&shared.scrub_busy_us, busy_us);
+    Shared::add(&shared.objects_scanned, tick.scans.len() as u64);
+    Shared::add(&shared.bytes_scanned, tick.bytes_scanned);
+    if tick.pass_completed {
+        Shared::add(&shared.scrub_passes, 1);
+    }
+    let findings = tick.findings();
+    for f in &findings {
+        match f.health {
+            ShardHealth::Corrupt => Shared::add(&shared.corrupt_detected, 1),
+            ShardHealth::Missing => Shared::add(&shared.missing_detected, 1),
+            ShardHealth::Ok => {}
+        }
+    }
+    for scan in &tick.scans {
+        shared.reconcile_scan(scan, started);
+        if let Some(task) = RepairTask::from_scan(store.code(), scan) {
+            queue.push(task);
+        }
+    }
+    Shared::set(&shared.queue_depth, queue.len() as u64);
+    Ok(findings)
+}
+
+/// Applies one heal's outcome to the counters and cache.
+fn account_repair(
+    shared: &Shared,
+    cache: Option<&HotCache>,
+    task: &RepairTask,
+    repair: &ObjectRepair,
+) {
+    if repair.shards_rebuilt == 0 {
+        // Nothing rewritable (e.g. every failed shard sits on a node
+        // the topology marks dead): leave it to `repair-all` admin.
+        return;
+    }
+    Shared::add(&shared.repairs_completed, 1);
+    Shared::add(&shared.shards_rebuilt, repair.shards_rebuilt as u64);
+    match task.exposure {
+        Exposure::Critical => Shared::add(&shared.repairs_critical, 1),
+        Exposure::ToleranceOne => Shared::add(&shared.repairs_tolerance1, 1),
+        Exposure::Degraded => Shared::add(&shared.repairs_degraded, 1),
+        Exposure::Healthy => {}
+    }
+    shared.mark_healed(&task.id);
+    if let Some(cache) = cache {
+        // The shard files changed under any cached decode; a later read
+        // repopulates from the healed object.
+        cache.invalidate(&task.id);
+    }
+}
+
+/// Drains up to `repairs_per_tick` heals from the queue, deferring to
+/// in-flight foreground reads for non-critical work. Returns how many
+/// objects were healed this tick.
+#[allow(clippy::too_many_arguments)]
+fn drain_repairs(
+    store: &Store,
+    session: &mut StoreSession,
+    queue: &mut RepairQueue,
+    shared: &Shared,
+    cache: Option<&HotCache>,
+    config: &MaintConfig,
+    foreground_reads: &AtomicU64,
+    defer_streak: &mut u32,
+) -> usize {
+    // Decide once per tick whether to yield to foreground traffic,
+    // judged by the most urgent queued task: `Critical` never waits,
+    // and a bounded defer streak guarantees eventual progress.
+    if let Some(next) = queue.peek() {
+        let critical = next.exposure == Exposure::Critical;
+        let busy = foreground_reads.load(Ordering::Acquire) > 0;
+        if busy && !critical && *defer_streak < config.max_defer_ticks {
+            *defer_streak += 1;
+            Shared::add(&shared.deferrals, 1);
+            Shared::set(&shared.queue_depth, queue.len() as u64);
+            return 0;
+        }
+        *defer_streak = 0;
+    }
+    let mut healed = 0;
+    for _ in 0..config.repairs_per_tick {
+        let Some(task) = queue.pop() else { break };
+        match store.repair_object(session, &task.id) {
+            Ok(repair) => {
+                account_repair(shared, cache, &task, &repair);
+                healed += 1;
+            }
+            // Object deleted after it was queued: drop the task.
+            Err(StoreError::User(_)) => {}
+            Err(_) => {
+                Shared::add(&shared.repair_errors, 1);
+                // Requeue for a later tick; dedup keeps this bounded.
+                queue.push(task);
+                break;
+            }
+        }
+    }
+    Shared::set(&shared.queue_depth, queue.len() as u64);
+    healed
+}
+
+/// Handle to the background maintenance thread.
+pub struct MaintDaemon {
+    shared: Arc<Shared>,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MaintDaemon {
+    /// Starts the maintenance thread over `store`. `foreground_reads`
+    /// is a gauge of in-flight foreground reads the server maintains;
+    /// the drain defers to it. `cache` entries are invalidated when
+    /// their object is healed.
+    pub fn spawn(
+        store: Arc<Store>,
+        cache: Option<Arc<HotCache>>,
+        foreground_reads: Arc<AtomicU64>,
+        config: MaintConfig,
+    ) -> MaintDaemon {
+        let shared = Arc::new(Shared::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let worker_shared = Arc::clone(&shared);
+        let worker_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("apec-maint".into())
+            .spawn(move || {
+                let mut scrubber = Scrubber::new(config.seed);
+                let mut queue = RepairQueue::new();
+                let mut session = StoreSession::new();
+                let mut defer_streak = 0u32;
+                while !worker_stop.load(Ordering::Acquire) {
+                    let tick_started = Instant::now();
+                    if let Err(_e) = scrub_tick(
+                        &store,
+                        &mut scrubber,
+                        &mut queue,
+                        &worker_shared,
+                        config.scrub_budget_bytes,
+                    ) {
+                        Shared::add(&worker_shared.maint_errors, 1);
+                    }
+                    if config.auto_repair {
+                        drain_repairs(
+                            &store,
+                            &mut session,
+                            &mut queue,
+                            &worker_shared,
+                            cache.as_deref(),
+                            &config,
+                            &foreground_reads,
+                            &mut defer_streak,
+                        );
+                    }
+                    let elapsed = tick_started.elapsed();
+                    let period = Duration::from_millis(config.tick_ms);
+                    if let Some(idle) = period.checked_sub(elapsed) {
+                        if !idle.is_zero() {
+                            std::thread::sleep(idle);
+                        }
+                    }
+                }
+            });
+        let handle = match handle {
+            Ok(h) => Some(h),
+            // Thread spawn failure: degrade to an inert daemon whose
+            // status reports zeros rather than taking the server down.
+            Err(_) => None,
+        };
+        MaintDaemon {
+            shared,
+            stop,
+            handle,
+        }
+    }
+
+    /// The shared counter block (for registering injections).
+    pub fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+
+    /// Registers seeded bit-rot hits so the status can report
+    /// detection and heal latencies for them.
+    pub fn note_injections(&self, hits: &[apec_store::BitrotHit]) {
+        self.shared.note_injections(hits);
+    }
+
+    /// Point-in-time status snapshot.
+    pub fn status(&self) -> MaintStatus {
+        self.shared.status()
+    }
+
+    /// Status serialized as the `scrub-status` JSON document.
+    pub fn status_json(&self) -> String {
+        self.shared.status().to_json()
+    }
+
+    /// Stops the thread and waits for it to exit. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MaintDaemon {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Outcome of one synchronous scrub pass ([`run_scrub`]).
+#[derive(Debug, Default)]
+pub struct ScrubRun {
+    /// Objects scanned.
+    pub objects: usize,
+    /// Bytes read and checksummed.
+    pub bytes_scanned: u64,
+    /// Unhealthy shards found, in scan order.
+    pub findings: Vec<ScrubFinding>,
+    /// Per-object heal outcomes (empty unless `repair` was requested),
+    /// in exposure-priority order.
+    pub repairs: Vec<(String, ObjectRepair)>,
+}
+
+/// Runs one full scrub pass synchronously; with `repair`, drains the
+/// resulting queue in exposure-priority order. The `apec scrub` core.
+pub fn run_scrub(store: &Store, seed: u64, repair: bool) -> Result<ScrubRun, StoreError> {
+    let mut scrubber = Scrubber::new(seed);
+    let tick = scrubber.full_pass(store)?;
+    let mut out = ScrubRun {
+        objects: tick.scans.len(),
+        bytes_scanned: tick.bytes_scanned,
+        findings: tick.findings(),
+        repairs: Vec::new(),
+    };
+    if repair {
+        let mut queue = RepairQueue::new();
+        for scan in &tick.scans {
+            if let Some(task) = RepairTask::from_scan(store.code(), scan) {
+                queue.push(task);
+            }
+        }
+        let mut session = StoreSession::new();
+        while let Some(task) = queue.pop() {
+            match store.repair_object(&mut session, &task.id) {
+                Ok(repair) => out.repairs.push((task.id, repair)),
+                Err(StoreError::User(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apec_store::StoreConfig;
+    use std::path::PathBuf;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "apec-maint-daemon-{}-{}-{}",
+            tag,
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn seeded_store(tag: &str, objects: usize) -> (Arc<Store>, PathBuf) {
+        let root = temp_root(tag);
+        let store = Store::init(&root, StoreConfig::demo("rs")).unwrap();
+        let mut sess = StoreSession::new();
+        for i in 0..objects {
+            let id = format!("clip-{i:02}");
+            let imp: Vec<u8> = (0..300).map(|b| (b * 5 + i) as u8).collect();
+            let unimp: Vec<u8> = (0..900).map(|b| (b * 11 + i) as u8).collect();
+            store.put_object(&mut sess, &id, &imp, &unimp).unwrap();
+        }
+        (Arc::new(store), root)
+    }
+
+    #[test]
+    fn run_scrub_detects_and_heals_synchronously() {
+        let (store, root) = seeded_store("sync", 5);
+        let hits = store.inject_bitrot(77, 4).unwrap();
+        assert_eq!(hits.len(), 4);
+        let run = run_scrub(&store, 1, true).unwrap();
+        assert_eq!(run.objects, 5);
+        assert_eq!(run.findings.len(), 4, "all injected corruption found");
+        assert!(!run.repairs.is_empty());
+        let rebuilt: usize = run.repairs.iter().map(|(_, r)| r.shards_rebuilt).sum();
+        assert_eq!(rebuilt, 4, "every corrupt shard rewritten");
+        let run2 = run_scrub(&store, 2, false).unwrap();
+        assert!(run2.findings.is_empty(), "store is clean after heal");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn tick_pipeline_defers_to_foreground_then_heals() {
+        let (store, root) = seeded_store("defer", 4);
+        store.inject_bitrot(5, 3).unwrap();
+        let shared = Shared::default();
+        let mut scrubber = Scrubber::new(9);
+        let mut queue = RepairQueue::new();
+        let mut session = StoreSession::new();
+        let config = MaintConfig {
+            repairs_per_tick: 8,
+            max_defer_ticks: 2,
+            ..MaintConfig::default()
+        };
+        let foreground = AtomicU64::new(1); // a reader is always in flight
+        let mut defer_streak = 0u32;
+        let findings = scrub_tick(&store, &mut scrubber, &mut queue, &shared, 0).unwrap();
+        assert_eq!(findings.len(), 3);
+        assert!(!queue.is_empty());
+        let depth_before = queue.len();
+        // Ticks 1 and 2: non-critical repairs yield to the reader.
+        for expected_deferrals in 1..=2u64 {
+            let healed = drain_repairs(
+                &store,
+                &mut session,
+                &mut queue,
+                &shared,
+                None,
+                &config,
+                &foreground,
+                &mut defer_streak,
+            );
+            assert_eq!(healed, 0, "deferred while foreground is busy");
+            assert_eq!(Shared::get(&shared.deferrals), expected_deferrals);
+            assert_eq!(queue.len(), depth_before);
+        }
+        // Tick 3: the defer budget is exhausted; repairs proceed even
+        // though the reader is still in flight.
+        let healed = drain_repairs(
+            &store,
+            &mut session,
+            &mut queue,
+            &shared,
+            None,
+            &config,
+            &foreground,
+            &mut defer_streak,
+        );
+        assert!(healed > 0, "defer cap forces progress");
+        assert!(queue.is_empty());
+        assert_eq!(Shared::get(&shared.queue_depth), 0);
+        let run = run_scrub(&store, 1, false).unwrap();
+        assert!(run.findings.is_empty(), "healed despite contention");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn daemon_heals_injected_bitrot_end_to_end() {
+        let (store, root) = seeded_store("daemon", 6);
+        let hits = store.inject_bitrot(13, 5).unwrap();
+        let config = MaintConfig {
+            seed: 4,
+            tick_ms: 1,
+            scrub_budget_bytes: 0,
+            repairs_per_tick: 4,
+            auto_repair: true,
+            max_defer_ticks: 1,
+        };
+        let foreground = Arc::new(AtomicU64::new(0));
+        let mut daemon = MaintDaemon::spawn(
+            Arc::clone(&store),
+            None,
+            Arc::clone(&foreground),
+            config,
+        );
+        daemon.note_injections(&hits);
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let healed = loop {
+            let st = daemon.status();
+            if st.injected_healed == hits.len() as u64 {
+                break st;
+            }
+            if Instant::now() > deadline {
+                panic!("daemon did not heal in time: {st:?}");
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        };
+        daemon.shutdown();
+        assert_eq!(healed.injected, 5);
+        assert_eq!(healed.injected_detected, 5, "100% detection");
+        assert!(healed.corrupt_detected >= 5);
+        assert!(healed.repairs_completed >= 1);
+        assert!(healed.shards_rebuilt >= 5);
+        assert!(healed.detection_latency_us_sum <= healed.heal_latency_us_sum);
+        assert!(healed.scrub_passes >= 1);
+        let run = run_scrub(&store, 1, false).unwrap();
+        assert!(run.findings.is_empty(), "store left clean");
+        // Shutdown is idempotent and drop after shutdown is safe.
+        daemon.shutdown();
+        drop(daemon);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn detect_only_mode_queues_without_healing() {
+        let (store, root) = seeded_store("detect-only", 3);
+        store.inject_bitrot(99, 2).unwrap();
+        let config = MaintConfig {
+            seed: 2,
+            tick_ms: 1,
+            scrub_budget_bytes: 0,
+            auto_repair: false,
+            ..MaintConfig::default()
+        };
+        let mut daemon = MaintDaemon::spawn(
+            Arc::clone(&store),
+            None,
+            Arc::new(AtomicU64::new(0)),
+            config,
+        );
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let st = daemon.status();
+            if st.corrupt_detected >= 2 {
+                assert_eq!(st.repairs_completed, 0, "detect-only never repairs");
+                assert!(st.queue_depth >= 1, "findings stay queued");
+                break;
+            }
+            if Instant::now() > deadline {
+                panic!("detection did not happen in time: {st:?}");
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        daemon.shutdown();
+        let run = run_scrub(&store, 1, false).unwrap();
+        assert_eq!(run.findings.len(), 2, "corruption still present");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -1,0 +1,38 @@
+//! Autonomous maintenance for the tiered store: background scrubbing,
+//! exposure-prioritized repair, and a hot-read cache.
+//!
+//! Approximate code's economics rest on cold data staying cheap — which
+//! only holds if latent faults in rarely-read stripes are found and
+//! fixed *before* they stack up past tolerance. This crate is that
+//! safety loop, packaged as one low-priority daemon thread
+//! ([`MaintDaemon`]) the serving daemon embeds, plus a synchronous
+//! entry point ([`run_scrub`]) for the standalone `apec scrub` command:
+//!
+//! | module | provides |
+//! |---|---|
+//! | [`scrub`] | rate-budgeted, seeded-deterministic store walker |
+//! | [`queue`] | exposure-prioritized repair queue (tolerance-1 first) |
+//! | [`cache`] | bounded sharded LRU over decoded objects |
+//! | [`daemon`] | the tick loop tying them together; [`run_scrub`] |
+//! | [`status`] | shared counters and the `scrub-status` JSON document |
+//!
+//! Everything is deterministic given a seed: scan order is a pure
+//! function of `(seed, pass, object id)`, queue drain order is a pure
+//! function of queue contents, and bit-rot injection (in `apec-store`)
+//! is a pure function of its own seed — so the closed-loop harness can
+//! assert exact detection and heal counts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod daemon;
+pub mod queue;
+pub mod scrub;
+pub mod status;
+
+pub use cache::{CacheConfig, CacheSnapshot, CachedObject, HotCache};
+pub use daemon::{run_scrub, MaintConfig, MaintDaemon, ScrubRun};
+pub use queue::{RepairQueue, RepairTask};
+pub use scrub::{ScrubFinding, ScrubTick, Scrubber};
+pub use status::{MaintStatus, Shared};

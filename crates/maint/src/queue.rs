@@ -1,0 +1,197 @@
+//! The exposure-prioritized repair queue.
+//!
+//! Findings from the scrubber become [`RepairTask`]s ordered by how
+//! close the object's worst stripe is to data loss
+//! ([`apec_tier::exposure`]): `Critical` objects (already past exact
+//! tolerance) drain first, then `ToleranceOne` (one more failure loses
+//! data), then merely `Degraded` ones — the scheduling discipline the
+//! Facebook warehouse study motivates. Ties break by failed-shard count
+//! (more exposure first) and then object id, so the drain order is a
+//! pure function of the queue's contents: no arrival-order dependence,
+//! no clock, no randomness.
+//!
+//! The queue itself is single-threaded state owned by the daemon loop;
+//! per-tick repair caps and degraded-read preemption are applied by the
+//! caller when draining.
+
+use apec_store::ObjectScan;
+use apec_tier::exposure::{classify_object, Exposure};
+use approx_code::ApproxCode;
+use std::collections::{BinaryHeap, HashSet};
+
+/// One queued object heal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairTask {
+    /// Object to heal.
+    pub id: String,
+    /// Worst stripe exposure at enqueue time.
+    pub exposure: Exposure,
+    /// Corrupt shards observed by the scan that queued it.
+    pub corrupt: usize,
+    /// Missing shards observed by the scan that queued it.
+    pub missing: usize,
+}
+
+impl RepairTask {
+    /// Builds a task from a scan, or `None` when the object is clean.
+    pub fn from_scan(code: &ApproxCode, scan: &ObjectScan) -> Option<RepairTask> {
+        if scan.clean() {
+            return None;
+        }
+        let failed: Vec<Vec<usize>> = scan.stripes.iter().map(|s| s.failed_nodes()).collect();
+        let exposure = classify_object(code, failed.iter().map(|f| f.as_slice()));
+        Some(RepairTask {
+            id: scan.id.clone(),
+            exposure,
+            corrupt: scan.corrupt,
+            missing: scan.missing,
+        })
+    }
+
+    /// Failed shards total.
+    fn failed(&self) -> usize {
+        self.corrupt + self.missing
+    }
+}
+
+/// Heap entry; `Ord` encodes the drain priority (max-heap: greatest
+/// drains first).
+#[derive(PartialEq, Eq)]
+struct QueueEntry(RepairTask);
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .exposure
+            .cmp(&other.0.exposure)
+            .then(self.0.failed().cmp(&other.0.failed()))
+            // Smaller ids first among equals: reverse the id ordering
+            // because BinaryHeap pops the maximum.
+            .then_with(|| other.0.id.cmp(&self.0.id))
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic priority queue of object heals, deduplicated by id.
+#[derive(Default)]
+pub struct RepairQueue {
+    heap: BinaryHeap<QueueEntry>,
+    queued: HashSet<String>,
+}
+
+impl RepairQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        RepairQueue::default()
+    }
+
+    /// Enqueues a task unless its object is already queued. Returns
+    /// whether the task was accepted.
+    pub fn push(&mut self, task: RepairTask) -> bool {
+        if !self.queued.insert(task.id.clone()) {
+            return false;
+        }
+        self.heap.push(QueueEntry(task));
+        true
+    }
+
+    /// Removes and returns the most urgent task.
+    pub fn pop(&mut self) -> Option<RepairTask> {
+        let QueueEntry(task) = self.heap.pop()?;
+        self.queued.remove(&task.id);
+        Some(task)
+    }
+
+    /// The most urgent task without removing it.
+    pub fn peek(&self) -> Option<&RepairTask> {
+        self.heap.peek().map(|QueueEntry(t)| t)
+    }
+
+    /// Queued tasks.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(id: &str, exposure: Exposure, corrupt: usize, missing: usize) -> RepairTask {
+        RepairTask {
+            id: id.to_string(),
+            exposure,
+            corrupt,
+            missing,
+        }
+    }
+
+    #[test]
+    fn drains_by_exposure_then_failed_count_then_id() {
+        let mut q = RepairQueue::new();
+        q.push(task("d-degraded", Exposure::Degraded, 1, 0));
+        q.push(task("b-tol1-small", Exposure::ToleranceOne, 1, 0));
+        q.push(task("c-critical", Exposure::Critical, 3, 1));
+        q.push(task("a-tol1-big", Exposure::ToleranceOne, 2, 1));
+        q.push(task("e-tol1-small", Exposure::ToleranceOne, 1, 0));
+        let order: Vec<String> = std::iter::from_fn(|| q.pop()).map(|t| t.id).collect();
+        assert_eq!(
+            order,
+            vec![
+                "c-critical",
+                "a-tol1-big",
+                "b-tol1-small",
+                "e-tol1-small",
+                "d-degraded"
+            ]
+        );
+    }
+
+    #[test]
+    fn order_is_insertion_independent() {
+        let tasks = [
+            task("x", Exposure::Degraded, 2, 0),
+            task("y", Exposure::Critical, 1, 1),
+            task("z", Exposure::ToleranceOne, 1, 0),
+            task("w", Exposure::ToleranceOne, 0, 3),
+        ];
+        let drain = |order: &[usize]| {
+            let mut q = RepairQueue::new();
+            for &i in order {
+                q.push(tasks[i].clone());
+            }
+            std::iter::from_fn(move || q.pop())
+                .map(|t| t.id)
+                .collect::<Vec<_>>()
+        };
+        let a = drain(&[0, 1, 2, 3]);
+        let b = drain(&[3, 2, 1, 0]);
+        let c = drain(&[2, 0, 3, 1]);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(a, vec!["y", "w", "z", "x"]);
+    }
+
+    #[test]
+    fn duplicate_objects_are_rejected_until_popped() {
+        let mut q = RepairQueue::new();
+        assert!(q.push(task("a", Exposure::Degraded, 1, 0)));
+        assert!(!q.push(task("a", Exposure::Critical, 9, 9)), "dedup by id");
+        assert_eq!(q.len(), 1);
+        let popped = q.pop().expect("one task");
+        assert_eq!(popped.exposure, Exposure::Degraded);
+        assert!(q.push(task("a", Exposure::Critical, 1, 0)), "requeue after pop");
+        assert!(q.pop().is_some());
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,456 @@
+//! Shared maintenance counters: what the daemon publishes and the
+//! `scrub-status` protocol verb reports.
+//!
+//! All counters are monotonic `u64`s (plus one queue-depth gauge) with
+//! no cross-variable invariants, updated with `Relaxed` ordering — the
+//! same discipline as `serve::metrics`, and this file is whitelisted in
+//! the lint's `RELAXED_ALLOWED` for exactly that reason. Latencies are
+//! kept as (sum, count) pairs in microseconds so readers can compute
+//! exact means; the JSON stays all-integer (the store's JSON subset).
+//!
+//! Injection tracking: [`Shared::note_injections`] records each seeded
+//! bit-rot hit with its wall-clock instant; each completed object scan
+//! is reconciled against the ledger ([`Shared::reconcile_scan`]) —
+//! corruption still present at an injected location counts as
+//! *detected* (yielding detection latency), a healthy shard there means
+//! something healed it out of band (a foreground `repair-all`, or a
+//! node kill followed by rebuild) and counts as detected *and* healed —
+//! and a maintenance repair marks the object's detected hits *healed*
+//! (yielding time-to-heal). Every injected hit therefore converges to
+//! healed no matter which path erased it, which is how the load harness
+//! proves 100% detection end-to-end without racing foreground repairs.
+
+use apec_store::json::{obj, Value};
+use apec_store::{BitrotHit, ObjectScan, ShardHealth};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
+
+/// One injected corruption being tracked to detection and heal.
+#[derive(Debug)]
+pub(crate) struct PendingInjection {
+    pub id: String,
+    pub stripe: usize,
+    pub node: usize,
+    pub at: Instant,
+    pub detected: bool,
+    pub healed: bool,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// The daemon's shared counter block.
+pub struct Shared {
+    started: Instant,
+    // Scrub side.
+    pub(crate) scrub_passes: AtomicU64,
+    pub(crate) objects_scanned: AtomicU64,
+    pub(crate) bytes_scanned: AtomicU64,
+    pub(crate) scrub_busy_us: AtomicU64,
+    pub(crate) corrupt_detected: AtomicU64,
+    pub(crate) missing_detected: AtomicU64,
+    // Repair side.
+    pub(crate) queue_depth: AtomicU64,
+    pub(crate) repairs_completed: AtomicU64,
+    pub(crate) repairs_critical: AtomicU64,
+    pub(crate) repairs_tolerance1: AtomicU64,
+    pub(crate) repairs_degraded: AtomicU64,
+    pub(crate) shards_rebuilt: AtomicU64,
+    pub(crate) repair_errors: AtomicU64,
+    pub(crate) deferrals: AtomicU64,
+    pub(crate) maint_errors: AtomicU64,
+    // Injection bookkeeping.
+    pub(crate) injected: AtomicU64,
+    pub(crate) injected_detected: AtomicU64,
+    pub(crate) injected_healed: AtomicU64,
+    pub(crate) detection_latency_us_sum: AtomicU64,
+    pub(crate) heal_latency_us_sum: AtomicU64,
+    pub(crate) pending: Mutex<Vec<PendingInjection>>,
+}
+
+impl Default for Shared {
+    fn default() -> Self {
+        Shared {
+            started: Instant::now(),
+            scrub_passes: AtomicU64::new(0),
+            objects_scanned: AtomicU64::new(0),
+            bytes_scanned: AtomicU64::new(0),
+            scrub_busy_us: AtomicU64::new(0),
+            corrupt_detected: AtomicU64::new(0),
+            missing_detected: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            repairs_completed: AtomicU64::new(0),
+            repairs_critical: AtomicU64::new(0),
+            repairs_tolerance1: AtomicU64::new(0),
+            repairs_degraded: AtomicU64::new(0),
+            shards_rebuilt: AtomicU64::new(0),
+            repair_errors: AtomicU64::new(0),
+            deferrals: AtomicU64::new(0),
+            maint_errors: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+            injected_detected: AtomicU64::new(0),
+            injected_healed: AtomicU64::new(0),
+            detection_latency_us_sum: AtomicU64::new(0),
+            heal_latency_us_sum: AtomicU64::new(0),
+            pending: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl Shared {
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn set(counter: &AtomicU64, n: u64) {
+        counter.store(n, Ordering::Relaxed);
+    }
+
+    /// Registers seeded bit-rot hits for detection/heal tracking.
+    pub fn note_injections(&self, hits: &[BitrotHit]) {
+        let now = Instant::now();
+        let mut pending = lock(&self.pending);
+        for hit in hits {
+            pending.push(PendingInjection {
+                id: hit.id.clone(),
+                stripe: hit.stripe,
+                node: hit.node,
+                at: now,
+                detected: false,
+                healed: false,
+            });
+        }
+        Self::add(&self.injected, hits.len() as u64);
+    }
+
+    /// Reconciles one completed object scan against the pending ledger.
+    /// A still-corrupt (or missing) shard at an injected location is a
+    /// detection; a healthy shard there means the hit was healed out of
+    /// band, so it is marked both detected and healed — the ledger
+    /// always converges. `scanned_at` is when the scan started: hits
+    /// injected after it are skipped (the scan predates them, so its
+    /// healthy verdict says nothing about the flip).
+    pub(crate) fn reconcile_scan(&self, scan: &ObjectScan, scanned_at: Instant) {
+        let now = Instant::now();
+        let mut pending = lock(&self.pending);
+        for p in pending.iter_mut() {
+            if p.healed || p.at > scanned_at || p.id != scan.id {
+                continue;
+            }
+            let health = scan
+                .stripes
+                .iter()
+                .find(|s| s.stripe == p.stripe)
+                .and_then(|s| s.shards.get(p.node));
+            let us = now.duration_since(p.at).as_micros().min(u64::MAX as u128) as u64;
+            let Some(&health) = health else { continue };
+            if !p.detected {
+                p.detected = true;
+                Self::add(&self.detection_latency_us_sum, us);
+                Self::add(&self.injected_detected, 1);
+            }
+            if health == ShardHealth::Ok {
+                p.healed = true;
+                Self::add(&self.heal_latency_us_sum, us);
+                Self::add(&self.injected_healed, 1);
+            }
+        }
+    }
+
+    /// Marks every *detected* pending injection on `id` as healed after
+    /// a successful repair, accumulating injection→heal latency.
+    pub(crate) fn mark_healed(&self, id: &str) {
+        let now = Instant::now();
+        let mut pending = lock(&self.pending);
+        for p in pending.iter_mut() {
+            if p.detected && !p.healed && p.id == id {
+                p.healed = true;
+                let us = now.duration_since(p.at).as_micros().min(u64::MAX as u128) as u64;
+                Self::add(&self.heal_latency_us_sum, us);
+                Self::add(&self.injected_healed, 1);
+            }
+        }
+    }
+
+    /// Point-in-time snapshot.
+    pub fn status(&self) -> MaintStatus {
+        MaintStatus {
+            uptime_ms: self.started.elapsed().as_millis().min(u64::MAX as u128) as u64,
+            scrub_passes: Self::get(&self.scrub_passes),
+            objects_scanned: Self::get(&self.objects_scanned),
+            bytes_scanned: Self::get(&self.bytes_scanned),
+            scrub_busy_us: Self::get(&self.scrub_busy_us),
+            corrupt_detected: Self::get(&self.corrupt_detected),
+            missing_detected: Self::get(&self.missing_detected),
+            queue_depth: Self::get(&self.queue_depth),
+            repairs_completed: Self::get(&self.repairs_completed),
+            repairs_critical: Self::get(&self.repairs_critical),
+            repairs_tolerance1: Self::get(&self.repairs_tolerance1),
+            repairs_degraded: Self::get(&self.repairs_degraded),
+            shards_rebuilt: Self::get(&self.shards_rebuilt),
+            repair_errors: Self::get(&self.repair_errors),
+            deferrals: Self::get(&self.deferrals),
+            maint_errors: Self::get(&self.maint_errors),
+            injected: Self::get(&self.injected),
+            injected_detected: Self::get(&self.injected_detected),
+            injected_healed: Self::get(&self.injected_healed),
+            detection_latency_us_sum: Self::get(&self.detection_latency_us_sum),
+            heal_latency_us_sum: Self::get(&self.heal_latency_us_sum),
+        }
+    }
+}
+
+/// A point-in-time snapshot of the maintenance daemon, as served by the
+/// `scrub-status` protocol verb.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintStatus {
+    /// Milliseconds since the daemon started.
+    pub uptime_ms: u64,
+    /// Complete scrub passes over the store.
+    pub scrub_passes: u64,
+    /// Objects scanned (across all passes).
+    pub objects_scanned: u64,
+    /// Bytes read and checksummed by the scrubber.
+    pub bytes_scanned: u64,
+    /// Microseconds the scrubber spent scanning (throughput divisor).
+    pub scrub_busy_us: u64,
+    /// Corrupt shards surfaced by scans.
+    pub corrupt_detected: u64,
+    /// Missing shards surfaced by scans.
+    pub missing_detected: u64,
+    /// Repair tasks currently queued (gauge).
+    pub queue_depth: u64,
+    /// Objects healed.
+    pub repairs_completed: u64,
+    /// Heals drained at `Critical` exposure.
+    pub repairs_critical: u64,
+    /// Heals drained at `ToleranceOne` exposure.
+    pub repairs_tolerance1: u64,
+    /// Heals drained at `Degraded` exposure.
+    pub repairs_degraded: u64,
+    /// Shard files rewritten by heals.
+    pub shards_rebuilt: u64,
+    /// Heals that failed (left queued for a later pass).
+    pub repair_errors: u64,
+    /// Repair ticks deferred to in-flight foreground reads.
+    pub deferrals: u64,
+    /// Maintenance ticks that errored (daemon keeps running).
+    pub maint_errors: u64,
+    /// Seeded bit-rot hits registered for tracking.
+    pub injected: u64,
+    /// Registered hits surfaced by a scrub scan.
+    pub injected_detected: u64,
+    /// Registered hits healed by a repair.
+    pub injected_healed: u64,
+    /// Sum of injection→detection latencies, microseconds.
+    pub detection_latency_us_sum: u64,
+    /// Sum of injection→heal latencies, microseconds.
+    pub heal_latency_us_sum: u64,
+}
+
+impl MaintStatus {
+    /// Mean injection→detection latency in microseconds (0 if none).
+    pub fn mean_detection_latency_us(&self) -> u64 {
+        if self.injected_detected == 0 {
+            0
+        } else {
+            self.detection_latency_us_sum / self.injected_detected
+        }
+    }
+
+    /// Mean injection→heal latency in microseconds (0 if none).
+    pub fn mean_heal_latency_us(&self) -> u64 {
+        if self.injected_healed == 0 {
+            0
+        } else {
+            self.heal_latency_us_sum / self.injected_healed
+        }
+    }
+
+    /// Scrub throughput in bytes per second of scrub-busy time.
+    pub fn scrub_bytes_per_sec(&self) -> u64 {
+        if self.scrub_busy_us == 0 {
+            0
+        } else {
+            ((self.bytes_scanned as u128).saturating_mul(1_000_000) / self.scrub_busy_us as u128)
+                .min(u64::MAX as u128) as u64
+        }
+    }
+
+    /// Serializes to the all-integer JSON document the `scrub-status`
+    /// verb returns.
+    pub fn to_json(&self) -> String {
+        obj(vec![
+            ("uptime_ms", Value::Num(self.uptime_ms)),
+            ("scrub_passes", Value::Num(self.scrub_passes)),
+            ("objects_scanned", Value::Num(self.objects_scanned)),
+            ("bytes_scanned", Value::Num(self.bytes_scanned)),
+            ("scrub_busy_us", Value::Num(self.scrub_busy_us)),
+            ("corrupt_detected", Value::Num(self.corrupt_detected)),
+            ("missing_detected", Value::Num(self.missing_detected)),
+            ("queue_depth", Value::Num(self.queue_depth)),
+            ("repairs_completed", Value::Num(self.repairs_completed)),
+            ("repairs_critical", Value::Num(self.repairs_critical)),
+            ("repairs_tolerance1", Value::Num(self.repairs_tolerance1)),
+            ("repairs_degraded", Value::Num(self.repairs_degraded)),
+            ("shards_rebuilt", Value::Num(self.shards_rebuilt)),
+            ("repair_errors", Value::Num(self.repair_errors)),
+            ("deferrals", Value::Num(self.deferrals)),
+            ("maint_errors", Value::Num(self.maint_errors)),
+            ("injected", Value::Num(self.injected)),
+            ("injected_detected", Value::Num(self.injected_detected)),
+            ("injected_healed", Value::Num(self.injected_healed)),
+            (
+                "detection_latency_us_sum",
+                Value::Num(self.detection_latency_us_sum),
+            ),
+            ("heal_latency_us_sum", Value::Num(self.heal_latency_us_sum)),
+        ])
+        .to_string()
+    }
+
+    /// Parses a `scrub-status` JSON document (the harness's poll path).
+    pub fn from_json(text: &str) -> Result<MaintStatus, String> {
+        let v = apec_store::json::parse(text)?;
+        let num = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Value::as_num)
+                .ok_or_else(|| format!("scrub-status: missing numeric '{key}'"))
+        };
+        Ok(MaintStatus {
+            uptime_ms: num("uptime_ms")?,
+            scrub_passes: num("scrub_passes")?,
+            objects_scanned: num("objects_scanned")?,
+            bytes_scanned: num("bytes_scanned")?,
+            scrub_busy_us: num("scrub_busy_us")?,
+            corrupt_detected: num("corrupt_detected")?,
+            missing_detected: num("missing_detected")?,
+            queue_depth: num("queue_depth")?,
+            repairs_completed: num("repairs_completed")?,
+            repairs_critical: num("repairs_critical")?,
+            repairs_tolerance1: num("repairs_tolerance1")?,
+            repairs_degraded: num("repairs_degraded")?,
+            shards_rebuilt: num("shards_rebuilt")?,
+            repair_errors: num("repair_errors")?,
+            deferrals: num("deferrals")?,
+            maint_errors: num("maint_errors")?,
+            injected: num("injected")?,
+            injected_detected: num("injected_detected")?,
+            injected_healed: num("injected_healed")?,
+            detection_latency_us_sum: num("detection_latency_us_sum")?,
+            heal_latency_us_sum: num("heal_latency_us_sum")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_json_round_trips() {
+        let shared = Shared::default();
+        Shared::add(&shared.bytes_scanned, 12345);
+        Shared::add(&shared.corrupt_detected, 3);
+        Shared::set(&shared.queue_depth, 2);
+        let status = shared.status();
+        let parsed = MaintStatus::from_json(&status.to_json()).expect("round trip");
+        assert_eq!(parsed, status);
+        assert_eq!(parsed.bytes_scanned, 12345);
+        assert_eq!(parsed.queue_depth, 2);
+        assert!(MaintStatus::from_json("{}").is_err());
+    }
+
+    fn scan_with(id: &str, stripe: usize, nodes: usize, unhealthy: &[(usize, ShardHealth)]) -> ObjectScan {
+        let mut shards = vec![ShardHealth::Ok; nodes];
+        for &(n, h) in unhealthy {
+            shards[n] = h;
+        }
+        ObjectScan {
+            id: id.to_string(),
+            stripes: vec![apec_store::StripeScan { stripe, shards }],
+            bytes_scanned: 0,
+            corrupt: unhealthy.len(),
+            missing: 0,
+        }
+    }
+
+    #[test]
+    fn injection_lifecycle_yields_latencies() {
+        let shared = Shared::default();
+        let hit = BitrotHit {
+            id: "obj".into(),
+            stripe: 1,
+            node: 4,
+            byte: 17,
+            bit: 3,
+        };
+        shared.note_injections(&[hit]);
+        assert_eq!(shared.status().injected, 1);
+        let scanned_at = Instant::now();
+        // Wrong object / wrong stripe: the ledger is untouched.
+        shared.reconcile_scan(&scan_with("other", 1, 8, &[]), scanned_at);
+        shared.reconcile_scan(&scan_with("obj", 0, 8, &[]), scanned_at);
+        assert_eq!(shared.status().injected_detected, 0);
+        // Corruption still present at the injected location: detected.
+        let corrupt = scan_with("obj", 1, 8, &[(4, ShardHealth::Corrupt)]);
+        shared.reconcile_scan(&corrupt, scanned_at);
+        shared.reconcile_scan(&corrupt, scanned_at); // idempotent
+        let st = shared.status();
+        assert_eq!((st.injected_detected, st.injected_healed), (1, 0));
+        // Heal only counts detected hits, once.
+        shared.mark_healed("obj");
+        shared.mark_healed("obj");
+        let st = shared.status();
+        assert_eq!(st.injected_healed, 1);
+        assert!(st.heal_latency_us_sum >= st.detection_latency_us_sum);
+        assert_eq!(st.mean_heal_latency_us(), st.heal_latency_us_sum);
+    }
+
+    #[test]
+    fn out_of_band_heals_reconcile_to_healed() {
+        let shared = Shared::default();
+        let hit = |node| BitrotHit {
+            id: "obj".into(),
+            stripe: 0,
+            node,
+            byte: 9,
+            bit: 1,
+        };
+        let stale_at = Instant::now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        shared.note_injections(&[hit(2), hit(5)]);
+        // A scan started *before* the injections says nothing: its
+        // healthy verdict predates the flips.
+        shared.reconcile_scan(&scan_with("obj", 0, 8, &[]), stale_at);
+        assert_eq!(shared.status().injected_healed, 0);
+        // A fresh healthy scan means a foreground repair beat the
+        // scrubber to it: both hits converge to detected + healed.
+        shared.reconcile_scan(&scan_with("obj", 0, 8, &[]), Instant::now());
+        let st = shared.status();
+        assert_eq!((st.injected_detected, st.injected_healed), (2, 2));
+    }
+
+    #[test]
+    fn derived_rates_handle_zero_divisors() {
+        let st = MaintStatus::default();
+        assert_eq!(st.mean_detection_latency_us(), 0);
+        assert_eq!(st.mean_heal_latency_us(), 0);
+        assert_eq!(st.scrub_bytes_per_sec(), 0);
+        let st = MaintStatus {
+            bytes_scanned: 10_000_000,
+            scrub_busy_us: 500_000,
+            ..MaintStatus::default()
+        };
+        assert_eq!(st.scrub_bytes_per_sec(), 20_000_000);
+    }
+}

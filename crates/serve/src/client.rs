@@ -157,6 +157,23 @@ impl Client {
         Ok(String::from_utf8_lossy(&reply).into_owned())
     }
 
+    /// Maintenance-daemon status snapshot as the server's JSON. Errors
+    /// with `ErrUser` when the daemon runs without maintenance.
+    pub fn scrub_status(&mut self) -> Result<String, ClientError> {
+        let reply = self.round_trip(Op::ScrubStatus, &[])?;
+        Ok(String::from_utf8_lossy(&reply).into_owned())
+    }
+
+    /// Injects seeded bit-rot into committed shard files server-side
+    /// (deterministic fault injection for self-healing tests); returns
+    /// the server's summary JSON.
+    pub fn inject_bitrot(&mut self, seed: u64, flips: u32) -> Result<String, ClientError> {
+        let mut w = Writer::new();
+        w.u64(seed).u32(flips);
+        let reply = self.round_trip(Op::InjectBitrot, &w.into_bytes())?;
+        Ok(String::from_utf8_lossy(&reply).into_owned())
+    }
+
     /// Asks the daemon to stop after acknowledging.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         self.round_trip(Op::Shutdown, &[])?;

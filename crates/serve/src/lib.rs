@@ -44,8 +44,8 @@ pub mod protocol;
 pub mod server;
 
 pub use client::{Client, ClientError, GetReply};
-pub use load::{LoadConfig, LoadReport, OpSummary};
-pub use metrics::{Metrics, OpStats};
+pub use load::{LoadConfig, LoadReport, OpSummary, ScrubOutcome};
+pub use metrics::{CacheGauges, Metrics, OpStats};
 pub use protocol::{Op, Status};
 pub use server::{serve, ServerConfig, ServerHandle};
 

@@ -26,10 +26,11 @@
 //! bounds.
 
 use crate::client::{Client, ClientError};
+use apec_maint::MaintStatus;
 use apec_tier::{EventKind, WorkloadConfig};
 use std::net::SocketAddr;
 use std::sync::mpsc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Load-run parameters.
 #[derive(Debug, Clone)]
@@ -52,6 +53,15 @@ pub struct LoadConfig {
     pub workload: WorkloadConfig,
     /// Send a `shutdown` verb once the run completes.
     pub shutdown_after: bool,
+    /// Bit flips to inject halfway through the trace (0 disables the
+    /// self-healing phase). Requires the daemon to run with maintenance
+    /// enabled; the run then waits for the scrubber to detect and heal
+    /// every injected corruption and re-verifies every object.
+    pub bitrot_flips: u32,
+    /// Seed for the injected bit flips (independent of the trace seed).
+    pub bitrot_seed: u64,
+    /// How long to wait for detection + heal before giving up, ms.
+    pub heal_timeout_ms: u64,
 }
 
 impl LoadConfig {
@@ -66,6 +76,9 @@ impl LoadConfig {
             nodes,
             workload: WorkloadConfig::small(seed),
             shutdown_after: false,
+            bitrot_flips: 0,
+            bitrot_seed: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1),
+            heal_timeout_ms: 60_000,
         }
     }
 
@@ -81,7 +94,7 @@ impl LoadConfig {
 /// One op's client-observed latency summary.
 #[derive(Debug, Clone)]
 pub struct OpSummary {
-    /// Op name (`put`, `get`, `admin`).
+    /// Op name (`put`, `get`, `kill`, `repair`, `stat`).
     pub op: String,
     /// Requests issued.
     pub requests: u64,
@@ -116,10 +129,46 @@ pub struct LoadReport {
     pub mismatches: u64,
     /// Requests that returned an error status.
     pub errors: u64,
-    /// Per-op latency summaries (`put`, `get`, `admin`).
+    /// Per-op latency summaries (`put`, `get`, `kill`, `repair`,
+    /// `stat`).
     pub ops: Vec<OpSummary>,
     /// The server's own metrics snapshot (JSON), fetched at the end.
     pub server_metrics: String,
+    /// Self-healing phase outcome (`bitrot_flips > 0` runs only).
+    pub scrub: Option<ScrubOutcome>,
+}
+
+/// What the self-healing phase of a bit-rot run observed: the harness
+/// injects seeded corruption mid-trace, waits for the daemon's scrubber
+/// to detect and heal all of it, then re-reads every ingested object.
+#[derive(Debug, Clone)]
+pub struct ScrubOutcome {
+    /// Corruptions the server injected (and registered for tracking).
+    pub injected: u64,
+    /// Wall-clock from injection until every corruption was healed, ms.
+    pub time_to_heal_ms: f64,
+    /// Objects re-read in the final verification sweep.
+    pub sweep_reads: u64,
+    /// Sweep replies whose bytes did not match the expected payload.
+    pub sweep_mismatches: u64,
+    /// The daemon's final maintenance status.
+    pub status: MaintStatus,
+    /// Cache hits at the end of the run (from the server metrics).
+    pub cache_hits: u64,
+    /// Cache misses at the end of the run (from the server metrics).
+    pub cache_misses: u64,
+}
+
+impl ScrubOutcome {
+    /// Cache hit rate over the whole run, in [0,1].
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
 }
 
 /// What one reader thread accumulated.
@@ -232,12 +281,26 @@ fn reader_thread(
     Ok(tally)
 }
 
+/// Parses one numeric field out of an all-integer JSON document.
+fn json_num(text: &str, key: &str) -> Option<u64> {
+    apec_store::json::parse(text)
+        .ok()?
+        .get(key)
+        .and_then(|v| v.as_num())
+}
+
 /// Replays the seeded workload against a daemon at `addr`.
 ///
-/// Trace semantics: `Ingest` → `put` (coordinator), `Read` → `get`
-/// (round-robin across reader threads), `FailNode` → `kill`,
-/// `RepairNode` → `repair` — all control verbs issued by the
+/// Trace semantics: `Ingest` → `put` then `stat` (coordinator),
+/// `Read` → `get` (round-robin across reader threads), `FailNode` →
+/// `kill`, `RepairNode` → `repair` — all control verbs issued by the
 /// coordinator on its own connection, synchronously.
+///
+/// With `bitrot_flips > 0` the coordinator additionally injects seeded
+/// bit-rot halfway through the trace, then after the replay polls
+/// `scrub-status` until the daemon has detected and healed every
+/// injected corruption, and finally re-reads every ingested object to
+/// prove byte-exactness end to end ([`ScrubOutcome`]).
 pub fn run(addr: SocketAddr, cfg: &LoadConfig) -> Result<LoadReport, ClientError> {
     let trace = cfg.workload.generate(cfg.nodes);
     let mut coordinator = Client::connect(addr)?;
@@ -261,21 +324,43 @@ pub fn run(addr: SocketAddr, cfg: &LoadConfig) -> Result<LoadReport, ClientError
 
     let started = Instant::now();
     let mut put_us: Vec<u64> = Vec::new();
-    let mut admin_us: Vec<u64> = Vec::new();
+    let mut kill_us: Vec<u64> = Vec::new();
+    let mut repair_us: Vec<u64> = Vec::new();
+    let mut stat_us: Vec<u64> = Vec::new();
     let mut errors = 0u64;
     let mut next_reader = 0usize;
-    for ev in &trace.events {
+    let mut ingested: Vec<u64> = Vec::new();
+    // Bit-rot injection point: halfway through the trace, when objects
+    // exist to corrupt but plenty of reads are still in flight.
+    let inject_at = trace.events.len() / 2;
+    let mut injected = 0u64;
+    let mut injected_at: Option<Instant> = None;
+    for (i, ev) in trace.events.iter().enumerate() {
+        if cfg.bitrot_flips > 0 && i == inject_at {
+            let reply = coordinator.inject_bitrot(cfg.bitrot_seed, cfg.bitrot_flips)?;
+            injected = json_num(&reply, "injected").unwrap_or(0);
+            injected_at = Some(Instant::now());
+        }
         match ev.kind {
             EventKind::Ingest { video } => {
                 let (imp, unimp) =
                     payload_for(cfg.seed, video, cfg.important_bytes, cfg.unimportant_bytes);
                 let start = Instant::now();
                 match coordinator.put(&video_id(video), &imp, &unimp) {
-                    Ok(_) => {}
+                    Ok(_) => ingested.push(video),
                     Err(ClientError::Server(..)) => errors += 1,
                     Err(e) => return Err(e),
                 }
                 put_us.push(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
+                // A stat rides along with every put, giving the metadata
+                // path its own latency row.
+                let start = Instant::now();
+                match coordinator.stat(&video_id(video)) {
+                    Ok(_) => {}
+                    Err(ClientError::Server(..)) => errors += 1,
+                    Err(e) => return Err(e),
+                }
+                stat_us.push(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
             }
             EventKind::Read { video } => {
                 let idx = next_reader % senders.len().max(1);
@@ -294,7 +379,7 @@ pub fn run(addr: SocketAddr, cfg: &LoadConfig) -> Result<LoadReport, ClientError
                     Err(ClientError::Server(..)) => errors += 1,
                     Err(e) => return Err(e),
                 }
-                admin_us.push(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
+                kill_us.push(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
             }
             EventKind::RepairNode { .. } => {
                 let start = Instant::now();
@@ -303,7 +388,7 @@ pub fn run(addr: SocketAddr, cfg: &LoadConfig) -> Result<LoadReport, ClientError
                     Err(ClientError::Server(..)) => errors += 1,
                     Err(e) => return Err(e),
                 }
-                admin_us.push(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
+                repair_us.push(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
             }
         }
     }
@@ -328,13 +413,68 @@ pub fn run(addr: SocketAddr, cfg: &LoadConfig) -> Result<LoadReport, ClientError
     }
     let elapsed_ms = started.elapsed().as_secs_f64() * 1000.0;
 
+    // Self-healing settle phase: wait for the maintenance daemon to
+    // detect and heal every injected corruption, then re-read every
+    // object to prove the heals are byte-exact.
+    let mut scrub = None;
+    if cfg.bitrot_flips > 0 {
+        let inject_instant = injected_at.unwrap_or(started);
+        // Failure-injecting workloads can end with a node still dead;
+        // shards there are the repair-all admin's job, not the
+        // scrubber's, so mop up before asking the daemon to converge.
+        if cfg.workload.failure_every > 0 {
+            coordinator.repair()?;
+        }
+        let deadline = Instant::now() + Duration::from_millis(cfg.heal_timeout_ms.max(1));
+        let status = loop {
+            let status = MaintStatus::from_json(&coordinator.scrub_status()?)?;
+            if status.injected_detected >= injected && status.injected_healed >= injected {
+                break status;
+            }
+            if Instant::now() > deadline {
+                return Err(ClientError::Proto(format!(
+                    "self-heal timed out after {}ms: {} of {injected} detected, {} healed",
+                    cfg.heal_timeout_ms, status.injected_detected, status.injected_healed
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        let time_to_heal_ms = inject_instant.elapsed().as_secs_f64() * 1000.0;
+        let mut sweep_reads = 0u64;
+        let mut sweep_mismatches = 0u64;
+        for &video in &ingested {
+            let reply = coordinator.get(&video_id(video))?;
+            sweep_reads += 1;
+            let (imp, unimp) =
+                payload_for(cfg.seed, video, cfg.important_bytes, cfg.unimportant_bytes);
+            let ok = reply.important == imp && (reply.approximate || reply.unimportant == unimp);
+            if !ok {
+                sweep_mismatches += 1;
+            }
+        }
+        scrub = Some((status, time_to_heal_ms, sweep_reads, sweep_mismatches));
+    }
+
     let server_metrics = coordinator.metrics()?;
     if cfg.shutdown_after {
         coordinator.shutdown()?;
     }
+    let scrub = scrub.map(|(status, time_to_heal_ms, sweep_reads, sweep_mismatches)| {
+        ScrubOutcome {
+            injected,
+            time_to_heal_ms,
+            sweep_reads,
+            sweep_mismatches,
+            status,
+            cache_hits: json_num(&server_metrics, "cache_hits").unwrap_or(0),
+            cache_misses: json_num(&server_metrics, "cache_misses").unwrap_or(0),
+        }
+    });
 
     let total_requests = put_us.len() as u64
-        + admin_us.len() as u64
+        + stat_us.len() as u64
+        + kill_us.len() as u64
+        + repair_us.len() as u64
         + read_tally.reads
         + 1; // the final metrics fetch
     let degraded_ratio = if read_tally.reads == 0 {
@@ -360,9 +500,12 @@ pub fn run(addr: SocketAddr, cfg: &LoadConfig) -> Result<LoadReport, ClientError
         ops: vec![
             summarize("put", put_us),
             summarize("get", read_tally.latencies_us),
-            summarize("admin", admin_us),
+            summarize("kill", kill_us),
+            summarize("repair", repair_us),
+            summarize("stat", stat_us),
         ],
         server_metrics,
+        scrub,
     })
 }
 
@@ -396,6 +539,57 @@ impl LoadReport {
             self.errors,
             rows
         )
+    }
+
+    /// Render the `BENCH_scrub.json` document (`bench: "scrub"` schema,
+    /// registered with `cargo xtask bench-check`) — `None` unless this
+    /// run had a self-healing phase (`bitrot_flips > 0`).
+    pub fn scrub_bench_json(&self) -> Option<String> {
+        let s = self.scrub.as_ref()?;
+        let st = &s.status;
+        let counters: &[(&str, u64)] = &[
+            ("scrub_passes", st.scrub_passes),
+            ("objects_scanned", st.objects_scanned),
+            ("bytes_scanned", st.bytes_scanned),
+            ("corrupt_detected", st.corrupt_detected),
+            ("missing_detected", st.missing_detected),
+            ("repairs_completed", st.repairs_completed),
+            ("repairs_critical", st.repairs_critical),
+            ("repairs_tolerance1", st.repairs_tolerance1),
+            ("repairs_degraded", st.repairs_degraded),
+            ("shards_rebuilt", st.shards_rebuilt),
+            ("deferrals", st.deferrals),
+            ("cache_hits", s.cache_hits),
+            ("cache_misses", s.cache_misses),
+            ("sweep_reads", s.sweep_reads),
+        ];
+        let mut rows = String::new();
+        for (i, (metric, value)) in counters.iter().enumerate() {
+            if i > 0 {
+                rows.push_str(",\n");
+            }
+            rows.push_str(&format!(
+                "    {{\"metric\": \"{metric}\", \"value\": {value}}}"
+            ));
+        }
+        Some(format!(
+            "{{\n  \"bench\": \"scrub\",\n  \"seed\": {},\n  \"injected\": {},\n  \
+             \"detected\": {},\n  \"healed\": {},\n  \"detection_latency_ms\": {:.3},\n  \
+             \"heal_latency_ms\": {:.3},\n  \"time_to_heal_ms\": {:.3},\n  \
+             \"scrub_mib_per_s\": {:.3},\n  \"cache_hit_rate\": {:.6},\n  \
+             \"sweep_mismatches\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+            self.seed,
+            s.injected,
+            st.injected_detected,
+            st.injected_healed,
+            st.mean_detection_latency_us() as f64 / 1000.0,
+            st.mean_heal_latency_us() as f64 / 1000.0,
+            s.time_to_heal_ms,
+            st.scrub_bytes_per_sec() as f64 / (1u64 << 20) as f64,
+            s.cache_hit_rate(),
+            s.sweep_mismatches,
+            rows
+        ))
     }
 }
 
@@ -442,9 +636,12 @@ mod tests {
             ops: vec![
                 summarize("put", vec![1000, 2000]),
                 summarize("get", vec![500, 600, 700]),
-                summarize("admin", vec![]),
+                summarize("kill", vec![800]),
+                summarize("repair", vec![4000]),
+                summarize("stat", vec![100, 150]),
             ],
             server_metrics: String::new(),
+            scrub: None,
         };
         // The store parser rejects floats by design, so the bench
         // document (which carries millisecond floats) is shape-checked
@@ -468,5 +665,67 @@ mod tests {
         for key in ["op", "requests", "p50_ms", "p99_ms", "mean_ms"] {
             assert!(text.contains(&format!("\"{key}\"")), "missing row key {key}");
         }
+        for op in ["put", "get", "kill", "repair", "stat"] {
+            assert!(text.contains(&format!("\"op\": \"{op}\"")), "missing op row {op}");
+        }
+        assert!(report.scrub_bench_json().is_none(), "no self-heal phase");
+    }
+
+    #[test]
+    fn scrub_bench_json_has_the_registered_shape() {
+        let report = LoadReport {
+            seed: 7,
+            clients: 4,
+            elapsed_ms: 100.0,
+            total_requests: 10,
+            throughput_rps: 100.0,
+            degraded_ratio: 0.0,
+            approx_reads: 0,
+            integrity_failures: 0,
+            mismatches: 0,
+            errors: 0,
+            ops: vec![summarize("put", vec![1000])],
+            server_metrics: String::new(),
+            scrub: Some(ScrubOutcome {
+                injected: 6,
+                time_to_heal_ms: 250.5,
+                sweep_reads: 12,
+                sweep_mismatches: 0,
+                status: MaintStatus {
+                    injected: 6,
+                    injected_detected: 6,
+                    injected_healed: 6,
+                    bytes_scanned: 1 << 20,
+                    scrub_busy_us: 100_000,
+                    detection_latency_us_sum: 60_000,
+                    heal_latency_us_sum: 120_000,
+                    scrub_passes: 3,
+                    repairs_completed: 4,
+                    shards_rebuilt: 6,
+                    ..MaintStatus::default()
+                },
+                cache_hits: 30,
+                cache_misses: 10,
+            }),
+        };
+        let text = report.scrub_bench_json().expect("self-heal phase ran");
+        assert!(text.contains("\"bench\": \"scrub\""));
+        for key in [
+            "seed",
+            "injected",
+            "detected",
+            "healed",
+            "detection_latency_ms",
+            "heal_latency_ms",
+            "time_to_heal_ms",
+            "scrub_mib_per_s",
+            "cache_hit_rate",
+            "sweep_mismatches",
+        ] {
+            assert!(text.contains(&format!("\"{key}\"")), "missing {key}");
+        }
+        assert!(text.contains("\"metric\": \"scrub_passes\""));
+        assert!(text.contains("\"metric\": \"cache_hits\""));
+        assert!(text.contains("\"cache_hit_rate\": 0.75"));
     }
 }

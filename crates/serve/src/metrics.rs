@@ -14,6 +14,7 @@
 
 use apec_store::json::{obj, Value};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 const BUCKETS: usize = 64;
 
@@ -94,10 +95,28 @@ impl OpStats {
     }
 }
 
+/// Hot-read cache gauges as published in the metrics snapshot. The
+/// server refreshes these from the cache's own counters at snapshot
+/// time — the cache stays the single source of truth.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheGauges {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the store.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Successful inserts.
+    pub insertions: u64,
+    /// Objects currently resident.
+    pub objects: u64,
+    /// Payload bytes currently resident.
+    pub bytes: u64,
+}
+
 /// The daemon's full metrics surface. One instance per server, shared
 /// across workers behind an `Arc`; every update is a single relaxed
 /// `fetch_add`.
-#[derive(Default)]
 pub struct Metrics {
     /// Per-op latency histograms.
     pub put: OpStats,
@@ -107,8 +126,10 @@ pub struct Metrics {
     pub degraded_get: OpStats,
     /// Stat latencies.
     pub stat: OpStats,
-    /// Admin verbs (metrics, kill, repair, shutdown).
+    /// Admin verbs (metrics, kill, repair, shutdown, scrub-status,
+    /// inject-bitrot).
     pub admin: OpStats,
+    started: Instant,
     total_requests: AtomicU64,
     rejected_connections: AtomicU64,
     errors: AtomicU64,
@@ -116,6 +137,41 @@ pub struct Metrics {
     degraded_reads: AtomicU64,
     approx_reads: AtomicU64,
     integrity_failures: AtomicU64,
+    // Gauges refreshed at snapshot time (last-write-wins, not summed).
+    queue_depth: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
+    cache_insertions: AtomicU64,
+    cache_objects: AtomicU64,
+    cache_bytes: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            put: OpStats::default(),
+            get: OpStats::default(),
+            degraded_get: OpStats::default(),
+            stat: OpStats::default(),
+            admin: OpStats::default(),
+            started: Instant::now(),
+            total_requests: AtomicU64::new(0),
+            rejected_connections: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
+            degraded_reads: AtomicU64::new(0),
+            approx_reads: AtomicU64::new(0),
+            integrity_failures: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            cache_evictions: AtomicU64::new(0),
+            cache_insertions: AtomicU64::new(0),
+            cache_objects: AtomicU64::new(0),
+            cache_bytes: AtomicU64::new(0),
+        }
+    }
 }
 
 impl Metrics {
@@ -184,6 +240,32 @@ impl Metrics {
         self.integrity_failures.load(Ordering::Relaxed)
     }
 
+    /// Milliseconds since this metrics block (the daemon) started.
+    pub fn uptime_ms(&self) -> u64 {
+        self.started.elapsed().as_millis().min(u64::MAX as u128) as u64
+    }
+
+    /// Sets the repair-queue-depth gauge (refreshed at snapshot time
+    /// from the maintenance daemon; stays 0 without one).
+    pub fn set_queue_depth(&self, depth: u64) {
+        self.queue_depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// Current repair-queue-depth gauge.
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Refreshes the hot-cache gauges from the cache's counters.
+    pub fn set_cache(&self, g: &CacheGauges) {
+        self.cache_hits.store(g.hits, Ordering::Relaxed);
+        self.cache_misses.store(g.misses, Ordering::Relaxed);
+        self.cache_evictions.store(g.evictions, Ordering::Relaxed);
+        self.cache_insertions.store(g.insertions, Ordering::Relaxed);
+        self.cache_objects.store(g.objects, Ordering::Relaxed);
+        self.cache_bytes.store(g.bytes, Ordering::Relaxed);
+    }
+
     /// Degraded reads over total reads, in [0,1].
     pub fn degraded_ratio(&self) -> f64 {
         let reads = self.reads();
@@ -198,6 +280,8 @@ impl Metrics {
     /// counters are read one by one while workers keep serving.
     pub fn snapshot_json(&self) -> String {
         obj(vec![
+            ("uptime_ms", Value::Num(self.uptime_ms())),
+            ("queue_depth", Value::Num(self.queue_depth())),
             ("total_requests", Value::Num(self.total_requests())),
             ("rejected_connections", Value::Num(self.rejected_connections())),
             ("errors", Value::Num(self.errors())),
@@ -205,6 +289,12 @@ impl Metrics {
             ("degraded_reads", Value::Num(self.degraded_reads())),
             ("approx_reads", Value::Num(self.approx_reads.load(Ordering::Relaxed))),
             ("integrity_failures", Value::Num(self.integrity_failures())),
+            ("cache_hits", Value::Num(self.cache_hits.load(Ordering::Relaxed))),
+            ("cache_misses", Value::Num(self.cache_misses.load(Ordering::Relaxed))),
+            ("cache_evictions", Value::Num(self.cache_evictions.load(Ordering::Relaxed))),
+            ("cache_insertions", Value::Num(self.cache_insertions.load(Ordering::Relaxed))),
+            ("cache_objects", Value::Num(self.cache_objects.load(Ordering::Relaxed))),
+            ("cache_bytes", Value::Num(self.cache_bytes.load(Ordering::Relaxed))),
             (
                 "ops",
                 Value::Arr(vec![
@@ -261,12 +351,26 @@ mod tests {
         m.count_request();
         m.get.record(120);
         m.count_read(true, false, 2);
+        m.set_queue_depth(3);
+        m.set_cache(&CacheGauges {
+            hits: 10,
+            misses: 4,
+            evictions: 1,
+            insertions: 5,
+            objects: 4,
+            bytes: 4096,
+        });
         let snap = m.snapshot_json();
         let v = apec_store::json::parse(&snap).expect("snapshot parses");
         assert_eq!(v.get("total_requests").and_then(|x| x.as_num()), Some(1));
         assert_eq!(v.get("reads").and_then(|x| x.as_num()), Some(1));
         assert_eq!(v.get("degraded_reads").and_then(|x| x.as_num()), Some(1));
         assert_eq!(v.get("integrity_failures").and_then(|x| x.as_num()), Some(2));
+        assert_eq!(v.get("queue_depth").and_then(|x| x.as_num()), Some(3));
+        assert_eq!(v.get("cache_hits").and_then(|x| x.as_num()), Some(10));
+        assert_eq!(v.get("cache_misses").and_then(|x| x.as_num()), Some(4));
+        assert_eq!(v.get("cache_bytes").and_then(|x| x.as_num()), Some(4096));
+        assert!(v.get("uptime_ms").and_then(|x| x.as_num()).is_some());
         let ops = v.get("ops").and_then(|x| x.as_arr()).expect("ops array");
         assert_eq!(ops.len(), 5);
         assert!(ops.iter().all(|o| o.get("p99_us").is_some()));

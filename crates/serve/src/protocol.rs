@@ -36,6 +36,10 @@ pub enum Op {
     Repair = 7,
     /// Stop the daemon after responding.
     Shutdown = 8,
+    /// Maintenance-daemon status snapshot (JSON).
+    ScrubStatus = 9,
+    /// Seeded bit-rot fault injection: `u64` seed, `u32` flip count.
+    InjectBitrot = 10,
 }
 
 impl Op {
@@ -50,6 +54,8 @@ impl Op {
             6 => Some(Op::Kill),
             7 => Some(Op::Repair),
             8 => Some(Op::Shutdown),
+            9 => Some(Op::ScrubStatus),
+            10 => Some(Op::InjectBitrot),
             _ => None,
         }
     }
@@ -174,6 +180,14 @@ impl<'a> Reader<'a> {
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
+    /// Next little-endian `u64` (fault-injection seeds).
+    pub fn u64(&mut self) -> Result<u64, String> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
     /// Next `u16`-prefixed UTF-8 string.
     pub fn str16(&mut self) -> Result<&'a str, String> {
         let len = self.u16()? as usize;
@@ -236,6 +250,12 @@ impl Writer {
 
     /// Append a little-endian `u32`.
     pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
         self.buf.extend_from_slice(&v.to_le_bytes());
         self
     }
@@ -307,12 +327,19 @@ mod tests {
     #[test]
     fn reader_writer_round_trip() {
         let mut w = Writer::new();
-        w.u8(7).u16(513).u32(70_000).str16("clip-1").buf32(&[9, 8, 7]).nodes16(&[3, 11]);
+        w.u8(7)
+            .u16(513)
+            .u32(70_000)
+            .u64(0xdead_beef_0042_4242)
+            .str16("clip-1")
+            .buf32(&[9, 8, 7])
+            .nodes16(&[3, 11]);
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);
         assert_eq!(r.u8(), Ok(7));
         assert_eq!(r.u16(), Ok(513));
         assert_eq!(r.u32(), Ok(70_000));
+        assert_eq!(r.u64(), Ok(0xdead_beef_0042_4242));
         assert_eq!(r.str16(), Ok("clip-1"));
         assert_eq!(r.buf32(), Ok(&[9u8, 8, 7][..]));
         assert_eq!(r.nodes16(), Ok(vec![3, 11]));
@@ -341,6 +368,8 @@ mod tests {
             Op::Kill,
             Op::Repair,
             Op::Shutdown,
+            Op::ScrubStatus,
+            Op::InjectBitrot,
         ] {
             assert_eq!(Op::from_byte(op as u8), Some(op));
         }

@@ -23,16 +23,17 @@
 //!   [`ServerHandle::shutdown`] or the wire `Shutdown` verb), the queue
 //!   closes, and a self-connection unblocks the acceptor.
 
-use crate::metrics::Metrics;
+use crate::metrics::{CacheGauges, Metrics};
 use crate::protocol::{
     read_frame, write_frame, Op, Reader, Status, Writer, FLAG_APPROXIMATE, FLAG_DEGRADED,
 };
+use apec_maint::{CacheConfig, HotCache, MaintConfig, MaintDaemon};
 use apec_store::json::{obj, Value};
 use apec_store::{Store, StoreError, StoreSession};
 use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -45,6 +46,11 @@ pub struct ServerConfig {
     /// Bounded connection-queue capacity; beyond it, connections are
     /// answered `Overloaded` and closed.
     pub queue_cap: usize,
+    /// Hot-read cache budget in bytes (0 disables the cache).
+    pub cache_bytes: u64,
+    /// Run the embedded maintenance daemon (background scrubber +
+    /// exposure-prioritized repair) with this configuration.
+    pub maint: Option<MaintConfig>,
 }
 
 impl Default for ServerConfig {
@@ -56,8 +62,21 @@ impl Default for ServerConfig {
             // default of 4 readers + 1 coordinator.
             workers: 8,
             queue_cap: 64,
+            cache_bytes: 64 << 20,
+            maint: None,
         }
     }
+}
+
+/// Everything a worker needs to serve requests: the store, the shared
+/// counters, the optional hot cache and maintenance daemon surface, and
+/// the in-flight-foreground-reads gauge the repair drain defers to.
+struct Ctx {
+    store: Arc<Store>,
+    metrics: Arc<Metrics>,
+    cache: Option<Arc<HotCache>>,
+    maint: Option<Arc<apec_maint::Shared>>,
+    foreground_reads: Arc<AtomicU64>,
 }
 
 /// Bounded MPMC connection queue: mutex + condvar, capacity-checked on
@@ -162,6 +181,8 @@ pub struct ServerHandle {
     queue: Arc<ConnQueue>,
     active: Arc<ActiveSlots>,
     metrics: Arc<Metrics>,
+    maint: Option<MaintDaemon>,
+    cache: Option<Arc<HotCache>>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -175,6 +196,16 @@ impl ServerHandle {
     /// The daemon's live metrics.
     pub fn metrics(&self) -> &Arc<Metrics> {
         &self.metrics
+    }
+
+    /// The embedded maintenance daemon, when one was configured.
+    pub fn maint(&self) -> Option<&MaintDaemon> {
+        self.maint.as_ref()
+    }
+
+    /// The hot-read cache, when one was configured.
+    pub fn cache(&self) -> Option<&Arc<HotCache>> {
+        self.cache.as_ref()
     }
 
     /// Whether a stop has been requested (by [`ServerHandle::shutdown`]
@@ -197,6 +228,9 @@ impl ServerHandle {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+        if let Some(mut maint) = self.maint.take() {
+            maint.shutdown();
+        }
     }
 
     /// Blocks until every thread has exited (a client `Shutdown` verb,
@@ -207,6 +241,9 @@ impl ServerHandle {
         }
         for h in self.workers.drain(..) {
             let _ = h.join();
+        }
+        if let Some(mut maint) = self.maint.take() {
+            maint.shutdown();
         }
     }
 }
@@ -230,11 +267,33 @@ pub fn serve(
     let active: Arc<ActiveSlots> =
         Arc::new((0..config.workers).map(|_| Mutex::new(None)).collect());
 
+    let cache = (config.cache_bytes > 0).then(|| {
+        Arc::new(HotCache::new(CacheConfig {
+            max_bytes: config.cache_bytes,
+            ..CacheConfig::default()
+        }))
+    });
+    let foreground_reads = Arc::new(AtomicU64::new(0));
+    let maint = config.maint.map(|mc| {
+        MaintDaemon::spawn(
+            Arc::clone(&store),
+            cache.clone(),
+            Arc::clone(&foreground_reads),
+            mc,
+        )
+    });
+    let ctx = Arc::new(Ctx {
+        store,
+        metrics: Arc::clone(&metrics),
+        cache: cache.clone(),
+        maint: maint.as_ref().map(|d| Arc::clone(d.shared())),
+        foreground_reads,
+    });
+
     let mut workers = Vec::with_capacity(config.workers);
     for i in 0..config.workers {
         let queue = Arc::clone(&queue);
-        let store = Arc::clone(&store);
-        let metrics = Arc::clone(&metrics);
+        let ctx = Arc::clone(&ctx);
         let stop = Arc::clone(&stop);
         let active = Arc::clone(&active);
         workers.push(
@@ -256,9 +315,7 @@ pub fn serve(
                             }
                             continue; // drain the queue without serving
                         }
-                        serve_connection(
-                            &store, &mut session, &metrics, &stop, &active, addr, conn,
-                        );
+                        serve_connection(&ctx, &mut session, &stop, &active, addr, conn);
                         if let Some(slot) = active.get(i) {
                             *slot_guard(slot) = None;
                         }
@@ -300,6 +357,8 @@ pub fn serve(
         queue,
         active,
         metrics,
+        maint,
+        cache,
         acceptor: Some(acceptor),
         workers,
     })
@@ -308,14 +367,14 @@ pub fn serve(
 /// Serves one connection request-after-request until EOF, a protocol
 /// error, or shutdown.
 fn serve_connection(
-    store: &Store,
+    ctx: &Ctx,
     session: &mut StoreSession,
-    metrics: &Metrics,
     stop: &AtomicBool,
     active: &ActiveSlots,
     addr: SocketAddr,
     mut conn: TcpStream,
 ) {
+    let metrics = &*ctx.metrics;
     loop {
         let body = match read_frame(&mut conn) {
             Ok(Some(body)) => body,
@@ -324,7 +383,7 @@ fn serve_connection(
         };
         metrics.count_request();
         let started = Instant::now();
-        let (op, status, payload) = handle_request(store, session, metrics, &body);
+        let (op, status, payload) = handle_request(ctx, session, &body);
         let us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
         match op {
             Some(Op::Put) => metrics.put.record(us),
@@ -358,11 +417,12 @@ fn serve_connection(
 /// parsed), the response status and the response payload. Never panics:
 /// garbage in means `ErrProto` out.
 fn handle_request(
-    store: &Store,
+    ctx: &Ctx,
     session: &mut StoreSession,
-    metrics: &Metrics,
     body: &[u8],
 ) -> (Option<Op>, Status, Vec<u8>) {
+    let store = &*ctx.store;
+    let metrics = &*ctx.metrics;
     let Some((&op_byte, payload)) = body.split_first() else {
         return (None, Status::ErrProto, b"empty request body".to_vec());
     };
@@ -386,13 +446,13 @@ fn handle_request(
         Op::Get => (|| {
             let id = r.str16()?.to_string();
             r.finish()?;
-            serve_get(store, session, metrics, &id)
+            serve_get(ctx, session, &id)
         })(),
         Op::DegradedGet => (|| {
             let id = r.str16()?.to_string();
             let mask = r.nodes16()?;
             r.finish()?;
-            serve_degraded_get(store, session, metrics, &id, &mask)
+            serve_degraded_get(ctx, session, &id, &mask)
         })(),
         Op::Stat => (|| {
             let id = r.str16()?.to_string();
@@ -400,11 +460,34 @@ fn handle_request(
             let meta = store.stat(&id)?;
             Ok(meta_json(&meta).into_bytes())
         })(),
-        Op::Metrics => Ok(metrics.snapshot_json().into_bytes()),
+        Op::Metrics => {
+            // Refresh the gauges the snapshot carries: repair-queue
+            // depth from the maintenance daemon, cache counters from
+            // the hot cache.
+            if let Some(maint) = &ctx.maint {
+                metrics.set_queue_depth(maint.status().queue_depth);
+            }
+            if let Some(cache) = &ctx.cache {
+                let snap = cache.snapshot();
+                metrics.set_cache(&CacheGauges {
+                    hits: snap.hits,
+                    misses: snap.misses,
+                    evictions: snap.evictions,
+                    insertions: snap.insertions,
+                    objects: snap.objects,
+                    bytes: snap.bytes,
+                });
+            }
+            Ok(metrics.snapshot_json().into_bytes())
+        }
         Op::Kill => (|| {
             let node = r.u16()? as usize;
             r.finish()?;
             store.kill_node(node)?;
+            // Dead-node reads must not be masked by stale cache hits.
+            if let Some(cache) = &ctx.cache {
+                cache.clear();
+            }
             Ok(obj(vec![("killed", Value::Num(node as u64))])
                 .to_string()
                 .into_bytes())
@@ -424,6 +507,29 @@ fn handle_request(
             .to_string()
             .into_bytes())
         })(),
+        Op::ScrubStatus => match &ctx.maint {
+            Some(maint) => Ok(maint.status().to_json().into_bytes()),
+            None => Err(RequestError::Store(StoreError::User(
+                "maintenance daemon is not running".to_string(),
+            ))),
+        },
+        Op::InjectBitrot => (|| {
+            let seed = r.u64()?;
+            let flips = r.u32()? as usize;
+            r.finish()?;
+            let hits = store.inject_bitrot(seed, flips)?;
+            // Register the hits so scrub-status can report detection
+            // and heal latencies for them.
+            if let Some(maint) = &ctx.maint {
+                maint.note_injections(&hits);
+            }
+            Ok(obj(vec![
+                ("injected", Value::Num(hits.len() as u64)),
+                ("seed", Value::Num(seed)),
+            ])
+            .to_string()
+            .into_bytes())
+        })(),
         Op::Shutdown => Ok(b"bye".to_vec()),
     };
     match result {
@@ -435,29 +541,46 @@ fn handle_request(
     }
 }
 
-/// Serves a get: full read with integrity verification, recording the
-/// outcome in the metrics.
-fn serve_get(
-    store: &Store,
-    session: &mut StoreSession,
-    metrics: &Metrics,
-    id: &str,
-) -> Result<Vec<u8>, RequestError> {
-    serve_degraded_get(store, session, metrics, id, &[])
+/// Serves a get: hot-cache first, then a full store read with integrity
+/// verification. Only clean reads (exact, non-degraded, zero integrity
+/// failures) populate the cache, so a hit is always byte-exact and is
+/// served with all reply flags clear.
+fn serve_get(ctx: &Ctx, session: &mut StoreSession, id: &str) -> Result<Vec<u8>, RequestError> {
+    if let Some(cache) = &ctx.cache {
+        if let Some(hit) = cache.get(id) {
+            ctx.metrics.count_read(false, false, 0);
+            let mut w = Writer::new();
+            w.u8(0).u32(0).buf32(&hit.important).buf32(&hit.unimportant);
+            return Ok(w.into_bytes());
+        }
+    }
+    serve_degraded_get(ctx, session, id, &[])
 }
 
 /// Serves a degraded get: `mask` nodes are treated as dead for this
 /// read only (stored files untouched), exercising reconstruction on a
-/// healthy cluster.
+/// healthy cluster. Always reads the store (never the cache), so masked
+/// reconstruction is genuinely exercised.
 fn serve_degraded_get(
-    store: &Store,
+    ctx: &Ctx,
     session: &mut StoreSession,
-    metrics: &Metrics,
     id: &str,
     mask: &[usize],
 ) -> Result<Vec<u8>, RequestError> {
-    let out = store.read_object(session, id, mask)?;
-    metrics.count_read(out.degraded, out.approximate, out.integrity_failures as u64);
+    // Gauge of in-flight foreground reads: the maintenance drain defers
+    // non-critical repairs while it is non-zero.
+    ctx.foreground_reads.fetch_add(1, Ordering::AcqRel);
+    let read = ctx.store.read_object(session, id, mask);
+    ctx.foreground_reads.fetch_sub(1, Ordering::AcqRel);
+    let out = read?;
+    ctx.metrics
+        .count_read(out.degraded, out.approximate, out.integrity_failures as u64);
+    let clean = !out.degraded && !out.approximate && out.integrity_failures == 0;
+    if clean && mask.is_empty() {
+        if let Some(cache) = &ctx.cache {
+            cache.insert(id, out.important.clone(), out.unimportant.clone());
+        }
+    }
     let mut flags = 0u8;
     if out.degraded {
         flags |= FLAG_DEGRADED;

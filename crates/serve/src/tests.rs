@@ -8,6 +8,7 @@ use crate::load::{self, LoadConfig};
 use crate::protocol::Status;
 use crate::server::{serve, ServerConfig, ServerHandle};
 use apec_ec::ErasureCode;
+use apec_maint::{MaintConfig, MaintStatus};
 use apec_store::{Store, StoreConfig};
 use std::net::TcpListener;
 use std::path::PathBuf;
@@ -96,6 +97,7 @@ fn overloaded_connections_are_shed_with_a_status() {
     let config = ServerConfig {
         workers: 0,
         queue_cap: 1,
+        ..ServerConfig::default()
     };
     let (mut handle, _store, root) = start_daemon("overload", config);
     let addr = handle.addr();
@@ -239,6 +241,143 @@ fn kill_mid_run_keeps_reads_exact_within_tolerance() {
     assert_eq!(store.state().unwrap().dead_nodes, Vec::<usize>::new());
 
     client.shutdown().unwrap();
+    handle.join();
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn scrub_status_without_maintenance_is_a_user_error() {
+    let (handle, _store, root) = start_daemon("no-maint", ServerConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    match client.scrub_status() {
+        Err(ClientError::Server(Status::ErrUser, msg)) => {
+            assert!(msg.contains("maintenance"), "{msg}")
+        }
+        other => panic!("expected ErrUser, got {other:?}"),
+    }
+    client.shutdown().unwrap();
+    handle.join();
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn maint_daemon_self_heals_injected_bitrot_over_the_wire() {
+    let config = ServerConfig {
+        maint: Some(MaintConfig {
+            seed: 33,
+            tick_ms: 5,
+            ..MaintConfig::default()
+        }),
+        ..ServerConfig::default()
+    };
+    let (handle, _store, root) = start_daemon("maint", config);
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).unwrap();
+
+    let mut payloads = Vec::new();
+    for video in 0..4u64 {
+        let (imp, unimp) = load::payload_for(21, video, 320, 960);
+        client.put(&load::video_id(video), &imp, &unimp).unwrap();
+        payloads.push((imp, unimp));
+    }
+
+    // Seeded bit-rot behind the foreground path; the daemon must find
+    // and heal every flip without being asked.
+    let reply = client.inject_bitrot(4242, 3).unwrap();
+    let injected = apec_store::json::parse(&reply)
+        .unwrap()
+        .get("injected")
+        .and_then(|v| v.as_num())
+        .unwrap();
+    assert!(injected > 0, "injection found committed shards");
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        let status = MaintStatus::from_json(&client.scrub_status().unwrap()).unwrap();
+        if status.injected_detected >= injected && status.injected_healed >= injected {
+            break status;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "self-heal timed out: {status:?}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert_eq!(status.injected, injected);
+    assert!(status.corrupt_detected >= injected);
+    assert!(status.repairs_completed > 0);
+    assert!(status.scrub_passes > 0);
+
+    // Every healed object reads back byte-identical and clean; the
+    // repeated read of the same id exercises the hot cache.
+    for (video, (imp, unimp)) in payloads.iter().enumerate() {
+        for _ in 0..2 {
+            let reply = client.get(&load::video_id(video as u64)).unwrap();
+            assert_eq!(&reply.important, imp, "vid-{video} important bytes");
+            assert_eq!(&reply.unimportant, unimp, "vid-{video} unimportant bytes");
+            assert!(!reply.approximate);
+            assert_eq!(reply.integrity_failures, 0);
+        }
+    }
+
+    // The metrics snapshot carries the new gauges.
+    let snap = apec_store::json::parse(&client.metrics().unwrap()).unwrap();
+    for key in [
+        "uptime_ms",
+        "queue_depth",
+        "cache_hits",
+        "cache_misses",
+        "cache_evictions",
+        "cache_insertions",
+        "cache_objects",
+        "cache_bytes",
+    ] {
+        assert!(snap.get(key).is_some(), "metrics snapshot missing {key}");
+    }
+    assert!(
+        snap.get("cache_hits").and_then(|v| v.as_num()).unwrap() > 0,
+        "second read of each object hits the cache"
+    );
+    assert_eq!(snap.get("queue_depth").and_then(|v| v.as_num()), Some(0));
+
+    client.shutdown().unwrap();
+    handle.join();
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn load_harness_self_heals_seeded_bitrot_mid_run() {
+    let config = ServerConfig {
+        maint: Some(MaintConfig {
+            seed: 9,
+            tick_ms: 5,
+            ..MaintConfig::default()
+        }),
+        ..ServerConfig::default()
+    };
+    let (handle, store, root) = start_daemon("load-heal", config);
+    let nodes = store.code().total_nodes();
+
+    let mut cfg = LoadConfig::smoke(19, nodes);
+    cfg.clients = 2;
+    cfg.bitrot_flips = 4;
+    cfg.shutdown_after = true;
+    let report = load::run(handle.addr(), &cfg).unwrap();
+    assert_eq!(report.mismatches, 0, "byte-identical replies throughout");
+    assert_eq!(report.errors, 0);
+
+    let scrub = report.scrub.as_ref().expect("self-heal phase ran");
+    assert!(scrub.injected > 0);
+    assert!(scrub.status.injected_detected >= scrub.injected);
+    assert!(scrub.status.injected_healed >= scrub.injected);
+    assert_eq!(scrub.sweep_mismatches, 0, "healed objects read back exact");
+    assert!(scrub.sweep_reads > 0);
+    assert!(scrub.time_to_heal_ms >= 0.0);
+
+    let bench = report.scrub_bench_json().expect("scrub bench document");
+    assert!(bench.contains("\"bench\": \"scrub\""));
+    assert!(bench.contains("\"metric\": \"shards_rebuilt\""));
+
     handle.join();
     std::fs::remove_dir_all(&root).unwrap();
 }

@@ -49,7 +49,10 @@ pub mod meta;
 pub mod store;
 
 pub use meta::{Manifest, ObjectMeta, StoreConfig, StoreState};
-pub use store::{ReadOutcome, RepairSummary, Store, StoreSession};
+pub use store::{
+    BitrotHit, ObjectRepair, ObjectScan, ReadOutcome, RepairSummary, ShardHealth, Store,
+    StoreSession, StripeScan,
+};
 
 use std::fmt;
 

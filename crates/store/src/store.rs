@@ -92,6 +92,96 @@ pub struct RepairSummary {
     pub integrity_failures: usize,
 }
 
+/// Health of one shard file as observed by a scan — the same integrity
+/// pipeline a read runs (framed length, CRC-32, Merkle leaf), but
+/// without materialising or decoding anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// Passed length, CRC and Merkle-leaf checks.
+    Ok,
+    /// File absent (node dead or never written).
+    Missing,
+    /// File present but failed an integrity check (bit-rot).
+    Corrupt,
+}
+
+/// One stripe's shard healths, indexed by node.
+#[derive(Debug, Clone)]
+pub struct StripeScan {
+    /// Stripe index within the object.
+    pub stripe: usize,
+    /// Per-node health, `shards.len() == total_nodes`.
+    pub shards: Vec<ShardHealth>,
+}
+
+impl StripeScan {
+    /// Nodes whose shard is unavailable (missing or corrupt) — the
+    /// erasure pattern a read of this stripe would have to decode around.
+    pub fn failed_nodes(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter_map(|(n, h)| (*h != ShardHealth::Ok).then_some(n))
+            .collect()
+    }
+}
+
+/// Outcome of [`Store::scan_object`]: a full shard-by-shard integrity
+/// sweep of one object, suitable for rate-budgeted background scrubbing.
+#[derive(Debug, Clone)]
+pub struct ObjectScan {
+    /// The scanned object.
+    pub id: String,
+    /// Per-stripe shard healths.
+    pub stripes: Vec<StripeScan>,
+    /// Bytes read and checksummed (framed shard files).
+    pub bytes_scanned: u64,
+    /// Shards present on disk but failing an integrity check.
+    pub corrupt: usize,
+    /// Shards absent from disk.
+    pub missing: usize,
+}
+
+impl ObjectScan {
+    /// `true` when every shard passed every check.
+    pub fn clean(&self) -> bool {
+        self.corrupt == 0 && self.missing == 0
+    }
+}
+
+/// One seeded bit flip applied by [`Store::inject_bitrot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitrotHit {
+    /// Object whose shard was flipped.
+    pub id: String,
+    /// Stripe index.
+    pub stripe: usize,
+    /// Node index.
+    pub node: usize,
+    /// Byte offset within the framed shard file (CRC header included).
+    pub byte: usize,
+    /// Bit position flipped (0..8).
+    pub bit: u8,
+}
+
+/// Outcome of [`Store::repair_object`]: an object-granular heal that
+/// runs under the topology *read* lock, so it can proceed concurrently
+/// with foreground traffic on other objects.
+#[derive(Debug, Clone, Default)]
+pub struct ObjectRepair {
+    /// Shard files rewritten.
+    pub shards_rebuilt: usize,
+    /// Corrupt (not merely missing) shards detected during the repair.
+    pub integrity_failures: usize,
+    /// Bytes that could not be rebuilt (zero-filled by the approximate
+    /// recovery layer).
+    pub bytes_lost: usize,
+    /// Shards on dead nodes that were left to the next `repair_all`.
+    pub skipped_dead: usize,
+    /// `false` if any stripe fell back to approximate recovery.
+    pub fully_recovered: bool,
+}
+
 /// How a framed shard file read resolved.
 enum ShardRead {
     /// Payload passed length, CRC and Merkle-leaf checks.
@@ -519,17 +609,7 @@ impl Store {
             important_intact: true,
             ..RepairSummary::default()
         };
-        let ids: Vec<String> = {
-            let mut ids = Vec::new();
-            for entry in fs::read_dir(self.root.join("objects"))? {
-                let path = entry?.path();
-                if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
-                    ids.push(stem.to_string());
-                }
-            }
-            ids.sort();
-            ids
-        };
+        let ids = self.object_ids_unlocked()?;
         for id in &ids {
             let mut manifest = self.load_manifest(id)?;
             let mut touched = false;
@@ -598,6 +678,277 @@ impl Store {
         }
         self.write_state(&StoreState::default())?;
         Ok(summary)
+    }
+
+    /// Sorted committed object ids (manifest file stems). Caller must
+    /// hold the topology lock in some mode.
+    fn object_ids_unlocked(&self) -> Result<Vec<String>, StoreError> {
+        let mut ids = Vec::new();
+        for entry in fs::read_dir(self.root.join("objects"))? {
+            let path = entry?.path();
+            if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                ids.push(stem.to_string());
+            }
+        }
+        ids.sort();
+        Ok(ids)
+    }
+
+    /// Sorted committed object ids — the scrubber's walk list.
+    pub fn list_ids(&self) -> Result<Vec<String>, StoreError> {
+        let _topo = read_guard(&self.topo);
+        self.object_ids_unlocked()
+    }
+
+    /// Sweeps every shard of one object through the full integrity
+    /// pipeline (framed length, CRC-32, Merkle leaf against the
+    /// manifest) without decoding. Runs under the object *read* lock:
+    /// scrubbing never blocks foreground reads of the same object.
+    pub fn scan_object(&self, id: &str) -> Result<ObjectScan, StoreError> {
+        Self::check_id(id)?;
+        let _topo = read_guard(&self.topo);
+        let object_lock = self.object_lock(id);
+        let _obj = read_guard(&object_lock);
+        let manifest = self.load_manifest(id)?;
+        let framed_len = (CRC_BYTES + self.config.shard_len) as u64;
+        let mut scan = ObjectScan {
+            id: id.to_string(),
+            stripes: Vec::with_capacity(manifest.leaves.len()),
+            bytes_scanned: 0,
+            corrupt: 0,
+            missing: 0,
+        };
+        for (s, leaf_row) in manifest.leaves.iter().enumerate() {
+            let mut shards = Vec::with_capacity(leaf_row.len());
+            for (node, expected) in leaf_row.iter().enumerate() {
+                match self.read_shard_checked(node, id, s, expected)? {
+                    ShardRead::Ok(_) => {
+                        scan.bytes_scanned += framed_len;
+                        shards.push(ShardHealth::Ok);
+                    }
+                    ShardRead::Missing => {
+                        scan.missing += 1;
+                        shards.push(ShardHealth::Missing);
+                    }
+                    ShardRead::Corrupt => {
+                        scan.bytes_scanned += framed_len;
+                        scan.corrupt += 1;
+                        shards.push(ShardHealth::Corrupt);
+                    }
+                }
+            }
+            scan.stripes.push(StripeScan { stripe: s, shards });
+        }
+        Ok(scan)
+    }
+
+    /// Integrity-checks a single shard file against its manifest leaf.
+    pub fn verify_shard(
+        &self,
+        id: &str,
+        stripe: usize,
+        node: usize,
+    ) -> Result<ShardHealth, StoreError> {
+        Self::check_id(id)?;
+        let _topo = read_guard(&self.topo);
+        let object_lock = self.object_lock(id);
+        let _obj = read_guard(&object_lock);
+        let manifest = self.load_manifest(id)?;
+        let expected = manifest
+            .leaves
+            .get(stripe)
+            .and_then(|row| row.get(node))
+            .ok_or_else(|| {
+                StoreError::User(format!(
+                    "shard ({stripe}, {node}) out of range for '{id}'"
+                ))
+            })?;
+        Ok(match self.read_shard_checked(node, id, stripe, expected)? {
+            ShardRead::Ok(_) => ShardHealth::Ok,
+            ShardRead::Missing => ShardHealth::Missing,
+            ShardRead::Corrupt => ShardHealth::Corrupt,
+        })
+    }
+
+    /// Seeded, deterministic bit-rot fault injection (test/admin hook):
+    /// flips `flips` single bits across distinct committed shard files.
+    /// Targets, byte offsets (CRC header included) and bit positions all
+    /// derive from `seed` via labelled [`apec_ec::rng::derive`] chains,
+    /// so the same seed over the same store contents corrupts the same
+    /// bits. Returns the hits actually applied (fewer than `flips` only
+    /// when the store holds fewer distinct shard files).
+    pub fn inject_bitrot(&self, seed: u64, flips: usize) -> Result<Vec<BitrotHit>, StoreError> {
+        let _topo = read_guard(&self.topo);
+        // Enumerate every shard file present on disk, in sorted
+        // (id, stripe, node) order, so target selection is stable.
+        let mut targets: Vec<(String, usize, usize)> = Vec::new();
+        for id in self.object_ids_unlocked()? {
+            let manifest = self.load_manifest(&id)?;
+            for s in 0..manifest.leaves.len() {
+                for node in 0..self.code.total_nodes() {
+                    if self.shard_path(node, &id, s).exists() {
+                        targets.push((id.clone(), s, node));
+                    }
+                }
+            }
+        }
+        if targets.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut used = vec![false; targets.len()];
+        let mut hits = Vec::with_capacity(flips.min(targets.len()));
+        for j in 0..flips.min(targets.len()) {
+            // Linear-probe from the derived index to the next unused
+            // target — deterministic and collision-free.
+            let mut idx =
+                (apec_ec::rng::derive(seed, &format!("bitrot-target-{j}")) % targets.len() as u64)
+                    as usize;
+            while used.get(idx).copied().unwrap_or(true) {
+                idx = (idx + 1) % targets.len();
+            }
+            if let Some(slot) = used.get_mut(idx) {
+                *slot = true;
+            }
+            let Some((id, stripe, node)) = targets.get(idx).cloned() else {
+                continue;
+            };
+            let object_lock = self.object_lock(&id);
+            let _obj = write_guard(&object_lock);
+            let path = self.shard_path(node, &id, stripe);
+            let mut bytes = match fs::read(&path) {
+                Ok(b) => b,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(StoreError::Io(e)),
+            };
+            if bytes.is_empty() {
+                continue;
+            }
+            let byte = (apec_ec::rng::derive(seed, &format!("bitrot-byte-{j}"))
+                % bytes.len() as u64) as usize;
+            let bit = (apec_ec::rng::derive(seed, &format!("bitrot-bit-{j}")) % 8) as u8;
+            if let Some(b) = bytes.get_mut(byte) {
+                *b ^= 1u8 << bit; // raw-xor-ok: seeded fault injection, single bit
+            }
+            fs::write(&path, &bytes)?;
+            hits.push(BitrotHit {
+                id,
+                stripe,
+                node,
+                byte,
+                bit,
+            });
+        }
+        Ok(hits)
+    }
+
+    /// Heals one object in place: rebuilds missing/corrupt shards on
+    /// *live* nodes, rewrites them, and re-commits the manifest.
+    ///
+    /// Unlike [`Store::repair_all`] this takes the topology lock in
+    /// *read* mode (plus the object's write lock), so the maintenance
+    /// daemon can heal bit-rot while foreground traffic continues on
+    /// other objects. Shards on dead nodes are skipped (counted in
+    /// `skipped_dead`) — resurrecting a dead node is `repair_all`'s job.
+    ///
+    /// The exact path decodes only the wanted shards from the plan's
+    /// survivor set (the session's cached [`RepairPlan`] executor);
+    /// the tiered approximate path is the fallback when the erasure
+    /// pattern is beyond exact tolerance.
+    ///
+    /// [`RepairPlan`]: apec_ec::RepairPlan
+    pub fn repair_object(
+        &self,
+        session: &mut StoreSession,
+        id: &str,
+    ) -> Result<ObjectRepair, StoreError> {
+        Self::check_id(id)?;
+        let _topo = read_guard(&self.topo);
+        let object_lock = self.object_lock(id);
+        let _obj = write_guard(&object_lock);
+        let mut manifest = self.load_manifest(id)?;
+        let dead = self.state()?.dead_nodes;
+        let mut out = ObjectRepair {
+            fully_recovered: true,
+            ..ObjectRepair::default()
+        };
+        let mut touched = false;
+        for s in 0..manifest.leaves.len() {
+            let leaf_row = manifest
+                .leaves
+                .get(s)
+                .ok_or_else(|| {
+                    StoreError::Corrupt(format!("manifest for '{id}' missing stripe {s}"))
+                })?
+                .clone();
+            let mut rows: Vec<Option<Vec<u8>>> = Vec::with_capacity(leaf_row.len());
+            for (node, expected) in leaf_row.iter().enumerate() {
+                match self.read_shard_checked(node, id, s, expected)? {
+                    ShardRead::Ok(payload) => rows.push(Some(payload)),
+                    ShardRead::Missing => rows.push(None),
+                    ShardRead::Corrupt => {
+                        out.integrity_failures += 1;
+                        rows.push(None);
+                    }
+                }
+            }
+            let missing: Vec<usize> = rows
+                .iter()
+                .enumerate()
+                .filter_map(|(i, r)| r.is_none().then_some(i))
+                .collect();
+            if missing.is_empty() {
+                continue;
+            }
+            let rebuild: Vec<usize> = missing
+                .iter()
+                .copied()
+                .filter(|n| !dead.contains(n))
+                .collect();
+            out.skipped_dead += missing.len() - rebuild.len();
+            if rebuild.is_empty() {
+                continue;
+            }
+            // Exact plan-driven partial decode first; approximate tiered
+            // reconstruction only when the pattern is beyond tolerance.
+            match self.decode_exact(session, &rows, &missing, &rebuild) {
+                Ok(decoded) => {
+                    for (&node, payload) in rebuild.iter().zip(decoded) {
+                        if let Some(slot) = rows.get_mut(node) {
+                            *slot = Some(payload);
+                        }
+                    }
+                }
+                Err(EcError::TooManyErasures { .. } | EcError::UnrecoverablePattern { .. }) => {
+                    let report = self.code.reconstruct_tiered(&mut rows)?;
+                    out.fully_recovered &= report.fully_recovered;
+                    out.bytes_lost += report
+                        .lost_ranges
+                        .iter()
+                        .map(|(_, r)| r.len())
+                        .sum::<usize>();
+                }
+                Err(e) => return Err(e.into()),
+            }
+            for &node in &rebuild {
+                let payload = rows.get(node).and_then(|r| r.as_deref()).ok_or_else(|| {
+                    StoreError::Corrupt(format!(
+                        "repair of '{id}' stripe {s} did not materialise node {node}"
+                    ))
+                })?;
+                self.write_shard(node, id, s, payload)?;
+                out.shards_rebuilt += 1;
+                if let Some(slot) = manifest.leaves.get_mut(s).and_then(|row| row.get_mut(node)) {
+                    *slot = merkle::leaf(payload);
+                }
+                touched = true;
+            }
+        }
+        if touched {
+            manifest.meta.approximated |= !out.fully_recovered;
+            let rebuilt = Manifest::build(manifest.meta.clone(), manifest.leaves);
+            write_atomic(&self.manifest_path(id), rebuilt.to_json().as_bytes())?;
+        }
+        Ok(out)
     }
 }
 
@@ -874,5 +1225,163 @@ mod tests {
         }
         assert_eq!(store.list().unwrap().len(), 25);
         fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn scan_and_verify_report_shard_health() {
+        let root = temp_root("scan");
+        let store = Store::init(&root, test_config()).unwrap();
+        let mut sess = StoreSession::new();
+        let (imp, unimp) = payloads(400);
+        store.put_object(&mut sess, "obj", &imp, &unimp).unwrap();
+        let scan = store.scan_object("obj").unwrap();
+        assert!(scan.clean());
+        assert_eq!(scan.stripes.len(), store.stat("obj").unwrap().stripes);
+        assert!(scan
+            .stripes
+            .iter()
+            .all(|s| s.shards.len() == store.code().total_nodes()));
+        let framed = (CRC_BYTES + store.config().shard_len) as u64;
+        assert_eq!(
+            scan.bytes_scanned,
+            framed * (scan.stripes.len() * store.code().total_nodes()) as u64
+        );
+        // One flipped bit: scan and verify_shard both demote it to Corrupt.
+        let victim = store.shard_path(3, "obj", 0);
+        let mut bytes = fs::read(&victim).unwrap();
+        bytes[CRC_BYTES + 7] ^= 0x04; // raw-xor-ok: test fault injection, single byte
+        fs::write(&victim, &bytes).unwrap();
+        let scan = store.scan_object("obj").unwrap();
+        assert_eq!(scan.corrupt, 1);
+        assert_eq!(scan.missing, 0);
+        assert_eq!(scan.stripes[0].failed_nodes(), vec![3]);
+        assert_eq!(store.verify_shard("obj", 0, 3).unwrap(), ShardHealth::Corrupt);
+        assert_eq!(store.verify_shard("obj", 0, 4).unwrap(), ShardHealth::Ok);
+        assert!(store.verify_shard("obj", 0, 99).is_err());
+        // A killed node shows up as Missing, not Corrupt.
+        store.kill_node(8).unwrap();
+        let scan = store.scan_object("obj").unwrap();
+        assert_eq!(scan.missing, scan.stripes.len());
+        assert_eq!(store.verify_shard("obj", 0, 8).unwrap(), ShardHealth::Missing);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn inject_bitrot_is_seeded_and_deterministic() {
+        // Two stores with identical contents: the same seed must corrupt
+        // the same (object, stripe, node, byte, bit) targets in both.
+        let mut all_hits = Vec::new();
+        let mut roots = Vec::new();
+        for run in 0..2 {
+            let root = temp_root(&format!("inject{run}"));
+            let store = Store::init(&root, test_config()).unwrap();
+            let mut sess = StoreSession::new();
+            let (imp, unimp) = payloads(350);
+            for id in ["clip-a", "clip-b", "clip-c"] {
+                store.put_object(&mut sess, id, &imp, &unimp).unwrap();
+            }
+            let hits = store.inject_bitrot(9, 5).unwrap();
+            assert_eq!(hits.len(), 5);
+            // Distinct shard files, every one now scanning corrupt.
+            let mut keys: Vec<_> = hits.iter().map(|h| (h.id.clone(), h.stripe, h.node)).collect();
+            keys.sort();
+            keys.dedup();
+            assert_eq!(keys.len(), 5, "flips land on distinct shard files");
+            let mut found = 0;
+            for id in ["clip-a", "clip-b", "clip-c"] {
+                let scan = store.scan_object(id).unwrap();
+                assert_eq!(scan.missing, 0);
+                found += scan.corrupt;
+            }
+            assert_eq!(found, 5, "every injected flip is surfaced by a scan");
+            all_hits.push(hits);
+            roots.push(root);
+        }
+        assert_eq!(all_hits[0], all_hits[1], "same seed, same hits");
+        let other = Store::open(&roots[0]).unwrap().inject_bitrot(10, 5).unwrap();
+        assert_ne!(all_hits[0], other, "different seed, different hits");
+        for root in roots {
+            fs::remove_dir_all(&root).unwrap();
+        }
+    }
+
+    #[test]
+    fn repair_object_heals_bitrot_under_read_topology() {
+        let root = temp_root("objrepair");
+        let store = Store::init(&root, test_config()).unwrap();
+        let mut sess = StoreSession::new();
+        let (imp, unimp) = payloads(420);
+        store.put_object(&mut sess, "a", &imp, &unimp).unwrap();
+        store.put_object(&mut sess, "b", &imp, &unimp).unwrap();
+        let hits = store.inject_bitrot(21, 3).unwrap();
+        assert_eq!(hits.len(), 3);
+        for id in ["a", "b"] {
+            let repair = store.repair_object(&mut sess, id).unwrap();
+            assert!(repair.fully_recovered);
+            assert_eq!(repair.bytes_lost, 0);
+            assert_eq!(repair.skipped_dead, 0);
+            let scan = store.scan_object(id).unwrap();
+            assert!(scan.clean(), "repair_object left '{id}' clean");
+            let out = store.read_object(&mut sess, id, &[]).unwrap();
+            assert!(!out.degraded);
+            assert_eq!((out.important, out.unimportant), (imp.clone(), unimp.clone()));
+        }
+        // A second pass is a no-op.
+        let repair = store.repair_object(&mut sess, "a").unwrap();
+        assert_eq!(repair.shards_rebuilt, 0);
+        assert_eq!(repair.integrity_failures, 0);
+        // Dead-node shards are skipped, not resurrected: that stays
+        // repair_all's job, and the dead set survives the object heal.
+        store.kill_node(5).unwrap();
+        let repair = store.repair_object(&mut sess, "a").unwrap();
+        let stripes = store.stat("a").unwrap().stripes;
+        assert_eq!(repair.skipped_dead, stripes);
+        assert_eq!(repair.shards_rebuilt, 0);
+        assert_eq!(store.state().unwrap().dead_nodes, vec![5]);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    // Skipped under Miri: the proptest runner is far too slow there and the
+    // property is pure std-fs + arithmetic anyway.
+    #[cfg(not(miri))]
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+            /// A single bit flipped at *any* position in a committed
+            /// shard file — CRC header bytes included — is always
+            /// surfaced as an erasure and decoded around: the read
+            /// returns byte-exact data and counts exactly one integrity
+            /// failure. Corruption is never returned as data.
+            #[test]
+            fn any_single_bit_flip_is_surfaced_as_erasure(
+                node in 0usize..17,
+                stripe_pick in 0usize..64,
+                byte_pick in 0usize..(CRC_BYTES + 3 * 64),
+                bit in 0u8..8,
+            ) {
+                let root = temp_root("prop-bitflip");
+                let store = Store::init(&root, test_config()).unwrap();
+                let mut sess = StoreSession::new();
+                let (imp, unimp) = payloads(300);
+                store.put_object(&mut sess, "obj", &imp, &unimp).unwrap();
+                let stripes = store.stat("obj").unwrap().stripes;
+                let stripe = stripe_pick % stripes;
+                let victim = store.shard_path(node, "obj", stripe);
+                let mut bytes = fs::read(&victim).unwrap();
+                let byte = byte_pick % bytes.len();
+                bytes[byte] ^= 1u8 << bit; // raw-xor-ok: test fault injection, single bit
+                fs::write(&victim, &bytes).unwrap();
+                prop_assert_eq!(store.verify_shard("obj", stripe, node).unwrap(), ShardHealth::Corrupt);
+                let out = store.read_object(&mut sess, "obj", &[]).unwrap();
+                prop_assert_eq!(out.integrity_failures, 1);
+                prop_assert!(out.degraded && !out.approximate);
+                prop_assert_eq!(&out.important, &imp);
+                prop_assert_eq!(&out.unimportant, &unimp);
+                fs::remove_dir_all(&root).unwrap();
+            }
+        }
     }
 }

@@ -1,0 +1,152 @@
+//! Stripe-exposure classification for repair prioritization.
+//!
+//! The Facebook warehouse study (Rashmi et al., PAPERS.md 1309.0186)
+//! observes that repair traffic dominates real clusters and argues for
+//! scheduling repairs by *exposure* — how close a stripe is to data
+//! loss — rather than by arrival order. This module turns an observed
+//! erasure pattern into that ordering, reusing the code's own
+//! decodability oracle ([`ApproxCode::can_recover_all`]) so the
+//! classification is exact for every family the framework supports, not
+//! a parity-count heuristic.
+//!
+//! The maintenance daemon's repair queue (`apec-maint`) sorts on this:
+//! `Critical` (already losing data) drains first, then `ToleranceOne`
+//! (one more failure loses data), then `Degraded`.
+
+use apec_ec::ErasureCode;
+use approx_code::ApproxCode;
+
+/// How close an erasure pattern is to data loss, most urgent last so
+/// `Ord` ranks urgency directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Exposure {
+    /// No shards lost.
+    Healthy,
+    /// Shards lost, but at least two more arbitrary failures are
+    /// survivable.
+    Degraded,
+    /// One more arbitrary shard failure makes the stripe unrecoverable
+    /// (tolerance-1): repair these first among the recoverable.
+    ToleranceOne,
+    /// The pattern is already beyond exact recovery — only the
+    /// approximate tier can answer reads.
+    Critical,
+}
+
+impl Exposure {
+    /// Stable lowercase name (JSON reports, bench rows).
+    pub fn name(self) -> &'static str {
+        match self {
+            Exposure::Healthy => "healthy",
+            Exposure::Degraded => "degraded",
+            Exposure::ToleranceOne => "tolerance1",
+            Exposure::Critical => "critical",
+        }
+    }
+}
+
+/// Classifies one stripe's erasure pattern.
+///
+/// `failed` lists the node indices whose shard is missing or corrupt.
+/// The check is exact: a pattern is `ToleranceOne` iff some single
+/// additional failure produces a pattern the code cannot fully recover.
+pub fn classify_stripe(code: &ApproxCode, failed: &[usize]) -> Exposure {
+    if failed.is_empty() {
+        return Exposure::Healthy;
+    }
+    if !code.can_recover_all(failed) {
+        return Exposure::Critical;
+    }
+    let total = code.total_nodes();
+    let mut probe: Vec<usize> = Vec::with_capacity(failed.len() + 1);
+    for extra in 0..total {
+        if failed.contains(&extra) {
+            continue;
+        }
+        probe.clear();
+        probe.extend_from_slice(failed);
+        probe.push(extra);
+        if !code.can_recover_all(&probe) {
+            return Exposure::ToleranceOne;
+        }
+    }
+    Exposure::Degraded
+}
+
+/// The worst exposure across an object's stripes — the priority the
+/// whole object repairs at.
+pub fn classify_object<'a, I>(code: &ApproxCode, stripes: I) -> Exposure
+where
+    I: IntoIterator<Item = &'a [usize]>,
+{
+    stripes
+        .into_iter()
+        .map(|failed| classify_stripe(code, failed))
+        .max()
+        .unwrap_or(Exposure::Healthy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approx_code::{ApprParams, ApproxCode, BaseFamily, Structure};
+
+    fn demo_code() -> ApproxCode {
+        let params =
+            ApprParams::new(4, 1, 2, 3, Structure::Uneven, BaseFamily::Rs).unwrap();
+        ApproxCode::new(params, BaseFamily::Rs).unwrap()
+    }
+
+    #[test]
+    fn ordering_ranks_urgency() {
+        assert!(Exposure::Critical > Exposure::ToleranceOne);
+        assert!(Exposure::ToleranceOne > Exposure::Degraded);
+        assert!(Exposure::Degraded > Exposure::Healthy);
+        assert_eq!(Exposure::ToleranceOne.name(), "tolerance1");
+    }
+
+    #[test]
+    fn classification_matches_the_code_oracle() {
+        let code = demo_code();
+        assert_eq!(classify_stripe(&code, &[]), Exposure::Healthy);
+        let total = code.total_nodes();
+        // Exhaustive single failures: never Healthy, never Critical
+        // (every single loss is recoverable for this code), and the
+        // tolerance-1 call agrees with brute force over pairs.
+        for a in 0..total {
+            let got = classify_stripe(&code, &[a]);
+            assert_ne!(got, Exposure::Healthy);
+            assert_ne!(got, Exposure::Critical, "single loss of {a} recoverable");
+            let brute_t1 = (0..total)
+                .filter(|&b| b != a)
+                .any(|b| !code.can_recover_all(&[a, b]));
+            let want = if brute_t1 {
+                Exposure::ToleranceOne
+            } else {
+                Exposure::Degraded
+            };
+            assert_eq!(got, want, "node {a}");
+        }
+        // An unrecoverable pattern is Critical: two data nodes of the
+        // same local stripe plus its local parity exceeds r=1 locally
+        // and g=2 globally can't absorb three from one stripe.
+        let p = code.params();
+        let bad = [p.data_node(1, 0), p.data_node(1, 1), p.data_node(1, 2)];
+        if !code.can_recover_all(&bad) {
+            assert_eq!(classify_stripe(&code, &bad), Exposure::Critical);
+        }
+    }
+
+    #[test]
+    fn object_priority_is_the_worst_stripe() {
+        let code = demo_code();
+        let healthy: &[usize] = &[];
+        let one: &[usize] = &[0];
+        assert_eq!(
+            classify_object(&code, [healthy, healthy]),
+            Exposure::Healthy
+        );
+        let worst = classify_stripe(&code, one);
+        assert_eq!(classify_object(&code, [healthy, one]), worst);
+    }
+}

@@ -19,6 +19,7 @@
 //! | [`policy`] | demotion policies over per-object access stats |
 //! | [`engine`] | the tier state machine executing traces on a cluster |
 //! | [`cost`] | read-latency DAGs and byte-tick storage accounting |
+//! | [`exposure`] | stripe-exposure classification (repair urgency) |
 //! | [`report`] | the serialisable, digest-stable [`TierReport`] |
 //!
 //! Everything is deterministic: the same seed produces a byte-identical
@@ -39,11 +40,13 @@
 
 pub mod cost;
 pub mod engine;
+pub mod exposure;
 pub mod policy;
 pub mod report;
 pub mod workload;
 
 pub use cost::{simulate_object_read, TierCosts};
+pub use exposure::{classify_object, classify_stripe, Exposure};
 pub use engine::{
     ColdCodeSpec, HotCode, ReadOutcome, Tier, TierConfig, TierEngine, TierError, VideoProfile,
 };

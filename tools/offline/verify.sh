@@ -59,7 +59,8 @@ CRATES=(
   "apec_audit:crates/audit/src/lib.rs:apec_gf apec_bitmatrix apec_ec apec_rs apec_lrc apec_xor approx_code"
   "apec_tier:crates/tier/src/lib.rs:apec_ec apec_rs apec_lrc approx_code apec_video apec_recovery apec_analysis apec_cluster rand serde serde_json"
   "apec_store:crates/store/src/lib.rs:apec_ec approx_code"
-  "apec_serve:crates/serve/src/lib.rs:apec_ec apec_store apec_tier"
+  "apec_maint:crates/maint/src/lib.rs:apec_ec apec_store apec_tier approx_code"
+  "apec_serve:crates/serve/src/lib.rs:apec_ec apec_store apec_tier apec_maint"
   "approximate_code:src/lib.rs:apec_gf apec_bitmatrix apec_ec apec_rs apec_lrc apec_xor approx_code apec_video apec_recovery apec_analysis apec_cluster apec_audit apec_tier rand"
 )
 
@@ -155,7 +156,7 @@ echo "== cli: build the apec binary, unit tests, serve/load smoke"
 # the BENCH_serve.json it writes against the registered schema.
 CLI_EXTERNS=()
 for d in apec_audit apec_ec approx_code apec_video apec_recovery \
-         apec_serve apec_store apec_tier; do
+         apec_maint apec_serve apec_store apec_tier; do
   CLI_EXTERNS+=(--extern "$d=$LIBDIR/lib$d.rlib")
 done
 "$RUSTC" "${COMMON[@]}" --crate-name apec --crate-type bin "${CLI_EXTERNS[@]}" \
@@ -177,10 +178,20 @@ for _ in $(seq 1 50); do
   sleep 0.1
 done
 "$TESTDIR/apec" load --addr "$SERVE_ADDR" --seed 7 \
+  --bitrot 4 --scrub-json "$OUT/BENCH_scrub.json" \
   --json "$OUT/BENCH_serve.json" --shutdown 1
 wait "$SERVE_PID"
 trap - EXIT
-echo "  serve/load smoke ok ($OUT/BENCH_serve.json)"
+echo "  serve/load smoke ok ($OUT/BENCH_serve.json, $OUT/BENCH_scrub.json)"
+# Standalone maintenance pass over the now-offline vault: inject seeded
+# bit-rot, then prove one synchronous scrub finds and heals all of it
+# (the cli exits non-zero if any stripe cannot be fully recovered).
+"$TESTDIR/apec" scrub --dir "$SERVE_DIR" --inject 3 --inject-seed 99 --repair 1
+# Capture, then grep: `grep -q` exits at first match and the still-
+# printing cli would take an EPIPE under pipefail.
+RESCRUB=$("$TESTDIR/apec" scrub --dir "$SERVE_DIR")
+grep -q "0 unhealthy shards" <<<"$RESCRUB"
+echo "  scrub smoke ok"
 
 echo "== xtask: build, unit tests, fixture regressions, workspace lint"
 # xtask is dependency-free, so this lane needs no stubs. The fixture
@@ -235,7 +246,7 @@ CARGO_MANIFEST_DIR="$OUT/bench-manifest/sub" \
 echo "  bench tier_benches smoke ok ($OUT/BENCH_tier.json)"
 # Schema-validate the freshly generated artifacts too (the smoke runs
 # write them under $OUT, one directory above the fake manifest dir).
-"$TESTDIR/xtask" bench-check "$OUT/BENCH_repair.json" "$OUT/BENCH_encode.json" "$OUT/BENCH_tier.json" "$OUT/BENCH_serve.json"
+"$TESTDIR/xtask" bench-check "$OUT/BENCH_repair.json" "$OUT/BENCH_encode.json" "$OUT/BENCH_tier.json" "$OUT/BENCH_serve.json" "$OUT/BENCH_scrub.json"
 echo "  bench-check (generated artifacts) ok"
 
 if [ "$RUN_CLIPPY" = 1 ]; then

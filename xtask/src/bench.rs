@@ -245,11 +245,14 @@ impl Kind {
 }
 
 /// One bench family's schema: required top-level fields plus required
-/// fields on every `results` row.
+/// fields on every `results` row. `row_values` pins an enumerated row
+/// field: every listed value must appear on some row (a latency table
+/// that silently drops an op column passes field checks but not this).
 struct Schema {
     bench: &'static str,
     top: &'static [(&'static str, Kind)],
     row: &'static [(&'static str, Kind)],
+    row_values: &'static [(&'static str, &'static [&'static str])],
 }
 
 /// The registry. A new bench suite must add its schema here or
@@ -267,6 +270,7 @@ const SCHEMAS: &[Schema] = &[
             ("micros_per_object", Kind::Num),
             ("gib_per_s", Kind::Num),
         ],
+        row_values: &[],
     },
     Schema {
         bench: "gf-kernel-ablation",
@@ -277,6 +281,7 @@ const SCHEMAS: &[Schema] = &[
             ("block_bytes", Kind::Num),
             ("mib_per_s", Kind::Num),
         ],
+        row_values: &[],
     },
     Schema {
         bench: "repair-plan-executor",
@@ -290,6 +295,7 @@ const SCHEMAS: &[Schema] = &[
             ("read_shards", Kind::Num),
             ("rebuilt_shards", Kind::Num),
         ],
+        row_values: &[],
     },
     Schema {
         bench: "serve-load",
@@ -311,6 +317,7 @@ const SCHEMAS: &[Schema] = &[
             ("p99_ms", Kind::Num),
             ("mean_ms", Kind::Num),
         ],
+        row_values: &[("op", &["put", "get", "kill", "repair", "stat"])],
     },
     Schema {
         bench: "tier-lifecycle",
@@ -327,6 +334,27 @@ const SCHEMAS: &[Schema] = &[
             ("psnr_mean_db", Kind::NumOrNull),
             ("digest", Kind::Str),
         ],
+        row_values: &[],
+    },
+    Schema {
+        bench: "scrub",
+        top: &[
+            ("seed", Kind::Num),
+            ("injected", Kind::Num),
+            ("detected", Kind::Num),
+            ("healed", Kind::Num),
+            ("detection_latency_ms", Kind::Num),
+            ("heal_latency_ms", Kind::Num),
+            ("time_to_heal_ms", Kind::Num),
+            ("scrub_mib_per_s", Kind::Num),
+            ("cache_hit_rate", Kind::Num),
+            ("sweep_mismatches", Kind::Num),
+        ],
+        row: &[("metric", Kind::Str), ("value", Kind::Num)],
+        row_values: &[(
+            "metric",
+            &["scrub_passes", "bytes_scanned", "cache_hits", "sweep_reads"],
+        )],
     },
 ];
 
@@ -390,6 +418,18 @@ pub fn check_doc(src: &str) -> Result<(String, usize), Vec<String>> {
                     v.kind()
                 )),
                 None => problems.push(format!("results[{i}] missing required field `{name}`")),
+            }
+        }
+    }
+    for (field, required) in schema.row_values {
+        for want in *required {
+            let present = rows.iter().any(|row| {
+                matches!(row.field(field), Some(Json::Str(s)) if s == want)
+            });
+            if !present {
+                problems.push(format!(
+                    "no results row has {field} = {want:?} (required for bench {bench:?})"
+                ));
             }
         }
     }
@@ -511,15 +551,54 @@ mod tests {
             "mismatches": 0, "errors": 0,
             "results": [
                 {"op": "put", "requests": 8, "p50_ms": 3.2, "p99_ms": 5.2, "mean_ms": 3.5},
-                {"op": "get", "requests": 240, "p50_ms": 1.8, "p99_ms": 9.1, "mean_ms": 2.1}
+                {"op": "get", "requests": 240, "p50_ms": 1.8, "p99_ms": 9.1, "mean_ms": 2.1},
+                {"op": "kill", "requests": 2, "p50_ms": 0.7, "p99_ms": 2.4, "mean_ms": 1.6},
+                {"op": "repair", "requests": 2, "p50_ms": 11.1, "p99_ms": 13.2, "mean_ms": 12.2},
+                {"op": "stat", "requests": 8, "p50_ms": 0.3, "p99_ms": 0.4, "mean_ms": 0.3}
             ]
         }"#;
-        assert_eq!(check_doc(src).unwrap(), ("serve-load".to_string(), 2));
+        assert_eq!(check_doc(src).unwrap(), ("serve-load".to_string(), 5));
         // A renamed latency field must fail loudly, not drift silently.
         let drifted = src.replace("p99_ms", "p99_millis");
         let problems = check_doc(&drifted).unwrap_err();
         assert!(
             problems.iter().any(|p| p.contains("missing required field `p99_ms`")),
+            "{problems:?}"
+        );
+        // Dropping an op row (the old lumped-admin shape) fails too.
+        let lumped = src.replace("\"kill\"", "\"admin\"");
+        let problems = check_doc(&lumped).unwrap_err();
+        assert!(
+            problems.iter().any(|p| p.contains("no results row has op = \"kill\"")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn scrub_doc_passes_and_requires_core_metrics() {
+        let src = r#"{
+            "bench": "scrub", "seed": 7, "injected": 4, "detected": 4, "healed": 4,
+            "detection_latency_ms": 26.7, "heal_latency_ms": 26.7,
+            "time_to_heal_ms": 25.4, "scrub_mib_per_s": 6.3,
+            "cache_hit_rate": 0.786, "sweep_mismatches": 0,
+            "results": [
+                {"metric": "scrub_passes", "value": 3},
+                {"metric": "bytes_scanned", "value": 139944},
+                {"metric": "cache_hits", "value": 195},
+                {"metric": "sweep_reads", "value": 8}
+            ]
+        }"#;
+        assert_eq!(check_doc(src).unwrap(), ("scrub".to_string(), 4));
+        let missing = src.replace("\"cache_hit_rate\": 0.786,", "");
+        let problems = check_doc(&missing).unwrap_err();
+        assert!(
+            problems.iter().any(|p| p.contains("missing required field `cache_hit_rate`")),
+            "{problems:?}"
+        );
+        let dropped = src.replace("\"scrub_passes\"", "\"scrub_rounds\"");
+        let problems = check_doc(&dropped).unwrap_err();
+        assert!(
+            problems.iter().any(|p| p.contains("no results row has metric = \"scrub_passes\"")),
             "{problems:?}"
         );
     }

@@ -65,6 +65,7 @@ pub const PANIC_SCOPE: &[&str] = &[
     "crates/tier/src/engine.rs",
     "crates/recovery/src/",
     "crates/store/src/",
+    "crates/maint/src/",
     "crates/serve/src/",
 ];
 
@@ -98,7 +99,12 @@ pub const ARITH_FIELDS: &[&str] = &[
 /// The only modules allowed to use `Ordering::Relaxed`: the segment
 /// work counter and its loom model, and the daemon's monotonic metric
 /// counters (each module's comment documents why Relaxed suffices).
-pub const RELAXED_ALLOWED: &[&str] = &["crates/ec/src/parallel", "crates/serve/src/metrics.rs"];
+pub const RELAXED_ALLOWED: &[&str] = &[
+    "crates/ec/src/parallel",
+    "crates/serve/src/metrics.rs",
+    "crates/maint/src/status.rs",
+    "crates/maint/src/cache.rs",
+];
 
 /// Crates under the concurrency-hygiene policy.
 pub const CONCURRENCY_SCOPE: &[&str] = &[
@@ -110,6 +116,7 @@ pub const CONCURRENCY_SCOPE: &[&str] = &[
     "crates/tier/",
     "crates/recovery/",
     "crates/store/",
+    "crates/maint/",
     "crates/serve/",
 ];
 

@@ -9,8 +9,9 @@
 //! * **`transitive-panic`** — every function reachable from a serving
 //!   root ([`PANIC_ROOTS`]: `decode`, `reconstruct`/`reconstruct_tiered`,
 //!   `plan_repair`/`execute_plan`, `read_object`/`repair_object`, tier
-//!   `read_object`/`repair_node`, and the daemon's `handle_request`/
-//!   `serve_get`/`serve_degraded_get`) must be panic-free;
+//!   `read_object`/`repair_node`, the daemon's `handle_request`/
+//!   `serve_get`/`serve_degraded_get`, and the maintenance subsystem's
+//!   `scrub_tick`/`drain_repairs`/`run_scrub`) must be panic-free;
 //! * **`transitive-alloc`** — every function reachable from
 //!   [`ALLOC_ROOTS`] (`encode_into`, `apply_into`) must not allocate
 //!   fresh buffers.
@@ -50,6 +51,9 @@ pub const PANIC_ROOTS: &[&str] = &[
     "handle_request",
     "serve_get",
     "serve_degraded_get",
+    "scrub_tick",
+    "drain_repairs",
+    "run_scrub",
 ];
 
 /// Zero-allocation roots: the session layer's hot encode contract.
