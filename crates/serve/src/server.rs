@@ -167,7 +167,13 @@ fn slot_guard(slot: &Mutex<Option<TcpStream>>) -> std::sync::MutexGuard<'_, Opti
 /// ordering and bail out itself.
 fn interrupt_all(slots: &ActiveSlots) {
     for slot in slots {
-        if let Some(conn) = slot_guard(slot).as_ref() {
+        // Take the stream out and let the guard drop before the socket
+        // syscall: `shutdown()` can block, and a worker parked on this
+        // slot mutex needs it released to observe the stop flag. The
+        // worker clears its own slot after serving, so taking the
+        // duplicated handle here loses nothing.
+        let conn = slot_guard(slot).take();
+        if let Some(conn) = conn {
             let _ = conn.shutdown(std::net::Shutdown::Both);
         }
     }
@@ -305,9 +311,12 @@ pub fn serve(
                         // Register the connection so shutdown can close
                         // it out from under a blocked read; the slot
                         // mutex also orders the stop-flag check below
-                        // against a concurrent interrupt_all walk.
+                        // against a concurrent interrupt_all walk. The
+                        // dup syscall runs before the guard is taken —
+                        // never blocking while the slot is held.
+                        let dup = conn.try_clone().ok();
                         if let Some(slot) = active.get(i) {
-                            *slot_guard(slot) = conn.try_clone().ok();
+                            *slot_guard(slot) = dup;
                         }
                         if stop.load(Ordering::Acquire) {
                             if let Some(slot) = active.get(i) {

@@ -12,6 +12,7 @@
 //! | [`merkle`] | per-object Merkle trees over stripe shard digests |
 //! | [`json`] | dependency-free JSON reader/writer for the metadata files |
 //! | [`meta`] | config / state / manifest schemas + crash-safe atomic writes |
+//! | [`lock_table`] | fixed-width sharded object lock table (ordered pair path) |
 //! | [`store`] | the [`Store`] handle: locked, integrity-checked object I/O |
 //!
 //! On-disk layout (one directory per store):
@@ -34,8 +35,9 @@
 //! panic or a silent misparse.
 //!
 //! The [`Store`] handle is `Sync`: reads of distinct objects run fully in
-//! parallel, reads of one object run in parallel with each other, and
-//! writers (put / kill / repair) are excluded at object or topology
+//! parallel (modulo rare shard collisions in the fixed-width
+//! [`lock_table`]), reads of one object run in parallel with each other,
+//! and writers (put / kill / repair) are excluded at object or topology
 //! granularity — see the locking table in [`store`].
 
 #![forbid(unsafe_code)]
@@ -44,6 +46,7 @@
 pub mod crc;
 pub mod hash;
 pub mod json;
+pub mod lock_table;
 pub mod merkle;
 pub mod meta;
 pub mod store;

@@ -1,0 +1,284 @@
+//! Sharded per-object lock table for the [`Store`](crate::Store).
+//!
+//! The store used to keep one lazily-created `Arc<RwLock<()>>` per
+//! object id inside a `Mutex<HashMap>`. That design had two costs: the
+//! map grew monotonically (a long-lived daemon serving millions of ids
+//! leaks an `Arc` + `RwLock` per id forever), and every acquisition
+//! took the map mutex *before* the object lock — a hidden second lock
+//! class on every hot-path read.
+//!
+//! This table replaces the map with a fixed array of [`SHARD_COUNT`]
+//! reader-writer cells. An object id hashes (FNV-1a) to one cell:
+//!
+//! * memory is O(`SHARD_COUNT`), independent of how many ids exist;
+//! * acquisition is hash + one lock — no map mutex on the path;
+//! * two objects that collide in a cell falsely contend, but reads
+//!   (the common case) still share the cell, so only writer/writer and
+//!   writer/reader collisions serialise — with 64 cells and object-id
+//!   working sets in the tens, collisions are rare and harmless.
+//!
+//! # Lock ordering
+//!
+//! A single-cell guard never takes a second cell, so the table alone
+//! cannot deadlock. The two-object path ([`LockTable::write_pair`],
+//! used by multi-object maintenance) locks its two cells in **ascending
+//! shard-index order** — the total order that makes opposite-argument
+//! callers (`write_pair("a", "b")` racing `write_pair("b", "a")`)
+//! converge on the same acquisition sequence instead of deadlocking.
+//! The claim is machine-checked twice:
+//!
+//! * `cargo xtask lint` sees the second acquisition inside `write_pair`
+//!   as a same-class cross-lock site; the `lock-ok` waiver on it is the
+//!   auditable record of the ordering argument;
+//! * the [`loom_model`] module (`RUSTFLAGS="--cfg loom" cargo test -p
+//!   apec-store --lib lock_table --release`) explores every
+//!   interleaving of two threads taking two cells in opposite argument
+//!   order and proves none deadlocks; a std-thread stress test runs the
+//!   same shape on every normal CI pass.
+
+#[cfg(loom)]
+use loom::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+#[cfg(not(loom))]
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Number of lock cells. A power of two so the hash folds with a mask;
+/// 64 keeps the table at one cache line of lock words per few objects
+/// while making writer collisions between distinct hot ids unlikely.
+#[cfg(not(loom))]
+pub const SHARD_COUNT: usize = 64;
+/// Under loom the state space must stay tractable: two cells are enough
+/// to model every ordering the full-width table can exhibit, because
+/// cells are independent and only relative order matters.
+#[cfg(loom)]
+pub const SHARD_COUNT: usize = 2;
+
+/// Acquire a read guard, absorbing poisoning from a panicked holder
+/// (the guarded data lives on disk; the in-memory token carries none).
+fn read_guard<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    match lock.read() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Acquire a write guard, absorbing poisoning.
+fn write_guard<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    match lock.write() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Fixed-width sharded lock table mapping object ids to reader-writer
+/// cells. See the module docs for the design and ordering discipline.
+pub struct LockTable {
+    cells: Vec<RwLock<()>>,
+}
+
+impl Default for LockTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Write guards over the (one or two) cells covering a pair of object
+/// ids, released together on drop. Field order is the drop order —
+/// the second-acquired cell unlocks first, the exact reverse of
+/// acquisition.
+pub struct PairWriteGuard<'a> {
+    _second: Option<RwLockWriteGuard<'a, ()>>,
+    _first: RwLockWriteGuard<'a, ()>,
+}
+
+impl LockTable {
+    /// A table with [`SHARD_COUNT`] unlocked cells.
+    pub fn new() -> Self {
+        LockTable {
+            cells: (0..SHARD_COUNT).map(|_| RwLock::new(())).collect(),
+        }
+    }
+
+    /// FNV-1a over the id bytes, folded to a shard index. Deterministic
+    /// across runs (no RandomState) so lock-contention behaviour is
+    /// reproducible under the load harness.
+    fn shard_of(id: &str) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in id.as_bytes() {
+            h ^= u64::from(*b); // raw-xor-ok: FNV-1a hash mixing, not a codec kernel
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+        (h as usize) & (SHARD_COUNT - 1)
+    }
+
+    /// The cell at `idx`. Total without a panic path: `idx` is already
+    /// masked below `SHARD_COUNT`, and the `last()` fallback keeps the
+    /// lint's panic-freedom argument structural rather than arithmetic.
+    fn cell(&self, idx: usize) -> &RwLock<()> {
+        match self.cells.get(idx).or_else(|| self.cells.last()) {
+            Some(cell) => cell,
+            // panic-ok: cells is built with SHARD_COUNT >= 1 entries in new()
+            None => unreachable!("lock table has at least one cell"),
+        }
+    }
+
+    /// Shared lock covering `id` — reads of one object run concurrently
+    /// with each other and with traffic on other objects.
+    pub fn read_lock(&self, id: &str) -> RwLockReadGuard<'_, ()> {
+        read_guard(self.cell(Self::shard_of(id)))
+    }
+
+    /// Exclusive lock covering `id`.
+    pub fn write_lock(&self, id: &str) -> RwLockWriteGuard<'_, ()> {
+        write_guard(self.cell(Self::shard_of(id)))
+    }
+
+    /// Exclusive locks covering both `a` and `b`, for multi-object
+    /// operations that must exclude traffic on either id atomically.
+    /// Cells are acquired in ascending shard-index order regardless of
+    /// argument order; when both ids share a cell only one lock is
+    /// taken (a same-cell double-write would self-deadlock).
+    pub fn write_pair(&self, a: &str, b: &str) -> PairWriteGuard<'_> {
+        let (i, j) = (Self::shard_of(a), Self::shard_of(b));
+        let (lo, hi) = if i <= j { (i, j) } else { (j, i) };
+        let first = write_guard(self.cell(lo));
+        let second = if lo == hi {
+            None
+        } else {
+            // lock-ok: second cell taken strictly above the held one in the ascending shard-index total order (lo < hi); the lock_table loom model proves opposite-argument callers cannot deadlock
+            Some(write_guard(self.cell(hi)))
+        };
+        PairWriteGuard {
+            _second: second,
+            _first: first,
+        }
+    }
+}
+
+/// Exhaustive loom check of the pair path: two threads take write
+/// locks over the same two ids in *opposite argument order*. Without
+/// the ascending-index discipline this is the textbook AB/BA deadlock;
+/// loom explores every interleaving and proves both threads always
+/// complete. Ids are chosen so they land in distinct cells under the
+/// loom-width table (`SHARD_COUNT == 2`).
+#[cfg(loom)]
+mod loom_model {
+    use super::{LockTable, SHARD_COUNT};
+    use loom::sync::Arc;
+    use loom::thread;
+
+    /// Two ids guaranteed to occupy different cells.
+    fn distinct_ids() -> (&'static str, &'static str) {
+        let candidates = ["a", "b", "c", "d", "e"];
+        for x in candidates {
+            for y in candidates {
+                if LockTable::shard_of(x) != LockTable::shard_of(y) {
+                    return (x, y);
+                }
+            }
+        }
+        // panic-ok: loom harness helper, never compiled into the crate
+        unreachable!("{SHARD_COUNT} cells cannot swallow five candidate ids");
+    }
+
+    #[test]
+    fn opposite_order_write_pairs_cannot_deadlock() {
+        loom::model(|| {
+            let (a, b) = distinct_ids();
+            let table = Arc::new(LockTable::new());
+            let t = {
+                let table = Arc::clone(&table);
+                thread::spawn(move || {
+                    let _g = table.write_pair(b, a);
+                })
+            };
+            let _g = table.write_pair(a, b);
+            drop(_g);
+            t.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn same_cell_pair_takes_one_lock() {
+        loom::model(|| {
+            let table = LockTable::new();
+            // Same id twice always collapses to a single cell — a
+            // double write-lock here would self-deadlock instantly.
+            let _g = table.write_pair("x", "x");
+        });
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn shard_of_is_deterministic_and_in_range() {
+        for id in ["", "a", "clip_0", "some-long-object-identifier-000"] {
+            let s = LockTable::shard_of(id);
+            assert!(s < SHARD_COUNT);
+            assert_eq!(s, LockTable::shard_of(id));
+        }
+    }
+
+    #[test]
+    fn reads_of_one_id_are_concurrent() {
+        let table = LockTable::new();
+        let g1 = table.read_lock("obj");
+        let g2 = table.read_lock("obj");
+        drop(g1);
+        drop(g2);
+    }
+
+    #[test]
+    fn write_excludes_write_on_same_id() {
+        let table = Arc::new(LockTable::new());
+        let g = table.write_lock("obj");
+        let t = {
+            let table = Arc::clone(&table);
+            thread::spawn(move || {
+                let _g = table.write_lock("obj");
+            })
+        };
+        // The spawned writer must be blocked until we release.
+        thread::sleep(std::time::Duration::from_millis(20));
+        drop(g);
+        t.join().expect("writer finishes after release");
+    }
+
+    #[test]
+    fn same_id_pair_collapses_to_one_cell() {
+        let table = LockTable::new();
+        // Would self-deadlock if write_pair double-locked the cell.
+        let _g = table.write_pair("x", "x");
+    }
+
+    /// Std-thread mirror of the loom model: many rounds of two threads
+    /// taking the same pair in opposite argument order. A deadlock here
+    /// hangs the suite (caught by the harness timeout) — with ascending
+    /// acquisition it always completes.
+    #[test]
+    fn opposite_order_write_pairs_complete() {
+        // Find two ids in distinct cells so both locks are really taken.
+        let ids = ["a", "b", "c", "d", "e"];
+        let (x, y) = ids
+            .iter()
+            .flat_map(|x| ids.iter().map(move |y| (*x, *y)))
+            .find(|(x, y)| LockTable::shard_of(x) != LockTable::shard_of(y))
+            .expect("five ids cannot all share one of 64 cells");
+        let table = Arc::new(LockTable::new());
+        for _ in 0..200 {
+            let t = {
+                let table = Arc::clone(&table);
+                thread::spawn(move || {
+                    let _g = table.write_pair(y, x);
+                })
+            };
+            let _g = table.write_pair(x, y);
+            drop(_g);
+            t.join().expect("no deadlock, no panic");
+        }
+    }
+}

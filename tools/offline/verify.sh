@@ -198,7 +198,8 @@ echo "== xtask: build, unit tests, fixture regressions, workspace lint"
 # integration tests include the lint module tree via #[path] and read
 # their fixtures relative to the repo root; the final invocation is the
 # real call-graph lint over the workspace, ratcheted against the
-# committed xtask/panic_baseline.json and xtask/transitive_baseline.json.
+# committed xtask/panic_baseline.json, xtask/transitive_baseline.json
+# and xtask/lock_baseline.json.
 "$RUSTC" --edition "$EDITION" -O --crate-name xtask \
   "$REPO/xtask/src/main.rs" -o "$TESTDIR/xtask"
 "$RUSTC" --edition "$EDITION" -O --crate-name xtask --test \
@@ -213,10 +214,16 @@ echo "  fixtures xtask ok"
   "$REPO/xtask/tests/callgraph_fixtures.rs" -o "$TESTDIR/xtask-cg-fixtures"
 (cd "$REPO" && "$TESTDIR/xtask-cg-fixtures" --test-threads "$(nproc)" -q)
 echo "  callgraph fixtures xtask ok"
-(cd "$REPO" && "$TESTDIR/xtask" lint --report "$OUT/panics.json" --sarif "$OUT/lint.sarif")
-echo "  lint + dual ratchet ok ($OUT/panics.json, $OUT/lint.sarif)"
+"$RUSTC" --edition "$EDITION" -O --crate-name lock_fixtures --test \
+  "$REPO/xtask/tests/lock_fixtures.rs" -o "$TESTDIR/xtask-lk-fixtures"
+(cd "$REPO" && "$TESTDIR/xtask-lk-fixtures" --test-threads "$(nproc)" -q)
+echo "  lock fixtures xtask ok"
+(cd "$REPO" && "$TESTDIR/xtask" lint --report "$OUT/panics.json" --sarif "$OUT/lint.sarif" \
+  --stats "$OUT/LINT_STATS.json" --enforce-time-budget)
+echo "  lint + triple ratchet ok ($OUT/panics.json, $OUT/lint.sarif, $OUT/LINT_STATS.json)"
+(cd "$REPO" && "$TESTDIR/xtask" bench-check "$OUT/LINT_STATS.json")
 (cd "$REPO" && "$TESTDIR/xtask" bench-check)
-echo "  bench-check (committed artifacts) ok"
+echo "  bench-check (lint stats + committed artifacts) ok"
 
 echo "== compiling benches (stub criterion; smoke-running repair_benches)"
 # The stub harness runs every registered routine once, so compiling is a

@@ -337,6 +337,22 @@ const SCHEMAS: &[Schema] = &[
         row_values: &[],
     },
     Schema {
+        bench: "lint-stats",
+        top: &[
+            ("files", Kind::Num),
+            ("fns", Kind::Num),
+            ("call_edges", Kind::Num),
+            ("lock_classes", Kind::Num),
+            ("acquisition_sites", Kind::Num),
+            ("order_edges", Kind::Num),
+        ],
+        row: &[("policy", Kind::Str), ("waivers", Kind::Num)],
+        row_values: &[(
+            "policy",
+            &["transitive-panic", "transitive-lock-order", "transitive-lock-io"],
+        )],
+    },
+    Schema {
         bench: "scrub",
         top: &[
             ("seed", Kind::Num),
@@ -599,6 +615,37 @@ mod tests {
         let problems = check_doc(&dropped).unwrap_err();
         assert!(
             problems.iter().any(|p| p.contains("no results row has metric = \"scrub_passes\"")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn lint_stats_doc_passes_and_catches_drift() {
+        let src = r#"{
+            "bench": "lint-stats", "files": 130, "fns": 2400, "call_edges": 5200,
+            "lock_classes": 11, "acquisition_sites": 68, "order_edges": 9,
+            "results": [
+                {"policy": "transitive-panic", "waivers": 6},
+                {"policy": "transitive-alloc", "waivers": 0},
+                {"policy": "transitive-lock-order", "waivers": 1},
+                {"policy": "transitive-lock-io", "waivers": 0}
+            ]
+        }"#;
+        assert_eq!(check_doc(src).unwrap(), ("lint-stats".to_string(), 4));
+        // Renaming a coverage counter must fail loudly.
+        let drifted = src.replace("lock_classes", "lock_kinds");
+        let problems = check_doc(&drifted).unwrap_err();
+        assert!(
+            problems.iter().any(|p| p.contains("missing required field `lock_classes`")),
+            "{problems:?}"
+        );
+        // Dropping a lock policy row (pass silently disabled) fails too.
+        let dropped = src.replace("\"transitive-lock-order\"", "\"transitive-lock-orderx\"");
+        let problems = check_doc(&dropped).unwrap_err();
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("no results row has policy = \"transitive-lock-order\"")),
             "{problems:?}"
         );
     }

@@ -60,6 +60,11 @@ pub const UBIQUITOUS_METHODS: &[&str] = &[
     "retain", "sort", "sort_unstable", "clone", "as_ref", "as_mut", "as_slice", "as_bytes",
     "to_string", "map", "and_then", "unwrap_or", "unwrap_or_default", "unwrap_or_else", "take",
     "copy_from_slice", "fill", "resize", "truncate", "reserve",
+    // `Path::join` / `JoinHandle::join` account for every unknown-receiver
+    // `.join(` in the workspace; fanning them to `ServeHandle::join` wired
+    // the store's path arithmetic into the daemon shutdown machinery and
+    // poisoned every held-lock trace through `manifest_path`.
+    "join",
 ];
 
 /// Rust keywords that can precede `(` without being calls.
@@ -76,6 +81,10 @@ pub struct Edge {
     pub callee: usize,
     /// 1-based line of the call site (in the caller's file).
     pub line: u32,
+    /// Token index of the call's name token in the caller's file stream.
+    /// The lock pass intersects this with guard-lifetime extents to know
+    /// which locks are held when the call is made.
+    pub tok: usize,
 }
 
 /// One hazard site inside a function body.
@@ -239,7 +248,7 @@ fn scan_body(
                         _ => resolve_method(table, name),
                     };
                     for callee in callees {
-                        edges.insert(Edge { callee, line });
+                        edges.insert(Edge { callee, line, tok: j });
                     }
                 }
             }
@@ -253,14 +262,14 @@ fn scan_body(
                     .filter(|t| t.kind == TokKind::Ident)
                     .map(|t| t.text.as_str());
                 for callee in resolve_path(table, f, qual, name) {
-                    edges.insert(Edge { callee, line });
+                    edges.insert(Edge { callee, line, tok: j });
                 }
             }
         } else if name == "with_capacity" {
             g.alloc_hazards[id].push(hazard(comments, line, "with_capacity(…)", "alloc-ok:"));
         } else {
             for callee in resolve_free(table, name) {
-                edges.insert(Edge { callee, line });
+                edges.insert(Edge { callee, line, tok: j });
             }
         }
         j += 1;
@@ -514,7 +523,9 @@ mod tests {
     #[test]
     fn direct_call_edge() {
         let (t, g) = graph("fn a() { b(1); }\nfn b(x: u8) {}\n");
-        assert_eq!(g.edges[id(&t, "a")], vec![Edge { callee: id(&t, "b"), line: 1 }]);
+        let edges: Vec<(usize, u32)> =
+            g.edges[id(&t, "a")].iter().map(|e| (e.callee, e.line)).collect();
+        assert_eq!(edges, vec![(id(&t, "b"), 1)]);
     }
 
     #[test]
@@ -544,7 +555,8 @@ mod tests {
         let (t, g) = graph(src);
         let e = id(&t, "encode_into");
         assert_eq!(g.alloc_hazards[e].len(), 1, "with_capacity");
-        assert_eq!(g.edges[e], vec![Edge { callee: id(&t, "helper"), line: 2 }]);
+        let edges: Vec<(usize, u32)> = g.edges[e].iter().map(|e| (e.callee, e.line)).collect();
+        assert_eq!(edges, vec![(id(&t, "helper"), 2)]);
         assert_eq!(g.alloc_hazards[id(&t, "helper")].len(), 1, "vec!");
     }
 
@@ -664,9 +676,10 @@ mod tests {
                    fn a(x: &Foo) { let p = Probe { n: 1 }; p.arm(); x.arm(); }\n";
         let (t, g) = graph(src);
         // Both resolve to Probe::arm — the literal binding precisely, the
-        // unknown receiver via conservative fan-out.
+        // unknown receiver via conservative fan-out. Edges are per call
+        // site (distinct `tok`), so the same callee appears twice.
         let callees: Vec<usize> = g.edges[id(&t, "a")].iter().map(|e| e.callee).collect();
-        assert_eq!(callees, vec![id(&t, "arm")]);
+        assert_eq!(callees, vec![id(&t, "arm"), id(&t, "arm")]);
     }
 
     #[test]

@@ -1,0 +1,1286 @@
+//! Static lock-order and blocking-under-lock analysis.
+//!
+//! The workspace's concurrency story spans three layers — `crates/store`'s
+//! sharded object lock table under a topology `RwLock`, `crates/maint`'s
+//! repair queue and sharded cache, and `crates/serve`'s worker pool — and
+//! a deadlock between them would hang the daemon, not crash it, so no
+//! panic policy catches the bug class. This pass makes deadlock-freedom a
+//! reachability policy like panic-freedom already is:
+//!
+//! 1. **Lock classes.** Every acquisition site — direct argless
+//!    `.lock()`/`.read()`/`.write()`, the store's guard wrappers
+//!    (`read_guard`/`write_guard`), the lock-table accessors
+//!    (`read_lock`/`write_lock`/`write_pair`), maint's poison-absorbing
+//!    `lock()` helper, serve's `guard()`/`slot_guard()` — is mapped to a
+//!    typed class from [`LOCK_CLASSES`] by file prefix plus the receiver /
+//!    argument idents. Unknown locks get an automatic `<crate>.<ident>`
+//!    class so nothing escapes the graph. Classes may declare a **rank**
+//!    (the global acquisition order, lower first) and an **io_ok**
+//!    justification when holding the lock across I/O is the design.
+//!
+//! 2. **Guard lifetimes.** A `let g = <acquire>` guard lives to the end of
+//!    its enclosing block, truncated at an early `drop(g)`; a temporary
+//!    guard lives to the end of its statement, extended through the block
+//!    (and any `else` continuation) when the statement is an
+//!    `if let`/`while let`/`match` head — the exact shape that held serve's
+//!    connection-slot lock across `shutdown()`.
+//!
+//! 3. **Held-set propagation.** Call-graph edges carry the token index of
+//!    the call site, so the held-lock set at each call is known and is
+//!    propagated along the PR 7 call graph (every non-test fn is a seed;
+//!    the serving/maintenance roots in [`LOCK_ROOTS`] are the review
+//!    anchor). Acquiring class B while holding class A adds the order edge
+//!    A→B; cycles, declared-rank inversions, and same-class re-acquisition
+//!    become `transitive-lock-order` findings, and blocking I/O under a
+//!    non-`io_ok` guard becomes `transitive-lock-io` — each carrying the
+//!    full root→acquire→acquire trace in the PR 7 format.
+//!
+//! Waivers use `// lock-ok: <invariant>` on the flagged line (or the line
+//! above) and are ratcheted against `xtask/lock_baseline.json`, the third
+//! committed baseline. Every waived cross-lock site must be backed by a
+//! loom model (see `crates/store/src/lock_table.rs`).
+
+use super::callgraph::CallGraph;
+use super::lexer::{Lexed, Tok, TokKind};
+use super::report::Finding;
+use super::rules::marker;
+use super::scopes::Scopes;
+use super::symbols::{FnSym, SymbolTable};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+
+/// Serving/maintenance roots the lock policy is anchored on: the same
+/// entry points as the transitive panic policy's daemon/maintenance
+/// subset. Propagation seeds *every* non-test fn (so helpers like the
+/// lock table's `write_pair` are analyzed even when a root does not reach
+/// them), but these names are asserted reachable-and-analyzed in tests
+/// and documented as the paths the policy exists to protect.
+pub const LOCK_ROOTS: &[&str] = &[
+    "handle_request",
+    "serve_get",
+    "serve_degraded_get",
+    "read_object",
+    "repair_object",
+    "scrub_tick",
+    "drain_repairs",
+    "run_scrub",
+];
+
+/// One declared lock class.
+pub struct LockClassSpec {
+    /// Stable class name used in diagnostics and `--stats`.
+    pub name: &'static str,
+    /// File prefix the class's acquisition sites live under.
+    pub prefix: &'static str,
+    /// Receiver/argument idents that identify the lock. Empty = any
+    /// acquisition under `prefix` (only safe for single-lock files).
+    pub idents: &'static [&'static str],
+    /// Position in the global acquisition order (lower first). `None`
+    /// marks a leaf lock never held across another acquisition.
+    pub rank: Option<u32>,
+    /// One-line justification when holding this lock across blocking I/O
+    /// is the documented design; `None` bans I/O under the guard.
+    pub io_ok: Option<&'static str>,
+}
+
+/// The declarative lock-order table. Ranks define the one legal global
+/// acquisition order; every `io_ok` entry names the invariant that makes
+/// I/O under that guard deliberate rather than an oversight.
+pub const LOCK_CLASSES: &[LockClassSpec] = &[
+    LockClassSpec {
+        name: "cli.session",
+        prefix: "crates/cli/",
+        idents: &["session"],
+        rank: Some(10),
+        io_ok: Some("the vault serializes whole CLI operations through one store session"),
+    },
+    LockClassSpec {
+        name: "serve.conn-queue",
+        prefix: "crates/serve/",
+        idents: &["inner"],
+        rank: Some(20),
+        io_ok: None,
+    },
+    LockClassSpec {
+        name: "serve.conn-slot",
+        prefix: "crates/serve/",
+        idents: &["slot", "slots"],
+        rank: Some(21),
+        io_ok: None,
+    },
+    LockClassSpec {
+        name: "store.topo",
+        prefix: "crates/store/",
+        idents: &["topo"],
+        rank: Some(30),
+        io_ok: Some("the topology lock *is* the store's reader/repairer barrier over on-disk shards"),
+    },
+    LockClassSpec {
+        name: "store.object",
+        prefix: "crates/store/",
+        idents: &["locks", "shards", "cell", "cells"],
+        rank: Some(40),
+        io_ok: Some("per-object locks serialize shard/meta file access by design (store locking matrix)"),
+    },
+    LockClassSpec {
+        name: "maint.cache-shard",
+        prefix: "crates/maint/src/cache.rs",
+        idents: &[],
+        rank: Some(50),
+        io_ok: None,
+    },
+    LockClassSpec {
+        name: "maint.status",
+        prefix: "crates/maint/src/status.rs",
+        idents: &[],
+        rank: Some(51),
+        io_ok: None,
+    },
+    LockClassSpec {
+        name: "xor.plan-cache",
+        prefix: "crates/xor/",
+        idents: &["plan_cache"],
+        rank: Some(70),
+        io_ok: None,
+    },
+    LockClassSpec {
+        name: "core.plan-cache",
+        prefix: "crates/core/",
+        idents: &["cache"],
+        rank: Some(71),
+        io_ok: None,
+    },
+    LockClassSpec {
+        name: "rs.decode-cache",
+        prefix: "crates/rs/",
+        idents: &["decode_cache"],
+        rank: Some(72),
+        io_ok: None,
+    },
+    // Leaf instrumentation locks: never held across another acquisition,
+    // so they carry no rank — an edge out of one is a cycle-or-nothing.
+    LockClassSpec {
+        name: "ec.iostats",
+        prefix: "crates/ec/",
+        idents: &["nodes"],
+        rank: None,
+        io_ok: None,
+    },
+    LockClassSpec {
+        name: "ec.parallel-cells",
+        prefix: "crates/ec/",
+        idents: &["cells", "error", "results"],
+        rank: None,
+        io_ok: None,
+    },
+    LockClassSpec {
+        name: "ec.claim-hits",
+        prefix: "crates/ec/",
+        idents: &["hits"],
+        rank: None,
+        io_ok: None,
+    },
+];
+
+/// Free functions whose *call* is a lock acquisition (guard-returning
+/// wrappers). Their own bodies are skipped — the caller's call site is
+/// the acquisition, not the wrapper's interior `.lock()`.
+const WRAPPER_FREE_FNS: &[&str] = &["read_guard", "write_guard", "mutex_guard", "lock", "slot_guard"];
+
+/// Methods whose call is a lock acquisition, with the file prefix that
+/// activates the mapping and the class it resolves to. Outside the
+/// prefix the name falls through to auto-classing.
+const WRAPPER_METHODS: &[(&str, &str, &str)] = &[
+    ("guard", "crates/serve/", "serve.conn-queue"),
+    ("session", "crates/cli/", "cli.session"),
+    ("read_lock", "crates/store/", "store.object"),
+    ("write_lock", "crates/store/", "store.object"),
+    ("write_pair", "crates/store/", "store.object"),
+];
+
+/// Fns whose bodies are *not* scanned for acquisitions: single-guard
+/// wrappers where the caller-side call site already models the lock.
+/// `write_pair` is deliberately absent — its interior double acquisition
+/// is exactly the cross-lock site the policy must see (and waive against
+/// the loom model).
+const WRAPPER_DEF_NAMES: &[&str] = &[
+    "read_guard",
+    "write_guard",
+    "mutex_guard",
+    "lock",
+    "slot_guard",
+    "guard",
+    "session",
+    "read_lock",
+    "write_lock",
+];
+
+/// Blocking method names (called as `.name(...)`): file/socket I/O and
+/// frame transport. Condvar `wait`/`wait_timeout` are deliberately not
+/// here — parking a guard on its own condvar is the one sanctioned way
+/// to block while holding it.
+const BLOCKING_METHODS: &[&str] = &[
+    "sync_all",
+    "sync_data",
+    "flush",
+    "read_exact",
+    "read_to_end",
+    "write_all",
+    "accept",
+    "connect",
+    "shutdown",
+    "try_clone",
+    "read_frame",
+    "write_frame",
+];
+
+/// Blocking free/path calls, keyed by the `::` qualifier immediately
+/// before the name (e.g. `fs::write`, `thread::sleep`).
+const BLOCKING_PATHS: &[(&str, &[&str])] = &[
+    (
+        "fs",
+        &[
+            "read",
+            "write",
+            "open",
+            "create",
+            "copy",
+            "rename",
+            "metadata",
+            "read_dir",
+            "read_to_string",
+            "remove_file",
+            "remove_dir_all",
+            "create_dir_all",
+        ],
+    ),
+    ("File", &["open", "create", "options"]),
+    ("TcpStream", &["connect"]),
+    ("TcpListener", &["bind"]),
+    ("thread", &["sleep"]),
+];
+
+/// Frame-transport helpers also callable as free fns.
+const BLOCKING_FREE: &[&str] = &["read_frame", "write_frame"];
+
+/// Acquisition methods recognized in direct argless form.
+const DIRECT_ACQUIRE: &[&str] = &["lock", "read", "write"];
+
+/// Machine-readable coverage counters for `--stats`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LockStats {
+    /// Distinct lock classes with at least one acquisition site.
+    pub classes: usize,
+    /// Total acquisition sites modeled.
+    pub acquisition_sites: usize,
+    /// Distinct edges in the lock-order graph.
+    pub order_edges: usize,
+}
+
+/// One modeled acquisition: class + guard-live token extent.
+struct Acq {
+    class: usize,
+    line: u32,
+    tok: usize,
+    /// Guard live over tokens in `(tok, end)`.
+    end: usize,
+}
+
+/// One blocking operation site.
+struct Blk {
+    line: u32,
+    tok: usize,
+    what: String,
+}
+
+#[derive(Default)]
+struct FnLocks {
+    acqs: Vec<Acq>,
+    blks: Vec<Blk>,
+}
+
+/// Interns class names; ids index a bitmask (capped at 64 classes —
+/// far above the table plus plausible auto-classes; overflow classes are
+/// tracked but not propagated).
+#[derive(Default)]
+struct ClassTable {
+    names: Vec<String>,
+    ids: HashMap<String, usize>,
+    ranks: Vec<Option<u32>>,
+    io_ok: Vec<bool>,
+}
+
+impl ClassTable {
+    fn intern(&mut self, name: &str, rank: Option<u32>, io_ok: bool) -> usize {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.names.len();
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), id);
+        self.ranks.push(rank);
+        self.io_ok.push(io_ok);
+        id
+    }
+}
+
+/// `crates/rs/src/lib.rs` → `rs::lib` (same qualifier as the transitive
+/// pass, so lock traces and panic traces read identically).
+fn qualify(file: &str) -> String {
+    let mut s = file;
+    s = s.strip_prefix("crates/").unwrap_or(s);
+    s = s.strip_suffix(".rs").unwrap_or(s);
+    let parts: Vec<&str> = s.split('/').filter(|p| *p != "src").collect();
+    parts.join("::")
+}
+
+fn crate_of(rel: &str) -> &str {
+    rel.strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("ws")
+}
+
+/// Maps an acquisition site to its class name via the declarative table,
+/// falling back to an automatic `<crate>.<ident>` class so unknown locks
+/// still participate in the graph (unranked, I/O banned).
+fn resolve_class(rel: &str, hints: &[&str]) -> (String, Option<u32>, bool) {
+    for spec in LOCK_CLASSES {
+        if rel.starts_with(spec.prefix)
+            && (spec.idents.is_empty() || hints.iter().any(|h| spec.idents.contains(h)))
+        {
+            return (spec.name.to_string(), spec.rank, spec.io_ok.is_some());
+        }
+    }
+    let ident = hints
+        .iter()
+        .find(|h| **h != "self")
+        .copied()
+        .unwrap_or("anon");
+    (format!("{}.{}", crate_of(rel), ident), None, false)
+}
+
+fn is_punct(t: &Tok, s: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == s
+}
+
+/// Idents naming the receiver chain before token `end` (exclusive),
+/// walking back through `.`/`::` chains and bracketed groups:
+/// `self.shards[i]` before `.write` yields `["shards", "self"]`.
+fn receiver_hints<'a>(toks: &'a [Tok], openers: &HashMap<usize, usize>, end: usize) -> Vec<&'a str> {
+    let mut hints = Vec::new();
+    let mut k = end;
+    loop {
+        if k == 0 {
+            break;
+        }
+        k -= 1;
+        let t = &toks[k];
+        if t.kind == TokKind::Punct && (t.text == ")" || t.text == "]") {
+            match openers.get(&k) {
+                Some(&open) if open > 0 => {
+                    // Keep idents inside an index expression as hints too:
+                    // `shards[lo]` — `shards` arrives via the next step.
+                    k = open;
+                    continue;
+                }
+                _ => break,
+            }
+        }
+        if t.kind == TokKind::Ident {
+            hints.push(t.text.as_str());
+            if k > 0 && (is_punct(&toks[k - 1], ".") || is_punct(&toks[k - 1], "::")) {
+                k -= 1;
+                continue;
+            }
+        }
+        break;
+    }
+    hints
+}
+
+/// Idents inside the argument list opening at `open` (a `(` token):
+/// `read_guard(&self.topo)` yields `["self", "topo"]`.
+fn arg_hints<'a>(toks: &'a [Tok], scopes: &Scopes, open: usize) -> Vec<&'a str> {
+    let Some(close) = scopes.matching(open) else {
+        return Vec::new();
+    };
+    toks[open + 1..close]
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect()
+}
+
+/// Whether the statement containing token `i` is a `let <name> = …`
+/// binding; returns the bound name. Walks back to the nearest statement
+/// boundary (`;`/`{`/`}`) — close enough for guard bindings, which are
+/// simple by convention.
+fn let_binding<'a>(toks: &'a [Tok], open: usize, i: usize) -> Option<&'a str> {
+    let mut k = i;
+    while k > open {
+        k -= 1;
+        let t = &toks[k];
+        if t.kind == TokKind::Punct && matches!(t.text.as_str(), ";" | "{" | "}") {
+            break;
+        }
+    }
+    let s = k + 1;
+    if !(toks.get(s)?.kind == TokKind::Ident && toks[s].text == "let") {
+        return None;
+    }
+    let mut p = s + 1;
+    if toks.get(p).is_some_and(|t| t.text == "mut") {
+        p += 1;
+    }
+    let name = toks.get(p)?;
+    if name.kind != TokKind::Ident || !is_punct(toks.get(p + 1)?, "=") {
+        return None;
+    }
+    // `let _ = guard` drops at the end of the statement — temporary
+    // semantics, not a scope-long binding.
+    if name.text == "_" {
+        return None;
+    }
+    Some(name.text.as_str())
+}
+
+/// Whether the acquisition call closing at `close` is immediately
+/// consumed by a chained method: `slot_guard(slot).take()` moves the
+/// inner value out and the guard itself dies at the end of the
+/// statement, so a `let` on such a statement binds the chain's
+/// *result*, not the guard. `unwrap`/`expect` are the exception — they
+/// peel the `LockResult` and hand the guard back, so the chain is
+/// skipped and the binding still names the guard.
+fn chained_past_guard(toks: &[Tok], scopes: &Scopes, mut close: usize) -> bool {
+    loop {
+        if !toks.get(close + 1).is_some_and(|t| is_punct(t, ".")) {
+            return false;
+        }
+        let Some(m) = toks.get(close + 2) else {
+            return false;
+        };
+        if m.kind != TokKind::Ident {
+            return false;
+        }
+        if matches!(m.text.as_str(), "unwrap" | "expect") {
+            match toks
+                .get(close + 3)
+                .filter(|t| is_punct(t, "("))
+                .and_then(|_| scopes.matching(close + 3))
+            {
+                Some(c) => {
+                    close = c;
+                    continue;
+                }
+                None => return false,
+            }
+        }
+        return true;
+    }
+}
+
+/// End of a temporary guard's extent starting after token `i`: the next
+/// `;` at this nesting level, extended through `{…}` blocks (and `else`
+/// continuations) hit first — an `if let`/`match` head keeps its
+/// scrutinee temporary alive through the body.
+fn temporary_extent(toks: &[Tok], scopes: &Scopes, i: usize, body_close: usize) -> usize {
+    let mut j = i + 1;
+    while j < body_close {
+        let t = &toks[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => {
+                    match scopes.matching(j) {
+                        Some(c) => {
+                            j = c + 1;
+                            continue;
+                        }
+                        None => return body_close,
+                    }
+                }
+                ";" => return j,
+                "{" => {
+                    let mut end = match scopes.matching(j) {
+                        Some(c) => c + 1,
+                        None => return body_close,
+                    };
+                    // `if let Some(g) = x.lock()… {…} else {…}` — the
+                    // temporary lives through the else arm too.
+                    while toks.get(end).is_some_and(|t| t.text == "else") {
+                        let mut k = end + 1;
+                        while k < body_close && !is_punct(&toks[k], "{") {
+                            k += 1;
+                        }
+                        match scopes.matching(k) {
+                            Some(c) => end = c + 1,
+                            None => return body_close,
+                        }
+                    }
+                    return end.min(body_close);
+                }
+                "}" => return j,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    body_close
+}
+
+/// Truncates a guard extent at an early `drop(name)`.
+fn truncate_at_drop(toks: &[Tok], name: &str, start: usize, end: usize) -> usize {
+    let mut d = start;
+    while d + 3 < end {
+        if toks[d].kind == TokKind::Ident
+            && toks[d].text == "drop"
+            && is_punct(&toks[d + 1], "(")
+            && toks[d + 2].text == name
+            && is_punct(&toks[d + 3], ")")
+        {
+            return d;
+        }
+        d += 1;
+    }
+    end
+}
+
+/// Scans one fn body for acquisitions and blocking operations.
+fn scan_fn(
+    rel: &str,
+    lexed: &Lexed,
+    scopes: &Scopes,
+    f: &FnSym,
+    nested_opens: &HashSet<usize>,
+    openers: &HashMap<usize, usize>,
+    classes: &mut ClassTable,
+) -> FnLocks {
+    let mut out = FnLocks::default();
+    let Some((open, close)) = f.body else {
+        return out;
+    };
+    let skip_acquires = WRAPPER_DEF_NAMES.contains(&f.name.as_str());
+    let toks = &lexed.toks;
+    // Innermost enclosing block close for scope-long guard extents.
+    let mut brace_stack: Vec<usize> = vec![close];
+    let mut i = open + 1;
+    while i < close {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct {
+            if t.text == "{" {
+                if nested_opens.contains(&i) {
+                    // A nested fn item: its body is scanned as its own
+                    // symbol, not as part of this one.
+                    i = scopes.matching(i).map_or(i + 1, |c| c + 1);
+                    continue;
+                }
+                if let Some(c) = scopes.matching(i) {
+                    brace_stack.push(c);
+                }
+            } else if t.text == "}" && brace_stack.last() == Some(&i) {
+                brace_stack.pop();
+            }
+            i += 1;
+            continue;
+        }
+        if t.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        let name = t.text.as_str();
+        let next_is_paren = toks.get(i + 1).is_some_and(|n| is_punct(n, "("));
+        let prev_dot = i > 0 && is_punct(&toks[i - 1], ".");
+        let prev_path = i > 0 && is_punct(&toks[i - 1], "::");
+        let prev_fn = i > 0 && toks[i - 1].kind == TokKind::Ident && toks[i - 1].text == "fn";
+
+        let mut acquired: Option<(String, Option<u32>, bool)> = None;
+        if next_is_paren && !skip_acquires && !prev_fn {
+            if prev_dot && DIRECT_ACQUIRE.contains(&name) {
+                // Argless `.lock()` / `.read()` / `.write()` only.
+                let empty = scopes.matching(i + 1) == Some(i + 2);
+                if empty {
+                    let hints = receiver_hints(toks, openers, i - 1);
+                    acquired = Some(resolve_class(rel, &hints));
+                }
+            } else if prev_dot {
+                if let Some((_, _, class)) = WRAPPER_METHODS
+                    .iter()
+                    .find(|(n, prefix, _)| *n == name && rel.starts_with(prefix))
+                {
+                    let spec = LOCK_CLASSES.iter().find(|s| s.name == *class);
+                    acquired = Some((
+                        class.to_string(),
+                        spec.and_then(|s| s.rank),
+                        spec.is_some_and(|s| s.io_ok.is_some()),
+                    ));
+                }
+            } else if !prev_path && WRAPPER_FREE_FNS.contains(&name) {
+                let hints = arg_hints(toks, scopes, i + 1);
+                acquired = Some(resolve_class(rel, &hints));
+            }
+        }
+        if let Some((class_name, rank, io_ok)) = acquired {
+            let class = classes.intern(&class_name, rank, io_ok);
+            let call_close = scopes.matching(i + 1).unwrap_or(i + 1);
+            let chained = chained_past_guard(toks, scopes, call_close);
+            let end = match let_binding(toks, open, i) {
+                Some(guard) if !chained => {
+                    let scope_end = *brace_stack.last().unwrap_or(&close);
+                    truncate_at_drop(toks, guard, i, scope_end)
+                }
+                _ => temporary_extent(toks, scopes, i, close),
+            };
+            out.acqs.push(Acq {
+                class,
+                line: t.line,
+                tok: i,
+                end,
+            });
+            i += 1;
+            continue;
+        }
+
+        // Blocking operations.
+        if next_is_paren && !prev_fn {
+            let blocking = if prev_dot {
+                BLOCKING_METHODS.contains(&name)
+            } else if prev_path {
+                i > 1
+                    && BLOCKING_PATHS.iter().any(|(qual, names)| {
+                        toks[i - 2].text == *qual && names.contains(&name)
+                    })
+            } else {
+                BLOCKING_FREE.contains(&name)
+            };
+            if blocking {
+                let what = if prev_path {
+                    format!("{}::{}", toks[i - 2].text, name)
+                } else {
+                    name.to_string()
+                };
+                out.blks.push(Blk {
+                    line: t.line,
+                    tok: i,
+                    what,
+                });
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// One order edge's representative observation.
+struct EdgeObs {
+    file: String,
+    line: u32,
+    /// Where the already-held lock was acquired.
+    holder: String,
+    /// Root→…→fn call chain (transitive-pass format).
+    chain: String,
+}
+
+/// One propagation state: a fn analyzed under a set of held classes.
+struct State {
+    fn_id: usize,
+    mask: u64,
+    /// `(parent state, call line)` for trace reconstruction.
+    parent: Option<(usize, u32)>,
+    /// `(class, "file:line")` acquisition sites backing `mask`.
+    held_sites: Vec<(usize, String)>,
+}
+
+fn chain_of(table: &SymbolTable, states: &[State], mut s: usize) -> String {
+    let mut hops: Vec<String> = Vec::new();
+    loop {
+        let f = &table.fns[states[s].fn_id];
+        let label = format!("{}::{}", qualify(&f.file), f.name);
+        match states[s].parent {
+            Some((parent, line)) => {
+                hops.push(format!(
+                    "→[{}:{line}] {label}",
+                    table.fns[states[parent].fn_id].file
+                ));
+                s = parent;
+            }
+            None => {
+                hops.push(label);
+                break;
+            }
+        }
+    }
+    hops.reverse();
+    hops.join(" ")
+}
+
+/// Pushes the finding for one flagged site, honoring `// lock-ok:`.
+#[allow(clippy::too_many_arguments)]
+fn push_finding(
+    findings: &mut Vec<Finding>,
+    comments: &HashMap<&str, &Lexed>,
+    file: &str,
+    line: u32,
+    detail: String,
+    trace: &str,
+) {
+    let rule = "transitive-lock-order";
+    let waiver = comments
+        .get(file)
+        .and_then(|l| marker(&l.comments, line, "lock-ok:"));
+    match waiver {
+        Some(inv) if !inv.is_empty() => findings.push(Finding::waived(
+            file,
+            line,
+            rule,
+            format!("{inv} [trace: {trace}]"),
+        )),
+        _ => findings.push(Finding::error(
+            file,
+            line,
+            rule,
+            format!("{detail}: {trace} — acquire in the declared order or restructure \
+                     (or justify with `// lock-ok: <invariant>` + a loom model)"),
+        )),
+    }
+}
+
+/// Runs the lock-order and blocking-under-lock policies, appending
+/// findings and returning coverage counters for `--stats`.
+pub fn run(
+    table: &SymbolTable,
+    graph: &CallGraph,
+    files: &[(String, Lexed, Scopes)],
+    findings: &mut Vec<Finding>,
+) -> LockStats {
+    let mut classes = ClassTable::default();
+
+    // Per-file precomputation: close→open map and nested fn body starts.
+    let mut openers_by_file: HashMap<usize, HashMap<usize, usize>> = HashMap::new();
+    let mut nested_by_file: HashMap<usize, HashSet<usize>> = HashMap::new();
+    for f in &table.fns {
+        if let Some((open, _)) = f.body {
+            nested_by_file.entry(f.file_idx).or_default().insert(open);
+        }
+    }
+    for f in &table.fns {
+        if f.body.is_none() || openers_by_file.contains_key(&f.file_idx) {
+            continue;
+        }
+        let lexed = &files[f.file_idx].1;
+        let scopes = &files[f.file_idx].2;
+        let mut rev = HashMap::new();
+        for i in 0..lexed.toks.len() {
+            if let Some(c) = scopes.matching(i) {
+                rev.insert(c, i);
+            }
+        }
+        openers_by_file.insert(f.file_idx, rev);
+    }
+
+    // Scan every non-test fn body once.
+    let empty_openers = HashMap::new();
+    let empty_nested = HashSet::new();
+    let fn_locks: Vec<FnLocks> = table
+        .fns
+        .iter()
+        .map(|f| {
+            if f.in_test || f.body.is_none() {
+                return FnLocks::default();
+            }
+            scan_fn(
+                &f.file,
+                &files[f.file_idx].1,
+                &files[f.file_idx].2,
+                f,
+                nested_by_file.get(&f.file_idx).unwrap_or(&empty_nested),
+                openers_by_file.get(&f.file_idx).unwrap_or(&empty_openers),
+                &mut classes,
+            )
+        })
+        .collect();
+
+    let comments: HashMap<&str, &Lexed> = files
+        .iter()
+        .map(|(rel, lexed, _)| (rel.as_str(), lexed))
+        .collect();
+
+    // Held-set propagation: BFS over (fn, held-mask) states. Roots first
+    // so serving-path traces anchor on LOCK_ROOTS, then every other fn.
+    let mut states: Vec<State> = Vec::new();
+    let mut visited: HashSet<(usize, u64)> = HashSet::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let seed = |states: &mut Vec<State>,
+                visited: &mut HashSet<(usize, u64)>,
+                queue: &mut VecDeque<usize>,
+                id: usize| {
+        if visited.insert((id, 0)) {
+            states.push(State {
+                fn_id: id,
+                mask: 0,
+                parent: None,
+                held_sites: Vec::new(),
+            });
+            queue.push_back(states.len() - 1);
+        }
+    };
+    for (id, f) in table.fns.iter().enumerate() {
+        if !f.in_test && LOCK_ROOTS.contains(&f.name.as_str()) {
+            seed(&mut states, &mut visited, &mut queue, id);
+        }
+    }
+    for (id, f) in table.fns.iter().enumerate() {
+        if !f.in_test && f.body.is_some() {
+            seed(&mut states, &mut visited, &mut queue, id);
+        }
+    }
+
+    let mut edges: BTreeMap<(usize, usize), EdgeObs> = BTreeMap::new();
+    let mut io_seen: BTreeSet<(String, u32, usize, String)> = BTreeSet::new();
+    let mut io_findings: Vec<(String, u32, String, String)> = Vec::new();
+
+    while let Some(s) = queue.pop_front() {
+        let fn_id = states[s].fn_id;
+        let mask = states[s].mask;
+        let f = &table.fns[fn_id];
+        let locks = &fn_locks[fn_id];
+        let site = |line: u32| format!("{}:{line}", f.file);
+
+        // Order edges: caller-held classes × own acquisitions, plus own
+        // guard nesting.
+        for b in &locks.acqs {
+            for &(held, ref held_site) in &states[s].held_sites {
+                edges.entry((held, b.class)).or_insert_with(|| EdgeObs {
+                    file: f.file.clone(),
+                    line: b.line,
+                    holder: held_site.clone(),
+                    chain: chain_of(table, &states, s),
+                });
+            }
+            for a in &locks.acqs {
+                if a.tok < b.tok && b.tok < a.end {
+                    edges.entry((a.class, b.class)).or_insert_with(|| EdgeObs {
+                        file: f.file.clone(),
+                        line: b.line,
+                        holder: site(a.line),
+                        chain: chain_of(table, &states, s),
+                    });
+                }
+            }
+        }
+
+        // Blocking ops under held guards.
+        for blk in &locks.blks {
+            let mut held: Vec<(usize, String)> = states[s].held_sites.clone();
+            held.extend(
+                locks
+                    .acqs
+                    .iter()
+                    .filter(|a| a.tok < blk.tok && blk.tok < a.end)
+                    .map(|a| (a.class, site(a.line))),
+            );
+            for (class, acq_site) in held {
+                if classes.io_ok[class] {
+                    continue;
+                }
+                if !io_seen.insert((f.file.clone(), blk.line, class, blk.what.clone())) {
+                    continue;
+                }
+                let chain = chain_of(table, &states, s);
+                io_findings.push((
+                    f.file.clone(),
+                    blk.line,
+                    format!(
+                        "blocking `{}` while holding lock class `{}` (acquired at {acq_site})",
+                        blk.what, classes.names[class]
+                    ),
+                    chain,
+                ));
+            }
+        }
+
+        // Propagate held sets along call edges whose site is inside a
+        // guard extent (or that already carry caller-held locks).
+        for e in &graph.edges[fn_id] {
+            let own: Vec<&Acq> = locks
+                .acqs
+                .iter()
+                .filter(|a| a.tok < e.tok && e.tok < a.end && a.class < 64)
+                .collect();
+            let mut next = mask;
+            for a in &own {
+                next |= 1 << a.class;
+            }
+            if next == 0 || !visited.insert((e.callee, next)) {
+                continue;
+            }
+            let mut held_sites = states[s].held_sites.clone();
+            for a in own {
+                if !held_sites.iter().any(|(c, _)| *c == a.class) {
+                    held_sites.push((a.class, site(a.line)));
+                }
+            }
+            states.push(State {
+                fn_id: e.callee,
+                mask: next,
+                parent: Some((s, e.line)),
+                held_sites,
+            });
+            queue.push_back(states.len() - 1);
+        }
+    }
+
+    let stats = LockStats {
+        classes: classes.names.len(),
+        acquisition_sites: fn_locks.iter().map(|l| l.acqs.len()).sum(),
+        order_edges: edges.len(),
+    };
+
+    // Strongly-connected components over the order graph (iterative
+    // Tarjan) — an edge inside a non-trivial SCC is part of a cycle.
+    let n = classes.names.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(a, b) in edges.keys() {
+        if a != b {
+            adj[a].push(b);
+        }
+    }
+    let scc = tarjan_scc(&adj);
+    let mut scc_size = vec![0usize; n];
+    for &comp in &scc {
+        scc_size[comp] += 1;
+    }
+
+    for ((a, b), obs) in &edges {
+        let (a, b) = (*a, *b);
+        let name_a = &classes.names[a];
+        let name_b = &classes.names[b];
+        if a == b {
+            push_finding(
+                findings,
+                &comments,
+                &obs.file,
+                obs.line,
+                format!(
+                    "lock class `{name_a}` re-acquired while already held \
+                     (first acquired at {})",
+                    obs.holder
+                ),
+                &obs.chain,
+            );
+        } else if scc[a] == scc[b] && scc_size[scc[a]] > 1 {
+            push_finding(
+                findings,
+                &comments,
+                &obs.file,
+                obs.line,
+                format!(
+                    "lock-order cycle: `{name_b}` acquired while holding `{name_a}` \
+                     (acquired at {}), and another path acquires them in the \
+                     opposite order — this can deadlock",
+                    obs.holder
+                ),
+                &obs.chain,
+            );
+        } else if let (Some(ra), Some(rb)) = (classes.ranks[a], classes.ranks[b]) {
+            if rb < ra {
+                push_finding(
+                    findings,
+                    &comments,
+                    &obs.file,
+                    obs.line,
+                    format!(
+                        "rank inversion: `{name_b}` (rank {rb}) acquired while \
+                         holding `{name_a}` (rank {ra}, acquired at {}) — the \
+                         declared order requires `{name_b}` first",
+                        obs.holder
+                    ),
+                    &obs.chain,
+                );
+            }
+        }
+    }
+
+    for (file, line, detail, chain) in io_findings {
+        let rule = "transitive-lock-io";
+        let waiver = comments
+            .get(file.as_str())
+            .and_then(|l| marker(&l.comments, line, "lock-ok:"));
+        match waiver {
+            Some(inv) if !inv.is_empty() => findings.push(Finding::waived(
+                &file,
+                line,
+                rule,
+                format!("{inv} [trace: {chain}]"),
+            )),
+            _ => findings.push(Finding::error(
+                &file,
+                line,
+                rule,
+                format!(
+                    "{detail}: {chain} — drop the guard before blocking \
+                     (or justify with `// lock-ok: <invariant>`)"
+                ),
+            )),
+        }
+    }
+
+    stats
+}
+
+/// Iterative Tarjan SCC: returns each node's component id.
+fn tarjan_scc(adj: &[Vec<usize>]) -> Vec<usize> {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![usize::MAX; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut next_comp = 0usize;
+    // Explicit DFS frames: (node, edge cursor).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        frames.push((start, 0));
+        index[start] = next_index;
+        lowlink[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+        while let Some(&(v, cursor)) = frames.last() {
+            if cursor < adj[v].len() {
+                let w = adj[v][cursor];
+                frames.last_mut().expect("frame just read").1 = cursor + 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp[w] = next_comp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+            }
+        }
+    }
+    comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::callgraph::build;
+    use crate::lint::lexer::lex;
+    use crate::lint::scopes::analyze;
+
+    fn run_at(rel: &str, src: &str) -> (Vec<Finding>, LockStats) {
+        let lexed = lex(src);
+        let scopes = analyze(&lexed);
+        let mut t = SymbolTable::default();
+        t.add_file(rel, 0, &lexed, &scopes);
+        let files = vec![(rel.to_string(), lexed, scopes)];
+        let g = build(&t, &files);
+        let mut f = Vec::new();
+        let stats = run(&t, &g, &files, &mut f);
+        (f, stats)
+    }
+
+    fn run_on(src: &str) -> (Vec<Finding>, LockStats) {
+        run_at("crates/x/src/lib.rs", src)
+    }
+
+    fn errors(f: &[Finding]) -> Vec<&Finding> {
+        f.iter().filter(|x| !x.waived).collect()
+    }
+
+    #[test]
+    fn opposite_order_across_fns_is_a_cycle() {
+        let src = "fn read_object(a: &M, b: &M) { let g = a.lock(); let h = b.lock(); }\n\
+                   fn scrub_tick(a: &M, b: &M) { let g = b.lock(); let h = a.lock(); }\n";
+        let (f, stats) = run_on(src);
+        let e = errors(&f);
+        assert_eq!(e.len(), 2, "{f:?}");
+        assert!(e.iter().all(|x| x.rule == "transitive-lock-order"));
+        assert!(e[0].detail.contains("cycle"), "{}", e[0].detail);
+        assert_eq!(stats.order_edges, 2);
+        assert_eq!(stats.classes, 2);
+        assert_eq!(stats.acquisition_sites, 4);
+    }
+
+    #[test]
+    fn consistent_order_is_silent() {
+        let src = "fn read_object(a: &M, b: &M) { let g = a.lock(); let h = b.lock(); }\n\
+                   fn scrub_tick(a: &M, b: &M) { let g = a.lock(); let h = b.lock(); }\n";
+        let (f, _) = run_on(src);
+        assert!(errors(&f).is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn early_drop_releases_the_guard() {
+        let src = "fn read_object(a: &M, b: &M) { let g = a.lock(); drop(g); let h = b.lock(); }\n\
+                   fn scrub_tick(a: &M, b: &M) { let g = b.lock(); drop(g); let h = a.lock(); }\n";
+        let (f, stats) = run_on(src);
+        assert!(errors(&f).is_empty(), "{f:?}");
+        assert_eq!(stats.order_edges, 0);
+    }
+
+    #[test]
+    fn same_class_reacquisition_is_flagged() {
+        let src = "fn read_object(a: &M) { let g = a.lock(); let h = a.lock(); }\n";
+        let (f, _) = run_on(src);
+        let e = errors(&f);
+        assert_eq!(e.len(), 1, "{f:?}");
+        assert!(e[0].detail.contains("re-acquired"), "{}", e[0].detail);
+    }
+
+    #[test]
+    fn io_under_guard_is_flagged_with_site() {
+        let src = "fn read_object(a: &M, f: &mut F) {\n    let g = a.lock();\n    f.sync_all();\n}\n";
+        let (f, _) = run_on(src);
+        let e = errors(&f);
+        assert_eq!(e.len(), 1, "{f:?}");
+        assert_eq!(e[0].rule, "transitive-lock-io");
+        assert_eq!(e[0].line, 3);
+        assert!(e[0].detail.contains("sync_all"), "{}", e[0].detail);
+        assert!(e[0].detail.contains("x.a"), "{}", e[0].detail);
+    }
+
+    #[test]
+    fn io_after_scope_end_is_silent() {
+        let src = "fn read_object(a: &M, f: &mut F) {\n    { let g = a.lock(); }\n    f.sync_all();\n}\n";
+        let (f, _) = run_on(src);
+        assert!(errors(&f).is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn held_set_propagates_with_root_trace() {
+        let src = "fn read_object(a: &M) { let g = a.lock(); helper(); }\n\
+                   fn helper(f: &mut F) { f.sync_all(); }\n";
+        let (f, _) = run_on(src);
+        let e = errors(&f);
+        assert_eq!(e.len(), 1, "{f:?}");
+        assert_eq!(e[0].rule, "transitive-lock-io");
+        assert_eq!(e[0].line, 2);
+        assert!(
+            e[0].detail
+                .contains("x::lib::read_object →[crates/x/src/lib.rs:1] x::lib::helper"),
+            "{}",
+            e[0].detail
+        );
+    }
+
+    #[test]
+    fn lock_ok_waives_and_keeps_the_trace() {
+        let src = "fn read_object(a: &M, f: &mut F) {\n    let g = a.lock();\n    \
+                   f.sync_all(); // lock-ok: single writer by construction\n}\n";
+        let (f, _) = run_on(src);
+        assert!(errors(&f).is_empty(), "{f:?}");
+        let w: Vec<_> = f.iter().filter(|x| x.waived).collect();
+        assert_eq!(w.len(), 1, "{f:?}");
+        assert!(w[0].detail.contains("single writer"), "{}", w[0].detail);
+        assert!(w[0].detail.contains("trace:"), "{}", w[0].detail);
+    }
+
+    #[test]
+    fn if_let_head_temporary_extends_through_body() {
+        let src = "fn read_object(a: &M, f: &mut F) {\n    \
+                   if let Some(v) = a.lock().get(0) { f.sync_all(); }\n}\n";
+        let (f, _) = run_on(src);
+        let e = errors(&f);
+        assert_eq!(e.len(), 1, "{f:?}");
+        assert_eq!(e[0].rule, "transitive-lock-io");
+    }
+
+    #[test]
+    fn statement_temporary_does_not_leak_past_semicolon() {
+        let src = "fn read_object(a: &M, f: &mut F) {\n    a.lock().push(1);\n    f.sync_all();\n}\n";
+        let (f, _) = run_on(src);
+        assert!(errors(&f).is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn chained_acquisition_binds_the_result_not_the_guard() {
+        // `.take()` consumes the guard inside the statement; `conn`
+        // holds the moved-out value, so blocking on it afterwards is
+        // guard-free.
+        let src = "fn read_object(a: &M, f: &mut F) {\n    \
+                   let conn = a.lock().take();\n    f.sync_all();\n}\n";
+        let (f, _) = run_on(src);
+        assert!(errors(&f).is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unwrap_chain_still_binds_the_guard() {
+        // `.unwrap()` peels the LockResult and returns the guard — the
+        // std idiom must keep its scope-long extent.
+        let src = "fn read_object(a: &M, f: &mut F) {\n    \
+                   let g = a.lock().unwrap();\n    f.sync_all();\n}\n";
+        let (f, _) = run_on(src);
+        let e = errors(&f);
+        assert_eq!(e.len(), 1, "{f:?}");
+        assert_eq!(e[0].rule, "transitive-lock-io");
+    }
+
+    #[test]
+    fn rank_inversion_uses_declared_classes() {
+        // store.object (rank 40) held while store.topo (rank 30) is
+        // acquired: backwards against the declared order.
+        let src = "fn read_object(s: &S, id: &str) {\n    \
+                   let o = s.locks.write_lock(id);\n    let t = s.topo.read();\n}\n";
+        let (f, _) = run_at("crates/store/src/store.rs", src);
+        let e = errors(&f);
+        assert_eq!(e.len(), 1, "{f:?}");
+        assert!(e[0].detail.contains("rank inversion"), "{}", e[0].detail);
+        assert!(e[0].detail.contains("store.topo"), "{}", e[0].detail);
+    }
+
+    #[test]
+    fn declared_order_topo_then_object_is_silent() {
+        let src = "fn read_object(s: &S, id: &str) {\n    \
+                   let t = s.topo.read();\n    let o = s.locks.read_lock(id);\n}\n";
+        let (f, _) = run_at("crates/store/src/store.rs", src);
+        assert!(errors(&f).is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn io_ok_class_permits_io_under_guard() {
+        // store.topo declares an io_ok justification: fs I/O under it is
+        // the documented design, not a finding.
+        let src = "fn read_object(s: &S, p: &P) {\n    let t = s.topo.read();\n    \
+                   let b = fs::read(p);\n}\n";
+        let (f, _) = run_at("crates/store/src/store.rs", src);
+        assert!(errors(&f).is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn wrapper_fn_interiors_are_not_double_counted() {
+        let src = "fn read_guard(l: &L) -> G { l.read().unwrap_or_else(|p| p.into_inner()) }\n\
+                   fn read_object(s: &S) { let t = read_guard(&s.topo); }\n";
+        let (_, stats) = run_at("crates/store/src/store.rs", src);
+        assert_eq!(stats.acquisition_sites, 1, "wrapper interior must not count");
+    }
+
+    #[test]
+    fn condvar_wait_is_not_blocking() {
+        let src = "fn read_object(q: &Q) {\n    let mut st = q.inner.lock();\n    \
+                   st = q.ready.wait(st);\n}\n";
+        let (f, _) = run_at("crates/serve/src/server.rs", src);
+        assert!(errors(&f).is_empty(), "{f:?}");
+    }
+}

@@ -16,6 +16,10 @@
 //! * [`transitive`] — panic-freedom and hot-path-allocation re-expressed
 //!   as reachability from the serving roots, every diagnostic carrying a
 //!   full call-path trace;
+//! * [`locks`] — static lock-order and blocking-under-lock analysis:
+//!   typed lock classes with guard-lifetime tracking, held-lock sets
+//!   propagated along the call graph, cycles/rank-inversions and I/O
+//!   under non-`io_ok` guards flagged with root→acquire traces;
 //! * [`sarif`] — SARIF 2.1.0 output (`--sarif`) for inline PR
 //!   annotations in CI.
 //!
@@ -26,14 +30,17 @@
 //! that broke earlier versions (`xtask/tests/fixtures/`).
 //!
 //! Waivers (`panic-ok:` / `wrap-ok:` / `raw-xor-ok:` / `clone-ok:` /
-//! `alloc-ok:`) are inventoried into `--report panics.json` and
-//! ratcheted: body-local rules against `xtask/panic_baseline.json`, the
-//! transitive rules against `xtask/transitive_baseline.json` — see
-//! [`report`]. Markers that no longer suppress anything are hard errors
-//! (`dead-waiver`, [`rules::detect_dead_waivers`]).
+//! `alloc-ok:` / `lock-ok:`) are inventoried into `--report panics.json`
+//! and ratcheted three ways: body-local rules against
+//! `xtask/panic_baseline.json`, transitive panic/alloc against
+//! `xtask/transitive_baseline.json`, and the lock policies against
+//! `xtask/lock_baseline.json` — see [`report`]. Markers that no longer
+//! suppress anything are hard errors (`dead-waiver`,
+//! [`rules::detect_dead_waivers`]).
 
 pub mod callgraph;
 pub mod lexer;
+pub mod locks;
 pub mod report;
 pub mod rules;
 pub mod sarif;
@@ -44,6 +51,7 @@ pub mod transitive;
 use report::Finding;
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 /// Parsed `lint` subcommand options.
 pub struct Options {
@@ -57,7 +65,15 @@ pub struct Options {
     /// Baseline for the transitive ratchet (default
     /// `xtask/transitive_baseline.json`).
     pub transitive_baseline_path: PathBuf,
-    /// Rewrite both baselines from the current counts instead of
+    /// Baseline for the lock-policy ratchet (default
+    /// `xtask/lock_baseline.json`).
+    pub lock_baseline_path: PathBuf,
+    /// Write machine-readable coverage stats (lint-stats schema) here.
+    pub stats_path: Option<PathBuf>,
+    /// Fail when the lock pass costs more wall-clock than the rest of
+    /// the lint combined (i.e. the pass more than doubled the runtime).
+    pub enforce_time_budget: bool,
+    /// Rewrite all baselines from the current counts instead of
     /// ratcheting.
     pub write_baseline: bool,
     /// Skip the ratchet entirely (local iteration).
@@ -71,6 +87,9 @@ impl Options {
             sarif_path: None,
             baseline_path: PathBuf::from("xtask/panic_baseline.json"),
             transitive_baseline_path: PathBuf::from("xtask/transitive_baseline.json"),
+            lock_baseline_path: PathBuf::from("xtask/lock_baseline.json"),
+            stats_path: None,
+            enforce_time_budget: false,
             write_baseline: false,
             no_ratchet: false,
         };
@@ -93,6 +112,15 @@ impl Options {
                     let p = it.next().ok_or("--transitive-baseline needs a path")?;
                     opts.transitive_baseline_path = PathBuf::from(p);
                 }
+                "--lock-baseline" => {
+                    let p = it.next().ok_or("--lock-baseline needs a path")?;
+                    opts.lock_baseline_path = PathBuf::from(p);
+                }
+                "--stats" => {
+                    let p = it.next().ok_or("--stats needs a path")?;
+                    opts.stats_path = Some(PathBuf::from(p));
+                }
+                "--enforce-time-budget" => opts.enforce_time_budget = true,
                 "--write-baseline" => opts.write_baseline = true,
                 "--no-ratchet" => opts.no_ratchet = true,
                 other => return Err(format!("unknown lint option {other:?}")),
@@ -114,6 +142,7 @@ fn graph_scoped(rel: &str) -> bool {
 /// Runs the whole pass from the workspace root. Returns `Ok` with summary
 /// lines to print, or `Err` with the failure report.
 pub fn run(root: &Path, opts: &Options) -> Result<Vec<String>, String> {
+    let t_start = Instant::now();
     let mut paths = Vec::new();
     for dir in rules::SCAN_ROOTS {
         collect_rs_files(&root.join(dir), &mut paths);
@@ -153,6 +182,13 @@ pub fn run(root: &Path, opts: &Options) -> Result<Vec<String>, String> {
     let graph = callgraph::build(&table, &files);
     transitive::run(&table, &graph, &mut findings);
 
+    // Lock-order & blocking-under-lock pass, individually timed so the
+    // --enforce-time-budget gate can prove it stays within its share of
+    // the lint's wall clock.
+    let t_lock = Instant::now();
+    let lock_stats = locks::run(&table, &graph, &files, &mut findings);
+    let lock_elapsed = t_lock.elapsed();
+
     // Dead-waiver check: needs the complete waived-line map (body-local
     // AND transitive waivers both keep a marker alive).
     let mut waived_lines: BTreeMap<&str, BTreeSet<u32>> = BTreeMap::new();
@@ -168,6 +204,21 @@ pub fn run(root: &Path, opts: &Options) -> Result<Vec<String>, String> {
         }
     }
     findings.extend(dead);
+
+    // Declarative-exemption hygiene: a RELAXED_ALLOWED entry matching no
+    // scanned file is a stale policy hole, not a harmless leftover.
+    let scanned: Vec<String> = files.iter().map(|(rel, _, _)| rel.clone()).collect();
+    for entry in rules::stale_relaxed_entries(&scanned) {
+        findings.push(Finding::error(
+            entry.path,
+            0,
+            "relaxed-allowed-stale",
+            format!(
+                "RELAXED_ALLOWED entry ({}) matches no scanned file — delete the exemption",
+                entry.justification
+            ),
+        ));
+    }
 
     // Crate-root gate: every non-gf crate root pins #![forbid(unsafe_code)]
     // (gf pins deny + scoped allows for the kernel modules).
@@ -185,12 +236,17 @@ pub fn run(root: &Path, opts: &Options) -> Result<Vec<String>, String> {
         }
     }
 
+    let call_edges: usize = graph.edges.iter().map(Vec::len).sum();
     let mut summary = Vec::new();
     summary.push(format!(
         "scanned {} files ({} fns, {} call edges)",
         files.len(),
         table.fns.len(),
-        graph.edges.iter().map(Vec::len).sum::<usize>(),
+        call_edges,
+    ));
+    summary.push(format!(
+        "lock graph: {} classes, {} acquisition sites, {} order edges",
+        lock_stats.classes, lock_stats.acquisition_sites, lock_stats.order_edges,
     ));
 
     // Reports are written before the pass/fail decision so CI can upload
@@ -207,6 +263,12 @@ pub fn run(root: &Path, opts: &Options) -> Result<Vec<String>, String> {
             .map_err(|e| format!("writing {}: {e}", sarif_path.display()))?;
         summary.push(format!("wrote SARIF to {}", sarif_path.display()));
     }
+    if let Some(stats_path) = &opts.stats_path {
+        let json = render_stats(files.len(), table.fns.len(), call_edges, &lock_stats, &findings);
+        std::fs::write(root.join(stats_path), &json)
+            .map_err(|e| format!("writing {}: {e}", stats_path.display()))?;
+        summary.push(format!("wrote lint stats to {}", stats_path.display()));
+    }
 
     let errors: Vec<&Finding> = findings.iter().filter(|f| !f.waived).collect();
     if !errors.is_empty() {
@@ -219,17 +281,27 @@ pub fn run(root: &Path, opts: &Options) -> Result<Vec<String>, String> {
         return Err(out);
     }
 
-    // Two ratchets: body-local waivers vs panic_baseline.json, transitive
-    // waivers vs transitive_baseline.json. Splitting keeps the PR 5
-    // baseline untouched by call-graph coverage growth.
-    let is_transitive = |f: &&Finding| f.rule.starts_with("transitive-");
-    let body: Vec<Finding> = findings.iter().filter(|f| !is_transitive(f)).cloned().collect();
+    // Three ratchets: body-local waivers vs panic_baseline.json,
+    // transitive panic/alloc vs transitive_baseline.json, and the lock
+    // policies vs lock_baseline.json. Splitting keeps each baseline
+    // untouched by the others' coverage growth. Order matters: the
+    // `transitive-lock` test must run before the broader `transitive-`
+    // prefix claims the finding.
+    let is_lock = |f: &&Finding| f.rule.starts_with("transitive-lock");
+    let is_transitive = |f: &&Finding| !is_lock(f) && f.rule.starts_with("transitive-");
+    let body: Vec<Finding> = findings
+        .iter()
+        .filter(|f| !is_transitive(f) && !is_lock(f))
+        .cloned()
+        .collect();
     let trans: Vec<Finding> = findings.iter().filter(is_transitive).cloned().collect();
+    let lock: Vec<Finding> = findings.iter().filter(is_lock).cloned().collect();
 
     if opts.write_baseline {
         for (set, path) in [
             (&body, &opts.baseline_path),
             (&trans, &opts.transitive_baseline_path),
+            (&lock, &opts.lock_baseline_path),
         ] {
             let json = report::render_inventory(set, false);
             std::fs::write(root.join(path), &json)
@@ -240,6 +312,7 @@ pub fn run(root: &Path, opts: &Options) -> Result<Vec<String>, String> {
         for (set, path, label) in [
             (&body, &opts.baseline_path, "body"),
             (&trans, &opts.transitive_baseline_path, "transitive"),
+            (&lock, &opts.lock_baseline_path, "lock"),
         ] {
             let text = std::fs::read_to_string(root.join(path)).map_err(|e| {
                 format!(
@@ -268,7 +341,68 @@ pub fn run(root: &Path, opts: &Options) -> Result<Vec<String>, String> {
     } else {
         format!("{total} waivers ({by_rule})")
     });
+
+    // Wall-clock budget: the lint as a whole must stay under 2× its
+    // pre-lock-pass runtime, i.e. the lock pass may cost at most as much
+    // as everything else combined (50ms grace absorbs timer noise).
+    let rest = t_start.elapsed().saturating_sub(lock_elapsed);
+    summary.push(format!(
+        "lock pass {}ms / rest {}ms",
+        lock_elapsed.as_millis(),
+        rest.as_millis()
+    ));
+    if opts.enforce_time_budget && lock_elapsed > rest + Duration::from_millis(50) {
+        return Err(format!(
+            "lock pass exceeded its wall-clock budget: {}ms vs {}ms for the rest of \
+             the lint (budget: lock pass ≤ rest, keeping total ≤ 2× pre-pass runtime)\n",
+            lock_elapsed.as_millis(),
+            rest.as_millis()
+        ));
+    }
     Ok(summary)
+}
+
+/// Renders the `lint-stats` document consumed by `cargo xtask
+/// bench-check`: coverage counters plus per-policy waiver rows. The three
+/// transitive policies are always emitted (zero included) so schema drift
+/// — a renamed policy, a dropped pass — fails the bench-check pin.
+fn render_stats(
+    files: usize,
+    fns: usize,
+    call_edges: usize,
+    lock_stats: &locks::LockStats,
+    findings: &[Finding],
+) -> String {
+    let counts = report::waiver_counts(findings);
+    let mut policies: BTreeSet<&str> =
+        ["transitive-panic", "transitive-lock-order", "transitive-lock-io"]
+            .into_iter()
+            .collect();
+    policies.extend(counts.keys());
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"lint-stats\",\n");
+    out.push_str(&format!("  \"files\": {files},\n"));
+    out.push_str(&format!("  \"fns\": {fns},\n"));
+    out.push_str(&format!("  \"call_edges\": {call_edges},\n"));
+    out.push_str(&format!("  \"lock_classes\": {},\n", lock_stats.classes));
+    out.push_str(&format!(
+        "  \"acquisition_sites\": {},\n",
+        lock_stats.acquisition_sites
+    ));
+    out.push_str(&format!("  \"order_edges\": {},\n", lock_stats.order_edges));
+    out.push_str("  \"results\": [\n");
+    let rows: Vec<String> = policies
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{ \"policy\": \"{p}\", \"waivers\": {} }}",
+                counts.get(*p).copied().unwrap_or(0)
+            )
+        })
+        .collect();
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
 }
 
 /// Every crate root (lib.rs and bin main files) that must pin the
@@ -352,6 +486,49 @@ mod tests {
             o.transitive_baseline_path,
             Path::new("xtask/transitive_baseline.json")
         );
+    }
+
+    #[test]
+    fn options_parse_lock_flags() {
+        let args: Vec<String> = [
+            "--stats",
+            "LINT_STATS.json",
+            "--lock-baseline",
+            "lb.json",
+            "--enforce-time-budget",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let o = Options::parse(&args).unwrap();
+        assert_eq!(o.stats_path.as_deref(), Some(Path::new("LINT_STATS.json")));
+        assert_eq!(o.lock_baseline_path, Path::new("lb.json"));
+        assert!(o.enforce_time_budget);
+        let d = Options::parse(&[]).unwrap();
+        assert_eq!(d.lock_baseline_path, Path::new("xtask/lock_baseline.json"));
+        assert!(d.stats_path.is_none());
+        assert!(!d.enforce_time_budget);
+    }
+
+    #[test]
+    fn stats_doc_pins_all_three_transitive_policies() {
+        let findings = vec![
+            Finding::waived("crates/rs/src/lib.rs", 7, "transitive-panic", "why".into()),
+            Finding::waived("crates/store/src/lock_table.rs", 9, "transitive-lock-order", "why".into()),
+        ];
+        let stats = locks::LockStats {
+            classes: 5,
+            acquisition_sites: 40,
+            order_edges: 6,
+        };
+        let json = render_stats(100, 900, 2000, &stats, &findings);
+        assert!(json.contains("\"bench\": \"lint-stats\""));
+        assert!(json.contains("\"lock_classes\": 5"));
+        assert!(json.contains("\"policy\": \"transitive-panic\", \"waivers\": 1"));
+        assert!(json.contains("\"policy\": \"transitive-lock-order\", \"waivers\": 1"));
+        // Zero-waiver policies still get a row: their disappearance is
+        // schema drift, not a cleanup.
+        assert!(json.contains("\"policy\": \"transitive-lock-io\", \"waivers\": 0"));
     }
 
     #[test]

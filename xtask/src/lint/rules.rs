@@ -96,15 +96,51 @@ pub const ARITH_FIELDS: &[&str] = &[
     "hot_only_byte_ticks",
 ];
 
-/// The only modules allowed to use `Ordering::Relaxed`: the segment
-/// work counter and its loom model, and the daemon's monotonic metric
-/// counters (each module's comment documents why Relaxed suffices).
-pub const RELAXED_ALLOWED: &[&str] = &[
-    "crates/ec/src/parallel",
-    "crates/serve/src/metrics.rs",
-    "crates/maint/src/status.rs",
-    "crates/maint/src/cache.rs",
+/// One module granted a `Ordering::Relaxed` exemption, with the ordering
+/// argument that makes Relaxed sufficient there. Declarative so the
+/// policy is reviewable in one place and entries can be staleness-checked
+/// against the scanned tree (see [`stale_relaxed_entries`]).
+pub struct RelaxedAllowed {
+    /// Path prefix the exemption covers.
+    pub path: &'static str,
+    /// One-line ordering justification — why Relaxed cannot reorder into
+    /// a bug in this module.
+    pub justification: &'static str,
+}
+
+/// The only modules allowed to use `Ordering::Relaxed`.
+pub const RELAXED_ALLOWED: &[RelaxedAllowed] = &[
+    RelaxedAllowed {
+        path: "crates/ec/src/parallel",
+        justification: "monotonic segment-claim counter; crossbeam scope join provides the \
+                        happens-before edge (loom-modeled in claim_model)",
+    },
+    RelaxedAllowed {
+        path: "crates/serve/src/metrics.rs",
+        justification: "monotonic gauges/counters read only for reporting; no cross-field \
+                        invariant depends on ordering",
+    },
+    RelaxedAllowed {
+        path: "crates/maint/src/status.rs",
+        justification: "monotonic maintenance counters; readers tolerate stale snapshots by \
+                        design",
+    },
+    RelaxedAllowed {
+        path: "crates/maint/src/cache.rs",
+        justification: "hit/miss statistics only; cache correctness is carried by the shard \
+                        mutexes, not the counters",
+    },
 ];
+
+/// Entries in [`RELAXED_ALLOWED`] matching none of the scanned files:
+/// stale exemptions that must be deleted, not silently kept as latent
+/// policy holes.
+pub fn stale_relaxed_entries(scanned: &[String]) -> Vec<&'static RelaxedAllowed> {
+    RELAXED_ALLOWED
+        .iter()
+        .filter(|e| !scanned.iter().any(|rel| rel.starts_with(e.path)))
+        .collect()
+}
 
 /// Crates under the concurrency-hygiene policy.
 pub const CONCURRENCY_SCOPE: &[&str] = &[
@@ -230,7 +266,7 @@ fn push_hot_alloc(
 /// Every waiver marker the policies understand. Used by the dead-waiver
 /// check: a marker that suppresses no finding is stale and must go.
 pub const WAIVER_MARKERS: &[&str] =
-    &["panic-ok:", "alloc-ok:", "clone-ok:", "wrap-ok:", "raw-xor-ok:"];
+    &["panic-ok:", "alloc-ok:", "clone-ok:", "wrap-ok:", "raw-xor-ok:", "lock-ok:"];
 
 /// Flags waiver markers that no longer suppress anything.
 ///
@@ -427,7 +463,7 @@ pub fn lint_file(rel: &str, lexed: &Lexed, scopes: &Scopes, findings: &mut Vec<F
                 "Relaxed"
                     if concurrency_scoped
                         && !in_test
-                        && !in_scope(rel, RELAXED_ALLOWED) =>
+                        && !RELAXED_ALLOWED.iter().any(|e| rel.starts_with(e.path)) =>
                 {
                     findings.push(Finding::error(
                         rel,

@@ -35,6 +35,9 @@ const RULE_HELP: &[(&str, &str)] = &[
     ("hot-path-alloc", "fresh allocation inside encode_into/apply_into"),
     ("transitive-panic", "panic hazard transitively reachable from a serving root"),
     ("transitive-alloc", "allocation transitively reachable from encode_into/apply_into"),
+    ("transitive-lock-order", "lock acquired against the declared order, or on a cycle that can deadlock"),
+    ("transitive-lock-io", "blocking I/O or re-acquisition while a lock guard is held"),
+    ("relaxed-allowed-stale", "RELAXED_ALLOWED exemption matching no scanned file"),
     ("dead-waiver", "waiver marker that no longer suppresses any finding"),
     ("parse", "file skipped: unbalanced delimiters"),
     ("io", "unreadable file"),

@@ -3,7 +3,7 @@
 //! `lint` is the soundness gate that rustc cannot express as a built-in
 //! lint. Since PR 7 it is a call-graph-aware whole-workspace pass (lexer
 //! → scopes → symbols → call graph → policies; see `lint/mod.rs`),
-//! enforcing nine policies:
+//! enforcing eleven policies:
 //!
 //! 1. **unsafe containment** — `unsafe` only under `crates/gf/src/kernels/`,
 //!    every block carrying a `// SAFETY:` comment, every other crate root
@@ -21,22 +21,35 @@
 //!    and `xtask/transitive_baseline.json`);
 //! 6. **checked arithmetic** — byte/op counters use `saturating_*`/
 //!    `checked_*` or carry `// wrap-ok: <reason>`;
-//! 7. **concurrency hygiene** — `Ordering::Relaxed` confined to
-//!    `ec::parallel`, `static mut` banned, crossbeam-scope types witnessed
-//!    by `assert_send_sync`;
+//! 7. **concurrency hygiene** — `Ordering::Relaxed` confined to the
+//!    declarative `RELAXED_ALLOWED` table (each entry carrying an ordering
+//!    justification, stale entries rejected), `static mut` banned,
+//!    crossbeam-scope types witnessed by `assert_send_sync`;
 //! 8. **transitive hot-path allocation** — `vec!`/`to_vec`/`with_capacity`/
 //!    `collect` banned in everything reachable from `encode_into`/
 //!    `apply_into` (the session layer's zero-allocation contract), waived
 //!    only by `// alloc-ok: <reason>`;
 //! 9. **dead-waiver hygiene** — a waiver marker that no longer suppresses
-//!    any finding is itself an error (stale waivers re-arm silently).
+//!    any finding is itself an error (stale waivers re-arm silently);
+//! 10. **static lock order** — every acquisition site maps to a typed lock
+//!    class (`lint/locks.rs`); held-lock sets propagate along the call
+//!    graph from the serving/maintenance roots, and order cycles, declared
+//!    rank inversions, and same-class re-acquisition are flagged with
+//!    root→acquire→acquire traces; waived only by `// lock-ok: <invariant>`
+//!    (ratcheted against `xtask/lock_baseline.json`, each waived cross-lock
+//!    site backed by a loom model);
+//! 11. **blocking-under-lock** — file/socket I/O, `fsync`, and the frame
+//!    transport are banned while any non-`io_ok` guard is live, guard
+//!    lifetimes tracked through bindings, temporaries, and early `drop`.
 //!
 //! `bench-check` validates the `BENCH_*.json` artifacts the bench suites
-//! write against per-bench schemas (see `bench.rs`).
+//! write against per-bench schemas (see `bench.rs`), including the
+//! `lint-stats` document `lint --stats` emits.
 //!
 //! Usage:
 //!   `cargo xtask lint [--report <path>] [--sarif <path>] [--baseline <path>]
-//!    [--transitive-baseline <path>] [--write-baseline] [--no-ratchet]`
+//!    [--transitive-baseline <path>] [--lock-baseline <path>] [--stats <path>]
+//!    [--enforce-time-budget] [--write-baseline] [--no-ratchet]`
 //!   `cargo xtask bench-check [paths...]`
 
 #![forbid(unsafe_code)]
@@ -90,6 +103,7 @@ fn main() -> ExitCode {
         None => {
             eprintln!(
                 "usage: cargo xtask lint [--report <path>] [--sarif <path>] \
+                 [--lock-baseline <path>] [--stats <path>] [--enforce-time-budget] \
                  [--write-baseline] [--no-ratchet] | cargo xtask bench-check [paths...]"
             );
             ExitCode::from(2)

@@ -1,0 +1,20 @@
+//! Guard-lifetime tracking through early `drop(guard)`: identical I/O
+//! is clean after the drop and flagged before it.
+
+use std::sync::Mutex;
+
+pub struct S {
+    pub m: Mutex<u32>,
+}
+
+pub fn after_drop(s: &S, path: &str) {
+    let g = s.m.lock().unwrap();
+    drop(g);
+    std::fs::write(path, b"x").unwrap();
+}
+
+pub fn before_drop(s: &S, path: &str) {
+    let g = s.m.lock().unwrap();
+    std::fs::write(path, b"x").unwrap();
+    drop(g);
+}

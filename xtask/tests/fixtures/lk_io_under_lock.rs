@@ -1,0 +1,18 @@
+//! Blocking file I/O one call below a serving root that holds a lock:
+//! the finding must land on the I/O site and carry the root→call chain
+//! plus the acquisition site.
+
+use std::sync::Mutex;
+
+pub struct S {
+    pub m: Mutex<u32>,
+}
+
+pub fn handle_request(s: &S, path: &str) {
+    let _g = s.m.lock().unwrap();
+    persist(path);
+}
+
+fn persist(path: &str) {
+    std::fs::write(path, b"x").unwrap();
+}

@@ -1,0 +1,22 @@
+//! Opposite-order acquisition across two functions: the classic AB/BA
+//! deadlock shape. The lock pass must flag the cycle on both edges even
+//! with no declared ranks (auto-classed locks, SCC detection).
+
+use std::sync::Mutex;
+
+pub struct S {
+    pub a: Mutex<u32>,
+    pub b: Mutex<u32>,
+}
+
+impl S {
+    pub fn ab(&self) {
+        let _ga = self.a.lock().unwrap();
+        let _gb = self.b.lock().unwrap();
+    }
+
+    pub fn ba(&self) {
+        let _gb = self.b.lock().unwrap();
+        let _ga = self.a.lock().unwrap();
+    }
+}

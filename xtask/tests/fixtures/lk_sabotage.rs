@@ -1,0 +1,31 @@
+//! The acceptance sabotage: a lock-order inversion hidden one call deep
+//! under two serving roots. `handle_request` takes the queue lock and
+//! then, through a helper, the slot lock; `drain_repairs` acquires the
+//! same two locks in the opposite order through its own helper. The
+//! pass must report a cycle on both edges, each with the full
+//! root→acquire trace.
+
+use std::sync::Mutex;
+
+pub struct S {
+    pub queue: Mutex<u32>,
+    pub slot: Mutex<u32>,
+}
+
+pub fn handle_request(s: &S) {
+    let _q = s.queue.lock().unwrap();
+    grab_slot(s);
+}
+
+fn grab_slot(s: &S) {
+    let _s = s.slot.lock().unwrap();
+}
+
+pub fn drain_repairs(s: &S) {
+    let _s = s.slot.lock().unwrap();
+    grab_queue(s);
+}
+
+fn grab_queue(s: &S) {
+    let _q = s.queue.lock().unwrap();
+}

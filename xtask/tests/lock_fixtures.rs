@@ -1,0 +1,172 @@
+//! End-to-end fixtures for the static lock-order / blocking-under-lock
+//! pass (symbols → call graph → `lint::locks`).
+//!
+//! Each `lk_*.rs` fixture in `tests/fixtures/` is a workspace-shaped
+//! snippet pinning one behaviour: the AB/BA cycle, guard-lifetime
+//! tracking through early `drop`, blocking I/O below a root that holds
+//! a lock, and the acceptance sabotage — an inversion hidden one call
+//! deep under two serving roots. Tests assert the *exact* trace strings
+//! the diagnostics carry, so chain formatting, acquisition-site
+//! attribution and BFS parentage are pinned, not just "a finding
+//! exists".
+
+// The whole module tree is included; this harness exercises the symbol,
+// graph and lock layers, so the workspace driver is dead code here.
+#![allow(dead_code)]
+
+#[path = "../src/lint/mod.rs"]
+mod lint;
+
+use lint::callgraph::build;
+use lint::lexer::lex;
+use lint::locks::{self, LockStats};
+use lint::report::Finding;
+use lint::scopes::analyze;
+use lint::symbols::SymbolTable;
+
+/// The workspace-relative path fixtures are analyzed under; `qualify`
+/// turns it into the `cg::lib` prefix every pinned trace uses, and the
+/// `cg.*` auto lock classes derive from the same crate name.
+const REL: &str = "crates/cg/src/lib.rs";
+
+/// Reads a fixture whether the test runs from the workspace root (the
+/// offline harness) or from `xtask/` (cargo).
+fn fixture(name: &str) -> String {
+    let candidates = [
+        format!("xtask/tests/fixtures/{name}"),
+        format!("tests/fixtures/{name}"),
+    ];
+    for c in &candidates {
+        if let Ok(src) = std::fs::read_to_string(c) {
+            return src;
+        }
+    }
+    panic!("fixture {name} not found in {candidates:?}");
+}
+
+/// Runs the full lock-analysis stack on one fixture as if it lived at
+/// [`REL`].
+fn analyze_fixture(name: &str) -> (LockStats, Vec<Finding>) {
+    let src = fixture(name);
+    let lexed = lex(&src);
+    let scopes = analyze(&lexed);
+    assert!(!scopes.unbalanced, "{name}: fixture has unbalanced delimiters");
+    let mut table = SymbolTable::default();
+    table.add_file(REL, 0, &lexed, &scopes);
+    let files = vec![(REL.to_string(), lexed, scopes)];
+    let graph = build(&table, &files);
+    let mut findings = Vec::new();
+    let stats = locks::run(&table, &graph, &files, &mut findings);
+    (stats, findings)
+}
+
+fn errors(findings: &[Finding]) -> Vec<&Finding> {
+    findings.iter().filter(|f| !f.waived).collect()
+}
+
+#[test]
+fn opposite_order_methods_are_a_cycle_on_both_edges() {
+    let (stats, findings) = analyze_fixture("lk_order_cycle.rs");
+    assert_eq!(stats.classes, 2, "cg.a and cg.b");
+    assert_eq!(stats.acquisition_sites, 4);
+    assert_eq!(stats.order_edges, 2, "a→b and b→a");
+    let errs = errors(&findings);
+    assert_eq!(errs.len(), 2, "{findings:?}");
+    assert!(errs.iter().all(|f| f.rule == "transitive-lock-order"));
+    let ab = errs
+        .iter()
+        .find(|f| f.detail.contains("`cg.b` acquired while holding `cg.a`"))
+        .expect("a→b edge reported");
+    // The finding anchors at the second acquisition and names the first.
+    assert_eq!(ab.line, 15, "anchor on the b-acquisition inside ab()");
+    assert!(
+        ab.detail.contains("(acquired at crates/cg/src/lib.rs:14)"),
+        "{}", ab.detail
+    );
+    assert!(ab.detail.contains("can deadlock"), "{}", ab.detail);
+    let ba = errs
+        .iter()
+        .find(|f| f.detail.contains("`cg.a` acquired while holding `cg.b`"))
+        .expect("b→a edge reported");
+    assert_eq!(ba.line, 20, "anchor on the a-acquisition inside ba()");
+}
+
+#[test]
+fn early_drop_ends_the_guard_extent() {
+    let (stats, findings) = analyze_fixture("lk_guard_drop.rs");
+    assert_eq!(stats.classes, 1);
+    let errs = errors(&findings);
+    // Only `before_drop` flags; the identical write in `after_drop`
+    // happens after `drop(g)` ended the extent.
+    assert_eq!(errs.len(), 1, "{findings:?}");
+    assert_eq!(errs[0].rule, "transitive-lock-io");
+    assert_eq!(errs[0].line, 18, "the fs::write inside before_drop");
+    assert!(
+        errs[0].detail.contains("blocking `fs::write`"),
+        "{}", errs[0].detail
+    );
+    assert!(
+        errs[0]
+            .detail
+            .contains("(acquired at crates/cg/src/lib.rs:17)"),
+        "{}", errs[0].detail
+    );
+}
+
+#[test]
+fn io_below_a_root_carries_the_full_chain() {
+    let (_, findings) = analyze_fixture("lk_io_under_lock.rs");
+    let errs = errors(&findings);
+    assert_eq!(errs.len(), 1, "{findings:?}");
+    let f = errs[0];
+    assert_eq!(f.rule, "transitive-lock-io");
+    assert_eq!(f.line, 17, "the fs::write inside persist");
+    // Exact trace: root → call site → hazard holder.
+    assert!(
+        f.detail.contains(
+            "cg::lib::handle_request →[crates/cg/src/lib.rs:13] cg::lib::persist"
+        ),
+        "{}", f.detail
+    );
+    assert!(
+        f.detail
+            .contains("while holding lock class `cg.m` (acquired at crates/cg/src/lib.rs:12)"),
+        "{}", f.detail
+    );
+}
+
+#[test]
+fn sabotage_inversion_is_caught_with_pinned_traces() {
+    let (stats, findings) = analyze_fixture("lk_sabotage.rs");
+    assert_eq!(stats.classes, 2, "cg.queue and cg.slot");
+    assert_eq!(stats.order_edges, 2);
+    let errs = errors(&findings);
+    assert_eq!(errs.len(), 2, "both cycle edges: {findings:?}");
+    let qs = errs
+        .iter()
+        .find(|f| f.detail.contains("`cg.slot` acquired while holding `cg.queue`"))
+        .expect("queue→slot edge");
+    assert_eq!(qs.line, 21, "the slot acquisition inside grab_slot");
+    assert!(
+        qs.detail.contains(
+            "cg::lib::handle_request →[crates/cg/src/lib.rs:17] cg::lib::grab_slot"
+        ),
+        "root→acquire trace must anchor at the serving root: {}",
+        qs.detail
+    );
+    assert!(
+        qs.detail.contains("(acquired at crates/cg/src/lib.rs:16)"),
+        "{}", qs.detail
+    );
+    let sq = errs
+        .iter()
+        .find(|f| f.detail.contains("`cg.queue` acquired while holding `cg.slot`"))
+        .expect("slot→queue edge");
+    assert_eq!(sq.line, 30, "the queue acquisition inside grab_queue");
+    assert!(
+        sq.detail.contains(
+            "cg::lib::drain_repairs →[crates/cg/src/lib.rs:26] cg::lib::grab_queue"
+        ),
+        "{}", sq.detail
+    );
+}
